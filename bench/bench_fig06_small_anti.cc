@@ -1,0 +1,8 @@
+// Figure 6 — see figure_suites.h for the shared driver.
+
+#include "figure_suites.h"
+
+int main(int argc, char** argv) {
+  return skyup::bench::RunSmallFigure(
+      "Figure 6", skyup::Distribution::kAntiCorrelated, argc, argv);
+}

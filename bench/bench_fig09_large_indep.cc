@@ -1,0 +1,8 @@
+// Figure 9 — see figure_suites.h for the shared driver.
+
+#include "figure_suites.h"
+
+int main(int argc, char** argv) {
+  return skyup::bench::RunLargeFigure(
+      "Figure 9", skyup::Distribution::kIndependent, argc, argv);
+}

@@ -1,0 +1,8 @@
+// Figure 10 — see figure_suites.h for the shared driver.
+
+#include "figure_suites.h"
+
+int main(int argc, char** argv) {
+  return skyup::bench::RunProgressiveFigure(
+      "Figure 10", skyup::Distribution::kAntiCorrelated, argc, argv);
+}

@@ -1,0 +1,8 @@
+// Figure 11 — see figure_suites.h for the shared driver.
+
+#include "figure_suites.h"
+
+int main(int argc, char** argv) {
+  return skyup::bench::RunProgressiveFigure(
+      "Figure 11", skyup::Distribution::kIndependent, argc, argv);
+}

@@ -1,0 +1,184 @@
+// Micro-benchmarks (google-benchmark) of the substrate kernels: R-tree
+// construction and queries, skyline algorithms, Algorithm 1, and the LBC
+// kernels. These are component-level numbers; the figure reproductions
+// live in the bench_fig* binaries.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/lower_bounds.h"
+#include "core/single_upgrade.h"
+#include "data/generator.h"
+#include "skyline/dominating_skyline.h"
+#include "skyline/skyline.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace skyup {
+namespace {
+
+Dataset MakeData(size_t n, size_t dims, Distribution distribution,
+                 uint64_t seed = 7) {
+  Result<Dataset> ds = GenerateCompetitors(n, dims, distribution, seed);
+  SKYUP_CHECK(ds.ok());
+  return std::move(ds).value();
+}
+
+void BM_RTreeBulkLoad(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Dataset ds = MakeData(n, 3, Distribution::kIndependent);
+  for (auto _ : state) {
+    Result<RTree> tree = RTree::BulkLoad(ds);
+    SKYUP_CHECK(tree.ok());
+    benchmark::DoNotOptimize(tree->root());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_RTreeBulkLoad)->Arg(10000)->Arg(100000);
+
+void BM_RTreeInsert(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Dataset ds = MakeData(n, 3, Distribution::kIndependent);
+  for (auto _ : state) {
+    RTree tree(&ds);
+    for (size_t i = 0; i < n; ++i) tree.Insert(static_cast<PointId>(i));
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_RTreeInsert)->Arg(10000);
+
+void BM_RTreeRangeQuery(benchmark::State& state) {
+  Dataset ds = MakeData(100000, 3, Distribution::kIndependent);
+  Result<RTree> tree = RTree::BulkLoad(ds);
+  SKYUP_CHECK(tree.ok());
+  Rng rng(3);
+  std::vector<PointId> out;
+  for (auto _ : state) {
+    std::vector<double> lo(3), hi(3);
+    for (size_t i = 0; i < 3; ++i) {
+      lo[i] = rng.NextDouble(0.0, 0.8);
+      hi[i] = lo[i] + 0.2;
+    }
+    out.clear();
+    tree->RangeQuery(Mbr::FromCorners(lo.data(), hi.data(), 3), &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_RTreeRangeQuery);
+
+template <SkylineAlgorithm kAlgo>
+void BM_Skyline(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Distribution distribution = state.range(1) == 0
+                                        ? Distribution::kIndependent
+                                        : Distribution::kAntiCorrelated;
+  Dataset ds = MakeData(n, 3, distribution);
+  for (auto _ : state) {
+    std::vector<PointId> sky = Skyline(ds, kAlgo);
+    benchmark::DoNotOptimize(sky.size());
+  }
+}
+BENCHMARK(BM_Skyline<SkylineAlgorithm::kBnl>)
+    ->Args({20000, 0})
+    ->Args({20000, 1});
+BENCHMARK(BM_Skyline<SkylineAlgorithm::kSfs>)
+    ->Args({20000, 0})
+    ->Args({20000, 1});
+BENCHMARK(BM_Skyline<SkylineAlgorithm::kBbs>)
+    ->Args({20000, 0})
+    ->Args({20000, 1});
+BENCHMARK(BM_Skyline<SkylineAlgorithm::kDnc>)
+    ->Args({20000, 0})
+    ->Args({20000, 1});
+
+void BM_DominatingSkylineProbe(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Dataset ds = MakeData(n, 3, Distribution::kAntiCorrelated);
+  Result<RTree> tree = RTree::BulkLoad(ds);
+  SKYUP_CHECK(tree.ok());
+  const std::vector<double> t = {1.5, 1.5, 1.5};
+  for (auto _ : state) {
+    std::vector<PointId> sky = DominatingSkyline(tree.value(), t.data());
+    benchmark::DoNotOptimize(sky.size());
+  }
+}
+BENCHMARK(BM_DominatingSkylineProbe)->Arg(100000);
+
+void BM_UpgradeProduct(benchmark::State& state) {
+  const size_t sky_size = static_cast<size_t>(state.range(0));
+  const size_t dims = static_cast<size_t>(state.range(1));
+  Dataset ds = MakeData(20000, dims, Distribution::kAntiCorrelated);
+  std::vector<PointId> sky_ids = SkylineSfs(ds);
+  std::vector<const double*> sky;
+  for (PointId id : sky_ids) {
+    if (sky.size() >= sky_size) break;
+    sky.push_back(ds.data(id));
+  }
+  ProductCostFunction f = ProductCostFunction::ReciprocalSum(dims, 1e-3);
+  std::vector<double> p(dims, 1.5);
+  for (auto _ : state) {
+    UpgradeOutcome out = UpgradeProduct(sky, p.data(), dims, f, 1e-6);
+    benchmark::DoNotOptimize(out.cost);
+  }
+}
+BENCHMARK(BM_UpgradeProduct)->Args({16, 3})->Args({256, 3})->Args({256, 5});
+
+void BM_LbcPair(benchmark::State& state) {
+  const BoundMode mode =
+      state.range(0) == 0 ? BoundMode::kPaper : BoundMode::kSound;
+  const size_t dims = 5;
+  ProductCostFunction f = ProductCostFunction::ReciprocalSum(dims, 1e-3);
+  Rng rng(11);
+  std::vector<double> et_min(dims), ep_min(dims), ep_max(dims);
+  for (size_t i = 0; i < dims; ++i) {
+    et_min[i] = rng.NextDouble(1.0, 2.0);
+    const double a = rng.NextDouble();
+    const double b = rng.NextDouble();
+    ep_min[i] = std::min(a, b);
+    ep_max[i] = std::max(a, b);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LbcPair(et_min.data(), ep_min.data(),
+                                     ep_max.data(), dims, f, mode));
+  }
+}
+BENCHMARK(BM_LbcPair)->Arg(0)->Arg(1);
+
+void BM_LbcJoinList(benchmark::State& state) {
+  const LowerBoundKind kind = static_cast<LowerBoundKind>(state.range(0));
+  const size_t entries = 64;
+  const size_t dims = 5;
+  ProductCostFunction f = ProductCostFunction::ReciprocalSum(dims, 1e-3);
+  Rng rng(12);
+  std::vector<double> et_min(dims);
+  for (auto& v : et_min) v = rng.NextDouble(1.0, 2.0);
+  std::vector<std::vector<double>> mins(entries), maxs(entries);
+  std::vector<EntryBounds> jl;
+  for (size_t e = 0; e < entries; ++e) {
+    mins[e].resize(dims);
+    maxs[e].resize(dims);
+    for (size_t i = 0; i < dims; ++i) {
+      const double a = rng.NextDouble();
+      const double b = rng.NextDouble();
+      mins[e][i] = std::min(a, b);
+      maxs[e][i] = std::max(a, b);
+    }
+    jl.push_back({mins[e].data(), maxs[e].data()});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        LbcJoinList(et_min.data(), jl, dims, f, kind, BoundMode::kPaper));
+  }
+}
+BENCHMARK(BM_LbcJoinList)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+}  // namespace skyup
+
+BENCHMARK_MAIN();

@@ -1,0 +1,37 @@
+#ifndef SKYUP_BENCH_FIGURE_SUITES_H_
+#define SKYUP_BENCH_FIGURE_SUITES_H_
+
+// Implementations of the paper's synthetic-data figure families. Each
+// figure binary (bench_fig06..bench_fig11) is a thin main() that picks the
+// distribution; anti-correlated and independent variants share these
+// drivers.
+
+#include <string>
+
+#include "bench_common.h"
+#include "data/generator.h"
+
+namespace skyup {
+namespace bench {
+
+/// Figures 6 and 7 — small synthetic data sets (Table IV): improved
+/// probing vs join(NLB) across (a) |P| in 100K..1000K, (b) |T| in
+/// 10K..100K, (c) d in 2..5. Defaults: |P|=1000K, |T|=100K, d=2.
+int RunSmallFigure(const std::string& figure, Distribution distribution,
+                   int argc, char** argv);
+
+/// Figures 8 and 9 — large synthetic data sets (Table V): join with
+/// NLB/CLB/ALB across (a) |P| in 500K..2000K, (b) |T| in 50K..200K,
+/// (c) d in 3..6. Defaults: |P|=1000K, |T|=100K, d=5.
+int RunLargeFigure(const std::string& figure, Distribution distribution,
+                   int argc, char** argv);
+
+/// Figures 10 and 11 — progressiveness at the Table V defaults: time until
+/// k results for k in 1..20, for each lower bound.
+int RunProgressiveFigure(const std::string& figure,
+                         Distribution distribution, int argc, char** argv);
+
+}  // namespace bench
+}  // namespace skyup
+
+#endif  // SKYUP_BENCH_FIGURE_SUITES_H_

@@ -1,0 +1,80 @@
+// Progressive top-k at market scale: a large synthetic market (the paper's
+// Section IV-C layout) where the analyst wants answers *now* — the join
+// cursor streams the cheapest upgrades one by one while probing would have
+// to grind through the whole catalog first.
+//
+// Demonstrates: the streaming JoinCursor, lower-bound selection, the sound
+// bound mode, and a live comparison of work done vs catalog size.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/join.h"
+#include "core/planner.h"
+#include "data/generator.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace skyup;
+
+  size_t market_size = 200000;
+  size_t catalog_size = 20000;
+  if (argc > 1) market_size = static_cast<size_t>(std::atoll(argv[1]));
+  if (argc > 2) catalog_size = static_cast<size_t>(std::atoll(argv[2]));
+
+  std::printf("Generating anti-correlated market |P|=%zu, catalog |T|=%zu, "
+              "d=3...\n",
+              market_size, catalog_size);
+  Result<Dataset> market = GenerateCompetitors(
+      market_size, 3, Distribution::kAntiCorrelated, 1);
+  Result<Dataset> catalog =
+      GenerateProducts(catalog_size, 3, Distribution::kAntiCorrelated, 2);
+  if (!market.ok() || !catalog.ok()) return 1;
+
+  ProductCostFunction cost_fn = ProductCostFunction::ReciprocalSum(3, 1e-3);
+  PlannerOptions options;
+  options.lower_bound = LowerBoundKind::kConservative;
+  options.bound_mode = BoundMode::kSound;  // provably exact ordering
+  Timer build_timer;
+  Result<UpgradePlanner> planner =
+      UpgradePlanner::Create(*market, *catalog, cost_fn, options);
+  if (!planner.ok()) {
+    std::fprintf(stderr, "%s\n", planner.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Indexes built in %.0f ms\n", build_timer.ElapsedMillis());
+
+  Result<JoinCursor> cursor = planner->OpenJoinCursor();
+  if (!cursor.ok()) return 1;
+
+  std::printf("\nStreaming the 10 cheapest upgrades:\n");
+  std::printf("%-5s %-10s %-12s %-12s %-14s\n", "rank", "product", "cost",
+              "elapsed(ms)", "exact-costs-computed");
+  Timer timer;
+  double first_cost = 0.0;
+  for (int rank = 1; rank <= 10; ++rank) {
+    auto r = cursor->Next();
+    if (!r.has_value()) break;
+    if (rank == 1) first_cost = r->cost;
+    std::printf("%-5d %-10lld %-12.4f %-12.1f %zu / %zu\n", rank,
+                static_cast<long long>(r->product_id), r->cost,
+                timer.ElapsedMillis(), cursor->stats().products_processed,
+                catalog_size);
+  }
+
+  std::printf("\nFor contrast, improved probing must process every product "
+              "before it can emit rank 1:\n");
+  Timer probing_timer;
+  Result<std::vector<UpgradeResult>> probing =
+      planner->TopK(10, Algorithm::kImprovedProbing);
+  if (!probing.ok()) return 1;
+  std::printf("improved probing: %.0f ms for the same top-10\n",
+              probing_timer.ElapsedMillis());
+  std::printf("head-of-ranking cost: join %.4f vs probing %.4f (%s)\n",
+              first_cost, (*probing)[0].cost,
+              std::abs(first_cost - (*probing)[0].cost) < 1e-9
+                  ? "identical"
+                  : "MISMATCH");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Wine-manufacturer scenario (the paper's Section IV-B): given the market
+// of white wines described by chlorides, sulphates, and total sulfur
+// dioxide, which of our 1,000 wines can be reformulated most cheaply into
+// products no competitor dominates?
+//
+// Demonstrates: the synthetic UCI-wine substitute, Table III attribute
+// combinations, algorithm cross-checking, and execution statistics.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/planner.h"
+#include "data/wine.h"
+
+int main() {
+  using namespace skyup;
+
+  Result<Dataset> wine = SynthesizeWine();  // 4,898 tuples, 3 attributes
+  if (!wine.ok()) return 1;
+
+  std::printf("Synthesized wine market: %zu tuples\n", wine->size());
+  std::printf("%-8s %-14s %-14s %-10s %-10s\n", "combo", "best wine id",
+              "upgrade cost", "time", "algorithms agree");
+
+  for (const auto& combo : WineAttributeCombinations()) {
+    Result<Dataset> reduced = WineSubset(*wine, combo);
+    if (!reduced.ok()) return 1;
+    Result<WineSplit> split = SplitWine(*reduced, 1000);
+    if (!split.ok()) return 1;
+
+    ProductCostFunction cost_fn =
+        ProductCostFunction::ReciprocalSum(combo.size(), 1e-3);
+    Result<UpgradePlanner> planner = UpgradePlanner::Create(
+        split->competitors, split->products, cost_fn);
+    if (!planner.ok()) return 1;
+
+    ExecStats stats;
+    Result<std::vector<UpgradeResult>> join =
+        planner->TopK(1, Algorithm::kJoin, &stats);
+    Result<std::vector<UpgradeResult>> probing =
+        planner->TopK(1, Algorithm::kImprovedProbing);
+    if (!join.ok() || !probing.ok()) return 1;
+
+    const bool agree =
+        std::abs((*join)[0].cost - (*probing)[0].cost) < 1e-9;
+    std::printf("%-8s %-14lld %-14.4f %-10s %s\n",
+                WineComboLabel(combo).c_str(),
+                static_cast<long long>((*join)[0].product_id),
+                (*join)[0].cost, "-", agree ? "yes" : "NO");
+    std::printf("         join stats: %zu heap pops, %zu products probed "
+                "(of %zu), %zu LBC evaluations\n",
+                stats.heap_pops, stats.products_processed,
+                split->products.size(), stats.lbc_evaluations);
+  }
+
+  // Progressive consumption: stream the ten cheapest reformulations for
+  // the full c,s,t combination without ranking all 1,000 wines.
+  Result<Dataset> reduced = WineSubset(
+      *wine, {WineAttr::kChlorides, WineAttr::kSulphates,
+              WineAttr::kTotalSulfurDioxide});
+  if (!reduced.ok()) return 1;
+  Result<WineSplit> split = SplitWine(*reduced, 1000);
+  if (!split.ok()) return 1;
+  ProductCostFunction cost_fn = ProductCostFunction::ReciprocalSum(3, 1e-3);
+  Result<UpgradePlanner> planner =
+      UpgradePlanner::Create(split->competitors, split->products, cost_fn);
+  if (!planner.ok()) return 1;
+  Result<JoinCursor> cursor = planner->OpenJoinCursor();
+  if (!cursor.ok()) return 1;
+
+  std::printf("\nTen cheapest reformulations (c,s,t), streamed:\n");
+  for (int i = 0; i < 10; ++i) {
+    auto r = cursor->Next();
+    if (!r.has_value()) break;
+    std::printf("  wine %-5lld cost %.4f  ->  (%.3f, %.3f, %.3f) "
+                "normalized\n",
+                static_cast<long long>(r->product_id), r->cost,
+                r->upgraded[0], r->upgraded[1], r->upgraded[2]);
+  }
+  std::printf("cursor stats: %zu of %zu products needed exact costs\n",
+              cursor->stats().products_processed, split->products.size());
+  return 0;
+}

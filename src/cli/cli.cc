@@ -1,0 +1,330 @@
+#include "cli/cli.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+
+#include "core/planner.h"
+#include "core/report.h"
+#include "data/generator.h"
+#include "data/wine.h"
+#include "skyline/skyline.h"
+#include "util/csv.h"
+#include "util/timer.h"
+
+namespace skyup {
+namespace cli {
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: skyup <command> [--flag=value ...]
+
+commands:
+  generate   synthesize a workload CSV
+             --out=FILE --count=N --dims=D [--dist=indep|anti|corr]
+             [--lo=0] [--hi=1] [--seed=1]
+  wine       synthesize the UCI-wine stand-in table (4,898 x 3)
+             --out=FILE [--count=4898] [--seed=2012]
+  skyline    print the skyline row indices of a CSV
+             --in=FILE [--algo=bnl|sfs|bbs|dnc]
+  topk       top-k product upgrading
+             --competitors=FILE --products=FILE [--k=1]
+             [--algorithm=join|improved|basic|brute] [--lb=nlb|clb|alb]
+             [--epsilon=1e-6] [--fanout=64] [--paper-bounds]
+             [--format=text|csv|json]
+  help       show this message
+)";
+
+// Parsed "--key=value" flags; bare "--key" maps to "true".
+class Flags {
+ public:
+  static std::optional<Flags> Parse(const std::vector<std::string>& args,
+                                    size_t begin, std::ostream& err) {
+    Flags flags;
+    for (size_t i = begin; i < args.size(); ++i) {
+      const std::string& a = args[i];
+      if (a.rfind("--", 0) != 0) {
+        err << "unexpected argument '" << a << "'\n";
+        return std::nullopt;
+      }
+      const size_t eq = a.find('=');
+      if (eq == std::string::npos) {
+        flags.values_[a.substr(2)] = "true";
+      } else {
+        flags.values_[a.substr(2, eq - 2)] = a.substr(eq + 1);
+      }
+    }
+    return flags;
+  }
+
+  std::optional<std::string> Get(const std::string& key) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return std::nullopt;
+    used_.insert(key);
+    return it->second;
+  }
+
+  std::string GetOr(const std::string& key, const std::string& def) const {
+    return Get(key).value_or(def);
+  }
+
+  // Flags nobody consumed are usage errors (typo protection).
+  bool ReportUnused(std::ostream& err) const {
+    bool any = false;
+    for (const auto& [key, value] : values_) {
+      if (used_.count(key) == 0) {
+        err << "unknown flag --" << key << "\n";
+        any = true;
+      }
+    }
+    return any;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::set<std::string> used_;
+};
+
+std::optional<double> ToDouble(const std::string& s) {
+  try {
+    size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) return std::nullopt;
+    return v;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+std::optional<long long> ToInt(const std::string& s) {
+  try {
+    size_t pos = 0;
+    const long long v = std::stoll(s, &pos);
+    if (pos != s.size()) return std::nullopt;
+    return v;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+Result<Dataset> LoadCsvDataset(const std::string& path) {
+  Result<CsvTable> table = ReadCsvFile(path, /*has_header=*/false);
+  if (!table.ok()) return table.status();
+  if (table->rows.empty()) {
+    return Status::InvalidArgument("'" + path + "' holds no rows");
+  }
+  return Dataset::FromRows(table->rows);
+}
+
+Status WriteDatasetCsv(const std::string& path, const Dataset& ds) {
+  CsvTable table;
+  table.rows.reserve(ds.size());
+  for (size_t i = 0; i < ds.size(); ++i) {
+    const double* p = ds.data(static_cast<PointId>(i));
+    table.rows.emplace_back(p, p + ds.dims());
+  }
+  return WriteCsvFile(path, table);
+}
+
+int Fail(std::ostream& err, const Status& status) {
+  err << "error: " << status.ToString() << "\n";
+  return 1;
+}
+
+int Usage(std::ostream& err, const std::string& message) {
+  err << message << "\n" << kUsage;
+  return 2;
+}
+
+int CmdGenerate(const Flags& flags, std::ostream& out, std::ostream& err) {
+  const auto path = flags.Get("out");
+  const auto count = flags.Get("count");
+  const auto dims = flags.Get("dims");
+  if (!path || !count || !dims) {
+    return Usage(err, "generate requires --out, --count, and --dims");
+  }
+  const auto n = ToInt(*count);
+  const auto d = ToInt(*dims);
+  const auto lo = ToDouble(flags.GetOr("lo", "0"));
+  const auto hi = ToDouble(flags.GetOr("hi", "1"));
+  const auto seed = ToInt(flags.GetOr("seed", "1"));
+  const std::string dist = flags.GetOr("dist", "indep");
+  if (!n || !d || !lo || !hi || !seed || *n <= 0 || *d <= 0) {
+    return Usage(err, "generate: malformed numeric flag");
+  }
+  GeneratorConfig config;
+  config.count = static_cast<size_t>(*n);
+  config.dims = static_cast<size_t>(*d);
+  config.lo = *lo;
+  config.hi = *hi;
+  config.seed = static_cast<uint64_t>(*seed);
+  if (dist == "indep") {
+    config.distribution = Distribution::kIndependent;
+  } else if (dist == "anti") {
+    config.distribution = Distribution::kAntiCorrelated;
+  } else if (dist == "corr") {
+    config.distribution = Distribution::kCorrelated;
+  } else {
+    return Usage(err, "generate: --dist must be indep, anti, or corr");
+  }
+  if (flags.ReportUnused(err)) return 2;
+
+  Result<Dataset> ds = GenerateDataset(config);
+  if (!ds.ok()) return Fail(err, ds.status());
+  Status written = WriteDatasetCsv(*path, *ds);
+  if (!written.ok()) return Fail(err, written);
+  out << "wrote " << ds->size() << " x " << ds->dims() << " "
+      << DistributionName(config.distribution) << " points to " << *path
+      << "\n";
+  return 0;
+}
+
+int CmdWine(const Flags& flags, std::ostream& out, std::ostream& err) {
+  const auto path = flags.Get("out");
+  if (!path) return Usage(err, "wine requires --out");
+  const auto count = ToInt(flags.GetOr("count", "4898"));
+  const auto seed = ToInt(flags.GetOr("seed", "2012"));
+  if (!count || !seed || *count <= 0) {
+    return Usage(err, "wine: malformed numeric flag");
+  }
+  if (flags.ReportUnused(err)) return 2;
+
+  Result<Dataset> wine = SynthesizeWine(static_cast<size_t>(*count),
+                                        static_cast<uint64_t>(*seed));
+  if (!wine.ok()) return Fail(err, wine.status());
+  Status written = WriteDatasetCsv(*path, *wine);
+  if (!written.ok()) return Fail(err, written);
+  out << "wrote " << wine->size()
+      << " wine tuples (chlorides, sulphates, total SO2) to " << *path
+      << "\n";
+  return 0;
+}
+
+int CmdSkyline(const Flags& flags, std::ostream& out, std::ostream& err) {
+  const auto path = flags.Get("in");
+  if (!path) return Usage(err, "skyline requires --in");
+  const std::string algo_name = flags.GetOr("algo", "sfs");
+  SkylineAlgorithm algo;
+  if (algo_name == "bnl") {
+    algo = SkylineAlgorithm::kBnl;
+  } else if (algo_name == "sfs") {
+    algo = SkylineAlgorithm::kSfs;
+  } else if (algo_name == "bbs") {
+    algo = SkylineAlgorithm::kBbs;
+  } else if (algo_name == "dnc") {
+    algo = SkylineAlgorithm::kDnc;
+  } else {
+    return Usage(err, "skyline: --algo must be bnl, sfs, bbs, or dnc");
+  }
+  if (flags.ReportUnused(err)) return 2;
+
+  Result<Dataset> ds = LoadCsvDataset(*path);
+  if (!ds.ok()) return Fail(err, ds.status());
+  Timer timer;
+  std::vector<PointId> sky = Skyline(*ds, algo);
+  std::sort(sky.begin(), sky.end());
+  out << "# skyline of " << ds->size() << " points: " << sky.size()
+      << " members (" << algo_name << ", "
+      << static_cast<long long>(timer.ElapsedMicros()) << " us)\n";
+  for (PointId id : sky) out << id << "\n";
+  return 0;
+}
+
+int CmdTopK(const Flags& flags, std::ostream& out, std::ostream& err) {
+  const auto competitors_path = flags.Get("competitors");
+  const auto products_path = flags.Get("products");
+  if (!competitors_path || !products_path) {
+    return Usage(err, "topk requires --competitors and --products");
+  }
+  const auto k = ToInt(flags.GetOr("k", "1"));
+  const auto epsilon = ToDouble(flags.GetOr("epsilon", "1e-6"));
+  const auto fanout = ToInt(flags.GetOr("fanout", "64"));
+  if (!k || !epsilon || !fanout || *k <= 0 || *fanout < 2) {
+    return Usage(err, "topk: malformed numeric flag");
+  }
+
+  const std::string algo_name = flags.GetOr("algorithm", "join");
+  Algorithm algo;
+  if (algo_name == "join") {
+    algo = Algorithm::kJoin;
+  } else if (algo_name == "improved") {
+    algo = Algorithm::kImprovedProbing;
+  } else if (algo_name == "basic") {
+    algo = Algorithm::kBasicProbing;
+  } else if (algo_name == "brute") {
+    algo = Algorithm::kBruteForce;
+  } else {
+    return Usage(err,
+                 "topk: --algorithm must be join, improved, basic, or brute");
+  }
+
+  const std::string lb_name = flags.GetOr("lb", "clb");
+  PlannerOptions options;
+  if (lb_name == "nlb") {
+    options.lower_bound = LowerBoundKind::kNaive;
+  } else if (lb_name == "clb") {
+    options.lower_bound = LowerBoundKind::kConservative;
+  } else if (lb_name == "alb") {
+    options.lower_bound = LowerBoundKind::kAggressive;
+  } else {
+    return Usage(err, "topk: --lb must be nlb, clb, or alb");
+  }
+  options.epsilon = *epsilon;
+  options.rtree_fanout = static_cast<size_t>(*fanout);
+  if (flags.GetOr("paper-bounds", "false") == "true") {
+    options.bound_mode = BoundMode::kPaper;
+  }
+  Result<ReportFormat> format =
+      ParseReportFormat(flags.GetOr("format", "csv"));
+  if (!format.ok()) return Usage(err, format.status().message());
+  if (flags.ReportUnused(err)) return 2;
+
+  Result<Dataset> competitors = LoadCsvDataset(*competitors_path);
+  if (!competitors.ok()) return Fail(err, competitors.status());
+  Result<Dataset> products = LoadCsvDataset(*products_path);
+  if (!products.ok()) return Fail(err, products.status());
+
+  const size_t dims = competitors->dims();
+  Result<UpgradePlanner> planner = UpgradePlanner::Create(
+      std::move(competitors).value(), std::move(products).value(),
+      ProductCostFunction::ReciprocalSum(dims, 1e-3), options);
+  if (!planner.ok()) return Fail(err, planner.status());
+
+  Timer timer;
+  Result<std::vector<UpgradeResult>> top =
+      planner->TopK(static_cast<size_t>(*k), algo);
+  if (!top.ok()) return Fail(err, top.status());
+  if (*format != ReportFormat::kJson) {
+    out << "# top-" << *k << " upgrades via " << AlgorithmName(algo) << " ("
+        << static_cast<long long>(timer.ElapsedMicros()) << " us)\n";
+  }
+  if (*format == ReportFormat::kCsv) {
+    out << "# rank,product_row,cost,competitive,upgraded...\n";
+  }
+  WriteReport(*top, *format, out);
+  return 0;
+}
+
+}  // namespace
+
+int Run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    out << kUsage;
+    return args.empty() ? 2 : 0;
+  }
+  const std::string& command = args[0];
+  std::optional<Flags> flags = Flags::Parse(args, 1, err);
+  if (!flags.has_value()) return 2;
+
+  if (command == "generate") return CmdGenerate(*flags, out, err);
+  if (command == "wine") return CmdWine(*flags, out, err);
+  if (command == "skyline") return CmdSkyline(*flags, out, err);
+  if (command == "topk") return CmdTopK(*flags, out, err);
+  return Usage(err, "unknown command '" + command + "'");
+}
+
+}  // namespace cli
+}  // namespace skyup

@@ -1,0 +1,149 @@
+#ifndef SKYUP_CORE_COST_FUNCTION_H_
+#define SKYUP_CORE_COST_FUNCTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace skyup {
+
+/// An attribute cost function `f_a : D -> R` (Definition 4): the
+/// manufacturing cost implied by one attribute value.
+///
+/// Because smaller attribute values are better, implementations must be
+/// monotonically *non-increasing* in the attribute value: improving
+/// (decreasing) an attribute never decreases the cost. This yields the
+/// paper's product-level monotonicity `p1 < p2  =>  f_p(p1) >= f_p(p2)`.
+class AttributeCostFunction {
+ public:
+  virtual ~AttributeCostFunction() = default;
+
+  /// Cost of manufacturing attribute value `value`.
+  virtual double Cost(double value) const = 0;
+
+  /// Diagnostic name, e.g. "reciprocal(delta=0.001)".
+  virtual std::string name() const = 0;
+};
+
+/// The paper's experimental attribute cost: `f_a(x) = 1 / (x + delta)`.
+///
+/// `delta` keeps the function finite when upgrades push attribute values
+/// toward (or slightly below) zero; it is intentionally distinct from the
+/// upgrade step epsilon (see DESIGN.md).
+class ReciprocalCost final : public AttributeCostFunction {
+ public:
+  explicit ReciprocalCost(double delta = 1e-3);
+
+  double Cost(double value) const override;
+  std::string name() const override;
+
+  double delta() const { return delta_; }
+
+ private:
+  double delta_;
+};
+
+/// Affine attribute cost `f_a(x) = intercept - slope * x` with slope >= 0.
+class LinearCost final : public AttributeCostFunction {
+ public:
+  LinearCost(double intercept, double slope);
+
+  double Cost(double value) const override;
+  std::string name() const override;
+
+ private:
+  double intercept_;
+  double slope_;
+};
+
+/// Exponential attribute cost `f_a(x) = scale * exp(-rate * x)`, rate >= 0.
+/// Models attributes where pushing toward the best values gets
+/// exponentially more expensive.
+class ExponentialCost final : public AttributeCostFunction {
+ public:
+  ExponentialCost(double scale, double rate);
+
+  double Cost(double value) const override;
+  std::string name() const override;
+
+ private:
+  double scale_;
+  double rate_;
+};
+
+/// Power-law attribute cost `f_a(x) = scale * (x + delta)^-exponent`.
+class PowerCost final : public AttributeCostFunction {
+ public:
+  PowerCost(double scale, double exponent, double delta = 1e-3);
+
+  double Cost(double value) const override;
+  std::string name() const override;
+
+ private:
+  double scale_;
+  double exponent_;
+  double delta_;
+};
+
+/// A product cost function `f_p : D^c -> R` (Definitions 5-7): the weighted
+/// sum of per-dimension attribute costs.
+///
+/// With unit weights this is the paper's summation integration function
+/// `F_sum` (Equation 1); with custom weights it is `F_wgt`.
+class ProductCostFunction {
+ public:
+  /// Unit-weight (summation) integration of per-dimension attribute costs.
+  /// `per_dim` must be non-empty and contain no null entries.
+  static Result<ProductCostFunction> Sum(
+      std::vector<std::shared_ptr<const AttributeCostFunction>> per_dim);
+
+  /// Weighted integration; `weights` must match `per_dim` in size and be
+  /// non-negative.
+  static Result<ProductCostFunction> WeightedSum(
+      std::vector<std::shared_ptr<const AttributeCostFunction>> per_dim,
+      std::vector<double> weights);
+
+  /// Convenience: the paper's experimental setting, `sum_i 1/(x_i + delta)`
+  /// over `dims` dimensions.
+  static ProductCostFunction ReciprocalSum(size_t dims, double delta = 1e-3);
+
+  size_t dims() const { return per_dim_.size(); }
+
+  /// Total product cost `f_p(p)` for a point of `dims()` coordinates.
+  double Cost(const double* p) const;
+  double Cost(const std::vector<double>& p) const;
+
+  /// Weighted cost contribution of dimension `dim` at attribute `value`,
+  /// i.e. `w_dim * f_a^dim(value)`.
+  double AttributeCost(size_t dim, double value) const;
+
+  /// Cost delta `f_p(upgraded) - f_p(original)` (Definition 7's
+  /// `cost_up` once `upgraded` is non-dominated).
+  double UpgradeCost(const double* original, const double* upgraded) const;
+
+  const AttributeCostFunction& attribute_function(size_t dim) const {
+    return *per_dim_[dim];
+  }
+  double weight(size_t dim) const { return weights_[dim]; }
+
+  /// Samples `samples` random dominance-comparable point pairs inside
+  /// `[lo, hi]^dims` and verifies product-level monotonicity
+  /// (`p1` dominates `p2` implies `Cost(p1) >= Cost(p2) - tol`). Returns
+  /// FailedPrecondition naming the violating pair otherwise.
+  Status CheckMonotonicity(double lo, double hi, size_t samples = 256,
+                           uint64_t seed = 42) const;
+
+ private:
+  ProductCostFunction(
+      std::vector<std::shared_ptr<const AttributeCostFunction>> per_dim,
+      std::vector<double> weights);
+
+  std::vector<std::shared_ptr<const AttributeCostFunction>> per_dim_;
+  std::vector<double> weights_;
+};
+
+}  // namespace skyup
+
+#endif  // SKYUP_CORE_COST_FUNCTION_H_

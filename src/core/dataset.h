@@ -1,0 +1,68 @@
+#ifndef SKYUP_CORE_DATASET_H_
+#define SKYUP_CORE_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "core/point.h"
+#include "util/status.h"
+
+namespace skyup {
+
+/// A fixed-dimensionality, append-only point collection with flat
+/// (row-major, contiguous) storage.
+///
+/// `Dataset` is the substrate every algorithm operates on: R-trees index a
+/// dataset by `PointId` (row index), skyline/upgrade routines read raw
+/// coordinate pointers from it. Storage is contiguous so a point view is a
+/// pointer into a single allocation.
+class Dataset {
+ public:
+  /// Creates an empty dataset of the given dimensionality (must be >= 1).
+  explicit Dataset(size_t dims);
+
+  /// Builds a dataset from row vectors; all rows must share one arity >= 1.
+  static Result<Dataset> FromRows(const std::vector<std::vector<double>>& rows);
+
+  Dataset(const Dataset&) = default;
+  Dataset& operator=(const Dataset&) = default;
+  Dataset(Dataset&&) = default;
+  Dataset& operator=(Dataset&&) = default;
+
+  /// Appends a point and returns its id. `coords` size must equal `dims()`.
+  PointId Add(const std::vector<double>& coords);
+
+  /// Appends from a raw pointer of `dims()` values.
+  PointId Add(const double* coords);
+
+  /// Pre-allocates storage for `n` points.
+  void Reserve(size_t n);
+
+  size_t dims() const { return dims_; }
+  size_t size() const { return storage_.size() / dims_; }
+  bool empty() const { return storage_.empty(); }
+
+  /// Raw coordinates of point `id`; valid while the dataset is alive and
+  /// not reallocated by further `Add` calls.
+  const double* data(PointId id) const {
+    return storage_.data() + static_cast<size_t>(id) * dims_;
+  }
+
+  PointView point(PointId id) const { return PointView(data(id), dims_); }
+
+  /// Owning copy of point `id`.
+  Point Materialize(PointId id) const;
+
+  /// Componentwise minimum / maximum corner over all points. Dataset must
+  /// be non-empty.
+  std::vector<double> MinCorner() const;
+  std::vector<double> MaxCorner() const;
+
+ private:
+  size_t dims_;
+  std::vector<double> storage_;
+};
+
+}  // namespace skyup
+
+#endif  // SKYUP_CORE_DATASET_H_

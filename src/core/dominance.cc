@@ -1,0 +1,37 @@
+#include "core/dominance.h"
+
+namespace skyup {
+
+bool Dominates(const double* a, const double* b, size_t dims) {
+  bool strict = false;
+  for (size_t i = 0; i < dims; ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strict = true;
+  }
+  return strict;
+}
+
+bool DominatesOrEqual(const double* a, const double* b, size_t dims) {
+  for (size_t i = 0; i < dims; ++i) {
+    if (a[i] > b[i]) return false;
+  }
+  return true;
+}
+
+DomRelation Compare(const double* a, const double* b, size_t dims) {
+  bool a_better = false;
+  bool b_better = false;
+  for (size_t i = 0; i < dims; ++i) {
+    if (a[i] < b[i]) {
+      a_better = true;
+    } else if (b[i] < a[i]) {
+      b_better = true;
+    }
+    if (a_better && b_better) return DomRelation::kIncomparable;
+  }
+  if (a_better) return DomRelation::kDominates;
+  if (b_better) return DomRelation::kDominatedBy;
+  return DomRelation::kEqual;
+}
+
+}  // namespace skyup

@@ -1,0 +1,45 @@
+#ifndef SKYUP_CORE_DOMINANCE_H_
+#define SKYUP_CORE_DOMINANCE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/point.h"
+
+namespace skyup {
+
+/// Outcome of comparing two points under the dominance relation (smaller is
+/// better on every dimension).
+enum class DomRelation {
+  kDominates,     ///< first point dominates the second
+  kDominatedBy,   ///< first point is dominated by the second
+  kEqual,         ///< identical on every dimension
+  kIncomparable,  ///< neither dominates
+};
+
+/// True iff `a` dominates `b`: a[i] <= b[i] on all dimensions and a[i] < b[i]
+/// on at least one (Definition 3 of the paper, minimize orientation).
+bool Dominates(const double* a, const double* b, size_t dims);
+
+/// True iff a[i] <= b[i] on every dimension (dominates or is equal).
+bool DominatesOrEqual(const double* a, const double* b, size_t dims);
+
+/// Full three-way-plus-incomparable classification in one pass.
+DomRelation Compare(const double* a, const double* b, size_t dims);
+
+inline bool Dominates(const std::vector<double>& a,
+                      const std::vector<double>& b) {
+  return a.size() == b.size() && Dominates(a.data(), b.data(), a.size());
+}
+inline bool DominatesOrEqual(const std::vector<double>& a,
+                             const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         DominatesOrEqual(a.data(), b.data(), a.size());
+}
+inline bool Dominates(PointView a, PointView b) {
+  return a.dims() == b.dims() && Dominates(a.data(), b.data(), a.dims());
+}
+
+}  // namespace skyup
+
+#endif  // SKYUP_CORE_DOMINANCE_H_

@@ -1,0 +1,85 @@
+#ifndef SKYUP_CORE_LOWER_BOUNDS_H_
+#define SKYUP_CORE_LOWER_BOUNDS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cost_function.h"
+
+namespace skyup {
+
+/// The three join-list lower bounds of Section III-B4.
+enum class LowerBoundKind {
+  kNaive,         ///< NLB, Equation 2: min over all join-list entries
+  kConservative,  ///< CLB, Equation 3: min over entries with positive LBC
+  kAggressive,    ///< ALB, Equation 4: min over signature groups of max LBC
+};
+
+const char* LowerBoundKindName(LowerBoundKind kind);
+
+/// Which pairwise `LBC(e_T, e_P)` formula underlies the join-list bounds.
+///
+/// `kPaper` is the formula of Section III-B3 verbatim. Its cases 3/4 charge
+/// the cost of matching e_P.max on *every* disadvantaged dimension — but a
+/// product escapes domination by beating each dominator on just *one*
+/// dimension (which the paper's own Algorithm 1 exploits), so with a convex
+/// cost function the paper's value can exceed the true minimal upgrade cost
+/// and is, strictly, a heuristic priority rather than a lower bound. It can
+/// therefore reorder near-optimal results (see join_test and DESIGN.md).
+///
+/// `kSound` is this library's corrected bound — the cheapest single-
+/// dimension escape from the dominator that a *tight* MBR guarantees to
+/// exist — which provably never exceeds the true cost, making the join's
+/// progressive output exact.
+enum class BoundMode {
+  kPaper,
+  kSound,
+};
+
+const char* BoundModeName(BoundMode mode);
+
+/// Classification of e_T's dimensions against one e_P (Section III-B3),
+/// as bitmasks over dimension indices. The three sets partition the
+/// dimensions.
+struct DimClassification {
+  uint32_t advantaged = 0;     ///< e_T.min < e_P.min
+  uint32_t disadvantaged = 0;  ///< e_P.max < e_T.min
+  uint32_t incomparable = 0;   ///< e_P.min <= e_T.min <= e_P.max
+};
+
+DimClassification ClassifyDims(const double* et_min, const double* ep_min,
+                               const double* ep_max, size_t dims);
+
+/// `LBC(e_T, e_P)`: a lower bound on the cost of upgrading *any* point in
+/// e_T so that no point in e_P dominates it (cases 1-4 of Section III-B3).
+/// For a point entry pass the point's coordinates as both min and max.
+double LbcPair(const double* et_min, const double* ep_min,
+               const double* ep_max, size_t dims,
+               const ProductCostFunction& cost_fn,
+               BoundMode mode = BoundMode::kPaper);
+
+/// Min/max corners of one join-list entry, as raw pointers into the entry's
+/// node MBR or point coordinates.
+struct EntryBounds {
+  const double* min = nullptr;
+  const double* max = nullptr;
+};
+
+/// `LBC(e_T, e_T.JL)`: the join-list lower bound of the chosen kind.
+/// An empty list yields 0 (no competitor can dominate anything in e_T).
+double LbcJoinList(const double* et_min,
+                   const std::vector<EntryBounds>& join_list, size_t dims,
+                   const ProductCostFunction& cost_fn, LowerBoundKind kind,
+                   BoundMode mode = BoundMode::kPaper);
+
+/// As `LbcJoinList`, but also exposes every pairwise LBC (same order as
+/// `join_list`) so the join's expansion heuristics can reuse them.
+double LbcJoinListWithDetails(const double* et_min,
+                              const std::vector<EntryBounds>& join_list,
+                              size_t dims, const ProductCostFunction& cost_fn,
+                              LowerBoundKind kind, BoundMode mode,
+                              std::vector<double>* pair_lbcs);
+
+}  // namespace skyup
+
+#endif  // SKYUP_CORE_LOWER_BOUNDS_H_

@@ -1,0 +1,120 @@
+#include "core/parallel_probing.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "core/probing.h"
+#include "core/single_upgrade.h"
+#include "skyline/dominating_skyline.h"
+#include "util/logging.h"
+
+namespace skyup {
+
+namespace {
+
+struct ShardOutput {
+  std::vector<UpgradeResult> top;
+  ExecStats stats;
+};
+
+// Probes products [begin, end) and keeps the shard's k cheapest.
+void ProbeShard(const RTree& tree, const Dataset& products,
+                const ProductCostFunction& cost_fn, size_t k, double epsilon,
+                size_t begin, size_t end, ShardOutput* out) {
+  const Dataset& competitors = tree.dataset();
+  const size_t dims = products.dims();
+  std::vector<const double*> skyline;
+  for (size_t i = begin; i < end; ++i) {
+    const PointId tid = static_cast<PointId>(i);
+    const double* t = products.data(tid);
+    ++out->stats.products_processed;
+
+    ProbeStats probe;
+    std::vector<PointId> sky_ids = DominatingSkyline(tree, t, &probe);
+    out->stats.heap_pops += probe.heap_pops;
+    out->stats.dominators_fetched += sky_ids.size();
+    out->stats.skyline_points_total += sky_ids.size();
+
+    skyline.clear();
+    for (PointId id : sky_ids) skyline.push_back(competitors.data(id));
+
+    ++out->stats.upgrade_calls;
+    UpgradeOutcome outcome =
+        UpgradeProduct(skyline, t, dims, cost_fn, epsilon);
+
+    out->top.push_back(UpgradeResult{tid, outcome.cost,
+                                     std::move(outcome.upgraded),
+                                     outcome.already_competitive});
+    // Keep the shard buffer bounded at ~2k entries.
+    if (out->top.size() >= 2 * k + 16) {
+      std::nth_element(out->top.begin(),
+                       out->top.begin() + static_cast<ptrdiff_t>(k - 1),
+                       out->top.end(),
+                       [](const UpgradeResult& a, const UpgradeResult& b) {
+                         if (a.cost != b.cost) return a.cost < b.cost;
+                         return a.product_id < b.product_id;
+                       });
+      out->top.resize(k);
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::vector<UpgradeResult>> TopKImprovedProbingParallel(
+    const RTree& competitors_tree, const Dataset& products,
+    const ProductCostFunction& cost_fn, size_t k, double epsilon,
+    size_t threads, ExecStats* stats) {
+  if (k == 0) return Status::InvalidArgument("k must be at least 1");
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (products.empty()) {
+    return Status::InvalidArgument("product set T is empty");
+  }
+  if (products.dims() != competitors_tree.dataset().dims() ||
+      cost_fn.dims() != products.dims()) {
+    return Status::InvalidArgument("dimensionality mismatch");
+  }
+
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, products.size());
+
+  std::vector<ShardOutput> outputs(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  const size_t per_shard = (products.size() + threads - 1) / threads;
+  for (size_t s = 0; s < threads; ++s) {
+    const size_t begin = s * per_shard;
+    const size_t end = std::min(products.size(), begin + per_shard);
+    if (begin >= end) break;
+    workers.emplace_back([&, begin, end, s] {
+      ProbeShard(competitors_tree, products, cost_fn, k, epsilon, begin, end,
+                 &outputs[s]);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  std::vector<UpgradeResult> merged;
+  ExecStats total;
+  for (ShardOutput& out : outputs) {
+    for (UpgradeResult& r : out.top) merged.push_back(std::move(r));
+    total.products_processed += out.stats.products_processed;
+    total.dominators_fetched += out.stats.dominators_fetched;
+    total.skyline_points_total += out.stats.skyline_points_total;
+    total.upgrade_calls += out.stats.upgrade_calls;
+    total.heap_pops += out.stats.heap_pops;
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const UpgradeResult& a, const UpgradeResult& b) {
+              if (a.cost != b.cost) return a.cost < b.cost;
+              return a.product_id < b.product_id;
+            });
+  if (merged.size() > k) merged.resize(k);
+  if (stats != nullptr) *stats = total;
+  return merged;
+}
+
+}  // namespace skyup

@@ -1,0 +1,30 @@
+#ifndef SKYUP_CORE_PARALLEL_PROBING_H_
+#define SKYUP_CORE_PARALLEL_PROBING_H_
+
+// Multi-threaded improved probing (library extension). Probing treats
+// every product independently and the R-tree is immutable during queries,
+// so the candidate set shards perfectly across threads; each worker keeps
+// a private top-k that a final merge reduces. Results are identical to the
+// sequential `TopKImprovedProbing`.
+
+#include <vector>
+
+#include "core/cost_function.h"
+#include "core/dataset.h"
+#include "core/upgrade_result.h"
+#include "rtree/rtree.h"
+#include "util/status.h"
+
+namespace skyup {
+
+/// Parallel improved probing over `threads` workers (0 = one per hardware
+/// thread). Same contract and results as `TopKImprovedProbing`; `stats`
+/// aggregates all workers.
+Result<std::vector<UpgradeResult>> TopKImprovedProbingParallel(
+    const RTree& competitors_tree, const Dataset& products,
+    const ProductCostFunction& cost_fn, size_t k, double epsilon = 1e-6,
+    size_t threads = 0, ExecStats* stats = nullptr);
+
+}  // namespace skyup
+
+#endif  // SKYUP_CORE_PARALLEL_PROBING_H_

@@ -1,0 +1,156 @@
+#include "core/planner.h"
+
+#include <algorithm>
+
+#include "skyline/dominating_skyline.h"
+#include "core/single_upgrade.h"
+#include "util/logging.h"
+
+namespace skyup {
+
+const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kBruteForce:
+      return "brute-force";
+    case Algorithm::kBasicProbing:
+      return "basic-probing";
+    case Algorithm::kImprovedProbing:
+      return "improved-probing";
+    case Algorithm::kJoin:
+      return "join";
+  }
+  return "?";
+}
+
+UpgradePlanner::UpgradePlanner(std::unique_ptr<Dataset> competitors,
+                               std::unique_ptr<Dataset> products,
+                               std::unique_ptr<ProductCostFunction> cost_fn,
+                               PlannerOptions options)
+    : competitors_(std::move(competitors)),
+      products_(std::move(products)),
+      cost_fn_(std::move(cost_fn)),
+      options_(options) {}
+
+Result<UpgradePlanner> UpgradePlanner::Create(Dataset competitors,
+                                              Dataset products,
+                                              ProductCostFunction cost_fn,
+                                              PlannerOptions options) {
+  if (competitors.empty()) {
+    return Status::InvalidArgument("competitor set P is empty");
+  }
+  if (products.empty()) {
+    return Status::InvalidArgument("product set T is empty");
+  }
+  if (competitors.dims() != products.dims()) {
+    return Status::InvalidArgument(
+        "P has " + std::to_string(competitors.dims()) + " dimensions, T has " +
+        std::to_string(products.dims()));
+  }
+  if (cost_fn.dims() != competitors.dims()) {
+    return Status::InvalidArgument(
+        "cost function covers " + std::to_string(cost_fn.dims()) +
+        " dimensions, data has " + std::to_string(competitors.dims()));
+  }
+  if (options.epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (options.rtree_fanout < 2) {
+    return Status::InvalidArgument("R-tree fanout must be at least 2");
+  }
+
+  if (options.validate_monotonicity) {
+    std::vector<double> lo = competitors.MinCorner();
+    std::vector<double> hi = products.MaxCorner();
+    const std::vector<double> lo2 = products.MinCorner();
+    const std::vector<double> hi2 = competitors.MaxCorner();
+    for (size_t i = 0; i < lo.size(); ++i) {
+      // Upgrades only ever go epsilon below the best competitor value, so
+      // that margin is all the check needs to cover (a wider margin would
+      // probe cost functions like 1/(x+delta) beyond their valid domain).
+      lo[i] = std::min(lo[i], lo2[i]) - 10.0 * options.epsilon;
+      hi[i] = std::max(hi[i], hi2[i]);
+    }
+    double span_lo = lo[0], span_hi = hi[0];
+    for (size_t i = 1; i < lo.size(); ++i) {
+      span_lo = std::min(span_lo, lo[i]);
+      span_hi = std::max(span_hi, hi[i]);
+    }
+    SKYUP_RETURN_IF_ERROR(cost_fn.CheckMonotonicity(span_lo, span_hi));
+  }
+
+  UpgradePlanner planner(
+      std::make_unique<Dataset>(std::move(competitors)),
+      std::make_unique<Dataset>(std::move(products)),
+      std::make_unique<ProductCostFunction>(std::move(cost_fn)), options);
+
+  RTree::Options tree_options;
+  tree_options.max_entries = options.rtree_fanout;
+  Result<RTree> rp = RTree::BulkLoad(*planner.competitors_, tree_options);
+  if (!rp.ok()) return rp.status();
+  Result<RTree> rt = RTree::BulkLoad(*planner.products_, tree_options);
+  if (!rt.ok()) return rt.status();
+  planner.rp_ = std::make_unique<RTree>(std::move(rp).value());
+  planner.rt_ = std::make_unique<RTree>(std::move(rt).value());
+  return planner;
+}
+
+Result<std::vector<UpgradeResult>> UpgradePlanner::TopK(
+    size_t k, Algorithm algorithm, ExecStats* stats) const {
+  switch (algorithm) {
+    case Algorithm::kBruteForce:
+      return TopKBruteForce(*competitors_, *products_, *cost_fn_, k,
+                            options_.epsilon, stats);
+    case Algorithm::kBasicProbing:
+      return TopKBasicProbing(*rp_, *products_, *cost_fn_, k,
+                              options_.epsilon, stats);
+    case Algorithm::kImprovedProbing:
+      return TopKImprovedProbing(*rp_, *products_, *cost_fn_, k,
+                                 options_.epsilon, stats);
+    case Algorithm::kJoin: {
+      JoinOptions join_options;
+      join_options.lower_bound = options_.lower_bound;
+      join_options.bound_mode = options_.bound_mode;
+      join_options.epsilon = options_.epsilon;
+      join_options.mutual_dominance_pruning =
+          options_.mutual_dominance_pruning;
+      join_options.refine_zero_bound_leaves =
+          options_.refine_zero_bound_leaves;
+      return TopKJoin(*rp_, *rt_, *cost_fn_, k, join_options, stats);
+    }
+  }
+  return Status::InvalidArgument("unknown algorithm");
+}
+
+Result<JoinCursor> UpgradePlanner::OpenJoinCursor() const {
+  JoinOptions join_options;
+  join_options.lower_bound = options_.lower_bound;
+  join_options.bound_mode = options_.bound_mode;
+  join_options.epsilon = options_.epsilon;
+  join_options.mutual_dominance_pruning = options_.mutual_dominance_pruning;
+  join_options.refine_zero_bound_leaves = options_.refine_zero_bound_leaves;
+  return JoinCursor::Create(rp_.get(), rt_.get(), cost_fn_.get(),
+                            join_options);
+}
+
+Result<std::vector<UpgradeResult>> UpgradePlanner::TopKWithinSet(
+    const Dataset& catalog, const ProductCostFunction& cost_fn, size_t k,
+    PlannerOptions options) {
+  if (catalog.empty()) {
+    return Status::InvalidArgument("catalog is empty");
+  }
+  if (cost_fn.dims() != catalog.dims()) {
+    return Status::InvalidArgument(
+        "cost function dimensionality does not match the catalog");
+  }
+  RTree::Options tree_options;
+  tree_options.max_entries = options.rtree_fanout;
+  Result<RTree> tree = RTree::BulkLoad(catalog, tree_options);
+  if (!tree.ok()) return tree.status();
+  // A point never strictly dominates itself (or an identical twin), so
+  // improved probing against the catalog's own tree yields exactly the
+  // "all other members" semantics.
+  return TopKImprovedProbing(tree.value(), catalog, cost_fn, k,
+                             options.epsilon);
+}
+
+}  // namespace skyup

@@ -1,0 +1,110 @@
+#ifndef SKYUP_CORE_PLANNER_H_
+#define SKYUP_CORE_PLANNER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/cost_function.h"
+#include "core/dataset.h"
+#include "core/join.h"
+#include "core/lower_bounds.h"
+#include "core/probing.h"
+#include "core/upgrade_result.h"
+#include "rtree/rtree.h"
+#include "util/status.h"
+
+namespace skyup {
+
+/// Algorithm selector for `UpgradePlanner::TopK`.
+enum class Algorithm {
+  kBruteForce,       ///< index-free oracle (linear scans)
+  kBasicProbing,     ///< Algorithm 2
+  kImprovedProbing,  ///< Algorithm 2 with getDominatingSky (Algorithm 3)
+  kJoin,             ///< Algorithm 4
+};
+
+const char* AlgorithmName(Algorithm algorithm);
+
+/// Facade configuration.
+struct PlannerOptions {
+  /// Upgrade step ε of Algorithm 1.
+  double epsilon = 1e-6;
+  /// Join-list lower bound used by the join algorithm.
+  LowerBoundKind lower_bound = LowerBoundKind::kConservative;
+  /// Pairwise bound formula for the join; see `BoundMode`. The sound
+  /// default keeps the join exact.
+  BoundMode bound_mode = BoundMode::kSound;
+  /// R-tree fanout used when indexing P and T.
+  size_t rtree_fanout = 64;
+  /// If true, `Create` rejects cost functions that fail a randomized
+  /// monotonicity check over the data's bounding box.
+  bool validate_monotonicity = false;
+  /// Join ablation switches; see `JoinOptions`.
+  bool mutual_dominance_pruning = true;
+  bool refine_zero_bound_leaves = true;
+};
+
+/// The library's front door: owns copies of the competitor set `P` and the
+/// candidate set `T`, indexes both with R-trees, and answers top-k product
+/// upgrading queries with any of the paper's algorithms.
+///
+/// Typical use:
+///
+///   auto planner = UpgradePlanner::Create(P, T, cost_fn);
+///   auto top3 = planner->TopK(3, Algorithm::kJoin);
+///
+/// For streaming consumption, `OpenJoinCursor()` yields results one at a
+/// time in nondecreasing cost order (the paper's progressiveness).
+class UpgradePlanner {
+ public:
+  /// Validates inputs, copies the datasets, and bulk-loads both R-trees.
+  static Result<UpgradePlanner> Create(Dataset competitors, Dataset products,
+                                       ProductCostFunction cost_fn,
+                                       PlannerOptions options = {});
+
+  UpgradePlanner(UpgradePlanner&&) = default;
+  UpgradePlanner& operator=(UpgradePlanner&&) = default;
+  UpgradePlanner(const UpgradePlanner&) = delete;
+  UpgradePlanner& operator=(const UpgradePlanner&) = delete;
+
+  /// The k cheapest upgrades, ascending by (cost, product id).
+  Result<std::vector<UpgradeResult>> TopK(size_t k, Algorithm algorithm,
+                                          ExecStats* stats = nullptr) const;
+
+  /// Progressive join execution; the planner must outlive the cursor.
+  Result<JoinCursor> OpenJoinCursor() const;
+
+  /// The single-set variant (a "research direction" in the paper): ranks
+  /// the products of `catalog` by the cost of upgrading each against all
+  /// *other* catalog members. Already-undominated members come first at
+  /// cost 0.
+  static Result<std::vector<UpgradeResult>> TopKWithinSet(
+      const Dataset& catalog, const ProductCostFunction& cost_fn, size_t k,
+      PlannerOptions options = {});
+
+  const Dataset& competitors() const { return *competitors_; }
+  const Dataset& products() const { return *products_; }
+  const RTree& competitors_tree() const { return *rp_; }
+  const RTree& products_tree() const { return *rt_; }
+  const ProductCostFunction& cost_function() const { return *cost_fn_; }
+  const PlannerOptions& options() const { return options_; }
+
+ private:
+  UpgradePlanner(std::unique_ptr<Dataset> competitors,
+                 std::unique_ptr<Dataset> products,
+                 std::unique_ptr<ProductCostFunction> cost_fn,
+                 PlannerOptions options);
+
+  // unique_ptr members keep dataset addresses stable across planner moves
+  // (the R-trees hold raw pointers into them).
+  std::unique_ptr<Dataset> competitors_;
+  std::unique_ptr<Dataset> products_;
+  std::unique_ptr<ProductCostFunction> cost_fn_;
+  PlannerOptions options_;
+  std::unique_ptr<RTree> rp_;
+  std::unique_ptr<RTree> rt_;
+};
+
+}  // namespace skyup
+
+#endif  // SKYUP_CORE_PLANNER_H_

@@ -1,0 +1,23 @@
+#include "core/point.h"
+
+#include <sstream>
+
+namespace skyup {
+
+std::string PointToString(const double* p, size_t dims) {
+  std::ostringstream out;
+  out.precision(6);
+  out << '(';
+  for (size_t i = 0; i < dims; ++i) {
+    if (i > 0) out << ", ";
+    out << p[i];
+  }
+  out << ')';
+  return out.str();
+}
+
+std::string PointToString(const std::vector<double>& p) {
+  return PointToString(p.data(), p.size());
+}
+
+}  // namespace skyup

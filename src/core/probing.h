@@ -1,0 +1,45 @@
+#ifndef SKYUP_CORE_PROBING_H_
+#define SKYUP_CORE_PROBING_H_
+
+#include <vector>
+
+#include "core/cost_function.h"
+#include "core/dataset.h"
+#include "core/upgrade_result.h"
+#include "rtree/rtree.h"
+#include "util/status.h"
+
+namespace skyup {
+
+/// Basic probing (Algorithm 2, generalized to top-k): for every candidate
+/// in `products`, fetch *all* of its dominators from `competitors_tree`
+/// with an ADR range query, reduce them to their skyline, and apply
+/// Algorithm 1. Returns the k cheapest upgrades sorted by (cost, id).
+///
+/// `competitors_tree` must index a dataset of the same dimensionality as
+/// `products`; `k` must be >= 1 (fewer than k results are returned only if
+/// |products| < k).
+Result<std::vector<UpgradeResult>> TopKBasicProbing(
+    const RTree& competitors_tree, const Dataset& products,
+    const ProductCostFunction& cost_fn, size_t k, double epsilon = 1e-6,
+    ExecStats* stats = nullptr);
+
+/// Improved probing: Algorithm 2 with lines 3-4 replaced by
+/// `getDominatingSky` (Algorithm 3), which computes the dominator skyline
+/// directly on the R-tree instead of materializing all dominators.
+Result<std::vector<UpgradeResult>> TopKImprovedProbing(
+    const RTree& competitors_tree, const Dataset& products,
+    const ProductCostFunction& cost_fn, size_t k, double epsilon = 1e-6,
+    ExecStats* stats = nullptr);
+
+/// Index-free oracle: scans `competitors` linearly per candidate. Used as
+/// the ground truth in tests and as the "no substrate" baseline in
+/// ablations; O(|T| * |P| * d).
+Result<std::vector<UpgradeResult>> TopKBruteForce(
+    const Dataset& competitors, const Dataset& products,
+    const ProductCostFunction& cost_fn, size_t k, double epsilon = 1e-6,
+    ExecStats* stats = nullptr);
+
+}  // namespace skyup
+
+#endif  // SKYUP_CORE_PROBING_H_

@@ -1,0 +1,95 @@
+#include "core/report.h"
+
+#include <cstdio>
+
+namespace skyup {
+
+Result<ReportFormat> ParseReportFormat(const std::string& name) {
+  if (name == "text") return ReportFormat::kText;
+  if (name == "csv") return ReportFormat::kCsv;
+  if (name == "json") return ReportFormat::kJson;
+  return Status::InvalidArgument("unknown report format '" + name +
+                                 "' (expected text, csv, or json)");
+}
+
+const char* ReportFormatName(ReportFormat format) {
+  switch (format) {
+    case ReportFormat::kText:
+      return "text";
+    case ReportFormat::kCsv:
+      return "csv";
+    case ReportFormat::kJson:
+      return "json";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string Num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+void WriteText(const std::vector<UpgradeResult>& results, std::ostream& out) {
+  out << "rank  product  cost          status       upgraded\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const UpgradeResult& r = results[i];
+    char head[96];
+    std::snprintf(head, sizeof(head), "%-5zu %-8lld %-13.6g %-12s ", i + 1,
+                  static_cast<long long>(r.product_id), r.cost,
+                  r.already_competitive ? "competitive" : "dominated");
+    out << head << "(";
+    for (size_t d = 0; d < r.upgraded.size(); ++d) {
+      if (d > 0) out << ", ";
+      out << Num(r.upgraded[d]);
+    }
+    out << ")\n";
+  }
+}
+
+void WriteCsv(const std::vector<UpgradeResult>& results, std::ostream& out) {
+  for (size_t i = 0; i < results.size(); ++i) {
+    const UpgradeResult& r = results[i];
+    out << i + 1 << ',' << r.product_id << ',' << Num(r.cost) << ','
+        << (r.already_competitive ? 1 : 0);
+    for (double v : r.upgraded) out << ',' << Num(v);
+    out << '\n';
+  }
+}
+
+void WriteJson(const std::vector<UpgradeResult>& results, std::ostream& out) {
+  out << "[\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const UpgradeResult& r = results[i];
+    out << "  {\"rank\": " << i + 1 << ", \"product\": " << r.product_id
+        << ", \"cost\": " << Num(r.cost) << ", \"competitive\": "
+        << (r.already_competitive ? "true" : "false") << ", \"upgraded\": [";
+    for (size_t d = 0; d < r.upgraded.size(); ++d) {
+      if (d > 0) out << ", ";
+      out << Num(r.upgraded[d]);
+    }
+    out << "]}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+}
+
+}  // namespace
+
+void WriteReport(const std::vector<UpgradeResult>& results,
+                 ReportFormat format, std::ostream& out) {
+  switch (format) {
+    case ReportFormat::kText:
+      WriteText(results, out);
+      return;
+    case ReportFormat::kCsv:
+      WriteCsv(results, out);
+      return;
+    case ReportFormat::kJson:
+      WriteJson(results, out);
+      return;
+  }
+}
+
+}  // namespace skyup

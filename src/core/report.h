@@ -1,0 +1,35 @@
+#ifndef SKYUP_CORE_REPORT_H_
+#define SKYUP_CORE_REPORT_H_
+
+// Rendering of top-k upgrade rankings for the CLI and downstream tooling:
+// human-readable text, headerless CSV, or a JSON array.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/upgrade_result.h"
+#include "util/status.h"
+
+namespace skyup {
+
+enum class ReportFormat {
+  kText,  ///< aligned human-readable table
+  kCsv,   ///< rank,product_row,cost,competitive,upgraded...
+  kJson,  ///< array of objects with the same fields
+};
+
+/// Parses "text" / "csv" / "json".
+Result<ReportFormat> ParseReportFormat(const std::string& name);
+
+const char* ReportFormatName(ReportFormat format);
+
+/// Writes `results` (assumed already ranked) to `out` in the chosen
+/// format. Coordinates print with up to 12 significant digits so CSV and
+/// JSON round-trip through doubles losslessly enough for tooling.
+void WriteReport(const std::vector<UpgradeResult>& results,
+                 ReportFormat format, std::ostream& out);
+
+}  // namespace skyup
+
+#endif  // SKYUP_CORE_REPORT_H_

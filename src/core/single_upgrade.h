@@ -1,0 +1,50 @@
+#ifndef SKYUP_CORE_SINGLE_UPGRADE_H_
+#define SKYUP_CORE_SINGLE_UPGRADE_H_
+
+#include <vector>
+
+#include "core/cost_function.h"
+#include "core/point.h"
+
+namespace skyup {
+
+/// Result of upgrading one product (Algorithm 1).
+struct UpgradeOutcome {
+  /// `f_p(upgraded) - f_p(original)` — Definition 7's upgrading cost.
+  double cost = 0.0;
+  /// The upgraded attribute vector `t'`; equals the original when the
+  /// product is already competitive.
+  std::vector<double> upgraded;
+  /// True iff the dominator skyline was empty (nothing to beat).
+  bool already_competitive = false;
+};
+
+/// Algorithm 1 of the paper: the cheapest upgrade of product `p` with
+/// respect to the skyline `skyline` of `p`'s dominators.
+///
+/// Preconditions (checked in debug builds):
+///  * every member of `skyline` strictly dominates `p`;
+///  * members are mutually non-dominating and pairwise distinct.
+///
+/// Two upgrade families are explored and the cheapest candidate is
+/// returned:
+///  1. single-dimension: beat *all* skyline points on one dimension `k`
+///     by taking the minimum `d_k` among them minus `epsilon`;
+///  2. multi-dimension: for every dimension `k` and every pair of points
+///     `s_i, s_j` consecutive in the `k`-ordering, beat `s_j` on `k` and
+///     `s_i` on all other dimensions (each minus `epsilon`).
+///
+/// The returned vector is guaranteed not dominated by any skyline member
+/// (Lemma 1), hence by no point of the competitor set the skyline was
+/// derived from. An empty `skyline` yields cost 0 and `p` unchanged.
+///
+/// `epsilon` must be positive; it is the paper's ε, the minimal attribute
+/// improvement that makes "strictly better" hold.
+UpgradeOutcome UpgradeProduct(std::vector<const double*> skyline,
+                              const double* p, size_t dims,
+                              const ProductCostFunction& cost_fn,
+                              double epsilon);
+
+}  // namespace skyup
+
+#endif  // SKYUP_CORE_SINGLE_UPGRADE_H_

@@ -1,0 +1,40 @@
+#ifndef SKYUP_CORE_UPGRADE_RESULT_H_
+#define SKYUP_CORE_UPGRADE_RESULT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/point.h"
+
+namespace skyup {
+
+/// One ranked answer of the top-k product upgrading problem.
+struct UpgradeResult {
+  /// Row of the candidate product in the `T` dataset.
+  PointId product_id = kInvalidPointId;
+  /// Minimal upgrading cost found by Algorithm 1 for this product.
+  double cost = 0.0;
+  /// The upgraded attribute vector `t'` realizing that cost.
+  std::vector<double> upgraded;
+  /// True iff no competitor dominates the product (cost 0, unchanged).
+  bool already_competitive = false;
+};
+
+/// Work counters shared by all top-k algorithms; used by tests, the
+/// ablation benches, and for explaining performance differences.
+struct ExecStats {
+  size_t products_processed = 0;   ///< candidates whose cost was computed
+  size_t dominators_fetched = 0;   ///< points retrieved as dominators
+  size_t skyline_points_total = 0; ///< sum of dominator-skyline sizes
+  size_t upgrade_calls = 0;        ///< invocations of Algorithm 1
+  size_t heap_pops = 0;            ///< join/BBS priority-queue pops
+  size_t t_expansions = 0;         ///< join: T-side node expansions
+  size_t p_refinements = 0;        ///< join: P-side join-list refinements
+  size_t lbc_evaluations = 0;      ///< pairwise LBC computations
+  size_t jl_entries_pruned = 0;    ///< join-list entries dropped by mutual
+                                   ///< dominance (Alg. 4 lines 25-30)
+};
+
+}  // namespace skyup
+
+#endif  // SKYUP_CORE_UPGRADE_RESULT_H_

@@ -1,0 +1,62 @@
+#ifndef SKYUP_DATA_COST_FITTING_H_
+#define SKYUP_DATA_COST_FITTING_H_
+
+// Calibrating cost functions from data (library extension). The paper
+// assumes a monotonic attribute cost function is *given*; in practice a
+// manufacturer has observations — (attribute value, unit cost) pairs from
+// past production runs — that are noisy and need not be monotone sample
+// by sample. `FitAttributeCost` turns them into the best monotone
+// (non-increasing) fit under squared error via isotonic regression (pool
+// adjacent violators), yielding a cost function that satisfies the
+// paper's monotonicity assumption by construction.
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/cost_function.h"
+#include "util/status.h"
+
+namespace skyup {
+
+/// A sample: attribute value -> observed manufacturing cost.
+struct CostSample {
+  double value = 0.0;
+  double cost = 0.0;
+};
+
+/// Piecewise-linear monotone (non-increasing) attribute cost produced by
+/// `FitAttributeCost`. Evaluation interpolates between fitted knots and
+/// clamps beyond them (so upgraded values slightly past the best observed
+/// value stay finite).
+class FittedCost final : public AttributeCostFunction {
+ public:
+  double Cost(double value) const override;
+  std::string name() const override;
+
+  /// The fitted knots, ascending in value, non-increasing in cost.
+  const std::vector<CostSample>& knots() const { return knots_; }
+
+  /// Root-mean-squared residual of the fit over the input samples.
+  double rmse() const { return rmse_; }
+
+ private:
+  friend Result<std::shared_ptr<const FittedCost>> FitAttributeCost(
+      std::vector<CostSample> samples);
+
+  FittedCost(std::vector<CostSample> knots, double rmse)
+      : knots_(std::move(knots)), rmse_(rmse) {}
+
+  std::vector<CostSample> knots_;
+  double rmse_;
+};
+
+/// Fits the least-squares non-increasing step/linear cost through
+/// `samples` (at least 2, finite values). Ties in `value` are pooled by
+/// averaging before regression.
+Result<std::shared_ptr<const FittedCost>> FitAttributeCost(
+    std::vector<CostSample> samples);
+
+}  // namespace skyup
+
+#endif  // SKYUP_DATA_COST_FITTING_H_

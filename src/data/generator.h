@@ -1,0 +1,48 @@
+#ifndef SKYUP_DATA_GENERATOR_H_
+#define SKYUP_DATA_GENERATOR_H_
+
+#include <cstdint>
+
+#include "core/dataset.h"
+#include "util/status.h"
+
+namespace skyup {
+
+/// Synthetic distributions used by the paper's empirical study [3].
+enum class Distribution {
+  kIndependent,     ///< uniform per dimension
+  kAntiCorrelated,  ///< points near the hyperplane sum(x) = d/2: large
+                    ///< skylines, the paper's hard case
+  kCorrelated,      ///< points near the main diagonal: tiny skylines
+};
+
+const char* DistributionName(Distribution distribution);
+
+/// Workload description for `GenerateDataset`.
+struct GeneratorConfig {
+  size_t count = 0;
+  size_t dims = 0;
+  Distribution distribution = Distribution::kIndependent;
+  /// Coordinates fall in [lo, hi). The paper draws competitors P from
+  /// [0,1)^d and candidates T from (1,2]^d (every candidate dominated).
+  double lo = 0.0;
+  double hi = 1.0;
+  uint64_t seed = 1;
+};
+
+/// Generates `config.count` points of `config.dims` dimensions. The same
+/// config always produces the same dataset (own PRNG, fixed algorithms).
+Result<Dataset> GenerateDataset(const GeneratorConfig& config);
+
+/// Paper defaults: competitor set P in [0,1)^dims.
+Result<Dataset> GenerateCompetitors(size_t count, size_t dims,
+                                    Distribution distribution, uint64_t seed);
+
+/// Paper defaults: candidate set T in (1,2]^dims — uniformly worse than all
+/// competitors, hence uncompetitive.
+Result<Dataset> GenerateProducts(size_t count, size_t dims,
+                                 Distribution distribution, uint64_t seed);
+
+}  // namespace skyup
+
+#endif  // SKYUP_DATA_GENERATOR_H_

@@ -1,0 +1,61 @@
+#ifndef SKYUP_DATA_NORMALIZE_H_
+#define SKYUP_DATA_NORMALIZE_H_
+
+#include <vector>
+
+#include "core/dataset.h"
+#include "util/status.h"
+
+namespace skyup {
+
+/// Preference direction of one raw attribute.
+enum class Direction {
+  kMinimize,  ///< smaller raw values are better (weight, price, ...)
+  kMaximize,  ///< larger raw values are better (standby time, pixels, ...)
+};
+
+/// Per-dimension affine mapping learned by `Normalizer::Fit`.
+struct DimScale {
+  double lo = 0.0;
+  double hi = 1.0;
+  Direction direction = Direction::kMinimize;
+};
+
+/// Maps raw product attributes into the canonical unit space the library's
+/// algorithms expect: every dimension in [0, 1] and minimize-preferred.
+///
+/// Maximize-preferred dimensions are flipped (`x -> (hi - x) / (hi - lo)`),
+/// implementing footnote 1 of the paper. `Denormalize` inverts the mapping
+/// so upgraded products can be reported in original units.
+class Normalizer {
+ public:
+  /// Learns min/max per dimension from `data` (usually P and T combined).
+  /// `directions` may be empty (all minimize) or one entry per dimension.
+  static Result<Normalizer> Fit(const Dataset& data,
+                                std::vector<Direction> directions = {});
+
+  /// Learns the scale from several datasets over the same space.
+  static Result<Normalizer> FitAll(const std::vector<const Dataset*>& parts,
+                                   std::vector<Direction> directions = {});
+
+  size_t dims() const { return scales_.size(); }
+  const DimScale& scale(size_t dim) const { return scales_[dim]; }
+
+  /// Maps every point into [0,1]^d, minimize orientation.
+  Dataset Normalize(const Dataset& data) const;
+
+  /// Inverse mapping of one (possibly upgraded) normalized vector. Values
+  /// below 0 (an upgrade can exceed the best observed value by epsilon)
+  /// map slightly beyond the observed extreme — intentionally.
+  std::vector<double> Denormalize(const std::vector<double>& unit) const;
+
+ private:
+  explicit Normalizer(std::vector<DimScale> scales)
+      : scales_(std::move(scales)) {}
+
+  std::vector<DimScale> scales_;
+};
+
+}  // namespace skyup
+
+#endif  // SKYUP_DATA_NORMALIZE_H_

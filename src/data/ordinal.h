@@ -1,0 +1,79 @@
+#ifndef SKYUP_DATA_ORDINAL_H_
+#define SKYUP_DATA_ORDINAL_H_
+
+// Ordinal (categorical) attribute support — the paper's first research
+// direction ("extend the techniques to data with a mix of numerical and
+// non-numerical domains"). An ordered categorical domain maps to integer
+// ranks (0 = most preferred) so it participates in dominance and upgrading
+// like any numeric minimize-dimension; `TabulatedCost` prices each level
+// so Algorithm 1 can weigh "move up one category" against numeric
+// improvements.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cost_function.h"
+#include "util/status.h"
+
+namespace skyup {
+
+/// An ordered categorical domain, e.g. hotel ratings
+/// {"5-star", "4-star", ..., "1-star"} listed best first.
+///
+/// `Rank` embeds a level into the canonical minimize space (best level ->
+/// 0.0); `Unrank` maps a (possibly fractional, possibly upgraded) rank back
+/// to the best achievable level: an upgrade target of `2 - epsilon` means
+/// "strictly better than level 2", i.e. level 1.
+class OrdinalScale {
+ public:
+  /// `levels` ordered from most to least preferred; at least one, all
+  /// distinct and non-empty.
+  static Result<OrdinalScale> Create(std::vector<std::string> levels);
+
+  size_t size() const { return levels_.size(); }
+
+  /// The embedding rank of `level` (0 = best), or NotFound.
+  Result<double> Rank(const std::string& level) const;
+
+  /// The level at integer rank `rank` (must be < size()).
+  const std::string& Level(size_t rank) const;
+
+  /// Best achievable level for a continuous (upgraded) rank value:
+  /// floor(value), clamped into [0, size()-1].
+  const std::string& Unrank(double value) const;
+
+ private:
+  explicit OrdinalScale(std::vector<std::string> levels)
+      : levels_(std::move(levels)) {}
+
+  std::vector<std::string> levels_;
+};
+
+/// An attribute cost function defined by a table of per-rank costs with
+/// linear interpolation in between — the natural cost model for an ordinal
+/// dimension ("a 5-star build-out costs X, 4-star costs Y, ...").
+///
+/// Costs must be non-increasing in rank (better levels cost at least as
+/// much), preserving the paper's monotonicity assumption. Values beyond
+/// the table are clamped to the boundary costs, so upgraded ranks like
+/// `-epsilon` stay finite.
+class TabulatedCost final : public AttributeCostFunction {
+ public:
+  /// `costs_by_rank[r]` prices integer rank r; needs >= 2 entries.
+  static Result<std::shared_ptr<const TabulatedCost>> Create(
+      std::vector<double> costs_by_rank);
+
+  double Cost(double value) const override;
+  std::string name() const override;
+
+ private:
+  explicit TabulatedCost(std::vector<double> costs)
+      : costs_(std::move(costs)) {}
+
+  std::vector<double> costs_;
+};
+
+}  // namespace skyup
+
+#endif  // SKYUP_DATA_ORDINAL_H_

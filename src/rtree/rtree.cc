@@ -1,0 +1,565 @@
+#include "rtree/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace skyup {
+
+namespace {
+
+// Guttman's quadratic PickSeeds/split over abstract entries. `Entry` is
+// moved between vectors; `mbr_of` maps an entry to its bounding box.
+template <typename Entry, typename MbrOf>
+void QuadraticSplit(std::vector<Entry>* entries, MbrOf mbr_of,
+                    size_t min_entries, std::vector<Entry>* group1,
+                    std::vector<Entry>* group2) {
+  const size_t n = entries->size();
+  SKYUP_CHECK(n >= 2);
+
+  // PickSeeds: the pair wasting the most area if grouped together.
+  size_t seed1 = 0, seed2 = 1;
+  double worst_waste = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < n; ++i) {
+    const Mbr bi = mbr_of((*entries)[i]);
+    for (size_t j = i + 1; j < n; ++j) {
+      const Mbr bj = mbr_of((*entries)[j]);
+      Mbr merged = bi;
+      merged.Expand(bj);
+      const double waste = merged.Area() - bi.Area() - bj.Area();
+      if (waste > worst_waste) {
+        worst_waste = waste;
+        seed1 = i;
+        seed2 = j;
+      }
+    }
+  }
+
+  Mbr box1 = mbr_of((*entries)[seed1]);
+  Mbr box2 = mbr_of((*entries)[seed2]);
+  group1->push_back(std::move((*entries)[seed1]));
+  group2->push_back(std::move((*entries)[seed2]));
+
+  std::vector<Entry> rest;
+  rest.reserve(n - 2);
+  for (size_t i = 0; i < n; ++i) {
+    if (i != seed1 && i != seed2) rest.push_back(std::move((*entries)[i]));
+  }
+  entries->clear();
+
+  // PickNext: repeatedly assign the entry with the strongest preference.
+  while (!rest.empty()) {
+    // Min-fill guarantee: if one group must take everything left, do so.
+    if (group1->size() + rest.size() == min_entries) {
+      for (auto& e : rest) {
+        box1.Expand(mbr_of(e));
+        group1->push_back(std::move(e));
+      }
+      rest.clear();
+      break;
+    }
+    if (group2->size() + rest.size() == min_entries) {
+      for (auto& e : rest) {
+        box2.Expand(mbr_of(e));
+        group2->push_back(std::move(e));
+      }
+      rest.clear();
+      break;
+    }
+
+    size_t best = 0;
+    double best_pref = -1.0;
+    double best_d1 = 0.0, best_d2 = 0.0;
+    for (size_t i = 0; i < rest.size(); ++i) {
+      const Mbr b = mbr_of(rest[i]);
+      const double d1 = box1.Enlargement(b);
+      const double d2 = box2.Enlargement(b);
+      const double pref = std::fabs(d1 - d2);
+      if (pref > best_pref) {
+        best_pref = pref;
+        best = i;
+        best_d1 = d1;
+        best_d2 = d2;
+      }
+    }
+
+    Entry picked = std::move(rest[best]);
+    rest.erase(rest.begin() + static_cast<ptrdiff_t>(best));
+    const Mbr b = mbr_of(picked);
+    bool to_first;
+    if (best_d1 != best_d2) {
+      to_first = best_d1 < best_d2;
+    } else if (box1.Area() != box2.Area()) {
+      to_first = box1.Area() < box2.Area();
+    } else {
+      to_first = group1->size() <= group2->size();
+    }
+    if (to_first) {
+      box1.Expand(b);
+      group1->push_back(std::move(picked));
+    } else {
+      box2.Expand(b);
+      group2->push_back(std::move(picked));
+    }
+  }
+}
+
+// R*-tree split (Beckmann et al.): ChooseSplitAxis minimizes the sum of
+// margins over all legal distributions per axis; ChooseSplitIndex then
+// minimizes overlap (ties: total area) along the chosen axis. Entries are
+// considered in two sort orders per axis (by lower and by upper bound);
+// this implementation follows the original except that forced reinsertion
+// is omitted — the library bulk-loads its big trees with STR, so dynamic
+// splits are a secondary path where the split quality alone suffices.
+template <typename Entry, typename MbrOf>
+void RStarSplit(std::vector<Entry>* entries, MbrOf mbr_of, size_t dims,
+                size_t min_entries, std::vector<Entry>* group1,
+                std::vector<Entry>* group2) {
+  const size_t n = entries->size();
+  SKYUP_CHECK(n >= 2 && min_entries >= 1 && 2 * min_entries <= n);
+  const size_t distributions = n - 2 * min_entries + 1;
+
+  // Prefix/suffix boxes for the current order; reused per (axis, order).
+  std::vector<Mbr> prefix(n, Mbr(dims));
+  std::vector<Mbr> suffix(n, Mbr(dims));
+  auto evaluate_order = [&](double* margin_sum, double* best_overlap,
+                            double* best_area, size_t* best_split) {
+    prefix[0] = mbr_of((*entries)[0]);
+    for (size_t i = 1; i < n; ++i) {
+      prefix[i] = prefix[i - 1];
+      prefix[i].Expand(mbr_of((*entries)[i]));
+    }
+    suffix[n - 1] = mbr_of((*entries)[n - 1]);
+    for (size_t i = n - 1; i-- > 0;) {
+      suffix[i] = suffix[i + 1];
+      suffix[i].Expand(mbr_of((*entries)[i]));
+    }
+    *margin_sum = 0.0;
+    *best_overlap = std::numeric_limits<double>::infinity();
+    *best_area = std::numeric_limits<double>::infinity();
+    *best_split = min_entries;
+    for (size_t d = 0; d < distributions; ++d) {
+      const size_t split = min_entries + d;  // first group = [0, split)
+      const Mbr& a = prefix[split - 1];
+      const Mbr& b = suffix[split];
+      *margin_sum += a.Margin() + b.Margin();
+      const double overlap = a.OverlapArea(b);
+      const double area = a.Area() + b.Area();
+      if (overlap < *best_overlap ||
+          (overlap == *best_overlap && area < *best_area)) {
+        *best_overlap = overlap;
+        *best_area = area;
+        *best_split = split;
+      }
+    }
+  };
+
+  double best_axis_margin = std::numeric_limits<double>::infinity();
+  size_t best_axis = 0;
+  bool best_by_upper = false;
+  for (size_t axis = 0; axis < dims; ++axis) {
+    for (bool by_upper : {false, true}) {
+      std::sort(entries->begin(), entries->end(),
+                [&](const Entry& x, const Entry& y) {
+                  const Mbr bx = mbr_of(x);
+                  const Mbr by = mbr_of(y);
+                  const double vx = by_upper ? bx.max(axis) : bx.min(axis);
+                  const double vy = by_upper ? by.max(axis) : by.min(axis);
+                  return vx < vy;
+                });
+      double margin_sum, overlap, area;
+      size_t split;
+      evaluate_order(&margin_sum, &overlap, &area, &split);
+      if (margin_sum < best_axis_margin) {
+        best_axis_margin = margin_sum;
+        best_axis = axis;
+        best_by_upper = by_upper;
+      }
+    }
+  }
+
+  // Re-sort along the winning (axis, order) and pick the best distribution.
+  std::sort(entries->begin(), entries->end(),
+            [&](const Entry& x, const Entry& y) {
+              const Mbr bx = mbr_of(x);
+              const Mbr by = mbr_of(y);
+              const double vx =
+                  best_by_upper ? bx.max(best_axis) : bx.min(best_axis);
+              const double vy =
+                  best_by_upper ? by.max(best_axis) : by.min(best_axis);
+              return vx < vy;
+            });
+  double margin_sum, overlap, area;
+  size_t split;
+  evaluate_order(&margin_sum, &overlap, &area, &split);
+
+  group1->reserve(split);
+  group2->reserve(n - split);
+  for (size_t i = 0; i < n; ++i) {
+    if (i < split) {
+      group1->push_back(std::move((*entries)[i]));
+    } else {
+      group2->push_back(std::move((*entries)[i]));
+    }
+  }
+  entries->clear();
+}
+
+// Dispatches to the configured split heuristic.
+template <typename Entry, typename MbrOf>
+void SplitEntries(SplitStrategy strategy, std::vector<Entry>* entries,
+                  MbrOf mbr_of, size_t dims, size_t min_entries,
+                  std::vector<Entry>* group1, std::vector<Entry>* group2) {
+  switch (strategy) {
+    case SplitStrategy::kQuadratic:
+      QuadraticSplit(entries, mbr_of, min_entries, group1, group2);
+      return;
+    case SplitStrategy::kRStar:
+      RStarSplit(entries, mbr_of, dims, min_entries, group1, group2);
+      return;
+  }
+  SKYUP_CHECK(false) << "unknown split strategy";
+}
+
+}  // namespace
+
+RTree::RTree(const Dataset* dataset, Options options)
+    : dataset_(dataset), options_(options) {
+  SKYUP_CHECK(dataset_ != nullptr);
+  SKYUP_CHECK(options_.max_entries >= 2)
+      << "R-tree fanout must be at least 2";
+  SKYUP_CHECK(dataset_->dims() <= kMaxDims);
+  if (options_.min_entries == 0) {
+    options_.min_entries = std::max<size_t>(1, options_.max_entries * 2 / 5);
+  }
+  SKYUP_CHECK(options_.min_entries <= options_.max_entries / 2)
+      << "min_entries must be at most half of max_entries";
+  root_ = std::make_unique<RTreeNode>();
+  root_->mbr = Mbr(dataset_->dims());
+  root_->level = 0;
+}
+
+size_t RTree::min_entries() const { return options_.min_entries; }
+
+void RTree::Insert(PointId id) {
+  SKYUP_CHECK(id >= 0 && static_cast<size_t>(id) < dataset_->size())
+      << "point id " << id << " out of range";
+  const double* coords = dataset_->data(id);
+  std::unique_ptr<RTreeNode> sibling =
+      InsertRecursive(root_.get(), id, coords);
+  if (sibling != nullptr) {
+    // Root split: grow the tree by one level.
+    auto new_root = std::make_unique<RTreeNode>();
+    new_root->level = root_->level + 1;
+    new_root->mbr = root_->mbr;
+    new_root->mbr.Expand(sibling->mbr);
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(sibling));
+    root_ = std::move(new_root);
+  }
+  ++size_;
+}
+
+std::unique_ptr<RTreeNode> RTree::InsertRecursive(RTreeNode* node, PointId id,
+                                                  const double* coords) {
+  node->mbr.Expand(coords);
+  if (node->is_leaf()) {
+    node->points.push_back(id);
+    if (node->points.size() > options_.max_entries) return SplitLeaf(node);
+    return nullptr;
+  }
+
+  const Mbr point_box = Mbr::FromPoint(coords, dataset_->dims());
+  RTreeNode* child = ChooseSubtree(node, point_box);
+  std::unique_ptr<RTreeNode> split = InsertRecursive(child, id, coords);
+  if (split != nullptr) {
+    node->children.push_back(std::move(split));
+    if (node->children.size() > options_.max_entries) {
+      return SplitInternal(node);
+    }
+  }
+  return nullptr;
+}
+
+bool RTree::Delete(PointId id) {
+  if (id < 0 || static_cast<size_t>(id) >= dataset_->size()) return false;
+  const double* coords = dataset_->data(id);
+  std::vector<PointId> orphans;
+  if (!DeleteRecursive(root_.get(), id, coords, &orphans)) return false;
+  --size_;
+
+  // Shrink the tree while the root is an internal node with one child.
+  while (!root_->is_leaf() && root_->children.size() == 1) {
+    root_ = std::move(root_->children.front());
+  }
+
+  // Reinsert points stranded by dissolved nodes. Insert() counts them as
+  // new, so compensate.
+  for (PointId orphan : orphans) {
+    --size_;
+    Insert(orphan);
+  }
+  return true;
+}
+
+bool RTree::DeleteRecursive(RTreeNode* node, PointId id, const double* coords,
+                            std::vector<PointId>* orphans) {
+  if (node->is_leaf()) {
+    auto it = std::find(node->points.begin(), node->points.end(), id);
+    if (it == node->points.end()) return false;
+    node->points.erase(it);
+    RecomputeMbr(node);
+    return true;
+  }
+
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    RTreeNode* child = node->children[i].get();
+    if (!child->mbr.Contains(coords)) continue;
+    if (!DeleteRecursive(child, id, coords, orphans)) continue;
+
+    if (child->entry_count() < options_.min_entries) {
+      // Condense: dissolve the child, stranding its points for reinsertion.
+      std::vector<const RTreeNode*> stack = {child};
+      while (!stack.empty()) {
+        const RTreeNode* m = stack.back();
+        stack.pop_back();
+        if (m->is_leaf()) {
+          orphans->insert(orphans->end(), m->points.begin(),
+                          m->points.end());
+        } else {
+          for (const auto& grandchild : m->children) {
+            stack.push_back(grandchild.get());
+          }
+        }
+      }
+      node->children.erase(node->children.begin() +
+                           static_cast<ptrdiff_t>(i));
+    }
+    RecomputeMbr(node);
+    return true;
+  }
+  return false;
+}
+
+RTreeNode* RTree::ChooseSubtree(RTreeNode* node, const Mbr& box) const {
+  SKYUP_DCHECK(!node->children.empty());
+  RTreeNode* best = node->children[0].get();
+  double best_enlargement = best->mbr.Enlargement(box);
+  double best_area = best->mbr.Area();
+  for (size_t i = 1; i < node->children.size(); ++i) {
+    RTreeNode* cand = node->children[i].get();
+    const double enlargement = cand->mbr.Enlargement(box);
+    const double area = cand->mbr.Area();
+    if (enlargement < best_enlargement ||
+        (enlargement == best_enlargement && area < best_area)) {
+      best = cand;
+      best_enlargement = enlargement;
+      best_area = area;
+    }
+  }
+  return best;
+}
+
+std::unique_ptr<RTreeNode> RTree::SplitLeaf(RTreeNode* node) {
+  const Dataset* data = dataset_;
+  const size_t dims = data->dims();
+  auto mbr_of = [data, dims](PointId id) {
+    return Mbr::FromPoint(data->data(id), dims);
+  };
+  std::vector<PointId> entries = std::move(node->points);
+  node->points.clear();
+  std::vector<PointId> group1, group2;
+  SplitEntries(options_.split, &entries, mbr_of, dims, min_entries(),
+               &group1, &group2);
+
+  node->points = std::move(group1);
+  RecomputeMbr(node);
+
+  auto sibling = std::make_unique<RTreeNode>();
+  sibling->level = 0;
+  sibling->points = std::move(group2);
+  RecomputeMbr(sibling.get());
+  return sibling;
+}
+
+std::unique_ptr<RTreeNode> RTree::SplitInternal(RTreeNode* node) {
+  auto mbr_of = [](const std::unique_ptr<RTreeNode>& child) {
+    return child->mbr;
+  };
+  std::vector<std::unique_ptr<RTreeNode>> entries = std::move(node->children);
+  node->children.clear();
+  std::vector<std::unique_ptr<RTreeNode>> group1, group2;
+  SplitEntries(options_.split, &entries, mbr_of, dataset_->dims(),
+               min_entries(), &group1, &group2);
+
+  node->children = std::move(group1);
+  RecomputeMbr(node);
+
+  auto sibling = std::make_unique<RTreeNode>();
+  sibling->level = node->level;
+  sibling->children = std::move(group2);
+  RecomputeMbr(sibling.get());
+  return sibling;
+}
+
+void RTree::RecomputeMbr(RTreeNode* node) const {
+  node->mbr = Mbr(dataset_->dims());
+  if (node->is_leaf()) {
+    for (PointId id : node->points) node->mbr.Expand(dataset_->data(id));
+  } else {
+    for (const auto& child : node->children) node->mbr.Expand(child->mbr);
+  }
+}
+
+void RTree::RangeQuery(const Mbr& box, std::vector<PointId>* out) const {
+  SKYUP_CHECK(out != nullptr);
+  if (empty()) return;
+  std::vector<const RTreeNode*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const RTreeNode* node = stack.back();
+    stack.pop_back();
+    if (!node->mbr.Intersects(box)) continue;
+    if (node->is_leaf()) {
+      for (PointId id : node->points) {
+        if (box.Contains(dataset_->data(id))) out->push_back(id);
+      }
+    } else {
+      for (const auto& child : node->children) stack.push_back(child.get());
+    }
+  }
+}
+
+size_t RTree::CountRange(const Mbr& box) const {
+  if (empty()) return 0;
+  size_t count = 0;
+  std::vector<const RTreeNode*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const RTreeNode* node = stack.back();
+    stack.pop_back();
+    if (!node->mbr.Intersects(box)) continue;
+    if (box.ContainsBox(node->mbr)) {
+      // Whole subtree inside the box: count without descending to points.
+      std::vector<const RTreeNode*> inner = {node};
+      while (!inner.empty()) {
+        const RTreeNode* m = inner.back();
+        inner.pop_back();
+        if (m->is_leaf()) {
+          count += m->points.size();
+        } else {
+          for (const auto& child : m->children) inner.push_back(child.get());
+        }
+      }
+      continue;
+    }
+    if (node->is_leaf()) {
+      for (PointId id : node->points) {
+        if (box.Contains(dataset_->data(id))) ++count;
+      }
+    } else {
+      for (const auto& child : node->children) stack.push_back(child.get());
+    }
+  }
+  return count;
+}
+
+namespace {
+
+struct ValidateContext {
+  const Dataset* dataset;
+  size_t max_entries;
+  size_t min_entries;
+  size_t point_count = 0;
+  int leaf_depth = -1;  // levels are uniform; leaves must all be level 0
+};
+
+Status ValidateNode(const RTreeNode* node, bool is_root,
+                    ValidateContext* ctx) {
+  const size_t count = node->entry_count();
+  if (!is_root && (count < ctx->min_entries || count > ctx->max_entries)) {
+    return Status::Internal("node at level " + std::to_string(node->level) +
+                            " has " + std::to_string(count) +
+                            " entries, outside [" +
+                            std::to_string(ctx->min_entries) + ", " +
+                            std::to_string(ctx->max_entries) + "]");
+  }
+  if (is_root && count > ctx->max_entries) {
+    return Status::Internal("root overflows with " + std::to_string(count) +
+                            " entries");
+  }
+
+  Mbr expected(ctx->dataset->dims());
+  if (node->is_leaf()) {
+    if (!node->children.empty()) {
+      return Status::Internal("leaf node has children");
+    }
+    for (PointId id : node->points) {
+      if (id < 0 || static_cast<size_t>(id) >= ctx->dataset->size()) {
+        return Status::Internal("leaf references invalid point id " +
+                                std::to_string(id));
+      }
+      expected.Expand(ctx->dataset->data(id));
+    }
+    ctx->point_count += node->points.size();
+  } else {
+    if (!node->points.empty()) {
+      return Status::Internal("internal node holds points");
+    }
+    for (const auto& child : node->children) {
+      if (child->level != node->level - 1) {
+        return Status::Internal("child level " +
+                                std::to_string(child->level) +
+                                " under node level " +
+                                std::to_string(node->level));
+      }
+      SKYUP_RETURN_IF_ERROR(ValidateNode(child.get(), false, ctx));
+      expected.Expand(child->mbr);
+    }
+  }
+
+  if (count > 0 && !(node->mbr == expected)) {
+    return Status::Internal("MBR mismatch at level " +
+                            std::to_string(node->level) + ": stored " +
+                            node->mbr.ToString() + ", expected " +
+                            expected.ToString());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RTree::Validate() const {
+  ValidateContext ctx;
+  ctx.dataset = dataset_;
+  ctx.max_entries = options_.max_entries;
+  ctx.min_entries = options_.min_entries;
+  SKYUP_RETURN_IF_ERROR(ValidateNode(root_.get(), /*is_root=*/true, &ctx));
+  if (ctx.point_count != size_) {
+    return Status::Internal("tree reports size " + std::to_string(size_) +
+                            " but holds " + std::to_string(ctx.point_count) +
+                            " points");
+  }
+  return Status::OK();
+}
+
+RTreeStats RTree::Stats() const {
+  RTreeStats stats;
+  stats.point_count = size_;
+  stats.height = static_cast<size_t>(root_->level) + 1;
+  std::vector<const RTreeNode*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const RTreeNode* node = stack.back();
+    stack.pop_back();
+    ++stats.node_count;
+    if (node->is_leaf()) {
+      ++stats.leaf_count;
+    } else {
+      for (const auto& child : node->children) stack.push_back(child.get());
+    }
+  }
+  return stats;
+}
+
+}  // namespace skyup

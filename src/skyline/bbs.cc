@@ -1,0 +1,103 @@
+#include <queue>
+#include <vector>
+
+#include "core/dominance.h"
+#include "skyline/skyline.h"
+#include "util/logging.h"
+
+namespace skyup {
+
+namespace {
+
+// Best-first queue entry: either an R-tree node or a concrete point,
+// prioritized by the L1 "mindist" (sum of min-corner coordinates), which is
+// a monotone scoring function — guaranteeing that a deheaped, undominated
+// point is a final skyline member (Papadias et al., BBS).
+struct BbsEntry {
+  double key;
+  uint64_t seq;  // deterministic FIFO tie-break
+  const RTreeNode* node;
+  PointId point;
+
+  bool operator>(const BbsEntry& other) const {
+    if (key != other.key) return key > other.key;
+    return seq > other.seq;
+  }
+};
+
+bool EntryDominated(const std::vector<const double*>& skyline,
+                    const double* min_corner, size_t dims) {
+  for (const double* s : skyline) {
+    if (DominatesOrEqual(s, min_corner, dims)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<PointId> SkylineBbs(const RTree& tree) {
+  std::vector<PointId> result;
+  if (tree.empty()) return result;
+
+  const Dataset& data = tree.dataset();
+  const size_t dims = data.dims();
+  std::priority_queue<BbsEntry, std::vector<BbsEntry>, std::greater<BbsEntry>>
+      heap;
+  uint64_t seq = 0;
+  heap.push({tree.root()->mbr.MinCornerSum(), seq++, tree.root(),
+             kInvalidPointId});
+
+  std::vector<const double*> window;
+  while (!heap.empty()) {
+    const BbsEntry entry = heap.top();
+    heap.pop();
+    if (entry.node != nullptr) {
+      if (EntryDominated(window, entry.node->mbr.min_data(), dims)) continue;
+      if (entry.node->is_leaf()) {
+        for (PointId id : entry.node->points) {
+          const double* p = data.data(id);
+          if (!EntryDominated(window, p, dims)) {
+            double key = 0.0;
+            for (size_t i = 0; i < dims; ++i) key += p[i];
+            heap.push({key, seq++, nullptr, id});
+          }
+        }
+      } else {
+        for (const auto& child : entry.node->children) {
+          if (!EntryDominated(window, child->mbr.min_data(), dims)) {
+            heap.push({child->mbr.MinCornerSum(), seq++, child.get(),
+                       kInvalidPointId});
+          }
+        }
+      }
+    } else {
+      const double* p = data.data(entry.point);
+      if (!EntryDominated(window, p, dims)) {
+        window.push_back(p);
+        result.push_back(entry.point);
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<PointId> Skyline(const Dataset& data, SkylineAlgorithm algo) {
+  if (data.empty()) return {};
+  switch (algo) {
+    case SkylineAlgorithm::kBnl:
+      return SkylineBnl(data);
+    case SkylineAlgorithm::kSfs:
+      return SkylineSfs(data);
+    case SkylineAlgorithm::kBbs: {
+      Result<RTree> tree = RTree::BulkLoad(data);
+      SKYUP_CHECK(tree.ok()) << tree.status().ToString();
+      return SkylineBbs(tree.value());
+    }
+    case SkylineAlgorithm::kDnc:
+      return SkylineDnc(data);
+  }
+  SKYUP_CHECK(false) << "unreachable";
+  return {};
+}
+
+}  // namespace skyup

@@ -1,0 +1,54 @@
+#include <vector>
+
+#include "core/dominance.h"
+#include "skyline/skyline.h"
+
+namespace skyup {
+
+std::vector<PointId> SkylineBnl(const Dataset& data,
+                                const std::vector<PointId>* subset) {
+  const size_t dims = data.dims();
+  std::vector<PointId> window;
+  auto consider = [&](PointId id) {
+    const double* p = data.data(id);
+    size_t keep = 0;
+    bool dominated = false;
+    for (size_t i = 0; i < window.size(); ++i) {
+      const double* w = data.data(window[i]);
+      if (!dominated && DominatesOrEqual(w, p, dims)) {
+        // p is dominated by (or duplicates) a window point: window is
+        // unchanged, p is dropped.
+        dominated = true;
+        keep = window.size();
+        break;
+      }
+      if (!Dominates(p, w, dims)) {
+        window[keep++] = window[i];
+      }
+    }
+    if (dominated) return;
+    window.resize(keep);
+    window.push_back(id);
+  };
+
+  if (subset != nullptr) {
+    for (PointId id : *subset) consider(id);
+  } else {
+    for (size_t i = 0; i < data.size(); ++i) {
+      consider(static_cast<PointId>(i));
+    }
+  }
+  return window;
+}
+
+bool IsDominated(const Dataset& data, PointId id) {
+  const size_t dims = data.dims();
+  const double* p = data.data(id);
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (static_cast<PointId>(i) == id) continue;
+    if (Dominates(data.data(static_cast<PointId>(i)), p, dims)) return true;
+  }
+  return false;
+}
+
+}  // namespace skyup

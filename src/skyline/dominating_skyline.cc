@@ -1,0 +1,110 @@
+#include "skyline/dominating_skyline.h"
+
+#include <queue>
+#include <vector>
+
+#include "core/dominance.h"
+#include "util/logging.h"
+
+namespace skyup {
+
+namespace {
+
+struct Entry {
+  double key;
+  uint64_t seq;
+  const RTreeNode* node;
+  PointId point;
+
+  bool operator>(const Entry& other) const {
+    if (key != other.key) return key > other.key;
+    return seq > other.seq;
+  }
+};
+
+// An R-tree entry can intersect ADR(t) = (-inf, t] iff its min corner is
+// coordinatewise <= t.
+bool OverlapsAdr(const double* min_corner, const double* t, size_t dims) {
+  return DominatesOrEqual(min_corner, t, dims);
+}
+
+bool PrunedBySkyline(const std::vector<const double*>& window,
+                     const double* min_corner, size_t dims) {
+  for (const double* s : window) {
+    if (DominatesOrEqual(s, min_corner, dims)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<PointId> DominatingSkyline(const RTree& tree, const double* t,
+                                       ProbeStats* stats) {
+  if (tree.empty()) return {};
+  return DominatingSkylineFrom(tree.dataset(), {tree.root()}, {}, t, stats);
+}
+
+std::vector<PointId> DominatingSkylineFrom(
+    const Dataset& data, const std::vector<const RTreeNode*>& roots,
+    const std::vector<PointId>& points, const double* t, ProbeStats* stats) {
+  std::vector<PointId> result;
+  const size_t dims = data.dims();
+  ProbeStats local;
+  ProbeStats* st = stats != nullptr ? stats : &local;
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  uint64_t seq = 0;
+  for (const RTreeNode* root : roots) {
+    if (root == nullptr || root->entry_count() == 0) continue;
+    if (!OverlapsAdr(root->mbr.min_data(), t, dims)) continue;
+    heap.push({root->mbr.MinCornerSum(), seq++, root, kInvalidPointId});
+  }
+  for (PointId id : points) {
+    const double* p = data.data(id);
+    ++st->points_scanned;
+    if (!Dominates(p, t, dims)) continue;
+    double key = 0.0;
+    for (size_t i = 0; i < dims; ++i) key += p[i];
+    heap.push({key, seq++, nullptr, id});
+  }
+
+  std::vector<const double*> window;
+  while (!heap.empty()) {
+    const Entry entry = heap.top();
+    heap.pop();
+    ++st->heap_pops;
+
+    if (entry.node != nullptr) {
+      ++st->nodes_visited;
+      if (PrunedBySkyline(window, entry.node->mbr.min_data(), dims)) continue;
+      if (entry.node->is_leaf()) {
+        for (PointId id : entry.node->points) {
+          const double* p = data.data(id);
+          ++st->points_scanned;
+          // Only strict dominators of t are candidates; a point equal to t
+          // does not dominate it.
+          if (!Dominates(p, t, dims)) continue;
+          if (PrunedBySkyline(window, p, dims)) continue;
+          double key = 0.0;
+          for (size_t i = 0; i < dims; ++i) key += p[i];
+          heap.push({key, seq++, nullptr, id});
+        }
+      } else {
+        for (const auto& child : entry.node->children) {
+          if (!OverlapsAdr(child->mbr.min_data(), t, dims)) continue;
+          if (PrunedBySkyline(window, child->mbr.min_data(), dims)) continue;
+          heap.push(
+              {child->mbr.MinCornerSum(), seq++, child.get(), kInvalidPointId});
+        }
+      }
+    } else {
+      const double* p = data.data(entry.point);
+      if (PrunedBySkyline(window, p, dims)) continue;
+      window.push_back(p);
+      result.push_back(entry.point);
+    }
+  }
+  return result;
+}
+
+}  // namespace skyup

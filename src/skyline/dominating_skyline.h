@@ -1,0 +1,41 @@
+#ifndef SKYUP_SKYLINE_DOMINATING_SKYLINE_H_
+#define SKYUP_SKYLINE_DOMINATING_SKYLINE_H_
+
+#include <vector>
+
+#include "core/point.h"
+#include "rtree/rtree.h"
+
+namespace skyup {
+
+/// Counters for one constrained-skyline probe (Algorithm 3).
+struct ProbeStats {
+  size_t heap_pops = 0;
+  size_t nodes_visited = 0;
+  size_t points_scanned = 0;
+};
+
+/// `getDominatingSky` (Algorithm 3 of the paper): the skyline of the set of
+/// points in `tree` that strictly dominate `t`, computed by a best-first
+/// (BBS-style) traversal constrained to the anti-dominant region ADR(t).
+///
+/// `t` must have `tree.dataset().dims()` coordinates. The returned ids are
+/// mutually non-dominating, every one strictly dominates `t`, and together
+/// they dominate every dominator of `t` in the tree — exactly the input
+/// Algorithm 1 (single-product upgrade) requires.
+std::vector<PointId> DominatingSkyline(const RTree& tree, const double* t,
+                                       ProbeStats* stats = nullptr);
+
+/// Multi-source variant used by the join's leaf processing (Alg. 4 line 9):
+/// the skyline of the dominators of `t` among the points below `roots`
+/// plus the explicit `points`, all referring to `data`. Same best-first,
+/// skyline-pruned traversal as `DominatingSkyline`, seeded from several
+/// entries at once.
+std::vector<PointId> DominatingSkylineFrom(
+    const Dataset& data, const std::vector<const RTreeNode*>& roots,
+    const std::vector<PointId>& points, const double* t,
+    ProbeStats* stats = nullptr);
+
+}  // namespace skyup
+
+#endif  // SKYUP_SKYLINE_DOMINATING_SKYLINE_H_

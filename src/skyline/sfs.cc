@@ -1,0 +1,79 @@
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "core/dominance.h"
+#include "skyline/skyline.h"
+
+namespace skyup {
+
+namespace {
+
+double CoordSum(const double* p, size_t dims) {
+  double sum = 0.0;
+  for (size_t i = 0; i < dims; ++i) sum += p[i];
+  return sum;
+}
+
+}  // namespace
+
+std::vector<PointId> SkylineSfs(const Dataset& data,
+                                const std::vector<PointId>* subset) {
+  const size_t dims = data.dims();
+  std::vector<PointId> order;
+  if (subset != nullptr) {
+    order = *subset;
+  } else {
+    order.resize(data.size());
+    std::iota(order.begin(), order.end(), PointId{0});
+  }
+
+  // Sorting by a monotone score (the coordinate sum) guarantees that any
+  // dominator of a point precedes it, so one pass over the order suffices
+  // and accepted points are final.
+  std::sort(order.begin(), order.end(), [&](PointId a, PointId b) {
+    const double sa = CoordSum(data.data(a), dims);
+    const double sb = CoordSum(data.data(b), dims);
+    if (sa != sb) return sa < sb;
+    return a < b;
+  });
+
+  std::vector<PointId> skyline;
+  for (PointId id : order) {
+    const double* p = data.data(id);
+    bool dominated = false;
+    for (PointId s : skyline) {
+      if (DominatesOrEqual(data.data(s), p, dims)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) skyline.push_back(id);
+  }
+  return skyline;
+}
+
+void SkylineOfPointers(std::vector<const double*>* points, size_t dims) {
+  std::sort(points->begin(), points->end(),
+            [dims](const double* a, const double* b) {
+              const double sa = CoordSum(a, dims);
+              const double sb = CoordSum(b, dims);
+              if (sa != sb) return sa < sb;
+              return a < b;  // deterministic tie-break on address
+            });
+  size_t kept = 0;
+  for (size_t i = 0; i < points->size(); ++i) {
+    const double* p = (*points)[i];
+    bool dominated = false;
+    for (size_t j = 0; j < kept; ++j) {
+      if (DominatesOrEqual((*points)[j], p, dims)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) (*points)[kept++] = p;
+  }
+  points->resize(kept);
+}
+
+}  // namespace skyup

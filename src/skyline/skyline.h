@@ -1,0 +1,59 @@
+#ifndef SKYUP_SKYLINE_SKYLINE_H_
+#define SKYUP_SKYLINE_SKYLINE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/point.h"
+#include "rtree/rtree.h"
+#include "util/status.h"
+
+namespace skyup {
+
+/// Skyline algorithms provided by the substrate.
+///
+/// All of them use the minimize orientation and return one representative
+/// per distinct coordinate vector (exact duplicates of a skyline point are
+/// dropped), so results satisfy the mutual non-domination precondition of
+/// the upgrade routine.
+enum class SkylineAlgorithm {
+  kBnl,  ///< block-nested-loops [Börzsönyi et al.]
+  kSfs,  ///< sort-filter skyline (presort by monotone score) [Chomicki et al.]
+  kBbs,  ///< branch-and-bound on an R-tree [Papadias et al.]
+  kDnc,  ///< divide & conquer on a median split [Börzsönyi et al.]
+};
+
+/// Block-nested-loops skyline of the whole dataset, or of `subset` if given.
+std::vector<PointId> SkylineBnl(const Dataset& data,
+                                const std::vector<PointId>* subset = nullptr);
+
+/// Sort-filter skyline: presorts by coordinate sum, after which a point can
+/// only be dominated by already-accepted points. O(n log n + n * |SKY| * d).
+std::vector<PointId> SkylineSfs(const Dataset& data,
+                                const std::vector<PointId>* subset = nullptr);
+
+/// Branch-and-bound skyline over an R-tree (best-first by min-corner sum).
+std::vector<PointId> SkylineBbs(const RTree& tree);
+
+/// Divide & conquer skyline: median split on rotating dimensions, merge by
+/// cross-filtering the halves' skylines. O(n log^(d-1) n)-flavored.
+std::vector<PointId> SkylineDnc(const Dataset& data,
+                                const std::vector<PointId>* subset = nullptr);
+
+/// Dispatches on `algo`; `kBbs` bulk-loads a temporary R-tree.
+std::vector<PointId> Skyline(const Dataset& data, SkylineAlgorithm algo);
+
+/// In-place skyline over raw coordinate pointers (SFS strategy): on return
+/// `*points` holds exactly the distinct skyline members. Used on transient
+/// dominator sets by the probing and join algorithms.
+void SkylineOfPointers(std::vector<const double*>* points, size_t dims);
+
+/// True iff point `id` is strictly dominated by some other point of `data`.
+/// (A duplicate of another point is *not* dominated.) O(n d) scan; intended
+/// for dataset preparation and tests, not for hot paths.
+bool IsDominated(const Dataset& data, PointId id);
+
+}  // namespace skyup
+
+#endif  // SKYUP_SKYLINE_SKYLINE_H_

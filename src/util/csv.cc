@@ -1,0 +1,120 @@
+#include "util/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace skyup {
+
+namespace {
+
+std::vector<std::string> SplitFields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  for (char ch : line) {
+    if (ch == ',') {
+      fields.push_back(field);
+      field.clear();
+    } else if (ch != '\r') {
+      field.push_back(ch);
+    }
+  }
+  fields.push_back(field);
+  return fields;
+}
+
+Status ParseDouble(const std::string& field, size_t line_no, double* out) {
+  const char* begin = field.c_str();
+  char* end = nullptr;
+  errno = 0;
+  double v = std::strtod(begin, &end);
+  if (end == begin || errno == ERANGE) {
+    return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                   ": cannot parse field '" + field +
+                                   "' as a number");
+  }
+  // Trailing whitespace is fine; any other trailing junk is an error.
+  for (; *end != '\0'; ++end) {
+    if (*end != ' ' && *end != '\t') {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": trailing characters in field '" +
+                                     field + "'");
+    }
+  }
+  *out = v;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<CsvTable> ParseCsv(const std::string& text, bool has_header) {
+  CsvTable table;
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+  size_t arity = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line == "\r") continue;
+    std::vector<std::string> fields = SplitFields(line);
+    if (has_header && !saw_header) {
+      table.header = std::move(fields);
+      arity = table.header.size();
+      saw_header = true;
+      continue;
+    }
+    if (arity == 0) arity = fields.size();
+    if (fields.size() != arity) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) + ": expected " +
+          std::to_string(arity) + " fields, got " +
+          std::to_string(fields.size()));
+    }
+    std::vector<double> row(fields.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      SKYUP_RETURN_IF_ERROR(ParseDouble(fields[i], line_no, &row[i]));
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+Result<CsvTable> ReadCsvFile(const std::string& path, bool has_header) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCsv(buf.str(), has_header);
+}
+
+std::string ToCsv(const CsvTable& table) {
+  std::ostringstream out;
+  out.precision(6);
+  if (!table.header.empty()) {
+    for (size_t i = 0; i < table.header.size(); ++i) {
+      if (i > 0) out << ',';
+      out << table.header[i];
+    }
+    out << '\n';
+  }
+  for (const auto& row : table.rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ',';
+      out << row[i];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+Status WriteCsvFile(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out << ToCsv(table);
+  if (!out) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+}  // namespace skyup

@@ -1,0 +1,33 @@
+#ifndef SKYUP_UTIL_CSV_H_
+#define SKYUP_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace skyup {
+
+/// A parsed CSV table: a header row (possibly empty) and numeric rows.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<double>> rows;
+};
+
+/// Parses numeric CSV text. If `has_header` is true the first line is kept
+/// as column names. Every remaining field must parse as a double; rows with
+/// inconsistent arity are an error. Blank lines are skipped.
+Result<CsvTable> ParseCsv(const std::string& text, bool has_header);
+
+/// Reads and parses a CSV file. See `ParseCsv`.
+Result<CsvTable> ReadCsvFile(const std::string& path, bool has_header);
+
+/// Serializes a table to CSV text with 6 significant digits.
+std::string ToCsv(const CsvTable& table);
+
+/// Writes a table to a file, overwriting it.
+Status WriteCsvFile(const std::string& path, const CsvTable& table);
+
+}  // namespace skyup
+
+#endif  // SKYUP_UTIL_CSV_H_

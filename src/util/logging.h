@@ -1,0 +1,81 @@
+#ifndef SKYUP_UTIL_LOGGING_H_
+#define SKYUP_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace skyup {
+
+/// Severity levels for the minimal logging facility used by the library.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum severity; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current global minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it to stderr on destruction.
+/// Not for direct use; see the SKYUP_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Aborts the process after emitting the accumulated message. Used by
+/// SKYUP_CHECK on invariant violations.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/// Streams a message at the given severity:
+///   SKYUP_LOG(kInfo) << "built tree with " << n << " leaves";
+#define SKYUP_LOG(severity)                                          \
+  if (::skyup::LogLevel::severity >= ::skyup::GetLogLevel())         \
+  ::skyup::internal::LogMessage(::skyup::LogLevel::severity,         \
+                                __FILE__, __LINE__)                  \
+      .stream()
+
+/// Aborts with a diagnostic when `condition` is false. Active in all build
+/// types: these guard internal invariants whose violation would otherwise
+/// corrupt results silently.
+#define SKYUP_CHECK(condition)                                           \
+  if (!(condition))                                                      \
+  ::skyup::internal::FatalLogMessage(__FILE__, __LINE__, #condition)     \
+      .stream()
+
+/// Debug-only check, compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define SKYUP_DCHECK(condition) \
+  if (false) SKYUP_CHECK(condition)
+#else
+#define SKYUP_DCHECK(condition) SKYUP_CHECK(condition)
+#endif
+
+}  // namespace skyup
+
+#endif  // SKYUP_UTIL_LOGGING_H_

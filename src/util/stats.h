@@ -1,0 +1,43 @@
+#ifndef SKYUP_UTIL_STATS_H_
+#define SKYUP_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace skyup {
+
+/// Streaming univariate statistics (Welford's algorithm).
+///
+/// Used by the data generators' self-checks and by the benchmark harness to
+/// summarize repeated timing runs.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Pearson correlation of two equal-length series; 0 if degenerate.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// The q-quantile (0 <= q <= 1) by linear interpolation on a copy of `v`.
+/// Returns 0 for an empty vector.
+double Quantile(std::vector<double> v, double q);
+
+}  // namespace skyup
+
+#endif  // SKYUP_UTIL_STATS_H_

@@ -1,0 +1,37 @@
+#ifndef SKYUP_UTIL_TIMER_H_
+#define SKYUP_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace skyup {
+
+/// Wall-clock stopwatch with millisecond/microsecond readouts.
+///
+/// Starts running on construction; `Restart()` resets the origin.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Resets the timer origin to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last `Restart()`.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace skyup
+
+#endif  // SKYUP_UTIL_TIMER_H_

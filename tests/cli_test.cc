@@ -1,0 +1,161 @@
+#include "cli/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace skyup {
+namespace {
+
+struct CliResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliResult RunCli(const std::vector<std::string>& args) {
+  std::ostringstream out, err;
+  const int code = cli::Run(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/skyup_cli_" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream f(path);
+  f << content;
+}
+
+TEST(CliTest, NoArgsPrintsUsage) {
+  CliResult r = RunCli({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.out.find("usage:"), std::string::npos);
+}
+
+TEST(CliTest, HelpReturnsZero) {
+  CliResult r = RunCli({"help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("usage:"), std::string::npos);
+}
+
+TEST(CliTest, UnknownCommandFails) {
+  CliResult r = RunCli({"frobnicate"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(CliTest, UnknownFlagFails) {
+  CliResult r = RunCli({"wine", "--out=x", "--bogus=1"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown flag --bogus"), std::string::npos);
+}
+
+TEST(CliTest, GenerateRequiresFlags) {
+  CliResult r = RunCli({"generate"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("requires"), std::string::npos);
+}
+
+TEST(CliTest, GenerateWritesCsv) {
+  const std::string path = TempPath("gen.csv");
+  CliResult r = RunCli({"generate", "--out=" + path, "--count=50",
+                        "--dims=3", "--dist=anti", "--seed=5"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("wrote 50 x 3"), std::string::npos);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 50u);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, GenerateRejectsBadDistribution) {
+  CliResult r = RunCli({"generate", "--out=x", "--count=5", "--dims=2",
+                        "--dist=zipf"});
+  EXPECT_EQ(r.code, 2);
+}
+
+TEST(CliTest, SkylineOnTinyFile) {
+  const std::string path = TempPath("sky.csv");
+  WriteFile(path, "1,4\n2,3\n3,5\n2,2\n");
+  for (const char* algo : {"bnl", "sfs", "bbs", "dnc"}) {
+    CliResult r = RunCli({"skyline", "--in=" + path,
+                          std::string("--algo=") + algo});
+    ASSERT_EQ(r.code, 0) << algo << ": " << r.err;
+    // Skyline rows: (1,4) and (2,2); (2,3) is dominated by (2,2).
+    EXPECT_NE(r.out.find("2 members"), std::string::npos) << algo;
+    EXPECT_NE(r.out.find("\n0\n"), std::string::npos) << algo;
+    EXPECT_NE(r.out.find("\n3\n"), std::string::npos) << algo;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, SkylineMissingFileIsRuntimeError) {
+  CliResult r = RunCli({"skyline", "--in=/nonexistent/nope.csv"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("error:"), std::string::npos);
+}
+
+TEST(CliTest, TopKEndToEnd) {
+  const std::string p_path = TempPath("P.csv");
+  const std::string t_path = TempPath("T.csv");
+  WriteFile(p_path, "0.1,0.5\n0.5,0.1\n0.3,0.3\n");
+  WriteFile(t_path, "0.6,0.6\n0.05,0.9\n2.0,2.0\n");
+
+  for (const char* algorithm : {"join", "improved", "basic", "brute"}) {
+    CliResult r = RunCli({"topk", "--competitors=" + p_path,
+                          "--products=" + t_path, "--k=3",
+                          std::string("--algorithm=") + algorithm});
+    ASSERT_EQ(r.code, 0) << algorithm << ": " << r.err;
+    // Product row 1 is undominated: rank 1, cost 0, competitive flag 1.
+    EXPECT_NE(r.out.find("1,1,0,1"), std::string::npos)
+        << algorithm << " output:\n"
+        << r.out;
+  }
+
+  // Lower-bound and paper-mode flags parse.
+  for (const char* lb : {"nlb", "clb", "alb"}) {
+    CliResult r = RunCli({"topk", "--competitors=" + p_path,
+                          "--products=" + t_path, std::string("--lb=") + lb,
+                          "--paper-bounds"});
+    EXPECT_EQ(r.code, 0) << lb << ": " << r.err;
+  }
+
+  std::remove(p_path.c_str());
+  std::remove(t_path.c_str());
+}
+
+TEST(CliTest, TopKRejectsMismatchedDims) {
+  const std::string p_path = TempPath("P2.csv");
+  const std::string t_path = TempPath("T2.csv");
+  WriteFile(p_path, "0.1,0.5\n");
+  WriteFile(t_path, "0.6,0.6,0.6\n");
+  CliResult r = RunCli(
+      {"topk", "--competitors=" + p_path, "--products=" + t_path});
+  EXPECT_EQ(r.code, 1);
+  std::remove(p_path.c_str());
+  std::remove(t_path.c_str());
+}
+
+TEST(CliTest, WineWritesTable) {
+  const std::string path = TempPath("wine.csv");
+  CliResult r = RunCli({"wine", "--out=" + path, "--count=100"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  std::ifstream in(path);
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 100u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace skyup

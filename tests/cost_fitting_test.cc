@@ -1,0 +1,129 @@
+#include "data/cost_fitting.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/random.h"
+
+namespace skyup {
+namespace {
+
+TEST(CostFittingTest, RejectsDegenerateInput) {
+  EXPECT_FALSE(FitAttributeCost({}).ok());
+  EXPECT_FALSE(FitAttributeCost({{1.0, 2.0}}).ok());
+  EXPECT_FALSE(
+      FitAttributeCost({{1.0, 2.0}, {1.0, 3.0}}).ok());  // one distinct x
+  EXPECT_FALSE(FitAttributeCost(
+                   {{1.0, 2.0}, {2.0, std::nan("")}})
+                   .ok());
+}
+
+TEST(CostFittingTest, PerfectlyMonotoneDataIsReproduced) {
+  auto fit = FitAttributeCost({{0.0, 10.0}, {1.0, 6.0}, {2.0, 1.0}});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_DOUBLE_EQ((*fit)->Cost(0.0), 10.0);
+  EXPECT_DOUBLE_EQ((*fit)->Cost(1.0), 6.0);
+  EXPECT_DOUBLE_EQ((*fit)->Cost(2.0), 1.0);
+  EXPECT_DOUBLE_EQ((*fit)->Cost(0.5), 8.0);  // interpolated
+  EXPECT_NEAR((*fit)->rmse(), 0.0, 1e-12);
+}
+
+TEST(CostFittingTest, ClampsBeyondKnots) {
+  auto fit = FitAttributeCost({{1.0, 5.0}, {2.0, 3.0}});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_DOUBLE_EQ((*fit)->Cost(0.0), 5.0);
+  EXPECT_DOUBLE_EQ((*fit)->Cost(99.0), 3.0);
+}
+
+TEST(CostFittingTest, ViolatorsArePooled) {
+  // The middle sample rises (violating monotonicity); PAVA pools it with
+  // a neighbor so the fit is non-increasing: {10, then avg(4,6)=5, 5}.
+  auto fit = FitAttributeCost({{0.0, 10.0}, {1.0, 4.0}, {2.0, 6.0}});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_DOUBLE_EQ((*fit)->Cost(0.0), 10.0);
+  EXPECT_DOUBLE_EQ((*fit)->Cost(1.0), 5.0);
+  EXPECT_DOUBLE_EQ((*fit)->Cost(2.0), 5.0);
+  EXPECT_GT((*fit)->rmse(), 0.0);
+}
+
+TEST(CostFittingTest, ConstantDataFitsConstant) {
+  auto fit = FitAttributeCost({{0.0, 3.0}, {1.0, 3.0}, {2.0, 3.0}});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_DOUBLE_EQ((*fit)->Cost(1.5), 3.0);
+}
+
+TEST(CostFittingTest, DuplicateValuesAveragedBeforeFit) {
+  auto fit = FitAttributeCost({{1.0, 4.0}, {1.0, 6.0}, {2.0, 2.0}});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_DOUBLE_EQ((*fit)->Cost(1.0), 5.0);
+  EXPECT_DOUBLE_EQ((*fit)->Cost(2.0), 2.0);
+}
+
+TEST(CostFittingTest, FitIsAlwaysMonotoneOnNoisyData) {
+  Rng rng(33);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<CostSample> samples;
+    for (int i = 0; i < 60; ++i) {
+      const double x = rng.NextDouble(0.0, 2.0);
+      // True decreasing cost plus noise.
+      const double y = 5.0 - 2.0 * x + rng.NextGaussian() * 0.8;
+      samples.push_back({x, y});
+    }
+    auto fit = FitAttributeCost(samples);
+    ASSERT_TRUE(fit.ok());
+    const auto& knots = (*fit)->knots();
+    for (size_t i = 1; i < knots.size(); ++i) {
+      ASSERT_LT(knots[i - 1].value, knots[i].value);
+      ASSERT_GE(knots[i - 1].cost, knots[i].cost - 1e-12);
+    }
+    // Evaluation is monotone too.
+    double prev = (*fit)->Cost(-1.0);
+    for (double x = -0.9; x < 3.0; x += 0.1) {
+      const double cur = (*fit)->Cost(x);
+      ASSERT_LE(cur, prev + 1e-12);
+      prev = cur;
+    }
+  }
+}
+
+TEST(CostFittingTest, FittedFunctionWorksInsideProductCost) {
+  // End to end: fit a per-dimension cost from samples and use it in the
+  // planner's monotonicity validator.
+  Rng rng(34);
+  std::vector<CostSample> samples;
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.NextDouble(0.0, 1.0);
+    samples.push_back({x, 1.0 / (x + 0.1) + rng.NextGaussian() * 0.05});
+  }
+  auto fit = FitAttributeCost(samples);
+  ASSERT_TRUE(fit.ok());
+  Result<ProductCostFunction> product =
+      ProductCostFunction::Sum({*fit, *fit});
+  ASSERT_TRUE(product.ok());
+  EXPECT_TRUE(product->CheckMonotonicity(0.0, 1.0, 1024).ok());
+}
+
+TEST(CostFittingTest, LeastSquaresAgainstBruteForceOnTinyCase) {
+  // 3 points with one violation: the PAVA solution must beat (or tie)
+  // any other monotone assignment on a coarse grid search.
+  const std::vector<CostSample> samples = {{0, 4.0}, {1, 7.0}, {2, 3.0}};
+  auto fit = FitAttributeCost(samples);
+  ASSERT_TRUE(fit.ok());
+  auto sq_err = [&](double y0, double y1, double y2) {
+    return (y0 - 4) * (y0 - 4) + (y1 - 7) * (y1 - 7) + (y2 - 3) * (y2 - 3);
+  };
+  const auto& k = (*fit)->knots();
+  const double fitted = sq_err(k[0].cost, k[1].cost, k[2].cost);
+  for (double y0 = 0; y0 <= 8; y0 += 0.25) {
+    for (double y1 = 0; y1 <= y0; y1 += 0.25) {
+      for (double y2 = 0; y2 <= y1; y2 += 0.25) {
+        ASSERT_LE(fitted, sq_err(y0, y1, y2) + 1e-9);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace skyup

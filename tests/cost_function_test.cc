@@ -1,0 +1,133 @@
+#include "core/cost_function.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+namespace skyup {
+namespace {
+
+TEST(AttributeCostTest, ReciprocalMatchesFormula) {
+  ReciprocalCost f(0.001);
+  EXPECT_DOUBLE_EQ(f.Cost(0.5), 1.0 / 0.501);
+  EXPECT_DOUBLE_EQ(f.Cost(0.0), 1000.0);
+}
+
+TEST(AttributeCostTest, ReciprocalIsDecreasing) {
+  ReciprocalCost f(0.01);
+  double prev = f.Cost(0.0);
+  for (double x = 0.1; x <= 2.0; x += 0.1) {
+    const double cur = f.Cost(x);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(AttributeCostTest, LinearMatchesFormula) {
+  LinearCost f(10.0, 2.0);
+  EXPECT_DOUBLE_EQ(f.Cost(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(f.Cost(3.0), 4.0);
+}
+
+TEST(AttributeCostTest, ExponentialMatchesFormula) {
+  ExponentialCost f(5.0, 1.0);
+  EXPECT_DOUBLE_EQ(f.Cost(0.0), 5.0);
+  EXPECT_NEAR(f.Cost(1.0), 5.0 * std::exp(-1.0), 1e-12);
+}
+
+TEST(AttributeCostTest, PowerMatchesFormula) {
+  PowerCost f(2.0, 2.0, 1.0);
+  EXPECT_DOUBLE_EQ(f.Cost(0.0), 2.0);        // 2 * 1^-2
+  EXPECT_DOUBLE_EQ(f.Cost(1.0), 2.0 / 4.0);  // 2 * 2^-2
+}
+
+TEST(AttributeCostTest, NamesAreDescriptive) {
+  EXPECT_NE(ReciprocalCost(0.5).name().find("reciprocal"),
+            std::string::npos);
+  EXPECT_NE(LinearCost(1, 1).name().find("linear"), std::string::npos);
+  EXPECT_NE(ExponentialCost(1, 1).name().find("exponential"),
+            std::string::npos);
+  EXPECT_NE(PowerCost(1, 1).name().find("power"), std::string::npos);
+}
+
+TEST(ProductCostTest, ReciprocalSumAddsDimensions) {
+  ProductCostFunction f = ProductCostFunction::ReciprocalSum(3, 0.001);
+  const std::vector<double> p = {0.1, 0.2, 0.3};
+  const double expected =
+      1.0 / 0.101 + 1.0 / 0.201 + 1.0 / 0.301;
+  EXPECT_NEAR(f.Cost(p), expected, 1e-12);
+  EXPECT_EQ(f.dims(), 3u);
+}
+
+TEST(ProductCostTest, SumRejectsEmptyAndNull) {
+  EXPECT_FALSE(ProductCostFunction::Sum({}).ok());
+  EXPECT_FALSE(ProductCostFunction::Sum({nullptr}).ok());
+}
+
+TEST(ProductCostTest, WeightedSumAppliesWeights) {
+  auto lin = std::make_shared<const LinearCost>(1.0, 1.0);
+  Result<ProductCostFunction> f =
+      ProductCostFunction::WeightedSum({lin, lin}, {2.0, 0.5});
+  ASSERT_TRUE(f.ok());
+  // Cost(x) = 2*(1-x0) + 0.5*(1-x1)
+  EXPECT_DOUBLE_EQ(f->Cost(std::vector<double>{0.0, 0.0}), 2.5);
+  EXPECT_DOUBLE_EQ(f->Cost(std::vector<double>{1.0, 0.0}), 0.5);
+  EXPECT_DOUBLE_EQ(f->AttributeCost(0, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(f->AttributeCost(1, 0.5), 0.25);
+}
+
+TEST(ProductCostTest, WeightedSumRejectsBadWeights) {
+  auto lin = std::make_shared<const LinearCost>(1.0, 1.0);
+  EXPECT_FALSE(ProductCostFunction::WeightedSum({lin, lin}, {1.0}).ok());
+  EXPECT_FALSE(ProductCostFunction::WeightedSum({lin, lin}, {1.0, -1.0}).ok());
+}
+
+TEST(ProductCostTest, UpgradeCostIsDelta) {
+  ProductCostFunction f = ProductCostFunction::ReciprocalSum(2, 0.001);
+  const std::vector<double> original = {0.5, 0.5};
+  const std::vector<double> upgraded = {0.3, 0.5};
+  EXPECT_NEAR(f.UpgradeCost(original.data(), upgraded.data()),
+              f.Cost(upgraded) - f.Cost(original), 1e-12);
+  EXPECT_GT(f.UpgradeCost(original.data(), upgraded.data()), 0.0);
+}
+
+TEST(ProductCostTest, MonotonicityHoldsForReciprocalSum) {
+  ProductCostFunction f = ProductCostFunction::ReciprocalSum(4, 0.001);
+  EXPECT_TRUE(f.CheckMonotonicity(0.0, 2.0, 2048).ok());
+}
+
+// A deliberately non-monotonic attribute cost: cheaper as the value gets
+// *better*, violating the paper's assumption.
+class IncreasingCost final : public AttributeCostFunction {
+ public:
+  double Cost(double value) const override { return value; }
+  std::string name() const override { return "increasing"; }
+};
+
+TEST(ProductCostTest, MonotonicityCheckCatchesViolations) {
+  auto bad = std::make_shared<const IncreasingCost>();
+  Result<ProductCostFunction> f = ProductCostFunction::Sum({bad, bad});
+  ASSERT_TRUE(f.ok());
+  Status s = f->CheckMonotonicity(0.0, 1.0, 2048);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ProductCostTest, MonotonicityCheckValidatesRange) {
+  ProductCostFunction f = ProductCostFunction::ReciprocalSum(2);
+  EXPECT_FALSE(f.CheckMonotonicity(1.0, 1.0).ok());
+  EXPECT_FALSE(f.CheckMonotonicity(2.0, 1.0).ok());
+}
+
+TEST(ProductCostTest, DominanceImpliesHigherCost) {
+  // The core invariant the algorithms rely on, spot-checked directly.
+  ProductCostFunction f = ProductCostFunction::ReciprocalSum(3, 0.001);
+  const std::vector<double> better = {0.1, 0.4, 0.2};
+  const std::vector<double> worse = {0.2, 0.4, 0.3};
+  EXPECT_GT(f.Cost(better), f.Cost(worse));
+}
+
+}  // namespace
+}  // namespace skyup

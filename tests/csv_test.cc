@@ -1,0 +1,102 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace skyup {
+namespace {
+
+TEST(CsvTest, ParsesSimpleNumericTable) {
+  Result<CsvTable> r = ParseCsv("1,2,3\n4,5,6\n", /*has_header=*/false);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->rows[0], (std::vector<double>{1, 2, 3}));
+  EXPECT_EQ(r->rows[1], (std::vector<double>{4, 5, 6}));
+  EXPECT_TRUE(r->header.empty());
+}
+
+TEST(CsvTest, ParsesHeader) {
+  Result<CsvTable> r = ParseCsv("a,b\n1.5,-2e3\n", /*has_header=*/true);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(r->rows[0][0], 1.5);
+  EXPECT_DOUBLE_EQ(r->rows[0][1], -2000.0);
+}
+
+TEST(CsvTest, SkipsBlankLines) {
+  Result<CsvTable> r = ParseCsv("1,2\n\n3,4\n\n", false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 2u);
+}
+
+TEST(CsvTest, HandlesCarriageReturns) {
+  Result<CsvTable> r = ParseCsv("1,2\r\n3,4\r\n", false);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(r->rows[1][1], 4.0);
+}
+
+TEST(CsvTest, RejectsNonNumericField) {
+  Result<CsvTable> r = ParseCsv("1,banana\n", false);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("banana"), std::string::npos);
+}
+
+TEST(CsvTest, RejectsTrailingJunk) {
+  Result<CsvTable> r = ParseCsv("1,2x\n", false);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CsvTest, AcceptsTrailingWhitespaceInFields) {
+  Result<CsvTable> r = ParseCsv("1 ,2\t\n", false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->rows[0][0], 1.0);
+}
+
+TEST(CsvTest, RejectsInconsistentArity) {
+  Result<CsvTable> r = ParseCsv("1,2\n3\n", false);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("expected 2 fields"),
+            std::string::npos);
+}
+
+TEST(CsvTest, EmptyInputYieldsEmptyTable) {
+  Result<CsvTable> r = ParseCsv("", false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->rows.empty());
+}
+
+TEST(CsvTest, RoundTripThroughToCsv) {
+  CsvTable table;
+  table.header = {"x", "y"};
+  table.rows = {{1.25, 2.5}, {-3, 4}};
+  Result<CsvTable> back = ParseCsv(ToCsv(table), /*has_header=*/true);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->header, table.header);
+  EXPECT_EQ(back->rows, table.rows);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/skyup_csv_test.csv";
+  CsvTable table;
+  table.rows = {{1, 2}, {3, 4}};
+  ASSERT_TRUE(WriteCsvFile(path, table).ok());
+  Result<CsvTable> back = ReadCsvFile(path, /*has_header=*/false);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->rows, table.rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsIOError) {
+  Result<CsvTable> r = ReadCsvFile("/nonexistent/skyup.csv", false);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace skyup

@@ -1,0 +1,96 @@
+#include "core/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace skyup {
+namespace {
+
+TEST(DatasetTest, AddAndRead) {
+  Dataset ds(2);
+  const PointId a = ds.Add({1.0, 2.0});
+  const PointId b = ds.Add({3.0, 4.0});
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds.dims(), 2u);
+  EXPECT_DOUBLE_EQ(ds.data(a)[0], 1.0);
+  EXPECT_DOUBLE_EQ(ds.data(b)[1], 4.0);
+}
+
+TEST(DatasetTest, PointViewReflectsStorage) {
+  Dataset ds(3);
+  ds.Add({1, 2, 3});
+  PointView v = ds.point(0);
+  EXPECT_EQ(v.dims(), 3u);
+  EXPECT_DOUBLE_EQ(v[2], 3.0);
+}
+
+TEST(DatasetTest, MaterializeCopies) {
+  Dataset ds(2);
+  ds.Add({5, 6});
+  Point p = ds.Materialize(0);
+  EXPECT_EQ(p.id, 0);
+  EXPECT_EQ(p.coords, (std::vector<double>{5, 6}));
+}
+
+TEST(DatasetTest, FromRowsBuildsDataset) {
+  Result<Dataset> r = Dataset::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 3u);
+  EXPECT_DOUBLE_EQ(r->data(2)[1], 6.0);
+}
+
+TEST(DatasetTest, FromRowsRejectsEmpty) {
+  EXPECT_FALSE(Dataset::FromRows({}).ok());
+}
+
+TEST(DatasetTest, FromRowsRejectsRaggedRows) {
+  Result<Dataset> r = Dataset::FromRows({{1, 2}, {3}});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetTest, FromRowsRejectsZeroArity) {
+  EXPECT_FALSE(Dataset::FromRows({{}}).ok());
+}
+
+TEST(DatasetTest, Corners) {
+  Dataset ds(2);
+  ds.Add({1, 9});
+  ds.Add({5, 2});
+  ds.Add({3, 3});
+  EXPECT_EQ(ds.MinCorner(), (std::vector<double>{1, 2}));
+  EXPECT_EQ(ds.MaxCorner(), (std::vector<double>{5, 9}));
+}
+
+TEST(DatasetTest, EmptyFlag) {
+  Dataset ds(4);
+  EXPECT_TRUE(ds.empty());
+  ds.Add({1, 2, 3, 4});
+  EXPECT_FALSE(ds.empty());
+}
+
+TEST(DatasetTest, StorageIsContiguous) {
+  Dataset ds(2);
+  ds.Reserve(3);
+  ds.Add({1, 2});
+  ds.Add({3, 4});
+  ds.Add({5, 6});
+  // Row i starts exactly dims doubles after row i-1.
+  EXPECT_EQ(ds.data(1), ds.data(0) + 2);
+  EXPECT_EQ(ds.data(2), ds.data(0) + 4);
+}
+
+TEST(DatasetTest, CopyIsIndependent) {
+  Dataset ds(1);
+  ds.Add({1});
+  Dataset copy = ds;
+  copy.Add({2});
+  EXPECT_EQ(ds.size(), 1u);
+  EXPECT_EQ(copy.size(), 2u);
+}
+
+}  // namespace
+}  // namespace skyup

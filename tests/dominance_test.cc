@@ -1,0 +1,137 @@
+#include "core/dominance.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/random.h"
+
+namespace skyup {
+namespace {
+
+TEST(DominanceTest, StrictDominanceAllDims) {
+  std::vector<double> a = {1, 2, 3};
+  std::vector<double> b = {2, 3, 4};
+  EXPECT_TRUE(Dominates(a, b));
+  EXPECT_FALSE(Dominates(b, a));
+}
+
+TEST(DominanceTest, DominanceWithOneStrictDim) {
+  std::vector<double> a = {1, 2, 3};
+  std::vector<double> b = {1, 2, 4};
+  EXPECT_TRUE(Dominates(a, b));
+  EXPECT_FALSE(Dominates(b, a));
+}
+
+TEST(DominanceTest, EqualPointsDoNotDominate) {
+  std::vector<double> a = {1, 2, 3};
+  EXPECT_FALSE(Dominates(a, a));
+  EXPECT_TRUE(DominatesOrEqual(a, a));
+}
+
+TEST(DominanceTest, IncomparablePoints) {
+  std::vector<double> a = {1, 5};
+  std::vector<double> b = {2, 3};
+  EXPECT_FALSE(Dominates(a, b));
+  EXPECT_FALSE(Dominates(b, a));
+  EXPECT_EQ(Compare(a.data(), b.data(), 2), DomRelation::kIncomparable);
+}
+
+TEST(DominanceTest, CompareClassifiesAllCases) {
+  std::vector<double> base = {2, 2};
+  EXPECT_EQ(Compare(std::vector<double>{1, 1}.data(), base.data(), 2),
+            DomRelation::kDominates);
+  EXPECT_EQ(Compare(std::vector<double>{3, 3}.data(), base.data(), 2),
+            DomRelation::kDominatedBy);
+  EXPECT_EQ(Compare(std::vector<double>{2, 2}.data(), base.data(), 2),
+            DomRelation::kEqual);
+  EXPECT_EQ(Compare(std::vector<double>{1, 3}.data(), base.data(), 2),
+            DomRelation::kIncomparable);
+}
+
+TEST(DominanceTest, SingleDimension) {
+  double a = 1.0, b = 2.0;
+  EXPECT_TRUE(Dominates(&a, &b, 1));
+  EXPECT_FALSE(Dominates(&b, &a, 1));
+  EXPECT_FALSE(Dominates(&a, &a, 1));
+}
+
+TEST(DominanceTest, MismatchedVectorSizesNeverDominate) {
+  std::vector<double> a = {1, 2};
+  std::vector<double> b = {1, 2, 3};
+  EXPECT_FALSE(Dominates(a, b));
+  EXPECT_FALSE(DominatesOrEqual(a, b));
+}
+
+TEST(DominanceTest, PaperTableOneExamples) {
+  // Cell phones of Table I with maximize dims negated (standby, pixels):
+  // weight, -standby, -pixels.
+  const std::vector<std::vector<double>> phones = {
+      {140, -200, -2.0},  // phone 1
+      {180, -150, -3.0},  // phone 2
+      {100, -160, -3.0},  // phone 3
+      {180, -180, -3.0},  // phone 4
+      {120, -180, -4.0},  // phone 5
+      {150, -150, -3.0},  // phone 6
+  };
+  // The paper: phones 1, 3, and 5 are the skyline.
+  auto dominated = [&](size_t i) {
+    for (size_t j = 0; j < phones.size(); ++j) {
+      if (j != i && Dominates(phones[j], phones[i])) return true;
+    }
+    return false;
+  };
+  EXPECT_FALSE(dominated(0));
+  EXPECT_TRUE(dominated(1));
+  EXPECT_FALSE(dominated(2));
+  EXPECT_TRUE(dominated(3));
+  EXPECT_FALSE(dominated(4));
+  EXPECT_TRUE(dominated(5));
+}
+
+// Property: dominance is irreflexive, asymmetric, and transitive.
+TEST(DominancePropertyTest, PartialOrderAxiomsOnRandomPoints) {
+  Rng rng(99);
+  const size_t dims = 4;
+  std::vector<std::vector<double>> pts(60, std::vector<double>(dims));
+  for (auto& p : pts) {
+    for (auto& v : p) v = rng.NextDouble(0.0, 1.0);
+  }
+  for (const auto& a : pts) {
+    EXPECT_FALSE(Dominates(a, a));
+  }
+  for (const auto& a : pts) {
+    for (const auto& b : pts) {
+      if (Dominates(a, b)) {
+        EXPECT_FALSE(Dominates(b, a));
+      }
+      for (const auto& c : pts) {
+        if (Dominates(a, b) && Dominates(b, c)) {
+          EXPECT_TRUE(Dominates(a, c));
+        }
+      }
+    }
+  }
+}
+
+TEST(DominancePropertyTest, CompareConsistentWithPredicates) {
+  Rng rng(100);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<double> a(3), b(3);
+    for (size_t i = 0; i < 3; ++i) {
+      // Coarse grid so equal coordinates occur often.
+      a[i] = static_cast<double>(rng.NextUint64(4));
+      b[i] = static_cast<double>(rng.NextUint64(4));
+    }
+    const DomRelation rel = Compare(a.data(), b.data(), 3);
+    EXPECT_EQ(rel == DomRelation::kDominates, Dominates(a, b));
+    EXPECT_EQ(rel == DomRelation::kDominatedBy, Dominates(b, a));
+    EXPECT_EQ(rel == DomRelation::kEqual, a == b);
+    EXPECT_EQ(
+        rel == DomRelation::kDominates || rel == DomRelation::kEqual,
+        DominatesOrEqual(a, b));
+  }
+}
+
+}  // namespace
+}  // namespace skyup

@@ -1,0 +1,212 @@
+#include "skyline/dominating_skyline.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/dominance.h"
+#include "data/generator.h"
+#include "skyline/skyline.h"
+#include "util/random.h"
+
+namespace skyup {
+namespace {
+
+// Reference: collect all strict dominators of t, then take their skyline.
+std::set<std::vector<double>> ReferenceDominatorSkyline(
+    const Dataset& ds, const std::vector<double>& t) {
+  std::vector<PointId> dominators;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    const PointId id = static_cast<PointId>(i);
+    if (Dominates(ds.data(id), t.data(), ds.dims())) dominators.push_back(id);
+  }
+  std::vector<PointId> sky = SkylineBnl(ds, &dominators);
+  std::set<std::vector<double>> out;
+  for (PointId id : sky) {
+    out.insert(std::vector<double>(ds.data(id), ds.data(id) + ds.dims()));
+  }
+  return out;
+}
+
+std::set<std::vector<double>> Coords(const Dataset& ds,
+                                     const std::vector<PointId>& ids) {
+  std::set<std::vector<double>> out;
+  for (PointId id : ids) {
+    out.insert(std::vector<double>(ds.data(id), ds.data(id) + ds.dims()));
+  }
+  return out;
+}
+
+TEST(DominatingSkylineTest, NoDominators) {
+  Result<Dataset> ds = Dataset::FromRows({{5, 5}, {6, 4}});
+  ASSERT_TRUE(ds.ok());
+  Result<RTree> tree = RTree::BulkLoad(*ds);
+  ASSERT_TRUE(tree.ok());
+  const std::vector<double> t = {1.0, 1.0};
+  EXPECT_TRUE(DominatingSkyline(tree.value(), t.data()).empty());
+}
+
+TEST(DominatingSkylineTest, EqualPointIsNotADominator) {
+  Result<Dataset> ds = Dataset::FromRows({{2, 2}, {3, 3}});
+  ASSERT_TRUE(ds.ok());
+  Result<RTree> tree = RTree::BulkLoad(*ds);
+  ASSERT_TRUE(tree.ok());
+  const std::vector<double> t = {2.0, 2.0};
+  EXPECT_TRUE(DominatingSkyline(tree.value(), t.data()).empty());
+}
+
+TEST(DominatingSkylineTest, SimpleCase) {
+  // Dominators of (5,5): (1,4), (4,1), (2,2); skyline of those: (1,4),
+  // (4,1), (2,2) minus dominated members -> (2,2) dominates none of them;
+  // all three are mutually incomparable except none dominates another.
+  Result<Dataset> ds =
+      Dataset::FromRows({{1, 4}, {4, 1}, {2, 2}, {6, 6}, {5, 0.5}});
+  ASSERT_TRUE(ds.ok());
+  Result<RTree> tree = RTree::BulkLoad(*ds);
+  ASSERT_TRUE(tree.ok());
+  const std::vector<double> t = {5.0, 5.0};
+  std::vector<PointId> sky = DominatingSkyline(tree.value(), t.data());
+  EXPECT_EQ(Coords(*ds, sky), ReferenceDominatorSkyline(*ds, t));
+}
+
+struct Param {
+  size_t n;
+  size_t dims;
+  Distribution distribution;
+};
+
+class DominatingSkylineSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(DominatingSkylineSweep, MatchesReferenceOnRandomProbes) {
+  const Param param = GetParam();
+  Result<Dataset> p = GenerateCompetitors(param.n, param.dims,
+                                          param.distribution, 404 + param.n);
+  ASSERT_TRUE(p.ok());
+  RTree::Options options;
+  options.max_entries = 16;
+  Result<RTree> tree = RTree::BulkLoad(*p, options);
+  ASSERT_TRUE(tree.ok());
+
+  Rng rng(17);
+  for (int probe = 0; probe < 30; ++probe) {
+    std::vector<double> t(param.dims);
+    // Mix of inside-cube and beyond-cube probes.
+    const double hi = probe % 2 == 0 ? 1.0 : 2.0;
+    for (auto& v : t) v = rng.NextDouble(0.0, hi);
+    std::vector<PointId> sky = DominatingSkyline(tree.value(), t.data());
+
+    EXPECT_EQ(Coords(*p, sky), ReferenceDominatorSkyline(*p, t));
+    for (PointId id : sky) {
+      EXPECT_TRUE(Dominates(p->data(id), t.data(), param.dims));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DominatingSkylineSweep,
+    ::testing::Values(Param{200, 2, Distribution::kIndependent},
+                      Param{200, 2, Distribution::kAntiCorrelated},
+                      Param{1000, 3, Distribution::kIndependent},
+                      Param{1000, 3, Distribution::kAntiCorrelated},
+                      Param{800, 4, Distribution::kCorrelated},
+                      Param{600, 5, Distribution::kAntiCorrelated}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) + "_d" +
+             std::to_string(info.param.dims) + "_" +
+             std::string(1, "iac"[static_cast<int>(
+                                 info.param.distribution)]);
+    });
+
+TEST(DominatingSkylineFromTest, RootSeedEqualsSingleSource) {
+  Result<Dataset> p =
+      GenerateCompetitors(800, 3, Distribution::kAntiCorrelated, 71);
+  ASSERT_TRUE(p.ok());
+  Result<RTree> tree = RTree::BulkLoad(*p);
+  ASSERT_TRUE(tree.ok());
+  const std::vector<double> t = {1.2, 1.2, 1.2};
+  const auto single = Coords(*p, DominatingSkyline(tree.value(), t.data()));
+  const auto multi = Coords(
+      *p, DominatingSkylineFrom(*p, {tree->root()}, {}, t.data()));
+  EXPECT_EQ(single, multi);
+  EXPECT_FALSE(multi.empty());
+}
+
+TEST(DominatingSkylineFromTest, SubtreeSeedsAndExplicitPoints) {
+  Result<Dataset> p =
+      GenerateCompetitors(600, 2, Distribution::kIndependent, 72);
+  ASSERT_TRUE(p.ok());
+  RTree::Options options;
+  options.max_entries = 8;
+  Result<RTree> tree = RTree::BulkLoad(*p, options);
+  ASSERT_TRUE(tree.ok());
+  ASSERT_FALSE(tree->root()->is_leaf());
+
+  // Seed from the root's children plus a few explicit point ids: must
+  // equal the single-source result (same coverage, different seeding).
+  std::vector<const RTreeNode*> roots;
+  for (const auto& child : tree->root()->children) {
+    roots.push_back(child.get());
+  }
+  const std::vector<PointId> extra = {0, 1, 2, 3, 4};
+  const std::vector<double> t = {0.9, 0.9};
+  const auto multi =
+      Coords(*p, DominatingSkylineFrom(*p, roots, extra, t.data()));
+  const auto single = Coords(*p, DominatingSkyline(tree.value(), t.data()));
+  EXPECT_EQ(multi, single);
+}
+
+TEST(DominatingSkylineFromTest, EmptySeedsYieldEmpty) {
+  Dataset p(2);
+  p.Add({0.1, 0.1});
+  EXPECT_TRUE(DominatingSkylineFrom(p, {}, {}, p.data(0)).empty());
+}
+
+TEST(DominatingSkylineFromTest, PointSeedsOnly) {
+  Dataset p(2);
+  p.Add({0.1, 0.5});
+  p.Add({0.5, 0.1});
+  p.Add({0.3, 0.3});
+  p.Add({0.9, 0.9});  // not a dominator of t
+  const std::vector<double> t = {0.8, 0.8};
+  const auto sky = DominatingSkylineFrom(p, {}, {0, 1, 2, 3}, t.data());
+  EXPECT_EQ(sky.size(), 3u);
+}
+
+TEST(DominatingSkylineTest, StatsAreAccounted) {
+  Result<Dataset> p =
+      GenerateCompetitors(2000, 2, Distribution::kIndependent, 8);
+  ASSERT_TRUE(p.ok());
+  Result<RTree> tree = RTree::BulkLoad(*p);
+  ASSERT_TRUE(tree.ok());
+  const std::vector<double> t = {1.5, 1.5};  // dominated by everything
+  ProbeStats stats;
+  std::vector<PointId> sky = DominatingSkyline(tree.value(), t.data(), &stats);
+  EXPECT_FALSE(sky.empty());
+  EXPECT_GT(stats.heap_pops, 0u);
+  EXPECT_GT(stats.nodes_visited, 0u);
+}
+
+TEST(DominatingSkylineTest, PrunesFarNodes) {
+  // A probe in the far corner dominated only by a tiny cluster: the
+  // traversal should visit far fewer nodes than the tree has.
+  Dataset ds(2);
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    ds.Add({0.5 + 0.5 * rng.NextDouble(), 0.5 + 0.5 * rng.NextDouble()});
+  }
+  ds.Add({0.01, 0.01});
+  RTree::Options options;
+  options.max_entries = 16;
+  Result<RTree> tree = RTree::BulkLoad(ds, options);
+  ASSERT_TRUE(tree.ok());
+  const std::vector<double> t = {0.05, 0.05};
+  ProbeStats stats;
+  std::vector<PointId> sky = DominatingSkyline(tree.value(), t.data(), &stats);
+  ASSERT_EQ(sky.size(), 1u);
+  EXPECT_LT(stats.nodes_visited, tree->Stats().node_count / 4);
+}
+
+}  // namespace
+}  // namespace skyup

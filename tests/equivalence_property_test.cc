@@ -1,0 +1,224 @@
+// Cross-algorithm equivalence: the paper states that probing and join
+// "basically yield the same upgrading results" (Section III-B5). This suite
+// randomizes workloads across distributions, dimensionalities, fanouts, and
+// lower-bound kinds, and checks all algorithms against the brute-force
+// oracle. The join runs in the library's sound bound mode, where the
+// equality is provable; the paper mode's agreement rate is measured in
+// bench_ablation instead.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/join.h"
+#include "core/planner.h"
+#include "core/probing.h"
+#include "data/generator.h"
+#include "util/random.h"
+
+namespace skyup {
+namespace {
+
+struct SweepParam {
+  size_t np;
+  size_t nt;
+  size_t dims;
+  Distribution distribution;
+  size_t fanout;
+  uint64_t seed;
+};
+
+std::string ParamName(const SweepParam& p) {
+  return "P" + std::to_string(p.np) + "_T" + std::to_string(p.nt) + "_d" +
+         std::to_string(p.dims) + "_" +
+         std::string(1, "iac"[static_cast<int>(p.distribution)]) + "_f" +
+         std::to_string(p.fanout) + "_s" + std::to_string(p.seed);
+}
+
+class EquivalenceSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(EquivalenceSweep, AllAlgorithmsMatchOracleCosts) {
+  const SweepParam param = GetParam();
+  Result<Dataset> p = GenerateCompetitors(param.np, param.dims,
+                                          param.distribution, param.seed);
+  Result<Dataset> t = GenerateProducts(param.nt, param.dims,
+                                       param.distribution, param.seed + 1);
+  ASSERT_TRUE(p.ok() && t.ok());
+  ProductCostFunction f =
+      ProductCostFunction::ReciprocalSum(param.dims, 1e-3);
+
+  const size_t k = std::min<size_t>(10, param.nt);
+  Result<std::vector<UpgradeResult>> oracle = TopKBruteForce(*p, *t, f, k);
+  ASSERT_TRUE(oracle.ok());
+
+  PlannerOptions options;
+  options.rtree_fanout = param.fanout;
+  options.bound_mode = BoundMode::kSound;
+  for (auto kind : {LowerBoundKind::kNaive, LowerBoundKind::kConservative,
+                    LowerBoundKind::kAggressive}) {
+    options.lower_bound = kind;
+    Result<UpgradePlanner> planner = UpgradePlanner::Create(*p, *t, f,
+                                                            options);
+    ASSERT_TRUE(planner.ok());
+    for (auto algo : {Algorithm::kBasicProbing, Algorithm::kImprovedProbing,
+                      Algorithm::kJoin}) {
+      Result<std::vector<UpgradeResult>> got = planner->TopK(k, algo);
+      ASSERT_TRUE(got.ok())
+          << AlgorithmName(algo) << ": " << got.status().ToString();
+      ASSERT_EQ(got->size(), oracle->size()) << AlgorithmName(algo);
+      for (size_t i = 0; i < k; ++i) {
+        ASSERT_NEAR((*got)[i].cost, (*oracle)[i].cost, 1e-9)
+            << AlgorithmName(algo) << " with " << LowerBoundKindName(kind)
+            << " diverged at rank " << i;
+      }
+      // Probing results do not depend on the lower-bound kind; only run
+      // them once.
+      if (kind != LowerBoundKind::kNaive &&
+          algo != Algorithm::kJoin) {
+        break;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EquivalenceSweep,
+    ::testing::Values(
+        SweepParam{300, 40, 2, Distribution::kIndependent, 8, 1},
+        SweepParam{300, 40, 2, Distribution::kAntiCorrelated, 8, 2},
+        SweepParam{300, 40, 2, Distribution::kCorrelated, 8, 3},
+        SweepParam{500, 60, 3, Distribution::kIndependent, 16, 4},
+        SweepParam{500, 60, 3, Distribution::kAntiCorrelated, 16, 5},
+        SweepParam{400, 50, 4, Distribution::kIndependent, 4, 6},
+        SweepParam{400, 50, 4, Distribution::kAntiCorrelated, 32, 7},
+        SweepParam{350, 45, 5, Distribution::kIndependent, 16, 8},
+        SweepParam{350, 45, 5, Distribution::kAntiCorrelated, 16, 9},
+        SweepParam{250, 30, 6, Distribution::kAntiCorrelated, 8, 10}),
+    [](const auto& info) { return ParamName(info.param); });
+
+// Mixed-position products: unlike the paper's (1,2]^c layout, place T
+// points *inside* the competitor cube so some are undominated, some nearly
+// competitive, some deep — exercising all LBC cases.
+TEST(EquivalencePropertyTest, MixedPositionProductsAgree) {
+  Rng rng(777);
+  for (int trial = 0; trial < 6; ++trial) {
+    const size_t dims = 2 + static_cast<size_t>(trial % 3);
+    Result<Dataset> p = GenerateCompetitors(
+        400, dims,
+        trial % 2 == 0 ? Distribution::kIndependent
+                       : Distribution::kAntiCorrelated,
+        900 + static_cast<uint64_t>(trial));
+    ASSERT_TRUE(p.ok());
+    Dataset t(dims);
+    for (int i = 0; i < 50; ++i) {
+      std::vector<double> row(dims);
+      for (auto& v : row) v = rng.NextDouble(0.0, 1.4);
+      t.Add(row);
+    }
+    ProductCostFunction f = ProductCostFunction::ReciprocalSum(dims, 1e-3);
+
+    Result<std::vector<UpgradeResult>> oracle = TopKBruteForce(*p, t, f, 15);
+    ASSERT_TRUE(oracle.ok());
+
+    PlannerOptions options;
+    options.bound_mode = BoundMode::kSound;
+    options.rtree_fanout = 8;
+    Result<UpgradePlanner> planner = UpgradePlanner::Create(*p, t, f,
+                                                            options);
+    ASSERT_TRUE(planner.ok());
+    for (auto algo : {Algorithm::kBasicProbing, Algorithm::kImprovedProbing,
+                      Algorithm::kJoin}) {
+      Result<std::vector<UpgradeResult>> got = planner->TopK(15, algo);
+      ASSERT_TRUE(got.ok());
+      ASSERT_EQ(got->size(), oracle->size());
+      for (size_t i = 0; i < got->size(); ++i) {
+        ASSERT_NEAR((*got)[i].cost, (*oracle)[i].cost, 1e-9)
+            << AlgorithmName(algo) << " trial " << trial << " rank " << i;
+      }
+    }
+  }
+}
+
+// Degenerate layouts that stress edge paths.
+TEST(EquivalencePropertyTest, ManyDuplicateCompetitors) {
+  Dataset p(2);
+  for (int i = 0; i < 200; ++i) p.Add({0.5, 0.5});
+  p.Add({0.2, 0.8});
+  Dataset t(2);
+  t.Add({1.0, 1.0});
+  t.Add({0.4, 0.6});  // undominated: beats the clones on x, (0.2,0.8) on y
+  t.Add({0.6, 0.9});  // dominated by (0.5,0.5) and (0.2,0.8)
+  ProductCostFunction f = ProductCostFunction::ReciprocalSum(2, 1e-3);
+
+  Result<std::vector<UpgradeResult>> oracle = TopKBruteForce(p, t, f, 3);
+  ASSERT_TRUE(oracle.ok());
+  PlannerOptions options;
+  options.bound_mode = BoundMode::kSound;
+  options.rtree_fanout = 4;
+  Result<UpgradePlanner> planner = UpgradePlanner::Create(p, t, f, options);
+  ASSERT_TRUE(planner.ok());
+  for (auto algo : {Algorithm::kBasicProbing, Algorithm::kImprovedProbing,
+                    Algorithm::kJoin}) {
+    Result<std::vector<UpgradeResult>> got = planner->TopK(3, algo);
+    ASSERT_TRUE(got.ok());
+    for (size_t i = 0; i < 3; ++i) {
+      EXPECT_NEAR((*got)[i].cost, (*oracle)[i].cost, 1e-9)
+          << AlgorithmName(algo);
+    }
+  }
+}
+
+TEST(EquivalencePropertyTest, SingleCompetitorSingleProduct) {
+  Dataset p(3);
+  p.Add({0.1, 0.2, 0.3});
+  Dataset t(3);
+  t.Add({0.5, 0.5, 0.5});
+  ProductCostFunction f = ProductCostFunction::ReciprocalSum(3, 1e-3);
+
+  Result<std::vector<UpgradeResult>> oracle = TopKBruteForce(p, t, f, 1);
+  ASSERT_TRUE(oracle.ok());
+  Result<UpgradePlanner> planner = UpgradePlanner::Create(p, t, f);
+  ASSERT_TRUE(planner.ok());
+  for (auto algo : {Algorithm::kBasicProbing, Algorithm::kImprovedProbing,
+                    Algorithm::kJoin}) {
+    Result<std::vector<UpgradeResult>> got = planner->TopK(1, algo);
+    ASSERT_TRUE(got.ok());
+    EXPECT_NEAR((*got)[0].cost, (*oracle)[0].cost, 1e-9);
+    EXPECT_EQ((*got)[0].product_id, 0);
+  }
+}
+
+// The full progressive stream in sound mode must equal the full sorted
+// oracle ranking, not just the first k.
+TEST(EquivalencePropertyTest, FullStreamMatchesOracle) {
+  Result<Dataset> p =
+      GenerateCompetitors(600, 3, Distribution::kAntiCorrelated, 1001);
+  Result<Dataset> t =
+      GenerateProducts(70, 3, Distribution::kAntiCorrelated, 1002);
+  ASSERT_TRUE(p.ok() && t.ok());
+  ProductCostFunction f = ProductCostFunction::ReciprocalSum(3, 1e-3);
+
+  Result<std::vector<UpgradeResult>> oracle =
+      TopKBruteForce(*p, *t, f, t->size());
+  ASSERT_TRUE(oracle.ok());
+
+  PlannerOptions options;
+  options.bound_mode = BoundMode::kSound;
+  Result<UpgradePlanner> planner = UpgradePlanner::Create(*p, *t, f, options);
+  ASSERT_TRUE(planner.ok());
+  Result<JoinCursor> cursor = planner->OpenJoinCursor();
+  ASSERT_TRUE(cursor.ok());
+
+  size_t rank = 0;
+  while (auto r = cursor->Next()) {
+    ASSERT_LT(rank, oracle->size());
+    ASSERT_NEAR(r->cost, (*oracle)[rank].cost, 1e-9) << "rank " << rank;
+    ++rank;
+  }
+  EXPECT_EQ(rank, oracle->size());
+}
+
+}  // namespace
+}  // namespace skyup

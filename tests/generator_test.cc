@@ -1,0 +1,160 @@
+#include "data/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/dominance.h"
+#include "skyline/skyline.h"
+#include "util/stats.h"
+
+namespace skyup {
+namespace {
+
+std::vector<double> Column(const Dataset& ds, size_t dim) {
+  std::vector<double> out;
+  out.reserve(ds.size());
+  for (size_t i = 0; i < ds.size(); ++i) {
+    out.push_back(ds.data(static_cast<PointId>(i))[dim]);
+  }
+  return out;
+}
+
+TEST(GeneratorTest, RespectsCountDimsAndRange) {
+  for (auto distribution : {Distribution::kIndependent,
+                            Distribution::kAntiCorrelated,
+                            Distribution::kCorrelated}) {
+    GeneratorConfig config;
+    config.count = 500;
+    config.dims = 4;
+    config.distribution = distribution;
+    config.lo = 2.0;
+    config.hi = 5.0;
+    config.seed = 99;
+    Result<Dataset> ds = GenerateDataset(config);
+    ASSERT_TRUE(ds.ok());
+    EXPECT_EQ(ds->size(), 500u);
+    EXPECT_EQ(ds->dims(), 4u);
+    for (size_t i = 0; i < ds->size(); ++i) {
+      const double* p = ds->data(static_cast<PointId>(i));
+      for (size_t d = 0; d < 4; ++d) {
+        EXPECT_GE(p[d], 2.0) << DistributionName(distribution);
+        EXPECT_LE(p[d], 5.0) << DistributionName(distribution);
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, DeterministicPerSeed) {
+  GeneratorConfig config;
+  config.count = 100;
+  config.dims = 3;
+  config.distribution = Distribution::kAntiCorrelated;
+  config.seed = 7;
+  Result<Dataset> a = GenerateDataset(config);
+  Result<Dataset> b = GenerateDataset(config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < a->size(); ++i) {
+    for (size_t d = 0; d < 3; ++d) {
+      EXPECT_DOUBLE_EQ(a->data(static_cast<PointId>(i))[d],
+                       b->data(static_cast<PointId>(i))[d]);
+    }
+  }
+  config.seed = 8;
+  Result<Dataset> c = GenerateDataset(config);
+  ASSERT_TRUE(c.ok());
+  bool any_diff = false;
+  for (size_t i = 0; i < a->size() && !any_diff; ++i) {
+    any_diff = a->data(static_cast<PointId>(i))[0] !=
+               c->data(static_cast<PointId>(i))[0];
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GeneratorTest, RejectsInvalidConfig) {
+  GeneratorConfig config;
+  config.count = 0;
+  config.dims = 2;
+  EXPECT_FALSE(GenerateDataset(config).ok());
+  config.count = 10;
+  config.dims = 0;
+  EXPECT_FALSE(GenerateDataset(config).ok());
+  config.dims = 2;
+  config.lo = 1.0;
+  config.hi = 1.0;
+  EXPECT_FALSE(GenerateDataset(config).ok());
+}
+
+TEST(GeneratorTest, AntiCorrelatedHasNegativePairwiseCorrelation) {
+  Result<Dataset> ds =
+      GenerateCompetitors(5000, 2, Distribution::kAntiCorrelated, 13);
+  ASSERT_TRUE(ds.ok());
+  const double r = PearsonCorrelation(Column(*ds, 0), Column(*ds, 1));
+  EXPECT_LT(r, -0.5);
+}
+
+TEST(GeneratorTest, CorrelatedHasPositivePairwiseCorrelation) {
+  Result<Dataset> ds =
+      GenerateCompetitors(5000, 2, Distribution::kCorrelated, 14);
+  ASSERT_TRUE(ds.ok());
+  const double r = PearsonCorrelation(Column(*ds, 0), Column(*ds, 1));
+  EXPECT_GT(r, 0.8);
+}
+
+TEST(GeneratorTest, IndependentHasNearZeroCorrelation) {
+  Result<Dataset> ds =
+      GenerateCompetitors(5000, 2, Distribution::kIndependent, 15);
+  ASSERT_TRUE(ds.ok());
+  const double r = PearsonCorrelation(Column(*ds, 0), Column(*ds, 1));
+  EXPECT_NEAR(r, 0.0, 0.05);
+}
+
+TEST(GeneratorTest, SkylineSizeOrdering) {
+  // The paper's premise: anti-correlated data has (much) larger skylines
+  // than independent, which beats correlated.
+  const size_t n = 4000;
+  Result<Dataset> anti =
+      GenerateCompetitors(n, 3, Distribution::kAntiCorrelated, 20);
+  Result<Dataset> indep =
+      GenerateCompetitors(n, 3, Distribution::kIndependent, 21);
+  Result<Dataset> corr =
+      GenerateCompetitors(n, 3, Distribution::kCorrelated, 22);
+  ASSERT_TRUE(anti.ok() && indep.ok() && corr.ok());
+  const size_t s_anti = SkylineSfs(*anti).size();
+  const size_t s_indep = SkylineSfs(*indep).size();
+  const size_t s_corr = SkylineSfs(*corr).size();
+  EXPECT_GT(s_anti, 2 * s_indep);
+  EXPECT_GE(s_indep, s_corr);
+}
+
+TEST(GeneratorTest, ProductsAreDominatedByAllCompetitors) {
+  // P in [0,1)^d, T in (1,2]^d: every competitor dominates every product.
+  Result<Dataset> p =
+      GenerateCompetitors(200, 3, Distribution::kIndependent, 30);
+  Result<Dataset> t = GenerateProducts(50, 3, Distribution::kIndependent, 31);
+  ASSERT_TRUE(p.ok() && t.ok());
+  for (size_t i = 0; i < t->size(); ++i) {
+    for (size_t j = 0; j < p->size(); ++j) {
+      ASSERT_TRUE(Dominates(p->data(static_cast<PointId>(j)),
+                            t->data(static_cast<PointId>(i)), 3));
+    }
+  }
+}
+
+TEST(GeneratorTest, AntiCorrelatedSumsConcentrateNearHalf) {
+  Result<Dataset> ds =
+      GenerateCompetitors(3000, 4, Distribution::kAntiCorrelated, 44);
+  ASSERT_TRUE(ds.ok());
+  RunningStats sums;
+  for (size_t i = 0; i < ds->size(); ++i) {
+    const double* p = ds->data(static_cast<PointId>(i));
+    double s = 0.0;
+    for (size_t d = 0; d < 4; ++d) s += p[d];
+    sums.Add(s);
+  }
+  EXPECT_NEAR(sums.mean(), 2.0, 0.15);   // d * 0.5
+  EXPECT_LT(sums.stddev(), 0.7);         // concentrated around the plane
+}
+
+}  // namespace
+}  // namespace skyup

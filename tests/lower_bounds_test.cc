@@ -1,0 +1,420 @@
+#include "core/lower_bounds.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/dominance.h"
+#include "core/single_upgrade.h"
+#include "data/generator.h"
+#include "skyline/skyline.h"
+#include "util/random.h"
+
+namespace skyup {
+namespace {
+
+const ProductCostFunction& CostFn2() {
+  static const ProductCostFunction* f =
+      new ProductCostFunction(ProductCostFunction::ReciprocalSum(2, 1e-3));
+  return *f;
+}
+
+const ProductCostFunction& CostFn2x3() {
+  static const ProductCostFunction* f =
+      new ProductCostFunction(ProductCostFunction::ReciprocalSum(3, 1e-3));
+  return *f;
+}
+
+TEST(ClassifyDimsTest, PartitionsDimensions) {
+  // e_T.min = (5, 5, 5); e_P spans [2,4] x [6,8] x [4,6].
+  const std::vector<double> et_min = {5, 5, 5};
+  const std::vector<double> ep_min = {2, 6, 4};
+  const std::vector<double> ep_max = {4, 8, 6};
+  DimClassification cls =
+      ClassifyDims(et_min.data(), ep_min.data(), ep_max.data(), 3);
+  EXPECT_EQ(cls.disadvantaged, 0b001u);  // dim 0: ep_max < et_min
+  EXPECT_EQ(cls.advantaged, 0b010u);     // dim 1: et_min < ep_min
+  EXPECT_EQ(cls.incomparable, 0b100u);   // dim 2: ep_min <= et_min <= ep_max
+  EXPECT_EQ(cls.disadvantaged | cls.advantaged | cls.incomparable, 0b111u);
+}
+
+TEST(LbcPairTest, CaseOneAdvantagedIsZero) {
+  // e_T.min better than e_P.min on dim 1 -> no upgrade needed.
+  const std::vector<double> et_min = {0.9, 0.1};
+  const std::vector<double> ep_min = {0.2, 0.2};
+  const std::vector<double> ep_max = {0.4, 0.4};
+  EXPECT_DOUBLE_EQ(
+      LbcPair(et_min.data(), ep_min.data(), ep_max.data(), 2, CostFn2()),
+      0.0);
+}
+
+TEST(LbcPairTest, CaseTwoAllIncomparableIsZero) {
+  const std::vector<double> et_min = {0.3, 0.3};
+  const std::vector<double> ep_min = {0.2, 0.2};
+  const std::vector<double> ep_max = {0.4, 0.4};
+  EXPECT_DOUBLE_EQ(
+      LbcPair(et_min.data(), ep_min.data(), ep_max.data(), 2, CostFn2()),
+      0.0);
+}
+
+TEST(LbcPairTest, CaseThreeAllDisadvantaged) {
+  const std::vector<double> et_min = {0.8, 0.8};
+  const std::vector<double> ep_min = {0.2, 0.2};
+  const std::vector<double> ep_max = {0.4, 0.4};
+  const double expected = CostFn2().Cost(ep_max) - CostFn2().Cost(et_min);
+  EXPECT_NEAR(
+      LbcPair(et_min.data(), ep_min.data(), ep_max.data(), 2, CostFn2()),
+      expected, 1e-12);
+  EXPECT_GT(expected, 0.0);
+}
+
+TEST(LbcPairTest, CaseFourMixed) {
+  // Dim 0 disadvantaged, dim 1 incomparable: t_v = (ep_max.x, et_min.y).
+  const std::vector<double> et_min = {0.8, 0.3};
+  const std::vector<double> ep_min = {0.2, 0.2};
+  const std::vector<double> ep_max = {0.4, 0.4};
+  const std::vector<double> tv = {0.4, 0.3};
+  const double expected = CostFn2().Cost(tv) - CostFn2().Cost(et_min);
+  EXPECT_NEAR(
+      LbcPair(et_min.data(), ep_min.data(), ep_max.data(), 2, CostFn2()),
+      expected, 1e-12);
+}
+
+TEST(LbcPairTest, PointEntryDegenerateBox) {
+  // A point competitor (min == max) strictly better on all dims.
+  const std::vector<double> et_min = {0.8, 0.8};
+  const std::vector<double> q = {0.4, 0.4};
+  const double lbc =
+      LbcPair(et_min.data(), q.data(), q.data(), 2, CostFn2());
+  EXPECT_NEAR(lbc, CostFn2().Cost(q) - CostFn2().Cost(et_min), 1e-12);
+}
+
+TEST(LbcJoinListTest, EmptyListIsZeroForAllKinds) {
+  const std::vector<double> et_min = {0.5, 0.5};
+  for (auto kind : {LowerBoundKind::kNaive, LowerBoundKind::kConservative,
+                    LowerBoundKind::kAggressive}) {
+    EXPECT_DOUBLE_EQ(LbcJoinList(et_min.data(), {}, 2, CostFn2(), kind), 0.0);
+  }
+}
+
+struct JlFixture {
+  std::vector<std::vector<double>> mins;
+  std::vector<std::vector<double>> maxs;
+
+  std::vector<EntryBounds> Bounds() const {
+    std::vector<EntryBounds> out;
+    for (size_t i = 0; i < mins.size(); ++i) {
+      out.push_back({mins[i].data(), maxs[i].data()});
+    }
+    return out;
+  }
+};
+
+TEST(LbcJoinListTest, NaiveTakesMinIncludingZeros) {
+  // One zero-LBC entry (advantaged dim) and one positive entry.
+  const std::vector<double> et_min = {0.5, 0.5};
+  JlFixture jl;
+  jl.mins = {{0.7, 0.1}, {0.1, 0.1}};
+  jl.maxs = {{0.9, 0.3}, {0.3, 0.3}};
+  const double nlb = LbcJoinList(et_min.data(), jl.Bounds(), 2, CostFn2(),
+                                 LowerBoundKind::kNaive);
+  const double clb = LbcJoinList(et_min.data(), jl.Bounds(), 2, CostFn2(),
+                                 LowerBoundKind::kConservative);
+  EXPECT_DOUBLE_EQ(nlb, 0.0);
+  EXPECT_GT(clb, 0.0);  // CLB ignores the zero entry -> tighter
+  const double pair1 = LbcPair(et_min.data(), jl.mins[1].data(),
+                               jl.maxs[1].data(), 2, CostFn2());
+  EXPECT_DOUBLE_EQ(clb, pair1);
+}
+
+TEST(LbcJoinListTest, ConservativeFallsBackToZeroWhenAllZero) {
+  const std::vector<double> et_min = {0.1, 0.9};
+  JlFixture jl;
+  jl.mins = {{0.2, 0.2}};
+  jl.maxs = {{0.4, 0.4}};
+  EXPECT_DOUBLE_EQ(LbcJoinList(et_min.data(), jl.Bounds(), 2, CostFn2(),
+                               LowerBoundKind::kConservative),
+                   0.0);
+}
+
+TEST(LbcJoinListTest, AggressiveTakesMaxWithinSignatureGroup) {
+  // Two entries both fully disadvantaging e_T (same signature): ALB must
+  // charge the more expensive one, CLB only the cheaper.
+  const std::vector<double> et_min = {0.9, 0.9};
+  JlFixture jl;
+  jl.mins = {{0.5, 0.5}, {0.1, 0.1}};
+  jl.maxs = {{0.6, 0.6}, {0.2, 0.2}};
+  const double lbc0 = LbcPair(et_min.data(), jl.mins[0].data(),
+                              jl.maxs[0].data(), 2, CostFn2());
+  const double lbc1 = LbcPair(et_min.data(), jl.mins[1].data(),
+                              jl.maxs[1].data(), 2, CostFn2());
+  ASSERT_GT(lbc1, lbc0);  // tighter box is deeper -> more expensive
+
+  const double clb = LbcJoinList(et_min.data(), jl.Bounds(), 2, CostFn2(),
+                                 LowerBoundKind::kConservative);
+  const double alb = LbcJoinList(et_min.data(), jl.Bounds(), 2, CostFn2(),
+                                 LowerBoundKind::kAggressive);
+  EXPECT_DOUBLE_EQ(clb, lbc0);
+  EXPECT_DOUBLE_EQ(alb, lbc1);
+}
+
+TEST(LbcJoinListTest, AggressiveTakesMinAcrossGroups) {
+  // Different signatures: dim-0-disadvantaged vs dim-1-disadvantaged.
+  const std::vector<double> et_min = {0.5, 0.5};
+  JlFixture jl;
+  jl.mins = {{0.1, 0.6}, {0.6, 0.1}};
+  jl.maxs = {{0.2, 0.8}, {0.8, 0.3}};
+  const double lbc0 = LbcPair(et_min.data(), jl.mins[0].data(),
+                              jl.maxs[0].data(), 2, CostFn2());
+  const double lbc1 = LbcPair(et_min.data(), jl.mins[1].data(),
+                              jl.maxs[1].data(), 2, CostFn2());
+  const double alb = LbcJoinList(et_min.data(), jl.Bounds(), 2, CostFn2(),
+                                 LowerBoundKind::kAggressive);
+  EXPECT_DOUBLE_EQ(alb, std::min(lbc0, lbc1));
+}
+
+TEST(LbcJoinListTest, BoundOrderingHolds) {
+  // NLB <= CLB always; both <= ALB on common signatures.
+  Rng rng(31);
+  const size_t dims = 3;
+  const ProductCostFunction f = ProductCostFunction::ReciprocalSum(dims, 1e-3);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> et_min(dims);
+    for (auto& v : et_min) v = rng.NextDouble(0.4, 1.6);
+    JlFixture jl;
+    const size_t entries = 1 + rng.NextUint64(6);
+    for (size_t e = 0; e < entries; ++e) {
+      std::vector<double> lo(dims), hi(dims);
+      for (size_t i = 0; i < dims; ++i) {
+        const double a = rng.NextDouble();
+        const double b = rng.NextDouble();
+        lo[i] = std::min(a, b);
+        hi[i] = std::max(a, b);
+      }
+      jl.mins.push_back(lo);
+      jl.maxs.push_back(hi);
+    }
+    const double nlb = LbcJoinList(et_min.data(), jl.Bounds(), dims, f,
+                                   LowerBoundKind::kNaive);
+    const double clb = LbcJoinList(et_min.data(), jl.Bounds(), dims, f,
+                                   LowerBoundKind::kConservative);
+    const double alb = LbcJoinList(et_min.data(), jl.Bounds(), dims, f,
+                                   LowerBoundKind::kAggressive);
+    EXPECT_LE(nlb, clb + 1e-12);
+    EXPECT_LE(clb, alb + 1e-12);
+    EXPECT_GE(nlb, 0.0);
+  }
+}
+
+// The defining property of the *sound* mode: every LBC variant must
+// lower-bound the true upgrading cost of every point inside e_T against
+// the points inside the (tight) join-list boxes.
+TEST(LbcPropertyTest, SoundBoundsNeverExceedTrueUpgradeCost) {
+  Rng rng(67);
+  for (size_t dims = 2; dims <= 4; ++dims) {
+    const ProductCostFunction f =
+        ProductCostFunction::ReciprocalSum(dims, 1e-3);
+    for (int trial = 0; trial < 150; ++trial) {
+      // Random competitor points, grouped into boxes; each box is the
+      // *tight* MBR of its group (the R-tree invariant the sound bound
+      // relies on).
+      Dataset competitors(dims);
+      std::vector<std::vector<double>> mins, maxs;
+      const size_t groups = 1 + rng.NextUint64(3);
+      for (size_t g = 0; g < groups; ++g) {
+        std::vector<double> lo(dims,
+                               std::numeric_limits<double>::infinity());
+        std::vector<double> hi(dims,
+                               -std::numeric_limits<double>::infinity());
+        const size_t npts = 1 + rng.NextUint64(5);
+        for (size_t n = 0; n < npts; ++n) {
+          std::vector<double> q(dims);
+          for (size_t i = 0; i < dims; ++i) {
+            q[i] = rng.NextDouble();
+            lo[i] = std::min(lo[i], q[i]);
+            hi[i] = std::max(hi[i], q[i]);
+          }
+          competitors.Add(q);
+        }
+        mins.push_back(lo);
+        maxs.push_back(hi);
+      }
+      std::vector<EntryBounds> bounds;
+      for (size_t g = 0; g < groups; ++g) {
+        bounds.push_back({mins[g].data(), maxs[g].data()});
+      }
+
+      // t is the corner of its own (conceptual) e_T box: et_min == t is
+      // the tightest legal choice, making the test strictest.
+      std::vector<double> t(dims);
+      for (size_t i = 0; i < dims; ++i) t[i] = rng.NextDouble(0.3, 1.3);
+
+      std::vector<const double*> dominators;
+      for (size_t i = 0; i < competitors.size(); ++i) {
+        const double* q = competitors.data(static_cast<PointId>(i));
+        if (Dominates(q, t.data(), dims)) dominators.push_back(q);
+      }
+      SkylineOfPointers(&dominators, dims);
+      const UpgradeOutcome truth =
+          UpgradeProduct(dominators, t.data(), dims, f, 1e-6);
+
+      for (auto kind : {LowerBoundKind::kNaive,
+                        LowerBoundKind::kConservative,
+                        LowerBoundKind::kAggressive}) {
+        const double bound = LbcJoinList(t.data(), bounds, dims, f, kind,
+                                         BoundMode::kSound);
+        ASSERT_LE(bound, truth.cost + 1e-9)
+            << LowerBoundKindName(kind) << " overestimated at trial "
+            << trial << " (d=" << dims << ")";
+      }
+    }
+  }
+}
+
+// Documents the paper formula's caveat: for a point entry, cases 3/4 charge
+// matching e_P.max on *all* disadvantaged dimensions, but the cheapest real
+// upgrade (Algorithm 1) escapes on one dimension — so the paper value can
+// exceed the true cost, while the sound mode never does.
+TEST(LbcPropertyTest, PaperBoundOverestimatesOnPointEntries) {
+  const size_t dims = 2;
+  const ProductCostFunction f = ProductCostFunction::ReciprocalSum(dims, 1e-3);
+  const std::vector<double> q = {0.4, 0.4};  // single dominator (leaf entry)
+  const std::vector<double> t = {0.8, 0.8};
+
+  const UpgradeOutcome truth = UpgradeProduct({q.data()}, t.data(), dims, f,
+                                              1e-6);
+  const double paper =
+      LbcPair(t.data(), q.data(), q.data(), dims, f, BoundMode::kPaper);
+  const double sound =
+      LbcPair(t.data(), q.data(), q.data(), dims, f, BoundMode::kSound);
+
+  EXPECT_GT(paper, truth.cost);        // the paper's "bound" overshoots
+  EXPECT_LE(sound, truth.cost + 1e-9);  // the correction does not
+  EXPECT_GT(sound, 0.0);
+}
+
+TEST(LbcPairTest, SoundModeZeroWithTwoIncomparableDims) {
+  // Both dims incomparable and a third disadvantaged: contents may contain
+  // no dominator at all, so the sound bound must be 0.
+  const std::vector<double> et_min = {0.5, 0.5, 0.9};
+  const std::vector<double> ep_min = {0.3, 0.3, 0.1};
+  const std::vector<double> ep_max = {0.7, 0.7, 0.2};
+  EXPECT_DOUBLE_EQ(LbcPair(et_min.data(), ep_min.data(), ep_max.data(), 3,
+                           CostFn2x3(), BoundMode::kSound),
+                   0.0);
+  EXPECT_GT(LbcPair(et_min.data(), ep_min.data(), ep_max.data(), 3,
+                    CostFn2x3(), BoundMode::kPaper),
+            0.0);
+}
+
+TEST(LbcPairTest, SoundCaseThreeUsesTwoCheapestEscapesOrMinFace) {
+  // All-disadvantaged box: the bound is min( min-face single escape,
+  // sum of the two cheapest max-corner escapes ).
+  const std::vector<double> et_min = {0.9, 0.9};
+  const std::vector<double> ep_min = {0.2, 0.3};
+  const std::vector<double> ep_max = {0.4, 0.5};
+  const auto& f = CostFn2();
+  const double m0 = f.AttributeCost(0, 0.2) - f.AttributeCost(0, 0.9);
+  const double m1 = f.AttributeCost(1, 0.3) - f.AttributeCost(1, 0.9);
+  const double c0 = f.AttributeCost(0, 0.4) - f.AttributeCost(0, 0.9);
+  const double c1 = f.AttributeCost(1, 0.5) - f.AttributeCost(1, 0.9);
+  const double expected = std::min(std::min(m0, m1), c0 + c1);
+  EXPECT_NEAR(LbcPair(et_min.data(), ep_min.data(), ep_max.data(), 2, f,
+                      BoundMode::kSound),
+              expected, 1e-12);
+  EXPECT_GT(expected, 0.0);
+}
+
+TEST(LbcPairTest, SoundCaseThreePointEntryIsSingleDimEscape) {
+  // Degenerate box (a dominator point): min face == max corner, so the
+  // bound collapses to the cheapest single-dimension escape.
+  const std::vector<double> q = {0.3, 0.6};
+  const std::vector<double> t = {0.8, 0.9};
+  const auto& f = CostFn2();
+  const double e0 = f.AttributeCost(0, 0.3) - f.AttributeCost(0, 0.8);
+  const double e1 = f.AttributeCost(1, 0.6) - f.AttributeCost(1, 0.9);
+  EXPECT_NEAR(
+      LbcPair(t.data(), q.data(), q.data(), 2, f, BoundMode::kSound),
+      std::min(e0, e1), 1e-12);
+}
+
+TEST(LbcPairTest, SoundSingleDimension) {
+  // d=1: escaping the box requires dipping below its min face.
+  const ProductCostFunction f1 = ProductCostFunction::ReciprocalSum(1, 1e-3);
+  const std::vector<double> et_min = {0.9};
+  const std::vector<double> ep_min = {0.2};
+  const std::vector<double> ep_max = {0.4};
+  const double expected =
+      f1.AttributeCost(0, 0.2) - f1.AttributeCost(0, 0.9);
+  EXPECT_NEAR(LbcPair(et_min.data(), ep_min.data(), ep_max.data(), 1, f1,
+                      BoundMode::kSound),
+              expected, 1e-12);
+}
+
+TEST(LbcPairTest, SoundNeverExceedsPaper) {
+  // The paper formula charges every disadvantaged dimension; the sound one
+  // at most two. With >= 2 disadvantaged dims, sound <= paper.
+  Rng rng(91);
+  const ProductCostFunction f3 = ProductCostFunction::ReciprocalSum(3, 1e-3);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<double> et_min(3), lo(3), hi(3);
+    for (size_t i = 0; i < 3; ++i) {
+      et_min[i] = rng.NextDouble(0.5, 1.5);
+      const double a = rng.NextDouble(0.0, 0.5);
+      const double b = rng.NextDouble(0.0, 0.5);
+      lo[i] = std::min(a, b);
+      hi[i] = std::max(a, b);
+    }
+    const double paper = LbcPair(et_min.data(), lo.data(), hi.data(), 3, f3,
+                                 BoundMode::kPaper);
+    const double sound = LbcPair(et_min.data(), lo.data(), hi.data(), 3, f3,
+                                 BoundMode::kSound);
+    EXPECT_LE(sound, paper + 1e-12);
+    EXPECT_GE(sound, 0.0);
+  }
+}
+
+TEST(LbcPairTest, SoundModePositiveWithOneIncomparableDim) {
+  // One incomparable dim: a guaranteed dominator exists on its min face.
+  const std::vector<double> et_min = {0.5, 0.9};
+  const std::vector<double> ep_min = {0.2, 0.1};
+  const std::vector<double> ep_max = {0.7, 0.2};
+  const double sound = LbcPair(et_min.data(), ep_min.data(), ep_max.data(),
+                               2, CostFn2(), BoundMode::kSound);
+  // min( escape via incomparable dim 0 at ep_min, escape via dim 1 at
+  // ep_max ).
+  const double via0 =
+      CostFn2().AttributeCost(0, 0.2) - CostFn2().AttributeCost(0, 0.5);
+  const double via1 =
+      CostFn2().AttributeCost(1, 0.2) - CostFn2().AttributeCost(1, 0.9);
+  EXPECT_NEAR(sound, std::min(via0, via1), 1e-12);
+  EXPECT_GT(sound, 0.0);
+}
+
+TEST(LowerBoundKindTest, Names) {
+  EXPECT_STREQ(LowerBoundKindName(LowerBoundKind::kNaive), "NLB");
+  EXPECT_STREQ(LowerBoundKindName(LowerBoundKind::kConservative), "CLB");
+  EXPECT_STREQ(LowerBoundKindName(LowerBoundKind::kAggressive), "ALB");
+}
+
+TEST(LbcJoinListTest, DetailsExposePairwiseValues) {
+  const std::vector<double> et_min = {0.9, 0.9};
+  JlFixture jl;
+  jl.mins = {{0.5, 0.5}, {0.1, 0.95}};
+  jl.maxs = {{0.6, 0.6}, {0.2, 1.0}};
+  std::vector<double> pair_lbcs;
+  LbcJoinListWithDetails(et_min.data(), jl.Bounds(), 2, CostFn2(),
+                         LowerBoundKind::kConservative, BoundMode::kPaper,
+                         &pair_lbcs);
+  ASSERT_EQ(pair_lbcs.size(), 2u);
+  EXPECT_DOUBLE_EQ(pair_lbcs[0], LbcPair(et_min.data(), jl.mins[0].data(),
+                                         jl.maxs[0].data(), 2, CostFn2()));
+  EXPECT_DOUBLE_EQ(pair_lbcs[1], LbcPair(et_min.data(), jl.mins[1].data(),
+                                         jl.maxs[1].data(), 2, CostFn2()));
+}
+
+}  // namespace
+}  // namespace skyup

@@ -1,0 +1,112 @@
+#include "data/normalize.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace skyup {
+namespace {
+
+Dataset MakeDataset(const std::vector<std::vector<double>>& rows) {
+  Result<Dataset> r = Dataset::FromRows(rows);
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+TEST(NormalizerTest, MinimizeMapsToUnitInterval) {
+  Dataset ds = MakeDataset({{10, 100}, {20, 300}, {15, 200}});
+  Result<Normalizer> norm = Normalizer::Fit(ds);
+  ASSERT_TRUE(norm.ok());
+  Dataset unit = norm->Normalize(ds);
+  EXPECT_DOUBLE_EQ(unit.data(0)[0], 0.0);   // min maps to 0
+  EXPECT_DOUBLE_EQ(unit.data(1)[0], 1.0);   // max maps to 1
+  EXPECT_DOUBLE_EQ(unit.data(2)[0], 0.5);
+  EXPECT_DOUBLE_EQ(unit.data(1)[1], 1.0);
+}
+
+TEST(NormalizerTest, MaximizeFlipsOrientation) {
+  Dataset ds = MakeDataset({{100}, {300}, {200}});
+  Result<Normalizer> norm =
+      Normalizer::Fit(ds, {Direction::kMaximize});
+  ASSERT_TRUE(norm.ok());
+  Dataset unit = norm->Normalize(ds);
+  // The best (largest) raw value becomes 0 (best in minimize space).
+  EXPECT_DOUBLE_EQ(unit.data(1)[0], 0.0);
+  EXPECT_DOUBLE_EQ(unit.data(0)[0], 1.0);
+  EXPECT_DOUBLE_EQ(unit.data(2)[0], 0.5);
+}
+
+TEST(NormalizerTest, DenormalizeRoundTrips) {
+  Dataset ds = MakeDataset({{10, 5}, {30, 9}, {20, 7}});
+  Result<Normalizer> norm = Normalizer::Fit(
+      ds, {Direction::kMinimize, Direction::kMaximize});
+  ASSERT_TRUE(norm.ok());
+  Dataset unit = norm->Normalize(ds);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    const std::vector<double> u(unit.data(static_cast<PointId>(i)),
+                                unit.data(static_cast<PointId>(i)) + 2);
+    const std::vector<double> raw = norm->Denormalize(u);
+    EXPECT_NEAR(raw[0], ds.data(static_cast<PointId>(i))[0], 1e-9);
+    EXPECT_NEAR(raw[1], ds.data(static_cast<PointId>(i))[1], 1e-9);
+  }
+}
+
+TEST(NormalizerTest, DenormalizeBeyondRangeExtrapolates) {
+  Dataset ds = MakeDataset({{10}, {30}});
+  Result<Normalizer> norm = Normalizer::Fit(ds);
+  ASSERT_TRUE(norm.ok());
+  // An upgraded value slightly below the observed best (-epsilon in unit
+  // space) lands slightly beyond the raw extreme.
+  const std::vector<double> raw = norm->Denormalize({-0.05});
+  EXPECT_NEAR(raw[0], 9.0, 1e-9);
+}
+
+TEST(NormalizerTest, FitAllSpansMultipleDatasets) {
+  Dataset a = MakeDataset({{0.0}, {1.0}});
+  Dataset b = MakeDataset({{2.0}, {4.0}});
+  Result<Normalizer> norm = Normalizer::FitAll({&a, &b});
+  ASSERT_TRUE(norm.ok());
+  EXPECT_DOUBLE_EQ(norm->scale(0).lo, 0.0);
+  EXPECT_DOUBLE_EQ(norm->scale(0).hi, 4.0);
+  Dataset unit_b = norm->Normalize(b);
+  EXPECT_DOUBLE_EQ(unit_b.data(0)[0], 0.5);
+  EXPECT_DOUBLE_EQ(unit_b.data(1)[0], 1.0);
+}
+
+TEST(NormalizerTest, ConstantDimensionIsWellDefined) {
+  Dataset ds = MakeDataset({{5, 1}, {5, 2}});
+  Result<Normalizer> norm = Normalizer::Fit(ds);
+  ASSERT_TRUE(norm.ok());
+  Dataset unit = norm->Normalize(ds);
+  EXPECT_DOUBLE_EQ(unit.data(0)[0], 0.0);
+  EXPECT_DOUBLE_EQ(unit.data(1)[0], 0.0);
+}
+
+TEST(NormalizerTest, RejectsBadInputs) {
+  Dataset ds = MakeDataset({{1, 2}});
+  EXPECT_FALSE(Normalizer::FitAll({}).ok());
+  EXPECT_FALSE(Normalizer::FitAll({nullptr}).ok());
+  Dataset empty(2);
+  EXPECT_FALSE(Normalizer::Fit(empty).ok());
+  EXPECT_FALSE(Normalizer::Fit(ds, {Direction::kMinimize}).ok());
+  Dataset other = MakeDataset({{1, 2, 3}});
+  EXPECT_FALSE(Normalizer::FitAll({&ds, &other}).ok());
+}
+
+TEST(NormalizerTest, PreservesDominanceUnderMixedDirections) {
+  // Phone semantics: (weight min, standby max). Phone X (lighter, longer
+  // standby) dominates Y; normalization must preserve that in minimize
+  // space.
+  Dataset ds = MakeDataset({{120, 200}, {180, 150}, {150, 180}});
+  Result<Normalizer> norm = Normalizer::Fit(
+      ds, {Direction::kMinimize, Direction::kMaximize});
+  ASSERT_TRUE(norm.ok());
+  Dataset unit = norm->Normalize(ds);
+  // Row 0 beats row 1 on both raw criteria.
+  for (size_t d = 0; d < 2; ++d) {
+    EXPECT_LT(unit.data(0)[d], unit.data(1)[d]);
+  }
+}
+
+}  // namespace
+}  // namespace skyup

@@ -1,0 +1,140 @@
+#include "data/ordinal.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/dominance.h"
+#include "core/planner.h"
+
+namespace skyup {
+namespace {
+
+OrdinalScale Stars() {
+  Result<OrdinalScale> scale = OrdinalScale::Create(
+      {"5-star", "4-star", "3-star", "2-star", "1-star"});
+  EXPECT_TRUE(scale.ok());
+  return std::move(scale).value();
+}
+
+TEST(OrdinalScaleTest, CreateValidatesInput) {
+  EXPECT_FALSE(OrdinalScale::Create({}).ok());
+  EXPECT_FALSE(OrdinalScale::Create({"a", ""}).ok());
+  EXPECT_FALSE(OrdinalScale::Create({"a", "b", "a"}).ok());
+  EXPECT_TRUE(OrdinalScale::Create({"only"}).ok());
+}
+
+TEST(OrdinalScaleTest, RankEmbedsBestAsZero) {
+  OrdinalScale stars = Stars();
+  EXPECT_EQ(stars.size(), 5u);
+  Result<double> best = stars.Rank("5-star");
+  Result<double> worst = stars.Rank("1-star");
+  ASSERT_TRUE(best.ok() && worst.ok());
+  EXPECT_DOUBLE_EQ(*best, 0.0);
+  EXPECT_DOUBLE_EQ(*worst, 4.0);
+  EXPECT_FALSE(stars.Rank("6-star").ok());
+}
+
+TEST(OrdinalScaleTest, LevelInvertsRank) {
+  OrdinalScale stars = Stars();
+  for (size_t r = 0; r < stars.size(); ++r) {
+    Result<double> back = stars.Rank(stars.Level(r));
+    ASSERT_TRUE(back.ok());
+    EXPECT_DOUBLE_EQ(*back, static_cast<double>(r));
+  }
+}
+
+TEST(OrdinalScaleTest, UnrankMapsUpgradedValuesToAchievableLevels) {
+  OrdinalScale stars = Stars();
+  // "Strictly better than 3-star" (rank 2 - eps) means 4-star (rank 1).
+  EXPECT_EQ(stars.Unrank(2.0 - 1e-6), "4-star");
+  EXPECT_EQ(stars.Unrank(2.0), "3-star");
+  EXPECT_EQ(stars.Unrank(3.7), "2-star");
+  // Beyond-best upgrades clamp to the best level.
+  EXPECT_EQ(stars.Unrank(-0.5), "5-star");
+  EXPECT_EQ(stars.Unrank(99.0), "1-star");
+}
+
+TEST(TabulatedCostTest, CreateValidates) {
+  EXPECT_FALSE(TabulatedCost::Create({1.0}).ok());
+  EXPECT_FALSE(TabulatedCost::Create({1.0, 2.0}).ok());  // rising
+  EXPECT_TRUE(TabulatedCost::Create({5.0, 3.0, 3.0, 1.0}).ok());
+}
+
+TEST(TabulatedCostTest, InterpolatesAndClamps) {
+  auto cost = TabulatedCost::Create({10.0, 6.0, 1.0});
+  ASSERT_TRUE(cost.ok());
+  EXPECT_DOUBLE_EQ((*cost)->Cost(0.0), 10.0);
+  EXPECT_DOUBLE_EQ((*cost)->Cost(1.0), 6.0);
+  EXPECT_DOUBLE_EQ((*cost)->Cost(2.0), 1.0);
+  EXPECT_DOUBLE_EQ((*cost)->Cost(0.5), 8.0);
+  EXPECT_DOUBLE_EQ((*cost)->Cost(1.5), 3.5);
+  // Clamped outside the table — upgraded ranks like -epsilon stay finite.
+  EXPECT_DOUBLE_EQ((*cost)->Cost(-0.3), 10.0);
+  EXPECT_DOUBLE_EQ((*cost)->Cost(7.0), 1.0);
+}
+
+TEST(TabulatedCostTest, NameDescribes) {
+  auto cost = TabulatedCost::Create({4.0, 2.0});
+  ASSERT_TRUE(cost.ok());
+  EXPECT_NE((*cost)->name().find("tabulated"), std::string::npos);
+}
+
+// End-to-end: a mixed numeric + ordinal product space (the paper's first
+// research direction). Hotels have (price, star rating); the rating is an
+// ordinal dimension priced by a tabulated cost.
+TEST(OrdinalIntegrationTest, MixedNumericOrdinalUpgrade) {
+  OrdinalScale stars = Stars();
+
+  // Embed: (normalized price in [0,1], star rank).
+  auto embed = [&](double price_unit, const char* level) {
+    Result<double> rank = stars.Rank(level);
+    EXPECT_TRUE(rank.ok());
+    return std::vector<double>{price_unit, *rank};
+  };
+
+  Dataset competitors(2);
+  competitors.Add(embed(0.30, "5-star"));
+  competitors.Add(embed(0.20, "4-star"));
+  competitors.Add(embed(0.10, "3-star"));
+
+  Dataset products(2);
+  products.Add(embed(0.50, "2-star"));  // dominated by all three
+
+  auto price_cost = std::make_shared<const ReciprocalCost>(0.05);
+  auto star_cost = std::move(TabulatedCost::Create({50.0, 30.0, 18.0, 8.0,
+                                                    2.0}))
+                       .value();
+  Result<ProductCostFunction> cost_fn =
+      ProductCostFunction::Sum({price_cost, star_cost});
+  ASSERT_TRUE(cost_fn.ok());
+
+  Result<UpgradePlanner> planner =
+      UpgradePlanner::Create(competitors, products, *cost_fn);
+  ASSERT_TRUE(planner.ok());
+  Result<std::vector<UpgradeResult>> top = planner->TopK(1, Algorithm::kJoin);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top->size(), 1u);
+  const UpgradeResult& r = (*top)[0];
+  EXPECT_GT(r.cost, 0.0);
+
+  // The upgraded plan decodes to a real catalog entry.
+  const std::string new_level = stars.Unrank(r.upgraded[1]);
+  Result<double> new_rank = stars.Rank(new_level);
+  ASSERT_TRUE(new_rank.ok());
+  EXPECT_LE(*new_rank, 3.0);  // at least as good as before
+  EXPECT_LE(r.upgraded[0], 0.5 + 1e-12);
+
+  // Decoded plan is not dominated by any competitor (decode rounds the
+  // ordinal rank *down*, i.e. to a better level, so dominance-freedom is
+  // preserved).
+  const std::vector<double> decoded = {r.upgraded[0], *new_rank};
+  for (size_t i = 0; i < competitors.size(); ++i) {
+    EXPECT_FALSE(Dominates(competitors.data(static_cast<PointId>(i)),
+                           decoded.data(), 2));
+  }
+}
+
+}  // namespace
+}  // namespace skyup

@@ -1,0 +1,77 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace skyup {
+namespace {
+
+std::vector<UpgradeResult> SampleResults() {
+  UpgradeResult a;
+  a.product_id = 7;
+  a.cost = 0.0;
+  a.upgraded = {0.5, 0.25};
+  a.already_competitive = true;
+  UpgradeResult b;
+  b.product_id = 3;
+  b.cost = 1.5;
+  b.upgraded = {0.125, 0.75};
+  b.already_competitive = false;
+  return {a, b};
+}
+
+std::string Render(ReportFormat format) {
+  std::ostringstream out;
+  WriteReport(SampleResults(), format, out);
+  return out.str();
+}
+
+TEST(ReportFormatTest, ParseRoundTrips) {
+  for (auto format : {ReportFormat::kText, ReportFormat::kCsv,
+                      ReportFormat::kJson}) {
+    Result<ReportFormat> parsed = ParseReportFormat(ReportFormatName(format));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, format);
+  }
+  EXPECT_FALSE(ParseReportFormat("xml").ok());
+}
+
+TEST(ReportTest, TextListsRanksAndStatus) {
+  const std::string text = Render(ReportFormat::kText);
+  EXPECT_NE(text.find("rank"), std::string::npos);
+  EXPECT_NE(text.find("competitive"), std::string::npos);
+  EXPECT_NE(text.find("dominated"), std::string::npos);
+  EXPECT_NE(text.find("(0.5, 0.25)"), std::string::npos);
+}
+
+TEST(ReportTest, CsvRowsAreMachineReadable) {
+  const std::string csv = Render(ReportFormat::kCsv);
+  EXPECT_EQ(csv, "1,7,0,1,0.5,0.25\n2,3,1.5,0,0.125,0.75\n");
+}
+
+TEST(ReportTest, JsonIsWellFormedEnough) {
+  const std::string json = Render(ReportFormat::kJson);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"rank\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"product\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"competitive\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"upgraded\": [0.125, 0.75]"), std::string::npos);
+  // Exactly one separating comma between the two objects.
+  EXPECT_NE(json.find("},\n"), std::string::npos);
+  EXPECT_EQ(json.find("}]"), std::string::npos);  // objects on own lines
+}
+
+TEST(ReportTest, EmptyResults) {
+  std::ostringstream out;
+  WriteReport({}, ReportFormat::kJson, out);
+  EXPECT_EQ(out.str(), "[\n]\n");
+  std::ostringstream csv;
+  WriteReport({}, ReportFormat::kCsv, csv);
+  EXPECT_EQ(csv.str(), "");
+}
+
+}  // namespace
+}  // namespace skyup

@@ -1,0 +1,217 @@
+#include "core/single_upgrade.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "core/dominance.h"
+#include "data/generator.h"
+#include "skyline/skyline.h"
+#include "util/random.h"
+
+namespace skyup {
+namespace {
+
+constexpr double kEps = 1e-6;
+
+std::vector<const double*> Ptrs(const std::vector<std::vector<double>>& rows) {
+  std::vector<const double*> out;
+  out.reserve(rows.size());
+  for (const auto& r : rows) out.push_back(r.data());
+  return out;
+}
+
+TEST(UpgradeProductTest, EmptySkylineMeansAlreadyCompetitive) {
+  ProductCostFunction f = ProductCostFunction::ReciprocalSum(2);
+  const std::vector<double> p = {0.5, 0.5};
+  UpgradeOutcome out = UpgradeProduct({}, p.data(), 2, f, kEps);
+  EXPECT_TRUE(out.already_competitive);
+  EXPECT_DOUBLE_EQ(out.cost, 0.0);
+  EXPECT_EQ(out.upgraded, p);
+}
+
+TEST(UpgradeProductTest, SingleDominatorBeatOnCheapestDimension) {
+  // Linear costs make the arithmetic exact: w0 steep, w1 gentle.
+  auto steep = std::make_shared<const LinearCost>(10.0, 8.0);
+  auto gentle = std::make_shared<const LinearCost>(10.0, 1.0);
+  Result<ProductCostFunction> f = ProductCostFunction::Sum({steep, gentle});
+  ASSERT_TRUE(f.ok());
+
+  const std::vector<double> s = {0.2, 0.2};
+  const std::vector<double> p = {0.6, 0.6};
+  UpgradeOutcome out = UpgradeProduct(Ptrs({s}), p.data(), 2, *f, kEps);
+
+  // Beating s on dim 0 costs 8*(0.6-0.2+eps); on dim 1 only 1*(0.4+eps).
+  EXPECT_FALSE(out.already_competitive);
+  EXPECT_NEAR(out.cost, 1.0 * (0.4 + kEps), 1e-9);
+  EXPECT_NEAR(out.upgraded[1], s[1] - kEps, 1e-12);
+  EXPECT_DOUBLE_EQ(out.upgraded[0], p[0]);  // untouched dimension
+  EXPECT_FALSE(Dominates(s.data(), out.upgraded.data(), 2));
+}
+
+TEST(UpgradeProductTest, FigureOneMultiDimensionUpgradeWins) {
+  // Figure 1(b): two skyline points; slipping between them on both
+  // dimensions is cheaper than beating both on one dimension when costs
+  // are steep near the extremes (reciprocal cost).
+  ProductCostFunction f = ProductCostFunction::ReciprocalSum(2, 1e-3);
+  const std::vector<double> s1 = {0.1, 0.6};
+  const std::vector<double> s2 = {0.5, 0.2};
+  const std::vector<double> p = {0.8, 0.8};
+  UpgradeOutcome out = UpgradeProduct(Ptrs({s1, s2}), p.data(), 2, f, kEps);
+
+  EXPECT_FALSE(Dominates(s1.data(), out.upgraded.data(), 2));
+  EXPECT_FALSE(Dominates(s2.data(), out.upgraded.data(), 2));
+  // The consecutive-pair candidate (s2.x - eps, s1.y - eps) beats both
+  // single-dimension candidates (going to x < 0.1 or y < 0.2).
+  const double single_x =
+      f.AttributeCost(0, s1[0] - kEps) - f.AttributeCost(0, p[0]);
+  const double single_y =
+      f.AttributeCost(1, s2[1] - kEps) - f.AttributeCost(1, p[1]);
+  EXPECT_LT(out.cost, single_x);
+  EXPECT_LT(out.cost, single_y);
+  EXPECT_NEAR(out.upgraded[0], s2[0] - kEps, 1e-12);
+  EXPECT_NEAR(out.upgraded[1], s1[1] - kEps, 1e-12);
+}
+
+TEST(UpgradeProductTest, CostIsNonNegative) {
+  ProductCostFunction f = ProductCostFunction::ReciprocalSum(3);
+  const std::vector<double> s = {0.3, 0.3, 0.3};
+  const std::vector<double> p = {0.5, 0.5, 0.5};
+  UpgradeOutcome out = UpgradeProduct(Ptrs({s}), p.data(), 3, f, kEps);
+  EXPECT_GT(out.cost, 0.0);
+}
+
+TEST(UpgradeProductTest, UpgradedNeverWorseThanOriginal) {
+  ProductCostFunction f = ProductCostFunction::ReciprocalSum(2);
+  const std::vector<double> s1 = {0.2, 0.7};
+  const std::vector<double> s2 = {0.6, 0.3};
+  const std::vector<double> p = {0.9, 0.9};
+  UpgradeOutcome out = UpgradeProduct(Ptrs({s1, s2}), p.data(), 2, f, kEps);
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_LE(out.upgraded[i], p[i]);
+  }
+}
+
+TEST(UpgradeProductTest, WeightedCostShiftsChosenDimension) {
+  auto lin = std::make_shared<const LinearCost>(1.0, 1.0);
+  const std::vector<double> s = {0.5, 0.5};
+  const std::vector<double> p = {0.8, 0.9};
+
+  // Weight dimension 0 heavily: upgrading dim 1 becomes the cheap option.
+  Result<ProductCostFunction> heavy0 =
+      ProductCostFunction::WeightedSum({lin, lin}, {100.0, 1.0});
+  ASSERT_TRUE(heavy0.ok());
+  UpgradeOutcome out0 = UpgradeProduct(Ptrs({s}), p.data(), 2, *heavy0, kEps);
+  EXPECT_DOUBLE_EQ(out0.upgraded[0], p[0]);
+  EXPECT_LT(out0.upgraded[1], s[1]);
+
+  // And vice versa.
+  Result<ProductCostFunction> heavy1 =
+      ProductCostFunction::WeightedSum({lin, lin}, {1.0, 100.0});
+  ASSERT_TRUE(heavy1.ok());
+  UpgradeOutcome out1 = UpgradeProduct(Ptrs({s}), p.data(), 2, *heavy1, kEps);
+  EXPECT_LT(out1.upgraded[0], s[0]);
+  EXPECT_DOUBLE_EQ(out1.upgraded[1], p[1]);
+}
+
+TEST(UpgradeProductTest, LargeSkylineStillSatisfiesLemmaOne) {
+  // An anti-correlated skyline staircase with many steps.
+  std::vector<std::vector<double>> sky;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.01 + 0.01 * i;
+    sky.push_back({x, 0.52 - x});
+  }
+  ProductCostFunction f = ProductCostFunction::ReciprocalSum(2, 1e-3);
+  const std::vector<double> p = {0.9, 0.9};
+  UpgradeOutcome out = UpgradeProduct(Ptrs(sky), p.data(), 2, f, kEps);
+  EXPECT_GT(out.cost, 0.0);
+  for (const auto& s : sky) {
+    EXPECT_FALSE(Dominates(s.data(), out.upgraded.data(), 2));
+  }
+}
+
+// Property sweep over dimensionalities and distributions: Lemma 1 and
+// cost-positivity must hold on randomized dominator skylines.
+class UpgradeLemmaSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(UpgradeLemmaSweep, LemmaOneOnRandomInputs) {
+  const size_t dims = GetParam();
+  ProductCostFunction f = ProductCostFunction::ReciprocalSum(dims, 1e-3);
+  Rng rng(7000 + dims);
+
+  for (int trial = 0; trial < 40; ++trial) {
+    // A product in (1,2]^d dominated by random competitors in [0,1]^d.
+    Result<Dataset> competitors = GenerateCompetitors(
+        120, dims, Distribution::kAntiCorrelated, 300 + trial);
+    ASSERT_TRUE(competitors.ok());
+    std::vector<double> p(dims);
+    for (auto& v : p) v = rng.NextDouble(1.0 + 1e-9, 2.0);
+
+    // All competitors dominate p; the skyline of the whole set applies.
+    std::vector<PointId> sky_ids = SkylineSfs(*competitors);
+    std::vector<const double*> sky;
+    for (PointId id : sky_ids) sky.push_back(competitors->data(id));
+
+    UpgradeOutcome out = UpgradeProduct(sky, p.data(), dims, f, kEps);
+    EXPECT_GT(out.cost, 0.0);
+    EXPECT_FALSE(out.already_competitive);
+    for (const double* s : sky) {
+      ASSERT_FALSE(Dominates(s, out.upgraded.data(), dims))
+          << "Lemma 1 violated at trial " << trial;
+    }
+    // And transitively no competitor at all dominates the result.
+    for (size_t i = 0; i < competitors->size(); ++i) {
+      ASSERT_FALSE(Dominates(competitors->data(static_cast<PointId>(i)),
+                             out.upgraded.data(), dims));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, UpgradeLemmaSweep,
+                         ::testing::Values<size_t>(1, 2, 3, 4, 5, 6),
+                         [](const auto& info) {
+                           return "d" + std::to_string(info.param);
+                         });
+
+TEST(UpgradeProductTest, ChoosesGloballyCheapestAmongCandidates) {
+  // Exhaustively recompute all candidate costs the algorithm considers and
+  // confirm the returned cost is their minimum.
+  ProductCostFunction f = ProductCostFunction::ReciprocalSum(3, 1e-3);
+  Rng rng(42);
+  Result<Dataset> competitors =
+      GenerateCompetitors(60, 3, Distribution::kIndependent, 77);
+  ASSERT_TRUE(competitors.ok());
+  std::vector<double> p = {1.5, 1.5, 1.5};
+
+  std::vector<PointId> sky_ids = SkylineSfs(*competitors);
+  std::vector<const double*> sky;
+  for (PointId id : sky_ids) sky.push_back(competitors->data(id));
+  ASSERT_GE(sky.size(), 2u);
+
+  UpgradeOutcome out = UpgradeProduct(sky, p.data(), 3, f, kEps);
+
+  double expected = std::numeric_limits<double>::infinity();
+  const double base = f.Cost(p);
+  for (size_t k = 0; k < 3; ++k) {
+    std::vector<const double*> sorted = sky;
+    std::sort(sorted.begin(), sorted.end(),
+              [k](const double* a, const double* b) { return a[k] < b[k]; });
+    std::vector<double> cand = p;
+    cand[k] = sorted.front()[k] - kEps;
+    expected = std::min(expected, f.Cost(cand) - base);
+    for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+      for (size_t x = 0; x < 3; ++x) {
+        cand[x] = (x == k ? sorted[i + 1][x] : sorted[i][x]) - kEps;
+      }
+      expected = std::min(expected, f.Cost(cand) - base);
+    }
+  }
+  EXPECT_NEAR(out.cost, expected, 1e-9);
+}
+
+}  // namespace
+}  // namespace skyup

@@ -1,0 +1,166 @@
+#include "data/wine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/dominance.h"
+#include "skyline/skyline.h"
+#include "util/stats.h"
+
+namespace skyup {
+namespace {
+
+std::vector<double> Column(const Dataset& ds, size_t dim) {
+  std::vector<double> out;
+  out.reserve(ds.size());
+  for (size_t i = 0; i < ds.size(); ++i) {
+    out.push_back(ds.data(static_cast<PointId>(i))[dim]);
+  }
+  return out;
+}
+
+TEST(WineTest, DefaultCardinalityMatchesUciDataset) {
+  Result<Dataset> wine = SynthesizeWine();
+  ASSERT_TRUE(wine.ok());
+  EXPECT_EQ(wine->size(), 4898u);
+  EXPECT_EQ(wine->dims(), 3u);
+}
+
+TEST(WineTest, MarginalsMatchPublishedStatistics) {
+  Result<Dataset> wine = SynthesizeWine(4898, 2012);
+  ASSERT_TRUE(wine.ok());
+
+  struct Expect {
+    size_t col;
+    double mean, sd, lo, hi;
+  };
+  // Published UCI winequality-white statistics.
+  const Expect expectations[] = {
+      {0, 0.0458, 0.0218, 0.009, 0.346},  // chlorides
+      {1, 0.4898, 0.1141, 0.22, 1.08},    // sulphates
+      {2, 138.36, 42.50, 9.0, 440.0},     // total sulfur dioxide
+  };
+  for (const Expect& e : expectations) {
+    RunningStats stats;
+    for (double v : Column(*wine, e.col)) stats.Add(v);
+    EXPECT_NEAR(stats.mean(), e.mean, 0.05 * e.mean + 1e-6) << e.col;
+    EXPECT_NEAR(stats.stddev(), e.sd, 0.15 * e.sd + 1e-6) << e.col;
+    EXPECT_GE(stats.min(), e.lo);
+    EXPECT_LE(stats.max(), e.hi);
+  }
+}
+
+TEST(WineTest, MildPositiveCorrelations) {
+  Result<Dataset> wine = SynthesizeWine(4898, 2012);
+  ASSERT_TRUE(wine.ok());
+  const double r_ct = PearsonCorrelation(Column(*wine, 0), Column(*wine, 2));
+  EXPECT_GT(r_ct, 0.1);  // chlorides ~ total SO2: mild positive
+  EXPECT_LT(r_ct, 0.35);
+}
+
+TEST(WineTest, DeterministicPerSeed) {
+  Result<Dataset> a = SynthesizeWine(100, 5);
+  Result<Dataset> b = SynthesizeWine(100, 5);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a->data(static_cast<PointId>(i))[2],
+                     b->data(static_cast<PointId>(i))[2]);
+  }
+}
+
+TEST(WineTest, AttributeCombinationsMatchTableThree) {
+  const auto combos = WineAttributeCombinations();
+  ASSERT_EQ(combos.size(), 4u);
+  EXPECT_EQ(WineComboLabel(combos[0]), "c,s");
+  EXPECT_EQ(WineComboLabel(combos[1]), "c,t");
+  EXPECT_EQ(WineComboLabel(combos[2]), "s,t");
+  EXPECT_EQ(WineComboLabel(combos[3]), "c,s,t");
+}
+
+TEST(WineTest, SubsetProjectsAndNormalizes) {
+  Result<Dataset> wine = SynthesizeWine(500, 3);
+  ASSERT_TRUE(wine.ok());
+  Result<Dataset> sub = WineSubset(
+      *wine, {WineAttr::kChlorides, WineAttr::kTotalSulfurDioxide});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->dims(), 2u);
+  EXPECT_EQ(sub->size(), 500u);
+  double lo0 = 1e9, hi0 = -1e9;
+  for (size_t i = 0; i < sub->size(); ++i) {
+    const double* p = sub->data(static_cast<PointId>(i));
+    EXPECT_GE(p[0], 0.0);
+    EXPECT_LE(p[0], 1.0);
+    EXPECT_GE(p[1], 0.0);
+    EXPECT_LE(p[1], 1.0);
+    lo0 = std::min(lo0, p[0]);
+    hi0 = std::max(hi0, p[0]);
+  }
+  EXPECT_DOUBLE_EQ(lo0, 0.0);
+  EXPECT_DOUBLE_EQ(hi0, 1.0);
+}
+
+TEST(WineTest, SubsetRejectsBadInputs) {
+  Result<Dataset> wine = SynthesizeWine(50, 3);
+  ASSERT_TRUE(wine.ok());
+  EXPECT_FALSE(WineSubset(*wine, {}).ok());
+  Dataset two(2);
+  two.Add({1, 2});
+  EXPECT_FALSE(WineSubset(two, {WineAttr::kChlorides}).ok());
+}
+
+TEST(WineTest, SplitProducesPaperCardinalities) {
+  Result<Dataset> wine = SynthesizeWine(4898, 2012);
+  ASSERT_TRUE(wine.ok());
+  Result<Dataset> sub = WineSubset(
+      *wine, {WineAttr::kChlorides, WineAttr::kSulphates,
+              WineAttr::kTotalSulfurDioxide});
+  ASSERT_TRUE(sub.ok());
+  Result<WineSplit> split = SplitWine(*sub, 1000);
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+  EXPECT_EQ(split->products.size(), 1000u);
+  EXPECT_EQ(split->competitors.size(), 3898u);
+}
+
+TEST(WineTest, SplitProductsAreAllDominated) {
+  Result<Dataset> wine = SynthesizeWine(800, 9);
+  ASSERT_TRUE(wine.ok());
+  Result<Dataset> sub =
+      WineSubset(*wine, {WineAttr::kChlorides, WineAttr::kSulphates});
+  ASSERT_TRUE(sub.ok());
+  Result<WineSplit> split = SplitWine(*sub, 100);
+  ASSERT_TRUE(split.ok());
+
+  // Every product must be dominated by at least one competitor.
+  for (size_t i = 0; i < split->products.size(); ++i) {
+    const double* t = split->products.data(static_cast<PointId>(i));
+    bool dominated = false;
+    for (size_t j = 0; j < split->competitors.size() && !dominated; ++j) {
+      dominated = Dominates(
+          split->competitors.data(static_cast<PointId>(j)), t, 2);
+    }
+    ASSERT_TRUE(dominated) << "product " << i << " lost its dominators";
+  }
+}
+
+TEST(WineTest, SplitRejectsOverdraw) {
+  Result<Dataset> wine = SynthesizeWine(50, 10);
+  ASSERT_TRUE(wine.ok());
+  Result<Dataset> sub =
+      WineSubset(*wine, {WineAttr::kChlorides, WineAttr::kSulphates});
+  ASSERT_TRUE(sub.ok());
+  Result<WineSplit> split = SplitWine(*sub, 10000);
+  ASSERT_FALSE(split.ok());
+  EXPECT_EQ(split.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(WineTest, AttrNames) {
+  EXPECT_STREQ(WineAttrName(WineAttr::kChlorides), "chlorides");
+  EXPECT_STREQ(WineAttrName(WineAttr::kSulphates), "sulphates");
+  EXPECT_STREQ(WineAttrName(WineAttr::kTotalSulfurDioxide),
+               "total sulfur dioxide");
+}
+
+}  // namespace
+}  // namespace skyup

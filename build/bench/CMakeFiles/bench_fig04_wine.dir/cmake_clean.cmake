@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_wine.dir/bench_fig04_wine.cc.o"
+  "CMakeFiles/bench_fig04_wine.dir/bench_fig04_wine.cc.o.d"
+  "bench_fig04_wine"
+  "bench_fig04_wine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_wine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_wine_k.dir/bench_fig05_wine_k.cc.o"
+  "CMakeFiles/bench_fig05_wine_k.dir/bench_fig05_wine_k.cc.o.d"
+  "bench_fig05_wine_k"
+  "bench_fig05_wine_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_wine_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_small_anti.dir/bench_fig06_small_anti.cc.o"
+  "CMakeFiles/bench_fig06_small_anti.dir/bench_fig06_small_anti.cc.o.d"
+  "bench_fig06_small_anti"
+  "bench_fig06_small_anti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_small_anti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_small_indep.dir/bench_fig07_small_indep.cc.o"
+  "CMakeFiles/bench_fig07_small_indep.dir/bench_fig07_small_indep.cc.o.d"
+  "bench_fig07_small_indep"
+  "bench_fig07_small_indep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_small_indep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_large_anti.dir/bench_fig08_large_anti.cc.o"
+  "CMakeFiles/bench_fig08_large_anti.dir/bench_fig08_large_anti.cc.o.d"
+  "bench_fig08_large_anti"
+  "bench_fig08_large_anti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_large_anti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

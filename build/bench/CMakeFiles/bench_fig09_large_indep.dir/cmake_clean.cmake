@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_large_indep.dir/bench_fig09_large_indep.cc.o"
+  "CMakeFiles/bench_fig09_large_indep.dir/bench_fig09_large_indep.cc.o.d"
+  "bench_fig09_large_indep"
+  "bench_fig09_large_indep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_large_indep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyup_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/skyup_bench_common.dir/bench_common.cc.o.d"
+  "CMakeFiles/skyup_bench_common.dir/figure_suites.cc.o"
+  "CMakeFiles/skyup_bench_common.dir/figure_suites.cc.o.d"
+  "libskyup_bench_common.a"
+  "libskyup_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyup_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

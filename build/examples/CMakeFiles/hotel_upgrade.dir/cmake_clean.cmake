@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotel_upgrade.dir/hotel_upgrade.cpp.o"
+  "CMakeFiles/hotel_upgrade.dir/hotel_upgrade.cpp.o.d"
+  "hotel_upgrade"
+  "hotel_upgrade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotel_upgrade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/progressive_market.dir/progressive_market.cpp.o"
+  "CMakeFiles/progressive_market.dir/progressive_market.cpp.o.d"
+  "progressive_market"
+  "progressive_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/progressive_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wine_analysis.dir/wine_analysis.cpp.o"
+  "CMakeFiles/wine_analysis.dir/wine_analysis.cpp.o.d"
+  "wine_analysis"
+  "wine_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wine_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

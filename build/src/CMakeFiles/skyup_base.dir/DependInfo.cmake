@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost_function.cc" "src/CMakeFiles/skyup_base.dir/core/cost_function.cc.o" "gcc" "src/CMakeFiles/skyup_base.dir/core/cost_function.cc.o.d"
+  "/root/repo/src/core/dataset.cc" "src/CMakeFiles/skyup_base.dir/core/dataset.cc.o" "gcc" "src/CMakeFiles/skyup_base.dir/core/dataset.cc.o.d"
+  "/root/repo/src/core/dominance.cc" "src/CMakeFiles/skyup_base.dir/core/dominance.cc.o" "gcc" "src/CMakeFiles/skyup_base.dir/core/dominance.cc.o.d"
+  "/root/repo/src/core/point.cc" "src/CMakeFiles/skyup_base.dir/core/point.cc.o" "gcc" "src/CMakeFiles/skyup_base.dir/core/point.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/skyup_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

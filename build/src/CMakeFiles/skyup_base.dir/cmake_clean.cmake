@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyup_base.dir/core/cost_function.cc.o"
+  "CMakeFiles/skyup_base.dir/core/cost_function.cc.o.d"
+  "CMakeFiles/skyup_base.dir/core/dataset.cc.o"
+  "CMakeFiles/skyup_base.dir/core/dataset.cc.o.d"
+  "CMakeFiles/skyup_base.dir/core/dominance.cc.o"
+  "CMakeFiles/skyup_base.dir/core/dominance.cc.o.d"
+  "CMakeFiles/skyup_base.dir/core/point.cc.o"
+  "CMakeFiles/skyup_base.dir/core/point.cc.o.d"
+  "libskyup_base.a"
+  "libskyup_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyup_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

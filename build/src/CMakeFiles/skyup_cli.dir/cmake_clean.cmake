@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyup_cli.dir/cli/main.cc.o"
+  "CMakeFiles/skyup_cli.dir/cli/main.cc.o.d"
+  "skyup_cli"
+  "skyup_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyup_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

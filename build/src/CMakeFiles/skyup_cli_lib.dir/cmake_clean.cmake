@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyup_cli_lib.dir/cli/cli.cc.o"
+  "CMakeFiles/skyup_cli_lib.dir/cli/cli.cc.o.d"
+  "libskyup_cli_lib.a"
+  "libskyup_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyup_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

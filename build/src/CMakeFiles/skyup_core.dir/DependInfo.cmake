@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/join.cc" "src/CMakeFiles/skyup_core.dir/core/join.cc.o" "gcc" "src/CMakeFiles/skyup_core.dir/core/join.cc.o.d"
+  "/root/repo/src/core/lower_bounds.cc" "src/CMakeFiles/skyup_core.dir/core/lower_bounds.cc.o" "gcc" "src/CMakeFiles/skyup_core.dir/core/lower_bounds.cc.o.d"
+  "/root/repo/src/core/parallel_probing.cc" "src/CMakeFiles/skyup_core.dir/core/parallel_probing.cc.o" "gcc" "src/CMakeFiles/skyup_core.dir/core/parallel_probing.cc.o.d"
+  "/root/repo/src/core/planner.cc" "src/CMakeFiles/skyup_core.dir/core/planner.cc.o" "gcc" "src/CMakeFiles/skyup_core.dir/core/planner.cc.o.d"
+  "/root/repo/src/core/probing.cc" "src/CMakeFiles/skyup_core.dir/core/probing.cc.o" "gcc" "src/CMakeFiles/skyup_core.dir/core/probing.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/skyup_core.dir/core/report.cc.o" "gcc" "src/CMakeFiles/skyup_core.dir/core/report.cc.o.d"
+  "/root/repo/src/core/single_upgrade.cc" "src/CMakeFiles/skyup_core.dir/core/single_upgrade.cc.o" "gcc" "src/CMakeFiles/skyup_core.dir/core/single_upgrade.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/skyup_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyup_skyline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyup_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyup_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyup_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyup_core.dir/core/join.cc.o"
+  "CMakeFiles/skyup_core.dir/core/join.cc.o.d"
+  "CMakeFiles/skyup_core.dir/core/lower_bounds.cc.o"
+  "CMakeFiles/skyup_core.dir/core/lower_bounds.cc.o.d"
+  "CMakeFiles/skyup_core.dir/core/parallel_probing.cc.o"
+  "CMakeFiles/skyup_core.dir/core/parallel_probing.cc.o.d"
+  "CMakeFiles/skyup_core.dir/core/planner.cc.o"
+  "CMakeFiles/skyup_core.dir/core/planner.cc.o.d"
+  "CMakeFiles/skyup_core.dir/core/probing.cc.o"
+  "CMakeFiles/skyup_core.dir/core/probing.cc.o.d"
+  "CMakeFiles/skyup_core.dir/core/report.cc.o"
+  "CMakeFiles/skyup_core.dir/core/report.cc.o.d"
+  "CMakeFiles/skyup_core.dir/core/single_upgrade.cc.o"
+  "CMakeFiles/skyup_core.dir/core/single_upgrade.cc.o.d"
+  "libskyup_core.a"
+  "libskyup_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyup_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

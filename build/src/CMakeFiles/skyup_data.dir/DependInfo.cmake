@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/cost_fitting.cc" "src/CMakeFiles/skyup_data.dir/data/cost_fitting.cc.o" "gcc" "src/CMakeFiles/skyup_data.dir/data/cost_fitting.cc.o.d"
+  "/root/repo/src/data/generator.cc" "src/CMakeFiles/skyup_data.dir/data/generator.cc.o" "gcc" "src/CMakeFiles/skyup_data.dir/data/generator.cc.o.d"
+  "/root/repo/src/data/normalize.cc" "src/CMakeFiles/skyup_data.dir/data/normalize.cc.o" "gcc" "src/CMakeFiles/skyup_data.dir/data/normalize.cc.o.d"
+  "/root/repo/src/data/ordinal.cc" "src/CMakeFiles/skyup_data.dir/data/ordinal.cc.o" "gcc" "src/CMakeFiles/skyup_data.dir/data/ordinal.cc.o.d"
+  "/root/repo/src/data/wine.cc" "src/CMakeFiles/skyup_data.dir/data/wine.cc.o" "gcc" "src/CMakeFiles/skyup_data.dir/data/wine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/skyup_skyline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyup_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyup_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyup_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

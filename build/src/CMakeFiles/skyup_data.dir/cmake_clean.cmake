@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyup_data.dir/data/cost_fitting.cc.o"
+  "CMakeFiles/skyup_data.dir/data/cost_fitting.cc.o.d"
+  "CMakeFiles/skyup_data.dir/data/generator.cc.o"
+  "CMakeFiles/skyup_data.dir/data/generator.cc.o.d"
+  "CMakeFiles/skyup_data.dir/data/normalize.cc.o"
+  "CMakeFiles/skyup_data.dir/data/normalize.cc.o.d"
+  "CMakeFiles/skyup_data.dir/data/ordinal.cc.o"
+  "CMakeFiles/skyup_data.dir/data/ordinal.cc.o.d"
+  "CMakeFiles/skyup_data.dir/data/wine.cc.o"
+  "CMakeFiles/skyup_data.dir/data/wine.cc.o.d"
+  "libskyup_data.a"
+  "libskyup_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyup_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

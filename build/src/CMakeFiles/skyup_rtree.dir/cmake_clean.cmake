@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyup_rtree.dir/rtree/bulk_load.cc.o"
+  "CMakeFiles/skyup_rtree.dir/rtree/bulk_load.cc.o.d"
+  "CMakeFiles/skyup_rtree.dir/rtree/mbr.cc.o"
+  "CMakeFiles/skyup_rtree.dir/rtree/mbr.cc.o.d"
+  "CMakeFiles/skyup_rtree.dir/rtree/rtree.cc.o"
+  "CMakeFiles/skyup_rtree.dir/rtree/rtree.cc.o.d"
+  "libskyup_rtree.a"
+  "libskyup_rtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyup_rtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

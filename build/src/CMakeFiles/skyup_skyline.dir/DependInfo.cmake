@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/skyline/bbs.cc" "src/CMakeFiles/skyup_skyline.dir/skyline/bbs.cc.o" "gcc" "src/CMakeFiles/skyup_skyline.dir/skyline/bbs.cc.o.d"
+  "/root/repo/src/skyline/bnl.cc" "src/CMakeFiles/skyup_skyline.dir/skyline/bnl.cc.o" "gcc" "src/CMakeFiles/skyup_skyline.dir/skyline/bnl.cc.o.d"
+  "/root/repo/src/skyline/dnc.cc" "src/CMakeFiles/skyup_skyline.dir/skyline/dnc.cc.o" "gcc" "src/CMakeFiles/skyup_skyline.dir/skyline/dnc.cc.o.d"
+  "/root/repo/src/skyline/dominating_skyline.cc" "src/CMakeFiles/skyup_skyline.dir/skyline/dominating_skyline.cc.o" "gcc" "src/CMakeFiles/skyup_skyline.dir/skyline/dominating_skyline.cc.o.d"
+  "/root/repo/src/skyline/sfs.cc" "src/CMakeFiles/skyup_skyline.dir/skyline/sfs.cc.o" "gcc" "src/CMakeFiles/skyup_skyline.dir/skyline/sfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/skyup_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyup_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyup_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

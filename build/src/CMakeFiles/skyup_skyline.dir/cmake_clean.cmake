@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyup_skyline.dir/skyline/bbs.cc.o"
+  "CMakeFiles/skyup_skyline.dir/skyline/bbs.cc.o.d"
+  "CMakeFiles/skyup_skyline.dir/skyline/bnl.cc.o"
+  "CMakeFiles/skyup_skyline.dir/skyline/bnl.cc.o.d"
+  "CMakeFiles/skyup_skyline.dir/skyline/dnc.cc.o"
+  "CMakeFiles/skyup_skyline.dir/skyline/dnc.cc.o.d"
+  "CMakeFiles/skyup_skyline.dir/skyline/dominating_skyline.cc.o"
+  "CMakeFiles/skyup_skyline.dir/skyline/dominating_skyline.cc.o.d"
+  "CMakeFiles/skyup_skyline.dir/skyline/sfs.cc.o"
+  "CMakeFiles/skyup_skyline.dir/skyline/sfs.cc.o.d"
+  "libskyup_skyline.a"
+  "libskyup_skyline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyup_skyline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyup_util.dir/util/csv.cc.o"
+  "CMakeFiles/skyup_util.dir/util/csv.cc.o.d"
+  "CMakeFiles/skyup_util.dir/util/logging.cc.o"
+  "CMakeFiles/skyup_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/skyup_util.dir/util/random.cc.o"
+  "CMakeFiles/skyup_util.dir/util/random.cc.o.d"
+  "CMakeFiles/skyup_util.dir/util/stats.cc.o"
+  "CMakeFiles/skyup_util.dir/util/stats.cc.o.d"
+  "CMakeFiles/skyup_util.dir/util/status.cc.o"
+  "CMakeFiles/skyup_util.dir/util/status.cc.o.d"
+  "libskyup_util.a"
+  "libskyup_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyup_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_stress_test.dir/integration_stress_test.cc.o"
+  "CMakeFiles/integration_stress_test.dir/integration_stress_test.cc.o.d"
+  "integration_stress_test"
+  "integration_stress_test.pdb"
+  "integration_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

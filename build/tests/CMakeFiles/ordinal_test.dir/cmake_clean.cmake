@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordinal_test.dir/ordinal_test.cc.o"
+  "CMakeFiles/ordinal_test.dir/ordinal_test.cc.o.d"
+  "ordinal_test"
+  "ordinal_test.pdb"
+  "ordinal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordinal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/single_upgrade_test.dir/single_upgrade_test.cc.o"
+  "CMakeFiles/single_upgrade_test.dir/single_upgrade_test.cc.o.d"
+  "single_upgrade_test"
+  "single_upgrade_test.pdb"
+  "single_upgrade_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/single_upgrade_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wine_test.dir/wine_test.cc.o"
+  "CMakeFiles/wine_test.dir/wine_test.cc.o.d"
+  "wine_test"
+  "wine_test.pdb"
+  "wine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/status_test[1]_include.cmake")
+include("/root/repo/build/tests/random_test[1]_include.cmake")
+include("/root/repo/build/tests/csv_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/dominance_test[1]_include.cmake")
+include("/root/repo/build/tests/dataset_test[1]_include.cmake")
+include("/root/repo/build/tests/cost_function_test[1]_include.cmake")
+include("/root/repo/build/tests/mbr_test[1]_include.cmake")
+include("/root/repo/build/tests/rtree_test[1]_include.cmake")
+include("/root/repo/build/tests/skyline_test[1]_include.cmake")
+include("/root/repo/build/tests/dominating_skyline_test[1]_include.cmake")
+include("/root/repo/build/tests/single_upgrade_test[1]_include.cmake")
+include("/root/repo/build/tests/lower_bounds_test[1]_include.cmake")
+include("/root/repo/build/tests/probing_test[1]_include.cmake")
+include("/root/repo/build/tests/join_test[1]_include.cmake")
+include("/root/repo/build/tests/planner_test[1]_include.cmake")
+include("/root/repo/build/tests/generator_test[1]_include.cmake")
+include("/root/repo/build/tests/normalize_test[1]_include.cmake")
+include("/root/repo/build/tests/wine_test[1]_include.cmake")
+include("/root/repo/build/tests/equivalence_property_test[1]_include.cmake")
+include("/root/repo/build/tests/ordinal_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_probing_test[1]_include.cmake")
+include("/root/repo/build/tests/cli_test[1]_include.cmake")
+include("/root/repo/build/tests/cost_fitting_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_stress_test[1]_include.cmake")

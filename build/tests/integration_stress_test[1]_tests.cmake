@@ -1,0 +1,3 @@
+add_test([=[IntegrationStressTest.AllSurfacesAgreeOnRandomWorkloads]=]  /root/repo/build/tests/integration_stress_test [==[--gtest_filter=IntegrationStressTest.AllSurfacesAgreeOnRandomWorkloads]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[IntegrationStressTest.AllSurfacesAgreeOnRandomWorkloads]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  integration_stress_test_TESTS IntegrationStressTest.AllSurfacesAgreeOnRandomWorkloads)

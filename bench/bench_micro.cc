@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "core/lower_bounds.h"
+#include "core/parallel_probing.h"
+#include "core/probing.h"
 #include "core/single_upgrade.h"
 #include "data/generator.h"
 #include "skyline/dominating_skyline.h"
@@ -128,6 +130,70 @@ void BM_UpgradeProduct(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_UpgradeProduct)->Args({16, 3})->Args({256, 3})->Args({256, 5});
+
+// A realistic upgrade catalog: half the candidates drawn from the
+// competitor distribution (many already competitive, cost ~0), half from
+// the deeply dominated shifted product region, interleaved. The cheap
+// candidates pull the top-k threshold down early, letting the sound
+// lower-bound cut disqualify expensive candidates outright.
+Dataset MixedCatalog(size_t n_each, uint64_t seed) {
+  Result<Dataset> competitive =
+      GenerateCompetitors(n_each, 3, Distribution::kAntiCorrelated, seed);
+  Result<Dataset> dominated =
+      GenerateProducts(n_each, 3, Distribution::kAntiCorrelated, seed + 1);
+  SKYUP_CHECK(competitive.ok() && dominated.ok());
+  Dataset out(3);
+  out.Reserve(2 * n_each);
+  for (size_t i = 0; i < n_each; ++i) {
+    out.Add(competitive->data(static_cast<PointId>(i)));
+    out.Add(dominated->data(static_cast<PointId>(i)));
+  }
+  return out;
+}
+
+// End-to-end improved probing, sequential vs the sharded parallel engine.
+// The parallel path adds shared-threshold lower-bound pruning; `pruned`
+// counts candidates disqualified before any skyline/Algorithm 1 work and
+// `upgrades` the candidates that paid full price — together they always sum
+// to |T|, so the counters quantify pruning effectiveness directly.
+void BM_TopKImprovedProbing(benchmark::State& state) {
+  Dataset p = MakeData(20000, 3, Distribution::kAntiCorrelated);
+  Dataset t = MixedCatalog(1000, 9);
+  Result<RTree> tree = RTree::BulkLoad(p);
+  SKYUP_CHECK(tree.ok());
+  ProductCostFunction f = ProductCostFunction::ReciprocalSum(3, 1e-3);
+  for (auto _ : state) {
+    Result<std::vector<UpgradeResult>> top =
+        TopKImprovedProbing(tree.value(), t, f, 10);
+    SKYUP_CHECK(top.ok());
+    benchmark::DoNotOptimize(top->size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(t.size()));
+}
+BENCHMARK(BM_TopKImprovedProbing);
+
+void BM_TopKImprovedProbingParallel(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  Dataset p = MakeData(20000, 3, Distribution::kAntiCorrelated);
+  Dataset t = MixedCatalog(1000, 9);
+  Result<RTree> tree = RTree::BulkLoad(p);
+  SKYUP_CHECK(tree.ok());
+  ProductCostFunction f = ProductCostFunction::ReciprocalSum(3, 1e-3);
+  ExecStats stats;
+  for (auto _ : state) {
+    stats = ExecStats();
+    Result<std::vector<UpgradeResult>> top = TopKImprovedProbingParallel(
+        tree.value(), t, f, 10, 1e-6, threads, &stats);
+    SKYUP_CHECK(top.ok());
+    benchmark::DoNotOptimize(top->size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(t.size()));
+  state.counters["pruned"] = static_cast<double>(stats.candidates_pruned);
+  state.counters["upgrades"] = static_cast<double>(stats.upgrade_calls);
+}
+BENCHMARK(BM_TopKImprovedProbingParallel)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_LbcPair(benchmark::State& state) {
   const BoundMode mode =

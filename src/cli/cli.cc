@@ -32,8 +32,9 @@ commands:
   topk       top-k product upgrading
              --competitors=FILE --products=FILE [--k=1]
              [--algorithm=join|improved|basic|brute] [--lb=nlb|clb|alb]
-             [--epsilon=1e-6] [--fanout=64] [--paper-bounds]
+             [--epsilon=1e-6] [--fanout=64] [--threads=1] [--paper-bounds]
              [--format=text|csv|json]
+             (--threads: 1 = sequential, 0 = all hardware threads)
   help       show this message
 )";
 
@@ -241,7 +242,9 @@ int CmdTopK(const Flags& flags, std::ostream& out, std::ostream& err) {
   const auto k = ToInt(flags.GetOr("k", "1"));
   const auto epsilon = ToDouble(flags.GetOr("epsilon", "1e-6"));
   const auto fanout = ToInt(flags.GetOr("fanout", "64"));
-  if (!k || !epsilon || !fanout || *k <= 0 || *fanout < 2) {
+  const auto threads = ToInt(flags.GetOr("threads", "1"));
+  if (!k || !epsilon || !fanout || !threads || *k <= 0 || *fanout < 2 ||
+      *threads < 0) {
     return Usage(err, "topk: malformed numeric flag");
   }
 
@@ -273,6 +276,7 @@ int CmdTopK(const Flags& flags, std::ostream& out, std::ostream& err) {
   }
   options.epsilon = *epsilon;
   options.rtree_fanout = static_cast<size_t>(*fanout);
+  options.threads = static_cast<size_t>(*threads);
   if (flags.GetOr("paper-bounds", "false") == "true") {
     options.bound_mode = BoundMode::kPaper;
   }

@@ -1,62 +1,109 @@
 #include "core/parallel_probing.h"
 
 #include <algorithm>
-#include <thread>
+#include <limits>
+#include <vector>
 
-#include "core/probing.h"
+#include "core/dominance.h"
+#include "core/lower_bounds.h"
 #include "core/single_upgrade.h"
+#include "core/topk_common.h"
+#include "rtree/mbr.h"
 #include "skyline/dominating_skyline.h"
-#include "util/logging.h"
+#include "skyline/skyline.h"
+#include "util/parallel.h"
 
 namespace skyup {
 
 namespace {
 
-struct ShardOutput {
-  std::vector<UpgradeResult> top;
+struct ShardState {
+  explicit ShardState(size_t k) : collector(k) {}
+  TopKCollector collector;
   ExecStats stats;
 };
 
-// Probes products [begin, end) and keeps the shard's k cheapest.
-void ProbeShard(const RTree& tree, const Dataset& products,
-                const ProductCostFunction& cost_fn, size_t k, double epsilon,
-                size_t begin, size_t end, ShardOutput* out) {
-  const Dataset& competitors = tree.dataset();
-  const size_t dims = products.dims();
-  std::vector<const double*> skyline;
-  for (size_t i = begin; i < end; ++i) {
-    const PointId tid = static_cast<PointId>(i);
-    const double* t = products.data(tid);
-    ++out->stats.products_processed;
+// The shared engine behind every parallel entry point.
+//
+// `lower_bound(t, &stats)` returns a sound lower bound on the candidate's
+// upgrade cost (0 disables pruning for that candidate); `evaluate(tid, t,
+// &stats)` computes the exact outcome and must bump `upgrade_calls` exactly
+// once, so `upgrade_calls + candidates_pruned == products_processed` holds
+// for the aggregate.
+//
+// Exactness of the pruning: the shared threshold tau is the minimum over
+// shards of each shard's local k-th-best cost, hence tau never drops below
+// the final global k-th-best cost c*. A candidate is skipped only when
+// bound > tau >= c*, and a sound bound never exceeds the true cost, so the
+// true cost is strictly greater than c* and the candidate cannot place —
+// even under ties, which sit at equality and are never pruned.
+template <typename LowerBoundFn, typename EvaluateFn>
+std::vector<UpgradeResult> RunShardedTopK(const Dataset& products, size_t k,
+                                          size_t threads,
+                                          const LowerBoundFn& lower_bound,
+                                          const EvaluateFn& evaluate,
+                                          ExecStats* stats) {
+  threads = ResolveThreadCount(threads, products.size());
+  std::vector<ShardState> shards(threads, ShardState(k));
+  AtomicCostThreshold threshold;
 
-    ProbeStats probe;
-    std::vector<PointId> sky_ids = DominatingSkyline(tree, t, &probe);
-    out->stats.heap_pops += probe.heap_pops;
-    out->stats.dominators_fetched += sky_ids.size();
-    out->stats.skyline_points_total += sky_ids.size();
+  ParallelFor(
+      products.size(), threads,
+      [&](size_t shard, size_t begin, size_t end) {
+        ShardState& state = shards[shard];
+        for (size_t i = begin; i < end; ++i) {
+          const PointId tid = static_cast<PointId>(i);
+          const double* t = products.data(tid);
+          ++state.stats.products_processed;
 
-    skyline.clear();
-    for (PointId id : sky_ids) skyline.push_back(competitors.data(id));
+          // Cheap sound bound first: if even the bound cannot beat the
+          // shared k-th-best threshold, skip the skyline + Algorithm 1
+          // work entirely.
+          if (lower_bound(t, &state.stats) > threshold.Get()) {
+            ++state.stats.candidates_pruned;
+            continue;
+          }
 
-    ++out->stats.upgrade_calls;
-    UpgradeOutcome outcome =
-        UpgradeProduct(skyline, t, dims, cost_fn, epsilon);
+          UpgradeOutcome outcome = evaluate(tid, t, &state.stats);
 
-    out->top.push_back(UpgradeResult{tid, outcome.cost,
-                                     std::move(outcome.upgraded),
-                                     outcome.already_competitive});
-    // Keep the shard buffer bounded at ~2k entries.
-    if (out->top.size() >= 2 * k + 16) {
-      std::nth_element(out->top.begin(),
-                       out->top.begin() + static_cast<ptrdiff_t>(k - 1),
-                       out->top.end(),
-                       [](const UpgradeResult& a, const UpgradeResult& b) {
-                         if (a.cost != b.cost) return a.cost < b.cost;
-                         return a.product_id < b.product_id;
-                       });
-      out->top.resize(k);
-    }
+          // Admission before building the result payload: both the shared
+          // threshold and the shard's own k-th best must admit the cost.
+          // Equal costs pass through — the (cost, id) tie-break decides.
+          if (outcome.cost > threshold.Get() ||
+              !state.collector.Admits(outcome.cost)) {
+            continue;
+          }
+          state.collector.Add(UpgradeResult{tid, outcome.cost,
+                                            std::move(outcome.upgraded),
+                                            outcome.already_competitive});
+          if (threshold.RelaxTo(state.collector.KthCost())) {
+            ++state.stats.threshold_updates;
+          }
+        }
+      });
+
+  std::vector<UpgradeResult> merged;
+  ExecStats total;
+  for (ShardState& shard : shards) {
+    std::vector<UpgradeResult> local = shard.collector.Finish();
+    for (UpgradeResult& r : local) merged.push_back(std::move(r));
+    total.MergeFrom(shard.stats);
   }
+  std::sort(merged.begin(), merged.end(), UpgradeResultBefore);
+  if (merged.size() > k) merged.resize(k);
+  if (stats != nullptr) *stats = total;
+  return merged;
+}
+
+// Sound lower bound on upgrading `t` against every competitor inside the
+// tight box [lo, hi]: `LbcPair` in sound mode charges only escapes from
+// dominators the box is guaranteed to contain, so it never exceeds the
+// true Algorithm 1 cost (derivation in core/lower_bounds.cc).
+double TightBoxBound(const double* lo, const double* hi, const double* t,
+                     size_t dims, const ProductCostFunction& cost_fn,
+                     ExecStats* stats) {
+  ++stats->lbc_evaluations;
+  return LbcPair(t, lo, hi, dims, cost_fn, BoundMode::kSound);
 }
 
 }  // namespace
@@ -65,56 +112,110 @@ Result<std::vector<UpgradeResult>> TopKImprovedProbingParallel(
     const RTree& competitors_tree, const Dataset& products,
     const ProductCostFunction& cost_fn, size_t k, double epsilon,
     size_t threads, ExecStats* stats) {
-  if (k == 0) return Status::InvalidArgument("k must be at least 1");
-  if (epsilon <= 0.0) {
-    return Status::InvalidArgument("epsilon must be positive");
-  }
-  if (products.empty()) {
-    return Status::InvalidArgument("product set T is empty");
-  }
-  if (products.dims() != competitors_tree.dataset().dims() ||
-      cost_fn.dims() != products.dims()) {
-    return Status::InvalidArgument("dimensionality mismatch");
-  }
+  SKYUP_RETURN_IF_ERROR(ValidateTopKArgs(competitors_tree.dataset().dims(),
+                                         products, cost_fn, k, epsilon));
+  const Dataset& competitors = competitors_tree.dataset();
+  const size_t dims = products.dims();
+  const RTreeNode* root = competitors_tree.root();
+  const bool have_box = root != nullptr && !root->mbr.IsEmpty();
 
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  threads = std::min(threads, products.size());
+  auto bound = [&, have_box](const double* t, ExecStats* st) {
+    if (!have_box) return 0.0;
+    return TightBoxBound(root->mbr.min_data(), root->mbr.max_data(), t, dims,
+                         cost_fn, st);
+  };
+  auto evaluate = [&](PointId /*tid*/, const double* t, ExecStats* st) {
+    ProbeStats probe;
+    std::vector<PointId> sky_ids =
+        DominatingSkyline(competitors_tree, t, &probe);
+    st->heap_pops += probe.heap_pops;
+    st->dominators_fetched += sky_ids.size();
+    st->skyline_points_total += sky_ids.size();
 
-  std::vector<ShardOutput> outputs(threads);
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  const size_t per_shard = (products.size() + threads - 1) / threads;
-  for (size_t s = 0; s < threads; ++s) {
-    const size_t begin = s * per_shard;
-    const size_t end = std::min(products.size(), begin + per_shard);
-    if (begin >= end) break;
-    workers.emplace_back([&, begin, end, s] {
-      ProbeShard(competitors_tree, products, cost_fn, k, epsilon, begin, end,
-                 &outputs[s]);
-    });
-  }
-  for (std::thread& w : workers) w.join();
+    std::vector<const double*> skyline;
+    skyline.reserve(sky_ids.size());
+    for (PointId id : sky_ids) skyline.push_back(competitors.data(id));
 
-  std::vector<UpgradeResult> merged;
-  ExecStats total;
-  for (ShardOutput& out : outputs) {
-    for (UpgradeResult& r : out.top) merged.push_back(std::move(r));
-    total.products_processed += out.stats.products_processed;
-    total.dominators_fetched += out.stats.dominators_fetched;
-    total.skyline_points_total += out.stats.skyline_points_total;
-    total.upgrade_calls += out.stats.upgrade_calls;
-    total.heap_pops += out.stats.heap_pops;
-  }
-  std::sort(merged.begin(), merged.end(),
-            [](const UpgradeResult& a, const UpgradeResult& b) {
-              if (a.cost != b.cost) return a.cost < b.cost;
-              return a.product_id < b.product_id;
-            });
-  if (merged.size() > k) merged.resize(k);
-  if (stats != nullptr) *stats = total;
-  return merged;
+    ++st->upgrade_calls;
+    return UpgradeProduct(skyline, t, dims, cost_fn, epsilon);
+  };
+  return RunShardedTopK(products, k, threads, bound, evaluate, stats);
+}
+
+Result<std::vector<UpgradeResult>> TopKBasicProbingParallel(
+    const RTree& competitors_tree, const Dataset& products,
+    const ProductCostFunction& cost_fn, size_t k, double epsilon,
+    size_t threads, ExecStats* stats) {
+  SKYUP_RETURN_IF_ERROR(ValidateTopKArgs(competitors_tree.dataset().dims(),
+                                         products, cost_fn, k, epsilon));
+  const Dataset& competitors = competitors_tree.dataset();
+  const size_t dims = products.dims();
+  const RTreeNode* root = competitors_tree.root();
+  const bool have_box = root != nullptr && !root->mbr.IsEmpty();
+
+  auto bound = [&, have_box](const double* t, ExecStats* st) {
+    if (!have_box) return 0.0;
+    return TightBoxBound(root->mbr.min_data(), root->mbr.max_data(), t, dims,
+                         cost_fn, st);
+  };
+  auto evaluate = [&](PointId /*tid*/, const double* t, ExecStats* st) {
+    // Range query over the anti-dominant region ADR(t) = (-inf, t].
+    std::vector<double> lo(dims, -std::numeric_limits<double>::infinity());
+    const Mbr adr = Mbr::FromCorners(lo.data(), t, dims);
+    std::vector<PointId> dominator_ids;
+    competitors_tree.RangeQuery(adr, &dominator_ids);
+
+    std::vector<const double*> dominators;
+    dominators.reserve(dominator_ids.size());
+    for (PointId id : dominator_ids) {
+      const double* q = competitors.data(id);
+      // The ADR box also contains points equal to t on all dimensions;
+      // those do not dominate it.
+      if (Dominates(q, t, dims)) dominators.push_back(q);
+    }
+    st->dominators_fetched += dominators.size();
+
+    SkylineOfPointers(&dominators, dims);
+    st->skyline_points_total += dominators.size();
+
+    ++st->upgrade_calls;
+    return UpgradeProduct(dominators, t, dims, cost_fn, epsilon);
+  };
+  return RunShardedTopK(products, k, threads, bound, evaluate, stats);
+}
+
+Result<std::vector<UpgradeResult>> TopKBruteForceParallel(
+    const Dataset& competitors, const Dataset& products,
+    const ProductCostFunction& cost_fn, size_t k, double epsilon,
+    size_t threads, ExecStats* stats) {
+  SKYUP_RETURN_IF_ERROR(
+      ValidateTopKArgs(competitors.dims(), products, cost_fn, k, epsilon));
+  const size_t dims = products.dims();
+  // MinCorner/MaxCorner span a tight box over P — the same guarantee an
+  // R-tree root MBR gives, so the sound pruning bound applies unchanged.
+  const std::vector<double> lo = competitors.MinCorner();
+  const std::vector<double> hi = competitors.MaxCorner();
+  const bool have_box = !competitors.empty();
+
+  auto bound = [&, have_box](const double* t, ExecStats* st) {
+    if (!have_box) return 0.0;
+    return TightBoxBound(lo.data(), hi.data(), t, dims, cost_fn, st);
+  };
+  auto evaluate = [&](PointId /*tid*/, const double* t, ExecStats* st) {
+    std::vector<const double*> dominators;
+    for (size_t j = 0; j < competitors.size(); ++j) {
+      const double* q = competitors.data(static_cast<PointId>(j));
+      if (Dominates(q, t, dims)) dominators.push_back(q);
+    }
+    st->dominators_fetched += dominators.size();
+
+    SkylineOfPointers(&dominators, dims);
+    st->skyline_points_total += dominators.size();
+
+    ++st->upgrade_calls;
+    return UpgradeProduct(dominators, t, dims, cost_fn, epsilon);
+  };
+  return RunShardedTopK(products, k, threads, bound, evaluate, stats);
 }
 
 }  // namespace skyup

@@ -1,11 +1,21 @@
 #ifndef SKYUP_CORE_PARALLEL_PROBING_H_
 #define SKYUP_CORE_PARALLEL_PROBING_H_
 
-// Multi-threaded improved probing (library extension). Probing treats
-// every product independently and the R-tree is immutable during queries,
-// so the candidate set shards perfectly across threads; each worker keeps
-// a private top-k that a final merge reduces. Results are identical to the
-// sequential `TopKImprovedProbing`.
+// Multi-threaded top-k product upgrading (library extension).
+//
+// All entry points run on one shared engine (see parallel_probing.cc):
+// candidates shard contiguously across workers (util/parallel.h), every
+// worker keeps a private `TopKCollector`, and all workers share a single
+// atomic cost threshold — the cheapest k-th-best cost any shard has proven
+// so far, lowered lock-free with CAS-min. Before paying for a candidate's
+// dominator skyline + Algorithm 1, a worker evaluates the *sound-mode*
+// `LbcPair` bound against the competitor root MBR and skips the candidate
+// outright when the bound already exceeds the shared threshold
+// (`ExecStats::candidates_pruned`). Because the bound never exceeds the
+// true upgrade cost and the threshold never drops below the final global
+// k-th-best cost, pruning is exact: results are bit-identical to the
+// sequential algorithms for every thread count. docs/algorithms.md has the
+// full soundness argument.
 
 #include <vector>
 
@@ -19,9 +29,24 @@ namespace skyup {
 
 /// Parallel improved probing over `threads` workers (0 = one per hardware
 /// thread). Same contract and results as `TopKImprovedProbing`; `stats`
-/// aggregates all workers.
+/// aggregates all workers (see `ExecStats::MergeFrom`).
 Result<std::vector<UpgradeResult>> TopKImprovedProbingParallel(
     const RTree& competitors_tree, const Dataset& products,
+    const ProductCostFunction& cost_fn, size_t k, double epsilon = 1e-6,
+    size_t threads = 0, ExecStats* stats = nullptr);
+
+/// Parallel basic probing (ADR range query per candidate). Same contract
+/// and results as `TopKBasicProbing`.
+Result<std::vector<UpgradeResult>> TopKBasicProbingParallel(
+    const RTree& competitors_tree, const Dataset& products,
+    const ProductCostFunction& cost_fn, size_t k, double epsilon = 1e-6,
+    size_t threads = 0, ExecStats* stats = nullptr);
+
+/// Parallel index-free oracle (linear dominator scan per candidate). Same
+/// contract and results as `TopKBruteForce`; the pruning bound uses the
+/// competitor set's tight bounding box instead of an R-tree root MBR.
+Result<std::vector<UpgradeResult>> TopKBruteForceParallel(
+    const Dataset& competitors, const Dataset& products,
     const ProductCostFunction& cost_fn, size_t k, double epsilon = 1e-6,
     size_t threads = 0, ExecStats* stats = nullptr);
 

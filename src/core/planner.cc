@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/parallel_probing.h"
 #include "skyline/dominating_skyline.h"
 #include "core/single_upgrade.h"
 #include "util/logging.h"
@@ -96,14 +97,30 @@ Result<UpgradePlanner> UpgradePlanner::Create(Dataset competitors,
 
 Result<std::vector<UpgradeResult>> UpgradePlanner::TopK(
     size_t k, Algorithm algorithm, ExecStats* stats) const {
+  const bool parallel = options_.threads != 1;
   switch (algorithm) {
     case Algorithm::kBruteForce:
+      if (parallel) {
+        return TopKBruteForceParallel(*competitors_, *products_, *cost_fn_,
+                                      k, options_.epsilon, options_.threads,
+                                      stats);
+      }
       return TopKBruteForce(*competitors_, *products_, *cost_fn_, k,
                             options_.epsilon, stats);
     case Algorithm::kBasicProbing:
+      if (parallel) {
+        return TopKBasicProbingParallel(*rp_, *products_, *cost_fn_, k,
+                                        options_.epsilon, options_.threads,
+                                        stats);
+      }
       return TopKBasicProbing(*rp_, *products_, *cost_fn_, k,
                               options_.epsilon, stats);
     case Algorithm::kImprovedProbing:
+      if (parallel) {
+        return TopKImprovedProbingParallel(*rp_, *products_, *cost_fn_, k,
+                                           options_.epsilon,
+                                           options_.threads, stats);
+      }
       return TopKImprovedProbing(*rp_, *products_, *cost_fn_, k,
                                  options_.epsilon, stats);
     case Algorithm::kJoin: {
@@ -149,6 +166,10 @@ Result<std::vector<UpgradeResult>> UpgradePlanner::TopKWithinSet(
   // A point never strictly dominates itself (or an identical twin), so
   // improved probing against the catalog's own tree yields exactly the
   // "all other members" semantics.
+  if (options.threads != 1) {
+    return TopKImprovedProbingParallel(tree.value(), catalog, cost_fn, k,
+                                       options.epsilon, options.threads);
+  }
   return TopKImprovedProbing(tree.value(), catalog, cost_fn, k,
                              options.epsilon);
 }

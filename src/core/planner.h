@@ -36,6 +36,12 @@ struct PlannerOptions {
   BoundMode bound_mode = BoundMode::kSound;
   /// R-tree fanout used when indexing P and T.
   size_t rtree_fanout = 64;
+  /// Worker threads for the probing and brute-force algorithms: 1 (the
+  /// default) runs the sequential implementations, 0 uses one worker per
+  /// hardware thread, any other value exactly that many workers. Results
+  /// are identical across all settings (core/parallel_probing.h); the
+  /// join algorithm is inherently sequential and ignores this.
+  size_t threads = 1;
   /// If true, `Create` rejects cost functions that fail a randomized
   /// monotonicity check over the data's bounding box.
   bool validate_monotonicity = false;

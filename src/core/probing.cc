@@ -2,103 +2,15 @@
 
 #include <algorithm>
 #include <limits>
-#include <queue>
 
 #include "core/dominance.h"
 #include "core/single_upgrade.h"
+#include "core/topk_common.h"
 #include "skyline/dominating_skyline.h"
 #include "skyline/skyline.h"
 #include "util/logging.h"
 
 namespace skyup {
-
-namespace {
-
-// Keeps the k cheapest (cost, id, outcome) candidates seen so far.
-class TopKCollector {
- public:
-  explicit TopKCollector(size_t k) : k_(k) {}
-
-  // True if a candidate with this cost could still enter the top-k; lets
-  // callers skip building result payloads for hopeless candidates.
-  bool Admits(double cost) const {
-    if (heap_.size() < k_) return true;
-    // <= so that equal-cost candidates reach Add, where the id tie-break
-    // decides.
-    return cost <= heap_.top().result.cost;
-  }
-
-  void Add(UpgradeResult result) {
-    if (heap_.size() < k_) {
-      heap_.push({std::move(result)});
-      return;
-    }
-    const Item& worst = heap_.top();
-    if (result.cost < worst.result.cost ||
-        (result.cost == worst.result.cost &&
-         result.product_id < worst.result.product_id)) {
-      heap_.pop();
-      heap_.push({std::move(result)});
-    }
-  }
-
-  std::vector<UpgradeResult> Finish() {
-    std::vector<UpgradeResult> out;
-    out.reserve(heap_.size());
-    while (!heap_.empty()) {
-      out.push_back(std::move(const_cast<Item&>(heap_.top()).result));
-      heap_.pop();
-    }
-    std::sort(out.begin(), out.end(),
-              [](const UpgradeResult& a, const UpgradeResult& b) {
-                if (a.cost != b.cost) return a.cost < b.cost;
-                return a.product_id < b.product_id;
-              });
-    return out;
-  }
-
- private:
-  struct Item {
-    UpgradeResult result;
-    // Max-heap on (cost, id): the heap top is the current worst member.
-    bool operator<(const Item& other) const {
-      if (result.cost != other.result.cost) {
-        return result.cost < other.result.cost;
-      }
-      return result.product_id < other.result.product_id;
-    }
-  };
-
-  size_t k_;
-  std::priority_queue<Item> heap_;
-};
-
-Status ValidateTopKArgs(size_t competitor_dims, const Dataset& products,
-                        const ProductCostFunction& cost_fn, size_t k,
-                        double epsilon) {
-  if (k == 0) return Status::InvalidArgument("k must be at least 1");
-  if (epsilon <= 0.0) {
-    return Status::InvalidArgument("epsilon must be positive");
-  }
-  if (products.dims() != competitor_dims) {
-    return Status::InvalidArgument(
-        "competitor and product dimensionality differ: " +
-        std::to_string(competitor_dims) + " vs " +
-        std::to_string(products.dims()));
-  }
-  if (cost_fn.dims() != products.dims()) {
-    return Status::InvalidArgument(
-        "cost function dimensionality " + std::to_string(cost_fn.dims()) +
-        " does not match data dimensionality " +
-        std::to_string(products.dims()));
-  }
-  if (products.empty()) {
-    return Status::InvalidArgument("product set T is empty");
-  }
-  return Status::OK();
-}
-
-}  // namespace
 
 Result<std::vector<UpgradeResult>> TopKBasicProbing(
     const RTree& competitors_tree, const Dataset& products,

@@ -23,7 +23,7 @@ struct UpgradeResult {
 /// Work counters shared by all top-k algorithms; used by tests, the
 /// ablation benches, and for explaining performance differences.
 struct ExecStats {
-  size_t products_processed = 0;   ///< candidates whose cost was computed
+  size_t products_processed = 0;   ///< candidates examined (incl. pruned)
   size_t dominators_fetched = 0;   ///< points retrieved as dominators
   size_t skyline_points_total = 0; ///< sum of dominator-skyline sizes
   size_t upgrade_calls = 0;        ///< invocations of Algorithm 1
@@ -33,6 +33,35 @@ struct ExecStats {
   size_t lbc_evaluations = 0;      ///< pairwise LBC computations
   size_t jl_entries_pruned = 0;    ///< join-list entries dropped by mutual
                                    ///< dominance (Alg. 4 lines 25-30)
+  size_t candidates_pruned = 0;    ///< candidates skipped because a sound
+                                   ///< lower bound exceeded the top-k
+                                   ///< threshold (no skyline/upgrade work)
+  size_t threshold_updates = 0;    ///< successful lowerings of the shared
+                                   ///< parallel cost threshold (CAS wins)
+
+  /// Field-wise sum, used wherever per-shard or per-phase counters are
+  /// aggregated into one view. Every field participates.
+  ExecStats& MergeFrom(const ExecStats& other) {
+    // Tripwire: adding a field to ExecStats changes its size, which trips
+    // this assert until the new field is summed below (and the merge test
+    // in tests/parallel_engine_test.cc is taught about it).
+    static_assert(sizeof(ExecStats) == 11 * sizeof(size_t),
+                  "ExecStats gained/lost a field: update MergeFrom");
+    products_processed += other.products_processed;
+    dominators_fetched += other.dominators_fetched;
+    skyline_points_total += other.skyline_points_total;
+    upgrade_calls += other.upgrade_calls;
+    heap_pops += other.heap_pops;
+    t_expansions += other.t_expansions;
+    p_refinements += other.p_refinements;
+    lbc_evaluations += other.lbc_evaluations;
+    jl_entries_pruned += other.jl_entries_pruned;
+    candidates_pruned += other.candidates_pruned;
+    threshold_updates += other.threshold_updates;
+    return *this;
+  }
+
+  ExecStats& operator+=(const ExecStats& other) { return MergeFrom(other); }
 };
 
 }  // namespace skyup

@@ -1,0 +1,52 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <limits>
+#include <thread>
+#include <vector>
+
+namespace skyup {
+
+size_t ResolveThreadCount(size_t requested, size_t items) {
+  if (requested == 0) {
+    requested = std::max(1u, std::thread::hardware_concurrency());
+  }
+  return std::max<size_t>(1, std::min(requested, items));
+}
+
+void ParallelFor(size_t items, size_t threads,
+                 const std::function<void(size_t, size_t, size_t)>& body) {
+  if (items == 0) return;
+  threads = ResolveThreadCount(threads, items);
+  const size_t per_shard = (items + threads - 1) / threads;
+  std::vector<std::thread> workers;
+  workers.reserve(threads - 1);
+  for (size_t s = 1; s < threads; ++s) {
+    const size_t begin = s * per_shard;
+    const size_t end = std::min(items, begin + per_shard);
+    if (begin >= end) break;
+    workers.emplace_back([&body, s, begin, end] { body(s, begin, end); });
+  }
+  body(0, 0, std::min(items, per_shard));
+  for (std::thread& w : workers) w.join();
+}
+
+AtomicCostThreshold::AtomicCostThreshold()
+    : threshold_(std::numeric_limits<double>::infinity()) {}
+
+double AtomicCostThreshold::Get() const {
+  return threshold_.load(std::memory_order_relaxed);
+}
+
+bool AtomicCostThreshold::RelaxTo(double value) {
+  double current = threshold_.load(std::memory_order_relaxed);
+  while (value < current) {
+    if (threshold_.compare_exchange_weak(current, value,
+                                         std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace skyup

@@ -1,0 +1,329 @@
+// Tests for the sharded parallel query engine (util/parallel.h +
+// core/parallel_probing.cc): the ParallelFor primitive, the shared CAS-min
+// threshold, field-complete ExecStats merging, validation parity with the
+// sequential entry points, and exact-result determinism on tie-heavy data
+// across thread counts.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "core/parallel_probing.h"
+#include "core/probing.h"
+#include "core/topk_common.h"
+#include "data/generator.h"
+#include "util/parallel.h"
+
+namespace skyup {
+namespace {
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (size_t threads : {1u, 2u, 7u, 64u}) {
+    for (size_t n : {0u, 1u, 3u, 1000u}) {
+      std::vector<int> hits(n, 0);
+      ParallelFor(n, threads, [&](size_t /*shard*/, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) ++hits[i];
+      });
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i], 1) << "threads=" << threads << " n=" << n
+                              << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ParallelForTest, ShardsAreContiguousAndOrdered) {
+  std::vector<std::pair<size_t, size_t>> ranges(4);
+  ParallelFor(10, 4, [&](size_t shard, size_t begin, size_t end) {
+    ranges[shard] = {begin, end};
+  });
+  size_t expect_begin = 0;
+  for (const auto& [begin, end] : ranges) {
+    EXPECT_EQ(begin, expect_begin);
+    EXPECT_GT(end, begin);
+    expect_begin = end;
+  }
+  EXPECT_EQ(expect_begin, 10u);
+}
+
+TEST(ResolveThreadCountTest, CapsAndDefaults) {
+  EXPECT_EQ(ResolveThreadCount(4, 100), 4u);
+  EXPECT_EQ(ResolveThreadCount(4, 2), 2u);
+  EXPECT_EQ(ResolveThreadCount(7, 0), 1u);  // never zero workers
+  EXPECT_GE(ResolveThreadCount(0, 1000), 1u);
+}
+
+TEST(AtomicCostThresholdTest, OnlyEverLowers) {
+  AtomicCostThreshold tau;
+  EXPECT_EQ(tau.Get(), std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(tau.RelaxTo(5.0));
+  EXPECT_EQ(tau.Get(), 5.0);
+  EXPECT_FALSE(tau.RelaxTo(7.0));  // raising is a no-op
+  EXPECT_EQ(tau.Get(), 5.0);
+  EXPECT_FALSE(tau.RelaxTo(5.0));  // equal is a no-op
+  EXPECT_TRUE(tau.RelaxTo(1.5));
+  EXPECT_EQ(tau.Get(), 1.5);
+}
+
+TEST(AtomicCostThresholdTest, ConcurrentRelaxKeepsMinimum) {
+  AtomicCostThreshold tau;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&tau, w] {
+      for (int i = 1000; i > 0; --i) {
+        tau.RelaxTo(static_cast<double>(i + w));
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  EXPECT_EQ(tau.Get(), 1.0);
+}
+
+// Every ExecStats field must survive MergeFrom; the static_assert inside
+// MergeFrom already pins the field count, this pins the arithmetic.
+TEST(ExecStatsTest, MergeFromSumsEveryField) {
+  ExecStats a;
+  a.products_processed = 1;
+  a.dominators_fetched = 2;
+  a.skyline_points_total = 3;
+  a.upgrade_calls = 4;
+  a.heap_pops = 5;
+  a.t_expansions = 6;
+  a.p_refinements = 7;
+  a.lbc_evaluations = 8;
+  a.jl_entries_pruned = 9;
+  a.candidates_pruned = 10;
+  a.threshold_updates = 11;
+
+  ExecStats b;
+  b.products_processed = 100;
+  b.dominators_fetched = 200;
+  b.skyline_points_total = 300;
+  b.upgrade_calls = 400;
+  b.heap_pops = 500;
+  b.t_expansions = 600;
+  b.p_refinements = 700;
+  b.lbc_evaluations = 800;
+  b.jl_entries_pruned = 900;
+  b.candidates_pruned = 1000;
+  b.threshold_updates = 1100;
+
+  a += b;
+  EXPECT_EQ(a.products_processed, 101u);
+  EXPECT_EQ(a.dominators_fetched, 202u);
+  EXPECT_EQ(a.skyline_points_total, 303u);
+  EXPECT_EQ(a.upgrade_calls, 404u);
+  EXPECT_EQ(a.heap_pops, 505u);
+  EXPECT_EQ(a.t_expansions, 606u);
+  EXPECT_EQ(a.p_refinements, 707u);
+  EXPECT_EQ(a.lbc_evaluations, 808u);
+  EXPECT_EQ(a.jl_entries_pruned, 909u);
+  EXPECT_EQ(a.candidates_pruned, 1010u);
+  EXPECT_EQ(a.threshold_updates, 1111u);
+}
+
+struct Fixture {
+  Dataset competitors;
+  Dataset products;
+  ProductCostFunction cost_fn;
+};
+
+Fixture Make(size_t np, size_t nt, size_t dims, Distribution distribution,
+             uint64_t seed) {
+  Result<Dataset> p = GenerateCompetitors(np, dims, distribution, seed);
+  Result<Dataset> t = GenerateProducts(nt, dims, distribution, seed + 1);
+  EXPECT_TRUE(p.ok() && t.ok());
+  return Fixture{std::move(p).value(), std::move(t).value(),
+                 ProductCostFunction::ReciprocalSum(dims, 1e-3)};
+}
+
+// A candidate set where every cost appears many times: each base product is
+// replicated verbatim, so the (cost, id) tie-break does all the ranking
+// work and any ordering drift between paths becomes visible.
+Dataset TieHeavyProducts(const Dataset& base, size_t copies) {
+  Dataset out(base.dims());
+  out.Reserve(base.size() * copies);
+  for (size_t c = 0; c < copies; ++c) {
+    for (size_t i = 0; i < base.size(); ++i) {
+      out.Add(base.data(static_cast<PointId>(i)));
+    }
+  }
+  return out;
+}
+
+void ExpectBitIdentical(const std::vector<UpgradeResult>& expected,
+                        const std::vector<UpgradeResult>& actual,
+                        const std::string& label) {
+  ASSERT_EQ(actual.size(), expected.size()) << label;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i].product_id, expected[i].product_id)
+        << label << " rank=" << i;
+    EXPECT_EQ(actual[i].cost, expected[i].cost) << label << " rank=" << i;
+    EXPECT_EQ(actual[i].upgraded, expected[i].upgraded)
+        << label << " rank=" << i;
+    EXPECT_EQ(actual[i].already_competitive, expected[i].already_competitive)
+        << label << " rank=" << i;
+  }
+}
+
+std::vector<size_t> ThreadSweep() {
+  return {1, 2, 7, std::max<size_t>(1, std::thread::hardware_concurrency())};
+}
+
+TEST(ParallelEngineTest, TieHeavyImprovedProbingIsDeterministic) {
+  for (auto distribution :
+       {Distribution::kIndependent, Distribution::kAntiCorrelated}) {
+    Fixture fx = Make(600, 45, 3, distribution, 101);
+    Dataset products = TieHeavyProducts(fx.products, 8);  // 360, all 8-fold
+    Result<RTree> tree = RTree::BulkLoad(fx.competitors);
+    ASSERT_TRUE(tree.ok());
+
+    Result<std::vector<UpgradeResult>> sequential =
+        TopKImprovedProbing(tree.value(), products, fx.cost_fn, 20);
+    ASSERT_TRUE(sequential.ok());
+
+    for (size_t threads : ThreadSweep()) {
+      ExecStats stats;
+      Result<std::vector<UpgradeResult>> parallel =
+          TopKImprovedProbingParallel(tree.value(), products, fx.cost_fn, 20,
+                                      1e-6, threads, &stats);
+      ASSERT_TRUE(parallel.ok());
+      ExpectBitIdentical(*sequential, *parallel,
+                         "improved threads=" + std::to_string(threads));
+      // Aggregated stats must be self-consistent: every candidate was
+      // either pruned by the lower bound or went through Algorithm 1.
+      EXPECT_EQ(stats.products_processed, products.size());
+      EXPECT_EQ(stats.upgrade_calls + stats.candidates_pruned,
+                stats.products_processed)
+          << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelEngineTest, BasicProbingParallelMatchesSequential) {
+  Fixture fx = Make(700, 90, 3, Distribution::kAntiCorrelated, 55);
+  Result<RTree> tree = RTree::BulkLoad(fx.competitors);
+  ASSERT_TRUE(tree.ok());
+  Result<std::vector<UpgradeResult>> sequential =
+      TopKBasicProbing(tree.value(), fx.products, fx.cost_fn, 12);
+  ASSERT_TRUE(sequential.ok());
+  for (size_t threads : ThreadSweep()) {
+    ExecStats stats;
+    Result<std::vector<UpgradeResult>> parallel = TopKBasicProbingParallel(
+        tree.value(), fx.products, fx.cost_fn, 12, 1e-6, threads, &stats);
+    ASSERT_TRUE(parallel.ok());
+    ExpectBitIdentical(*sequential, *parallel,
+                       "basic threads=" + std::to_string(threads));
+    EXPECT_EQ(stats.upgrade_calls + stats.candidates_pruned,
+              stats.products_processed);
+  }
+}
+
+TEST(ParallelEngineTest, BruteForceParallelMatchesSequential) {
+  Fixture fx = Make(300, 60, 2, Distribution::kIndependent, 77);
+  Result<std::vector<UpgradeResult>> sequential =
+      TopKBruteForce(fx.competitors, fx.products, fx.cost_fn, 9);
+  ASSERT_TRUE(sequential.ok());
+  for (size_t threads : ThreadSweep()) {
+    ExecStats stats;
+    Result<std::vector<UpgradeResult>> parallel = TopKBruteForceParallel(
+        fx.competitors, fx.products, fx.cost_fn, 9, 1e-6, threads, &stats);
+    ASSERT_TRUE(parallel.ok());
+    ExpectBitIdentical(*sequential, *parallel,
+                       "brute threads=" + std::to_string(threads));
+    EXPECT_EQ(stats.upgrade_calls + stats.candidates_pruned,
+              stats.products_processed);
+  }
+}
+
+// Interleaves near-competitive candidates (drawn from the competitor
+// distribution, many of them undominated) with deeply dominated ones from
+// the shifted (1,2]^d product region. The cheap candidates pull the top-k
+// threshold toward zero early in every shard, after which the positive
+// lower bound of each deeply dominated candidate exceeds it.
+Dataset MixedPositionProducts(size_t n_each, size_t dims, uint64_t seed) {
+  Result<Dataset> competitive =
+      GenerateCompetitors(n_each, dims, Distribution::kAntiCorrelated, seed);
+  Result<Dataset> dominated =
+      GenerateProducts(n_each, dims, Distribution::kAntiCorrelated, seed + 1);
+  EXPECT_TRUE(competitive.ok() && dominated.ok());
+  Dataset out(dims);
+  out.Reserve(2 * n_each);
+  for (size_t i = 0; i < n_each; ++i) {
+    out.Add(competitive->data(static_cast<PointId>(i)));
+    out.Add(dominated->data(static_cast<PointId>(i)));
+  }
+  return out;
+}
+
+// The lower-bound cut must actually fire on a mixed catalog — and must
+// never change the result.
+TEST(ParallelEngineTest, PruningFiresOnMixedCatalog) {
+  Result<Dataset> p =
+      GenerateCompetitors(2000, 3, Distribution::kAntiCorrelated, 13);
+  ASSERT_TRUE(p.ok());
+  Dataset products = MixedPositionProducts(200, 3, 1300);
+  ProductCostFunction cost_fn = ProductCostFunction::ReciprocalSum(3, 1e-3);
+  Result<RTree> tree = RTree::BulkLoad(*p);
+  ASSERT_TRUE(tree.ok());
+
+  Result<std::vector<UpgradeResult>> sequential =
+      TopKImprovedProbing(tree.value(), products, cost_fn, 5);
+  ASSERT_TRUE(sequential.ok());
+  for (size_t threads : ThreadSweep()) {
+    ExecStats stats;
+    Result<std::vector<UpgradeResult>> parallel = TopKImprovedProbingParallel(
+        tree.value(), products, cost_fn, 5, 1e-6, threads, &stats);
+    ASSERT_TRUE(parallel.ok());
+    ExpectBitIdentical(*sequential, *parallel,
+                       "pruned threads=" + std::to_string(threads));
+    EXPECT_GT(stats.candidates_pruned, 0u) << "threads=" << threads;
+    EXPECT_GT(stats.threshold_updates, 0u) << "threads=" << threads;
+    EXPECT_GT(stats.lbc_evaluations, 0u) << "threads=" << threads;
+    EXPECT_EQ(stats.upgrade_calls + stats.candidates_pruned,
+              stats.products_processed);
+  }
+}
+
+// Sequential and parallel entry points must reject bad input with the
+// exact same diagnostics (shared ValidateTopKArgs).
+TEST(ParallelEngineTest, ValidationMatchesSequentialDiagnostics) {
+  Fixture fx = Make(100, 10, 2, Distribution::kIndependent, 21);
+  Result<RTree> tree = RTree::BulkLoad(fx.competitors);
+  ASSERT_TRUE(tree.ok());
+  Dataset empty(2);
+  Dataset wrong_dims(3);
+  wrong_dims.Add(std::vector<double>{1.0, 1.0, 1.0});
+
+  struct Case {
+    const char* name;
+    Result<std::vector<UpgradeResult>> sequential;
+    Result<std::vector<UpgradeResult>> parallel;
+  };
+  Case cases[] = {
+      {"k=0", TopKImprovedProbing(tree.value(), fx.products, fx.cost_fn, 0),
+       TopKImprovedProbingParallel(tree.value(), fx.products, fx.cost_fn, 0)},
+      {"epsilon<0",
+       TopKImprovedProbing(tree.value(), fx.products, fx.cost_fn, 1, -1.0),
+       TopKImprovedProbingParallel(tree.value(), fx.products, fx.cost_fn, 1,
+                                   -1.0)},
+      {"empty T", TopKImprovedProbing(tree.value(), empty, fx.cost_fn, 1),
+       TopKImprovedProbingParallel(tree.value(), empty, fx.cost_fn, 1)},
+      {"dims mismatch",
+       TopKImprovedProbing(tree.value(), wrong_dims, fx.cost_fn, 1),
+       TopKImprovedProbingParallel(tree.value(), wrong_dims, fx.cost_fn, 1)},
+  };
+  for (Case& c : cases) {
+    EXPECT_FALSE(c.sequential.ok()) << c.name;
+    EXPECT_FALSE(c.parallel.ok()) << c.name;
+    EXPECT_EQ(c.sequential.status().code(), c.parallel.status().code())
+        << c.name;
+    EXPECT_EQ(c.sequential.status().message(), c.parallel.status().message())
+        << c.name;
+  }
+}
+
+}  // namespace
+}  // namespace skyup

@@ -72,6 +72,10 @@ TEST(ParallelProbingTest, DefaultThreadCount) {
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->size(), 5u);
   EXPECT_EQ(stats.products_processed, 50u);
+  // Every candidate either paid for Algorithm 1 or was cut by the sound
+  // lower bound — nothing falls through the accounting.
+  EXPECT_EQ(stats.upgrade_calls + stats.candidates_pruned,
+            stats.products_processed);
 }
 
 TEST(ParallelProbingTest, ShardTruncationKeepsGlobalOptimum) {

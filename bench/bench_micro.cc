@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/dominance_batch.h"
 #include "core/lower_bounds.h"
 #include "core/parallel_probing.h"
 #include "core/probing.h"
@@ -112,6 +113,84 @@ void BM_DominatingSkylineProbe(benchmark::State& state) {
 }
 BENCHMARK(BM_DominatingSkylineProbe)->Arg(100000);
 
+// The same probe through the flat arena snapshot + batched kernels; the
+// pointer/scalar bench above is the seed baseline this is measured against
+// (bench/run_bench.sh records the pair in BENCH_topk.json).
+void BM_DominatingSkylineProbeFlat(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Dataset ds = MakeData(n, 3, Distribution::kAntiCorrelated);
+  Result<FlatRTree> tree = FlatRTree::BulkLoad(ds);
+  SKYUP_CHECK(tree.ok());
+  const std::vector<double> t = {1.5, 1.5, 1.5};
+  ProbeStats stats;
+  for (auto _ : state) {
+    stats = ProbeStats();
+    std::vector<PointId> sky = DominatingSkyline(tree.value(), t.data(),
+                                                 &stats);
+    benchmark::DoNotOptimize(sky.size());
+  }
+  state.counters["kernel_calls"] =
+      static_cast<double>(stats.block_kernel_calls);
+}
+BENCHMARK(BM_DominatingSkylineProbeFlat)->Arg(100000);
+
+// The raw batch kernels against a register-pressure-free scalar sweep:
+// lane filtering (the leaf/window shape) over one SoA block. range(0) is
+// the lane count, range(1) selects dispatched (1) or forced-scalar (0).
+void BM_FilterDominatedKernel(benchmark::State& state) {
+  const size_t count = static_cast<size_t>(state.range(0));
+  const bool dispatched = state.range(1) != 0;
+  const size_t dims = 3;
+  Dataset ds = MakeData(count, dims, Distribution::kAntiCorrelated);
+  SoaBlock block(dims);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    block.Append(ds.data(static_cast<PointId>(i)));
+  }
+  const std::vector<double> q(dims, 0.51);
+  std::vector<uint32_t> out;
+  for (auto _ : state) {
+    out.clear();
+    const size_t kept =
+        dispatched ? FilterDominated(block.view(), q.data(), &out)
+                   : FilterDominatedScalar(block.view(), q.data(), &out);
+    benchmark::DoNotOptimize(kept);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(count));
+  state.SetLabel(dispatched ? BatchKernelName() : "scalar");
+}
+BENCHMARK(BM_FilterDominatedKernel)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({4096, 0})
+    ->Args({4096, 1});
+
+void BM_DominatesAnyKernel(benchmark::State& state) {
+  const size_t count = static_cast<size_t>(state.range(0));
+  const bool dispatched = state.range(1) != 0;
+  const size_t dims = 3;
+  Dataset ds = MakeData(count, dims, Distribution::kAntiCorrelated);
+  SoaBlock block(dims);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    block.Append(ds.data(static_cast<PointId>(i)));
+  }
+  // A query nothing dominates: the worst case, every lane is examined.
+  const std::vector<double> q(dims, -1.0);
+  for (auto _ : state) {
+    const bool any = dispatched ? DominatesAny(block.view(), q.data())
+                                : DominatesAnyScalar(block.view(), q.data());
+    benchmark::DoNotOptimize(any);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(count));
+  state.SetLabel(dispatched ? BatchKernelName() : "scalar");
+}
+BENCHMARK(BM_DominatesAnyKernel)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({4096, 0})
+    ->Args({4096, 1});
+
 void BM_UpgradeProduct(benchmark::State& state) {
   const size_t sky_size = static_cast<size_t>(state.range(0));
   const size_t dims = static_cast<size_t>(state.range(1));
@@ -172,6 +251,25 @@ void BM_TopKImprovedProbing(benchmark::State& state) {
                           static_cast<int64_t>(t.size()));
 }
 BENCHMARK(BM_TopKImprovedProbing);
+
+// End-to-end improved probing through the flat snapshot — the tentpole
+// hot path as the planner runs it with default options.
+void BM_TopKImprovedProbingFlat(benchmark::State& state) {
+  Dataset p = MakeData(20000, 3, Distribution::kAntiCorrelated);
+  Dataset t = MixedCatalog(1000, 9);
+  Result<FlatRTree> tree = FlatRTree::BulkLoad(p);
+  SKYUP_CHECK(tree.ok());
+  ProductCostFunction f = ProductCostFunction::ReciprocalSum(3, 1e-3);
+  for (auto _ : state) {
+    Result<std::vector<UpgradeResult>> top =
+        TopKImprovedProbing(tree.value(), t, f, 10);
+    SKYUP_CHECK(top.ok());
+    benchmark::DoNotOptimize(top->size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(t.size()));
+}
+BENCHMARK(BM_TopKImprovedProbingFlat);
 
 void BM_TopKImprovedProbingParallel(benchmark::State& state) {
   const size_t threads = static_cast<size_t>(state.range(0));

@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# Runs the micro-benchmark suite and records the result as JSON at the
+# repository root (BENCH_topk.json). The file captures the probe hot path
+# both ways — pointer/scalar baseline (BM_DominatingSkylineProbe,
+# BM_TopKImprovedProbing) and flat/batched (BM_*Flat) — so the speedup of
+# the arena + SIMD path is reproducible from one artifact.
+#
+# Usage: bench/run_bench.sh [build-dir] [output-file]
+# Defaults: build-dir = ./build, output-file = ./BENCH_topk.json.
+# The CMake target `run_bench` invokes this with its own build dir.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+out_file=${2:-"$repo_root/BENCH_topk.json"}
+bench_bin="$build_dir/bench/bench_micro"
+
+if [ ! -x "$bench_bin" ]; then
+  echo "error: $bench_bin not found or not executable." >&2
+  echo "Build it first: cmake --build $build_dir --target bench_micro" >&2
+  exit 1
+fi
+
+"$bench_bin" \
+  --benchmark_filter='BM_DominatingSkylineProbe|BM_TopKImprovedProbing$|BM_TopKImprovedProbingFlat|BM_FilterDominatedKernel|BM_DominatesAnyKernel' \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_format=json \
+  --benchmark_out="$out_file" \
+  --benchmark_out_format=json
+
+echo "wrote $out_file"

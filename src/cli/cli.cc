@@ -6,6 +6,7 @@
 #include <set>
 #include <sstream>
 
+#include "core/dominance_batch.h"
 #include "core/planner.h"
 #include "core/report.h"
 #include "data/generator.h"
@@ -33,8 +34,10 @@ commands:
              --competitors=FILE --products=FILE [--k=1]
              [--algorithm=join|improved|basic|brute] [--lb=nlb|clb|alb]
              [--epsilon=1e-6] [--fanout=64] [--threads=1] [--paper-bounds]
-             [--format=text|csv|json]
-             (--threads: 1 = sequential, 0 = all hardware threads)
+             [--format=text|csv|json] [--flat-index=on|off] [--stats]
+             (--threads: 1 = sequential, 0 = all hardware threads;
+              --stats: print work counters — heap pops, nodes visited,
+              block-kernel calls, ... — as trailing '#' lines)
   help       show this message
 )";
 
@@ -280,6 +283,15 @@ int CmdTopK(const Flags& flags, std::ostream& out, std::ostream& err) {
   if (flags.GetOr("paper-bounds", "false") == "true") {
     options.bound_mode = BoundMode::kPaper;
   }
+  const std::string flat_name = flags.GetOr("flat-index", "on");
+  if (flat_name == "on") {
+    options.use_flat_index = true;
+  } else if (flat_name == "off") {
+    options.use_flat_index = false;
+  } else {
+    return Usage(err, "topk: --flat-index must be on or off");
+  }
+  const bool show_stats = flags.GetOr("stats", "false") == "true";
   Result<ReportFormat> format =
       ParseReportFormat(flags.GetOr("format", "csv"));
   if (!format.ok()) return Usage(err, format.status().message());
@@ -297,8 +309,9 @@ int CmdTopK(const Flags& flags, std::ostream& out, std::ostream& err) {
   if (!planner.ok()) return Fail(err, planner.status());
 
   Timer timer;
-  Result<std::vector<UpgradeResult>> top =
-      planner->TopK(static_cast<size_t>(*k), algo);
+  ExecStats stats;
+  Result<std::vector<UpgradeResult>> top = planner->TopK(
+      static_cast<size_t>(*k), algo, show_stats ? &stats : nullptr);
   if (!top.ok()) return Fail(err, top.status());
   if (*format != ReportFormat::kJson) {
     out << "# top-" << *k << " upgrades via " << AlgorithmName(algo) << " ("
@@ -308,6 +321,24 @@ int CmdTopK(const Flags& flags, std::ostream& out, std::ostream& err) {
     out << "# rank,product_row,cost,competitive,upgraded...\n";
   }
   WriteReport(*top, *format, out);
+  if (show_stats) {
+    // Comment lines keep text/csv output parseable; JSON cannot carry
+    // comments, so there the counters go to the diagnostic stream.
+    std::ostream& s = (*format == ReportFormat::kJson) ? err : out;
+    s << "# stats: kernel=" << BatchKernelName()
+      << " flat_index=" << (options.use_flat_index ? "on" : "off") << "\n"
+      << "# stats: products_processed=" << stats.products_processed
+      << " candidates_pruned=" << stats.candidates_pruned
+      << " upgrade_calls=" << stats.upgrade_calls << "\n"
+      << "# stats: heap_pops=" << stats.heap_pops
+      << " nodes_visited=" << stats.nodes_visited
+      << " points_scanned=" << stats.points_scanned
+      << " block_kernel_calls=" << stats.block_kernel_calls << "\n"
+      << "# stats: dominators_fetched=" << stats.dominators_fetched
+      << " skyline_points_total=" << stats.skyline_points_total
+      << " lbc_evaluations=" << stats.lbc_evaluations
+      << " threshold_updates=" << stats.threshold_updates << "\n";
+  }
   return 0;
 }
 

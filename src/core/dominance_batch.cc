@@ -1,0 +1,229 @@
+#include "core/dominance_batch.h"
+
+#include <algorithm>
+
+#if defined(SKYUP_SIMD) && defined(__x86_64__)
+#define SKYUP_HAVE_AVX2_PATH 1
+#include <immintrin.h>
+#else
+#define SKYUP_HAVE_AVX2_PATH 0
+#endif
+
+namespace skyup {
+
+void SoaBlock::Append(const double* p) {
+  if (count_ == capacity_) Grow(capacity_ == 0 ? 64 : capacity_ * 2);
+  for (size_t d = 0; d < dims_; ++d) data_[d * capacity_ + count_] = p[d];
+  ++count_;
+}
+
+void SoaBlock::Grow(size_t new_capacity) {
+  std::vector<double> next(dims_ * new_capacity);
+  for (size_t d = 0; d < dims_; ++d) {
+    std::copy_n(data_.data() + d * capacity_, count_,
+                next.data() + d * new_capacity);
+  }
+  data_ = std::move(next);
+  capacity_ = new_capacity;
+}
+
+bool DominatesAnyScalar(const SoaView& block, const double* q) {
+  for (size_t i = 0; i < block.count; ++i) {
+    bool le = true;
+    for (size_t d = 0; d < block.dims && le; ++d) {
+      le = block.dim(d)[i] <= q[d];
+    }
+    if (le) return true;
+  }
+  return false;
+}
+
+size_t FilterDominatedScalar(const SoaView& block, const double* q,
+                             std::vector<uint32_t>* out, bool strict) {
+  size_t appended = 0;
+  for (size_t i = 0; i < block.count; ++i) {
+    bool le = true;
+    bool lt = false;
+    for (size_t d = 0; d < block.dims && le; ++d) {
+      const double v = block.dim(d)[i];
+      le = v <= q[d];
+      lt = lt || v < q[d];
+    }
+    if (le && (lt || !strict)) {
+      out->push_back(static_cast<uint32_t>(i));
+      ++appended;
+    }
+  }
+  return appended;
+}
+
+void ClassifyBlockScalar(const SoaView& block, const double* q,
+                         DomRelation* out) {
+  for (size_t i = 0; i < block.count; ++i) {
+    bool a_le = true;  // lane <= q on every dimension
+    bool b_le = true;  // q <= lane on every dimension
+    for (size_t d = 0; d < block.dims && (a_le || b_le); ++d) {
+      const double v = block.dim(d)[i];
+      a_le = a_le && v <= q[d];
+      b_le = b_le && q[d] <= v;
+    }
+    if (a_le && b_le) {
+      out[i] = DomRelation::kEqual;
+    } else if (a_le) {
+      out[i] = DomRelation::kDominates;
+    } else if (b_le) {
+      out[i] = DomRelation::kDominatedBy;
+    } else {
+      out[i] = DomRelation::kIncomparable;
+    }
+  }
+}
+
+#if SKYUP_HAVE_AVX2_PATH
+
+namespace {
+
+// Four 64-bit lanes, all bits set — the "still a candidate" mask seed.
+__attribute__((target("avx2"))) inline __m256d AllOnes() {
+  return _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+}
+
+__attribute__((target("avx2"))) bool DominatesAnyAvx2(const SoaView& block,
+                                                      const double* q) {
+  size_t i = 0;
+  for (; i + 4 <= block.count; i += 4) {
+    __m256d le = AllOnes();
+    for (size_t d = 0; d < block.dims; ++d) {
+      const __m256d v = _mm256_loadu_pd(block.dim(d) + i);
+      le = _mm256_and_pd(le, _mm256_cmp_pd(v, _mm256_set1_pd(q[d]),
+                                           _CMP_LE_OQ));
+      if (_mm256_movemask_pd(le) == 0) break;  // group fully disqualified
+    }
+    if (_mm256_movemask_pd(le) != 0) return true;
+  }
+  for (; i < block.count; ++i) {
+    bool le = true;
+    for (size_t d = 0; d < block.dims && le; ++d) {
+      le = block.dim(d)[i] <= q[d];
+    }
+    if (le) return true;
+  }
+  return false;
+}
+
+__attribute__((target("avx2"))) size_t
+FilterDominatedAvx2(const SoaView& block, const double* q,
+                    std::vector<uint32_t>* out, bool strict) {
+  size_t appended = 0;
+  size_t i = 0;
+  for (; i + 4 <= block.count; i += 4) {
+    __m256d le = AllOnes();
+    __m256d lt = _mm256_setzero_pd();
+    for (size_t d = 0; d < block.dims; ++d) {
+      const __m256d v = _mm256_loadu_pd(block.dim(d) + i);
+      const __m256d qd = _mm256_set1_pd(q[d]);
+      le = _mm256_and_pd(le, _mm256_cmp_pd(v, qd, _CMP_LE_OQ));
+      lt = _mm256_or_pd(lt, _mm256_cmp_pd(v, qd, _CMP_LT_OQ));
+      if (_mm256_movemask_pd(le) == 0) break;
+    }
+    int mask = _mm256_movemask_pd(le);
+    if (strict) mask &= _mm256_movemask_pd(lt);
+    while (mask != 0) {
+      const int bit = __builtin_ctz(static_cast<unsigned>(mask));
+      out->push_back(static_cast<uint32_t>(i + static_cast<size_t>(bit)));
+      ++appended;
+      mask &= mask - 1;
+    }
+  }
+  for (; i < block.count; ++i) {
+    bool le = true;
+    bool lt = false;
+    for (size_t d = 0; d < block.dims && le; ++d) {
+      const double v = block.dim(d)[i];
+      le = v <= q[d];
+      lt = lt || v < q[d];
+    }
+    if (le && (lt || !strict)) {
+      out->push_back(static_cast<uint32_t>(i));
+      ++appended;
+    }
+  }
+  return appended;
+}
+
+__attribute__((target("avx2"))) void ClassifyBlockAvx2(const SoaView& block,
+                                                       const double* q,
+                                                       DomRelation* out) {
+  size_t i = 0;
+  for (; i + 4 <= block.count; i += 4) {
+    __m256d a_le = AllOnes();  // lane <= q everywhere
+    __m256d b_le = AllOnes();  // q <= lane everywhere
+    for (size_t d = 0; d < block.dims; ++d) {
+      const __m256d v = _mm256_loadu_pd(block.dim(d) + i);
+      const __m256d qd = _mm256_set1_pd(q[d]);
+      a_le = _mm256_and_pd(a_le, _mm256_cmp_pd(v, qd, _CMP_LE_OQ));
+      b_le = _mm256_and_pd(b_le, _mm256_cmp_pd(qd, v, _CMP_LE_OQ));
+    }
+    const int am = _mm256_movemask_pd(a_le);
+    const int bm = _mm256_movemask_pd(b_le);
+    for (int lane = 0; lane < 4; ++lane) {
+      const bool a = (am >> lane) & 1;
+      const bool b = (bm >> lane) & 1;
+      out[i + static_cast<size_t>(lane)] =
+          a ? (b ? DomRelation::kEqual : DomRelation::kDominates)
+            : (b ? DomRelation::kDominatedBy : DomRelation::kIncomparable);
+    }
+  }
+  if (i < block.count) {
+    SoaView tail = block;
+    tail.data += i;
+    tail.count -= i;
+    ClassifyBlockScalar(tail, q, out + i);
+  }
+}
+
+}  // namespace
+
+#endif  // SKYUP_HAVE_AVX2_PATH
+
+namespace {
+
+bool UseAvx2() {
+#if SKYUP_HAVE_AVX2_PATH
+  static const bool supported = __builtin_cpu_supports("avx2") != 0;
+  return supported;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+bool DominatesAny(const SoaView& block, const double* q) {
+#if SKYUP_HAVE_AVX2_PATH
+  if (UseAvx2()) return DominatesAnyAvx2(block, q);
+#endif
+  return DominatesAnyScalar(block, q);
+}
+
+size_t FilterDominated(const SoaView& block, const double* q,
+                       std::vector<uint32_t>* out, bool strict) {
+#if SKYUP_HAVE_AVX2_PATH
+  if (UseAvx2()) return FilterDominatedAvx2(block, q, out, strict);
+#endif
+  return FilterDominatedScalar(block, q, out, strict);
+}
+
+void ClassifyBlock(const SoaView& block, const double* q, DomRelation* out) {
+#if SKYUP_HAVE_AVX2_PATH
+  if (UseAvx2()) {
+    ClassifyBlockAvx2(block, q, out);
+    return;
+  }
+#endif
+  ClassifyBlockScalar(block, q, out);
+}
+
+const char* BatchKernelName() { return UseAvx2() ? "avx2" : "scalar"; }
+
+}  // namespace skyup

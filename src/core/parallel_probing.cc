@@ -129,6 +129,46 @@ Result<std::vector<UpgradeResult>> TopKImprovedProbingParallel(
     std::vector<PointId> sky_ids =
         DominatingSkyline(competitors_tree, t, &probe);
     st->heap_pops += probe.heap_pops;
+    st->nodes_visited += probe.nodes_visited;
+    st->points_scanned += probe.points_scanned;
+    st->block_kernel_calls += probe.block_kernel_calls;
+    st->dominators_fetched += sky_ids.size();
+    st->skyline_points_total += sky_ids.size();
+
+    std::vector<const double*> skyline;
+    skyline.reserve(sky_ids.size());
+    for (PointId id : sky_ids) skyline.push_back(competitors.data(id));
+
+    ++st->upgrade_calls;
+    return UpgradeProduct(skyline, t, dims, cost_fn, epsilon);
+  };
+  return RunShardedTopK(products, k, threads, bound, evaluate, stats);
+}
+
+Result<std::vector<UpgradeResult>> TopKImprovedProbingParallel(
+    const FlatRTree& competitors_index, const Dataset& products,
+    const ProductCostFunction& cost_fn, size_t k, double epsilon,
+    size_t threads, ExecStats* stats) {
+  SKYUP_RETURN_IF_ERROR(ValidateTopKArgs(competitors_index.dataset().dims(),
+                                         products, cost_fn, k, epsilon));
+  const Dataset& competitors = competitors_index.dataset();
+  const size_t dims = products.dims();
+  const Mbr root_mbr = competitors_index.root_mbr();
+  const bool have_box = !root_mbr.IsEmpty();
+
+  auto bound = [&, have_box](const double* t, ExecStats* st) {
+    if (!have_box) return 0.0;
+    return TightBoxBound(root_mbr.min_data(), root_mbr.max_data(), t, dims,
+                         cost_fn, st);
+  };
+  auto evaluate = [&](PointId /*tid*/, const double* t, ExecStats* st) {
+    ProbeStats probe;
+    std::vector<PointId> sky_ids =
+        DominatingSkyline(competitors_index, t, &probe);
+    st->heap_pops += probe.heap_pops;
+    st->nodes_visited += probe.nodes_visited;
+    st->points_scanned += probe.points_scanned;
+    st->block_kernel_calls += probe.block_kernel_calls;
     st->dominators_fetched += sky_ids.size();
     st->skyline_points_total += sky_ids.size();
 

@@ -22,6 +22,7 @@
 #include "core/cost_function.h"
 #include "core/dataset.h"
 #include "core/upgrade_result.h"
+#include "rtree/flat_rtree.h"
 #include "rtree/rtree.h"
 #include "util/status.h"
 
@@ -32,6 +33,16 @@ namespace skyup {
 /// aggregates all workers (see `ExecStats::MergeFrom`).
 Result<std::vector<UpgradeResult>> TopKImprovedProbingParallel(
     const RTree& competitors_tree, const Dataset& products,
+    const ProductCostFunction& cost_fn, size_t k, double epsilon = 1e-6,
+    size_t threads = 0, ExecStats* stats = nullptr);
+
+/// Parallel improved probing over the flat arena snapshot: the sharded
+/// engine with every worker running the batched SoA probe
+/// (rtree/flat_rtree.h). The snapshot is immutable, so workers share it
+/// without synchronization. Results stay bit-identical to the sequential
+/// and pointer-tree paths for every thread count.
+Result<std::vector<UpgradeResult>> TopKImprovedProbingParallel(
+    const FlatRTree& competitors_index, const Dataset& products,
     const ProductCostFunction& cost_fn, size_t k, double epsilon = 1e-6,
     size_t threads = 0, ExecStats* stats = nullptr);
 

@@ -92,6 +92,13 @@ Result<UpgradePlanner> UpgradePlanner::Create(Dataset competitors,
   if (!rt.ok()) return rt.status();
   planner.rp_ = std::make_unique<RTree>(std::move(rp).value());
   planner.rt_ = std::make_unique<RTree>(std::move(rt).value());
+  if (options.use_flat_index) {
+    // One BFS pass over the freshly loaded pointer tree; the snapshot
+    // shares the planner's competitor dataset, whose address is stable
+    // (unique_ptr member).
+    planner.fp_ =
+        std::make_unique<FlatRTree>(FlatRTree::FromTree(*planner.rp_));
+  }
   return planner;
 }
 
@@ -116,6 +123,15 @@ Result<std::vector<UpgradeResult>> UpgradePlanner::TopK(
       return TopKBasicProbing(*rp_, *products_, *cost_fn_, k,
                               options_.epsilon, stats);
     case Algorithm::kImprovedProbing:
+      if (fp_ != nullptr) {
+        if (parallel) {
+          return TopKImprovedProbingParallel(*fp_, *products_, *cost_fn_, k,
+                                             options_.epsilon,
+                                             options_.threads, stats);
+        }
+        return TopKImprovedProbing(*fp_, *products_, *cost_fn_, k,
+                                   options_.epsilon, stats);
+      }
       if (parallel) {
         return TopKImprovedProbingParallel(*rp_, *products_, *cost_fn_, k,
                                            options_.epsilon,
@@ -166,6 +182,14 @@ Result<std::vector<UpgradeResult>> UpgradePlanner::TopKWithinSet(
   // A point never strictly dominates itself (or an identical twin), so
   // improved probing against the catalog's own tree yields exactly the
   // "all other members" semantics.
+  if (options.use_flat_index) {
+    const FlatRTree flat = FlatRTree::FromTree(tree.value());
+    if (options.threads != 1) {
+      return TopKImprovedProbingParallel(flat, catalog, cost_fn, k,
+                                         options.epsilon, options.threads);
+    }
+    return TopKImprovedProbing(flat, catalog, cost_fn, k, options.epsilon);
+  }
   if (options.threads != 1) {
     return TopKImprovedProbingParallel(tree.value(), catalog, cost_fn, k,
                                        options.epsilon, options.threads);

@@ -10,6 +10,7 @@
 #include "core/lower_bounds.h"
 #include "core/probing.h"
 #include "core/upgrade_result.h"
+#include "rtree/flat_rtree.h"
 #include "rtree/rtree.h"
 #include "util/status.h"
 
@@ -42,6 +43,13 @@ struct PlannerOptions {
   /// are identical across all settings (core/parallel_probing.h); the
   /// join algorithm is inherently sequential and ignores this.
   size_t threads = 1;
+  /// If true (the default), the planner also builds an immutable flat
+  /// arena snapshot of the competitor R-tree (rtree/flat_rtree.h) and
+  /// routes improved probing — sequential and parallel — through the
+  /// batched SoA traversal. Results are bit-identical either way; turn it
+  /// off to force the pointer-tree scalar baseline (ablation, or when the
+  /// snapshot's extra memory matters).
+  bool use_flat_index = true;
   /// If true, `Create` rejects cost functions that fail a randomized
   /// monotonicity check over the data's bounding box.
   bool validate_monotonicity = false;
@@ -92,6 +100,9 @@ class UpgradePlanner {
   const Dataset& products() const { return *products_; }
   const RTree& competitors_tree() const { return *rp_; }
   const RTree& products_tree() const { return *rt_; }
+  /// Flat snapshot of the competitor tree; null when
+  /// `PlannerOptions::use_flat_index` is false.
+  const FlatRTree* competitors_flat() const { return fp_.get(); }
   const ProductCostFunction& cost_function() const { return *cost_fn_; }
   const PlannerOptions& options() const { return options_; }
 
@@ -109,6 +120,7 @@ class UpgradePlanner {
   PlannerOptions options_;
   std::unique_ptr<RTree> rp_;
   std::unique_ptr<RTree> rt_;
+  std::unique_ptr<FlatRTree> fp_;
 };
 
 }  // namespace skyup

@@ -59,15 +59,23 @@ Result<std::vector<UpgradeResult>> TopKBasicProbing(
   return collector.Finish();
 }
 
-Result<std::vector<UpgradeResult>> TopKImprovedProbing(
-    const RTree& competitors_tree, const Dataset& products,
+namespace {
+
+// One implementation for both index forms: `Index` is `RTree` (pointer
+// nodes, scalar probe) or `FlatRTree` (arena nodes, batched SoA probe);
+// overload resolution on `DominatingSkyline` picks the traversal. Results
+// are bit-identical either way — the flat probe pops and accepts in the
+// same order as the pointer probe.
+template <typename Index>
+Result<std::vector<UpgradeResult>> TopKImprovedProbingImpl(
+    const Index& competitors_index, const Dataset& products,
     const ProductCostFunction& cost_fn, size_t k, double epsilon,
     ExecStats* stats) {
-  SKYUP_RETURN_IF_ERROR(ValidateTopKArgs(competitors_tree.dataset().dims(),
+  SKYUP_RETURN_IF_ERROR(ValidateTopKArgs(competitors_index.dataset().dims(),
                                          products, cost_fn, k, epsilon));
   ExecStats local;
   ExecStats* st = stats != nullptr ? stats : &local;
-  const Dataset& competitors = competitors_tree.dataset();
+  const Dataset& competitors = competitors_index.dataset();
   const size_t dims = products.dims();
 
   TopKCollector collector(k);
@@ -78,9 +86,12 @@ Result<std::vector<UpgradeResult>> TopKImprovedProbing(
     ++st->products_processed;
 
     ProbeStats probe;
-    std::vector<PointId> sky_ids = DominatingSkyline(competitors_tree, t,
+    std::vector<PointId> sky_ids = DominatingSkyline(competitors_index, t,
                                                      &probe);
     st->heap_pops += probe.heap_pops;
+    st->nodes_visited += probe.nodes_visited;
+    st->points_scanned += probe.points_scanned;
+    st->block_kernel_calls += probe.block_kernel_calls;
     st->dominators_fetched += sky_ids.size();
     st->skyline_points_total += sky_ids.size();
 
@@ -96,6 +107,24 @@ Result<std::vector<UpgradeResult>> TopKImprovedProbing(
                                 outcome.already_competitive});
   }
   return collector.Finish();
+}
+
+}  // namespace
+
+Result<std::vector<UpgradeResult>> TopKImprovedProbing(
+    const RTree& competitors_tree, const Dataset& products,
+    const ProductCostFunction& cost_fn, size_t k, double epsilon,
+    ExecStats* stats) {
+  return TopKImprovedProbingImpl(competitors_tree, products, cost_fn, k,
+                                 epsilon, stats);
+}
+
+Result<std::vector<UpgradeResult>> TopKImprovedProbing(
+    const FlatRTree& competitors_index, const Dataset& products,
+    const ProductCostFunction& cost_fn, size_t k, double epsilon,
+    ExecStats* stats) {
+  return TopKImprovedProbingImpl(competitors_index, products, cost_fn, k,
+                                 epsilon, stats);
 }
 
 Result<std::vector<UpgradeResult>> TopKBruteForce(

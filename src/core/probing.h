@@ -6,6 +6,7 @@
 #include "core/cost_function.h"
 #include "core/dataset.h"
 #include "core/upgrade_result.h"
+#include "rtree/flat_rtree.h"
 #include "rtree/rtree.h"
 #include "util/status.h"
 
@@ -29,6 +30,17 @@ Result<std::vector<UpgradeResult>> TopKBasicProbing(
 /// directly on the R-tree instead of materializing all dominators.
 Result<std::vector<UpgradeResult>> TopKImprovedProbing(
     const RTree& competitors_tree, const Dataset& products,
+    const ProductCostFunction& cost_fn, size_t k, double epsilon = 1e-6,
+    ExecStats* stats = nullptr);
+
+/// Improved probing over the flat arena snapshot (rtree/flat_rtree.h):
+/// same contract and bit-identical results as the pointer-tree overload,
+/// but every `getDominatingSky` probe runs the arena traversal with the
+/// batched SoA dominance kernels. `ExecStats::block_kernel_calls` counts
+/// the kernel invocations. This is the planner's default hot path
+/// (`PlannerOptions::use_flat_index`).
+Result<std::vector<UpgradeResult>> TopKImprovedProbing(
+    const FlatRTree& competitors_index, const Dataset& products,
     const ProductCostFunction& cost_fn, size_t k, double epsilon = 1e-6,
     ExecStats* stats = nullptr);
 

@@ -38,6 +38,12 @@ struct ExecStats {
                                    ///< threshold (no skyline/upgrade work)
   size_t threshold_updates = 0;    ///< successful lowerings of the shared
                                    ///< parallel cost threshold (CAS wins)
+  size_t nodes_visited = 0;        ///< index nodes expanded by probe
+                                   ///< traversals (ProbeStats roll-up)
+  size_t points_scanned = 0;       ///< leaf points examined by probe
+                                   ///< traversals (ProbeStats roll-up)
+  size_t block_kernel_calls = 0;   ///< batched SIMD/SoA dominance-kernel
+                                   ///< invocations (core/dominance_batch.h)
 
   /// Field-wise sum, used wherever per-shard or per-phase counters are
   /// aggregated into one view. Every field participates.
@@ -45,7 +51,7 @@ struct ExecStats {
     // Tripwire: adding a field to ExecStats changes its size, which trips
     // this assert until the new field is summed below (and the merge test
     // in tests/parallel_engine_test.cc is taught about it).
-    static_assert(sizeof(ExecStats) == 11 * sizeof(size_t),
+    static_assert(sizeof(ExecStats) == 14 * sizeof(size_t),
                   "ExecStats gained/lost a field: update MergeFrom");
     products_processed += other.products_processed;
     dominators_fetched += other.dominators_fetched;
@@ -58,6 +64,9 @@ struct ExecStats {
     jl_entries_pruned += other.jl_entries_pruned;
     candidates_pruned += other.candidates_pruned;
     threshold_updates += other.threshold_updates;
+    nodes_visited += other.nodes_visited;
+    points_scanned += other.points_scanned;
+    block_kernel_calls += other.block_kernel_calls;
     return *this;
   }
 

@@ -1,0 +1,160 @@
+#include "rtree/flat_rtree.h"
+
+#include <deque>
+#include <string>
+
+#include "util/logging.h"
+
+namespace skyup {
+
+FlatRTree FlatRTree::FromTree(const RTree& tree) {
+  FlatRTree flat;
+  flat.dims_ = tree.dataset().dims();
+  flat.dataset_ = &tree.dataset();
+  if (tree.empty() || tree.root() == nullptr) return flat;
+
+  // Pass 1: BFS to assign arena indices — children of a node become a
+  // consecutive run, in the pointer tree's child order.
+  std::deque<const RTreeNode*> order;
+  order.push_back(tree.root());
+  std::vector<const RTreeNode*> nodes;
+  while (!order.empty()) {
+    const RTreeNode* node = order.front();
+    order.pop_front();
+    nodes.push_back(node);
+    for (const auto& child : node->children) order.push_back(child.get());
+  }
+
+  const size_t n = nodes.size();
+  const size_t dims = flat.dims_;
+  flat.level_.resize(n);
+  flat.begin_.resize(n);
+  flat.end_.resize(n);
+  flat.lo_soa_.resize(dims * n);
+  flat.hi_soa_.resize(dims * n);
+  flat.lo_aos_.resize(n * dims);
+  flat.hi_aos_.resize(n * dims);
+  flat.key_.resize(n);
+  flat.point_ids_.reserve(tree.size());
+
+  // Pass 2: fill the arena. BFS index arithmetic: the children of nodes[i]
+  // start right after every child of nodes[0..i).
+  uint32_t next_child = 1;
+  for (size_t i = 0; i < n; ++i) {
+    const RTreeNode* node = nodes[i];
+    flat.level_[i] = node->level;
+    const double* lo = node->mbr.min_data();
+    const double* hi = node->mbr.max_data();
+    for (size_t d = 0; d < dims; ++d) {
+      flat.lo_soa_[d * n + i] = lo[d];
+      flat.hi_soa_[d * n + i] = hi[d];
+      flat.lo_aos_[i * dims + d] = lo[d];
+      flat.hi_aos_[i * dims + d] = hi[d];
+    }
+    flat.key_[i] = node->mbr.MinCornerSum();
+    if (node->is_leaf()) {
+      flat.begin_[i] = static_cast<uint32_t>(flat.point_ids_.size());
+      for (PointId id : node->points) flat.point_ids_.push_back(id);
+      flat.end_[i] = static_cast<uint32_t>(flat.point_ids_.size());
+    } else {
+      flat.begin_[i] = next_child;
+      next_child += static_cast<uint32_t>(node->children.size());
+      flat.end_[i] = next_child;
+    }
+  }
+
+  const size_t p = flat.point_ids_.size();
+  flat.pt_soa_.resize(dims * p);
+  flat.pt_aos_.resize(p * dims);
+  for (size_t j = 0; j < p; ++j) {
+    const double* coords = flat.dataset_->data(flat.point_ids_[j]);
+    for (size_t d = 0; d < dims; ++d) {
+      flat.pt_soa_[d * p + j] = coords[d];
+      flat.pt_aos_[j * dims + d] = coords[d];
+    }
+  }
+  return flat;
+}
+
+Result<FlatRTree> FlatRTree::BulkLoad(const Dataset& dataset,
+                                      RTreeOptions options) {
+  Result<RTree> tree = RTree::BulkLoad(dataset, options);
+  if (!tree.ok()) return tree.status();
+  // The pointer tree is a scaffold here; FromTree copies everything the
+  // flat form needs, except the dataset it references.
+  return FromTree(tree.value());
+}
+
+Mbr FlatRTree::root_mbr() const {
+  if (empty()) return Mbr(dims_);
+  return Mbr::FromCorners(min_corner(kRoot), max_corner(kRoot), dims_);
+}
+
+Status FlatRTree::Validate() const {
+  if (empty()) {
+    if (node_count() != 0) {
+      return Status::Internal("empty flat tree has nodes");
+    }
+    return Status::OK();
+  }
+  const size_t n = node_count();
+  size_t points_seen = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    for (size_t d = 0; d < dims_; ++d) {
+      if (lo_soa_[d * n + i] != min_corner(i)[d] ||
+          hi_soa_[d * n + i] != max_corner(i)[d]) {
+        return Status::Internal("SoA/AoS corner mismatch at node " +
+                                std::to_string(i));
+      }
+      if (min_corner(i)[d] > max_corner(i)[d]) {
+        return Status::Internal("inverted MBR at node " + std::to_string(i));
+      }
+    }
+    if (is_leaf(i)) {
+      if (point_begin(i) > point_end(i) || point_end(i) > point_ids_.size()) {
+        return Status::Internal("leaf range out of bounds at node " +
+                                std::to_string(i));
+      }
+      points_seen += point_end(i) - point_begin(i);
+      for (uint32_t j = point_begin(i); j < point_end(i); ++j) {
+        const double* coords = dataset_->data(point_ids_[j]);
+        for (size_t d = 0; d < dims_; ++d) {
+          if (slot_coords(j)[d] != coords[d] ||
+              pt_soa_[d * point_ids_.size() + j] != coords[d]) {
+            return Status::Internal("stale leaf coordinates at slot " +
+                                    std::to_string(j));
+          }
+          if (coords[d] < min_corner(i)[d] || coords[d] > max_corner(i)[d]) {
+            return Status::Internal("leaf point escapes its MBR at slot " +
+                                    std::to_string(j));
+          }
+        }
+      }
+    } else {
+      if (child_begin(i) >= child_end(i) || child_end(i) > n ||
+          child_begin(i) <= i) {
+        return Status::Internal("child range malformed at node " +
+                                std::to_string(i));
+      }
+      for (uint32_t c = child_begin(i); c < child_end(i); ++c) {
+        if (level_[c] != level_[i] - 1) {
+          return Status::Internal("child level skew at node " +
+                                  std::to_string(i));
+        }
+        for (size_t d = 0; d < dims_; ++d) {
+          if (min_corner(c)[d] < min_corner(i)[d] ||
+              max_corner(c)[d] > max_corner(i)[d]) {
+            return Status::Internal("child MBR escapes parent at node " +
+                                    std::to_string(c));
+          }
+        }
+      }
+    }
+  }
+  if (points_seen != point_ids_.size()) {
+    return Status::Internal("leaf ranges do not tile the point span");
+  }
+  return Status::OK();
+}
+
+}  // namespace skyup

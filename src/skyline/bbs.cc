@@ -2,6 +2,8 @@
 #include <vector>
 
 #include "core/dominance.h"
+#include "core/dominance_batch.h"
+#include "rtree/flat_rtree.h"
 #include "skyline/skyline.h"
 #include "util/logging.h"
 
@@ -81,6 +83,68 @@ std::vector<PointId> SkylineBbs(const RTree& tree) {
   return result;
 }
 
+std::vector<PointId> SkylineBbs(const FlatRTree& tree) {
+  std::vector<PointId> result;
+  if (tree.empty()) return result;
+
+  const size_t dims = tree.dims();
+  constexpr uint32_t kNoNode = UINT32_MAX;
+  struct FlatBbsEntry {
+    double key;
+    uint64_t seq;
+    uint32_t node;
+    PointId point;
+    bool operator>(const FlatBbsEntry& other) const {
+      if (key != other.key) return key > other.key;
+      return seq > other.seq;
+    }
+  };
+  std::priority_queue<FlatBbsEntry, std::vector<FlatBbsEntry>,
+                      std::greater<FlatBbsEntry>>
+      heap;
+  uint64_t seq = 0;
+  heap.push({tree.min_corner_sum(FlatRTree::kRoot), seq++, FlatRTree::kRoot,
+             kInvalidPointId});
+
+  // Same traversal as the pointer form; the window is one SoA block and the
+  // per-entry dominance tests are batched kernel sweeps.
+  SoaBlock window(dims);
+  auto dominated = [&window](const double* p) {
+    return !window.empty() && DominatesAny(window.view(), p);
+  };
+  while (!heap.empty()) {
+    const FlatBbsEntry entry = heap.top();
+    heap.pop();
+    if (entry.node != kNoNode) {
+      if (dominated(tree.min_corner(entry.node))) continue;
+      if (tree.is_leaf(entry.node)) {
+        const uint32_t b = tree.point_begin(entry.node);
+        const uint32_t e = tree.point_end(entry.node);
+        for (uint32_t slot = b; slot < e; ++slot) {
+          const double* p = tree.slot_coords(slot);
+          if (dominated(p)) continue;
+          double key = 0.0;
+          for (size_t i = 0; i < dims; ++i) key += p[i];
+          heap.push({key, seq++, kNoNode, tree.point_ids()[slot]});
+        }
+      } else {
+        for (uint32_t child = tree.child_begin(entry.node);
+             child < tree.child_end(entry.node); ++child) {
+          if (dominated(tree.min_corner(child))) continue;
+          heap.push({tree.min_corner_sum(child), seq++, child,
+                     kInvalidPointId});
+        }
+      }
+    } else {
+      const double* p = tree.dataset().data(entry.point);
+      if (dominated(p)) continue;
+      window.Append(p);
+      result.push_back(entry.point);
+    }
+  }
+  return result;
+}
+
 std::vector<PointId> Skyline(const Dataset& data, SkylineAlgorithm algo) {
   if (data.empty()) return {};
   switch (algo) {
@@ -89,7 +153,9 @@ std::vector<PointId> Skyline(const Dataset& data, SkylineAlgorithm algo) {
     case SkylineAlgorithm::kSfs:
       return SkylineSfs(data);
     case SkylineAlgorithm::kBbs: {
-      Result<RTree> tree = RTree::BulkLoad(data);
+      // The dispatcher builds a throwaway index anyway, so it builds the
+      // cache-friendly flat snapshot and runs the batched traversal.
+      Result<FlatRTree> tree = FlatRTree::BulkLoad(data);
       SKYUP_CHECK(tree.ok()) << tree.status().ToString();
       return SkylineBbs(tree.value());
     }

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/dominance.h"
+#include "core/dominance_batch.h"
 #include "util/logging.h"
 
 namespace skyup {
@@ -36,36 +37,36 @@ bool PrunedBySkyline(const std::vector<const double*>& window,
   return false;
 }
 
-}  // namespace
-
-std::vector<PointId> DominatingSkyline(const RTree& tree, const double* t,
-                                       ProbeStats* stats) {
-  if (tree.empty()) return {};
-  return DominatingSkylineFrom(tree.dataset(), {tree.root()}, {}, t, stats);
+// Batched window prune: true iff some accepted skyline member dominates-or-
+// equals `p` (a point or an MBR min corner). Counts one kernel call even
+// for the empty window, so the counter tracks prune *sites*, not sizes.
+bool PrunedBySkyline(const SoaBlock& window, const double* p,
+                     ProbeStats* st) {
+  ++st->block_kernel_calls;
+  return !window.empty() && DominatesAny(window.view(), p);
 }
 
-std::vector<PointId> DominatingSkylineFrom(
-    const Dataset& data, const std::vector<const RTreeNode*>& roots,
-    const std::vector<PointId>& points, const double* t, ProbeStats* stats) {
+}  // namespace
+
+// The pointer-tree probe is deliberately kept on the seed's scalar
+// point-pair loops: it is the unbatched baseline the flat/batched traversal
+// below is benchmarked against (bench_micro) and verified bit-identical to
+// (tests/flat_index_test.cc).
+std::vector<PointId> DominatingSkyline(const RTree& tree, const double* t,
+                                       ProbeStats* stats) {
   std::vector<PointId> result;
+  if (tree.empty()) return result;
+  const Dataset& data = tree.dataset();
   const size_t dims = data.dims();
   ProbeStats local;
   ProbeStats* st = stats != nullptr ? stats : &local;
 
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
   uint64_t seq = 0;
-  for (const RTreeNode* root : roots) {
-    if (root == nullptr || root->entry_count() == 0) continue;
-    if (!OverlapsAdr(root->mbr.min_data(), t, dims)) continue;
+  const RTreeNode* root = tree.root();
+  if (root == nullptr || root->entry_count() == 0) return result;
+  if (OverlapsAdr(root->mbr.min_data(), t, dims)) {
     heap.push({root->mbr.MinCornerSum(), seq++, root, kInvalidPointId});
-  }
-  for (PointId id : points) {
-    const double* p = data.data(id);
-    ++st->points_scanned;
-    if (!Dominates(p, t, dims)) continue;
-    double key = 0.0;
-    for (size_t i = 0; i < dims; ++i) key += p[i];
-    heap.push({key, seq++, nullptr, id});
   }
 
   std::vector<const double*> window;
@@ -101,6 +102,156 @@ std::vector<PointId> DominatingSkylineFrom(
       const double* p = data.data(entry.point);
       if (PrunedBySkyline(window, p, dims)) continue;
       window.push_back(p);
+      result.push_back(entry.point);
+    }
+  }
+  return result;
+}
+
+std::vector<PointId> DominatingSkyline(const FlatRTree& tree, const double* t,
+                                       ProbeStats* stats) {
+  std::vector<PointId> result;
+  if (tree.empty()) return result;
+  const size_t dims = tree.dims();
+  ProbeStats local;
+  ProbeStats* st = stats != nullptr ? stats : &local;
+
+  // Point entries carry node == kNoNode; the key/seq ordering matches the
+  // pointer-tree probe entry for entry, so the two traversals pop — and
+  // therefore accept — in the same sequence.
+  constexpr uint32_t kNoNode = UINT32_MAX;
+  struct FlatEntry {
+    double key;
+    uint64_t seq;
+    uint32_t node;
+    PointId point;
+    bool operator>(const FlatEntry& other) const {
+      if (key != other.key) return key > other.key;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<FlatEntry, std::vector<FlatEntry>,
+                      std::greater<FlatEntry>>
+      heap;
+  uint64_t seq = 0;
+  if (OverlapsAdr(tree.min_corner(FlatRTree::kRoot), t, dims)) {
+    heap.push({tree.min_corner_sum(FlatRTree::kRoot), seq++, FlatRTree::kRoot,
+               kInvalidPointId});
+  }
+
+  SoaBlock window(dims);
+  std::vector<uint32_t> kept;  // batch-filter scratch, reused across nodes
+  while (!heap.empty()) {
+    const FlatEntry entry = heap.top();
+    heap.pop();
+    ++st->heap_pops;
+
+    if (entry.node != kNoNode) {
+      ++st->nodes_visited;
+      if (PrunedBySkyline(window, tree.min_corner(entry.node), st)) continue;
+      if (tree.is_leaf(entry.node)) {
+        const uint32_t b = tree.point_begin(entry.node);
+        const uint32_t e = tree.point_end(entry.node);
+        st->points_scanned += e - b;
+        // One SoA sweep keeps exactly the strict dominators of t, in leaf
+        // order (ascending lanes) — the order the scalar loop scans.
+        kept.clear();
+        ++st->block_kernel_calls;
+        FilterDominated(tree.point_block(b, e), t, &kept, /*strict=*/true);
+        for (uint32_t lane : kept) {
+          const uint32_t slot = b + lane;
+          const double* p = tree.slot_coords(slot);
+          if (PrunedBySkyline(window, p, st)) continue;
+          double key = 0.0;
+          for (size_t i = 0; i < dims; ++i) key += p[i];
+          heap.push({key, seq++, kNoNode, tree.point_ids()[slot]});
+        }
+      } else {
+        const uint32_t b = tree.child_begin(entry.node);
+        const uint32_t e = tree.child_end(entry.node);
+        // ADR overlap over the contiguous child run: min corner <= t
+        // (non-strict — equality still overlaps the closed region).
+        kept.clear();
+        ++st->block_kernel_calls;
+        FilterDominated(tree.min_corner_block(b, e), t, &kept,
+                        /*strict=*/false);
+        for (uint32_t lane : kept) {
+          const uint32_t child = b + lane;
+          if (PrunedBySkyline(window, tree.min_corner(child), st)) continue;
+          heap.push({tree.min_corner_sum(child), seq++, child,
+                     kInvalidPointId});
+        }
+      }
+    } else {
+      const double* p = tree.dataset().data(entry.point);
+      if (PrunedBySkyline(window, p, st)) continue;
+      window.Append(p);
+      result.push_back(entry.point);
+    }
+  }
+  return result;
+}
+
+std::vector<PointId> DominatingSkylineFrom(
+    const Dataset& data, const std::vector<const RTreeNode*>& roots,
+    const std::vector<PointId>& points, const double* t, ProbeStats* stats) {
+  std::vector<PointId> result;
+  const size_t dims = data.dims();
+  ProbeStats local;
+  ProbeStats* st = stats != nullptr ? stats : &local;
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  uint64_t seq = 0;
+  for (const RTreeNode* root : roots) {
+    if (root == nullptr || root->entry_count() == 0) continue;
+    if (!OverlapsAdr(root->mbr.min_data(), t, dims)) continue;
+    heap.push({root->mbr.MinCornerSum(), seq++, root, kInvalidPointId});
+  }
+  for (PointId id : points) {
+    const double* p = data.data(id);
+    ++st->points_scanned;
+    if (!Dominates(p, t, dims)) continue;
+    double key = 0.0;
+    for (size_t i = 0; i < dims; ++i) key += p[i];
+    heap.push({key, seq++, nullptr, id});
+  }
+
+  // The join's candidate filter: same traversal as above, pointer nodes,
+  // but the dominance window runs on the batched SoA kernels.
+  SoaBlock window(dims);
+  while (!heap.empty()) {
+    const Entry entry = heap.top();
+    heap.pop();
+    ++st->heap_pops;
+
+    if (entry.node != nullptr) {
+      ++st->nodes_visited;
+      if (PrunedBySkyline(window, entry.node->mbr.min_data(), st)) continue;
+      if (entry.node->is_leaf()) {
+        for (PointId id : entry.node->points) {
+          const double* p = data.data(id);
+          ++st->points_scanned;
+          // Only strict dominators of t are candidates; a point equal to t
+          // does not dominate it.
+          if (!Dominates(p, t, dims)) continue;
+          if (PrunedBySkyline(window, p, st)) continue;
+          double key = 0.0;
+          for (size_t i = 0; i < dims; ++i) key += p[i];
+          heap.push({key, seq++, nullptr, id});
+        }
+      } else {
+        for (const auto& child : entry.node->children) {
+          if (!OverlapsAdr(child->mbr.min_data(), t, dims)) continue;
+          if (PrunedBySkyline(window, child->mbr.min_data(), st)) continue;
+          heap.push(
+              {child->mbr.MinCornerSum(), seq++, child.get(), kInvalidPointId});
+        }
+      }
+    } else {
+      const double* p = data.data(entry.point);
+      if (PrunedBySkyline(window, p, st)) continue;
+      window.Append(p);
       result.push_back(entry.point);
     }
   }

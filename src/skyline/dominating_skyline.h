@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/point.h"
+#include "rtree/flat_rtree.h"
 #include "rtree/rtree.h"
 
 namespace skyup {
@@ -13,6 +14,11 @@ struct ProbeStats {
   size_t heap_pops = 0;
   size_t nodes_visited = 0;
   size_t points_scanned = 0;
+  /// Batched dominance-kernel invocations (core/dominance_batch.h): window
+  /// prunes, leaf filters, and child culls. Zero on the single-root pointer
+  /// probe, which is deliberately kept scalar as the baseline/oracle; makes
+  /// the flat/batched traversal observable end to end.
+  size_t block_kernel_calls = 0;
 };
 
 /// `getDominatingSky` (Algorithm 3 of the paper): the skyline of the set of
@@ -26,11 +32,18 @@ struct ProbeStats {
 std::vector<PointId> DominatingSkyline(const RTree& tree, const double* t,
                                        ProbeStats* stats = nullptr);
 
+/// The same probe over the flat arena snapshot: identical results (bit for
+/// bit — same entries, same best-first order, same tie-breaks), but node
+/// expansion culls children with the batched SoA kernels and the dominance
+/// window lives in one SoA block instead of scattered rows.
+std::vector<PointId> DominatingSkyline(const FlatRTree& tree, const double* t,
+                                       ProbeStats* stats = nullptr);
+
 /// Multi-source variant used by the join's leaf processing (Alg. 4 line 9):
 /// the skyline of the dominators of `t` among the points below `roots`
 /// plus the explicit `points`, all referring to `data`. Same best-first,
 /// skyline-pruned traversal as `DominatingSkyline`, seeded from several
-/// entries at once.
+/// entries at once. Window pruning runs on the batched kernels.
 std::vector<PointId> DominatingSkylineFrom(
     const Dataset& data, const std::vector<const RTreeNode*>& roots,
     const std::vector<PointId>& points, const double* t,

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "core/dominance.h"
+#include "core/dominance_batch.h"
 #include "skyline/skyline.h"
 
 namespace skyup {
@@ -38,17 +39,15 @@ std::vector<PointId> SkylineSfs(const Dataset& data,
     return a < b;
   });
 
+  // The accepted window lives in one SoA block so each candidate is tested
+  // against all current members with a single batched kernel sweep.
   std::vector<PointId> skyline;
+  SoaBlock window(dims);
   for (PointId id : order) {
     const double* p = data.data(id);
-    bool dominated = false;
-    for (PointId s : skyline) {
-      if (DominatesOrEqual(data.data(s), p, dims)) {
-        dominated = true;
-        break;
-      }
-    }
-    if (!dominated) skyline.push_back(id);
+    if (!window.empty() && DominatesAny(window.view(), p)) continue;
+    window.Append(p);
+    skyline.push_back(id);
   }
   return skyline;
 }
@@ -61,17 +60,13 @@ void SkylineOfPointers(std::vector<const double*>* points, size_t dims) {
               if (sa != sb) return sa < sb;
               return a < b;  // deterministic tie-break on address
             });
+  SoaBlock window(dims);
   size_t kept = 0;
   for (size_t i = 0; i < points->size(); ++i) {
     const double* p = (*points)[i];
-    bool dominated = false;
-    for (size_t j = 0; j < kept; ++j) {
-      if (DominatesOrEqual((*points)[j], p, dims)) {
-        dominated = true;
-        break;
-      }
-    }
-    if (!dominated) (*points)[kept++] = p;
+    if (!window.empty() && DominatesAny(window.view(), p)) continue;
+    window.Append(p);
+    (*points)[kept++] = p;
   }
   points->resize(kept);
 }

@@ -6,6 +6,7 @@
 
 #include "core/dataset.h"
 #include "core/point.h"
+#include "rtree/flat_rtree.h"
 #include "rtree/rtree.h"
 #include "util/status.h"
 
@@ -35,6 +36,11 @@ std::vector<PointId> SkylineSfs(const Dataset& data,
 
 /// Branch-and-bound skyline over an R-tree (best-first by min-corner sum).
 std::vector<PointId> SkylineBbs(const RTree& tree);
+
+/// BBS over the flat arena snapshot (rtree/flat_rtree.h): identical result
+/// order, batched SoA dominance tests. The `Skyline` dispatcher routes
+/// `kBbs` through this form.
+std::vector<PointId> SkylineBbs(const FlatRTree& tree);
 
 /// Divide & conquer skyline: median split on rotating dimensions, merge by
 /// cross-filtering the halves' skylines. O(n log^(d-1) n)-flavored.

@@ -18,16 +18,20 @@ void ParallelFor(size_t items, size_t threads,
                  const std::function<void(size_t, size_t, size_t)>& body) {
   if (items == 0) return;
   threads = ResolveThreadCount(threads, items);
-  const size_t per_shard = (items + threads - 1) / threads;
+  // Balanced contiguous partition: shard s covers
+  // [s*items/threads, (s+1)*items/threads), so shard sizes differ by at
+  // most one and — because ResolveThreadCount caps threads at items —
+  // every shard is non-empty. The previous ceil-division split handed
+  // trailing shards zero items whenever threads did not divide items
+  // (e.g. 5 items over 4 threads ran as 2/2/1/0).
   std::vector<std::thread> workers;
   workers.reserve(threads - 1);
   for (size_t s = 1; s < threads; ++s) {
-    const size_t begin = s * per_shard;
-    const size_t end = std::min(items, begin + per_shard);
-    if (begin >= end) break;
+    const size_t begin = s * items / threads;
+    const size_t end = (s + 1) * items / threads;
     workers.emplace_back([&body, s, begin, end] { body(s, begin, end); });
   }
-  body(0, 0, std::min(items, per_shard));
+  body(0, 0, items / threads);
   for (std::thread& w : workers) w.join();
 }
 

@@ -133,6 +133,56 @@ TEST(CliTest, TopKEndToEnd) {
   std::remove(t_path.c_str());
 }
 
+TEST(CliTest, TopKStatsFlagPrintsCounters) {
+  const std::string p_path = TempPath("Pstats.csv");
+  const std::string t_path = TempPath("Tstats.csv");
+  WriteFile(p_path, "0.1,0.5\n0.5,0.1\n0.3,0.3\n0.2,0.2\n");
+  WriteFile(t_path, "0.6,0.6\n0.05,0.9\n2.0,2.0\n");
+
+  CliResult r = RunCli({"topk", "--competitors=" + p_path,
+                        "--products=" + t_path, "--k=3",
+                        "--algorithm=improved", "--stats"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("# stats: kernel="), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("flat_index=on"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("heap_pops="), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("block_kernel_calls="), std::string::npos) << r.out;
+
+  // Without --stats the counter lines stay away.
+  CliResult quiet = RunCli({"topk", "--competitors=" + p_path,
+                            "--products=" + t_path, "--k=3",
+                            "--algorithm=improved"});
+  ASSERT_EQ(quiet.code, 0) << quiet.err;
+  EXPECT_EQ(quiet.out.find("# stats:"), std::string::npos) << quiet.out;
+
+  // --flat-index=off runs the pointer-tree scalar path: zero kernel calls,
+  // identical result rows.
+  CliResult off = RunCli({"topk", "--competitors=" + p_path,
+                          "--products=" + t_path, "--k=3",
+                          "--algorithm=improved", "--flat-index=off",
+                          "--stats"});
+  ASSERT_EQ(off.code, 0) << off.err;
+  EXPECT_NE(off.out.find("flat_index=off"), std::string::npos) << off.out;
+  EXPECT_NE(off.out.find("block_kernel_calls=0"), std::string::npos)
+      << off.out;
+
+  // JSON output must stay pure JSON; counters go to the diagnostic stream.
+  CliResult json = RunCli({"topk", "--competitors=" + p_path,
+                           "--products=" + t_path, "--k=3",
+                           "--algorithm=improved", "--format=json",
+                           "--stats"});
+  ASSERT_EQ(json.code, 0) << json.err;
+  EXPECT_EQ(json.out.find("# stats:"), std::string::npos) << json.out;
+  EXPECT_NE(json.err.find("# stats:"), std::string::npos) << json.err;
+
+  CliResult bad = RunCli({"topk", "--competitors=" + p_path,
+                          "--products=" + t_path, "--flat-index=maybe"});
+  EXPECT_EQ(bad.code, 2);
+
+  std::remove(p_path.c_str());
+  std::remove(t_path.c_str());
+}
+
 TEST(CliTest, TopKRejectsMismatchedDims) {
   const std::string p_path = TempPath("P2.csv");
   const std::string t_path = TempPath("T2.csv");

@@ -1,0 +1,280 @@
+// Tests for the flat arena R-tree snapshot (rtree/flat_rtree.h) and the
+// batched traversals built on it: structural invariants via Validate(),
+// and bit-identical equivalence with the pointer-tree scalar paths —
+// dominating-skyline probes, BBS, and full improved-probing top-k at every
+// thread count — across dims 2..6, distributions, tie-heavy catalogs, and
+// exact-duplicate catalogs.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/parallel_probing.h"
+#include "core/planner.h"
+#include "core/probing.h"
+#include "data/generator.h"
+#include "rtree/flat_rtree.h"
+#include "rtree/rtree.h"
+#include "skyline/dominating_skyline.h"
+#include "skyline/skyline.h"
+
+namespace skyup {
+namespace {
+
+Dataset MakeData(size_t n, size_t dims, Distribution distribution,
+                 uint64_t seed) {
+  Result<Dataset> data = GenerateCompetitors(n, dims, distribution, seed);
+  EXPECT_TRUE(data.ok());
+  return std::move(data).value();
+}
+
+// Every point duplicated `copies` times: ties on all dimensions at once,
+// the adversarial case for ordering and tie-break drift.
+Dataset Duplicated(const Dataset& base, size_t copies) {
+  Dataset out(base.dims());
+  for (size_t c = 0; c < copies; ++c) {
+    for (size_t i = 0; i < base.size(); ++i) {
+      out.Add(base.data(static_cast<PointId>(i)));
+    }
+  }
+  return out;
+}
+
+// Coordinates snapped to a coarse grid: many partial ties without full
+// duplication.
+Dataset TieHeavy(const Dataset& base) {
+  Dataset out(base.dims());
+  std::vector<double> p(base.dims());
+  for (size_t i = 0; i < base.size(); ++i) {
+    const double* row = base.data(static_cast<PointId>(i));
+    for (size_t d = 0; d < base.dims(); ++d) {
+      p[d] = 0.125 * static_cast<int>(row[d] * 8.0);
+    }
+    out.Add(p.data());
+  }
+  return out;
+}
+
+void ExpectSameIds(const std::vector<PointId>& flat,
+                   const std::vector<PointId>& pointer,
+                   const std::string& label) {
+  ASSERT_EQ(flat.size(), pointer.size()) << label;
+  for (size_t i = 0; i < flat.size(); ++i) {
+    ASSERT_EQ(flat[i], pointer[i]) << label << " position " << i;
+  }
+}
+
+void ExpectBitIdentical(const std::vector<UpgradeResult>& a,
+                        const std::vector<UpgradeResult>& b,
+                        const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].product_id, b[i].product_id) << label << " rank " << i;
+    // Bit-level, not approximate: the flat path must run the exact same
+    // arithmetic as the pointer path.
+    ASSERT_EQ(a[i].cost, b[i].cost) << label << " rank " << i;
+    ASSERT_EQ(a[i].upgraded, b[i].upgraded) << label << " rank " << i;
+    ASSERT_EQ(a[i].already_competitive, b[i].already_competitive)
+        << label << " rank " << i;
+  }
+}
+
+TEST(FlatRTreeTest, ValidatesAcrossShapes) {
+  for (size_t dims = 2; dims <= 6; ++dims) {
+    for (size_t n : {1u, 2u, 5u, 64u, 65u, 500u}) {
+      for (size_t fanout : {4u, 16u, 64u}) {
+        const Dataset data =
+            MakeData(n, dims, Distribution::kAntiCorrelated, 11 * dims + n);
+        RTreeOptions options;
+        options.max_entries = fanout;
+        Result<FlatRTree> flat = FlatRTree::BulkLoad(data, options);
+        ASSERT_TRUE(flat.ok());
+        const Status st = flat.value().Validate();
+        EXPECT_TRUE(st.ok()) << "dims=" << dims << " n=" << n
+                             << " fanout=" << fanout << ": " << st.message();
+        EXPECT_EQ(flat.value().size(), n);
+        EXPECT_EQ(flat.value().dims(), dims);
+      }
+    }
+  }
+}
+
+TEST(FlatRTreeTest, SnapshotsDynamicallyGrownTree) {
+  // FromTree must flatten any pointer tree, not just STR-shaped ones.
+  Dataset data = MakeData(300, 3, Distribution::kIndependent, 99);
+  data.Reserve(data.size() + 1);  // keep row pointers stable across the Add
+  RTree tree(&data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    tree.Insert(static_cast<PointId>(i));
+  }
+  const FlatRTree flat = FlatRTree::FromTree(tree);
+  const Status st = flat.Validate();
+  EXPECT_TRUE(st.ok()) << st.message();
+  EXPECT_EQ(flat.size(), data.size());
+
+  // The snapshot is a point-in-time copy: it does not see later inserts —
+  // rebuild to refresh (the documented immutability contract).
+  const std::vector<double> extra(3, 0.5);
+  tree.Insert(data.Add(extra));
+  EXPECT_EQ(flat.size(), data.size() - 1);
+  const FlatRTree refreshed = FlatRTree::FromTree(tree);
+  EXPECT_EQ(refreshed.size(), data.size());
+  EXPECT_TRUE(refreshed.Validate().ok());
+}
+
+TEST(FlatRTreeTest, RootMbrMatchesPointerRoot) {
+  const Dataset data = MakeData(200, 4, Distribution::kCorrelated, 5);
+  Result<RTree> tree = RTree::BulkLoad(data);
+  ASSERT_TRUE(tree.ok());
+  const FlatRTree flat = FlatRTree::FromTree(tree.value());
+  const Mbr root = flat.root_mbr();
+  ASSERT_FALSE(root.IsEmpty());
+  for (size_t d = 0; d < 4; ++d) {
+    EXPECT_EQ(root.min_data()[d], tree.value().root()->mbr.min_data()[d]);
+    EXPECT_EQ(root.max_data()[d], tree.value().root()->mbr.max_data()[d]);
+  }
+}
+
+TEST(FlatProbeTest, DominatingSkylineMatchesPointerTreeBitForBit) {
+  for (size_t dims = 2; dims <= 6; ++dims) {
+    for (Distribution distribution :
+         {Distribution::kIndependent, Distribution::kAntiCorrelated}) {
+      const Dataset base = MakeData(400, dims, distribution, 31 * dims);
+      for (int variant = 0; variant < 3; ++variant) {
+        const Dataset data = variant == 0   ? MakeData(400, dims, distribution,
+                                                       31 * dims)
+                             : variant == 1 ? TieHeavy(base)
+                                            : Duplicated(base, 3);
+        Result<RTree> tree = RTree::BulkLoad(data);
+        ASSERT_TRUE(tree.ok());
+        const FlatRTree flat = FlatRTree::FromTree(tree.value());
+        const Dataset queries =
+            MakeData(40, dims, Distribution::kIndependent, 7 * dims + variant);
+        for (size_t qi = 0; qi < queries.size(); ++qi) {
+          const double* t = queries.data(static_cast<PointId>(qi));
+          ProbeStats pointer_stats, flat_stats;
+          const std::vector<PointId> expect =
+              DominatingSkyline(tree.value(), t, &pointer_stats);
+          const std::vector<PointId> got =
+              DominatingSkyline(flat, t, &flat_stats);
+          ExpectSameIds(got, expect,
+                        "dims=" + std::to_string(dims) + " variant=" +
+                            std::to_string(variant) + " q=" +
+                            std::to_string(qi));
+          // Same traversal shape: both paths pop/visit/scan identically.
+          EXPECT_EQ(flat_stats.heap_pops, pointer_stats.heap_pops);
+          EXPECT_EQ(flat_stats.nodes_visited, pointer_stats.nodes_visited);
+          EXPECT_EQ(flat_stats.points_scanned, pointer_stats.points_scanned);
+          // The pointer probe is the scalar baseline; only the flat probe
+          // exercises the batch kernels.
+          EXPECT_EQ(pointer_stats.block_kernel_calls, 0u);
+          if (flat_stats.nodes_visited > 0) {
+            EXPECT_GT(flat_stats.block_kernel_calls, 0u);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(FlatProbeTest, BbsMatchesPointerTreeBitForBit) {
+  for (size_t dims = 2; dims <= 6; ++dims) {
+    const Dataset base = MakeData(500, dims, Distribution::kAntiCorrelated,
+                                  17 * dims);
+    for (int variant = 0; variant < 3; ++variant) {
+      const Dataset data = variant == 0   ? MakeData(500, dims,
+                                                     Distribution::kIndependent,
+                                                     17 * dims)
+                           : variant == 1 ? TieHeavy(base)
+                                          : Duplicated(base, 2);
+      Result<RTree> tree = RTree::BulkLoad(data);
+      ASSERT_TRUE(tree.ok());
+      const FlatRTree flat = FlatRTree::FromTree(tree.value());
+      ExpectSameIds(SkylineBbs(flat), SkylineBbs(tree.value()),
+                    "bbs dims=" + std::to_string(dims) + " variant=" +
+                        std::to_string(variant));
+    }
+  }
+}
+
+TEST(FlatTopKTest, ImprovedProbingBitIdenticalAtEveryThreadCount) {
+  for (size_t dims : {2u, 3u, 5u}) {
+    const Dataset base = MakeData(300, dims, Distribution::kAntiCorrelated,
+                                  41 * dims);
+    for (int variant = 0; variant < 2; ++variant) {
+      const Dataset competitors = variant == 0 ? TieHeavy(base)
+                                               : Duplicated(base, 2);
+      const Dataset products =
+          MakeData(60, dims, Distribution::kIndependent, 43 * dims + variant);
+      const ProductCostFunction cost_fn =
+          ProductCostFunction::ReciprocalSum(dims, 1e-3);
+      Result<RTree> tree = RTree::BulkLoad(competitors);
+      ASSERT_TRUE(tree.ok());
+      const FlatRTree flat = FlatRTree::FromTree(tree.value());
+      const size_t k = 10;
+
+      Result<std::vector<UpgradeResult>> expect =
+          TopKImprovedProbing(tree.value(), products, cost_fn, k);
+      ASSERT_TRUE(expect.ok());
+
+      ExecStats seq_stats;
+      Result<std::vector<UpgradeResult>> flat_seq =
+          TopKImprovedProbing(flat, products, cost_fn, k, 1e-6, &seq_stats);
+      ASSERT_TRUE(flat_seq.ok());
+      ExpectBitIdentical(flat_seq.value(), expect.value(),
+                         "flat-seq dims=" + std::to_string(dims) +
+                             " variant=" + std::to_string(variant));
+      EXPECT_GT(seq_stats.block_kernel_calls, 0u);
+
+      for (size_t threads : {1u, 2u, 7u, 0u}) {
+        ExecStats par_stats;
+        Result<std::vector<UpgradeResult>> flat_par =
+            TopKImprovedProbingParallel(flat, products, cost_fn, k, 1e-6,
+                                        threads, &par_stats);
+        ASSERT_TRUE(flat_par.ok());
+        ExpectBitIdentical(flat_par.value(), expect.value(),
+                           "flat-par dims=" + std::to_string(dims) +
+                               " variant=" + std::to_string(variant) +
+                               " threads=" + std::to_string(threads));
+        EXPECT_EQ(par_stats.upgrade_calls + par_stats.candidates_pruned,
+                  par_stats.products_processed);
+      }
+    }
+  }
+}
+
+TEST(FlatTopKTest, PlannerFlatToggleChangesPathNotResults) {
+  const Dataset competitors =
+      MakeData(400, 3, Distribution::kAntiCorrelated, 3);
+  const Dataset products = MakeData(50, 3, Distribution::kIndependent, 4);
+  const ProductCostFunction cost_fn =
+      ProductCostFunction::ReciprocalSum(3, 1e-3);
+
+  PlannerOptions flat_options;
+  ASSERT_TRUE(flat_options.use_flat_index);  // documented default
+  PlannerOptions pointer_options;
+  pointer_options.use_flat_index = false;
+
+  Result<UpgradePlanner> flat_planner =
+      UpgradePlanner::Create(competitors, products, cost_fn, flat_options);
+  Result<UpgradePlanner> pointer_planner =
+      UpgradePlanner::Create(competitors, products, cost_fn, pointer_options);
+  ASSERT_TRUE(flat_planner.ok() && pointer_planner.ok());
+  EXPECT_NE(flat_planner.value().competitors_flat(), nullptr);
+  EXPECT_EQ(pointer_planner.value().competitors_flat(), nullptr);
+
+  ExecStats flat_stats, pointer_stats;
+  Result<std::vector<UpgradeResult>> a = flat_planner.value().TopK(
+      8, Algorithm::kImprovedProbing, &flat_stats);
+  Result<std::vector<UpgradeResult>> b = pointer_planner.value().TopK(
+      8, Algorithm::kImprovedProbing, &pointer_stats);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ExpectBitIdentical(a.value(), b.value(), "planner toggle");
+  EXPECT_GT(flat_stats.block_kernel_calls, 0u);
+  EXPECT_EQ(pointer_stats.block_kernel_calls, 0u);
+}
+
+}  // namespace
+}  // namespace skyup

@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <limits>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -46,6 +48,34 @@ TEST(ParallelForTest, ShardsAreContiguousAndOrdered) {
     expect_begin = end;
   }
   EXPECT_EQ(expect_begin, 10u);
+}
+
+// Regression for the old ceil-division split: with items barely above the
+// thread count (e.g. 5 over 4), trailing shards received zero items while
+// earlier shards doubled up. The balanced partition keeps every shard
+// non-empty and all shard sizes within one of each other.
+TEST(ParallelForTest, TinyInputsYieldBalancedNonEmptyShards) {
+  for (size_t threads : {2u, 3u, 4u, 7u, 8u}) {
+    for (size_t n : {2u, 3u, 5u, 7u, 9u, 11u, 13u}) {
+      std::mutex mu;
+      std::vector<size_t> sizes;
+      ParallelFor(n, threads, [&](size_t /*shard*/, size_t begin, size_t end) {
+        std::lock_guard<std::mutex> lock(mu);
+        sizes.push_back(end - begin);
+      });
+      EXPECT_EQ(sizes.size(), std::min(threads, n))
+          << "threads=" << threads << " n=" << n;
+      size_t lo = n, hi = 0, total = 0;
+      for (size_t s : sizes) {
+        lo = std::min(lo, s);
+        hi = std::max(hi, s);
+        total += s;
+      }
+      EXPECT_GE(lo, 1u) << "empty shard: threads=" << threads << " n=" << n;
+      EXPECT_LE(hi - lo, 1u) << "imbalance: threads=" << threads << " n=" << n;
+      EXPECT_EQ(total, n);
+    }
+  }
 }
 
 TEST(ResolveThreadCountTest, CapsAndDefaults) {
@@ -96,6 +126,9 @@ TEST(ExecStatsTest, MergeFromSumsEveryField) {
   a.jl_entries_pruned = 9;
   a.candidates_pruned = 10;
   a.threshold_updates = 11;
+  a.nodes_visited = 12;
+  a.points_scanned = 13;
+  a.block_kernel_calls = 14;
 
   ExecStats b;
   b.products_processed = 100;
@@ -109,6 +142,9 @@ TEST(ExecStatsTest, MergeFromSumsEveryField) {
   b.jl_entries_pruned = 900;
   b.candidates_pruned = 1000;
   b.threshold_updates = 1100;
+  b.nodes_visited = 1200;
+  b.points_scanned = 1300;
+  b.block_kernel_calls = 1400;
 
   a += b;
   EXPECT_EQ(a.products_processed, 101u);
@@ -122,6 +158,9 @@ TEST(ExecStatsTest, MergeFromSumsEveryField) {
   EXPECT_EQ(a.jl_entries_pruned, 909u);
   EXPECT_EQ(a.candidates_pruned, 1010u);
   EXPECT_EQ(a.threshold_updates, 1111u);
+  EXPECT_EQ(a.nodes_visited, 1212u);
+  EXPECT_EQ(a.points_scanned, 1313u);
+  EXPECT_EQ(a.block_kernel_calls, 1414u);
 }
 
 struct Fixture {

@@ -5,10 +5,21 @@
 # BM_TopKImprovedProbing) and flat/batched (BM_*Flat) — so the speedup of
 # the arena + SIMD path is reproducible from one artifact.
 #
-# Usage: bench/run_bench.sh [build-dir] [output-file]
+# Usage: bench/run_bench.sh [--smoke] [build-dir] [output-file]
 # Defaults: build-dir = ./build, output-file = ./BENCH_topk.json.
 # The CMake target `run_bench` invokes this with its own build dir.
+#
+# --smoke: CI mode. Every registered benchmark runs for a minimal time
+# (one repetition, ~10ms each) purely to prove the bench binary and its
+# data generators still execute; results go to stdout and NO json file is
+# written, so a CI run can never clobber the committed baseline.
 set -eu
+
+smoke=0
+if [ "${1:-}" = "--smoke" ]; then
+  smoke=1
+  shift
+fi
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build"}
@@ -19,6 +30,14 @@ if [ ! -x "$bench_bin" ]; then
   echo "error: $bench_bin not found or not executable." >&2
   echo "Build it first: cmake --build $build_dir --target bench_micro" >&2
   exit 1
+fi
+
+if [ "$smoke" = 1 ]; then
+  "$bench_bin" \
+    --benchmark_min_time=0.01 \
+    --benchmark_repetitions=1
+  echo "bench smoke: OK (no json written)"
+  exit 0
 fi
 
 "$bench_bin" \

@@ -1,0 +1,185 @@
+#include "fuzz_common.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace skyup {
+namespace fuzz {
+
+const char* ShapeName(Shape shape) {
+  switch (shape) {
+    case Shape::kMixed:
+      return "mixed";
+    case Shape::kTies:
+      return "ties";
+    case Shape::kDuplicates:
+      return "duplicates";
+    case Shape::kDegenerate:
+      return "degenerate";
+    case Shape::kSinglePoint:
+      return "single-point";
+    case Shape::kAllDominated:
+      return "all-dominated";
+    case Shape::kShapeCount:
+      break;
+  }
+  return "?";
+}
+
+namespace {
+
+// Snaps to a grid of `levels` distinct values per dimension — the tie
+// machine. levels == 2 or 3 makes equal coordinates the common case.
+double Snap(double v, uint64_t levels) {
+  const double step = 4.0 / static_cast<double>(levels);
+  const auto cell = static_cast<uint64_t>(v / step);
+  return static_cast<double>(cell < levels ? cell : levels - 1) * step;
+}
+
+}  // namespace
+
+Dataset GenDataset(Rng* rng, Shape shape, size_t max_points, size_t dims) {
+  SKYUP_CHECK(rng != nullptr && max_points >= 1 && dims >= 1);
+  const size_t n = 1 + static_cast<size_t>(rng->NextUint64(max_points));
+  Dataset data(dims);
+  std::vector<double> row(dims);
+
+  switch (shape) {
+    case Shape::kMixed: {
+      for (size_t i = 0; i < n; ++i) {
+        for (auto& v : row) v = rng->NextDouble(0.0, 4.0);
+        data.Add(row);
+      }
+      break;
+    }
+    case Shape::kTies: {
+      const uint64_t levels = 2 + rng->NextUint64(3);  // 2..4 values/dim
+      for (size_t i = 0; i < n; ++i) {
+        for (auto& v : row) v = Snap(rng->NextDouble(0.0, 4.0), levels);
+        data.Add(row);
+      }
+      break;
+    }
+    case Shape::kDuplicates: {
+      const size_t distinct = 1 + static_cast<size_t>(rng->NextUint64(4));
+      std::vector<std::vector<double>> rows(distinct, row);
+      for (auto& r : rows) {
+        for (auto& v : r) v = rng->NextDouble(0.0, 4.0);
+      }
+      for (size_t i = 0; i < n; ++i) {
+        data.Add(rows[rng->NextUint64(distinct)]);
+      }
+      break;
+    }
+    case Shape::kDegenerate: {
+      // Some dimensions frozen to a constant, the rest driven by a single
+      // shared parameter (all points on a monotone curve), with occasional
+      // jitter so a few points leave the curve.
+      std::vector<bool> frozen(dims);
+      for (size_t d = 0; d < dims; ++d) frozen[d] = rng->NextUint64(2) == 0;
+      const double constant = rng->NextDouble(0.0, 4.0);
+      for (size_t i = 0; i < n; ++i) {
+        const double tpar = rng->NextDouble(0.0, 4.0);
+        for (size_t d = 0; d < dims; ++d) {
+          row[d] = frozen[d] ? constant : tpar;
+          if (rng->NextUint64(8) == 0) row[d] = rng->NextDouble(0.0, 4.0);
+        }
+        data.Add(row);
+      }
+      break;
+    }
+    case Shape::kSinglePoint: {
+      for (auto& v : row) v = rng->NextDouble(0.0, 4.0);
+      data.Add(row);
+      break;
+    }
+    case Shape::kAllDominated: {
+      // One crushing competitor at the low corner; everyone else strictly
+      // worse on every dimension.
+      for (auto& v : row) v = rng->NextDouble(0.0, 0.5);
+      data.Add(row);
+      std::vector<double> worse(dims);
+      for (size_t i = 1; i < n; ++i) {
+        for (size_t d = 0; d < dims; ++d) {
+          worse[d] = row[d] + rng->NextDouble(0.25, 3.0);
+        }
+        data.Add(worse);
+      }
+      break;
+    }
+    case Shape::kShapeCount:
+      SKYUP_CHECK(false) << "kShapeCount is not a shape";
+  }
+  return data;
+}
+
+Dataset GenAnyDataset(Rng* rng, size_t max_points, size_t max_dims,
+                      Shape* out_shape) {
+  SKYUP_CHECK(max_dims >= 1);
+  const auto shape = static_cast<Shape>(
+      rng->NextUint64(static_cast<uint64_t>(Shape::kShapeCount)));
+  const size_t dims = 1 + static_cast<size_t>(rng->NextUint64(max_dims));
+  if (out_shape != nullptr) *out_shape = shape;
+  return GenDataset(rng, shape, max_points, dims);
+}
+
+std::vector<double> GenQueryPoint(Rng* rng, const Dataset& data) {
+  const size_t dims = data.dims();
+  std::vector<double> q(dims);
+  const uint64_t mode = rng->NextUint64(4);
+  if (mode == 0 && !data.empty()) {
+    // Exact copy of an existing row: the hardest tie case.
+    const auto id = static_cast<PointId>(rng->NextUint64(data.size()));
+    const double* p = data.data(id);
+    q.assign(p, p + dims);
+  } else if (mode == 1) {
+    // Outside the [0, 4) hull (either side), so the dominator set is
+    // everything or nothing.
+    const double offset = rng->NextUint64(2) == 0 ? 5.0 : -1.5;
+    for (auto& v : q) v = offset + rng->NextDouble(0.0, 0.5);
+  } else {
+    for (auto& v : q) v = rng->NextDouble(0.0, 4.0);
+  }
+  return q;
+}
+
+std::string RowsToString(const Dataset& data) {
+  std::ostringstream out;
+  for (size_t i = 0; i < data.size(); ++i) {
+    out << (i == 0 ? "" : " ")
+        << PointToString(data.data(static_cast<PointId>(i)), data.dims());
+  }
+  return out.str();
+}
+
+int FuzzMain(int argc, char** argv, const char* name,
+             void (*run_one)(uint64_t seed)) {
+  uint64_t iterations = 2000;
+  uint64_t base_seed = 1;
+  if (argc > 1) iterations = std::strtoull(argv[1], nullptr, 10);
+  if (argc > 2) base_seed = std::strtoull(argv[2], nullptr, 10);
+  if (iterations == 0) {
+    std::fprintf(stderr, "usage: %s [iterations] [base_seed]\n", argv[0]);
+    return 2;
+  }
+  for (uint64_t i = 0; i < iterations; ++i) {
+    const uint64_t seed = base_seed + i;
+    // The seed is printed *before* the run so a SKYUP_CHECK abort inside
+    // run_one always leaves the failing seed on stderr.
+    if (i % 1000 == 0) {
+      std::fprintf(stderr, "[%s] seed %" PRIu64 " (%" PRIu64 "/%" PRIu64
+                           " done)\n",
+                   name, seed, i, iterations);
+    }
+    run_one(seed);
+  }
+  std::fprintf(stderr, "[%s] OK: %" PRIu64 " iterations, seeds %" PRIu64
+                       "..%" PRIu64 "\n",
+               name, iterations, base_seed, base_seed + iterations - 1);
+  return 0;
+}
+
+}  // namespace fuzz
+}  // namespace skyup

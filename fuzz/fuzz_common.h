@@ -1,0 +1,98 @@
+#ifndef SKYUP_FUZZ_FUZZ_COMMON_H_
+#define SKYUP_FUZZ_FUZZ_COMMON_H_
+
+// Shared scaffolding of the differential fuzz harnesses.
+//
+// Each harness defines one deterministic `RunOne(uint64_t seed)` that
+// generates an adversarial workload from the seed, runs two or more
+// independent implementations of the same contract, and aborts (via
+// SKYUP_CHECK) on the first divergence — printing the seed so the case
+// replays exactly.
+//
+// Two drivers share that function:
+//   * the default self-driving loop: `fuzz_<x> [iterations] [base_seed]`
+//     sweeps seeds base_seed .. base_seed+iterations-1 (CI smoke mode runs
+//     >= 10k iterations of every harness);
+//   * a libFuzzer entry point, compiled when the toolchain provides
+//     -fsanitize=fuzzer (clang; enable with -DSKYUP_FUZZ_LIBFUZZER=ON),
+//     which derives the seed from the input bytes so coverage feedback can
+//     steer the generator.
+//
+// Generation is intentionally skewed toward the edge cases skyline code is
+// notorious for mishandling: coordinate ties (grid-snapped values),
+// exact duplicate rows, degenerate dimensions (constant, or all points on
+// a diagonal), single-point sets, and all-dominated sets with one crushing
+// competitor. Coordinates are always finite (NaN-free by construction).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace skyup {
+namespace fuzz {
+
+/// Workload shapes the generator cycles through. kMixed draws fresh
+/// uniform values; everything else is an adversarial special case.
+enum class Shape {
+  kMixed = 0,       ///< uniform values, moderate size
+  kTies,            ///< values snapped to a tiny grid: massive tie volume
+  kDuplicates,      ///< few distinct rows, each repeated many times
+  kDegenerate,      ///< constant dimensions and/or a shared diagonal
+  kSinglePoint,     ///< exactly one point
+  kAllDominated,    ///< one point dominating everything else
+  kShapeCount,
+};
+
+const char* ShapeName(Shape shape);
+
+/// Deterministically generates a dataset of `dims` dimensions with at most
+/// `max_points` points (at least 1) of the given shape. All coordinates
+/// are finite and lie in [0, 4).
+Dataset GenDataset(Rng* rng, Shape shape, size_t max_points, size_t dims);
+
+/// Draws shape/dims/size from the rng and generates. `out_shape` (optional)
+/// reports the chosen shape for diagnostics.
+Dataset GenAnyDataset(Rng* rng, size_t max_points, size_t max_dims,
+                      Shape* out_shape = nullptr);
+
+/// A point comparable against `data`'s points: mostly in the same range,
+/// sometimes an exact copy of an existing row (tie stress), sometimes
+/// outside the hull.
+std::vector<double> GenQueryPoint(Rng* rng, const Dataset& data);
+
+/// "(a, b, c)" etc. for divergence diagnostics.
+std::string RowsToString(const Dataset& data);
+
+/// The self-driving loop. `run_one` must abort on divergence. Returns the
+/// process exit code.
+int FuzzMain(int argc, char** argv, const char* name,
+             void (*run_one)(uint64_t seed));
+
+}  // namespace fuzz
+}  // namespace skyup
+
+/// Expands to `main` (and, under SKYUP_FUZZ_LIBFUZZER, the
+/// LLVMFuzzerTestOneInput hook) for a harness whose body is
+/// `void RunOne(uint64_t seed)`.
+#ifdef SKYUP_FUZZ_LIBFUZZER
+#define SKYUP_FUZZ_DRIVER(name, run_one)                                  \
+  extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) { \
+    uint64_t seed = 0xcbf29ce484222325ULL;                                \
+    for (size_t i = 0; i < size; ++i) {                                   \
+      seed = (seed ^ data[i]) * 0x100000001b3ULL;                         \
+    }                                                                     \
+    run_one(seed);                                                        \
+    return 0;                                                             \
+  }
+#else
+#define SKYUP_FUZZ_DRIVER(name, run_one)                          \
+  int main(int argc, char** argv) {                               \
+    return ::skyup::fuzz::FuzzMain(argc, argv, name, run_one);    \
+  }
+#endif
+
+#endif  // SKYUP_FUZZ_FUZZ_COMMON_H_

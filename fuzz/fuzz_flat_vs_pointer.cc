@@ -1,0 +1,75 @@
+// Differential fuzz: the flat arena snapshot (rtree/flat_rtree.h) against
+// the pointer R-tree it was built from. Checks both structures' own
+// validators, then the behavioral contracts that must be *bit-identical*
+// across the two forms: BBS skylines and constrained dominating-skyline
+// probes (same entries, same order, same tie-breaks).
+
+#include <vector>
+
+#include "fuzz_common.h"
+#include "rtree/flat_rtree.h"
+#include "rtree/rtree.h"
+#include "skyline/dominating_skyline.h"
+#include "skyline/skyline.h"
+
+namespace skyup {
+namespace fuzz {
+namespace {
+
+void RunOne(uint64_t seed) {
+  Rng rng(seed);
+  Shape shape = Shape::kMixed;
+  const Dataset data = GenAnyDataset(&rng, 80, 5, &shape);
+
+  RTreeOptions options;
+  options.max_entries = 2 + static_cast<size_t>(rng.NextUint64(15));
+  Result<RTree> tree = RTree::BulkLoad(data, options);
+  SKYUP_CHECK(tree.ok()) << tree.status().ToString() << " seed=" << seed;
+
+  // A fraction of runs exercises the dynamic-insert path (and both split
+  // strategies) instead of STR, so flattening isn't tested on packed
+  // trees only.
+  if (rng.NextUint64(4) == 0) {
+    RTreeOptions dyn = options;
+    dyn.split = rng.NextUint64(2) == 0 ? SplitStrategy::kQuadratic
+                                       : SplitStrategy::kRStar;
+    RTree built(&data, dyn);
+    for (size_t i = 0; i < data.size(); ++i) {
+      built.Insert(static_cast<PointId>(i));
+    }
+    tree = std::move(built);
+  }
+
+  SKYUP_CHECK_OK(tree->Validate());
+  const FlatRTree flat = FlatRTree::FromTree(*tree);
+  SKYUP_CHECK_OK(flat.Validate());
+  SKYUP_CHECK(flat.size() == tree->size())
+      << "flat holds " << flat.size() << " of " << tree->size()
+      << " points, seed=" << seed;
+
+  // BBS skyline: identical result *order*, not just the same set.
+  const std::vector<PointId> sky_ptr = SkylineBbs(*tree);
+  const std::vector<PointId> sky_flat = SkylineBbs(flat);
+  SKYUP_CHECK(sky_ptr == sky_flat)
+      << "BBS skyline diverged (ptr " << sky_ptr.size() << " vs flat "
+      << sky_flat.size() << " points), shape=" << ShapeName(shape)
+      << " seed=" << seed << " rows: " << RowsToString(data);
+
+  // Dominating-skyline probes from adversarial query points.
+  const size_t probes = 1 + static_cast<size_t>(rng.NextUint64(5));
+  for (size_t i = 0; i < probes; ++i) {
+    const std::vector<double> q = GenQueryPoint(&rng, data);
+    const std::vector<PointId> dom_ptr = DominatingSkyline(*tree, q.data());
+    const std::vector<PointId> dom_flat = DominatingSkyline(flat, q.data());
+    SKYUP_CHECK(dom_ptr == dom_flat)
+        << "DominatingSkyline diverged for q=" << PointToString(q)
+        << " (ptr " << dom_ptr.size() << " vs flat " << dom_flat.size()
+        << "), shape=" << ShapeName(shape) << " seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace fuzz
+}  // namespace skyup
+
+SKYUP_FUZZ_DRIVER("fuzz_flat_vs_pointer", skyup::fuzz::RunOne)

@@ -1,0 +1,117 @@
+// Differential fuzz of the full top-k upgrade pipeline: the index-free
+// brute-force oracle vs basic probing vs improved probing (pointer and
+// flat-arena) vs the sharded parallel engine at several thread counts.
+// All of these promise *bit-identical* ranked results — same product ids,
+// same costs (exact double equality), same upgraded vectors — because
+// they share one tie-break order and sound pruning only.
+
+#include <vector>
+
+#include "core/cost_function.h"
+#include "core/parallel_probing.h"
+#include "core/probing.h"
+#include "fuzz_common.h"
+#include "rtree/flat_rtree.h"
+#include "rtree/rtree.h"
+
+namespace skyup {
+namespace fuzz {
+namespace {
+
+void CheckSameResults(const std::vector<UpgradeResult>& oracle,
+                      const std::vector<UpgradeResult>& got, const char* name,
+                      uint64_t seed) {
+  SKYUP_CHECK(got.size() == oracle.size())
+      << name << " returned " << got.size() << " results vs oracle "
+      << oracle.size() << ", seed=" << seed;
+  for (size_t i = 0; i < oracle.size(); ++i) {
+    SKYUP_CHECK(got[i].product_id == oracle[i].product_id)
+        << name << " rank " << i << ": product " << got[i].product_id
+        << " vs oracle " << oracle[i].product_id << ", seed=" << seed;
+    // lint: float-eq-ok (differential oracle: implementations must agree
+    // bit-exactly, tolerance would mask real drift)
+    SKYUP_CHECK(got[i].cost == oracle[i].cost)
+        << name << " rank " << i << ": cost " << got[i].cost << " vs oracle "
+        << oracle[i].cost << ", seed=" << seed;
+    SKYUP_CHECK(got[i].upgraded == oracle[i].upgraded)
+        << name << " rank " << i << ": upgraded vector diverges ("
+        << PointToString(got[i].upgraded) << " vs "
+        << PointToString(oracle[i].upgraded) << "), seed=" << seed;
+    SKYUP_CHECK(got[i].already_competitive == oracle[i].already_competitive)
+        << name << " rank " << i << ": already_competitive flag diverges"
+        << ", seed=" << seed;
+  }
+}
+
+void RunOne(uint64_t seed) {
+  Rng rng(seed);
+  Shape cshape = Shape::kMixed;
+  const Dataset competitors = GenAnyDataset(&rng, 60, 4, &cshape);
+  const auto pshape = static_cast<Shape>(
+      rng.NextUint64(static_cast<uint64_t>(Shape::kShapeCount)));
+  const Dataset products = GenDataset(&rng, pshape, 24, competitors.dims());
+
+  const size_t k = 1 + static_cast<size_t>(rng.NextUint64(products.size() + 2));
+  const double epsilon = 1e-6;
+  const ProductCostFunction cost_fn =
+      ProductCostFunction::ReciprocalSum(competitors.dims(), 1e-3);
+
+  const Result<std::vector<UpgradeResult>> oracle =
+      TopKBruteForce(competitors, products, cost_fn, k, epsilon);
+  SKYUP_CHECK(oracle.ok()) << oracle.status().ToString() << " seed=" << seed;
+
+  RTreeOptions options;
+  options.max_entries = 2 + static_cast<size_t>(rng.NextUint64(15));
+  const Result<RTree> tree = RTree::BulkLoad(competitors, options);
+  SKYUP_CHECK(tree.ok()) << tree.status().ToString() << " seed=" << seed;
+  const FlatRTree flat = FlatRTree::FromTree(*tree);
+
+  const Result<std::vector<UpgradeResult>> basic =
+      TopKBasicProbing(*tree, products, cost_fn, k, epsilon);
+  SKYUP_CHECK(basic.ok()) << basic.status().ToString() << " seed=" << seed;
+  CheckSameResults(*oracle, *basic, "TopKBasicProbing", seed);
+
+  const Result<std::vector<UpgradeResult>> improved =
+      TopKImprovedProbing(*tree, products, cost_fn, k, epsilon);
+  SKYUP_CHECK(improved.ok()) << improved.status().ToString()
+                             << " seed=" << seed;
+  CheckSameResults(*oracle, *improved, "TopKImprovedProbing(ptr)", seed);
+
+  const Result<std::vector<UpgradeResult>> improved_flat =
+      TopKImprovedProbing(flat, products, cost_fn, k, epsilon);
+  SKYUP_CHECK(improved_flat.ok())
+      << improved_flat.status().ToString() << " seed=" << seed;
+  CheckSameResults(*oracle, *improved_flat, "TopKImprovedProbing(flat)",
+                   seed);
+
+  // The sharded engine must agree for every thread count, including
+  // thread counts exceeding the product count (empty-shard hazard).
+  const size_t threads = 1 + static_cast<size_t>(rng.NextUint64(4));
+  ExecStats stats;
+  const Result<std::vector<UpgradeResult>> parallel =
+      TopKImprovedProbingParallel(flat, products, cost_fn, k, epsilon,
+                                  threads, &stats);
+  SKYUP_CHECK(parallel.ok()) << parallel.status().ToString()
+                             << " seed=" << seed;
+  CheckSameResults(*oracle, *parallel, "TopKImprovedProbingParallel", seed);
+  SKYUP_CHECK(stats.products_processed == products.size())
+      << "parallel engine processed " << stats.products_processed << " of "
+      << products.size() << " candidates, threads=" << threads
+      << " seed=" << seed;
+
+  const Result<std::vector<UpgradeResult>> brute_parallel =
+      TopKBruteForceParallel(competitors, products, cost_fn, k, epsilon,
+                             threads);
+  SKYUP_CHECK(brute_parallel.ok())
+      << brute_parallel.status().ToString() << " seed=" << seed;
+  CheckSameResults(*oracle, *brute_parallel, "TopKBruteForceParallel", seed);
+
+  static_cast<void>(cshape);  // shapes are for gdb inspection of a replay
+  static_cast<void>(pshape);
+}
+
+}  // namespace
+}  // namespace fuzz
+}  // namespace skyup
+
+SKYUP_FUZZ_DRIVER("fuzz_topk", skyup::fuzz::RunOne)

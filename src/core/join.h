@@ -87,6 +87,7 @@ class JoinCursor {
 
   struct HeapGreater {
     bool operator()(const HeapItem& a, const HeapItem& b) const {
+      // lint: float-eq-ok (deterministic heap tie-break on seq)
       if (a.cost != b.cost) return a.cost > b.cost;
       return a.seq > b.seq;
     }

@@ -213,6 +213,8 @@ double JoinListBound(const double* et_min,
       }
       if (group_max.empty()) return 0.0;
       double bound = inf;
+      // lint: unordered-iter-ok (min over all groups — commutative
+      // reduction, hash order cannot reach the result)
       for (const auto& [key, value] : group_max) {
         bound = std::min(bound, value);
       }

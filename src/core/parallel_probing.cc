@@ -50,6 +50,8 @@ std::vector<UpgradeResult> RunShardedTopK(const Dataset& products, size_t k,
   ParallelFor(
       products.size(), threads,
       [&](size_t shard, size_t begin, size_t end) {
+        SKYUP_DCHECK(shard < shards.size());
+        SKYUP_DCHECK(begin <= end && end <= products.size());
         ShardState& state = shards[shard];
         for (size_t i = begin; i < end; ++i) {
           const PointId tid = static_cast<PointId>(i);
@@ -91,6 +93,9 @@ std::vector<UpgradeResult> RunShardedTopK(const Dataset& products, size_t k,
   }
   std::sort(merged.begin(), merged.end(), UpgradeResultBefore);
   if (merged.size() > k) merged.resize(k);
+  // The accounting identity documented above, now over the aggregate.
+  SKYUP_DCHECK(total.upgrade_calls + total.candidates_pruned ==
+               total.products_processed);
   if (stats != nullptr) *stats = total;
   return merged;
 }
@@ -114,6 +119,10 @@ Result<std::vector<UpgradeResult>> TopKImprovedProbingParallel(
     size_t threads, ExecStats* stats) {
   SKYUP_RETURN_IF_ERROR(ValidateTopKArgs(competitors_tree.dataset().dims(),
                                          products, cost_fn, k, epsilon));
+  // Once per query, before the shards fan out: every per-candidate prune
+  // below leans on a sound index and a monotone cost function.
+  SKYUP_PARANOID_OK(competitors_tree.Validate());
+  SKYUP_PARANOID_OK(SpotCheckCostMonotonicity(cost_fn, products));
   const Dataset& competitors = competitors_tree.dataset();
   const size_t dims = products.dims();
   const RTreeNode* root = competitors_tree.root();
@@ -151,6 +160,8 @@ Result<std::vector<UpgradeResult>> TopKImprovedProbingParallel(
     size_t threads, ExecStats* stats) {
   SKYUP_RETURN_IF_ERROR(ValidateTopKArgs(competitors_index.dataset().dims(),
                                          products, cost_fn, k, epsilon));
+  SKYUP_PARANOID_OK(competitors_index.Validate());
+  SKYUP_PARANOID_OK(SpotCheckCostMonotonicity(cost_fn, products));
   const Dataset& competitors = competitors_index.dataset();
   const size_t dims = products.dims();
   const Mbr root_mbr = competitors_index.root_mbr();
@@ -188,6 +199,8 @@ Result<std::vector<UpgradeResult>> TopKBasicProbingParallel(
     size_t threads, ExecStats* stats) {
   SKYUP_RETURN_IF_ERROR(ValidateTopKArgs(competitors_tree.dataset().dims(),
                                          products, cost_fn, k, epsilon));
+  SKYUP_PARANOID_OK(competitors_tree.Validate());
+  SKYUP_PARANOID_OK(SpotCheckCostMonotonicity(cost_fn, products));
   const Dataset& competitors = competitors_tree.dataset();
   const size_t dims = products.dims();
   const RTreeNode* root = competitors_tree.root();
@@ -230,6 +243,7 @@ Result<std::vector<UpgradeResult>> TopKBruteForceParallel(
     size_t threads, ExecStats* stats) {
   SKYUP_RETURN_IF_ERROR(
       ValidateTopKArgs(competitors.dims(), products, cost_fn, k, epsilon));
+  SKYUP_PARANOID_OK(SpotCheckCostMonotonicity(cost_fn, products));
   const size_t dims = products.dims();
   // MinCorner/MaxCorner span a tight box over P — the same guarantee an
   // R-tree root MBR gives, so the sound pruning bound applies unchanged.

@@ -18,6 +18,10 @@ Result<std::vector<UpgradeResult>> TopKBasicProbing(
     ExecStats* stats) {
   SKYUP_RETURN_IF_ERROR(ValidateTopKArgs(competitors_tree.dataset().dims(),
                                          products, cost_fn, k, epsilon));
+  // Once per query, not per probe: index structure and cost-function
+  // monotonicity are what every per-probe prune relies on.
+  SKYUP_PARANOID_OK(competitors_tree.Validate());
+  SKYUP_PARANOID_OK(SpotCheckCostMonotonicity(cost_fn, products));
   ExecStats local;
   ExecStats* st = stats != nullptr ? stats : &local;
   const Dataset& competitors = competitors_tree.dataset();
@@ -73,6 +77,10 @@ Result<std::vector<UpgradeResult>> TopKImprovedProbingImpl(
     ExecStats* stats) {
   SKYUP_RETURN_IF_ERROR(ValidateTopKArgs(competitors_index.dataset().dims(),
                                          products, cost_fn, k, epsilon));
+  // Both index forms expose Status Validate(); run it once per query here
+  // rather than per probe inside DominatingSkyline.
+  SKYUP_PARANOID_OK(competitors_index.Validate());
+  SKYUP_PARANOID_OK(SpotCheckCostMonotonicity(cost_fn, products));
   ExecStats local;
   ExecStats* st = stats != nullptr ? stats : &local;
   const Dataset& competitors = competitors_index.dataset();
@@ -133,6 +141,7 @@ Result<std::vector<UpgradeResult>> TopKBruteForce(
     ExecStats* stats) {
   SKYUP_RETURN_IF_ERROR(
       ValidateTopKArgs(competitors.dims(), products, cost_fn, k, epsilon));
+  SKYUP_PARANOID_OK(SpotCheckCostMonotonicity(cost_fn, products));
   ExecStats local;
   ExecStats* st = stats != nullptr ? stats : &local;
   const size_t dims = products.dims();

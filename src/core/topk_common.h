@@ -16,6 +16,7 @@
 #include "core/cost_function.h"
 #include "core/dataset.h"
 #include "core/upgrade_result.h"
+#include "util/check.h"
 #include "util/status.h"
 
 namespace skyup {
@@ -24,6 +25,8 @@ namespace skyup {
 /// broken by ascending product id.
 inline bool UpgradeResultBefore(const UpgradeResult& a,
                                 const UpgradeResult& b) {
+  // lint: float-eq-ok (deterministic tie-break; any inexactness only
+  // routes to the id comparison, never misorders)
   if (a.cost != b.cost) return a.cost < b.cost;
   return a.product_id < b.product_id;
 }
@@ -51,6 +54,11 @@ class TopKCollector {
   }
 
   void Add(UpgradeResult result) {
+    // Upgrade costs are non-negative by the monotonicity contract; allow
+    // the same rounding slack CheckMonotonicity tolerates.
+    SKYUP_DCHECK(result.cost >= -1e-9)
+        << "negative upgrade cost " << result.cost << " for product "
+        << result.product_id;
     if (heap_.size() < k_) {
       heap_.push({std::move(result)});
       return;
@@ -69,6 +77,7 @@ class TopKCollector {
       heap_.pop();
     }
     std::sort(out.begin(), out.end(), UpgradeResultBefore);
+    SKYUP_DCHECK(out.size() <= k_);
     return out;
   }
 
@@ -110,6 +119,26 @@ inline Status ValidateTopKArgs(size_t competitor_dims, const Dataset& products,
     return Status::InvalidArgument("product set T is empty");
   }
   return Status::OK();
+}
+
+/// Paranoid spot check shared by the top-k entry points: the cost function
+/// must be product-level monotone over the products' own coordinate span
+/// (the contract every pruning bound in this library leans on). A
+/// degenerate span — every coordinate identical — offers no comparable
+/// pairs to sample, so it passes vacuously.
+inline Status SpotCheckCostMonotonicity(const ProductCostFunction& cost_fn,
+                                        const Dataset& products) {
+  if (products.empty()) return Status::OK();
+  const std::vector<double> lo = products.MinCorner();
+  const std::vector<double> hi = products.MaxCorner();
+  double span_lo = lo[0];
+  double span_hi = hi[0];
+  for (size_t i = 1; i < lo.size(); ++i) {
+    span_lo = std::min(span_lo, lo[i]);
+    span_hi = std::max(span_hi, hi[i]);
+  }
+  if (!(span_lo < span_hi)) return Status::OK();
+  return cost_fn.CheckMonotonicity(span_lo, span_hi);
 }
 
 }  // namespace skyup

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/point.h"
+#include "util/check.h"
 
 namespace skyup {
 
@@ -53,20 +54,28 @@ struct ExecStats {
     // in tests/parallel_engine_test.cc is taught about it).
     static_assert(sizeof(ExecStats) == 14 * sizeof(size_t),
                   "ExecStats gained/lost a field: update MergeFrom");
-    products_processed += other.products_processed;
-    dominators_fetched += other.dominators_fetched;
-    skyline_points_total += other.skyline_points_total;
-    upgrade_calls += other.upgrade_calls;
-    heap_pops += other.heap_pops;
-    t_expansions += other.t_expansions;
-    p_refinements += other.p_refinements;
-    lbc_evaluations += other.lbc_evaluations;
-    jl_entries_pruned += other.jl_entries_pruned;
-    candidates_pruned += other.candidates_pruned;
-    threshold_updates += other.threshold_updates;
-    nodes_visited += other.nodes_visited;
-    points_scanned += other.points_scanned;
-    block_kernel_calls += other.block_kernel_calls;
+    // Counters only ever grow; a merged value below its old one means the
+    // unsigned add wrapped (billions of billions of operations — in
+    // practice a corrupted shard).
+    auto add = [](size_t* into, size_t delta) {
+      const size_t before = *into;
+      *into += delta;
+      SKYUP_DCHECK(*into >= before) << "ExecStats counter overflow";
+    };
+    add(&products_processed, other.products_processed);
+    add(&dominators_fetched, other.dominators_fetched);
+    add(&skyline_points_total, other.skyline_points_total);
+    add(&upgrade_calls, other.upgrade_calls);
+    add(&heap_pops, other.heap_pops);
+    add(&t_expansions, other.t_expansions);
+    add(&p_refinements, other.p_refinements);
+    add(&lbc_evaluations, other.lbc_evaluations);
+    add(&jl_entries_pruned, other.jl_entries_pruned);
+    add(&candidates_pruned, other.candidates_pruned);
+    add(&threshold_updates, other.threshold_updates);
+    add(&nodes_visited, other.nodes_visited);
+    add(&points_scanned, other.points_scanned);
+    add(&block_kernel_calls, other.block_kernel_calls);
     return *this;
   }
 

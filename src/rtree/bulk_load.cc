@@ -189,6 +189,7 @@ Result<RTree> RTree::BulkLoad(const Dataset& dataset, Options options) {
   StrBulkLoader loader(&dataset, tree.options_);
   tree.root_ = loader.Build();
   tree.size_ = dataset.size();
+  SKYUP_PARANOID_OK(tree.Validate());
   return tree;
 }
 

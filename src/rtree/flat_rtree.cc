@@ -63,6 +63,12 @@ FlatRTree FlatRTree::FromTree(const RTree& tree) {
     }
   }
 
+  // Every arena slot except the root must have been claimed as exactly one
+  // node's child run — the BFS index arithmetic above depends on it.
+  SKYUP_CHECK(next_child == static_cast<uint32_t>(n))
+      << "flat arena child runs cover " << next_child << " of " << n
+      << " nodes";
+
   const size_t p = flat.point_ids_.size();
   flat.pt_soa_.resize(dims * p);
   flat.pt_aos_.resize(p * dims);
@@ -73,6 +79,7 @@ FlatRTree FlatRTree::FromTree(const RTree& tree) {
       flat.pt_aos_[j * dims + d] = coords[d];
     }
   }
+  SKYUP_PARANOID_OK(flat.Validate());
   return flat;
 }
 
@@ -109,6 +116,14 @@ Status FlatRTree::Validate() const {
       if (min_corner(i)[d] > max_corner(i)[d]) {
         return Status::Internal("inverted MBR at node " + std::to_string(i));
       }
+    }
+    // Recomputed in the same d-ascending order Mbr::MinCornerSum uses, so
+    // a correct cache compares exactly equal — no tolerance needed.
+    double key = 0.0;
+    for (size_t d = 0; d < dims_; ++d) key += min_corner(i)[d];
+    if (key_[i] != key) {
+      return Status::Internal("stale best-first key at node " +
+                              std::to_string(i));
     }
     if (is_leaf(i)) {
       if (point_begin(i) > point_end(i) || point_end(i) > point_ids_.size()) {

@@ -107,6 +107,10 @@ class FlatRTree {
   Status Validate() const;
 
  private:
+  // Test-only backdoor (tests/flat_rtree_test_peer.h): corrupts arenas to
+  // prove Validate() and the paranoid checks actually fire.
+  friend class FlatRTreeTestPeer;
+
   size_t dims_ = 0;
   const Dataset* dataset_ = nullptr;
 

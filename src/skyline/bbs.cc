@@ -80,12 +80,22 @@ std::vector<PointId> SkylineBbs(const RTree& tree) {
       }
     }
   }
+  // The tree may index a subset of the dataset (incremental builds), so the
+  // paranoid re-proof enumerates the tree's own points as the input set.
+  SKYUP_PARANOID_OK([&]() -> Status {
+    std::vector<PointId> all;
+    tree.RangeQuery(tree.root()->mbr, &all);
+    return CheckSkylineInvariants(data, &all, result);
+  }());
   return result;
 }
 
 std::vector<PointId> SkylineBbs(const FlatRTree& tree) {
   std::vector<PointId> result;
   if (tree.empty()) return result;
+  // The traversal trusts the arena's structural invariants (slot ranges,
+  // containment, SoA/AoS mirror agreement); re-prove them under paranoid.
+  SKYUP_PARANOID_OK(tree.Validate());
 
   const size_t dims = tree.dims();
   constexpr uint32_t kNoNode = UINT32_MAX;
@@ -142,6 +152,10 @@ std::vector<PointId> SkylineBbs(const FlatRTree& tree) {
       result.push_back(entry.point);
     }
   }
+  SKYUP_PARANOID_OK([&]() -> Status {
+    std::vector<PointId> all(tree.point_ids(), tree.point_ids() + tree.size());
+    return CheckSkylineInvariants(tree.dataset(), &all, result);
+  }());
   return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include "core/dominance.h"
 #include "skyline/skyline.h"
+#include "util/check.h"
 
 namespace skyup {
 
@@ -38,6 +39,7 @@ std::vector<PointId> SkylineBnl(const Dataset& data,
       consider(static_cast<PointId>(i));
     }
   }
+  SKYUP_PARANOID_OK(CheckSkylineInvariants(data, subset, window));
   return window;
 }
 

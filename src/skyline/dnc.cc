@@ -90,6 +90,14 @@ std::vector<PointId> SkylineDnc(const Dataset& data,
   }
   if (ids.empty()) return ids;
   SKYUP_CHECK(data.dims() >= 1);
+  // The paranoid postcondition runs once over the original input, not per
+  // recursion level; the input copy it needs is folded away below paranoid.
+  if constexpr (kCheckLevel >= 2) {
+    std::vector<PointId> input = ids;
+    std::vector<PointId> result = DncRecurse(data, std::move(ids), 0);
+    SKYUP_PARANOID_OK(CheckSkylineInvariants(data, &input, result));
+    return result;
+  }
   return DncRecurse(data, std::move(ids), 0);
 }
 

@@ -1,10 +1,12 @@
 #include "skyline/dominating_skyline.h"
 
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "core/dominance.h"
 #include "core/dominance_batch.h"
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace skyup {
@@ -44,6 +46,33 @@ bool PrunedBySkyline(const SoaBlock& window, const double* p,
                      ProbeStats* st) {
   ++st->block_kernel_calls;
   return !window.empty() && DominatesAny(window.view(), p);
+}
+
+// Paranoid per-probe postcondition: every returned member strictly
+// dominates the probe point, and no member dominates-or-equals another.
+// (Deliberately does NOT re-validate the index per probe — that is hoisted
+// to the top-k entry points, where it runs once instead of once per
+// product.)
+Status CheckProbeResult(const Dataset& data, const double* t,
+                        const std::vector<PointId>& result) {
+  const size_t dims = data.dims();
+  for (PointId id : result) {
+    if (!Dominates(data.data(id), t, dims)) {
+      return Status::Internal("probe member " + std::to_string(id) +
+                              " does not dominate the probe point");
+    }
+  }
+  for (size_t i = 0; i < result.size(); ++i) {
+    for (size_t j = 0; j < result.size(); ++j) {
+      if (i == j) continue;
+      if (DominatesOrEqual(data.data(result[i]), data.data(result[j]), dims)) {
+        return Status::Internal(
+            "probe members " + std::to_string(result[i]) + " and " +
+            std::to_string(result[j]) + " are not mutually incomparable");
+      }
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -105,6 +134,7 @@ std::vector<PointId> DominatingSkyline(const RTree& tree, const double* t,
       result.push_back(entry.point);
     }
   }
+  SKYUP_PARANOID_OK(CheckProbeResult(data, t, result));
   return result;
 }
 
@@ -190,6 +220,7 @@ std::vector<PointId> DominatingSkyline(const FlatRTree& tree, const double* t,
       result.push_back(entry.point);
     }
   }
+  SKYUP_PARANOID_OK(CheckProbeResult(tree.dataset(), t, result));
   return result;
 }
 
@@ -255,6 +286,7 @@ std::vector<PointId> DominatingSkylineFrom(
       result.push_back(entry.point);
     }
   }
+  SKYUP_PARANOID_OK(CheckProbeResult(data, t, result));
   return result;
 }
 

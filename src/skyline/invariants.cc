@@ -1,0 +1,71 @@
+#include <string>
+#include <vector>
+
+#include "core/dominance.h"
+#include "skyline/skyline.h"
+
+namespace skyup {
+
+// Re-proves the skyline definition from scratch; the SKYUP_PARANOID_OK
+// postcondition hook of every skyline algorithm. Two checked properties
+// imply the full contract:
+//
+//   1. mutual incomparability — no two members compare as anything but
+//      kIncomparable (this also forbids duplicate coordinate vectors,
+//      honoring "one representative per distinct vector");
+//   2. coverage — every input point is dominated-or-equalled by a member.
+//
+// "No survivor is dominated by an input point" follows: if input p
+// strictly dominated member s, p's own cover s2 (s2 <= p componentwise)
+// would strictly dominate s too, contradicting (1).
+Status CheckSkylineInvariants(const Dataset& data,
+                              const std::vector<PointId>* subset,
+                              const std::vector<PointId>& skyline) {
+  const size_t dims = data.dims();
+  const auto n = static_cast<PointId>(data.size());
+  for (PointId id : skyline) {
+    if (id < 0 || id >= n) {
+      return Status::Internal("skyline id " + std::to_string(id) +
+                              " outside dataset of " + std::to_string(n) +
+                              " points");
+    }
+  }
+  for (size_t i = 0; i < skyline.size(); ++i) {
+    for (size_t j = i + 1; j < skyline.size(); ++j) {
+      const DomRelation rel =
+          Compare(data.data(skyline[i]), data.data(skyline[j]), dims);
+      if (rel != DomRelation::kIncomparable) {
+        return Status::Internal(
+            "skyline members " + std::to_string(skyline[i]) + " and " +
+            std::to_string(skyline[j]) +
+            (rel == DomRelation::kEqual ? " are duplicates"
+                                        : " are comparable"));
+      }
+    }
+  }
+  auto covered = [&](PointId id) {
+    const double* p = data.data(id);
+    for (PointId s : skyline) {
+      if (DominatesOrEqual(data.data(s), p, dims)) return true;
+    }
+    return false;
+  };
+  if (subset != nullptr) {
+    for (PointId id : *subset) {
+      if (!covered(id)) {
+        return Status::Internal("input point " + std::to_string(id) +
+                                " is not covered by the skyline");
+      }
+    }
+  } else {
+    for (PointId id = 0; id < n; ++id) {
+      if (!covered(id)) {
+        return Status::Internal("input point " + std::to_string(id) +
+                                " is not covered by the skyline");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace skyup

@@ -5,6 +5,7 @@
 #include "core/dominance.h"
 #include "core/dominance_batch.h"
 #include "skyline/skyline.h"
+#include "util/check.h"
 
 namespace skyup {
 
@@ -49,6 +50,7 @@ std::vector<PointId> SkylineSfs(const Dataset& data,
     window.Append(p);
     skyline.push_back(id);
   }
+  SKYUP_PARANOID_OK(CheckSkylineInvariants(data, subset, skyline));
   return skyline;
 }
 

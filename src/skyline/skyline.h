@@ -60,6 +60,15 @@ void SkylineOfPointers(std::vector<const double*>* points, size_t dims);
 /// for dataset preparation and tests, not for hot paths.
 bool IsDominated(const Dataset& data, PointId id);
 
+/// Re-proves the skyline definition over `subset` (or the whole dataset):
+/// members mutually incomparable and distinct, every input point covered by
+/// a member. O(|in| * |SKY| * d). This is the postcondition every skyline
+/// algorithm asserts under SKYUP_PARANOID_OK; also usable from tests and
+/// fuzz oracles directly.
+Status CheckSkylineInvariants(const Dataset& data,
+                              const std::vector<PointId>* subset,
+                              const std::vector<PointId>& skyline);
+
 }  // namespace skyup
 
 #endif  // SKYUP_SKYLINE_SKYLINE_H_

@@ -1,0 +1,157 @@
+#ifndef SKYUP_UTIL_CHECK_H_
+#define SKYUP_UTIL_CHECK_H_
+
+// The contract layer: every internal invariant of the library is asserted
+// through the macros below, and how much of that checking is compiled in
+// is a build-time decision.
+//
+// `SKYUP_CHECK_LEVEL` (a CMake option of the same name) selects one of
+// three levels:
+//
+//   0  "off"       every macro compiles to nothing (conditions are
+//                  type-checked but never evaluated). For benchmarking the
+//                  raw algorithms only — argument validation vanishes too.
+//   1  "cheap"     the default. `SKYUP_CHECK` is active; `SKYUP_DCHECK`
+//                  follows NDEBUG (on in Debug, out in Release). Only O(1)
+//                  conditions may sit behind these two on hot paths.
+//   2  "paranoid"  everything is active, including `SKYUP_DCHECK` in
+//                  Release builds and the `SKYUP_PARANOID*` hooks, which
+//                  are allowed to be expensive: full structure validation
+//                  (e.g. FlatRTree::Validate per traversal entry), skyline
+//                  postconditions (mutual incomparability), cost-function
+//                  monotonicity spot checks.
+//
+// Macro summary:
+//   SKYUP_CHECK(cond) << "diag";      fatal if !cond      (level >= cheap)
+//   SKYUP_DCHECK(cond) << "diag";     debug-only check    (see above)
+//   SKYUP_PARANOID(cond) << "diag";   expensive check     (paranoid only)
+//   SKYUP_CHECK_OK(status_expr);      fatal on non-OK     (level >= cheap)
+//   SKYUP_PARANOID_OK(status_expr);   fatal on non-OK     (paranoid only)
+//
+// A failed check prints "[FATAL file:line] check failed: <cond> <diag>"
+// to stderr and aborts: an invariant violation means results can no longer
+// be trusted, so there is nothing sensible to return.
+
+#include <sstream>
+#include <string>
+
+#include "util/status.h"
+
+#ifndef SKYUP_CHECK_LEVEL
+#define SKYUP_CHECK_LEVEL 1
+#endif
+
+#if SKYUP_CHECK_LEVEL < 0 || SKYUP_CHECK_LEVEL > 2
+#error "SKYUP_CHECK_LEVEL must be 0 (off), 1 (cheap), or 2 (paranoid)"
+#endif
+
+namespace skyup {
+
+/// The compiled-in check level of this translation unit: 0 off, 1 cheap,
+/// 2 paranoid. (A constant, not a function, so tests can static_assert
+/// against it.)
+inline constexpr int kCheckLevel = SKYUP_CHECK_LEVEL;
+
+/// Human-readable name of `kCheckLevel`.
+constexpr const char* CheckLevelName() {
+  return kCheckLevel == 0 ? "off" : kCheckLevel == 1 ? "cheap" : "paranoid";
+}
+
+namespace internal {
+
+/// Accumulates the diagnostic of a failed check and aborts the process on
+/// destruction. Not for direct use; see SKYUP_CHECK.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows streamed diagnostics of compiled-out checks; optimizes to
+/// nothing (the guarding branch is `if (false && ...)`).
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace skyup
+
+// A check that is compiled out: the condition stays in the (dead) branch
+// so the expressions it names remain odr-used — no -Wunused warnings, no
+// behavior differences in what must compile — but it is never evaluated.
+#define SKYUP_INTERNAL_ELIDED_CHECK(condition) \
+  if (false && (condition)) ::skyup::internal::NullStream()
+
+#define SKYUP_INTERNAL_ACTIVE_CHECK(condition)                        \
+  if (!(condition))                                                   \
+  ::skyup::internal::FatalLogMessage(__FILE__, __LINE__, #condition)  \
+      .stream()
+
+/// Aborts with a diagnostic when `condition` is false. The workhorse
+/// contract macro: active at level cheap and above, so it may only guard
+/// O(1) conditions on hot paths.
+#if SKYUP_CHECK_LEVEL >= 1
+#define SKYUP_CHECK(condition) SKYUP_INTERNAL_ACTIVE_CHECK(condition)
+#else
+#define SKYUP_CHECK(condition) SKYUP_INTERNAL_ELIDED_CHECK(condition)
+#endif
+
+/// Debug-only check: compiled out in NDEBUG builds at level cheap, forced
+/// on (even in Release) at level paranoid, always out at level off.
+#if SKYUP_CHECK_LEVEL >= 2 || (SKYUP_CHECK_LEVEL >= 1 && !defined(NDEBUG))
+#define SKYUP_DCHECK(condition) SKYUP_INTERNAL_ACTIVE_CHECK(condition)
+#else
+#define SKYUP_DCHECK(condition) SKYUP_INTERNAL_ELIDED_CHECK(condition)
+#endif
+
+/// Expensive invariant check, active only at level paranoid. The condition
+/// may be super-constant work (full tree validation, O(n^2) skyline
+/// postconditions); at lower levels it is not evaluated at all.
+#if SKYUP_CHECK_LEVEL >= 2
+#define SKYUP_PARANOID(condition) SKYUP_INTERNAL_ACTIVE_CHECK(condition)
+#else
+#define SKYUP_PARANOID(condition) SKYUP_INTERNAL_ELIDED_CHECK(condition)
+#endif
+
+// Status-returning validators (e.g. FlatRTree::Validate) plug in through
+// these: the failure message is the validator's own diagnostic.
+#if SKYUP_CHECK_LEVEL >= 1
+#define SKYUP_CHECK_OK(expr)                                       \
+  do {                                                             \
+    const ::skyup::Status skyup_internal_status = (expr);          \
+    SKYUP_CHECK(skyup_internal_status.ok())                        \
+        << skyup_internal_status.ToString();                       \
+  } while (false)
+#else
+#define SKYUP_CHECK_OK(expr)                       \
+  do {                                             \
+    if (false) static_cast<void>(expr);            \
+  } while (false)
+#endif
+
+#if SKYUP_CHECK_LEVEL >= 2
+#define SKYUP_PARANOID_OK(expr)                                    \
+  do {                                                             \
+    const ::skyup::Status skyup_internal_status = (expr);          \
+    SKYUP_PARANOID(skyup_internal_status.ok())                     \
+        << skyup_internal_status.ToString();                       \
+  } while (false)
+#else
+#define SKYUP_PARANOID_OK(expr)                    \
+  do {                                             \
+    if (false) static_cast<void>(expr);            \
+  } while (false)
+#endif
+
+#endif  // SKYUP_UTIL_CHECK_H_

@@ -4,6 +4,11 @@
 #include <sstream>
 #include <string>
 
+// The contract macros (SKYUP_CHECK and friends) moved to util/check.h;
+// this include keeps every historical `#include "util/logging.h"` user of
+// them compiling.
+#include "util/check.h"
+
 namespace skyup {
 
 /// Severity levels for the minimal logging facility used by the library.
@@ -34,22 +39,6 @@ class LogMessage {
   std::ostringstream stream_;
 };
 
-/// Aborts the process after emitting the accumulated message. Used by
-/// SKYUP_CHECK on invariant violations.
-class FatalLogMessage {
- public:
-  FatalLogMessage(const char* file, int line, const char* condition);
-  [[noreturn]] ~FatalLogMessage();
-
-  FatalLogMessage(const FatalLogMessage&) = delete;
-  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
-
-  std::ostringstream& stream() { return stream_; }
-
- private:
-  std::ostringstream stream_;
-};
-
 }  // namespace internal
 
 /// Streams a message at the given severity:
@@ -59,22 +48,6 @@ class FatalLogMessage {
   ::skyup::internal::LogMessage(::skyup::LogLevel::severity,         \
                                 __FILE__, __LINE__)                  \
       .stream()
-
-/// Aborts with a diagnostic when `condition` is false. Active in all build
-/// types: these guard internal invariants whose violation would otherwise
-/// corrupt results silently.
-#define SKYUP_CHECK(condition)                                           \
-  if (!(condition))                                                      \
-  ::skyup::internal::FatalLogMessage(__FILE__, __LINE__, #condition)     \
-      .stream()
-
-/// Debug-only check, compiled out in NDEBUG builds.
-#ifdef NDEBUG
-#define SKYUP_DCHECK(condition) \
-  if (false) SKYUP_CHECK(condition)
-#else
-#define SKYUP_DCHECK(condition) SKYUP_CHECK(condition)
-#endif
 
 }  // namespace skyup
 

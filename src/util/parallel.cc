@@ -1,9 +1,12 @@
 #include "util/parallel.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <thread>
 #include <vector>
+
+#include "util/check.h"
 
 namespace skyup {
 
@@ -29,6 +32,8 @@ void ParallelFor(size_t items, size_t threads,
   for (size_t s = 1; s < threads; ++s) {
     const size_t begin = s * items / threads;
     const size_t end = (s + 1) * items / threads;
+    SKYUP_DCHECK(begin < end) << "empty shard " << s << " of " << threads
+                              << " over " << items << " items";
     workers.emplace_back([&body, s, begin, end] { body(s, begin, end); });
   }
   body(0, 0, items / threads);
@@ -43,6 +48,9 @@ double AtomicCostThreshold::Get() const {
 }
 
 bool AtomicCostThreshold::RelaxTo(double value) {
+  // A NaN bound would silently disable pruning forever (every comparison
+  // below is false); surface it instead of converging to garbage.
+  SKYUP_DCHECK(!std::isnan(value)) << "RelaxTo(NaN)";
   double current = threshold_.load(std::memory_order_relaxed);
   while (value < current) {
     if (threshold_.compare_exchange_weak(current, value,

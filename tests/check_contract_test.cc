@@ -1,0 +1,118 @@
+// Tests for the contract layer itself (util/check.h): that each macro is
+// compiled in or out exactly as its level promises (side-effect counters
+// prove conditions of elided checks are never evaluated), that active
+// checks die with the condition text in the diagnostic, and that the
+// paranoid hooks catch a deliberately corrupted FlatRTree arena which the
+// lower levels sail past benignly.
+//
+// The same source adapts to whatever -DSKYUP_CHECK_LEVEL the build uses by
+// branching on skyup::kCheckLevel, so every CI level runs the whole file.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "data/generator.h"
+#include "flat_rtree_test_peer.h"
+#include "rtree/flat_rtree.h"
+#include "skyline/dominating_skyline.h"
+#include "skyline/skyline.h"
+#include "util/check.h"
+#include "util/status.h"
+
+namespace skyup {
+namespace {
+
+static_assert(kCheckLevel >= 0 && kCheckLevel <= 2,
+              "check.h must reject other levels at preprocessing time");
+
+// SKYUP_DCHECK's activation depends on NDEBUG as well as the level.
+constexpr bool kDcheckActive =
+#ifdef NDEBUG
+    kCheckLevel >= 2;
+#else
+    kCheckLevel >= 1;
+#endif
+
+TEST(CheckContractTest, ConditionsEvaluateOnlyWhenLevelCompilesThemIn) {
+  int check_evals = 0;
+  int dcheck_evals = 0;
+  int paranoid_evals = 0;
+  SKYUP_CHECK((++check_evals, true)) << "never printed";
+  SKYUP_DCHECK((++dcheck_evals, true)) << "never printed";
+  SKYUP_PARANOID((++paranoid_evals, true)) << "never printed";
+  EXPECT_EQ(check_evals, kCheckLevel >= 1 ? 1 : 0);
+  EXPECT_EQ(dcheck_evals, kDcheckActive ? 1 : 0);
+  EXPECT_EQ(paranoid_evals, kCheckLevel >= 2 ? 1 : 0);
+}
+
+TEST(CheckContractTest, StatusFormsEvaluateOnlyWhenActive) {
+  int ok_evals = 0;
+  int paranoid_ok_evals = 0;
+  const auto ok = [&ok_evals] {
+    ++ok_evals;
+    return Status::OK();
+  };
+  const auto paranoid_ok = [&paranoid_ok_evals] {
+    ++paranoid_ok_evals;
+    return Status::OK();
+  };
+  SKYUP_CHECK_OK(ok());
+  SKYUP_PARANOID_OK(paranoid_ok());
+  EXPECT_EQ(ok_evals, kCheckLevel >= 1 ? 1 : 0);
+  EXPECT_EQ(paranoid_ok_evals, kCheckLevel >= 2 ? 1 : 0);
+}
+
+TEST(CheckContractTest, ElidedChecksSwallowStreamedDiagnostics) {
+  // At level off even a false condition must neither abort nor evaluate
+  // the streamed operands.
+  if (kCheckLevel == 0) {
+    int stream_evals = 0;
+    SKYUP_CHECK(false) << "unreached " << ++stream_evals;
+    SKYUP_PARANOID(false) << "unreached " << ++stream_evals;
+    EXPECT_EQ(stream_evals, 0);
+  }
+}
+
+TEST(CheckContractDeathTest, ActiveCheckDiesWithConditionAndDiagnostic) {
+  if (kCheckLevel >= 1) {
+    EXPECT_DEATH(SKYUP_CHECK(1 + 1 == 3) << "extra context",
+                 "check failed: 1 \\+ 1 == 3.*extra context");
+    EXPECT_DEATH(SKYUP_CHECK_OK(Status::Internal("wired through")),
+                 "wired through");
+  }
+  if (kCheckLevel >= 2) {
+    EXPECT_DEATH(SKYUP_PARANOID(false) << "expensive check tripped",
+                 "check failed: false.*expensive check tripped");
+  }
+}
+
+// The acceptance scenario for the whole layer: damage a FlatRTree arena
+// through the test peer, then run a traversal that trusts the arena.
+// Paranoid builds must refuse (entry-point Validate aborts with the named
+// invariant); cheap/off builds — which skip the O(n d) validation by
+// design — must still complete benignly, because this particular
+// corruption (the SoA coordinate mirror) is invisible to the AoS lanes the
+// flat BBS traversal reads.
+TEST(CheckContractDeathTest, ParanoidCatchesCorruptedFlatArena) {
+  Result<Dataset> data =
+      GenerateCompetitors(128, 3, Distribution::kIndependent, 21);
+  ASSERT_TRUE(data.ok());
+  Result<FlatRTree> built = FlatRTree::BulkLoad(data.value());
+  ASSERT_TRUE(built.ok());
+  FlatRTree flat = std::move(built).value();
+  const std::vector<PointId> expected = SkylineBbs(flat);
+
+  ASSERT_FALSE(FlatRTreeTestPeer::pt_soa(&flat).empty());
+  FlatRTreeTestPeer::pt_soa(&flat)[0] -= 0.5;
+  ASSERT_FALSE(flat.Validate().ok());
+
+  if (kCheckLevel >= 2) {
+    EXPECT_DEATH(SkylineBbs(flat), "stale leaf coordinates at slot 0");
+  } else {
+    EXPECT_EQ(SkylineBbs(flat), expected);
+  }
+}
+
+}  // namespace
+}  // namespace skyup

@@ -112,11 +112,16 @@ INSTANTIATE_TEST_SUITE_P(
                       Param{1000, 3, Distribution::kAntiCorrelated},
                       Param{800, 4, Distribution::kCorrelated},
                       Param{600, 5, Distribution::kAntiCorrelated}),
-    [](const auto& info) {
-      return "n" + std::to_string(info.param.n) + "_d" +
-             std::to_string(info.param.dims) + "_" +
-             std::string(1, "iac"[static_cast<int>(
-                                 info.param.distribution)]);
+    [](const auto& param_info) {
+      // Built by append: gcc 12's -Wrestrict false-fires on chained
+      // `const char* + std::string` concatenation (PR105329).
+      std::string name = "n";
+      name += std::to_string(param_info.param.n);
+      name += "_d";
+      name += std::to_string(param_info.param.dims);
+      name += '_';
+      name += "iac"[static_cast<int>(param_info.param.distribution)];
+      return name;
     });
 
 TEST(DominatingSkylineFromTest, RootSeedEqualsSingleSource) {

@@ -31,10 +31,21 @@ struct SweepParam {
 };
 
 std::string ParamName(const SweepParam& p) {
-  return "P" + std::to_string(p.np) + "_T" + std::to_string(p.nt) + "_d" +
-         std::to_string(p.dims) + "_" +
-         std::string(1, "iac"[static_cast<int>(p.distribution)]) + "_f" +
-         std::to_string(p.fanout) + "_s" + std::to_string(p.seed);
+  // Built by append: gcc 12's -Wrestrict false-fires on chained
+  // `const char* + std::string` concatenation (PR105329).
+  std::string name = "P";
+  name += std::to_string(p.np);
+  name += "_T";
+  name += std::to_string(p.nt);
+  name += "_d";
+  name += std::to_string(p.dims);
+  name += '_';
+  name += "iac"[static_cast<int>(p.distribution)];
+  name += "_f";
+  name += std::to_string(p.fanout);
+  name += "_s";
+  name += std::to_string(p.seed);
+  return name;
 }
 
 class EquivalenceSweep : public ::testing::TestWithParam<SweepParam> {};
@@ -96,7 +107,7 @@ INSTANTIATE_TEST_SUITE_P(
         SweepParam{350, 45, 5, Distribution::kIndependent, 16, 8},
         SweepParam{350, 45, 5, Distribution::kAntiCorrelated, 16, 9},
         SweepParam{250, 30, 6, Distribution::kAntiCorrelated, 8, 10}),
-    [](const auto& info) { return ParamName(info.param); });
+    [](const auto& param_info) { return ParamName(param_info.param); });
 
 // Mixed-position products: unlike the paper's (1,2]^c layout, place T
 // points *inside* the competitor cube so some are undominated, some nearly

@@ -15,6 +15,7 @@
 #include "core/planner.h"
 #include "core/probing.h"
 #include "data/generator.h"
+#include "flat_rtree_test_peer.h"
 #include "rtree/flat_rtree.h"
 #include "rtree/rtree.h"
 #include "skyline/dominating_skyline.h"
@@ -98,6 +99,80 @@ TEST(FlatRTreeTest, ValidatesAcrossShapes) {
         EXPECT_EQ(flat.value().dims(), dims);
       }
     }
+  }
+}
+
+// Validate() must not just fail on a corrupted arena — its message must
+// name the first violated invariant, so a paranoid-level abort points
+// straight at the broken structure. One fresh snapshot per corruption.
+TEST(FlatRTreeTest, ValidateNamesTheViolatedInvariant) {
+  const Dataset data = MakeData(200, 3, Distribution::kIndependent, 7);
+  RTreeOptions options;
+  options.max_entries = 8;  // several levels, so internal nodes exist
+  const auto build = [&]() {
+    Result<FlatRTree> flat = FlatRTree::BulkLoad(data, options);
+    EXPECT_TRUE(flat.ok());
+    return std::move(flat).value();
+  };
+  const auto message = [](const FlatRTree& t) {
+    const Status st = t.Validate();
+    EXPECT_FALSE(st.ok());
+    return std::string(st.message());
+  };
+
+  {
+    FlatRTree t = build();
+    FlatRTreeTestPeer::hi_aos(&t)[1] += 0.25;  // AoS only: mirrors disagree
+    EXPECT_NE(message(t).find("SoA/AoS corner mismatch at node 0"),
+              std::string::npos)
+        << message(t);
+  }
+  {
+    FlatRTree t = build();
+    FlatRTreeTestPeer::key(&t)[0] += 1.0;
+    EXPECT_NE(message(t).find("stale best-first key at node 0"),
+              std::string::npos)
+        << message(t);
+  }
+  {
+    FlatRTree t = build();
+    // Swapping two slot ids desynchronizes the cached coordinates from the
+    // dataset rows they claim to mirror.
+    auto& ids = FlatRTreeTestPeer::point_ids(&t);
+    ASSERT_GE(ids.size(), 2u);
+    std::swap(ids.front(), ids.back());
+    EXPECT_NE(message(t).find("stale leaf coordinates at slot"),
+              std::string::npos)
+        << message(t);
+  }
+  {
+    FlatRTree t = build();
+    ASSERT_FALSE(t.is_leaf(FlatRTree::kRoot));
+    FlatRTreeTestPeer::end(&t)[0] = 0;  // root's child run becomes empty
+    EXPECT_NE(message(t).find("child range malformed at node 0"),
+              std::string::npos)
+        << message(t);
+  }
+  {
+    FlatRTree t = build();
+    // Demoting the last node's level breaks the parent's level-1 contract.
+    FlatRTreeTestPeer::level(&t).back() -= 1;
+    EXPECT_NE(message(t).find("child level skew at node"), std::string::npos)
+        << message(t);
+  }
+  {
+    FlatRTree t = build();
+    // Growing a child's box past its parent breaks containment; patch all
+    // three mirrors (SoA, AoS, key) so containment is the *first* failure.
+    const uint32_t child = t.child_begin(FlatRTree::kRoot);
+    const size_t n = t.node_count();
+    FlatRTreeTestPeer::lo_aos(&t)[child * 3] -= 1.0;
+    FlatRTreeTestPeer::lo_soa(&t)[child] -= 1.0;  // d=0 lane
+    FlatRTreeTestPeer::key(&t)[child] -= 1.0;
+    ASSERT_EQ(FlatRTreeTestPeer::lo_soa(&t).size(), 3 * n);
+    EXPECT_NE(message(t).find("child MBR escapes parent at node"),
+              std::string::npos)
+        << message(t);
   }
 }
 

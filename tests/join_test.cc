@@ -156,10 +156,10 @@ INSTANTIATE_TEST_SUITE_P(
                           LowerBoundKind::kAggressive),
         ::testing::Values(BoundMode::kSound),
         ::testing::Values(0, 1, 2, 3)),
-    [](const auto& info) {
-      return std::string(LowerBoundKindName(std::get<0>(info.param))) + "_" +
-             BoundModeName(std::get<1>(info.param)) + "_v" +
-             std::to_string(std::get<2>(info.param));
+    [](const auto& param_info) {
+      return std::string(LowerBoundKindName(std::get<0>(param_info.param))) +
+             "_" + BoundModeName(std::get<1>(param_info.param)) + "_v" +
+             std::to_string(std::get<2>(param_info.param));
     });
 
 TEST(JoinTest, UpgradedResultsAreUndominated) {

@@ -78,6 +78,20 @@ TEST(ParallelForTest, TinyInputsYieldBalancedNonEmptyShards) {
   }
 }
 
+// Zero items must be a clean no-op: no shard callbacks, no threads, no
+// division-by-zero in the partition arithmetic (items/threads with threads
+// resolved from 0 items).
+TEST(ParallelForTest, ZeroItemsInvokesNoShards) {
+  for (size_t threads : {0u, 1u, 4u}) {
+    size_t calls = 0;
+    ParallelFor(0, threads,
+                [&](size_t /*shard*/, size_t /*begin*/, size_t /*end*/) {
+                  ++calls;
+                });
+    EXPECT_EQ(calls, 0u) << "threads=" << threads;
+  }
+}
+
 TEST(ResolveThreadCountTest, CapsAndDefaults) {
   EXPECT_EQ(ResolveThreadCount(4, 100), 4u);
   EXPECT_EQ(ResolveThreadCount(4, 2), 2u);

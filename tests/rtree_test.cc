@@ -156,10 +156,15 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values<size_t>(64, 500, 3000),
                        ::testing::Values<size_t>(2, 4),
                        ::testing::Bool()),
-    [](const auto& info) {
-      return "n" + std::to_string(std::get<0>(info.param)) + "_d" +
-             std::to_string(std::get<1>(info.param)) +
-             (std::get<2>(info.param) ? "_bulk" : "_insert");
+    [](const auto& param_info) {
+      // Built by append: gcc 12's -Wrestrict false-fires on chained
+      // `const char* + std::string` concatenation (PR105329).
+      std::string name = "n";
+      name += std::to_string(std::get<0>(param_info.param));
+      name += "_d";
+      name += std::to_string(std::get<1>(param_info.param));
+      name += std::get<2>(param_info.param) ? "_bulk" : "_insert";
+      return name;
     });
 
 TEST(RTreeTest, RangeQueryWholeSpaceReturnsEverything) {

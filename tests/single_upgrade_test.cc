@@ -173,8 +173,12 @@ TEST_P(UpgradeLemmaSweep, LemmaOneOnRandomInputs) {
 
 INSTANTIATE_TEST_SUITE_P(Dims, UpgradeLemmaSweep,
                          ::testing::Values<size_t>(1, 2, 3, 4, 5, 6),
-                         [](const auto& info) {
-                           return "d" + std::to_string(info.param);
+                         [](const auto& param_info) {
+                           // Append form dodges gcc 12's -Wrestrict
+                           // false positive (PR105329).
+                           std::string name = "d";
+                           name += std::to_string(param_info.param);
+                           return name;
                          });
 
 TEST(UpgradeProductTest, ChoosesGloballyCheapestAmongCandidates) {

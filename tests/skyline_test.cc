@@ -174,11 +174,16 @@ INSTANTIATE_TEST_SUITE_P(
         SkylineSweepParam{500, 5, Distribution::kIndependent},
         SkylineSweepParam{500, 5, Distribution::kAntiCorrelated},
         SkylineSweepParam{2000, 4, Distribution::kCorrelated}),
-    [](const auto& info) {
-      return "n" + std::to_string(info.param.n) + "_d" +
-             std::to_string(info.param.dims) + "_" +
-             std::string(1, "iac"[static_cast<int>(
-                                 info.param.distribution)]);
+    [](const auto& param_info) {
+      // Built by append: gcc 12's -Wrestrict false-fires on chained
+      // `const char* + std::string` concatenation (PR105329).
+      std::string name = "n";
+      name += std::to_string(param_info.param.n);
+      name += "_d";
+      name += std::to_string(param_info.param.dims);
+      name += '_';
+      name += "iac"[static_cast<int>(param_info.param.distribution)];
+      return name;
     });
 
 TEST(SkylineTest, SkylineMembersAreMutuallyNonDominating) {

@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Repo-specific lint rules that clang-tidy cannot express.
+
+Scans src/ and fuzz/ (the shipped code; tests may do exact-comparison
+gymnastics on purpose) and fails with file:line diagnostics on:
+
+  float-eq       Raw == / != where an operand is a floating literal or a
+                 known double field (cost, epsilon). Exact floating
+                 comparison is the *defining operation* of the dominance
+                 predicates, so core/dominance* is exempt wholesale; every
+                 other site must either use an epsilon/std::isnan or carry
+                 an explicit `// lint: float-eq-ok (<why>)` annotation —
+                 deterministic tie-breaks and differential-oracle equality
+                 assertions are the two legitimate reasons seen so far.
+
+  unordered-iter Range-for over a std::unordered_{map,set} variable.
+                 Hash-order iteration feeding ordered output is a
+                 nondeterminism bug (and varies across libstdc++
+                 versions); order-independent reductions may annotate the
+                 loop line with `// lint: unordered-iter-ok (<why>)`.
+
+  execstats      The ExecStats tripwire: the number of counter fields in
+                 the struct, the number of `add(&field, ...)` merge lines
+                 in MergeFrom, and the `N * sizeof(size_t)` multiplier in
+                 its static_assert must all agree, so a new counter cannot
+                 ship unmerged.
+
+Run: python3 tools/lint.py [--root <repo>]
+Exit status 0 = clean, 1 = findings (one per line on stdout).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+FLOAT_LITERAL = r"\d+\.\d*(?:[eE][+-]?\d+)?"
+KNOWN_DOUBLE_FIELDS = r"(?:cost|epsilon)"
+FLOAT_TERM = rf"(?:[\w.\[\]]*\b(?:{FLOAT_LITERAL}|{KNOWN_DOUBLE_FIELDS})\b)"
+FLOAT_EQ_RE = re.compile(
+    rf"{FLOAT_TERM}\s*(?:==|!=)(?!=)|(?<![=!<>])(?:==|!=)\s*-?{FLOAT_TERM}"
+)
+FLOAT_EQ_OK = "lint: float-eq-ok"
+FLOAT_EQ_EXEMPT_FILES = re.compile(r"core/dominance[^/]*$")
+
+UNORDERED_DECL_RE = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;]*>\s+(\w+)"
+)
+UNORDERED_ITER_OK = "lint: unordered-iter-ok"
+
+EXECSTATS_HEADER = "src/core/upgrade_result.h"
+EXECSTATS_FIELD_RE = re.compile(r"^\s*size_t\s+(\w+)\s*=\s*0;", re.M)
+EXECSTATS_MERGE_RE = re.compile(r"^\s*add\(&(\w+),", re.M)
+EXECSTATS_ASSERT_RE = re.compile(
+    r"sizeof\(ExecStats\)\s*==\s*(\d+)\s*\*\s*sizeof\(size_t\)"
+)
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Blanks out string/char literals and // comments so operators inside
+    them cannot trip the regex rules (annotations are read from the raw
+    line before stripping)."""
+    out = []
+    i = 0
+    quote = None
+    while i < len(line):
+        c = line[i]
+        if quote:
+            if c == "\\":
+                i += 2
+                continue
+            if c == quote:
+                quote = None
+            i += 1
+            continue
+        if c in "\"'":
+            quote = c
+            out.append(c)
+            i += 1
+            continue
+        if line.startswith("//", i):
+            break
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def lint_file(path: pathlib.Path, rel: str, findings: list[str]) -> None:
+    lines = path.read_text().splitlines()
+    unordered_vars: set[str] = set()
+
+    def annotated(lineno: int, marker: str) -> bool:
+        # The annotation may sit on the flagged line itself or in a comment
+        # on the two lines above it (80-column comments rarely fit inline).
+        return any(
+            marker in lines[i]
+            for i in range(max(0, lineno - 3), lineno)
+        )
+
+    for lineno, raw in enumerate(lines, start=1):
+        code = strip_comments_and_strings(raw)
+
+        decl = UNORDERED_DECL_RE.search(code)
+        if decl:
+            unordered_vars.add(decl.group(1))
+
+        if (
+            FLOAT_EQ_RE.search(code)
+            and not annotated(lineno, FLOAT_EQ_OK)
+            and not FLOAT_EQ_EXEMPT_FILES.search(rel)
+        ):
+            findings.append(
+                f"{rel}:{lineno}: [float-eq] raw ==/!= on a floating value;"
+                " compare with a tolerance/std::isnan or annotate"
+                f" `// {FLOAT_EQ_OK} (<why>)`"
+            )
+
+        if unordered_vars and not annotated(lineno, UNORDERED_ITER_OK):
+            loop = re.search(r"for\s*\(.*:\s*(\w+)\s*\)", code)
+            if loop and loop.group(1) in unordered_vars:
+                findings.append(
+                    f"{rel}:{lineno}: [unordered-iter] iterating"
+                    f" hash-ordered `{loop.group(1)}`; order must not reach"
+                    " output — annotate"
+                    f" `// {UNORDERED_ITER_OK} (<why>)` if it cannot"
+                )
+
+
+def lint_execstats(root: pathlib.Path, findings: list[str]) -> None:
+    path = root / EXECSTATS_HEADER
+    if not path.exists():
+        findings.append(f"{EXECSTATS_HEADER}: [execstats] file not found")
+        return
+    text = path.read_text()
+    struct = re.search(r"struct ExecStats \{(.*?)^\};", text, re.S | re.M)
+    if not struct:
+        findings.append(f"{EXECSTATS_HEADER}: [execstats] struct not found")
+        return
+    body = struct.group(1)
+    fields = EXECSTATS_FIELD_RE.findall(body)
+    merged = EXECSTATS_MERGE_RE.findall(body)
+    asserted = EXECSTATS_ASSERT_RE.search(body)
+    if not asserted:
+        findings.append(
+            f"{EXECSTATS_HEADER}: [execstats] sizeof static_assert missing"
+        )
+        return
+    n_assert = int(asserted.group(1))
+    if not (len(fields) == len(merged) == n_assert):
+        findings.append(
+            f"{EXECSTATS_HEADER}: [execstats] {len(fields)} counter fields,"
+            f" {len(merged)} MergeFrom add() lines, static_assert says"
+            f" {n_assert} — all three must match"
+        )
+    if fields != merged:
+        missing = set(fields) ^ set(merged)
+        if missing:
+            findings.append(
+                f"{EXECSTATS_HEADER}: [execstats] fields vs MergeFrom"
+                f" mismatch: {sorted(missing)}"
+            )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent,
+    )
+    args = parser.parse_args()
+    root = args.root
+
+    findings: list[str] = []
+    for subdir in ("src", "fuzz"):
+        for path in sorted((root / subdir).rglob("*")):
+            if path.suffix in (".h", ".cc"):
+                lint_file(path, path.relative_to(root).as_posix(), findings)
+    lint_execstats(root, findings)
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,4 +48,53 @@ fi
   --benchmark_out="$out_file" \
   --benchmark_out_format=json
 
+# Phase attribution: run one representative sharded top-k query through
+# the CLI with telemetry on and fold the per-phase seconds + latency
+# percentiles into the benchmark artifact under "phase_profile", so a
+# BENCH_topk.json regression diff also shows WHERE the time moved.
+cli_bin="$build_dir/src/skyup_cli"
+if [ -x "$cli_bin" ]; then
+  workdir=$(mktemp -d)
+  trap 'rm -rf "$workdir"' EXIT
+  "$cli_bin" generate --out="$workdir/P.csv" --count=20000 --dims=3 \
+    --dist=anti --seed=7
+  "$cli_bin" generate --out="$workdir/T.csv" --count=2000 --dims=3 \
+    --dist=indep --seed=11
+  "$cli_bin" topk --competitors="$workdir/P.csv" \
+    --products="$workdir/T.csv" --k=50 --algorithm=improved --threads=4 \
+    --metrics-out="$workdir/metrics.json" >/dev/null
+  python3 - "$out_file" "$workdir/metrics.json" <<'EOF'
+import json, sys
+out_path, metrics_path = sys.argv[1], sys.argv[2]
+with open(out_path) as f:
+    bench = json.load(f)
+with open(metrics_path) as f:
+    metrics = json.load(f)
+gauges = metrics.get("gauges", {})
+bench["phase_profile"] = {
+    "workload": "anti 20000x2000 d=3 k=50 improved threads=4",
+    "phase_seconds": {
+        name.replace("skyup_phase_", "").replace("_seconds", ""): value
+        for name, value in gauges.items()
+        if name.startswith("skyup_phase_")
+    },
+    "wall_seconds": gauges.get("skyup_query_wall_seconds"),
+    "shards": gauges.get("skyup_query_shards"),
+    "latency": {
+        name.replace("skyup_", "").replace("_seconds", ""): {
+            k: histogram.get(k) for k in ("count", "p50", "p95", "p99")
+        }
+        for name, histogram in metrics.get("histograms", {}).items()
+        if name.endswith("_latency_seconds")
+    },
+}
+with open(out_path, "w") as f:
+    json.dump(bench, f, indent=1)
+    f.write("\n")
+print("merged phase profile into", out_path)
+EOF
+else
+  echo "note: $cli_bin not built; phase_profile section skipped" >&2
+fi
+
 echo "wrote $out_file"

@@ -6,10 +6,14 @@
 #include <set>
 #include <sstream>
 
+#include <fstream>
+
 #include "core/dominance_batch.h"
 #include "core/planner.h"
 #include "core/report.h"
 #include "data/generator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "data/wine.h"
 #include "skyline/skyline.h"
 #include "util/csv.h"
@@ -35,9 +39,16 @@ commands:
              [--algorithm=join|improved|basic|brute] [--lb=nlb|clb|alb]
              [--epsilon=1e-6] [--fanout=64] [--threads=1] [--paper-bounds]
              [--format=text|csv|json] [--flat-index=on|off] [--stats]
+             [--profile] [--trace-out=FILE] [--metrics-out=FILE]
              (--threads: 1 = sequential, 0 = all hardware threads;
               --stats: print work counters — heap pops, nodes visited,
-              block-kernel calls, ... — as trailing '#' lines)
+              block-kernel calls, ... — as trailing '#' lines;
+              --profile: per-phase wall-time breakdown + latency
+              percentiles on stderr;
+              --trace-out: Chrome trace-event JSON of the run — open in
+              chrome://tracing or https://ui.perfetto.dev;
+              --metrics-out: counters/gauges/histograms dump — JSON when
+              FILE ends in .json, Prometheus text otherwise)
   help       show this message
 )";
 
@@ -292,54 +303,113 @@ int CmdTopK(const Flags& flags, std::ostream& out, std::ostream& err) {
     return Usage(err, "topk: --flat-index must be on or off");
   }
   const bool show_stats = flags.GetOr("stats", "false") == "true";
+  const bool profile = flags.GetOr("profile", "false") == "true";
+  const auto trace_path = flags.Get("trace-out");
+  const auto metrics_path = flags.Get("metrics-out");
   Result<ReportFormat> format =
       ParseReportFormat(flags.GetOr("format", "csv"));
   if (!format.ok()) return Usage(err, format.status().message());
   if (flags.ReportUnused(err)) return 2;
 
-  Result<Dataset> competitors = LoadCsvDataset(*competitors_path);
-  if (!competitors.ok()) return Fail(err, competitors.status());
-  Result<Dataset> products = LoadCsvDataset(*products_path);
-  if (!products.ok()) return Fail(err, products.status());
+  // The query body lives in a lambda so the root span closes before the
+  // trace export below reads the buffers.
+  auto run_query = [&]() -> int {
+    SKYUP_TRACE_SPAN("cli/topk");
+    Result<Dataset> competitors = LoadCsvDataset(*competitors_path);
+    if (!competitors.ok()) return Fail(err, competitors.status());
+    Result<Dataset> products = LoadCsvDataset(*products_path);
+    if (!products.ok()) return Fail(err, products.status());
 
-  const size_t dims = competitors->dims();
-  Result<UpgradePlanner> planner = UpgradePlanner::Create(
-      std::move(competitors).value(), std::move(products).value(),
-      ProductCostFunction::ReciprocalSum(dims, 1e-3), options);
-  if (!planner.ok()) return Fail(err, planner.status());
+    const size_t dims = competitors->dims();
+    Result<UpgradePlanner> planner = UpgradePlanner::Create(
+        std::move(competitors).value(), std::move(products).value(),
+        ProductCostFunction::ReciprocalSum(dims, 1e-3), options);
+    if (!planner.ok()) return Fail(err, planner.status());
 
-  Timer timer;
-  ExecStats stats;
-  Result<std::vector<UpgradeResult>> top = planner->TopK(
-      static_cast<size_t>(*k), algo, show_stats ? &stats : nullptr);
-  if (!top.ok()) return Fail(err, top.status());
-  if (*format != ReportFormat::kJson) {
-    out << "# top-" << *k << " upgrades via " << AlgorithmName(algo) << " ("
-        << static_cast<long long>(timer.ElapsedMicros()) << " us)\n";
+    const bool want_telemetry = profile || metrics_path.has_value();
+    Timer timer;
+    ExecStats stats;
+    QueryTelemetry telemetry;
+    Result<std::vector<UpgradeResult>> top = planner->TopK(
+        static_cast<size_t>(*k), algo,
+        (show_stats || metrics_path.has_value()) ? &stats : nullptr,
+        want_telemetry ? &telemetry : nullptr);
+    if (!top.ok()) return Fail(err, top.status());
+    const double wall_seconds = timer.ElapsedSeconds();
+    if (*format != ReportFormat::kJson) {
+      out << "# top-" << *k << " upgrades via " << AlgorithmName(algo) << " ("
+          << static_cast<long long>(wall_seconds * 1e6) << " us)\n";
+    }
+    if (*format == ReportFormat::kCsv) {
+      out << "# rank,product_row,cost,competitive,upgraded...\n";
+    }
+    WriteReport(*top, *format, out);
+    if (show_stats) {
+      // Comment lines keep text/csv output parseable; JSON cannot carry
+      // comments, so there the counters go to the diagnostic stream.
+      std::ostream& s = (*format == ReportFormat::kJson) ? err : out;
+      s << "# stats: kernel=" << BatchKernelName()
+        << " flat_index=" << (options.use_flat_index ? "on" : "off") << "\n"
+        << "# stats: products_processed=" << stats.products_processed
+        << " candidates_pruned=" << stats.candidates_pruned
+        << " upgrade_calls=" << stats.upgrade_calls << "\n"
+        << "# stats: heap_pops=" << stats.heap_pops
+        << " nodes_visited=" << stats.nodes_visited
+        << " points_scanned=" << stats.points_scanned
+        << " block_kernel_calls=" << stats.block_kernel_calls << "\n"
+        << "# stats: dominators_fetched=" << stats.dominators_fetched
+        << " skyline_points_total=" << stats.skyline_points_total
+        << " lbc_evaluations=" << stats.lbc_evaluations
+        << " threshold_updates=" << stats.threshold_updates << "\n";
+    }
+    if (profile) WriteProfile(telemetry, wall_seconds, err);
+    if (metrics_path.has_value()) {
+      MetricsRegistry registry;
+      AddExecStatsMetrics(stats, &registry);
+      AddTelemetryMetrics(telemetry, &registry);
+      registry
+          .AddGauge("skyup_query_wall_seconds",
+                    "end-to-end wall time of the top-k query")
+          ->Set(wall_seconds);
+      std::ofstream metrics_file(*metrics_path);
+      if (!metrics_file) {
+        return Fail(err, Status::IOError("cannot open '" + *metrics_path +
+                                         "' for writing"));
+      }
+      const bool json = metrics_path->size() >= 5 &&
+                        metrics_path->compare(metrics_path->size() - 5, 5,
+                                              ".json") == 0;
+      if (json) {
+        registry.WriteJson(metrics_file);
+      } else {
+        registry.WritePrometheus(metrics_file);
+      }
+    }
+    return 0;
+  };
+
+  if (trace_path.has_value()) {
+    if (kTraceLevel == 0) {
+      err << "# trace: instrumentation compiled out "
+             "(SKYUP_TRACE_LEVEL=off); the trace will hold no spans\n";
+    }
+    EnableTracing();
   }
-  if (*format == ReportFormat::kCsv) {
-    out << "# rank,product_row,cost,competitive,upgraded...\n";
+  const int rc = run_query();
+  if (trace_path.has_value()) {
+    DisableTracing();
+    const Status written = WriteChromeTraceFile(*trace_path);
+    if (!written.ok()) return Fail(err, written);
+    const TraceStats trace_stats = GetTraceStats();
+    err << "# trace: " << trace_stats.events_buffered << " spans from "
+        << trace_stats.threads << " threads -> " << *trace_path;
+    if (trace_stats.events_dropped > 0) {
+      err << " (" << trace_stats.events_dropped
+          << " dropped by full ring buffers)";
+    }
+    err << "\n";
   }
-  WriteReport(*top, *format, out);
-  if (show_stats) {
-    // Comment lines keep text/csv output parseable; JSON cannot carry
-    // comments, so there the counters go to the diagnostic stream.
-    std::ostream& s = (*format == ReportFormat::kJson) ? err : out;
-    s << "# stats: kernel=" << BatchKernelName()
-      << " flat_index=" << (options.use_flat_index ? "on" : "off") << "\n"
-      << "# stats: products_processed=" << stats.products_processed
-      << " candidates_pruned=" << stats.candidates_pruned
-      << " upgrade_calls=" << stats.upgrade_calls << "\n"
-      << "# stats: heap_pops=" << stats.heap_pops
-      << " nodes_visited=" << stats.nodes_visited
-      << " points_scanned=" << stats.points_scanned
-      << " block_kernel_calls=" << stats.block_kernel_calls << "\n"
-      << "# stats: dominators_fetched=" << stats.dominators_fetched
-      << " skyline_points_total=" << stats.skyline_points_total
-      << " lbc_evaluations=" << stats.lbc_evaluations
-      << " threshold_updates=" << stats.threshold_updates << "\n";
-  }
-  return 0;
+  return rc;
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 
 #include "core/dominance.h"
 #include "core/single_upgrade.h"
+#include "obs/trace.h"
 #include "skyline/dominating_skyline.h"
 #include "util/logging.h"
 
@@ -90,7 +91,19 @@ double JoinCursor::JoinListBound(const double* et_min,
                                 pair_lbcs);
 }
 
+void JoinCursor::EnableTelemetry() {
+  if (telemetry_ == nullptr) telemetry_ = std::make_unique<ShardTelemetry>();
+}
+
+void JoinCursor::FlushTelemetry(QueryTelemetry* out) const {
+  if (telemetry_ != nullptr && out != nullptr) telemetry_->FlushInto(out);
+}
+
 std::optional<UpgradeResult> JoinCursor::Next() {
+  ShardTelemetry* tel = telemetry_.get();
+  // Heap pops and the expand/refine bookkeeping around them have no named
+  // phase; close them into `other` so the lap chain stays gapless.
+  LapOther(tel);
   while (!heap_.empty()) {
     HeapItem item = std::move(const_cast<HeapItem&>(heap_.top()));
     heap_.pop();
@@ -113,6 +126,7 @@ std::optional<UpgradeResult> JoinCursor::Next() {
         // constrain this product; refine it before paying for the exact
         // cost (see JoinOptions::refine_zero_bound_leaves).
         std::optional<size_t> pick = ChooseJlEntry(item);
+        LapPrune(tel);
         if (pick.has_value()) {
           RefineJl(std::move(item), *pick);
           continue;
@@ -129,6 +143,7 @@ std::optional<UpgradeResult> JoinCursor::Next() {
     }
     // Heuristic 2 (via 3/4): refine the P side if possible.
     std::optional<size_t> pick = ChooseJlEntry(item);
+    LapPrune(tel);
     if (pick.has_value()) {
       RefineJl(std::move(item), *pick);
     } else {
@@ -141,6 +156,8 @@ std::optional<UpgradeResult> JoinCursor::Next() {
 }
 
 void JoinCursor::ComputeExact(HeapItem item) {
+  ShardTelemetry* tel = telemetry_.get();
+  LapOther(tel);
   const double* t = rt_->dataset().data(item.et.point);
   // The skyline of t's dominators below the join list (Alg. 4 line 9),
   // via a best-first, skyline-pruned traversal seeded from every join-list
@@ -160,6 +177,7 @@ void JoinCursor::ComputeExact(HeapItem item) {
   stats_.heap_pops += probe.heap_pops;
   stats_.dominators_fetched += sky_ids.size();
   stats_.skyline_points_total += sky_ids.size();
+  LapProbe(tel);
 
   std::vector<const double*> dominators;
   dominators.reserve(sky_ids.size());
@@ -169,6 +187,7 @@ void JoinCursor::ComputeExact(HeapItem item) {
   ++stats_.products_processed;
   UpgradeOutcome outcome =
       UpgradeProduct(dominators, t, dims_, *cost_fn_, options_.epsilon);
+  LapUpgrade(tel);
 
   HeapItem exact;
   exact.cost = outcome.cost;
@@ -181,6 +200,8 @@ void JoinCursor::ComputeExact(HeapItem item) {
 }
 
 void JoinCursor::ExpandT(HeapItem item) {
+  ShardTelemetry* tel = telemetry_.get();
+  LapOther(tel);
   ++stats_.t_expansions;
   const RTreeNode* node = item.et.node;
   SKYUP_DCHECK(node != nullptr);
@@ -208,6 +229,8 @@ void JoinCursor::ExpandT(HeapItem item) {
       push_child(EntryRef{child.get(), kInvalidPointId});
     }
   }
+  // The per-child JoinListBound evaluations are the join's pruning work.
+  LapPrune(tel);
 }
 
 std::optional<size_t> JoinCursor::ChooseJlEntry(const HeapItem& item) const {
@@ -245,6 +268,8 @@ std::optional<size_t> JoinCursor::ChooseJlEntry(const HeapItem& item) const {
 }
 
 void JoinCursor::RefineJl(HeapItem item, size_t pick) {
+  ShardTelemetry* tel = telemetry_.get();
+  LapOther(tel);
   ++stats_.p_refinements;
   SKYUP_DCHECK(pick < item.jl.size() && item.jl[pick].is_node());
   const RTreeNode* chosen = item.jl[pick].node;
@@ -292,17 +317,22 @@ void JoinCursor::RefineJl(HeapItem item, size_t pick) {
   item.cost = JoinListBound(TMin(item.et), item.jl, nullptr);
   item.seq = seq_++;
   Push(std::move(item));
+  // Mutual-dominance filtering + the refreshed bound are pruning work.
+  LapPrune(tel);
 }
 
 Result<std::vector<UpgradeResult>> TopKJoin(const RTree& competitors_tree,
                                             const RTree& products_tree,
                                             const ProductCostFunction& cost_fn,
                                             size_t k, JoinOptions options,
-                                            ExecStats* stats) {
+                                            ExecStats* stats,
+                                            QueryTelemetry* telemetry) {
   if (k == 0) return Status::InvalidArgument("k must be at least 1");
+  SKYUP_TRACE_SPAN("topk/join");
   Result<JoinCursor> cursor =
       JoinCursor::Create(&competitors_tree, &products_tree, &cost_fn, options);
   if (!cursor.ok()) return cursor.status();
+  if (telemetry != nullptr) cursor->EnableTelemetry();
 
   std::vector<UpgradeResult> results;
   results.reserve(k);
@@ -312,6 +342,7 @@ Result<std::vector<UpgradeResult>> TopKJoin(const RTree& competitors_tree,
     results.push_back(std::move(*next));
   }
   if (stats != nullptr) *stats = cursor->stats();
+  cursor->FlushTelemetry(telemetry);
   return results;
 }
 

@@ -1,6 +1,7 @@
 #ifndef SKYUP_CORE_JOIN_H_
 #define SKYUP_CORE_JOIN_H_
 
+#include <memory>
 #include <optional>
 #include <queue>
 #include <vector>
@@ -8,6 +9,7 @@
 #include "core/cost_function.h"
 #include "core/lower_bounds.h"
 #include "core/upgrade_result.h"
+#include "obs/phase_timings.h"
 #include "rtree/rtree.h"
 #include "util/status.h"
 
@@ -62,6 +64,16 @@ class JoinCursor {
   std::optional<UpgradeResult> Next();
 
   const ExecStats& stats() const { return stats_; }
+
+  /// Starts collecting phase timings and latency histograms. Off by
+  /// default: the cursor's phase clock is chained, so between-`Next()`
+  /// caller time would be attributed too — enable only when the cursor is
+  /// driven to completion in one stretch (as `TopKJoin` does).
+  void EnableTelemetry();
+
+  /// Flushes collected telemetry (one shard: the cursor is sequential)
+  /// into `out`; no-op unless `EnableTelemetry` was called.
+  void FlushTelemetry(QueryTelemetry* out) const;
 
  private:
   /// A T-side or P-side R-tree entry: a node, or a data point (leaf entry).
@@ -134,6 +146,9 @@ class JoinCursor {
   // Mutable: const helpers (bound computation, entry choice) account their
   // work here.
   mutable ExecStats stats_;
+  // By pointer so the cursor stays movable (ShardTelemetry pins itself);
+  // null until EnableTelemetry.
+  std::unique_ptr<ShardTelemetry> telemetry_;
 };
 
 /// One-shot wrapper: runs the cursor until `k` results (or exhaustion of
@@ -142,7 +157,8 @@ Result<std::vector<UpgradeResult>> TopKJoin(const RTree& competitors_tree,
                                             const RTree& products_tree,
                                             const ProductCostFunction& cost_fn,
                                             size_t k, JoinOptions options = {},
-                                            ExecStats* stats = nullptr);
+                                            ExecStats* stats = nullptr,
+                                            QueryTelemetry* telemetry = nullptr);
 
 }  // namespace skyup
 

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "core/dominance.h"
 #include "core/lower_bounds.h"
 #include "core/single_upgrade.h"
 #include "core/topk_common.h"
+#include "obs/trace.h"
 #include "rtree/mbr.h"
 #include "skyline/dominating_skyline.h"
 #include "skyline/skyline.h"
@@ -21,15 +24,20 @@ struct ShardState {
   explicit ShardState(size_t k) : collector(k) {}
   TopKCollector collector;
   ExecStats stats;
+  // Allocated inside the worker (not here) so the phase clock's first lap
+  // starts when the shard starts, not when the engine sets up.
+  std::unique_ptr<ShardTelemetry> telemetry;
 };
 
 // The shared engine behind every parallel entry point.
 //
-// `lower_bound(t, &stats)` returns a sound lower bound on the candidate's
-// upgrade cost (0 disables pruning for that candidate); `evaluate(tid, t,
-// &stats)` computes the exact outcome and must bump `upgrade_calls` exactly
-// once, so `upgrade_calls + candidates_pruned == products_processed` holds
-// for the aggregate.
+// `lower_bound(t, &stats, tel)` returns a sound lower bound on the
+// candidate's upgrade cost (0 disables pruning for that candidate);
+// `evaluate(tid, t, &stats, tel)` computes the exact outcome and must bump
+// `upgrade_calls` exactly once, so `upgrade_calls + candidates_pruned ==
+// products_processed` holds for the aggregate. `tel` is the shard's
+// telemetry context (null when the caller asked for none); callbacks lap
+// it after each phase they own.
 //
 // Exactness of the pruning: the shared threshold tau is the minimum over
 // shards of each shard's local k-th-best cost, hence tau never drops below
@@ -42,9 +50,12 @@ std::vector<UpgradeResult> RunShardedTopK(const Dataset& products, size_t k,
                                           size_t threads,
                                           const LowerBoundFn& lower_bound,
                                           const EvaluateFn& evaluate,
-                                          ExecStats* stats) {
+                                          ExecStats* stats,
+                                          QueryTelemetry* telemetry) {
   threads = ResolveThreadCount(threads, products.size());
-  std::vector<ShardState> shards(threads, ShardState(k));
+  std::vector<ShardState> shards;
+  shards.reserve(threads);
+  for (size_t s = 0; s < threads; ++s) shards.emplace_back(k);
   AtomicCostThreshold threshold;
 
   ParallelFor(
@@ -52,7 +63,17 @@ std::vector<UpgradeResult> RunShardedTopK(const Dataset& products, size_t k,
       [&](size_t shard, size_t begin, size_t end) {
         SKYUP_DCHECK(shard < shards.size());
         SKYUP_DCHECK(begin <= end && end <= products.size());
+        SKYUP_TRACE_SPAN("topk/shard");
+        // Shard 0 runs on the calling thread (util/parallel.h) — leave
+        // that track's name alone; spawned workers get a shard track.
+        if (shard != 0 && TraceEnabled()) {
+          SetTraceThreadName("shard " + std::to_string(shard));
+        }
         ShardState& state = shards[shard];
+        if (telemetry != nullptr) {
+          state.telemetry = std::make_unique<ShardTelemetry>();
+        }
+        ShardTelemetry* tel = state.telemetry.get();
         for (size_t i = begin; i < end; ++i) {
           const PointId tid = static_cast<PointId>(i);
           const double* t = products.data(tid);
@@ -61,12 +82,14 @@ std::vector<UpgradeResult> RunShardedTopK(const Dataset& products, size_t k,
           // Cheap sound bound first: if even the bound cannot beat the
           // shared k-th-best threshold, skip the skyline + Algorithm 1
           // work entirely.
-          if (lower_bound(t, &state.stats) > threshold.Get()) {
+          const double bound = lower_bound(t, &state.stats, tel);
+          LapPrune(tel);
+          if (bound > threshold.Get()) {
             ++state.stats.candidates_pruned;
             continue;
           }
 
-          UpgradeOutcome outcome = evaluate(tid, t, &state.stats);
+          UpgradeOutcome outcome = evaluate(tid, t, &state.stats, tel);
 
           // Admission before building the result payload: both the shared
           // threshold and the shard's own k-th best must admit the cost.
@@ -82,17 +105,35 @@ std::vector<UpgradeResult> RunShardedTopK(const Dataset& products, size_t k,
             ++state.stats.threshold_updates;
           }
         }
+        LapOther(tel);
       });
 
+  // Engine-side merge: the only phase that runs outside the shards, so it
+  // is clocked separately and folded into the query roll-up (per-shard
+  // entries stay pure worker time).
+  PhaseTimings merge_timings;
   std::vector<UpgradeResult> merged;
   ExecStats total;
-  for (ShardState& shard : shards) {
-    std::vector<UpgradeResult> local = shard.collector.Finish();
-    for (UpgradeResult& r : local) merged.push_back(std::move(r));
-    total.MergeFrom(shard.stats);
+  {
+    SKYUP_TRACE_SPAN("topk/merge");
+    PhaseClock merge_clock(telemetry != nullptr ? &merge_timings : nullptr);
+    for (ShardState& shard : shards) {
+      std::vector<UpgradeResult> local = shard.collector.Finish();
+      for (UpgradeResult& r : local) merged.push_back(std::move(r));
+      total.MergeFrom(shard.stats);
+    }
+    std::sort(merged.begin(), merged.end(), UpgradeResultBefore);
+    if (merged.size() > k) merged.resize(k);
+    merge_clock.Lap(&PhaseTimings::merge_seconds);
   }
-  std::sort(merged.begin(), merged.end(), UpgradeResultBefore);
-  if (merged.size() > k) merged.resize(k);
+  if (telemetry != nullptr) {
+    for (const ShardState& shard : shards) {
+      // A shard stays telemetry-less only if ParallelFor never ran its
+      // body (empty input).
+      if (shard.telemetry != nullptr) shard.telemetry->FlushInto(telemetry);
+    }
+    telemetry->phases.total.merge_seconds += merge_timings.merge_seconds;
+  }
   // The accounting identity documented above, now over the aggregate.
   SKYUP_DCHECK(total.upgrade_calls + total.candidates_pruned ==
                total.products_processed);
@@ -116,24 +157,27 @@ double TightBoxBound(const double* lo, const double* hi, const double* t,
 Result<std::vector<UpgradeResult>> TopKImprovedProbingParallel(
     const RTree& competitors_tree, const Dataset& products,
     const ProductCostFunction& cost_fn, size_t k, double epsilon,
-    size_t threads, ExecStats* stats) {
+    size_t threads, ExecStats* stats, QueryTelemetry* telemetry) {
   SKYUP_RETURN_IF_ERROR(ValidateTopKArgs(competitors_tree.dataset().dims(),
                                          products, cost_fn, k, epsilon));
   // Once per query, before the shards fan out: every per-candidate prune
   // below leans on a sound index and a monotone cost function.
   SKYUP_PARANOID_OK(competitors_tree.Validate());
   SKYUP_PARANOID_OK(SpotCheckCostMonotonicity(cost_fn, products));
+  SKYUP_TRACE_SPAN("topk/improved-probing-parallel");
   const Dataset& competitors = competitors_tree.dataset();
   const size_t dims = products.dims();
   const RTreeNode* root = competitors_tree.root();
   const bool have_box = root != nullptr && !root->mbr.IsEmpty();
 
-  auto bound = [&, have_box](const double* t, ExecStats* st) {
+  auto bound = [&, have_box](const double* t, ExecStats* st,
+                             ShardTelemetry* /*tel*/) {
     if (!have_box) return 0.0;
     return TightBoxBound(root->mbr.min_data(), root->mbr.max_data(), t, dims,
                          cost_fn, st);
   };
-  auto evaluate = [&](PointId /*tid*/, const double* t, ExecStats* st) {
+  auto evaluate = [&](PointId /*tid*/, const double* t, ExecStats* st,
+                      ShardTelemetry* tel) {
     ProbeStats probe;
     std::vector<PointId> sky_ids =
         DominatingSkyline(competitors_tree, t, &probe);
@@ -143,36 +187,44 @@ Result<std::vector<UpgradeResult>> TopKImprovedProbingParallel(
     st->block_kernel_calls += probe.block_kernel_calls;
     st->dominators_fetched += sky_ids.size();
     st->skyline_points_total += sky_ids.size();
+    LapProbe(tel);
 
     std::vector<const double*> skyline;
     skyline.reserve(sky_ids.size());
     for (PointId id : sky_ids) skyline.push_back(competitors.data(id));
 
     ++st->upgrade_calls;
-    return UpgradeProduct(skyline, t, dims, cost_fn, epsilon);
+    UpgradeOutcome outcome = UpgradeProduct(skyline, t, dims, cost_fn,
+                                            epsilon);
+    LapUpgrade(tel);
+    return outcome;
   };
-  return RunShardedTopK(products, k, threads, bound, evaluate, stats);
+  return RunShardedTopK(products, k, threads, bound, evaluate, stats,
+                        telemetry);
 }
 
 Result<std::vector<UpgradeResult>> TopKImprovedProbingParallel(
     const FlatRTree& competitors_index, const Dataset& products,
     const ProductCostFunction& cost_fn, size_t k, double epsilon,
-    size_t threads, ExecStats* stats) {
+    size_t threads, ExecStats* stats, QueryTelemetry* telemetry) {
   SKYUP_RETURN_IF_ERROR(ValidateTopKArgs(competitors_index.dataset().dims(),
                                          products, cost_fn, k, epsilon));
   SKYUP_PARANOID_OK(competitors_index.Validate());
   SKYUP_PARANOID_OK(SpotCheckCostMonotonicity(cost_fn, products));
+  SKYUP_TRACE_SPAN("topk/improved-probing-parallel-flat");
   const Dataset& competitors = competitors_index.dataset();
   const size_t dims = products.dims();
   const Mbr root_mbr = competitors_index.root_mbr();
   const bool have_box = !root_mbr.IsEmpty();
 
-  auto bound = [&, have_box](const double* t, ExecStats* st) {
+  auto bound = [&, have_box](const double* t, ExecStats* st,
+                             ShardTelemetry* /*tel*/) {
     if (!have_box) return 0.0;
     return TightBoxBound(root_mbr.min_data(), root_mbr.max_data(), t, dims,
                          cost_fn, st);
   };
-  auto evaluate = [&](PointId /*tid*/, const double* t, ExecStats* st) {
+  auto evaluate = [&](PointId /*tid*/, const double* t, ExecStats* st,
+                      ShardTelemetry* tel) {
     ProbeStats probe;
     std::vector<PointId> sky_ids =
         DominatingSkyline(competitors_index, t, &probe);
@@ -182,36 +234,44 @@ Result<std::vector<UpgradeResult>> TopKImprovedProbingParallel(
     st->block_kernel_calls += probe.block_kernel_calls;
     st->dominators_fetched += sky_ids.size();
     st->skyline_points_total += sky_ids.size();
+    LapProbe(tel);
 
     std::vector<const double*> skyline;
     skyline.reserve(sky_ids.size());
     for (PointId id : sky_ids) skyline.push_back(competitors.data(id));
 
     ++st->upgrade_calls;
-    return UpgradeProduct(skyline, t, dims, cost_fn, epsilon);
+    UpgradeOutcome outcome = UpgradeProduct(skyline, t, dims, cost_fn,
+                                            epsilon);
+    LapUpgrade(tel);
+    return outcome;
   };
-  return RunShardedTopK(products, k, threads, bound, evaluate, stats);
+  return RunShardedTopK(products, k, threads, bound, evaluate, stats,
+                        telemetry);
 }
 
 Result<std::vector<UpgradeResult>> TopKBasicProbingParallel(
     const RTree& competitors_tree, const Dataset& products,
     const ProductCostFunction& cost_fn, size_t k, double epsilon,
-    size_t threads, ExecStats* stats) {
+    size_t threads, ExecStats* stats, QueryTelemetry* telemetry) {
   SKYUP_RETURN_IF_ERROR(ValidateTopKArgs(competitors_tree.dataset().dims(),
                                          products, cost_fn, k, epsilon));
   SKYUP_PARANOID_OK(competitors_tree.Validate());
   SKYUP_PARANOID_OK(SpotCheckCostMonotonicity(cost_fn, products));
+  SKYUP_TRACE_SPAN("topk/basic-probing-parallel");
   const Dataset& competitors = competitors_tree.dataset();
   const size_t dims = products.dims();
   const RTreeNode* root = competitors_tree.root();
   const bool have_box = root != nullptr && !root->mbr.IsEmpty();
 
-  auto bound = [&, have_box](const double* t, ExecStats* st) {
+  auto bound = [&, have_box](const double* t, ExecStats* st,
+                             ShardTelemetry* /*tel*/) {
     if (!have_box) return 0.0;
     return TightBoxBound(root->mbr.min_data(), root->mbr.max_data(), t, dims,
                          cost_fn, st);
   };
-  auto evaluate = [&](PointId /*tid*/, const double* t, ExecStats* st) {
+  auto evaluate = [&](PointId /*tid*/, const double* t, ExecStats* st,
+                      ShardTelemetry* tel) {
     // Range query over the anti-dominant region ADR(t) = (-inf, t].
     std::vector<double> lo(dims, -std::numeric_limits<double>::infinity());
     const Mbr adr = Mbr::FromCorners(lo.data(), t, dims);
@@ -227,23 +287,30 @@ Result<std::vector<UpgradeResult>> TopKBasicProbingParallel(
       if (Dominates(q, t, dims)) dominators.push_back(q);
     }
     st->dominators_fetched += dominators.size();
+    LapProbe(tel);
 
     SkylineOfPointers(&dominators, dims);
     st->skyline_points_total += dominators.size();
+    LapSkyline(tel);
 
     ++st->upgrade_calls;
-    return UpgradeProduct(dominators, t, dims, cost_fn, epsilon);
+    UpgradeOutcome outcome =
+        UpgradeProduct(dominators, t, dims, cost_fn, epsilon);
+    LapUpgrade(tel);
+    return outcome;
   };
-  return RunShardedTopK(products, k, threads, bound, evaluate, stats);
+  return RunShardedTopK(products, k, threads, bound, evaluate, stats,
+                        telemetry);
 }
 
 Result<std::vector<UpgradeResult>> TopKBruteForceParallel(
     const Dataset& competitors, const Dataset& products,
     const ProductCostFunction& cost_fn, size_t k, double epsilon,
-    size_t threads, ExecStats* stats) {
+    size_t threads, ExecStats* stats, QueryTelemetry* telemetry) {
   SKYUP_RETURN_IF_ERROR(
       ValidateTopKArgs(competitors.dims(), products, cost_fn, k, epsilon));
   SKYUP_PARANOID_OK(SpotCheckCostMonotonicity(cost_fn, products));
+  SKYUP_TRACE_SPAN("topk/brute-force-parallel");
   const size_t dims = products.dims();
   // MinCorner/MaxCorner span a tight box over P — the same guarantee an
   // R-tree root MBR gives, so the sound pruning bound applies unchanged.
@@ -251,25 +318,33 @@ Result<std::vector<UpgradeResult>> TopKBruteForceParallel(
   const std::vector<double> hi = competitors.MaxCorner();
   const bool have_box = !competitors.empty();
 
-  auto bound = [&, have_box](const double* t, ExecStats* st) {
+  auto bound = [&, have_box](const double* t, ExecStats* st,
+                             ShardTelemetry* /*tel*/) {
     if (!have_box) return 0.0;
     return TightBoxBound(lo.data(), hi.data(), t, dims, cost_fn, st);
   };
-  auto evaluate = [&](PointId /*tid*/, const double* t, ExecStats* st) {
+  auto evaluate = [&](PointId /*tid*/, const double* t, ExecStats* st,
+                      ShardTelemetry* tel) {
     std::vector<const double*> dominators;
     for (size_t j = 0; j < competitors.size(); ++j) {
       const double* q = competitors.data(static_cast<PointId>(j));
       if (Dominates(q, t, dims)) dominators.push_back(q);
     }
     st->dominators_fetched += dominators.size();
+    LapProbe(tel);
 
     SkylineOfPointers(&dominators, dims);
     st->skyline_points_total += dominators.size();
+    LapSkyline(tel);
 
     ++st->upgrade_calls;
-    return UpgradeProduct(dominators, t, dims, cost_fn, epsilon);
+    UpgradeOutcome outcome =
+        UpgradeProduct(dominators, t, dims, cost_fn, epsilon);
+    LapUpgrade(tel);
+    return outcome;
   };
-  return RunShardedTopK(products, k, threads, bound, evaluate, stats);
+  return RunShardedTopK(products, k, threads, bound, evaluate, stats,
+                        telemetry);
 }
 
 }  // namespace skyup

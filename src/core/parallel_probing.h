@@ -16,12 +16,19 @@
 // k-th-best cost, pruning is exact: results are bit-identical to the
 // sequential algorithms for every thread count. docs/algorithms.md has the
 // full soundness argument.
+//
+// With `telemetry` non-null every worker collects a shard-local
+// `ShardTelemetry` (phase timings + latency histograms) that is flushed
+// into the query-level breakdown on the merging thread; per-shard entries
+// index by worker, and the engine-side merge/sort lands in
+// `phases.total.merge_seconds` (obs/phase_timings.h).
 
 #include <vector>
 
 #include "core/cost_function.h"
 #include "core/dataset.h"
 #include "core/upgrade_result.h"
+#include "obs/phase_timings.h"
 #include "rtree/flat_rtree.h"
 #include "rtree/rtree.h"
 #include "util/status.h"
@@ -34,7 +41,8 @@ namespace skyup {
 Result<std::vector<UpgradeResult>> TopKImprovedProbingParallel(
     const RTree& competitors_tree, const Dataset& products,
     const ProductCostFunction& cost_fn, size_t k, double epsilon = 1e-6,
-    size_t threads = 0, ExecStats* stats = nullptr);
+    size_t threads = 0, ExecStats* stats = nullptr,
+    QueryTelemetry* telemetry = nullptr);
 
 /// Parallel improved probing over the flat arena snapshot: the sharded
 /// engine with every worker running the batched SoA probe
@@ -44,14 +52,16 @@ Result<std::vector<UpgradeResult>> TopKImprovedProbingParallel(
 Result<std::vector<UpgradeResult>> TopKImprovedProbingParallel(
     const FlatRTree& competitors_index, const Dataset& products,
     const ProductCostFunction& cost_fn, size_t k, double epsilon = 1e-6,
-    size_t threads = 0, ExecStats* stats = nullptr);
+    size_t threads = 0, ExecStats* stats = nullptr,
+    QueryTelemetry* telemetry = nullptr);
 
 /// Parallel basic probing (ADR range query per candidate). Same contract
 /// and results as `TopKBasicProbing`.
 Result<std::vector<UpgradeResult>> TopKBasicProbingParallel(
     const RTree& competitors_tree, const Dataset& products,
     const ProductCostFunction& cost_fn, size_t k, double epsilon = 1e-6,
-    size_t threads = 0, ExecStats* stats = nullptr);
+    size_t threads = 0, ExecStats* stats = nullptr,
+    QueryTelemetry* telemetry = nullptr);
 
 /// Parallel index-free oracle (linear dominator scan per candidate). Same
 /// contract and results as `TopKBruteForce`; the pruning bound uses the
@@ -59,7 +69,8 @@ Result<std::vector<UpgradeResult>> TopKBasicProbingParallel(
 Result<std::vector<UpgradeResult>> TopKBruteForceParallel(
     const Dataset& competitors, const Dataset& products,
     const ProductCostFunction& cost_fn, size_t k, double epsilon = 1e-6,
-    size_t threads = 0, ExecStats* stats = nullptr);
+    size_t threads = 0, ExecStats* stats = nullptr,
+    QueryTelemetry* telemetry = nullptr);
 
 }  // namespace skyup
 

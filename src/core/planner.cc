@@ -3,9 +3,11 @@
 #include <algorithm>
 
 #include "core/parallel_probing.h"
-#include "skyline/dominating_skyline.h"
 #include "core/single_upgrade.h"
+#include "obs/trace.h"
+#include "skyline/dominating_skyline.h"
 #include "util/logging.h"
+#include "util/timer.h"
 
 namespace skyup {
 
@@ -58,6 +60,7 @@ Result<UpgradePlanner> UpgradePlanner::Create(Dataset competitors,
   if (options.rtree_fanout < 2) {
     return Status::InvalidArgument("R-tree fanout must be at least 2");
   }
+  SKYUP_TRACE_SPAN("planner/create");
 
   if (options.validate_monotonicity) {
     std::vector<double> lo = competitors.MinCorner();
@@ -86,16 +89,20 @@ Result<UpgradePlanner> UpgradePlanner::Create(Dataset competitors,
 
   RTree::Options tree_options;
   tree_options.max_entries = options.rtree_fanout;
-  Result<RTree> rp = RTree::BulkLoad(*planner.competitors_, tree_options);
-  if (!rp.ok()) return rp.status();
-  Result<RTree> rt = RTree::BulkLoad(*planner.products_, tree_options);
-  if (!rt.ok()) return rt.status();
-  planner.rp_ = std::make_unique<RTree>(std::move(rp).value());
-  planner.rt_ = std::make_unique<RTree>(std::move(rt).value());
+  {
+    SKYUP_TRACE_SPAN("planner/bulk-load");
+    Result<RTree> rp = RTree::BulkLoad(*planner.competitors_, tree_options);
+    if (!rp.ok()) return rp.status();
+    Result<RTree> rt = RTree::BulkLoad(*planner.products_, tree_options);
+    if (!rt.ok()) return rt.status();
+    planner.rp_ = std::make_unique<RTree>(std::move(rp).value());
+    planner.rt_ = std::make_unique<RTree>(std::move(rt).value());
+  }
   if (options.use_flat_index) {
     // One BFS pass over the freshly loaded pointer tree; the snapshot
     // shares the planner's competitor dataset, whose address is stable
     // (unique_ptr member).
+    SKYUP_TRACE_SPAN("planner/flat-snapshot");
     planner.fp_ =
         std::make_unique<FlatRTree>(FlatRTree::FromTree(*planner.rp_));
   }
@@ -103,42 +110,45 @@ Result<UpgradePlanner> UpgradePlanner::Create(Dataset competitors,
 }
 
 Result<std::vector<UpgradeResult>> UpgradePlanner::TopK(
-    size_t k, Algorithm algorithm, ExecStats* stats) const {
+    size_t k, Algorithm algorithm, ExecStats* stats,
+    QueryTelemetry* telemetry) const {
   const bool parallel = options_.threads != 1;
   switch (algorithm) {
     case Algorithm::kBruteForce:
       if (parallel) {
         return TopKBruteForceParallel(*competitors_, *products_, *cost_fn_,
                                       k, options_.epsilon, options_.threads,
-                                      stats);
+                                      stats, telemetry);
       }
       return TopKBruteForce(*competitors_, *products_, *cost_fn_, k,
-                            options_.epsilon, stats);
+                            options_.epsilon, stats, telemetry);
     case Algorithm::kBasicProbing:
       if (parallel) {
         return TopKBasicProbingParallel(*rp_, *products_, *cost_fn_, k,
                                         options_.epsilon, options_.threads,
-                                        stats);
+                                        stats, telemetry);
       }
       return TopKBasicProbing(*rp_, *products_, *cost_fn_, k,
-                              options_.epsilon, stats);
+                              options_.epsilon, stats, telemetry);
     case Algorithm::kImprovedProbing:
       if (fp_ != nullptr) {
         if (parallel) {
           return TopKImprovedProbingParallel(*fp_, *products_, *cost_fn_, k,
                                              options_.epsilon,
-                                             options_.threads, stats);
+                                             options_.threads, stats,
+                                             telemetry);
         }
         return TopKImprovedProbing(*fp_, *products_, *cost_fn_, k,
-                                   options_.epsilon, stats);
+                                   options_.epsilon, stats, telemetry);
       }
       if (parallel) {
         return TopKImprovedProbingParallel(*rp_, *products_, *cost_fn_, k,
                                            options_.epsilon,
-                                           options_.threads, stats);
+                                           options_.threads, stats,
+                                           telemetry);
       }
       return TopKImprovedProbing(*rp_, *products_, *cost_fn_, k,
-                                 options_.epsilon, stats);
+                                 options_.epsilon, stats, telemetry);
     case Algorithm::kJoin: {
       JoinOptions join_options;
       join_options.lower_bound = options_.lower_bound;
@@ -148,10 +158,25 @@ Result<std::vector<UpgradeResult>> UpgradePlanner::TopK(
           options_.mutual_dominance_pruning;
       join_options.refine_zero_bound_leaves =
           options_.refine_zero_bound_leaves;
-      return TopKJoin(*rp_, *rt_, *cost_fn_, k, join_options, stats);
+      return TopKJoin(*rp_, *rt_, *cost_fn_, k, join_options, stats,
+                      telemetry);
     }
   }
   return Status::InvalidArgument("unknown algorithm");
+}
+
+Result<TopKReport> UpgradePlanner::TopKWithReport(size_t k,
+                                                  Algorithm algorithm) const {
+  TopKReport report;
+  report.algorithm = algorithm;
+  report.k = k;
+  Timer wall;
+  Result<std::vector<UpgradeResult>> results =
+      TopK(k, algorithm, &report.stats, &report.telemetry);
+  if (!results.ok()) return results.status();
+  report.wall_seconds = wall.ElapsedSeconds();
+  report.results = std::move(results).value();
+  return report;
 }
 
 Result<JoinCursor> UpgradePlanner::OpenJoinCursor() const {

@@ -10,6 +10,7 @@
 #include "core/lower_bounds.h"
 #include "core/probing.h"
 #include "core/upgrade_result.h"
+#include "obs/phase_timings.h"
 #include "rtree/flat_rtree.h"
 #include "rtree/rtree.h"
 #include "util/status.h"
@@ -25,6 +26,21 @@ enum class Algorithm {
 };
 
 const char* AlgorithmName(Algorithm algorithm);
+
+/// One query's full observability payload: the ranked answers plus the
+/// work counters, phase breakdown, latency histograms, and wall time that
+/// explain them. Returned by `UpgradePlanner::TopKWithReport`; the CLI's
+/// `--profile` / `--metrics-out` and bench phase attribution feed on it.
+struct TopKReport {
+  std::vector<UpgradeResult> results;
+  ExecStats stats;
+  QueryTelemetry telemetry;
+  /// End-to-end wall seconds of the query (`util/timer.h` steady clock),
+  /// including engine overhead the phase laps do not attribute.
+  double wall_seconds = 0.0;
+  Algorithm algorithm = Algorithm::kImprovedProbing;
+  size_t k = 0;
+};
 
 /// Facade configuration.
 struct PlannerOptions {
@@ -81,9 +97,17 @@ class UpgradePlanner {
   UpgradePlanner(const UpgradePlanner&) = delete;
   UpgradePlanner& operator=(const UpgradePlanner&) = delete;
 
-  /// The k cheapest upgrades, ascending by (cost, product id).
-  Result<std::vector<UpgradeResult>> TopK(size_t k, Algorithm algorithm,
-                                          ExecStats* stats = nullptr) const;
+  /// The k cheapest upgrades, ascending by (cost, product id). With
+  /// `telemetry` non-null the engines additionally collect per-phase wall
+  /// times and latency histograms (obs/phase_timings.h) — leave it null on
+  /// hot paths that do not need them.
+  Result<std::vector<UpgradeResult>> TopK(
+      size_t k, Algorithm algorithm, ExecStats* stats = nullptr,
+      QueryTelemetry* telemetry = nullptr) const;
+
+  /// `TopK` plus the full observability payload (stats, phase breakdown,
+  /// histograms, wall time) in one call.
+  Result<TopKReport> TopKWithReport(size_t k, Algorithm algorithm) const;
 
   /// Progressive join execution; the planner must outlive the cursor.
   Result<JoinCursor> OpenJoinCursor() const;

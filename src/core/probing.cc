@@ -2,30 +2,50 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 
 #include "core/dominance.h"
 #include "core/single_upgrade.h"
 #include "core/topk_common.h"
+#include "obs/trace.h"
 #include "skyline/dominating_skyline.h"
 #include "skyline/skyline.h"
 #include "util/logging.h"
 
 namespace skyup {
 
+namespace {
+
+// Shard telemetry for the sequential engines: one shard, allocated only
+// when the caller asked for telemetry (the null path costs one pointer
+// test per phase boundary).
+std::unique_ptr<ShardTelemetry> MakeShardTelemetry(QueryTelemetry* telemetry) {
+  return telemetry != nullptr ? std::make_unique<ShardTelemetry>() : nullptr;
+}
+
+void FlushShardTelemetry(const std::unique_ptr<ShardTelemetry>& shard,
+                         QueryTelemetry* telemetry) {
+  if (shard != nullptr) shard->FlushInto(telemetry);
+}
+
+}  // namespace
+
 Result<std::vector<UpgradeResult>> TopKBasicProbing(
     const RTree& competitors_tree, const Dataset& products,
     const ProductCostFunction& cost_fn, size_t k, double epsilon,
-    ExecStats* stats) {
+    ExecStats* stats, QueryTelemetry* telemetry) {
   SKYUP_RETURN_IF_ERROR(ValidateTopKArgs(competitors_tree.dataset().dims(),
                                          products, cost_fn, k, epsilon));
   // Once per query, not per probe: index structure and cost-function
   // monotonicity are what every per-probe prune relies on.
   SKYUP_PARANOID_OK(competitors_tree.Validate());
   SKYUP_PARANOID_OK(SpotCheckCostMonotonicity(cost_fn, products));
+  SKYUP_TRACE_SPAN("topk/basic-probing");
   ExecStats local;
   ExecStats* st = stats != nullptr ? stats : &local;
   const Dataset& competitors = competitors_tree.dataset();
   const size_t dims = products.dims();
+  std::unique_ptr<ShardTelemetry> shard = MakeShardTelemetry(telemetry);
 
   TopKCollector collector(k);
   std::vector<PointId> dominator_ids;
@@ -49,18 +69,25 @@ Result<std::vector<UpgradeResult>> TopKBasicProbing(
       if (Dominates(q, t, dims)) dominators.push_back(q);
     }
     st->dominators_fetched += dominators.size();
+    LapProbe(shard.get());
 
     SkylineOfPointers(&dominators, dims);
     st->skyline_points_total += dominators.size();
+    LapSkyline(shard.get());
 
     ++st->upgrade_calls;
     UpgradeOutcome outcome =
         UpgradeProduct(dominators, t, dims, cost_fn, epsilon);
+    LapUpgrade(shard.get());
     if (!collector.Admits(outcome.cost)) continue;
     collector.Add(UpgradeResult{tid, outcome.cost, std::move(outcome.upgraded),
                                 outcome.already_competitive});
   }
-  return collector.Finish();
+  LapOther(shard.get());
+  std::vector<UpgradeResult> results = collector.Finish();
+  LapMerge(shard.get());
+  FlushShardTelemetry(shard, telemetry);
+  return results;
 }
 
 namespace {
@@ -74,17 +101,19 @@ template <typename Index>
 Result<std::vector<UpgradeResult>> TopKImprovedProbingImpl(
     const Index& competitors_index, const Dataset& products,
     const ProductCostFunction& cost_fn, size_t k, double epsilon,
-    ExecStats* stats) {
+    ExecStats* stats, QueryTelemetry* telemetry) {
   SKYUP_RETURN_IF_ERROR(ValidateTopKArgs(competitors_index.dataset().dims(),
                                          products, cost_fn, k, epsilon));
   // Both index forms expose Status Validate(); run it once per query here
   // rather than per probe inside DominatingSkyline.
   SKYUP_PARANOID_OK(competitors_index.Validate());
   SKYUP_PARANOID_OK(SpotCheckCostMonotonicity(cost_fn, products));
+  SKYUP_TRACE_SPAN("topk/improved-probing");
   ExecStats local;
   ExecStats* st = stats != nullptr ? stats : &local;
   const Dataset& competitors = competitors_index.dataset();
   const size_t dims = products.dims();
+  std::unique_ptr<ShardTelemetry> shard = MakeShardTelemetry(telemetry);
 
   TopKCollector collector(k);
   std::vector<const double*> skyline;
@@ -102,6 +131,7 @@ Result<std::vector<UpgradeResult>> TopKImprovedProbingImpl(
     st->block_kernel_calls += probe.block_kernel_calls;
     st->dominators_fetched += sky_ids.size();
     st->skyline_points_total += sky_ids.size();
+    LapProbe(shard.get());
 
     skyline.clear();
     skyline.reserve(sky_ids.size());
@@ -110,11 +140,16 @@ Result<std::vector<UpgradeResult>> TopKImprovedProbingImpl(
     ++st->upgrade_calls;
     UpgradeOutcome outcome = UpgradeProduct(skyline, t, dims, cost_fn,
                                             epsilon);
+    LapUpgrade(shard.get());
     if (!collector.Admits(outcome.cost)) continue;
     collector.Add(UpgradeResult{tid, outcome.cost, std::move(outcome.upgraded),
                                 outcome.already_competitive});
   }
-  return collector.Finish();
+  LapOther(shard.get());
+  std::vector<UpgradeResult> results = collector.Finish();
+  LapMerge(shard.get());
+  FlushShardTelemetry(shard, telemetry);
+  return results;
 }
 
 }  // namespace
@@ -122,29 +157,31 @@ Result<std::vector<UpgradeResult>> TopKImprovedProbingImpl(
 Result<std::vector<UpgradeResult>> TopKImprovedProbing(
     const RTree& competitors_tree, const Dataset& products,
     const ProductCostFunction& cost_fn, size_t k, double epsilon,
-    ExecStats* stats) {
+    ExecStats* stats, QueryTelemetry* telemetry) {
   return TopKImprovedProbingImpl(competitors_tree, products, cost_fn, k,
-                                 epsilon, stats);
+                                 epsilon, stats, telemetry);
 }
 
 Result<std::vector<UpgradeResult>> TopKImprovedProbing(
     const FlatRTree& competitors_index, const Dataset& products,
     const ProductCostFunction& cost_fn, size_t k, double epsilon,
-    ExecStats* stats) {
+    ExecStats* stats, QueryTelemetry* telemetry) {
   return TopKImprovedProbingImpl(competitors_index, products, cost_fn, k,
-                                 epsilon, stats);
+                                 epsilon, stats, telemetry);
 }
 
 Result<std::vector<UpgradeResult>> TopKBruteForce(
     const Dataset& competitors, const Dataset& products,
     const ProductCostFunction& cost_fn, size_t k, double epsilon,
-    ExecStats* stats) {
+    ExecStats* stats, QueryTelemetry* telemetry) {
   SKYUP_RETURN_IF_ERROR(
       ValidateTopKArgs(competitors.dims(), products, cost_fn, k, epsilon));
   SKYUP_PARANOID_OK(SpotCheckCostMonotonicity(cost_fn, products));
+  SKYUP_TRACE_SPAN("topk/brute-force");
   ExecStats local;
   ExecStats* st = stats != nullptr ? stats : &local;
   const size_t dims = products.dims();
+  std::unique_ptr<ShardTelemetry> shard = MakeShardTelemetry(telemetry);
 
   TopKCollector collector(k);
   std::vector<const double*> dominators;
@@ -159,18 +196,25 @@ Result<std::vector<UpgradeResult>> TopKBruteForce(
       if (Dominates(q, t, dims)) dominators.push_back(q);
     }
     st->dominators_fetched += dominators.size();
+    LapProbe(shard.get());
 
     SkylineOfPointers(&dominators, dims);
     st->skyline_points_total += dominators.size();
+    LapSkyline(shard.get());
 
     ++st->upgrade_calls;
     UpgradeOutcome outcome =
         UpgradeProduct(dominators, t, dims, cost_fn, epsilon);
+    LapUpgrade(shard.get());
     if (!collector.Admits(outcome.cost)) continue;
     collector.Add(UpgradeResult{tid, outcome.cost, std::move(outcome.upgraded),
                                 outcome.already_competitive});
   }
-  return collector.Finish();
+  LapOther(shard.get());
+  std::vector<UpgradeResult> results = collector.Finish();
+  LapMerge(shard.get());
+  FlushShardTelemetry(shard, telemetry);
+  return results;
 }
 
 }  // namespace skyup

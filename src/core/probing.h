@@ -6,11 +6,17 @@
 #include "core/cost_function.h"
 #include "core/dataset.h"
 #include "core/upgrade_result.h"
+#include "obs/phase_timings.h"
 #include "rtree/flat_rtree.h"
 #include "rtree/rtree.h"
 #include "util/status.h"
 
 namespace skyup {
+
+// Every entry point below optionally reports `ExecStats` work counters
+// and, when `telemetry` is non-null, a per-phase wall-time breakdown plus
+// per-candidate probe/upgrade latency histograms (obs/phase_timings.h).
+// Null telemetry costs one pointer test per phase boundary.
 
 /// Basic probing (Algorithm 2, generalized to top-k): for every candidate
 /// in `products`, fetch *all* of its dominators from `competitors_tree`
@@ -23,7 +29,7 @@ namespace skyup {
 Result<std::vector<UpgradeResult>> TopKBasicProbing(
     const RTree& competitors_tree, const Dataset& products,
     const ProductCostFunction& cost_fn, size_t k, double epsilon = 1e-6,
-    ExecStats* stats = nullptr);
+    ExecStats* stats = nullptr, QueryTelemetry* telemetry = nullptr);
 
 /// Improved probing: Algorithm 2 with lines 3-4 replaced by
 /// `getDominatingSky` (Algorithm 3), which computes the dominator skyline
@@ -31,7 +37,7 @@ Result<std::vector<UpgradeResult>> TopKBasicProbing(
 Result<std::vector<UpgradeResult>> TopKImprovedProbing(
     const RTree& competitors_tree, const Dataset& products,
     const ProductCostFunction& cost_fn, size_t k, double epsilon = 1e-6,
-    ExecStats* stats = nullptr);
+    ExecStats* stats = nullptr, QueryTelemetry* telemetry = nullptr);
 
 /// Improved probing over the flat arena snapshot (rtree/flat_rtree.h):
 /// same contract and bit-identical results as the pointer-tree overload,
@@ -42,7 +48,7 @@ Result<std::vector<UpgradeResult>> TopKImprovedProbing(
 Result<std::vector<UpgradeResult>> TopKImprovedProbing(
     const FlatRTree& competitors_index, const Dataset& products,
     const ProductCostFunction& cost_fn, size_t k, double epsilon = 1e-6,
-    ExecStats* stats = nullptr);
+    ExecStats* stats = nullptr, QueryTelemetry* telemetry = nullptr);
 
 /// Index-free oracle: scans `competitors` linearly per candidate. Used as
 /// the ground truth in tests and as the "no substrate" baseline in
@@ -50,7 +56,7 @@ Result<std::vector<UpgradeResult>> TopKImprovedProbing(
 Result<std::vector<UpgradeResult>> TopKBruteForce(
     const Dataset& competitors, const Dataset& products,
     const ProductCostFunction& cost_fn, size_t k, double epsilon = 1e-6,
-    ExecStats* stats = nullptr);
+    ExecStats* stats = nullptr, QueryTelemetry* telemetry = nullptr);
 
 }  // namespace skyup
 

@@ -2,13 +2,18 @@
 #define SKYUP_CORE_REPORT_H_
 
 // Rendering of top-k upgrade rankings for the CLI and downstream tooling:
-// human-readable text, headerless CSV, or a JSON array.
+// human-readable text, headerless CSV, or a JSON array — plus the metrics
+// bridge that turns a query's `ExecStats` work counters and
+// `QueryTelemetry` phase breakdown into registered metrics
+// (obs/metrics.h), and the `--profile` text renderer.
 
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "core/upgrade_result.h"
+#include "obs/metrics.h"
+#include "obs/phase_timings.h"
 #include "util/status.h"
 
 namespace skyup {
@@ -29,6 +34,27 @@ const char* ReportFormatName(ReportFormat format);
 /// JSON round-trip through doubles losslessly enough for tooling.
 void WriteReport(const std::vector<UpgradeResult>& results,
                  ReportFormat format, std::ostream& out);
+
+/// Registers every `ExecStats` work counter on `registry` as a
+/// `skyup_<field>_total` counter (idempotent names: re-registering
+/// returns the same metric, so repeated queries accumulate). Covers all
+/// 14 fields — a compile-time tripwire in the implementation breaks when
+/// `ExecStats` changes shape without this function following.
+void AddExecStatsMetrics(const ExecStats& stats, MetricsRegistry* registry);
+
+/// Registers one query's phase breakdown (per-phase seconds and shard
+/// count as gauges, total attributed seconds) and merges its probe /
+/// upgrade latency histograms into `skyup_probe_latency_seconds` /
+/// `skyup_upgrade_latency_seconds`.
+void AddTelemetryMetrics(const QueryTelemetry& telemetry,
+                         MetricsRegistry* registry);
+
+/// Human-readable per-phase profile for CLI `--profile`: each phase's
+/// seconds and share of the attributed time, per-shard rows when more
+/// than one shard ran, and the p50/p95/p99 of the latency histograms.
+/// `wall_seconds` (<= 0 to omit) adds an attribution-coverage line.
+void WriteProfile(const QueryTelemetry& telemetry, double wall_seconds,
+                  std::ostream& out);
 
 }  // namespace skyup
 

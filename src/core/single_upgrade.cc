@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "core/dominance.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace skyup {
@@ -14,6 +15,7 @@ UpgradeOutcome UpgradeProduct(std::vector<const double*> skyline,
                               double epsilon) {
   SKYUP_CHECK(epsilon > 0.0) << "upgrade epsilon must be positive";
   SKYUP_CHECK(cost_fn.dims() == dims);
+  SKYUP_TRACE_SPAN_VERBOSE("upgrade/product");
 
   UpgradeOutcome outcome;
   outcome.upgraded.assign(p, p + dims);

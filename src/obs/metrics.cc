@@ -1,0 +1,216 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace skyup {
+
+namespace {
+
+// %.9g round-trips the latency magnitudes involved and keeps bucket
+// labels stable across exporters (the same formatter feeds Prometheus
+// `le` labels and JSON numbers).
+std::string Num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {
+  SKYUP_CHECK(!bounds_.empty()) << "histogram needs at least one bucket";
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    SKYUP_CHECK(bounds_[i - 1] < bounds_[i])
+        << "histogram bounds must be strictly ascending";
+  }
+}
+
+const std::vector<double>& Histogram::DefaultLatencyBucketsSeconds() {
+  // 1 µs .. 10 s, four buckets per decade (1, 2, 5, 10 within each).
+  static const std::vector<double>* kBounds = new std::vector<double>{
+      1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3,
+      5e-3, 1e-2, 2e-2, 5e-2, 1e-1, 2e-1, 5e-1, 1.0,  2.0,  5.0,  10.0};
+  return *kBounds;
+}
+
+void Histogram::Observe(double value) {
+  // First bucket whose upper bound admits the value; everything beyond
+  // the last bound lands in the +Inf bucket.
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  ++counts_[bucket];
+  ++count_;
+  sum_ += value;
+}
+
+Histogram& Histogram::MergeFrom(const Histogram& other) {
+  SKYUP_CHECK(bounds_ == other.bounds_)
+      << "merging histograms with different bucket layouts";
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  return *this;
+}
+
+double Histogram::Quantile(double q) const {
+  SKYUP_CHECK(q >= 0.0 && q <= 1.0) << "quantile " << q << " out of [0, 1]";
+  if (count_ == 0) return 0.0;
+  // Rank of the target observation (1-based, clamped into the data).
+  const double rank =
+      std::max(1.0, std::ceil(q * static_cast<double>(count_)));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += counts_[i];
+    if (rank > static_cast<double>(cumulative)) continue;
+    if (i == bounds_.size()) {
+      // Overflow bucket: the histogram cannot resolve beyond its last
+      // finite bound, so clamp (Prometheus convention).
+      return bounds_.back();
+    }
+    const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+    const double hi = bounds_[i];
+    const double fraction =
+        (rank - before) / static_cast<double>(counts_[i]);
+    return lo + (hi - lo) * fraction;
+  }
+  return bounds_.back();  // unreachable: cumulative == count_ by invariant
+}
+
+MetricsRegistry::Entry* MetricsRegistry::Find(const std::string& name) {
+  for (Entry& entry : entries_) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+Counter* MetricsRegistry::AddCounter(const std::string& name,
+                                     const std::string& help) {
+  if (Entry* existing = Find(name)) {
+    SKYUP_CHECK(existing->kind == Kind::kCounter)
+        << "metric '" << name << "' already registered with another kind";
+    return existing->counter.get();
+  }
+  Entry entry;
+  entry.name = name;
+  entry.help = help;
+  entry.kind = Kind::kCounter;
+  entry.counter = std::make_unique<Counter>();
+  entries_.push_back(std::move(entry));
+  return entries_.back().counter.get();
+}
+
+Gauge* MetricsRegistry::AddGauge(const std::string& name,
+                                 const std::string& help) {
+  if (Entry* existing = Find(name)) {
+    SKYUP_CHECK(existing->kind == Kind::kGauge)
+        << "metric '" << name << "' already registered with another kind";
+    return existing->gauge.get();
+  }
+  Entry entry;
+  entry.name = name;
+  entry.help = help;
+  entry.kind = Kind::kGauge;
+  entry.gauge = std::make_unique<Gauge>();
+  entries_.push_back(std::move(entry));
+  return entries_.back().gauge.get();
+}
+
+Histogram* MetricsRegistry::AddHistogram(const std::string& name,
+                                         const std::string& help,
+                                         std::vector<double> bounds) {
+  if (Entry* existing = Find(name)) {
+    SKYUP_CHECK(existing->kind == Kind::kHistogram)
+        << "metric '" << name << "' already registered with another kind";
+    return existing->histogram.get();
+  }
+  Entry entry;
+  entry.name = name;
+  entry.help = help;
+  entry.kind = Kind::kHistogram;
+  entry.histogram = std::make_unique<Histogram>(std::move(bounds));
+  entries_.push_back(std::move(entry));
+  return entries_.back().histogram.get();
+}
+
+void MetricsRegistry::WritePrometheus(std::ostream& out) const {
+  for (const Entry& entry : entries_) {
+    if (!entry.help.empty()) {
+      out << "# HELP " << entry.name << " " << entry.help << "\n";
+    }
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out << "# TYPE " << entry.name << " counter\n";
+        out << entry.name << " " << entry.counter->value() << "\n";
+        break;
+      case Kind::kGauge:
+        out << "# TYPE " << entry.name << " gauge\n";
+        out << entry.name << " " << Num(entry.gauge->value()) << "\n";
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        out << "# TYPE " << entry.name << " histogram\n";
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < h.bounds().size(); ++i) {
+          cumulative += h.bucket_counts()[i];
+          out << entry.name << "_bucket{le=\"" << Num(h.bounds()[i]) << "\"} "
+              << cumulative << "\n";
+        }
+        out << entry.name << "_bucket{le=\"+Inf\"} " << h.count() << "\n";
+        out << entry.name << "_sum " << Num(h.sum()) << "\n";
+        out << entry.name << "_count " << h.count() << "\n";
+        break;
+      }
+    }
+  }
+}
+
+void MetricsRegistry::WriteJson(std::ostream& out) const {
+  auto write_section = [&](Kind kind, const char* label, bool first_section) {
+    out << (first_section ? "" : ",\n") << "  \"" << label << "\": {";
+    bool first = true;
+    for (const Entry& entry : entries_) {
+      if (entry.kind != kind) continue;
+      out << (first ? "\n" : ",\n") << "    \"" << entry.name << "\": ";
+      first = false;
+      switch (kind) {
+        case Kind::kCounter:
+          out << entry.counter->value();
+          break;
+        case Kind::kGauge:
+          out << Num(entry.gauge->value());
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *entry.histogram;
+          out << "{\"buckets\": [";
+          for (size_t i = 0; i < h.bounds().size(); ++i) {
+            out << (i == 0 ? "" : ", ") << "{\"le\": " << Num(h.bounds()[i])
+                << ", \"count\": " << h.bucket_counts()[i] << "}";
+          }
+          out << ", {\"le\": \"+Inf\", \"count\": "
+              << h.bucket_counts().back() << "}]";
+          out << ", \"count\": " << h.count() << ", \"sum\": " << Num(h.sum())
+              << ", \"mean\": " << Num(h.mean())
+              << ", \"p50\": " << Num(h.Quantile(0.50))
+              << ", \"p95\": " << Num(h.Quantile(0.95))
+              << ", \"p99\": " << Num(h.Quantile(0.99)) << "}";
+          break;
+        }
+      }
+    }
+    out << (first ? "}" : "\n  }");
+  };
+
+  out << "{\n";
+  write_section(Kind::kCounter, "counters", true);
+  write_section(Kind::kGauge, "gauges", false);
+  write_section(Kind::kHistogram, "histograms", false);
+  out << "\n}\n";
+}
+
+}  // namespace skyup

@@ -1,0 +1,132 @@
+#ifndef SKYUP_OBS_METRICS_H_
+#define SKYUP_OBS_METRICS_H_
+
+// The metrics layer: counters, gauges, and fixed-bucket latency
+// histograms collected into a `MetricsRegistry` and exported as
+// Prometheus text exposition or JSON. The registry is an export-time
+// aggregation surface — engines keep accounting into their cheap
+// per-shard structures (`ExecStats`, `QueryTelemetry`) and the registry
+// is populated once per query/export (core/report.h absorbs ExecStats);
+// it is therefore deliberately not thread-safe.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace skyup {
+
+/// Monotonically increasing count (Prometheus type `counter`).
+class Counter {
+ public:
+  void Increment(uint64_t by = 1) { value_ += by; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Point-in-time value (Prometheus type `gauge`).
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram with Prometheus semantics: `bounds` are the
+/// inclusive upper edges of the finite buckets (strictly ascending), and
+/// an implicit +Inf bucket catches everything beyond the last bound.
+/// Designed for non-negative observations (latencies); quantiles
+/// interpolate linearly within a bucket, with the first bucket anchored
+/// at 0 and the overflow bucket clamped to the last finite bound.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  /// The default latency bucketing used by every skyup latency histogram:
+  /// 1 µs to ~10 s, four buckets per decade. Merging histograms requires
+  /// identical bounds, so shards and queries must share this layout.
+  static const std::vector<double>& DefaultLatencyBucketsSeconds();
+
+  void Observe(double value);
+
+  /// Field-wise sum; `other` must have identical bucket bounds (checked).
+  /// Associative and commutative, so shard merge order cannot matter.
+  Histogram& MergeFrom(const Histogram& other);
+
+  /// The q-quantile (0 <= q <= 1) estimated from the bucket counts.
+  /// Returns 0 for an empty histogram; values landing in the +Inf bucket
+  /// report the last finite bound (the histogram cannot resolve beyond
+  /// it).
+  double Quantile(double q) const;
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  /// Mean of all observations; 0 when empty.
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts; index `bounds().size()` is the +Inf bucket.
+  const std::vector<uint64_t>& bucket_counts() const { return counts_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<uint64_t> counts_;  // bounds_.size() + 1 entries
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Owns named metrics and renders them. Names should follow Prometheus
+/// conventions (`skyup_<noun>_<unit>`, counters ending in `_total`);
+/// registration order is preserved in both exports. Re-registering a name
+/// returns the existing metric (same kind required).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* AddCounter(const std::string& name, const std::string& help);
+  Gauge* AddGauge(const std::string& name, const std::string& help);
+  Histogram* AddHistogram(
+      const std::string& name, const std::string& help,
+      std::vector<double> bounds = Histogram::DefaultLatencyBucketsSeconds());
+
+  size_t size() const { return entries_.size(); }
+
+  /// Prometheus text exposition format, version 0.0.4: HELP/TYPE comments,
+  /// cumulative `_bucket{le=...}` series plus `_sum`/`_count` for
+  /// histograms.
+  void WritePrometheus(std::ostream& out) const;
+
+  /// One JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {buckets, sum, count, p50, p95, p99}}}.
+  void WriteJson(std::ostream& out) const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    std::string name;
+    std::string help;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* Find(const std::string& name);
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace skyup
+
+#endif  // SKYUP_OBS_METRICS_H_

@@ -1,0 +1,242 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace skyup {
+
+namespace internal {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace internal
+
+namespace {
+
+// One recorded span. 24 bytes; the name pointer references a string
+// literal at the call site (see the header contract).
+struct TraceEvent {
+  const char* name;
+  int64_t start_ns;  // relative to the session epoch
+  int64_t dur_ns;
+};
+
+// Per-thread ring buffer. The recording thread is the only writer and
+// touches it lock-free; the registry mutex serializes creation, renaming,
+// clearing, and export (all off the hot path, and export runs after the
+// worker threads of a query have been joined).
+struct ThreadBuffer {
+  explicit ThreadBuffer(uint32_t tid_in) : tid(tid_in) {}
+
+  uint32_t tid;
+  std::string name;
+  std::vector<TraceEvent> ring;
+  uint64_t recorded = 0;  // lifetime total; ring index = recorded % capacity
+};
+
+// Sized so a phase-level trace never wraps and a verbose trace of ~60k
+// candidates per thread survives intact: 64k events * 24 B = 1.5 MiB per
+// recording thread, allocated only once that thread records its first
+// span while tracing is enabled.
+constexpr size_t kRingCapacity = size_t{1} << 16;
+
+struct TraceRegistry {
+  std::mutex mu;
+  // Owns every buffer ever handed out. Buffers outlive their threads on
+  // purpose: ParallelFor workers terminate before the main thread exports
+  // the trace, and their spans must survive them.
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  SteadyClock::time_point epoch = SteadyClock::now();
+};
+
+TraceRegistry& Registry() {
+  static TraceRegistry* registry = new TraceRegistry();  // leaked: outlives
+  return *registry;                                      // exiting threads
+}
+
+thread_local ThreadBuffer* t_buffer = nullptr;
+
+ThreadBuffer* LocalBuffer() {
+  if (t_buffer == nullptr) {
+    TraceRegistry& reg = Registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.buffers.push_back(
+        std::make_unique<ThreadBuffer>(static_cast<uint32_t>(
+            reg.buffers.size() + 1)));
+    t_buffer = reg.buffers.back().get();
+  }
+  return t_buffer;
+}
+
+// Minimal JSON string escaping for thread names (span names are literals
+// under our control, but thread names come from callers).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Chrome trace timestamps are microseconds; keep nanosecond precision in
+// the fraction.
+void AppendMicros(std::string* out, int64_t ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  *out += buf;
+}
+
+}  // namespace
+
+void EnableTracing() {
+  TraceRegistry& reg = Registry();
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    for (auto& buffer : reg.buffers) buffer->recorded = 0;
+    reg.epoch = SteadyClock::now();
+  }
+  internal::g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void DisableTracing() {
+  internal::g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+void ClearTrace() {
+  TraceRegistry& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& buffer : reg.buffers) buffer->recorded = 0;
+}
+
+void SetTraceThreadName(const std::string& name) {
+  ThreadBuffer* buffer = LocalBuffer();
+  TraceRegistry& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  buffer->name = name;
+}
+
+TraceStats GetTraceStats() {
+  TraceRegistry& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  TraceStats stats;
+  stats.threads = reg.buffers.size();
+  for (const auto& buffer : reg.buffers) {
+    const size_t held =
+        std::min<uint64_t>(buffer->recorded, kRingCapacity);
+    stats.events_buffered += held;
+    stats.events_dropped += buffer->recorded - held;
+  }
+  return stats;
+}
+
+namespace internal {
+
+void RecordSpan(const char* name, SteadyClock::time_point start,
+                SteadyClock::time_point end) {
+  ThreadBuffer* buffer = LocalBuffer();
+  if (buffer->ring.empty()) buffer->ring.resize(kRingCapacity);
+  const SteadyClock::time_point epoch = Registry().epoch;
+  // A span opened before EnableTracing() reset the epoch clamps to 0
+  // rather than going negative.
+  const int64_t start_ns =
+      start < epoch
+          ? 0
+          : std::chrono::duration_cast<std::chrono::nanoseconds>(start - epoch)
+                .count();
+  const int64_t dur_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+          .count();
+  TraceEvent& slot = buffer->ring[buffer->recorded % kRingCapacity];
+  slot.name = name;
+  slot.start_ns = start_ns;
+  slot.dur_ns = dur_ns;
+  ++buffer->recorded;
+}
+
+}  // namespace internal
+
+void WriteChromeTrace(std::ostream& out) {
+  TraceRegistry& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+
+  out << "{\"displayTimeUnit\": \"ms\",\n"
+      << "\"otherData\": {\"trace_level\": \"" << TraceLevelName()
+      << "\"},\n\"traceEvents\": [\n";
+  out << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+         "\"args\": {\"name\": \"skyup\"}}";
+
+  for (const auto& buffer : reg.buffers) {
+    const std::string label =
+        buffer->name.empty() ? "thread " + std::to_string(buffer->tid)
+                             : buffer->name;
+    out << ",\n{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+           "\"tid\": "
+        << buffer->tid << ", \"args\": {\"name\": \"" << JsonEscape(label)
+        << "\"}}";
+    out << ",\n{\"name\": \"thread_sort_index\", \"ph\": \"M\", \"pid\": 1, "
+           "\"tid\": "
+        << buffer->tid << ", \"args\": {\"sort_index\": " << buffer->tid
+        << "}}";
+
+    const uint64_t held = std::min<uint64_t>(buffer->recorded, kRingCapacity);
+    // Oldest-first: when the ring wrapped, the slot at `recorded %
+    // capacity` is the oldest surviving event.
+    const uint64_t begin = buffer->recorded - held;
+    for (uint64_t i = begin; i < buffer->recorded; ++i) {
+      const TraceEvent& event = buffer->ring[i % kRingCapacity];
+      std::string line = ",\n{\"name\": \"";
+      line += event.name;  // literal, no escaping needed
+      line += "\", \"cat\": \"skyup\", \"ph\": \"X\", \"pid\": 1, \"tid\": ";
+      line += std::to_string(buffer->tid);
+      line += ", \"ts\": ";
+      AppendMicros(&line, event.start_ns);
+      line += ", \"dur\": ";
+      AppendMicros(&line, event.dur_ns);
+      line += "}";
+      out << line;
+    }
+  }
+  out << "\n]}\n";
+}
+
+Status WriteChromeTraceFile(const std::string& path) {
+  std::ofstream file(path);
+  if (!file.good()) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  WriteChromeTrace(file);
+  file.flush();
+  if (!file.good()) {
+    return Status::IOError("failed writing trace to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace skyup

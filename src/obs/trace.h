@@ -1,0 +1,163 @@
+#ifndef SKYUP_OBS_TRACE_H_
+#define SKYUP_OBS_TRACE_H_
+
+// Scoped tracing: RAII spans over the shared monotonic clock
+// (util/timer.h), recorded into lock-free thread-local ring buffers and
+// exported as Chrome trace-event JSON, so any run can be opened in
+// chrome://tracing or https://ui.perfetto.dev with one track per thread
+// (the parallel engine names its shard threads, so shards show up as
+// named tracks).
+//
+// `SKYUP_TRACE_LEVEL` (a CMake option of the same name) selects how much
+// instrumentation is compiled in:
+//
+//   0  "off"      both span macros compile to nothing — zero code, zero
+//                 data, proven by the trace-off CI build.
+//   1  "phase"    the default. `SKYUP_TRACE_SPAN` is live: query-, shard-
+//                 and phase-granular spans only, cheap enough to leave on
+//                 (< 2% on the bench_micro top-k medians; the budget is
+//                 recorded in docs/algorithms.md).
+//   2  "verbose"  adds `SKYUP_TRACE_SPAN_VERBOSE`: per-candidate probe and
+//                 upgrade spans. For deep-dives; expect large traces.
+//
+// Compiled-in spans still cost nothing until tracing is enabled at
+// runtime (`EnableTracing`, or the CLI's `--trace-out=FILE`): a disabled
+// span is one relaxed atomic load, no clock reads, no buffer writes.
+//
+// Span names must be string literals (or otherwise outlive the trace
+// session) — the ring buffer stores the pointer, not a copy.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "util/status.h"
+#include "util/timer.h"
+
+#ifndef SKYUP_TRACE_LEVEL
+#define SKYUP_TRACE_LEVEL 1
+#endif
+
+#if SKYUP_TRACE_LEVEL < 0 || SKYUP_TRACE_LEVEL > 2
+#error "SKYUP_TRACE_LEVEL must be 0 (off), 1 (phase), or 2 (verbose)"
+#endif
+
+namespace skyup {
+
+/// The compiled-in trace level of this translation unit: 0 off, 1 phase,
+/// 2 verbose. (A constant, not a function, so tests can branch on it.)
+inline constexpr int kTraceLevel = SKYUP_TRACE_LEVEL;
+
+/// Human-readable name of `kTraceLevel`.
+constexpr const char* TraceLevelName() {
+  return kTraceLevel == 0 ? "off" : kTraceLevel == 1 ? "phase" : "verbose";
+}
+
+namespace internal {
+// The runtime gate all compiled-in spans check first. Relaxed is enough:
+// a span that races with Enable/Disable is merely recorded or skipped,
+// never torn — the buffers themselves are thread-local.
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace internal
+
+/// True while span recording is on. One relaxed atomic load.
+inline bool TraceEnabled() {
+  return internal::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Starts a fresh trace session: clears every thread's buffer, resets the
+/// trace epoch (exported timestamps are relative to it), and turns span
+/// recording on. No-op semantics at trace level off (spans are compiled
+/// out; the session machinery still works and exports zero events).
+void EnableTracing();
+
+/// Stops span recording. Buffers keep their events for export.
+void DisableTracing();
+
+/// Drops all recorded events (and retired threads' buffers) without
+/// touching the enabled flag.
+void ClearTrace();
+
+/// Names the calling thread's track in the exported trace (e.g.
+/// "shard 3"). Safe to call repeatedly; the last name wins.
+void SetTraceThreadName(const std::string& name);
+
+/// Aggregate recording counters, for tests and capacity tuning.
+struct TraceStats {
+  size_t events_buffered = 0;  ///< events currently held across buffers
+  size_t events_dropped = 0;   ///< overwritten by ring wrap-around
+  size_t threads = 0;          ///< thread buffers ever registered
+};
+TraceStats GetTraceStats();
+
+/// Writes every buffered span as Chrome trace-event JSON ("X" complete
+/// events plus process/thread-name metadata). The output is a single JSON
+/// object, loadable by chrome://tracing and Perfetto. Call after worker
+/// threads have been joined — export takes the registry lock but does not
+/// synchronize with threads still recording.
+void WriteChromeTrace(std::ostream& out);
+
+/// `WriteChromeTrace` into a file; fails with IOError if it cannot write.
+Status WriteChromeTraceFile(const std::string& path);
+
+namespace internal {
+
+/// Appends one completed span to the calling thread's ring buffer.
+void RecordSpan(const char* name, SteadyClock::time_point start,
+                SteadyClock::time_point end);
+
+/// The RAII body behind the span macros. Reads the clock only while
+/// tracing is enabled; `name` must outlive the trace session.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    if (TraceEnabled()) {
+      name_ = name;
+      start_ = SteadyClock::now();
+    }
+  }
+  ~ScopedSpan() {
+    if (name_ != nullptr) RecordSpan(name_, start_, SteadyClock::now());
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  SteadyClock::time_point start_;
+};
+
+}  // namespace internal
+}  // namespace skyup
+
+#define SKYUP_INTERNAL_SPAN_CAT2(a, b) a##b
+#define SKYUP_INTERNAL_SPAN_CAT(a, b) SKYUP_INTERNAL_SPAN_CAT2(a, b)
+
+// A compiled-out span: no object, no evaluation of `name` (all call sites
+// pass string literals, so nothing observable is elided).
+#define SKYUP_INTERNAL_ELIDED_SPAN(name) static_cast<void>(0)
+
+#define SKYUP_INTERNAL_ACTIVE_SPAN(name)             \
+  ::skyup::internal::ScopedSpan SKYUP_INTERNAL_SPAN_CAT(skyup_trace_span_, \
+                                                        __LINE__)(name)
+
+/// Phase-granular span covering the enclosing scope. Active at trace
+/// level phase and above.
+#if SKYUP_TRACE_LEVEL >= 1
+#define SKYUP_TRACE_SPAN(name) SKYUP_INTERNAL_ACTIVE_SPAN(name)
+#else
+#define SKYUP_TRACE_SPAN(name) SKYUP_INTERNAL_ELIDED_SPAN(name)
+#endif
+
+/// Per-candidate span, active only at trace level verbose — these fire
+/// once per product probed, so they dominate trace size when on.
+#if SKYUP_TRACE_LEVEL >= 2
+#define SKYUP_TRACE_SPAN_VERBOSE(name) SKYUP_INTERNAL_ACTIVE_SPAN(name)
+#else
+#define SKYUP_TRACE_SPAN_VERBOSE(name) SKYUP_INTERNAL_ELIDED_SPAN(name)
+#endif
+
+#endif  // SKYUP_OBS_TRACE_H_

@@ -6,6 +6,7 @@
 
 #include "core/dominance.h"
 #include "core/dominance_batch.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -83,6 +84,7 @@ Status CheckProbeResult(const Dataset& data, const double* t,
 // (tests/flat_index_test.cc).
 std::vector<PointId> DominatingSkyline(const RTree& tree, const double* t,
                                        ProbeStats* stats) {
+  SKYUP_TRACE_SPAN_VERBOSE("probe/dominating-skyline");
   std::vector<PointId> result;
   if (tree.empty()) return result;
   const Dataset& data = tree.dataset();
@@ -140,6 +142,7 @@ std::vector<PointId> DominatingSkyline(const RTree& tree, const double* t,
 
 std::vector<PointId> DominatingSkyline(const FlatRTree& tree, const double* t,
                                        ProbeStats* stats) {
+  SKYUP_TRACE_SPAN_VERBOSE("probe/dominating-skyline-flat");
   std::vector<PointId> result;
   if (tree.empty()) return result;
   const size_t dims = tree.dims();
@@ -227,6 +230,7 @@ std::vector<PointId> DominatingSkyline(const FlatRTree& tree, const double* t,
 std::vector<PointId> DominatingSkylineFrom(
     const Dataset& data, const std::vector<const RTreeNode*>& roots,
     const std::vector<PointId>& points, const double* t, ProbeStats* stats) {
+  SKYUP_TRACE_SPAN_VERBOSE("probe/dominating-skyline-from");
   std::vector<PointId> result;
   const size_t dims = data.dims();
   ProbeStats local;

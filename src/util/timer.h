@@ -6,30 +6,66 @@
 
 namespace skyup {
 
-/// Wall-clock stopwatch with millisecond/microsecond readouts.
+/// The one clock every timing facility in the library reads: `Timer`,
+/// `ScopedTimer`, the trace spans (obs/trace.h), and the phase clocks
+/// (obs/phase_timings.h). Monotonic by contract — wall-clock adjustments
+/// (NTP slews, suspend/resume jumps) can never make an elapsed reading go
+/// backwards or a span get a negative duration.
+using SteadyClock = std::chrono::steady_clock;
+static_assert(SteadyClock::is_steady,
+              "skyup timing requires a monotonic clock; steady_clock must "
+              "be steady on every conforming implementation");
+
+/// Monotonic stopwatch with second/millisecond/microsecond readouts.
 ///
 /// Starts running on construction; `Restart()` resets the origin.
 class Timer {
  public:
-  Timer() : start_(Clock::now()) {}
+  Timer() : start_(SteadyClock::now()) {}
 
   /// Resets the timer origin to now.
-  void Restart() { start_ = Clock::now(); }
+  void Restart() { start_ = SteadyClock::now(); }
 
   /// Elapsed time since construction or the last `Restart()`.
   double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return std::chrono::duration<double>(SteadyClock::now() - start_).count();
   }
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
   int64_t ElapsedMicros() const {
-    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
-                                                                 start_)
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               SteadyClock::now() - start_)
         .count();
   }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  SteadyClock::time_point start_;
+};
+
+/// Adds the lifetime of the scope to `*sink` (seconds) on destruction, so
+/// repeated passes through a region accumulate into one total:
+///
+///   double load_seconds = 0.0;
+///   { ScopedTimer t(&load_seconds); LoadThings(); }
+///
+/// A null sink disables the timer entirely (no clock reads).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* sink) : sink_(sink) {
+    if (sink_ != nullptr) start_ = SteadyClock::now();
+  }
+  ~ScopedTimer() {
+    if (sink_ != nullptr) {
+      *sink_ +=
+          std::chrono::duration<double>(SteadyClock::now() - start_).count();
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double* sink_;
+  SteadyClock::time_point start_;
 };
 
 }  // namespace skyup

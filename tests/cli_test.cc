@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/trace.h"
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -181,6 +183,85 @@ TEST(CliTest, TopKStatsFlagPrintsCounters) {
 
   std::remove(p_path.c_str());
   std::remove(t_path.c_str());
+}
+
+TEST(CliTest, TopKObservabilityFlags) {
+  const std::string p_path = TempPath("Pobs.csv");
+  const std::string t_path = TempPath("Tobs.csv");
+  const std::string trace_path = TempPath("trace.json");
+  const std::string prom_path = TempPath("metrics.prom");
+  const std::string json_path = TempPath("metrics.json");
+  WriteFile(p_path, "0.1,0.5\n0.5,0.1\n0.3,0.3\n0.2,0.2\n");
+  WriteFile(t_path, "0.6,0.6\n0.05,0.9\n2.0,2.0\n");
+
+  CliResult r = RunCli({"topk", "--competitors=" + p_path,
+                        "--products=" + t_path, "--k=3",
+                        "--algorithm=improved", "--profile",
+                        "--trace-out=" + trace_path,
+                        "--metrics-out=" + prom_path});
+  ASSERT_EQ(r.code, 0) << r.err;
+  // The profile table goes to the diagnostic stream, not stdout.
+  EXPECT_NE(r.err.find("phase profile"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("probe"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("upgrade"), std::string::npos) << r.err;
+  EXPECT_EQ(r.out.find("phase profile"), std::string::npos) << r.out;
+
+  // The trace file is valid Chrome trace JSON whenever the
+  // instrumentation is compiled in; compiled out it's an empty shell
+  // plus a warning on the diagnostic stream.
+  std::ifstream trace_in(trace_path);
+  ASSERT_TRUE(trace_in.good());
+  std::stringstream trace_buf;
+  trace_buf << trace_in.rdbuf();
+  const std::string trace = trace_buf.str();
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  if (kTraceLevel >= 1) {
+    EXPECT_NE(trace.find("\"cli/topk\""), std::string::npos);
+    EXPECT_NE(trace.find("\"ph\": \"X\""), std::string::npos);
+  } else {
+    EXPECT_NE(r.err.find("compiled out"), std::string::npos) << r.err;
+  }
+  EXPECT_NE(r.err.find("# trace:"), std::string::npos) << r.err;
+
+  // Prometheus text exposition: counters and phase gauges present.
+  std::ifstream prom_in(prom_path);
+  ASSERT_TRUE(prom_in.good());
+  std::stringstream prom_buf;
+  prom_buf << prom_in.rdbuf();
+  const std::string prom = prom_buf.str();
+  EXPECT_NE(prom.find("# TYPE skyup_heap_pops_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("skyup_phase_probe_seconds"), std::string::npos);
+  EXPECT_NE(prom.find("skyup_query_wall_seconds"), std::string::npos);
+  EXPECT_NE(prom.find("skyup_probe_latency_seconds_bucket"),
+            std::string::npos);
+
+  // A .json suffix flips the exporter to JSON.
+  CliResult j = RunCli({"topk", "--competitors=" + p_path,
+                        "--products=" + t_path, "--k=3",
+                        "--algorithm=join", "--metrics-out=" + json_path});
+  ASSERT_EQ(j.code, 0) << j.err;
+  std::ifstream json_in(json_path);
+  ASSERT_TRUE(json_in.good());
+  std::stringstream json_buf;
+  json_buf << json_in.rdbuf();
+  const std::string json = json_buf.str();
+  EXPECT_EQ(json.find("# TYPE"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"skyup_heap_pops_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+
+  // An unwritable metrics path is a runtime error, not a silent skip.
+  CliResult bad = RunCli({"topk", "--competitors=" + p_path,
+                          "--products=" + t_path, "--k=3",
+                          "--metrics-out=/nonexistent-dir/m.prom"});
+  EXPECT_EQ(bad.code, 1);
+
+  std::remove(p_path.c_str());
+  std::remove(t_path.c_str());
+  std::remove(trace_path.c_str());
+  std::remove(prom_path.c_str());
+  std::remove(json_path.c_str());
 }
 
 TEST(CliTest, TopKRejectsMismatchedDims) {

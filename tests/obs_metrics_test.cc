@@ -1,0 +1,218 @@
+#include "obs/metrics.h"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace skyup {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, SetOverwrites) {
+  Gauge g;
+  g.Set(1.5);
+  g.Set(-2.0);
+  EXPECT_DOUBLE_EQ(g.value(), -2.0);
+}
+
+TEST(HistogramTest, EmptyHistogramQuantilesAreZero) {
+  Histogram h({1.0, 2.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, SingleSampleDrivesEveryQuantile) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.Observe(1.5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1.5);
+  // Every quantile resolves to the one occupied bucket (1, 2]; the exact
+  // value is interpolated inside it, so only the bracket is guaranteed.
+  for (double q : {0.01, 0.5, 0.99, 1.0}) {
+    const double v = h.Quantile(q);
+    EXPECT_GT(v, 1.0) << "q=" << q;
+    EXPECT_LE(v, 2.0) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, SamplesBeyondLastBucketClampToLastFiniteBound) {
+  Histogram h({1.0, 2.0});
+  h.Observe(100.0);  // lands in the +Inf bucket
+  h.Observe(250.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.bucket_counts().back(), 2u);
+  // The histogram cannot resolve beyond its last finite bound, so the
+  // quantile clamps there (Prometheus convention) rather than inventing
+  // a value.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 2.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 350.0);  // the sum still sees the raw values
+}
+
+TEST(HistogramTest, BoundaryValueLandsInTheLowerBucket) {
+  Histogram h({1.0, 2.0});
+  h.Observe(1.0);  // le="1" is inclusive, Prometheus-style
+  EXPECT_EQ(h.bucket_counts()[0], 1u);
+  EXPECT_EQ(h.bucket_counts()[1], 0u);
+}
+
+TEST(HistogramTest, MergeIsAssociative) {
+  const std::vector<double> bounds = {1e-3, 1e-2, 1e-1, 1.0};
+  const std::vector<double> samples_a = {2e-3, 5e-2, 0.4};
+  const std::vector<double> samples_b = {7e-4, 9e-2};
+  const std::vector<double> samples_c = {0.9, 3.0, 2e-2};
+
+  Histogram a1(bounds), b1(bounds), c1(bounds);
+  for (double v : samples_a) a1.Observe(v);
+  for (double v : samples_b) b1.Observe(v);
+  for (double v : samples_c) c1.Observe(v);
+  // (a + b) + c
+  Histogram left(bounds);
+  left.MergeFrom(a1);
+  left.MergeFrom(b1);
+  Histogram left_total(bounds);
+  left_total.MergeFrom(left);
+  left_total.MergeFrom(c1);
+  // a + (b + c)
+  Histogram right(bounds);
+  right.MergeFrom(b1);
+  right.MergeFrom(c1);
+  Histogram right_total(bounds);
+  right_total.MergeFrom(a1);
+  right_total.MergeFrom(right);
+
+  EXPECT_EQ(left_total.count(), right_total.count());
+  EXPECT_DOUBLE_EQ(left_total.sum(), right_total.sum());
+  EXPECT_EQ(left_total.bucket_counts(), right_total.bucket_counts());
+  for (double q : {0.25, 0.5, 0.95}) {
+    EXPECT_DOUBLE_EQ(left_total.Quantile(q), right_total.Quantile(q));
+  }
+}
+
+TEST(HistogramTest, MergeMatchesObservingEverythingDirectly) {
+  const std::vector<double>& bounds =
+      Histogram::DefaultLatencyBucketsSeconds();
+  Histogram direct(bounds), part1(bounds), part2(bounds);
+  const std::vector<double> samples = {1e-6, 3e-5, 2e-4, 0.5, 42.0};
+  for (size_t i = 0; i < samples.size(); ++i) {
+    direct.Observe(samples[i]);
+    (i % 2 == 0 ? part1 : part2).Observe(samples[i]);
+  }
+  part1.MergeFrom(part2);
+  EXPECT_EQ(direct.bucket_counts(), part1.bucket_counts());
+  EXPECT_DOUBLE_EQ(direct.sum(), part1.sum());
+}
+
+TEST(HistogramTest, QuantileOrderIsMonotone) {
+  Histogram h(Histogram::DefaultLatencyBucketsSeconds());
+  for (int i = 1; i <= 1000; ++i) h.Observe(i * 1e-5);
+  double previous = 0.0;
+  for (double q : {0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    const double v = h.Quantile(q);
+    EXPECT_GE(v, previous);
+    previous = v;
+  }
+}
+
+TEST(MetricsRegistryTest, ReregisteringReturnsTheSameMetric) {
+  MetricsRegistry registry;
+  Counter* a = registry.AddCounter("skyup_widgets_total", "widgets");
+  Counter* b = registry.AddCounter("skyup_widgets_total", "widgets");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(registry.size(), 1u);
+  a->Increment(3);
+  b->Increment(4);
+  EXPECT_EQ(a->value(), 7u);
+}
+
+TEST(MetricsRegistryTest, PointersSurviveManyRegistrations) {
+  MetricsRegistry registry;
+  Counter* first = registry.AddCounter("skyup_first_total", "first");
+  for (int i = 0; i < 100; ++i) {
+    registry.AddCounter("skyup_c" + std::to_string(i) + "_total", "bulk");
+  }
+  first->Increment();  // must not be dangling after vector growth
+  EXPECT_EQ(first->value(), 1u);
+}
+
+TEST(MetricsRegistryTest, PrometheusExposition) {
+  MetricsRegistry registry;
+  registry.AddCounter("skyup_ops_total", "operations")->Increment(5);
+  registry.AddGauge("skyup_temp", "temperature")->Set(21.5);
+  Histogram* h = registry.AddHistogram("skyup_lat_seconds", "latency",
+                                       std::vector<double>{0.1, 1.0});
+  h->Observe(0.05);
+  h->Observe(0.5);
+  h->Observe(5.0);
+
+  std::ostringstream out;
+  registry.WritePrometheus(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# TYPE skyup_ops_total counter"), std::string::npos);
+  EXPECT_NE(text.find("skyup_ops_total 5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE skyup_temp gauge"), std::string::npos);
+  EXPECT_NE(text.find("skyup_temp 21.5"), std::string::npos);
+  // Buckets are cumulative: 1 under 0.1, 2 under 1, 3 under +Inf.
+  EXPECT_NE(text.find("skyup_lat_seconds_bucket{le=\"0.1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("skyup_lat_seconds_bucket{le=\"1\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("skyup_lat_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("skyup_lat_seconds_count 3"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonExportHasAllSections) {
+  MetricsRegistry registry;
+  registry.AddCounter("skyup_ops_total", "operations")->Increment(2);
+  registry.AddGauge("skyup_temp", "temperature")->Set(-3.25);
+  registry.AddHistogram("skyup_lat_seconds", "latency",
+                        std::vector<double>{0.1, 1.0})
+      ->Observe(0.2);
+
+  std::ostringstream out;
+  registry.WriteJson(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"counters\""), std::string::npos);
+  EXPECT_NE(text.find("\"skyup_ops_total\": 2"), std::string::npos);
+  EXPECT_NE(text.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(text.find("-3.25"), std::string::npos);
+  EXPECT_NE(text.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(text.find("\"p95\""), std::string::npos);
+  EXPECT_NE(text.find("\"+Inf\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, EmptyRegistryStillWritesValidShells) {
+  MetricsRegistry registry;
+  std::ostringstream prom, json;
+  registry.WritePrometheus(prom);
+  registry.WriteJson(json);
+  EXPECT_TRUE(prom.str().empty());
+  EXPECT_NE(json.str().find("\"counters\": {}"), std::string::npos);
+}
+
+TEST(DefaultLatencyBucketsTest, StrictlyAscendingAndSpanMicrosToSeconds) {
+  const std::vector<double>& bounds =
+      Histogram::DefaultLatencyBucketsSeconds();
+  ASSERT_FALSE(bounds.empty());
+  EXPECT_DOUBLE_EQ(bounds.front(), 1e-6);
+  EXPECT_DOUBLE_EQ(bounds.back(), 10.0);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+}  // namespace
+}  // namespace skyup

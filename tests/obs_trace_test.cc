@@ -1,0 +1,154 @@
+#include "obs/trace.h"
+
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace skyup {
+namespace {
+
+// Every test clears global trace state on entry; the suite must pass at
+// all three compile levels (SKYUP_TRACE_LEVEL=off|phase|verbose), so
+// span-count expectations branch on kTraceLevel.
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DisableTracing();
+    ClearTrace();
+  }
+  void TearDown() override {
+    DisableTracing();
+    ClearTrace();
+  }
+};
+
+TEST_F(TraceTest, DisabledByDefaultAndToggleable) {
+  EXPECT_FALSE(TraceEnabled());
+  EnableTracing();
+  // With tracing compiled out entirely the runtime gate still flips; only
+  // the spans are gone.
+  EXPECT_TRUE(TraceEnabled());
+  DisableTracing();
+  EXPECT_FALSE(TraceEnabled());
+}
+
+TEST_F(TraceTest, SpansRecordOnlyWhileEnabled) {
+  { SKYUP_TRACE_SPAN("test/before-enable"); }
+  EXPECT_EQ(GetTraceStats().events_buffered, 0u);
+
+  EnableTracing();
+  { SKYUP_TRACE_SPAN("test/while-enabled"); }
+  DisableTracing();
+  { SKYUP_TRACE_SPAN("test/after-disable"); }
+
+  const TraceStats stats = GetTraceStats();
+  if (kTraceLevel >= 1) {
+    EXPECT_EQ(stats.events_buffered, 1u);
+  } else {
+    EXPECT_EQ(stats.events_buffered, 0u);
+  }
+}
+
+TEST_F(TraceTest, VerboseSpansNeedVerboseLevel) {
+  EnableTracing();
+  { SKYUP_TRACE_SPAN_VERBOSE("test/verbose"); }
+  DisableTracing();
+  const TraceStats stats = GetTraceStats();
+  if (kTraceLevel >= 2) {
+    EXPECT_EQ(stats.events_buffered, 1u);
+  } else {
+    EXPECT_EQ(stats.events_buffered, 0u);
+  }
+}
+
+TEST_F(TraceTest, EnableClearsEarlierSpans) {
+  EnableTracing();
+  { SKYUP_TRACE_SPAN("test/first-session"); }
+  DisableTracing();
+  EnableTracing();  // a fresh session starts empty
+  DisableTracing();
+  EXPECT_EQ(GetTraceStats().events_buffered, 0u);
+}
+
+TEST_F(TraceTest, ChromeExportIsWellFormed) {
+  EnableTracing();
+  {
+    SKYUP_TRACE_SPAN("test/outer");
+    SKYUP_TRACE_SPAN("test/inner");
+  }
+  DisableTracing();
+
+  std::ostringstream out;
+  WriteChromeTrace(out);
+  const std::string json = out.str();
+  // Structural markers every Chrome/Perfetto loader needs.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  if (kTraceLevel >= 1) {
+    EXPECT_NE(json.find("\"test/outer\""), std::string::npos);
+    EXPECT_NE(json.find("\"test/inner\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  } else {
+    EXPECT_EQ(json.find("\"ph\": \"X\""), std::string::npos);
+  }
+}
+
+TEST_F(TraceTest, ThreadsGetTheirOwnBuffersAndNames) {
+  EnableTracing();
+  {
+    SKYUP_TRACE_SPAN("test/main-thread");
+  }
+  std::thread worker([] {
+    SetTraceThreadName("worker thread");
+    SKYUP_TRACE_SPAN("test/worker-thread");
+  });
+  worker.join();
+  DisableTracing();
+
+  const TraceStats stats = GetTraceStats();
+  std::ostringstream out;
+  WriteChromeTrace(out);
+  const std::string json = out.str();
+  if (kTraceLevel >= 1) {
+    EXPECT_EQ(stats.events_buffered, 2u);
+    EXPECT_EQ(stats.threads, 2u);
+    // The worker's buffer (and so its spans) survive the thread's exit.
+    EXPECT_NE(json.find("\"test/worker-thread\""), std::string::npos);
+    EXPECT_NE(json.find("\"worker thread\""), std::string::npos);
+  }
+}
+
+TEST_F(TraceTest, FileExportRejectsUnwritablePath) {
+  const Status status =
+      WriteChromeTraceFile("/nonexistent-dir/trace.json");
+  EXPECT_FALSE(status.ok());
+}
+
+TEST_F(TraceTest, LevelNameMatchesCompiledLevel) {
+  const std::string name = TraceLevelName();
+  if (kTraceLevel == 0) {
+    EXPECT_EQ(name, "off");
+  } else if (kTraceLevel == 1) {
+    EXPECT_EQ(name, "phase");
+  } else {
+    EXPECT_EQ(name, "verbose");
+  }
+}
+
+TEST_F(TraceTest, DisabledSpanDoesNotTouchBuffers) {
+  // The level-compiled-in but runtime-disabled path: spans are one atomic
+  // load and must leave no trace state behind.
+  for (int i = 0; i < 1000; ++i) {
+    SKYUP_TRACE_SPAN("test/disabled-hot-loop");
+  }
+  const TraceStats stats = GetTraceStats();
+  EXPECT_EQ(stats.events_buffered, 0u);
+  EXPECT_EQ(stats.events_dropped, 0u);
+}
+
+}  // namespace
+}  // namespace skyup

@@ -188,6 +188,60 @@ TEST(PlannerTest, TopKWithinSetDuplicatesAreCompetitive) {
   EXPECT_FALSE((*top)[2].already_competitive);
 }
 
+TEST(PlannerTest, TopKWithReportMatchesTopKAndCarriesTelemetry) {
+  PhoneExample ex = MakePhones();
+  ProductCostFunction f = ProductCostFunction::ReciprocalSum(3, 1e-2);
+  Result<UpgradePlanner> planner =
+      UpgradePlanner::Create(ex.competitors, ex.products, f);
+  ASSERT_TRUE(planner.ok());
+
+  for (auto algo : {Algorithm::kImprovedProbing, Algorithm::kJoin,
+                    Algorithm::kBruteForce}) {
+    Result<std::vector<UpgradeResult>> plain = planner->TopK(4, algo);
+    ASSERT_TRUE(plain.ok()) << AlgorithmName(algo);
+    Result<TopKReport> report = planner->TopKWithReport(4, algo);
+    ASSERT_TRUE(report.ok()) << AlgorithmName(algo);
+
+    EXPECT_EQ(report->algorithm, algo);
+    EXPECT_EQ(report->k, 4u);
+    ASSERT_EQ(report->results.size(), plain->size()) << AlgorithmName(algo);
+    for (size_t i = 0; i < plain->size(); ++i) {
+      EXPECT_EQ(report->results[i].product_id, (*plain)[i].product_id);
+      EXPECT_NEAR(report->results[i].cost, (*plain)[i].cost, 1e-9);
+    }
+
+    EXPECT_GT(report->wall_seconds, 0.0);
+    // Single-threaded engines flush exactly one shard of phase timings,
+    // and the rollup accounts for some nonzero slice of the run.
+    EXPECT_GE(report->telemetry.phases.per_shard.size(), 1u)
+        << AlgorithmName(algo);
+    EXPECT_GT(report->telemetry.phases.total.TotalSeconds(), 0.0)
+        << AlgorithmName(algo);
+    EXPECT_GT(report->stats.products_processed, 0u) << AlgorithmName(algo);
+  }
+}
+
+TEST(PlannerTest, TopKTelemetryOutParamIsOptional) {
+  PhoneExample ex = MakePhones();
+  ProductCostFunction f = ProductCostFunction::ReciprocalSum(3, 1e-2);
+  Result<UpgradePlanner> planner =
+      UpgradePlanner::Create(ex.competitors, ex.products, f);
+  ASSERT_TRUE(planner.ok());
+
+  QueryTelemetry telemetry;
+  Result<std::vector<UpgradeResult>> r =
+      planner->TopK(2, Algorithm::kImprovedProbing, nullptr, &telemetry);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(telemetry.phases.per_shard.size(), 1u);
+  EXPECT_GT(telemetry.probe_latency.count(), 0u);
+
+  // Passing no telemetry sink still works (the default path).
+  Result<std::vector<UpgradeResult>> quiet =
+      planner->TopK(2, Algorithm::kImprovedProbing);
+  ASSERT_TRUE(quiet.ok());
+  EXPECT_EQ(quiet->size(), r->size());
+}
+
 TEST(PlannerTest, AlgorithmNames) {
   EXPECT_STREQ(AlgorithmName(Algorithm::kBruteForce), "brute-force");
   EXPECT_STREQ(AlgorithmName(Algorithm::kBasicProbing), "basic-probing");

@@ -40,7 +40,8 @@ TEST(ProbingTest, UndominatedProductCostsZeroAndRanksFirst) {
 
   for (auto algo : {&TopKBasicProbing, &TopKImprovedProbing}) {
     Result<std::vector<UpgradeResult>> top =
-        (*algo)(rp.value(), fx.products, fx.cost_fn, 3, 1e-6, nullptr);
+        (*algo)(rp.value(), fx.products, fx.cost_fn, 3, 1e-6, nullptr,
+                nullptr);
     ASSERT_TRUE(top.ok()) << top.status().ToString();
     ASSERT_EQ(top->size(), 3u);
     EXPECT_EQ((*top)[0].product_id, 1);

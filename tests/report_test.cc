@@ -73,5 +73,76 @@ TEST(ReportTest, EmptyResults) {
   EXPECT_EQ(csv.str(), "");
 }
 
+TEST(ReportMetricsTest, ExecStatsRegisterAsCounters) {
+  ExecStats stats;
+  stats.products_processed = 11;
+  stats.heap_pops = 7;
+  stats.block_kernel_calls = 3;
+  MetricsRegistry registry;
+  AddExecStatsMetrics(stats, &registry);
+  // One counter per ExecStats field; the static_assert in the adapter
+  // keeps this count honest when fields are added.
+  EXPECT_EQ(registry.size(), 14u);
+
+  std::ostringstream out;
+  registry.WritePrometheus(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("skyup_products_processed_total 11"),
+            std::string::npos);
+  EXPECT_NE(text.find("skyup_heap_pops_total 7"), std::string::npos);
+  EXPECT_NE(text.find("skyup_block_kernel_calls_total 3"),
+            std::string::npos);
+}
+
+TEST(ReportMetricsTest, TelemetryRegistersGaugesAndHistograms) {
+  QueryTelemetry telemetry;
+  telemetry.phases.total.probe_seconds = 0.5;
+  telemetry.phases.per_shard.resize(2);
+  telemetry.probe_latency.Observe(1e-4);
+  MetricsRegistry registry;
+  AddTelemetryMetrics(telemetry, &registry);
+
+  std::ostringstream out;
+  registry.WritePrometheus(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("skyup_phase_probe_seconds 0.5"), std::string::npos);
+  EXPECT_NE(text.find("skyup_query_shards 2"), std::string::npos);
+  EXPECT_NE(text.find("skyup_probe_latency_seconds_count 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("skyup_upgrade_latency_seconds_count 0"),
+            std::string::npos);
+}
+
+TEST(ReportProfileTest, WriteProfileCoversPhasesShardsAndHistograms) {
+  QueryTelemetry telemetry;
+  PhaseTimings shard;
+  shard.probe_seconds = 0.75;
+  shard.upgrade_seconds = 0.25;
+  telemetry.phases.AddShard(shard);
+  shard.probe_seconds = 0.25;
+  telemetry.phases.AddShard(shard);
+  telemetry.probe_latency.Observe(1e-3);
+
+  std::ostringstream out;
+  WriteProfile(telemetry, 2.0, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("phase profile (2 shards)"), std::string::npos);
+  EXPECT_NE(text.find("probe"), std::string::npos);
+  EXPECT_NE(text.find("% attributed"), std::string::npos);
+  EXPECT_NE(text.find("per-shard seconds"), std::string::npos);
+  EXPECT_NE(text.find("shard 1"), std::string::npos);
+  EXPECT_NE(text.find("latency histograms"), std::string::npos);
+  EXPECT_NE(text.find("n=1"), std::string::npos);
+
+  // wall_seconds <= 0 omits the coverage line; one shard drops the
+  // per-shard table.
+  QueryTelemetry single;
+  single.phases.AddShard(shard);
+  std::ostringstream brief;
+  WriteProfile(single, 0.0, brief);
+  EXPECT_EQ(brief.str().find("attributed)"), std::string::npos);
+  EXPECT_EQ(brief.str().find("per-shard"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace skyup

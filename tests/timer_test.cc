@@ -1,0 +1,66 @@
+#include "util/timer.h"
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace skyup {
+namespace {
+
+// The static_assert in the header already enforces this at compile time;
+// restating it here keeps the contract visible in the test suite.
+static_assert(SteadyClock::is_steady,
+              "the shared skyup clock must be monotonic");
+
+TEST(TimerTest, ElapsedNeverDecreases) {
+  Timer timer;
+  double previous = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const double now = timer.ElapsedSeconds();
+    EXPECT_GE(now, previous);
+    previous = now;
+  }
+  EXPECT_GE(previous, 0.0);
+}
+
+TEST(TimerTest, ReadoutsAgreeAcrossUnits) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double seconds = timer.ElapsedSeconds();
+  const double millis = timer.ElapsedMillis();
+  const int64_t micros = timer.ElapsedMicros();
+  EXPECT_GE(seconds, 0.005);
+  EXPECT_GE(millis, seconds * 1e3);  // read later, clock is monotonic
+  EXPECT_GE(static_cast<double>(micros), millis * 1e3 - 1e3);
+}
+
+TEST(TimerTest, RestartResetsTheOrigin) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  timer.Restart();
+  EXPECT_LT(timer.ElapsedSeconds(), 0.005);
+}
+
+TEST(ScopedTimerTest, AccumulatesAcrossScopes) {
+  double sink = 0.0;
+  {
+    ScopedTimer t(&sink);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const double after_first = sink;
+  EXPECT_GE(after_first, 0.002);
+  {
+    ScopedTimer t(&sink);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  // Adds, not overwrites: the second scope stacks onto the first.
+  EXPECT_GE(sink, after_first + 0.002);
+}
+
+TEST(ScopedTimerTest, NullSinkIsANoOp) {
+  ScopedTimer t(nullptr);  // must not crash or read the clock
+}
+
+}  // namespace
+}  // namespace skyup

@@ -25,6 +25,10 @@ gymnastics on purpose) and fails with file:line diagnostics on:
                  its static_assert must all agree, so a new counter cannot
                  ship unmerged.
 
+  phasetimings   The same tripwire for obs/phase_timings.h: PhaseTimings
+                 double fields vs MergeFrom add() lines vs the
+                 `N * sizeof(double)` static_assert multiplier.
+
 Run: python3 tools/lint.py [--root <repo>]
 Exit status 0 = clean, 1 = findings (one per line on stdout).
 """
@@ -50,11 +54,14 @@ UNORDERED_DECL_RE = re.compile(
 )
 UNORDERED_ITER_OK = "lint: unordered-iter-ok"
 
-EXECSTATS_HEADER = "src/core/upgrade_result.h"
-EXECSTATS_FIELD_RE = re.compile(r"^\s*size_t\s+(\w+)\s*=\s*0;", re.M)
-EXECSTATS_MERGE_RE = re.compile(r"^\s*add\(&(\w+),", re.M)
-EXECSTATS_ASSERT_RE = re.compile(
-    r"sizeof\(ExecStats\)\s*==\s*(\d+)\s*\*\s*sizeof\(size_t\)"
+MERGE_ADD_RE = re.compile(r"^\s*add\(&(\w+),", re.M)
+
+# (rule, header, struct name, field type) — each struct carries the same
+# tripwire: fields, MergeFrom add() lines, and the static_assert
+# multiplier `N * sizeof(<type>)` must agree.
+MERGE_TRIPWIRES = (
+    ("execstats", "src/core/upgrade_result.h", "ExecStats", "size_t"),
+    ("phasetimings", "src/obs/phase_timings.h", "PhaseTimings", "double"),
 )
 
 
@@ -128,29 +135,42 @@ def lint_file(path: pathlib.Path, rel: str, findings: list[str]) -> None:
                 )
 
 
-def lint_execstats(root: pathlib.Path, findings: list[str]) -> None:
-    path = root / EXECSTATS_HEADER
+def lint_merge_tripwire(
+    root: pathlib.Path,
+    findings: list[str],
+    rule: str,
+    header: str,
+    struct_name: str,
+    field_type: str,
+) -> None:
+    path = root / header
     if not path.exists():
-        findings.append(f"{EXECSTATS_HEADER}: [execstats] file not found")
+        findings.append(f"{header}: [{rule}] file not found")
         return
     text = path.read_text()
-    struct = re.search(r"struct ExecStats \{(.*?)^\};", text, re.S | re.M)
+    struct = re.search(
+        rf"struct {struct_name} \{{(.*?)^\}};", text, re.S | re.M
+    )
     if not struct:
-        findings.append(f"{EXECSTATS_HEADER}: [execstats] struct not found")
+        findings.append(f"{header}: [{rule}] struct not found")
         return
     body = struct.group(1)
-    fields = EXECSTATS_FIELD_RE.findall(body)
-    merged = EXECSTATS_MERGE_RE.findall(body)
-    asserted = EXECSTATS_ASSERT_RE.search(body)
+    fields = re.findall(
+        rf"^\s*{field_type}\s+(\w+)\s*=\s*0(?:\.0)?;", body, re.M
+    )
+    merged = MERGE_ADD_RE.findall(body)
+    asserted = re.search(
+        rf"sizeof\({struct_name}\)\s*==\s*(\d+)\s*\*"
+        rf"\s*sizeof\({field_type}\)",
+        body,
+    )
     if not asserted:
-        findings.append(
-            f"{EXECSTATS_HEADER}: [execstats] sizeof static_assert missing"
-        )
+        findings.append(f"{header}: [{rule}] sizeof static_assert missing")
         return
     n_assert = int(asserted.group(1))
     if not (len(fields) == len(merged) == n_assert):
         findings.append(
-            f"{EXECSTATS_HEADER}: [execstats] {len(fields)} counter fields,"
+            f"{header}: [{rule}] {len(fields)} {field_type} fields,"
             f" {len(merged)} MergeFrom add() lines, static_assert says"
             f" {n_assert} — all three must match"
         )
@@ -158,7 +178,7 @@ def lint_execstats(root: pathlib.Path, findings: list[str]) -> None:
         missing = set(fields) ^ set(merged)
         if missing:
             findings.append(
-                f"{EXECSTATS_HEADER}: [execstats] fields vs MergeFrom"
+                f"{header}: [{rule}] fields vs MergeFrom"
                 f" mismatch: {sorted(missing)}"
             )
 
@@ -178,7 +198,10 @@ def main() -> int:
         for path in sorted((root / subdir).rglob("*")):
             if path.suffix in (".h", ".cc"):
                 lint_file(path, path.relative_to(root).as_posix(), findings)
-    lint_execstats(root, findings)
+    for rule, header, struct_name, field_type in MERGE_TRIPWIRES:
+        lint_merge_tripwire(
+            root, findings, rule, header, struct_name, field_type
+        )
 
     for f in findings:
         print(f)

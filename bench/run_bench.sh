@@ -5,7 +5,7 @@
 # BM_TopKImprovedProbing) and flat/batched (BM_*Flat) — so the speedup of
 # the arena + SIMD path is reproducible from one artifact.
 #
-# Usage: bench/run_bench.sh [--smoke] [build-dir] [output-file]
+# Usage: bench/run_bench.sh [--smoke|--serve] [build-dir] [output-file]
 # Defaults: build-dir = ./build, output-file = ./BENCH_topk.json.
 # The CMake target `run_bench` invokes this with its own build dir.
 #
@@ -13,11 +13,20 @@
 # (one repetition, ~10ms each) purely to prove the bench binary and its
 # data generators still execute; results go to stdout and NO json file is
 # written, so a CI run can never clobber the committed baseline.
+#
+# --serve: serving-layer section only. Replays a generated update+query
+# workload through `skyup_cli serve --replay` (deterministic mode) and
+# folds update throughput + query-latency percentiles under churn into
+# BENCH_topk.json["serve"], leaving every other section untouched.
 set -eu
 
 smoke=0
+serve=0
 if [ "${1:-}" = "--smoke" ]; then
   smoke=1
+  shift
+elif [ "${1:-}" = "--serve" ]; then
+  serve=1
   shift
 fi
 
@@ -25,6 +34,63 @@ repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build"}
 out_file=${2:-"$repo_root/BENCH_topk.json"}
 bench_bin="$build_dir/bench/bench_micro"
+
+if [ "$serve" = 1 ]; then
+  cli_bin="$build_dir/src/skyup_cli"
+  if [ ! -x "$cli_bin" ]; then
+    echo "error: $cli_bin not found or not executable." >&2
+    echo "Build it first: cmake --build $build_dir --target skyup_cli" >&2
+    exit 1
+  fi
+  workdir=$(mktemp -d)
+  trap 'rm -rf "$workdir"' EXIT
+  # A churn-heavy mix (the generator interleaves ~73% updates with
+  # queries) at 20k ops: every query runs against a live backlog, so the
+  # p99 below is latency *under churn*, not steady-state.
+  "$cli_bin" serve --gen-ops="$workdir/ops.csv" --ops=20000 --dims=3 \
+    --seed=42
+  "$cli_bin" serve --replay="$workdir/ops.csv" \
+    --out="$workdir/results.txt" --metrics-out="$workdir/metrics.json" \
+    2> "$workdir/summary.txt"
+  cat "$workdir/summary.txt"
+  python3 - "$out_file" "$workdir/metrics.json" "$workdir/summary.txt" <<'EOF'
+import json, re, sys
+out_path, metrics_path, summary_path = sys.argv[1], sys.argv[2], sys.argv[3]
+try:
+    with open(out_path) as f:
+        bench = json.load(f)
+except FileNotFoundError:
+    bench = {}
+with open(metrics_path) as f:
+    metrics = json.load(f)
+wall_us = int(re.search(r"in (\d+) us", open(summary_path).read()).group(1))
+counters = metrics.get("counters", {})
+gauges = metrics.get("gauges", {})
+updates = counters.get("skyup_serve_updates_applied_total", 0)
+latency = metrics.get("histograms", {}).get(
+    "skyup_serve_query_latency_seconds", {})
+bench["serve"] = {
+    "workload": "generated seed=42 ops=20000 dims=3, deterministic replay",
+    "wall_seconds": wall_us / 1e6,
+    "updates_applied": updates,
+    "update_throughput_per_s": updates / (wall_us / 1e6) if wall_us else None,
+    "queries_executed": counters.get("skyup_serve_queries_executed_total"),
+    "rebuilds_published": counters.get("skyup_serve_rebuilds_published_total"),
+    "erase_fallback_scans": counters.get(
+        "skyup_serve_erase_fallback_scans_total"),
+    "final_epoch": gauges.get("skyup_serve_snapshot_epoch"),
+    "final_backlog_ops": gauges.get("skyup_serve_delta_backlog_ops"),
+    "query_latency": {
+        k: latency.get(k) for k in ("count", "p50", "p95", "p99")
+    },
+}
+with open(out_path, "w") as f:
+    json.dump(bench, f, indent=1)
+    f.write("\n")
+print("merged serve section into", out_path)
+EOF
+  exit 0
+fi
 
 if [ ! -x "$bench_bin" ]; then
   echo "error: $bench_bin not found or not executable." >&2

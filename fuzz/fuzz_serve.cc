@@ -1,0 +1,218 @@
+// Differential fuzz of the live serving layer: random interleavings of
+// inserts/erases on P and T, inline snapshot rebuilds at a random
+// threshold, and top-k queries through the snapshot+overlay engine
+// (serve/query.h) — checked for exact equality against an independent
+// from-scratch oracle that never sees a snapshot, an index, or an
+// overlay: a plain map of live rows, a linear dominator scan, a skyline
+// reduction, and Algorithm 1 per candidate.
+//
+// Also stresses the two serving-specific hazards:
+//   * stale views: a view captured mid-stream is re-queried after more
+//     updates and rebuilds land — its results must match the oracle state
+//     at capture time, not the current state;
+//   * post-rebuild agreement: after a forced full rebuild (empty overlay),
+//     the same query must return the same results it returned through the
+//     overlay.
+
+#include <cstdint>
+#include <iterator>
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/cost_function.h"
+#include "core/dominance.h"
+#include "core/single_upgrade.h"
+#include "core/topk_common.h"
+#include "fuzz_common.h"
+#include "serve/live_table.h"
+#include "serve/query.h"
+#include "serve/rebuilder.h"
+#include "skyline/skyline.h"
+
+namespace skyup {
+namespace fuzz {
+namespace {
+
+// Oracle state: live rows by stable id. std::map keeps iteration in id
+// order, matching the enumeration order the serving engine guarantees.
+using OracleTable = std::map<uint64_t, std::vector<double>>;
+
+std::vector<UpgradeResult> OracleTopK(const OracleTable& live_p,
+                                      const OracleTable& live_t,
+                                      const ProductCostFunction& cost_fn,
+                                      size_t dims, size_t k,
+                                      double epsilon) {
+  TopKCollector collector(k);
+  for (const auto& [tid, t] : live_t) {
+    std::vector<const double*> dominators;
+    for (const auto& [pid, p] : live_p) {
+      if (Dominates(p.data(), t.data(), dims)) {
+        dominators.push_back(p.data());
+      }
+    }
+    SkylineOfPointers(&dominators, dims);
+    UpgradeOutcome outcome =
+        UpgradeProduct(dominators, t.data(), dims, cost_fn, epsilon);
+    if (collector.Admits(outcome.cost)) {
+      collector.Add(UpgradeResult{static_cast<PointId>(tid), outcome.cost,
+                                  std::move(outcome.upgraded),
+                                  outcome.already_competitive});
+    }
+  }
+  return collector.Finish();
+}
+
+void CheckSameResults(const std::vector<UpgradeResult>& oracle,
+                      const std::vector<UpgradeResult>& got,
+                      const char* where, uint64_t seed, int step) {
+  SKYUP_CHECK(got.size() == oracle.size())
+      << where << " returned " << got.size() << " results vs oracle "
+      << oracle.size() << ", seed=" << seed << " step=" << step;
+  for (size_t i = 0; i < oracle.size(); ++i) {
+    SKYUP_CHECK(got[i].product_id == oracle[i].product_id)
+        << where << " rank " << i << ": product " << got[i].product_id
+        << " vs oracle " << oracle[i].product_id << ", seed=" << seed
+        << " step=" << step;
+    // lint: float-eq-ok (differential oracle: the overlay engine must
+    // agree bit-exactly with the from-scratch computation)
+    SKYUP_CHECK(got[i].cost == oracle[i].cost)
+        << where << " rank " << i << ": cost " << got[i].cost
+        << " vs oracle " << oracle[i].cost << ", seed=" << seed
+        << " step=" << step;
+    SKYUP_CHECK(got[i].upgraded == oracle[i].upgraded)
+        << where << " rank " << i << ": upgraded vector diverges, seed="
+        << seed << " step=" << step;
+    SKYUP_CHECK(got[i].already_competitive == oracle[i].already_competitive)
+        << where << " rank " << i << ": competitive flag diverges, seed="
+        << seed << " step=" << step;
+  }
+}
+
+// A stale view plus the oracle state frozen at capture time.
+struct StaleCheck {
+  ReadView view;
+  OracleTable live_p;
+  OracleTable live_t;
+  int captured_at = 0;
+};
+
+void RunOne(uint64_t seed) {
+  Rng rng(seed);
+  const size_t dims = 2 + static_cast<size_t>(rng.NextUint64(3));
+  const double epsilon = 1e-6;
+  const ProductCostFunction cost_fn =
+      ProductCostFunction::ReciprocalSum(dims, 1e-3);
+
+  LiveTableOptions options;
+  options.dims = dims;
+  // Tiny fanouts + thresholds exercise deep trees and frequent rebuilds.
+  options.rtree_fanout = 2 + static_cast<size_t>(rng.NextUint64(7));
+  Result<std::unique_ptr<LiveTable>> table = LiveTable::Create(options);
+  SKYUP_CHECK(table.ok()) << table.status().ToString() << " seed=" << seed;
+  LiveTable& t = **table;
+
+  RebuildPolicy policy;
+  policy.threshold_ops = 1 + static_cast<size_t>(rng.NextUint64(16));
+
+  OracleTable live_p;
+  OracleTable live_t;
+  std::vector<StaleCheck> stale;
+
+  const int steps = 30 + static_cast<int>(rng.NextUint64(50));
+  for (int step = 0; step < steps; ++step) {
+    const uint64_t roll = rng.NextUint64(100);
+    if (roll < 30 || (roll < 60 && live_p.empty())) {
+      // Insert competitor. Sometimes duplicate an existing row exactly
+      // (tie stress for the skyline reduction).
+      std::vector<double> coords(dims);
+      if (!live_p.empty() && rng.NextUint64(4) == 0) {
+        coords = live_p.begin()->second;
+      } else {
+        for (double& c : coords) c = rng.NextDouble(0.0, 4.0);
+      }
+      Result<uint64_t> id = t.InsertCompetitor(coords);
+      SKYUP_CHECK(id.ok()) << id.status().ToString() << " seed=" << seed;
+      live_p.emplace(*id, std::move(coords));
+    } else if (roll < 45) {
+      std::vector<double> coords(dims);
+      for (double& c : coords) c = rng.NextDouble(0.0, 4.0);
+      Result<uint64_t> id = t.InsertProduct(coords);
+      SKYUP_CHECK(id.ok()) << id.status().ToString() << " seed=" << seed;
+      live_t.emplace(*id, std::move(coords));
+    } else if (roll < 58 && !live_p.empty()) {
+      auto victim = live_p.begin();
+      std::advance(victim,
+                   static_cast<long>(rng.NextUint64(live_p.size())));
+      SKYUP_CHECK(t.EraseCompetitor(victim->first).ok()) << "seed=" << seed;
+      live_p.erase(victim);
+    } else if (roll < 68 && !live_t.empty()) {
+      auto victim = live_t.begin();
+      std::advance(victim,
+                   static_cast<long>(rng.NextUint64(live_t.size())));
+      SKYUP_CHECK(t.EraseProduct(victim->first).ok()) << "seed=" << seed;
+      live_t.erase(victim);
+    } else if (roll < 72) {
+      // Capture a view to re-query later, against today's oracle state.
+      stale.push_back(StaleCheck{t.AcquireView(), live_p, live_t, step});
+    } else {
+      const size_t k = 1 + static_cast<size_t>(rng.NextUint64(6));
+      Result<std::vector<UpgradeResult>> got =
+          TopKOverlay(t.AcquireView(), cost_fn, k, epsilon);
+      SKYUP_CHECK(got.ok()) << got.status().ToString() << " seed=" << seed;
+      CheckSameResults(
+          OracleTopK(live_p, live_t, cost_fn, dims, k, epsilon), *got,
+          "overlay", seed, step);
+    }
+    // Inline rebuild exactly like the deterministic serving mode.
+    Result<bool> rebuilt = MaybeRebuildInline(&t, policy);
+    SKYUP_CHECK(rebuilt.ok()) << rebuilt.status().ToString()
+                              << " seed=" << seed;
+  }
+
+  // Stale views answer as of their capture instant, however many rebuilds
+  // have landed since.
+  for (const StaleCheck& check : stale) {
+    const size_t k = 1 + static_cast<size_t>(rng.NextUint64(6));
+    Result<std::vector<UpgradeResult>> got =
+        TopKOverlay(check.view, cost_fn, k, epsilon);
+    SKYUP_CHECK(got.ok()) << got.status().ToString() << " seed=" << seed;
+    CheckSameResults(
+        OracleTopK(check.live_p, check.live_t, cost_fn, dims, k, epsilon),
+        *got, "stale-view", seed, check.captured_at);
+  }
+
+  // Force a final full rebuild: the clean (no-overlay) query must agree
+  // with both the oracle and the overlay answer for the same state.
+  const size_t k = 1 + static_cast<size_t>(rng.NextUint64(6));
+  Result<std::vector<UpgradeResult>> via_overlay =
+      TopKOverlay(t.AcquireView(), cost_fn, k, epsilon);
+  SKYUP_CHECK(via_overlay.ok())
+      << via_overlay.status().ToString() << " seed=" << seed;
+  std::optional<LiveTable::RebuildJob> job = t.BeginRebuild();
+  if (job.has_value()) {
+    Result<std::shared_ptr<const Snapshot>> merged = MergeSnapshot(
+        *job->base, job->ops, job->next_epoch, t.index_options());
+    SKYUP_CHECK(merged.ok()) << merged.status().ToString()
+                             << " seed=" << seed;
+    t.CompleteRebuild(*merged);
+  }
+  ReadView clean = t.AcquireView();
+  SKYUP_CHECK(clean.deltas.empty()) << "seed=" << seed;
+  Result<std::vector<UpgradeResult>> via_snapshot =
+      TopKOverlay(clean, cost_fn, k, epsilon);
+  SKYUP_CHECK(via_snapshot.ok())
+      << via_snapshot.status().ToString() << " seed=" << seed;
+  CheckSameResults(*via_overlay, *via_snapshot, "post-rebuild", seed,
+                   steps);
+  CheckSameResults(OracleTopK(live_p, live_t, cost_fn, dims, k, epsilon),
+                   *via_snapshot, "final-oracle", seed, steps);
+}
+
+}  // namespace
+}  // namespace fuzz
+}  // namespace skyup
+
+SKYUP_FUZZ_DRIVER("fuzz_serve", skyup::fuzz::RunOne)

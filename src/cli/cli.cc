@@ -15,6 +15,8 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "data/wine.h"
+#include "serve/replay.h"
+#include "serve/server.h"
 #include "skyline/skyline.h"
 #include "util/csv.h"
 #include "util/timer.h"
@@ -49,6 +51,15 @@ commands:
               chrome://tracing or https://ui.perfetto.dev;
               --metrics-out: counters/gauges/histograms dump — JSON when
               FILE ends in .json, Prometheus text otherwise)
+  serve      replay or generate a live update+query workload
+             --replay=OPS.csv [--out=FILE] [--metrics-out=FILE]
+             [--epsilon=1e-6] [--fanout=64] [--rebuild-threshold=64]
+             | --gen-ops=FILE --ops=N --dims=D [--seed=1]
+             (replay mode drives the serving layer deterministically:
+              queries run inline and snapshot rebuilds trigger inline on
+              the op-count threshold, so two replays of the same workload
+              produce byte-identical output; --gen-ops writes a seeded
+              random workload of inserts/erases/queries instead)
   help       show this message
 )";
 
@@ -412,6 +423,101 @@ int CmdTopK(const Flags& flags, std::ostream& out, std::ostream& err) {
   return rc;
 }
 
+int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
+  const auto gen_path = flags.Get("gen-ops");
+  const auto replay_path = flags.Get("replay");
+  if (gen_path.has_value() == replay_path.has_value()) {
+    return Usage(err, "serve requires exactly one of --replay or --gen-ops");
+  }
+
+  if (gen_path.has_value()) {
+    const auto ops = ToInt(flags.GetOr("ops", "1000"));
+    const auto dims = ToInt(flags.GetOr("dims", "3"));
+    const auto seed = ToInt(flags.GetOr("seed", "1"));
+    if (!ops || !dims || !seed || *ops <= 0 || *dims <= 0) {
+      return Usage(err, "serve: malformed numeric flag");
+    }
+    if (flags.ReportUnused(err)) return 2;
+    std::ofstream file(*gen_path);
+    if (!file) {
+      return Fail(err,
+                  Status::IOError("cannot open '" + *gen_path + "'"));
+    }
+    Status generated =
+        GenerateWorkload(static_cast<uint64_t>(*seed),
+                         static_cast<size_t>(*ops),
+                         static_cast<size_t>(*dims), file);
+    if (!generated.ok()) return Fail(err, generated);
+    out << "wrote " << *ops << " ops (dims=" << *dims << ", seed=" << *seed
+        << ") to " << *gen_path << "\n";
+    return 0;
+  }
+
+  const auto epsilon = ToDouble(flags.GetOr("epsilon", "1e-6"));
+  const auto fanout = ToInt(flags.GetOr("fanout", "64"));
+  const auto threshold = ToInt(flags.GetOr("rebuild-threshold", "64"));
+  const auto out_path = flags.Get("out");
+  const auto metrics_path = flags.Get("metrics-out");
+  if (!epsilon || !fanout || !threshold || *epsilon <= 0 || *fanout < 2 ||
+      *threshold < 1) {
+    return Usage(err, "serve: malformed numeric flag");
+  }
+  if (flags.ReportUnused(err)) return 2;
+
+  Result<ReplayWorkload> workload = ReadWorkloadFile(*replay_path);
+  if (!workload.ok()) return Fail(err, workload.status());
+
+  ServerOptions options;
+  options.dims = workload->dims;
+  options.default_epsilon = *epsilon;
+  options.rtree_fanout = static_cast<size_t>(*fanout);
+  options.rebuild_threshold_ops = static_cast<size_t>(*threshold);
+  options.background_rebuild = false;  // replay must be deterministic
+  options.query_threads = 1;
+  Result<std::unique_ptr<Server>> server = Server::Create(
+      ProductCostFunction::ReciprocalSum(workload->dims, 1e-3), options);
+  if (!server.ok()) return Fail(err, server.status());
+
+  std::ofstream result_file;
+  if (out_path.has_value()) {
+    result_file.open(*out_path);
+    if (!result_file) {
+      return Fail(err, Status::IOError("cannot open '" + *out_path + "'"));
+    }
+  }
+  std::ostream& results = out_path.has_value() ? result_file : out;
+  Result<ReplayReport> report = Replay(server->get(), *workload, results);
+  if (!report.ok()) return Fail(err, report.status());
+
+  err << "# replay: " << workload->ops.size() << " ops ("
+      << report->inserts_p << " +P, " << report->inserts_t << " +T, "
+      << report->erases_p << " -P, " << report->erases_t << " -T, "
+      << report->queries << " queries) in "
+      << static_cast<long long>(report->wall_seconds * 1e6) << " us\n"
+      << "# replay: final epoch=" << report->final_epoch
+      << " backlog=" << report->final_backlog << " rebuilds="
+      << (*server)->stats().rebuilds_published << "\n";
+
+  if (metrics_path.has_value()) {
+    MetricsRegistry registry;
+    (*server)->FillMetrics(&registry);
+    std::ofstream metrics_file(*metrics_path);
+    if (!metrics_file) {
+      return Fail(err, Status::IOError("cannot open '" + *metrics_path +
+                                       "' for writing"));
+    }
+    const bool json = metrics_path->size() >= 5 &&
+                      metrics_path->compare(metrics_path->size() - 5, 5,
+                                            ".json") == 0;
+    if (json) {
+      registry.WriteJson(metrics_file);
+    } else {
+      registry.WritePrometheus(metrics_file);
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int Run(const std::vector<std::string>& args, std::ostream& out,
@@ -428,6 +534,7 @@ int Run(const std::vector<std::string>& args, std::ostream& out,
   if (command == "wine") return CmdWine(*flags, out, err);
   if (command == "skyline") return CmdSkyline(*flags, out, err);
   if (command == "topk") return CmdTopK(*flags, out, err);
+  if (command == "serve") return CmdServe(*flags, out, err);
   return Usage(err, "unknown command '" + command + "'");
 }
 

@@ -1,6 +1,7 @@
 #include "core/dataset.h"
 
 #include <algorithm>
+#include <functional>
 
 #include "util/logging.h"
 
@@ -41,6 +42,21 @@ PointId Dataset::Add(const std::vector<double>& coords) {
 
 PointId Dataset::Add(const double* coords) {
   const PointId id = static_cast<PointId>(size());
+  // `coords` may point into this dataset's own storage (the delta overlay
+  // copies rows between live tables: `dst.Add(src.data(i))` with
+  // dst == src). `insert` would read `coords` after a reallocation moved
+  // it, so re-derive the source by offset after growing: the appended
+  // region never overlaps an existing row.
+  const double* base = storage_.data();
+  const std::less<const double*> before;  // total order even across objects
+  if (base != nullptr && !before(coords, base) &&
+      before(coords, base + storage_.size())) {
+    const size_t offset = static_cast<size_t>(coords - base);
+    storage_.resize(storage_.size() + dims_);
+    std::copy_n(storage_.data() + offset, dims_,
+                storage_.data() + static_cast<size_t>(id) * dims_);
+    return id;
+  }
   storage_.insert(storage_.end(), coords, coords + dims_);
   return id;
 }

@@ -32,7 +32,9 @@ class Dataset {
   /// Appends a point and returns its id. `coords` size must equal `dims()`.
   PointId Add(const std::vector<double>& coords);
 
-  /// Appends from a raw pointer of `dims()` values.
+  /// Appends from a raw pointer of `dims()` values. `coords` may alias
+  /// this dataset's own storage (self-append is handled safely even when
+  /// the append reallocates).
   PointId Add(const double* coords);
 
   /// Pre-allocates storage for `n` points.

@@ -1,8 +1,10 @@
 #include "core/parallel_probing.h"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -46,17 +48,24 @@ struct ShardState {
 // true cost is strictly greater than c* and the candidate cannot place —
 // even under ties, which sit at equality and are never pruned.
 template <typename LowerBoundFn, typename EvaluateFn>
-std::vector<UpgradeResult> RunShardedTopK(const Dataset& products, size_t k,
-                                          size_t threads,
-                                          const LowerBoundFn& lower_bound,
-                                          const EvaluateFn& evaluate,
-                                          ExecStats* stats,
-                                          QueryTelemetry* telemetry) {
+Result<std::vector<UpgradeResult>> RunShardedTopK(
+    const Dataset& products, size_t k, size_t threads,
+    const LowerBoundFn& lower_bound, const EvaluateFn& evaluate,
+    ExecStats* stats, QueryTelemetry* telemetry,
+    const QueryControl* control) {
   threads = ResolveThreadCount(threads, products.size());
   std::vector<ShardState> shards;
   shards.reserve(threads);
   for (size_t s = 0; s < threads; ++s) shards.emplace_back(k);
   AtomicCostThreshold threshold;
+
+  // Cancellation/deadline plumbing: the first shard whose `Check()` fires
+  // records the reason (under the mutex) and raises `stop`; every other
+  // shard sees the relaxed flag at its next candidate and unwinds. The
+  // ParallelFor join orders all of this before the status is read below.
+  std::atomic<bool> stop{false};
+  std::mutex stop_mu;
+  Status stop_status;
 
   ParallelFor(
       products.size(), threads,
@@ -75,6 +84,20 @@ std::vector<UpgradeResult> RunShardedTopK(const Dataset& products, size_t k,
         }
         ShardTelemetry* tel = state.telemetry.get();
         for (size_t i = begin; i < end; ++i) {
+          // Poll before the candidate is counted as processed so the
+          // accounting identity below holds on early unwind too.
+          if (control != nullptr) {
+            if (stop.load(std::memory_order_relaxed)) break;
+            if ((i - begin) % QueryControl::kPollStride == 0) {
+              Status st = control->Check();
+              if (!st.ok()) {
+                std::lock_guard<std::mutex> lock(stop_mu);
+                if (stop_status.ok()) stop_status = std::move(st);
+                stop.store(true, std::memory_order_relaxed);
+                break;
+              }
+            }
+          }
           const PointId tid = static_cast<PointId>(i);
           const double* t = products.data(tid);
           ++state.stats.products_processed;
@@ -107,6 +130,20 @@ std::vector<UpgradeResult> RunShardedTopK(const Dataset& products, size_t k,
         }
         LapOther(tel);
       });
+
+  // A fired control token invalidates the whole query: partial shard
+  // output is never merged, only the stop reason escapes. (The join above
+  // already synchronized every shard's writes.)
+  if (!stop_status.ok()) {
+    if (stats != nullptr) {
+      ExecStats total;
+      for (const ShardState& shard : shards) total.MergeFrom(shard.stats);
+      SKYUP_DCHECK(total.upgrade_calls + total.candidates_pruned ==
+                   total.products_processed);
+      *stats = total;
+    }
+    return stop_status;
+  }
 
   // Engine-side merge: the only phase that runs outside the shards, so it
   // is clocked separately and folded into the query roll-up (per-shard
@@ -157,7 +194,8 @@ double TightBoxBound(const double* lo, const double* hi, const double* t,
 Result<std::vector<UpgradeResult>> TopKImprovedProbingParallel(
     const RTree& competitors_tree, const Dataset& products,
     const ProductCostFunction& cost_fn, size_t k, double epsilon,
-    size_t threads, ExecStats* stats, QueryTelemetry* telemetry) {
+    size_t threads, ExecStats* stats, QueryTelemetry* telemetry,
+    const QueryControl* control) {
   SKYUP_RETURN_IF_ERROR(ValidateTopKArgs(competitors_tree.dataset().dims(),
                                          products, cost_fn, k, epsilon));
   // Once per query, before the shards fan out: every per-candidate prune
@@ -200,13 +238,14 @@ Result<std::vector<UpgradeResult>> TopKImprovedProbingParallel(
     return outcome;
   };
   return RunShardedTopK(products, k, threads, bound, evaluate, stats,
-                        telemetry);
+                        telemetry, control);
 }
 
 Result<std::vector<UpgradeResult>> TopKImprovedProbingParallel(
     const FlatRTree& competitors_index, const Dataset& products,
     const ProductCostFunction& cost_fn, size_t k, double epsilon,
-    size_t threads, ExecStats* stats, QueryTelemetry* telemetry) {
+    size_t threads, ExecStats* stats, QueryTelemetry* telemetry,
+    const QueryControl* control) {
   SKYUP_RETURN_IF_ERROR(ValidateTopKArgs(competitors_index.dataset().dims(),
                                          products, cost_fn, k, epsilon));
   SKYUP_PARANOID_OK(competitors_index.Validate());
@@ -247,13 +286,14 @@ Result<std::vector<UpgradeResult>> TopKImprovedProbingParallel(
     return outcome;
   };
   return RunShardedTopK(products, k, threads, bound, evaluate, stats,
-                        telemetry);
+                        telemetry, control);
 }
 
 Result<std::vector<UpgradeResult>> TopKBasicProbingParallel(
     const RTree& competitors_tree, const Dataset& products,
     const ProductCostFunction& cost_fn, size_t k, double epsilon,
-    size_t threads, ExecStats* stats, QueryTelemetry* telemetry) {
+    size_t threads, ExecStats* stats, QueryTelemetry* telemetry,
+    const QueryControl* control) {
   SKYUP_RETURN_IF_ERROR(ValidateTopKArgs(competitors_tree.dataset().dims(),
                                          products, cost_fn, k, epsilon));
   SKYUP_PARANOID_OK(competitors_tree.Validate());
@@ -300,13 +340,14 @@ Result<std::vector<UpgradeResult>> TopKBasicProbingParallel(
     return outcome;
   };
   return RunShardedTopK(products, k, threads, bound, evaluate, stats,
-                        telemetry);
+                        telemetry, control);
 }
 
 Result<std::vector<UpgradeResult>> TopKBruteForceParallel(
     const Dataset& competitors, const Dataset& products,
     const ProductCostFunction& cost_fn, size_t k, double epsilon,
-    size_t threads, ExecStats* stats, QueryTelemetry* telemetry) {
+    size_t threads, ExecStats* stats, QueryTelemetry* telemetry,
+    const QueryControl* control) {
   SKYUP_RETURN_IF_ERROR(
       ValidateTopKArgs(competitors.dims(), products, cost_fn, k, epsilon));
   SKYUP_PARANOID_OK(SpotCheckCostMonotonicity(cost_fn, products));
@@ -344,7 +385,7 @@ Result<std::vector<UpgradeResult>> TopKBruteForceParallel(
     return outcome;
   };
   return RunShardedTopK(products, k, threads, bound, evaluate, stats,
-                        telemetry);
+                        telemetry, control);
 }
 
 }  // namespace skyup

@@ -27,6 +27,7 @@
 
 #include "core/cost_function.h"
 #include "core/dataset.h"
+#include "core/query_control.h"
 #include "core/upgrade_result.h"
 #include "obs/phase_timings.h"
 #include "rtree/flat_rtree.h"
@@ -38,11 +39,17 @@ namespace skyup {
 /// Parallel improved probing over `threads` workers (0 = one per hardware
 /// thread). Same contract and results as `TopKImprovedProbing`; `stats`
 /// aggregates all workers (see `ExecStats::MergeFrom`).
+///
+/// All four entries accept an optional `control` token: every shard polls
+/// it each `QueryControl::kPollStride` candidates and the whole query
+/// unwinds with `kCancelled`/`kDeadlineExceeded` when it fires. A query
+/// that completes returns results identical to `control == nullptr`.
 Result<std::vector<UpgradeResult>> TopKImprovedProbingParallel(
     const RTree& competitors_tree, const Dataset& products,
     const ProductCostFunction& cost_fn, size_t k, double epsilon = 1e-6,
     size_t threads = 0, ExecStats* stats = nullptr,
-    QueryTelemetry* telemetry = nullptr);
+    QueryTelemetry* telemetry = nullptr,
+    const QueryControl* control = nullptr);
 
 /// Parallel improved probing over the flat arena snapshot: the sharded
 /// engine with every worker running the batched SoA probe
@@ -53,7 +60,8 @@ Result<std::vector<UpgradeResult>> TopKImprovedProbingParallel(
     const FlatRTree& competitors_index, const Dataset& products,
     const ProductCostFunction& cost_fn, size_t k, double epsilon = 1e-6,
     size_t threads = 0, ExecStats* stats = nullptr,
-    QueryTelemetry* telemetry = nullptr);
+    QueryTelemetry* telemetry = nullptr,
+    const QueryControl* control = nullptr);
 
 /// Parallel basic probing (ADR range query per candidate). Same contract
 /// and results as `TopKBasicProbing`.
@@ -61,7 +69,8 @@ Result<std::vector<UpgradeResult>> TopKBasicProbingParallel(
     const RTree& competitors_tree, const Dataset& products,
     const ProductCostFunction& cost_fn, size_t k, double epsilon = 1e-6,
     size_t threads = 0, ExecStats* stats = nullptr,
-    QueryTelemetry* telemetry = nullptr);
+    QueryTelemetry* telemetry = nullptr,
+    const QueryControl* control = nullptr);
 
 /// Parallel index-free oracle (linear dominator scan per candidate). Same
 /// contract and results as `TopKBruteForce`; the pruning bound uses the
@@ -70,7 +79,8 @@ Result<std::vector<UpgradeResult>> TopKBruteForceParallel(
     const Dataset& competitors, const Dataset& products,
     const ProductCostFunction& cost_fn, size_t k, double epsilon = 1e-6,
     size_t threads = 0, ExecStats* stats = nullptr,
-    QueryTelemetry* telemetry = nullptr);
+    QueryTelemetry* telemetry = nullptr,
+    const QueryControl* control = nullptr);
 
 }  // namespace skyup
 

@@ -111,14 +111,21 @@ Result<UpgradePlanner> UpgradePlanner::Create(Dataset competitors,
 
 Result<std::vector<UpgradeResult>> UpgradePlanner::TopK(
     size_t k, Algorithm algorithm, ExecStats* stats,
-    QueryTelemetry* telemetry) const {
+    QueryTelemetry* telemetry, const QueryControl* control) const {
   const bool parallel = options_.threads != 1;
+  // The sequential and join paths have no shard boundaries to poll at, so
+  // a fired token is honored once, before any work starts; the parallel
+  // engines keep polling mid-flight.
+  if (control != nullptr) {
+    Status st = control->Check();
+    if (!st.ok()) return st;
+  }
   switch (algorithm) {
     case Algorithm::kBruteForce:
       if (parallel) {
         return TopKBruteForceParallel(*competitors_, *products_, *cost_fn_,
                                       k, options_.epsilon, options_.threads,
-                                      stats, telemetry);
+                                      stats, telemetry, control);
       }
       return TopKBruteForce(*competitors_, *products_, *cost_fn_, k,
                             options_.epsilon, stats, telemetry);
@@ -126,7 +133,7 @@ Result<std::vector<UpgradeResult>> UpgradePlanner::TopK(
       if (parallel) {
         return TopKBasicProbingParallel(*rp_, *products_, *cost_fn_, k,
                                         options_.epsilon, options_.threads,
-                                        stats, telemetry);
+                                        stats, telemetry, control);
       }
       return TopKBasicProbing(*rp_, *products_, *cost_fn_, k,
                               options_.epsilon, stats, telemetry);
@@ -136,7 +143,7 @@ Result<std::vector<UpgradeResult>> UpgradePlanner::TopK(
           return TopKImprovedProbingParallel(*fp_, *products_, *cost_fn_, k,
                                              options_.epsilon,
                                              options_.threads, stats,
-                                             telemetry);
+                                             telemetry, control);
         }
         return TopKImprovedProbing(*fp_, *products_, *cost_fn_, k,
                                    options_.epsilon, stats, telemetry);
@@ -145,7 +152,7 @@ Result<std::vector<UpgradeResult>> UpgradePlanner::TopK(
         return TopKImprovedProbingParallel(*rp_, *products_, *cost_fn_, k,
                                            options_.epsilon,
                                            options_.threads, stats,
-                                           telemetry);
+                                           telemetry, control);
       }
       return TopKImprovedProbing(*rp_, *products_, *cost_fn_, k,
                                  options_.epsilon, stats, telemetry);

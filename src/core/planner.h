@@ -9,6 +9,7 @@
 #include "core/join.h"
 #include "core/lower_bounds.h"
 #include "core/probing.h"
+#include "core/query_control.h"
 #include "core/upgrade_result.h"
 #include "obs/phase_timings.h"
 #include "rtree/flat_rtree.h"
@@ -100,10 +101,14 @@ class UpgradePlanner {
   /// The k cheapest upgrades, ascending by (cost, product id). With
   /// `telemetry` non-null the engines additionally collect per-phase wall
   /// times and latency histograms (obs/phase_timings.h) — leave it null on
-  /// hot paths that do not need them.
+  /// hot paths that do not need them. With `control` non-null the query is
+  /// cancellable: the parallel engines poll it at shard boundaries; the
+  /// sequential/join paths check it once up front (their per-query latency
+  /// is bounded by construction, so mid-flight polling buys nothing).
   Result<std::vector<UpgradeResult>> TopK(
       size_t k, Algorithm algorithm, ExecStats* stats = nullptr,
-      QueryTelemetry* telemetry = nullptr) const;
+      QueryTelemetry* telemetry = nullptr,
+      const QueryControl* control = nullptr) const;
 
   /// `TopK` plus the full observability payload (stats, phase breakdown,
   /// histograms, wall time) in one call.

@@ -1,0 +1,75 @@
+#ifndef SKYUP_CORE_QUERY_CONTROL_H_
+#define SKYUP_CORE_QUERY_CONTROL_H_
+
+// Cooperative cancellation + deadline token for long-running queries.
+//
+// The serving layer (src/serve/) hands one `QueryControl` per query to the
+// engine; the sharded top-k loop polls `Check()` every `kPollStride`
+// candidates at shard boundaries and unwinds with `kCancelled` /
+// `kDeadlineExceeded` when it fires. The token is write-once-ish by
+// design: the deadline is set before the query is submitted (workers only
+// read it), while `Cancel()` may race with the query from any thread.
+
+#include <atomic>
+#include <cstddef>
+
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace skyup {
+
+class QueryControl {
+ public:
+  /// How many candidates a shard processes between `Check()` polls. Small
+  /// enough that a deadline fires within a handful of upgrade evaluations,
+  /// large enough that the steady-clock read never shows up in a profile.
+  static constexpr size_t kPollStride = 32;
+
+  QueryControl() = default;
+  QueryControl(const QueryControl&) = delete;
+  QueryControl& operator=(const QueryControl&) = delete;
+
+  /// Requests cancellation. Safe to call from any thread, any time.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Sets an absolute deadline. Must be called before the query starts
+  /// (workers read the deadline without further synchronization beyond
+  /// the release/acquire pair on `has_deadline_`).
+  void SetDeadline(SteadyClock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_.store(true, std::memory_order_release);
+  }
+
+  /// Convenience: deadline = now + `seconds`.
+  void SetTimeout(double seconds) {
+    SetDeadline(SteadyClock::now() +
+                std::chrono::duration_cast<SteadyClock::duration>(
+                    std::chrono::duration<double>(seconds)));
+  }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// OK while the query may keep running; `kCancelled` or
+  /// `kDeadlineExceeded` once it must stop. Cancellation wins ties so a
+  /// cancelled query reports as cancelled even when its deadline has also
+  /// lapsed.
+  Status Check() const {
+    if (cancelled()) return Status::Cancelled("query cancelled");
+    if (has_deadline_.load(std::memory_order_acquire) &&
+        SteadyClock::now() >= deadline_) {
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> has_deadline_{false};
+  SteadyClock::time_point deadline_{};
+};
+
+}  // namespace skyup
+
+#endif  // SKYUP_CORE_QUERY_CONTROL_H_

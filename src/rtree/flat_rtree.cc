@@ -92,6 +92,21 @@ Result<FlatRTree> FlatRTree::BulkLoad(const Dataset& dataset,
   return FromTree(tree.value());
 }
 
+Result<FlatRTree> FlatRTree::BulkLoadSnapshot(const Dataset& dataset,
+                                              RTreeOptions options) {
+  if (dataset.empty()) {
+    // A serving snapshot may legitimately hold zero competitors (every P
+    // row erased, none inserted yet). The empty flat index answers every
+    // probe with "no dominators", which is the right answer; it still
+    // binds dims/dataset so traversal entry points have a valid view.
+    FlatRTree flat;
+    flat.dims_ = dataset.dims();
+    flat.dataset_ = &dataset;
+    return flat;
+  }
+  return BulkLoad(dataset, options);
+}
+
 Mbr FlatRTree::root_mbr() const {
   if (empty()) return Mbr(dims_);
   return Mbr::FromCorners(min_corner(kRoot), max_corner(kRoot), dims_);

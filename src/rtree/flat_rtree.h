@@ -39,6 +39,13 @@ class FlatRTree {
   static Result<FlatRTree> BulkLoad(const Dataset& dataset,
                                     RTreeOptions options = {});
 
+  /// `BulkLoad` for the serving rebuild path (src/serve/rebuilder.cc):
+  /// identical for non-empty datasets, but an *empty* dataset — legal
+  /// while a live table has everything erased — yields an empty index
+  /// bound to `dataset` instead of an error.
+  static Result<FlatRTree> BulkLoadSnapshot(const Dataset& dataset,
+                                            RTreeOptions options = {});
+
   FlatRTree() = default;
   FlatRTree(FlatRTree&&) = default;
   FlatRTree& operator=(FlatRTree&&) = default;

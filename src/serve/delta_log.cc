@@ -1,0 +1,119 @@
+#include "serve/delta_log.h"
+
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "util/check.h"
+
+namespace skyup {
+
+void DeltaLog::Append(DeltaOp op) {
+  // Write-ahead visibility point: the hook runs before the lock is even
+  // taken, so the op is invisible to every reader while the hook executes
+  // and the hook may read the log (e.g. to record its append offset).
+  // Appends are externally serialized (the live table holds its mutex
+  // across Append), which is what keeps hook order == log order.
+  if (hook_) hook_(op);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  ops_.push_back(std::move(op));
+}
+
+size_t DeltaLog::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return ops_.size();
+}
+
+std::vector<DeltaOp> DeltaLog::CopyPrefix(size_t end) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (end > ops_.size()) end = ops_.size();
+  return std::vector<DeltaOp>(ops_.begin(),
+                              ops_.begin() + static_cast<ptrdiff_t>(end));
+}
+
+std::vector<DeltaOp> DeltaLog::CopyAll() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return ops_;
+}
+
+void DeltaLog::Clear() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  ops_.clear();
+}
+
+DeltaOverlay BuildOverlay(const ReadView& view) {
+  SKYUP_CHECK(view.snapshot != nullptr)
+      << "BuildOverlay needs a snapshot-bearing view";
+  const Snapshot& base = *view.snapshot;
+  const size_t dims = base.dims();
+  DeltaOverlay overlay(dims);
+  overlay.competitor_erased.assign(base.competitors().size(), 0);
+  overlay.product_erased.assign(base.products().size(), 0);
+
+  // Ops referencing post-snapshot inserts resolve here, not in the base
+  // row maps; `alive` flips when an insert is erased later in the log.
+  struct Pending {
+    uint64_t id;
+    const std::vector<double>* coords;
+    bool alive;
+  };
+  std::vector<Pending> pending_competitors;
+  std::vector<Pending> pending_products;
+  std::unordered_map<uint64_t, size_t> competitor_index;
+  std::unordered_map<uint64_t, size_t> product_index;
+
+  for (const DeltaOp& op : view.deltas) {
+    const bool is_competitor = op.target == DeltaTarget::kCompetitor;
+    std::vector<Pending>& pending =
+        is_competitor ? pending_competitors : pending_products;
+    std::unordered_map<uint64_t, size_t>& index =
+        is_competitor ? competitor_index : product_index;
+    if (op.kind == DeltaKind::kInsert) {
+      SKYUP_DCHECK(op.coords.size() == dims);
+      index.emplace(op.id, pending.size());
+      pending.push_back(Pending{op.id, &op.coords, true});
+      continue;
+    }
+    auto inserted = index.find(op.id);
+    if (inserted != index.end()) {
+      pending[inserted->second].alive = false;
+      continue;
+    }
+    const PointId row =
+        is_competitor ? base.CompetitorRow(op.id) : base.ProductRow(op.id);
+    // The live table validates every erase against its live-id set before
+    // logging it, so the id must resolve either above or here.
+    SKYUP_DCHECK(row != kInvalidPointId)
+        << "erase of unknown id " << op.id << " reached the overlay";
+    if (row == kInvalidPointId) continue;
+    const size_t r = static_cast<size_t>(row);
+    if (is_competitor) {
+      if (overlay.competitor_erased[r] == 0) {
+        overlay.competitor_erased[r] = 1;
+        ++overlay.competitors_erased;
+      }
+    } else {
+      if (overlay.product_erased[r] == 0) {
+        overlay.product_erased[r] = 1;
+        ++overlay.products_erased;
+      }
+    }
+  }
+
+  // Ids are handed out monotonically, so append order == id order and the
+  // compacted alive rows land ascending by stable id.
+  for (const Pending& p : pending_competitors) {
+    if (!p.alive) continue;
+    overlay.inserted_competitors.Add(*p.coords);
+    overlay.inserted_competitor_ids.push_back(p.id);
+    overlay.competitor_block.Append(p.coords->data());
+  }
+  for (const Pending& p : pending_products) {
+    if (!p.alive) continue;
+    overlay.inserted_products.Add(*p.coords);
+    overlay.inserted_product_ids.push_back(p.id);
+  }
+  return overlay;
+}
+
+}  // namespace skyup

@@ -1,0 +1,145 @@
+#ifndef SKYUP_SERVE_DELTA_LOG_H_
+#define SKYUP_SERVE_DELTA_LOG_H_
+
+// The append-only delta pipeline between snapshots: every accepted update
+// (insert/erase on P or T) becomes a `DeltaOp` in a `DeltaLog`; queries
+// fold the log's prefix into a `DeltaOverlay` over their snapshot, and the
+// rebuilder folds the whole log into the next snapshot.
+//
+// Overlay soundness (full argument in docs/algorithms.md):
+//   - inserted competitors are scanned linearly through the batched
+//     dominance kernels and merged into each candidate's dominator set —
+//     extra dominators only tighten the ADR, never relax it;
+//   - erased competitors are detected against the probed skyline: the
+//     stale-index probe is exact iff no erased id appears in the returned
+//     skyline (a superset argument); otherwise the overlay falls back to a
+//     linear scan of the live competitor rows;
+//   - because erases can only *lower* upgrade costs, the engine's box
+//     lower-bound prune is unsound under a P-erase, so the overlay engine
+//     (serve/query.h) runs without it.
+
+#include <cstdint>
+#include <functional>
+#include <shared_mutex>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/dominance_batch.h"
+#include "serve/snapshot.h"
+#include "util/status.h"
+
+namespace skyup {
+
+enum class DeltaTarget : uint8_t {
+  kCompetitor,  ///< the paper's P
+  kProduct,     ///< the paper's T
+};
+
+enum class DeltaKind : uint8_t { kInsert, kErase };
+
+/// One accepted update. `coords` is sized `dims` for inserts and empty for
+/// erases; `id` is the table-scoped stable id the op creates or removes.
+struct DeltaOp {
+  DeltaTarget target = DeltaTarget::kCompetitor;
+  DeltaKind kind = DeltaKind::kInsert;
+  uint64_t id = 0;
+  std::vector<double> coords;
+};
+
+/// Append-only op buffer with write-ahead semantics: the append hook (a
+/// durability seam — tests assert on it, a real deployment would fsync a
+/// WAL record in it) runs *before* the op becomes visible to any reader.
+/// Appends are serialized; reads snapshot a prefix under a shared lock.
+class DeltaLog {
+ public:
+  using AppendHook = std::function<void(const DeltaOp&)>;
+
+  DeltaLog() = default;
+  DeltaLog(const DeltaLog&) = delete;
+  DeltaLog& operator=(const DeltaLog&) = delete;
+
+  /// Installs the write-ahead hook (null to clear). Not synchronized with
+  /// concurrent appends — install before the log goes live.
+  void SetAppendHook(AppendHook hook) { hook_ = std::move(hook); }
+
+  /// Appends one op. The hook observes the op strictly before any reader
+  /// can (write-ahead visibility point); it runs outside the log's lock,
+  /// so it may read the log. Appends must be externally serialized (the
+  /// live table holds its mutex across Append).
+  void Append(DeltaOp op);
+
+  size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  /// Copies ops `[0, end)` in append order. `end` is clamped to `size()`.
+  std::vector<DeltaOp> CopyPrefix(size_t end) const;
+
+  /// Copies everything appended so far.
+  std::vector<DeltaOp> CopyAll() const;
+
+  /// Drops all ops (rebuild absorbed them). Caller must guarantee no
+  /// reader still expects them — in the live table, the frozen log is
+  /// cleared only after its replacement snapshot is published.
+  void Clear();
+
+ private:
+  mutable std::shared_mutex mu_;
+  AppendHook hook_;
+  std::vector<DeltaOp> ops_;
+};
+
+/// What one query runs against: an immutable snapshot plus the delta ops
+/// accepted before the view was taken. Capturing a view is cheap (one
+/// shared_ptr copy + one op-vector copy of the bounded backlog); the view
+/// stays consistent forever, no matter what publishes after it.
+struct ReadView {
+  std::shared_ptr<const Snapshot> snapshot;
+  std::vector<DeltaOp> deltas;  ///< frozen ++ active, in append order
+
+  uint64_t epoch() const { return snapshot->epoch(); }
+};
+
+/// The delta log digested for one query: erase bitmaps over the snapshot's
+/// base rows, plus the alive inserted rows of both tables. Inserted
+/// competitors are also mirrored into an SoA block so the per-candidate
+/// dominator scan runs through the batched kernels.
+struct DeltaOverlay {
+  explicit DeltaOverlay(size_t dims)
+      : inserted_competitors(dims),
+        inserted_products(dims),
+        competitor_block(dims) {}
+
+  /// `competitor_erased[row]` != 0 iff the snapshot's competitor row was
+  /// erased after the snapshot was cut. Same for products.
+  std::vector<uint8_t> competitor_erased;
+  std::vector<uint8_t> product_erased;
+  size_t competitors_erased = 0;
+  size_t products_erased = 0;
+
+  /// Rows inserted after the snapshot and still alive at view time,
+  /// ascending by stable id (ids only grow, appends happen in id order).
+  Dataset inserted_competitors;
+  std::vector<uint64_t> inserted_competitor_ids;
+  Dataset inserted_products;
+  std::vector<uint64_t> inserted_product_ids;
+
+  /// SoA mirror of `inserted_competitors` for the batched kernels.
+  SoaBlock competitor_block;
+
+  size_t live_competitors(const Snapshot& base) const {
+    return base.competitors().size() - competitors_erased +
+           inserted_competitors.size();
+  }
+  size_t live_products(const Snapshot& base) const {
+    return base.products().size() - products_erased +
+           inserted_products.size();
+  }
+};
+
+/// Folds `view.deltas` over `view.snapshot` into an overlay. Ops arrive in
+/// append order, so insert-then-erase sequences cancel correctly.
+DeltaOverlay BuildOverlay(const ReadView& view);
+
+}  // namespace skyup
+
+#endif  // SKYUP_SERVE_DELTA_LOG_H_

@@ -1,0 +1,161 @@
+#include "serve/live_table.h"
+
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace skyup {
+
+LiveTable::LiveTable(LiveTableOptions options) : options_(options) {
+  index_options_.max_entries = options_.rtree_fanout;
+}
+
+Result<std::unique_ptr<LiveTable>> LiveTable::Create(
+    LiveTableOptions options) {
+  if (options.dims < 1) {
+    return Status::InvalidArgument("live table dims must be >= 1");
+  }
+  if (options.rtree_fanout < 2) {
+    return Status::InvalidArgument("R-tree fanout must be at least 2");
+  }
+  std::unique_ptr<LiveTable> table(new LiveTable(options));
+  Result<std::shared_ptr<const Snapshot>> initial = Snapshot::Create(
+      /*epoch=*/1, Dataset(options.dims), {}, Dataset(options.dims), {},
+      table->index_options_);
+  if (!initial.ok()) return initial.status();
+  table->snapshot_ = std::move(initial).value();
+  return table;
+}
+
+Result<uint64_t> LiveTable::Insert(DeltaTarget target,
+                                   const std::vector<double>& coords) {
+  if (coords.size() != options_.dims) {
+    return Status::InvalidArgument(
+        "insert has " + std::to_string(coords.size()) + " coords, table is " +
+        std::to_string(options_.dims) + "-dimensional");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool is_competitor = target == DeltaTarget::kCompetitor;
+  uint64_t& counter =
+      is_competitor ? next_competitor_id_ : next_product_id_;
+  const uint64_t id = counter++;
+  active_.Append(DeltaOp{target, DeltaKind::kInsert, id, coords});
+  (is_competitor ? live_competitors_ : live_products_).insert(id);
+  return id;
+}
+
+Status LiveTable::Erase(DeltaTarget target, uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool is_competitor = target == DeltaTarget::kCompetitor;
+  std::unordered_set<uint64_t>& live =
+      is_competitor ? live_competitors_ : live_products_;
+  if (live.erase(id) == 0) {
+    return Status::NotFound(
+        std::string(is_competitor ? "competitor" : "product") + " id " +
+        std::to_string(id) + " is not live");
+  }
+  active_.Append(DeltaOp{target, DeltaKind::kErase, id, {}});
+  return Status::OK();
+}
+
+Result<uint64_t> LiveTable::InsertCompetitor(
+    const std::vector<double>& coords) {
+  return Insert(DeltaTarget::kCompetitor, coords);
+}
+
+Result<uint64_t> LiveTable::InsertProduct(const std::vector<double>& coords) {
+  return Insert(DeltaTarget::kProduct, coords);
+}
+
+Status LiveTable::EraseCompetitor(uint64_t id) {
+  return Erase(DeltaTarget::kCompetitor, id);
+}
+
+Status LiveTable::EraseProduct(uint64_t id) {
+  return Erase(DeltaTarget::kProduct, id);
+}
+
+ReadView LiveTable::AcquireView() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ReadView view;
+  view.snapshot = snapshot_;
+  view.deltas = frozen_;
+  std::vector<DeltaOp> active = active_.CopyAll();
+  view.deltas.insert(view.deltas.end(),
+                     std::make_move_iterator(active.begin()),
+                     std::make_move_iterator(active.end()));
+  return view;
+}
+
+void LiveTable::SetAppendHook(DeltaLog::AppendHook hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  active_.SetAppendHook(std::move(hook));
+}
+
+uint64_t LiveTable::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_->epoch();
+}
+
+size_t LiveTable::delta_backlog() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return frozen_.size() + active_.size();
+}
+
+double LiveTable::snapshot_age_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::chrono::duration<double>(SteadyClock::now() -
+                                       snapshot_->published_at())
+      .count();
+}
+
+size_t LiveTable::live_competitor_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_competitors_.size();
+}
+
+size_t LiveTable::live_product_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_products_.size();
+}
+
+std::optional<LiveTable::RebuildJob> LiveTable::BeginRebuild() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (rebuild_in_flight_) return std::nullopt;
+  std::vector<DeltaOp> active = active_.CopyAll();
+  if (frozen_.empty() && active.empty()) return std::nullopt;
+  // Freeze: the active ops move behind the frozen fence; the active log
+  // restarts empty so updates racing with the merge land after the fence.
+  frozen_.insert(frozen_.end(), std::make_move_iterator(active.begin()),
+                 std::make_move_iterator(active.end()));
+  active_.Clear();
+  rebuild_in_flight_ = true;
+  RebuildJob job;
+  job.base = snapshot_;
+  job.ops = frozen_;
+  job.next_epoch = snapshot_->epoch() + 1;
+  return job;
+}
+
+void LiveTable::CompleteRebuild(std::shared_ptr<const Snapshot> snapshot) {
+  SKYUP_CHECK(snapshot != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  SKYUP_CHECK(rebuild_in_flight_)
+      << "CompleteRebuild without a matching BeginRebuild";
+  SKYUP_CHECK(snapshot->epoch() == snapshot_->epoch() + 1)
+      << "rebuild produced epoch " << snapshot->epoch() << ", expected "
+      << snapshot_->epoch() + 1;
+  snapshot_ = std::move(snapshot);
+  frozen_.clear();
+  rebuild_in_flight_ = false;
+}
+
+void LiveTable::AbandonRebuild() {
+  std::lock_guard<std::mutex> lock(mu_);
+  SKYUP_CHECK(rebuild_in_flight_)
+      << "AbandonRebuild without a matching BeginRebuild";
+  rebuild_in_flight_ = false;
+}
+
+}  // namespace skyup

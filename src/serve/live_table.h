@@ -1,0 +1,118 @@
+#ifndef SKYUP_SERVE_LIVE_TABLE_H_
+#define SKYUP_SERVE_LIVE_TABLE_H_
+
+// The mutable heart of the serving layer: current snapshot + delta logs +
+// stable-id allocation, with the freeze/merge/publish protocol the
+// rebuilder drives.
+//
+// Concurrency model: one mutex guards all mutable state (snapshot pointer,
+// frozen/active logs, id counters, live-id sets). Updates and view capture
+// are short critical sections; queries run entirely outside the lock
+// against their captured `ReadView`; the rebuild merge runs outside the
+// lock against frozen data. Old snapshots are reclaimed by shared_ptr when
+// the last in-flight view drops.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "rtree/rtree.h"
+#include "serve/delta_log.h"
+#include "serve/snapshot.h"
+#include "util/status.h"
+
+namespace skyup {
+
+struct LiveTableOptions {
+  size_t dims = 0;  ///< required, >= 1
+  /// Fanout of the per-snapshot STR bulk load.
+  size_t rtree_fanout = 64;
+};
+
+class LiveTable {
+ public:
+  /// Starts empty at epoch 1 (an empty snapshot is published immediately,
+  /// so `AcquireView` never returns a null snapshot).
+  static Result<std::unique_ptr<LiveTable>> Create(LiveTableOptions options);
+
+  LiveTable(const LiveTable&) = delete;
+  LiveTable& operator=(const LiveTable&) = delete;
+
+  /// Accepted updates return the new row's stable id; erases of unknown or
+  /// already-erased ids return `kNotFound`, arity mismatches
+  /// `kInvalidArgument`. Every accepted update is in the delta log (and
+  /// visible to subsequently captured views) before the call returns.
+  Result<uint64_t> InsertCompetitor(const std::vector<double>& coords);
+  Result<uint64_t> InsertProduct(const std::vector<double>& coords);
+  Status EraseCompetitor(uint64_t id);
+  Status EraseProduct(uint64_t id);
+
+  /// Captures a consistent point-in-time view: the current snapshot plus
+  /// every delta accepted so far. The view (and the epoch it pins) stays
+  /// valid until dropped, across any number of later publishes.
+  ReadView AcquireView() const;
+
+  /// Write-ahead hook on the *active* log (serve/delta_log.h). Install
+  /// before concurrent use.
+  void SetAppendHook(DeltaLog::AppendHook hook);
+
+  uint64_t epoch() const;
+  /// Delta ops not yet absorbed by a published snapshot (frozen + active).
+  size_t delta_backlog() const;
+  /// Seconds since the current snapshot was built.
+  double snapshot_age_seconds() const;
+  size_t live_competitor_count() const;
+  size_t live_product_count() const;
+  size_t dims() const { return options_.dims; }
+
+  /// One rebuild cycle's input, captured by `BeginRebuild`.
+  struct RebuildJob {
+    std::shared_ptr<const Snapshot> base;
+    std::vector<DeltaOp> ops;  ///< everything frozen for this rebuild
+    uint64_t next_epoch = 0;
+  };
+
+  /// Freezes the active log into the frozen log and hands back a merge
+  /// job, or nullopt when a rebuild is already in flight or there is
+  /// nothing to absorb. While the job is outstanding, new updates keep
+  /// accumulating in the (reset) active log and remain query-visible via
+  /// `AcquireView`.
+  std::optional<RebuildJob> BeginRebuild();
+
+  /// Publishes the merged snapshot and drops the frozen ops it absorbed.
+  /// `snapshot` must be the merge of the outstanding job.
+  void CompleteRebuild(std::shared_ptr<const Snapshot> snapshot);
+
+  /// Abandons the outstanding job (merge failed); the frozen ops stay
+  /// pending and the next `BeginRebuild` re-offers them.
+  void AbandonRebuild();
+
+  const RTreeOptions& index_options() const { return index_options_; }
+
+ private:
+  explicit LiveTable(LiveTableOptions options);
+
+  Result<uint64_t> Insert(DeltaTarget target,
+                          const std::vector<double>& coords);
+  Status Erase(DeltaTarget target, uint64_t id);
+
+  LiveTableOptions options_;
+  RTreeOptions index_options_;
+
+  mutable std::mutex mu_;
+  std::shared_ptr<const Snapshot> snapshot_;
+  std::vector<DeltaOp> frozen_;  ///< ops offered to the in-flight rebuild
+  DeltaLog active_;
+  bool rebuild_in_flight_ = false;
+  uint64_t next_competitor_id_ = 1;
+  uint64_t next_product_id_ = 1;
+  std::unordered_set<uint64_t> live_competitors_;
+  std::unordered_set<uint64_t> live_products_;
+};
+
+}  // namespace skyup
+
+#endif  // SKYUP_SERVE_LIVE_TABLE_H_

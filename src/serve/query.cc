@@ -1,0 +1,133 @@
+#include "serve/query.h"
+
+#include <string>
+#include <utility>
+
+#include "core/dominance.h"
+#include "core/single_upgrade.h"
+#include "core/topk_common.h"
+#include "obs/trace.h"
+#include "skyline/dominating_skyline.h"
+#include "skyline/skyline.h"
+#include "util/check.h"
+
+namespace skyup {
+
+Result<std::vector<UpgradeResult>> TopKOverlay(
+    const ReadView& view, const ProductCostFunction& cost_fn, size_t k,
+    double epsilon, const QueryControl* control, ServeStats* stats) {
+  if (view.snapshot == nullptr) {
+    return Status::InvalidArgument("read view has no snapshot");
+  }
+  const Snapshot& base = *view.snapshot;
+  const size_t dims = base.dims();
+  if (k == 0) return Status::InvalidArgument("k must be at least 1");
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (cost_fn.dims() != dims) {
+    return Status::InvalidArgument(
+        "cost function dimensionality " + std::to_string(cost_fn.dims()) +
+        " does not match table dimensionality " + std::to_string(dims));
+  }
+  SKYUP_TRACE_SPAN("serve/topk-overlay");
+
+  ServeStats local;
+  DeltaOverlay overlay = BuildOverlay(view);
+  local.delta_ops_scanned += view.deltas.size();
+
+  const SoaView inserted_view = overlay.competitor_block.view();
+  const bool have_p_erases = overlay.competitors_erased > 0;
+  TopKCollector collector(k);
+
+  size_t since_poll = 0;
+  Status stop_status;
+  auto should_stop = [&]() {
+    if (control == nullptr) return false;
+    if (since_poll++ % QueryControl::kPollStride != 0) return false;
+    Status st = control->Check();
+    if (st.ok()) return false;
+    stop_status = std::move(st);
+    return true;
+  };
+
+  std::vector<uint32_t> inserted_hits;
+  std::vector<const double*> dominators;
+  auto evaluate = [&](uint64_t stable_id, const double* t) {
+    // Probe the (possibly stale) base index for the base-P dominator
+    // skyline. Sound against the live state once patched below.
+    std::vector<PointId> sky_rows = DominatingSkyline(base.index(), t,
+                                                      nullptr);
+
+    // Erase-invalidation check: the stale probe is exact iff every
+    // returned skyline member is still live — a dead member may have been
+    // masking live dominators, so only then pay for the full rescan.
+    bool fallback = false;
+    if (have_p_erases) {
+      for (PointId row : sky_rows) {
+        if (overlay.competitor_erased[static_cast<size_t>(row)] != 0) {
+          fallback = true;
+          break;
+        }
+      }
+    }
+
+    dominators.clear();
+    if (fallback) {
+      ++local.erase_fallback_scans;
+      const Dataset& p = base.competitors();
+      for (size_t i = 0; i < p.size(); ++i) {
+        if (overlay.competitor_erased[i] != 0) continue;
+        const double* q = p.data(static_cast<PointId>(i));
+        if (Dominates(q, t, dims)) dominators.push_back(q);
+      }
+    } else {
+      for (PointId row : sky_rows) {
+        dominators.push_back(base.competitors().data(row));
+      }
+    }
+
+    // Inserted competitors: linear scan through the batched kernels.
+    if (!inserted_view.empty()) {
+      inserted_hits.clear();
+      FilterDominated(inserted_view, t, &inserted_hits, /*strict=*/true);
+      for (uint32_t j : inserted_hits) {
+        dominators.push_back(
+            overlay.inserted_competitors.data(static_cast<PointId>(j)));
+      }
+    }
+
+    // Re-reduce: overlay inserts may dominate base skyline members (and
+    // vice versa), and UpgradeProduct requires a mutually non-dominating,
+    // distinct set.
+    SkylineOfPointers(&dominators, dims);
+
+    ++local.candidates_evaluated;
+    UpgradeOutcome outcome =
+        UpgradeProduct(dominators, t, dims, cost_fn, epsilon);
+    if (collector.Admits(outcome.cost)) {
+      collector.Add(UpgradeResult{static_cast<PointId>(stable_id),
+                                  outcome.cost, std::move(outcome.upgraded),
+                                  outcome.already_competitive});
+    }
+  };
+
+  const Dataset& base_products = base.products();
+  for (size_t i = 0; i < base_products.size() && !should_stop(); ++i) {
+    if (overlay.product_erased[i] != 0) continue;
+    evaluate(base.product_id(static_cast<PointId>(i)),
+             base_products.data(static_cast<PointId>(i)));
+  }
+  for (size_t j = 0;
+       j < overlay.inserted_products.size() && stop_status.ok() &&
+       !should_stop();
+       ++j) {
+    evaluate(overlay.inserted_product_ids[j],
+             overlay.inserted_products.data(static_cast<PointId>(j)));
+  }
+  if (stats != nullptr) stats->MergeFrom(local);
+  if (!stop_status.ok()) return stop_status;
+  return collector.Finish();
+}
+
+}  // namespace skyup

@@ -1,0 +1,46 @@
+#ifndef SKYUP_SERVE_QUERY_H_
+#define SKYUP_SERVE_QUERY_H_
+
+// The serving-layer top-k engine: one query against a captured `ReadView`
+// (immutable snapshot + delta overlay).
+//
+// Per candidate, the engine probes the snapshot's flat index for the base
+// dominator skyline, patches it with the overlay — a linear batched-kernel
+// scan over inserted competitors, and an erase-invalidation check that
+// falls back to a full live-row scan only when an erased competitor shows
+// up in the probed skyline — re-reduces to a skyline, and runs Algorithm 1
+// exactly. Results carry *stable ids* in `UpgradeResult::product_id` and
+// are exactly what a from-scratch rebuild of the live state would return
+// (the differential fuzz harness fuzz/fuzz_serve.cc enforces equality).
+//
+// Unlike the batch engines, no box lower-bound prune runs here: a P-erase
+// can only lower upgrade costs, so a bound derived from the (stale) base
+// root MBR is not sound against the live state. docs/algorithms.md,
+// "Serving & online updates", has the full argument.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cost_function.h"
+#include "core/query_control.h"
+#include "core/upgrade_result.h"
+#include "serve/delta_log.h"
+#include "serve/serve_stats.h"
+#include "util/status.h"
+
+namespace skyup {
+
+/// Top-k upgrades over the live state captured by `view`. Candidates are
+/// every live product (base rows not erased + overlay inserts); ids in the
+/// results are stable ids. An empty live product set yields an empty
+/// result (unlike the batch engines, which reject empty T). `control` and
+/// `stats` may be null; the engine bumps `delta_ops_scanned`,
+/// `erase_fallback_scans`, and `candidates_evaluated`.
+Result<std::vector<UpgradeResult>> TopKOverlay(
+    const ReadView& view, const ProductCostFunction& cost_fn, size_t k,
+    double epsilon = 1e-6, const QueryControl* control = nullptr,
+    ServeStats* stats = nullptr);
+
+}  // namespace skyup
+
+#endif  // SKYUP_SERVE_QUERY_H_

@@ -1,0 +1,182 @@
+#include "serve/rebuilder.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace skyup {
+
+Result<std::shared_ptr<const Snapshot>> MergeSnapshot(
+    const Snapshot& base, const std::vector<DeltaOp>& ops,
+    uint64_t next_epoch, RTreeOptions index_options) {
+  const size_t dims = base.dims();
+
+  struct TableMerge {
+    std::unordered_map<uint64_t, std::vector<double>> rows;
+  };
+  TableMerge competitors;
+  TableMerge products;
+  competitors.rows.reserve(base.competitors().size());
+  for (size_t i = 0; i < base.competitors().size(); ++i) {
+    const double* p = base.competitors().data(static_cast<PointId>(i));
+    competitors.rows.emplace(base.competitor_id(static_cast<PointId>(i)),
+                             std::vector<double>(p, p + dims));
+  }
+  products.rows.reserve(base.products().size());
+  for (size_t i = 0; i < base.products().size(); ++i) {
+    const double* p = base.products().data(static_cast<PointId>(i));
+    products.rows.emplace(base.product_id(static_cast<PointId>(i)),
+                          std::vector<double>(p, p + dims));
+  }
+
+  for (const DeltaOp& op : ops) {
+    TableMerge& table =
+        op.target == DeltaTarget::kCompetitor ? competitors : products;
+    if (op.kind == DeltaKind::kInsert) {
+      if (op.coords.size() != dims) {
+        return Status::InvalidArgument(
+            "delta insert arity mismatch during merge");
+      }
+      table.rows[op.id] = op.coords;
+    } else {
+      table.rows.erase(op.id);
+    }
+  }
+
+  // Sort-by-id makes the merged row order a pure function of the live id
+  // set — independent of hash order and of when rebuilds happened.
+  auto to_sorted = [dims](const TableMerge& table, Dataset* data,
+                          std::vector<uint64_t>* ids) {
+    std::vector<std::pair<uint64_t, const std::vector<double>*>> sorted;
+    sorted.reserve(table.rows.size());
+    // lint: unordered-iter-ok (collected pairs are sorted by id right
+    // below; hash order never reaches the output)
+    for (const auto& entry : table.rows) {
+      sorted.emplace_back(entry.first, &entry.second);
+    }
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    data->Reserve(sorted.size());
+    ids->reserve(sorted.size());
+    for (const auto& [id, coords] : sorted) {
+      data->Add(*coords);
+      ids->push_back(id);
+    }
+  };
+  Dataset merged_competitors(dims);
+  std::vector<uint64_t> competitor_ids;
+  to_sorted(competitors, &merged_competitors, &competitor_ids);
+  Dataset merged_products(dims);
+  std::vector<uint64_t> product_ids;
+  to_sorted(products, &merged_products, &product_ids);
+
+  return Snapshot::Create(next_epoch, std::move(merged_competitors),
+                          std::move(competitor_ids),
+                          std::move(merged_products), std::move(product_ids),
+                          index_options);
+}
+
+namespace {
+
+// Runs one freeze -> merge -> publish cycle if `table` has a backlog and
+// no rebuild is in flight. Returns true when a snapshot was published.
+Result<bool> RebuildOnce(LiveTable* table) {
+  std::optional<LiveTable::RebuildJob> job = table->BeginRebuild();
+  if (!job.has_value()) return false;
+  Result<std::shared_ptr<const Snapshot>> merged = MergeSnapshot(
+      *job->base, job->ops, job->next_epoch, table->index_options());
+  if (!merged.ok()) {
+    table->AbandonRebuild();
+    return merged.status();
+  }
+  table->CompleteRebuild(std::move(merged).value());
+  return true;
+}
+
+}  // namespace
+
+Result<bool> MaybeRebuildInline(LiveTable* table,
+                                const RebuildPolicy& policy) {
+  if (table->delta_backlog() < policy.threshold_ops) return false;
+  return RebuildOnce(table);
+}
+
+Rebuilder::Rebuilder(LiveTable* table, RebuildPolicy policy)
+    : table_(table), policy_(policy) {
+  SKYUP_CHECK(table_ != nullptr);
+}
+
+Rebuilder::~Rebuilder() { Stop(); }
+
+void Rebuilder::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  SKYUP_CHECK(!running_) << "rebuilder already started";
+  running_ = true;
+  stop_ = false;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void Rebuilder::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+void Rebuilder::Nudge() { cv_.notify_all(); }
+
+uint64_t Rebuilder::rebuilds_published() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return published_;
+}
+
+Status Rebuilder::last_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_error_;
+}
+
+bool Rebuilder::ShouldRebuild() const {
+  const size_t backlog = table_->delta_backlog();
+  if (backlog == 0) return false;
+  if (backlog >= policy_.threshold_ops) return true;
+  return policy_.max_age_seconds > 0.0 &&
+         table_->snapshot_age_seconds() >= policy_.max_age_seconds;
+}
+
+void Rebuilder::Loop() {
+  const auto interval = std::chrono::duration_cast<SteadyClock::duration>(
+      std::chrono::duration<double>(
+          std::max(policy_.poll_interval_seconds, 1e-3)));
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    cv_.wait_for(lock, interval);
+    if (stop_) break;
+    // The rebuild runs unlocked: Stop() must stay responsive and Nudge()
+    // must never block behind a merge.
+    lock.unlock();
+    bool published = false;
+    Status error;
+    if (ShouldRebuild()) {
+      Result<bool> outcome = RebuildOnce(table_);
+      if (outcome.ok()) {
+        published = *outcome;
+      } else {
+        error = outcome.status();
+      }
+    }
+    lock.lock();
+    if (published) ++published_;
+    if (!error.ok()) last_error_ = error;
+  }
+}
+
+}  // namespace skyup

@@ -1,0 +1,89 @@
+#ifndef SKYUP_SERVE_REBUILDER_H_
+#define SKYUP_SERVE_REBUILDER_H_
+
+// Snapshot regeneration: folding a frozen delta-log prefix into a fresh
+// STR bulk-loaded snapshot, either synchronously (`MaybeRebuildInline`,
+// the deterministic mode replay uses) or on a background thread
+// (`Rebuilder`). Publication is atomic via `LiveTable::CompleteRebuild`;
+// in-flight queries keep their pinned epochs until they drop them.
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "serve/live_table.h"
+#include "serve/snapshot.h"
+#include "util/status.h"
+
+namespace skyup {
+
+/// Pure merge: applies `ops` (append order) over `base` and bulk-loads the
+/// result as epoch `next_epoch`. Rows of the result are ordered ascending
+/// by stable id, so merge output is a deterministic function of
+/// (base, ops) — the replay-determinism and differential-fuzz anchor.
+Result<std::shared_ptr<const Snapshot>> MergeSnapshot(
+    const Snapshot& base, const std::vector<DeltaOp>& ops,
+    uint64_t next_epoch, RTreeOptions index_options);
+
+/// When to fold the delta log into a fresh snapshot.
+struct RebuildPolicy {
+  /// Rebuild once the backlog holds at least this many ops.
+  size_t threshold_ops = 1024;
+  /// Also rebuild a non-empty backlog once the snapshot is older than
+  /// this many seconds (<= 0 disables the age trigger — required for
+  /// deterministic replay). Only the background rebuilder applies it.
+  double max_age_seconds = 0.0;
+  /// Background rebuilder poll interval between nudges.
+  double poll_interval_seconds = 0.05;
+};
+
+/// One synchronous check-and-rebuild step against the size threshold:
+/// returns true when a snapshot was published. The deterministic serving
+/// mode calls this after every accepted update.
+Result<bool> MaybeRebuildInline(LiveTable* table,
+                                const RebuildPolicy& policy);
+
+/// Background rebuild loop: wakes on `Nudge()` or every poll interval,
+/// rebuilds when the policy triggers, publishes, repeats. Start/Stop are
+/// not thread-safe against each other; everything else is.
+class Rebuilder {
+ public:
+  Rebuilder(LiveTable* table, RebuildPolicy policy);
+  ~Rebuilder();
+
+  Rebuilder(const Rebuilder&) = delete;
+  Rebuilder& operator=(const Rebuilder&) = delete;
+
+  void Start();
+  /// Stops the loop; joins the thread. Idempotent.
+  void Stop();
+  /// Wakes the loop early (an update was applied).
+  void Nudge();
+
+  /// Rebuild cycles published so far.
+  uint64_t rebuilds_published() const;
+  /// Last merge failure, OK if none (merge failures leave the frozen ops
+  /// pending and the loop retries on the next trigger).
+  Status last_error() const;
+
+ private:
+  void Loop();
+  bool ShouldRebuild() const;
+
+  LiveTable* table_;
+  RebuildPolicy policy_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool running_ = false;
+  bool stop_ = false;
+  uint64_t published_ = 0;
+  Status last_error_;
+  std::thread thread_;
+};
+
+}  // namespace skyup
+
+#endif  // SKYUP_SERVE_REBUILDER_H_

@@ -1,0 +1,38 @@
+#include "serve/serve_stats.h"
+
+namespace skyup {
+
+void AddServeStatsMetrics(const ServeStats& stats,
+                          MetricsRegistry* registry) {
+  // Tripwire (the ExecStats pattern): a new ServeStats counter changes the
+  // struct size and breaks this assert until it gets registered below.
+  static_assert(sizeof(ServeStats) == 9 * sizeof(uint64_t),
+                "ServeStats gained/lost a counter: register it here");
+  auto add = [registry](const char* name, const char* help, uint64_t value) {
+    registry->AddCounter(name, help)->Increment(value);
+  };
+  add("skyup_serve_queries_executed_total",
+      "serve queries that ran to completion", stats.queries_executed);
+  add("skyup_serve_queries_rejected_total",
+      "serve queries rejected by admission control",
+      stats.queries_rejected);
+  add("skyup_serve_queries_timed_out_total",
+      "serve queries whose deadline fired", stats.queries_timed_out);
+  add("skyup_serve_updates_applied_total",
+      "inserts/erases accepted into the delta log", stats.updates_applied);
+  add("skyup_serve_updates_rejected_total",
+      "invalid updates rejected (unknown id, bad arity)",
+      stats.updates_rejected);
+  add("skyup_serve_rebuilds_published_total",
+      "snapshots published by the rebuilder", stats.rebuilds_published);
+  add("skyup_serve_delta_ops_scanned_total",
+      "delta ops folded into per-query overlays", stats.delta_ops_scanned);
+  add("skyup_serve_erase_fallback_scans_total",
+      "index probes invalidated by a competitor erase (linear rescan)",
+      stats.erase_fallback_scans);
+  add("skyup_serve_candidates_evaluated_total",
+      "Algorithm-1 evaluations across serve queries",
+      stats.candidates_evaluated);
+}
+
+}  // namespace skyup

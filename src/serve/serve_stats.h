@@ -1,0 +1,53 @@
+#ifndef SKYUP_SERVE_SERVE_STATS_H_
+#define SKYUP_SERVE_SERVE_STATS_H_
+
+// Serving-layer work counters — the `ExecStats` of src/serve/: how many
+// queries ran/were rejected/timed out, how many updates were applied, how
+// much delta-overlay work queries paid, and how often rebuilds published.
+// Aggregated with the same merge-tripwire convention as `ExecStats` and
+// `PhaseTimings` (tools/lint.py cross-checks fields vs MergeFrom lines vs
+// the static_assert multiplier).
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace skyup {
+
+struct ServeStats {
+  uint64_t queries_executed = 0;    ///< queries that ran to completion
+  uint64_t queries_rejected = 0;    ///< admission-control rejections
+  uint64_t queries_timed_out = 0;   ///< deadline fired (queued or running)
+  uint64_t updates_applied = 0;     ///< inserts/erases accepted into the log
+  uint64_t updates_rejected = 0;    ///< invalid updates (bad id, bad arity)
+  uint64_t rebuilds_published = 0;  ///< snapshots published by the rebuilder
+  uint64_t delta_ops_scanned = 0;   ///< delta ops folded into query overlays
+  uint64_t erase_fallback_scans = 0;  ///< probes invalidated by a P-erase
+  uint64_t candidates_evaluated = 0;  ///< Algorithm-1 calls across queries
+
+  /// Field-wise sum. Same tripwire as ExecStats: adding a counter changes
+  /// the struct size, which trips the assert until the new field is summed
+  /// below — and tools/lint.py cross-checks all three.
+  ServeStats& MergeFrom(const ServeStats& other) {
+    static_assert(sizeof(ServeStats) == 9 * sizeof(uint64_t),
+                  "ServeStats gained/lost a counter: update MergeFrom");
+    auto add = [](uint64_t* into, uint64_t delta) { *into += delta; };
+    add(&queries_executed, other.queries_executed);
+    add(&queries_rejected, other.queries_rejected);
+    add(&queries_timed_out, other.queries_timed_out);
+    add(&updates_applied, other.updates_applied);
+    add(&updates_rejected, other.updates_rejected);
+    add(&rebuilds_published, other.rebuilds_published);
+    add(&delta_ops_scanned, other.delta_ops_scanned);
+    add(&erase_fallback_scans, other.erase_fallback_scans);
+    add(&candidates_evaluated, other.candidates_evaluated);
+    return *this;
+  }
+};
+
+/// Registers every ServeStats counter as `skyup_serve_<field>_total`.
+void AddServeStatsMetrics(const ServeStats& stats, MetricsRegistry* registry);
+
+}  // namespace skyup
+
+#endif  // SKYUP_SERVE_SERVE_STATS_H_

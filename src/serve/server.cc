@@ -1,0 +1,307 @@
+#include "serve/server.h"
+
+#include <utility>
+
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace skyup {
+
+Server::Server(ProductCostFunction cost_fn, ServerOptions options,
+               std::unique_ptr<LiveTable> table)
+    : cost_fn_(std::move(cost_fn)),
+      options_(options),
+      table_(std::move(table)) {}
+
+Result<std::unique_ptr<Server>> Server::Create(ProductCostFunction cost_fn,
+                                               ServerOptions options) {
+  if (options.dims < 1) {
+    return Status::InvalidArgument("server dims must be >= 1");
+  }
+  if (cost_fn.dims() != options.dims) {
+    return Status::InvalidArgument(
+        "cost function dimensionality " + std::to_string(cost_fn.dims()) +
+        " does not match server dims " + std::to_string(options.dims));
+  }
+  if (options.query_threads < 1) {
+    return Status::InvalidArgument("query_threads must be >= 1");
+  }
+  if (options.max_pending < 1) {
+    return Status::InvalidArgument("max_pending must be >= 1");
+  }
+  if (options.default_epsilon <= 0.0) {
+    return Status::InvalidArgument("default_epsilon must be positive");
+  }
+  if (options.rebuild_threshold_ops < 1) {
+    return Status::InvalidArgument("rebuild_threshold_ops must be >= 1");
+  }
+  LiveTableOptions table_options;
+  table_options.dims = options.dims;
+  table_options.rtree_fanout = options.rtree_fanout;
+  Result<std::unique_ptr<LiveTable>> table =
+      LiveTable::Create(table_options);
+  if (!table.ok()) return table.status();
+
+  std::unique_ptr<Server> server(new Server(
+      std::move(cost_fn), options, std::move(table).value()));
+  RebuildPolicy policy;
+  policy.threshold_ops = options.rebuild_threshold_ops;
+  policy.max_age_seconds = options.rebuild_max_age_seconds;
+  server->inline_policy_ = policy;
+  if (options.background_rebuild) {
+    server->rebuilder_ =
+        std::make_unique<Rebuilder>(server->table_.get(), policy);
+    server->rebuilder_->Start();
+  }
+  server->workers_.reserve(options.query_threads);
+  for (size_t i = 0; i < options.query_threads; ++i) {
+    server->workers_.emplace_back([raw = server.get()] {
+      raw->WorkerLoop();
+    });
+  }
+  return server;
+}
+
+Server::~Server() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    shutdown_ = true;
+    hold_workers_ = false;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  // Drain: resolve every query the workers never picked up.
+  for (PendingQuery& pending : queue_) {
+    QueryResponse response;
+    response.status = Status::Cancelled("server shutting down");
+    RecordOutcome(response);
+    pending.promise.set_value(std::move(response));
+  }
+  if (rebuilder_ != nullptr) rebuilder_->Stop();
+}
+
+void Server::AfterUpdate(const Result<uint64_t>& outcome) {
+  AfterUpdate(outcome.status());
+}
+
+void Server::AfterUpdate(const Status& outcome) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (outcome.ok()) {
+      ++stats_.updates_applied;
+    } else {
+      ++stats_.updates_rejected;
+    }
+  }
+  if (!outcome.ok()) return;
+  if (rebuilder_ != nullptr) {
+    rebuilder_->Nudge();
+    return;
+  }
+  // Deterministic mode: apply the size threshold right here, so rebuild
+  // timing is a pure function of the op sequence.
+  Result<bool> rebuilt = MaybeRebuildInline(table_.get(), inline_policy_);
+  if (rebuilt.ok() && *rebuilt) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.rebuilds_published;
+  }
+}
+
+Result<uint64_t> Server::InsertCompetitor(
+    const std::vector<double>& coords) {
+  Result<uint64_t> outcome = table_->InsertCompetitor(coords);
+  AfterUpdate(outcome);
+  return outcome;
+}
+
+Result<uint64_t> Server::InsertProduct(const std::vector<double>& coords) {
+  Result<uint64_t> outcome = table_->InsertProduct(coords);
+  AfterUpdate(outcome);
+  return outcome;
+}
+
+Status Server::EraseCompetitor(uint64_t id) {
+  Status outcome = table_->EraseCompetitor(id);
+  AfterUpdate(outcome);
+  return outcome;
+}
+
+Status Server::EraseProduct(uint64_t id) {
+  Status outcome = table_->EraseProduct(id);
+  AfterUpdate(outcome);
+  return outcome;
+}
+
+QueryResponse Server::Execute(const QueryRequest& request,
+                              const QueryControl* control) {
+  QueryResponse response;
+  Timer wall;
+  ReadView view = table_->AcquireView();
+  response.epoch = view.epoch();
+  ServeStats query_stats;
+  Result<std::vector<UpgradeResult>> results =
+      TopKOverlay(view, cost_fn_, request.k, options_.default_epsilon,
+                  control, &query_stats);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.MergeFrom(query_stats);
+  }
+  if (results.ok()) {
+    response.results = std::move(results).value();
+  } else {
+    response.status = results.status();
+  }
+  response.wall_seconds = wall.ElapsedSeconds();
+  return response;
+}
+
+void Server::RecordOutcome(const QueryResponse& response) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  switch (response.status.code()) {
+    case StatusCode::kOk:
+      ++stats_.queries_executed;
+      query_latency_.Observe(response.wall_seconds);
+      break;
+    case StatusCode::kDeadlineExceeded:
+      ++stats_.queries_timed_out;
+      break;
+    case StatusCode::kResourceExhausted:
+      ++stats_.queries_rejected;
+      break;
+    default:
+      // Cancelled / invalid-argument queries count as neither executed
+      // nor rejected; callers see the status.
+      break;
+  }
+}
+
+QueryResponse Server::Query(const QueryRequest& request) {
+  std::shared_ptr<QueryControl> control = request.control;
+  if (control == nullptr && request.timeout_seconds > 0.0) {
+    control = std::make_shared<QueryControl>();
+  }
+  if (control != nullptr && request.timeout_seconds > 0.0) {
+    control->SetTimeout(request.timeout_seconds);
+  }
+  QueryResponse response = Execute(request, control.get());
+  RecordOutcome(response);
+  return response;
+}
+
+std::future<QueryResponse> Server::Submit(QueryRequest request) {
+  PendingQuery pending;
+  pending.control = request.control;
+  if (pending.control == nullptr) {
+    pending.control = std::make_shared<QueryControl>();
+  }
+  if (request.timeout_seconds > 0.0) {
+    // The clock starts at admission: time spent queued counts against the
+    // deadline, so a saturated server sheds load instead of serving
+    // answers nobody is waiting for anymore.
+    pending.control->SetTimeout(request.timeout_seconds);
+  }
+  pending.request = std::move(request);
+  std::future<QueryResponse> future = pending.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (shutdown_) {
+      QueryResponse response;
+      response.status = Status::Cancelled("server shutting down");
+      RecordOutcome(response);
+      pending.promise.set_value(std::move(response));
+      return future;
+    }
+    if (queue_.size() >= options_.max_pending) {
+      QueryResponse response;
+      response.status = Status::ResourceExhausted(
+          "query queue full (" + std::to_string(options_.max_pending) +
+          " pending)");
+      RecordOutcome(response);
+      pending.promise.set_value(std::move(response));
+      return future;
+    }
+    queue_.push_back(std::move(pending));
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+void Server::WorkerLoop() {
+  for (;;) {
+    PendingQuery pending;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return shutdown_ || (!hold_workers_ && !queue_.empty());
+      });
+      if (shutdown_) return;
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    QueryResponse response;
+    // A query whose deadline lapsed while queued is shed without running.
+    Status admission = pending.control->Check();
+    if (!admission.ok()) {
+      response.status = std::move(admission);
+    } else {
+      response = Execute(pending.request, pending.control.get());
+    }
+    RecordOutcome(response);
+    pending.promise.set_value(std::move(response));
+  }
+}
+
+ServeStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ServeStats copy = stats_;
+  if (rebuilder_ != nullptr) {
+    copy.rebuilds_published = rebuilder_->rebuilds_published();
+  }
+  return copy;
+}
+
+void Server::FillMetrics(MetricsRegistry* registry) const {
+  SKYUP_CHECK(registry != nullptr);
+  AddServeStatsMetrics(stats(), registry);
+  registry
+      ->AddGauge("skyup_serve_snapshot_epoch",
+                 "epoch of the currently published snapshot")
+      ->Set(static_cast<double>(table_->epoch()));
+  registry
+      ->AddGauge("skyup_serve_snapshot_age_seconds",
+                 "seconds since the current snapshot was built")
+      ->Set(table_->snapshot_age_seconds());
+  registry
+      ->AddGauge("skyup_serve_delta_backlog_ops",
+                 "delta ops not yet absorbed by a snapshot")
+      ->Set(static_cast<double>(table_->delta_backlog()));
+  registry
+      ->AddGauge("skyup_serve_live_competitors",
+                 "live competitor rows (snapshot + overlay)")
+      ->Set(static_cast<double>(table_->live_competitor_count()));
+  registry
+      ->AddGauge("skyup_serve_live_products",
+                 "live product rows (snapshot + overlay)")
+      ->Set(static_cast<double>(table_->live_product_count()));
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  registry
+      ->AddHistogram("skyup_serve_query_latency_seconds",
+                     "end-to-end serve query latency",
+                     query_latency_.bounds())
+      ->MergeFrom(query_latency_);
+}
+
+void Server::HoldWorkersForTest() {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  hold_workers_ = true;
+}
+
+void Server::ReleaseWorkersForTest() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    hold_workers_ = false;
+  }
+  queue_cv_.notify_all();
+}
+
+}  // namespace skyup

@@ -1,0 +1,147 @@
+#ifndef SKYUP_SERVE_SERVER_H_
+#define SKYUP_SERVE_SERVER_H_
+
+// The serving front door: a bounded-queue session executor over one
+// `LiveTable`. Updates apply synchronously (validated, logged, visible);
+// queries either run inline (`Query`, the deterministic path) or through
+// the worker pool (`Submit`) with admission control — a full queue rejects
+// with `kResourceExhausted` instead of building unbounded backlog — and
+// per-query deadlines enforced cooperatively by the overlay engine
+// (core/query_control.h). Snapshot regeneration runs on the background
+// `Rebuilder`, or inline after each update when
+// `ServerOptions::background_rebuild` is false (replay mode).
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/cost_function.h"
+#include "core/query_control.h"
+#include "obs/metrics.h"
+#include "serve/live_table.h"
+#include "serve/query.h"
+#include "serve/rebuilder.h"
+#include "serve/serve_stats.h"
+#include "util/status.h"
+
+namespace skyup {
+
+struct ServerOptions {
+  size_t dims = 0;  ///< required, >= 1
+  /// Worker threads draining the `Submit` queue.
+  size_t query_threads = 2;
+  /// Admission control: queued-but-not-started queries beyond this are
+  /// rejected with `kResourceExhausted`.
+  size_t max_pending = 64;
+  double default_epsilon = 1e-6;
+  size_t rtree_fanout = 64;
+  /// Rebuild triggers (serve/rebuilder.h).
+  size_t rebuild_threshold_ops = 1024;
+  double rebuild_max_age_seconds = 0.0;
+  /// True: a background rebuilder thread folds the delta log. False: the
+  /// size threshold is applied inline after each accepted update —
+  /// deterministic, used by `--replay`.
+  bool background_rebuild = true;
+};
+
+struct QueryRequest {
+  size_t k = 1;
+  /// 0 = no deadline. Enforced from submission time (queue wait counts).
+  double timeout_seconds = 0.0;
+  /// Optional external cancel/deadline token; when set, the server uses it
+  /// instead of allocating one (the caller may `Cancel()` it any time).
+  std::shared_ptr<QueryControl> control;
+};
+
+struct QueryResponse {
+  Status status;  ///< OK, kResourceExhausted, kDeadlineExceeded, kCancelled
+  /// Ranked results; `product_id` carries the *stable id*.
+  std::vector<UpgradeResult> results;
+  /// Epoch of the snapshot the query ran against (0 if it never ran).
+  uint64_t epoch = 0;
+  double wall_seconds = 0.0;
+};
+
+class Server {
+ public:
+  static Result<std::unique_ptr<Server>> Create(ProductCostFunction cost_fn,
+                                                ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Update API — thin validated wrappers over the live table; rejected
+  /// updates are counted but change nothing.
+  Result<uint64_t> InsertCompetitor(const std::vector<double>& coords);
+  Result<uint64_t> InsertProduct(const std::vector<double>& coords);
+  Status EraseCompetitor(uint64_t id);
+  Status EraseProduct(uint64_t id);
+
+  /// Runs the query inline on the calling thread (still honors the
+  /// request's deadline/control). The deterministic path.
+  QueryResponse Query(const QueryRequest& request);
+
+  /// Enqueues the query for the worker pool. The future always resolves:
+  /// with results, with the admission rejection, or with the
+  /// deadline/cancel status.
+  std::future<QueryResponse> Submit(QueryRequest request);
+
+  /// Aggregate counters since construction (one consistent copy).
+  ServeStats stats() const;
+
+  /// Registers the serve counters, liveness gauges (epoch, snapshot age,
+  /// delta backlog, live row counts), and the query latency histogram.
+  void FillMetrics(MetricsRegistry* registry) const;
+
+  LiveTable& table() { return *table_; }
+  const ServerOptions& options() const { return options_; }
+
+  /// Test seam: while held, workers do not dequeue — admission and
+  /// deadline behavior become deterministic to test.
+  void HoldWorkersForTest();
+  void ReleaseWorkersForTest();
+
+ private:
+  Server(ProductCostFunction cost_fn, ServerOptions options,
+         std::unique_ptr<LiveTable> table);
+
+  struct PendingQuery {
+    QueryRequest request;
+    std::promise<QueryResponse> promise;
+    std::shared_ptr<QueryControl> control;
+  };
+
+  QueryResponse Execute(const QueryRequest& request,
+                        const QueryControl* control);
+  void RecordOutcome(const QueryResponse& response);
+  void AfterUpdate(const Result<uint64_t>& outcome);
+  void AfterUpdate(const Status& outcome);
+  void WorkerLoop();
+
+  ProductCostFunction cost_fn_;
+  ServerOptions options_;
+  std::unique_ptr<LiveTable> table_;
+  std::unique_ptr<Rebuilder> rebuilder_;
+  RebuildPolicy inline_policy_;
+
+  mutable std::mutex stats_mu_;
+  ServeStats stats_;
+  Histogram query_latency_{Histogram::DefaultLatencyBucketsSeconds()};
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<PendingQuery> queue_;
+  bool shutdown_ = false;
+  bool hold_workers_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace skyup
+
+#endif  // SKYUP_SERVE_SERVER_H_

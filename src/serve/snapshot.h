@@ -1,0 +1,126 @@
+#ifndef SKYUP_SERVE_SNAPSHOT_H_
+#define SKYUP_SERVE_SNAPSHOT_H_
+
+// Versioned, immutable serving snapshots.
+//
+// A `Snapshot` bundles everything one epoch of the live state needs to
+// answer queries: the competitor set P (plus its flat arena index), the
+// candidate set T, and the row <-> stable-id maps that connect dataset
+// rows to the ids the serving API speaks. Snapshots are reference-counted
+// (`shared_ptr`) and never mutated after publication — readers acquire one
+// from the `SnapshotStore`, run against it for as long as they like, and
+// drop it; the last release of a superseded epoch frees it. That is the
+// entire reclamation protocol: no epochs to retire by hand, no hazard
+// pointers (docs/algorithms.md, "Serving & online updates").
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/point.h"
+#include "rtree/flat_rtree.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace skyup {
+
+/// One immutable epoch of serving state. Rows of both datasets are ordered
+/// ascending by stable id, so any scan in row order is deterministic and
+/// id-ordered by construction.
+class Snapshot {
+ public:
+  /// Builds a snapshot from id-ordered rows. `competitor_ids[i]` /
+  /// `product_ids[i]` is the stable id of row `i`; both vectors must be
+  /// strictly ascending and sized to their dataset. Empty datasets are
+  /// legal (a live table can have everything erased).
+  static Result<std::shared_ptr<const Snapshot>> Create(
+      uint64_t epoch, Dataset competitors,
+      std::vector<uint64_t> competitor_ids, Dataset products,
+      std::vector<uint64_t> product_ids, RTreeOptions index_options = {});
+
+  Snapshot(const Snapshot&) = delete;
+  Snapshot& operator=(const Snapshot&) = delete;
+
+  uint64_t epoch() const { return epoch_; }
+  const Dataset& competitors() const { return *competitors_; }
+  const Dataset& products() const { return *products_; }
+  const FlatRTree& index() const { return index_; }
+  size_t dims() const { return competitors_->dims(); }
+
+  /// Stable id of a competitor/product row.
+  uint64_t competitor_id(PointId row) const {
+    return competitor_ids_[static_cast<size_t>(row)];
+  }
+  uint64_t product_id(PointId row) const {
+    return product_ids_[static_cast<size_t>(row)];
+  }
+  const std::vector<uint64_t>& competitor_ids() const {
+    return competitor_ids_;
+  }
+  const std::vector<uint64_t>& product_ids() const { return product_ids_; }
+
+  /// Row of a stable id, or `kInvalidPointId` if the id is not in this
+  /// snapshot (it may still be live via the delta log).
+  PointId CompetitorRow(uint64_t id) const {
+    auto it = competitor_rows_.find(id);
+    return it == competitor_rows_.end() ? kInvalidPointId : it->second;
+  }
+  PointId ProductRow(uint64_t id) const {
+    auto it = product_rows_.find(id);
+    return it == product_rows_.end() ? kInvalidPointId : it->second;
+  }
+
+  /// Steady-clock instant `Create` finished (snapshot-age metric).
+  SteadyClock::time_point published_at() const { return published_at_; }
+
+ private:
+  Snapshot(uint64_t epoch, std::unique_ptr<Dataset> competitors,
+           std::vector<uint64_t> competitor_ids,
+           std::unique_ptr<Dataset> products,
+           std::vector<uint64_t> product_ids);
+
+  uint64_t epoch_;
+  // unique_ptr keeps dataset addresses stable: the flat index holds a raw
+  // `const Dataset*` into competitors_.
+  std::unique_ptr<Dataset> competitors_;
+  std::unique_ptr<Dataset> products_;
+  std::vector<uint64_t> competitor_ids_;
+  std::vector<uint64_t> product_ids_;
+  std::unordered_map<uint64_t, PointId> competitor_rows_;
+  std::unordered_map<uint64_t, PointId> product_rows_;
+  FlatRTree index_;
+  SteadyClock::time_point published_at_;
+};
+
+/// Publication point between the rebuilder (single writer at a time) and
+/// query threads (any number of readers). `Acquire` is one shared_ptr copy
+/// under a mutex; the snapshot itself is immutable, so that is the only
+/// synchronization readers ever need.
+class SnapshotStore {
+ public:
+  SnapshotStore() = default;
+  SnapshotStore(const SnapshotStore&) = delete;
+  SnapshotStore& operator=(const SnapshotStore&) = delete;
+
+  /// Atomically replaces the current snapshot. The epoch must strictly
+  /// increase across publishes (checked).
+  void Publish(std::shared_ptr<const Snapshot> snapshot);
+
+  /// The current snapshot (never null once one is published). The caller's
+  /// reference keeps the epoch alive for the duration of its query.
+  std::shared_ptr<const Snapshot> Acquire() const;
+
+  /// Epoch of the current snapshot, 0 before the first publish.
+  uint64_t epoch() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const Snapshot> current_;
+};
+
+}  // namespace skyup
+
+#endif  // SKYUP_SERVE_SNAPSHOT_H_

@@ -20,6 +20,12 @@ std::string_view StatusCodeName(StatusCode code) {
       return "IOError";
     case StatusCode::kNotSupported:
       return "NotSupported";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

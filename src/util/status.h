@@ -21,6 +21,9 @@ enum class StatusCode {
   kInternal,
   kIOError,
   kNotSupported,
+  kCancelled,
+  kDeadlineExceeded,
+  kResourceExhausted,
 };
 
 /// Returns a human-readable name for `code` (e.g., "InvalidArgument").
@@ -63,6 +66,15 @@ class Status {
   }
   static Status NotSupported(std::string msg) {
     return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

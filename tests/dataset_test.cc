@@ -92,5 +92,46 @@ TEST(DatasetTest, CopyIsIndependent) {
   EXPECT_EQ(copy.size(), 2u);
 }
 
+TEST(DatasetTest, SelfAppendSurvivesReallocation) {
+  // Regression: Add(const double*) with a pointer into the dataset's own
+  // storage used to be undefined behavior when the append reallocated —
+  // vector::insert invalidates the source range mid-copy.
+  Dataset ds(3);
+  ds.Add({1, 2, 3});
+  // Force many reallocation cycles while always appending row 0 of the
+  // current storage.
+  for (int i = 0; i < 200; ++i) {
+    ds.Add(ds.data(0));
+  }
+  ASSERT_EQ(ds.size(), 201u);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    const double* row = ds.data(static_cast<PointId>(i));
+    EXPECT_EQ(row[0], 1.0);
+    EXPECT_EQ(row[1], 2.0);
+    EXPECT_EQ(row[2], 3.0);
+  }
+}
+
+TEST(DatasetTest, SelfAppendOfLastRow) {
+  Dataset ds(2);
+  ds.Add({4, 5});
+  ds.Add({6, 7});
+  // The last row sits right at the end of storage; appending it must read
+  // the values before (or despite) any growth.
+  ds.Add(ds.data(1));
+  ASSERT_EQ(ds.size(), 3u);
+  EXPECT_EQ(ds.data(2)[0], 6.0);
+  EXPECT_EQ(ds.data(2)[1], 7.0);
+}
+
+TEST(DatasetTest, ForeignPointerAppendStillWorks) {
+  Dataset ds(2);
+  const double outside[] = {8.0, 9.0};
+  ds.Add(outside);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds.data(0)[0], 8.0);
+  EXPECT_EQ(ds.data(0)[1], 9.0);
+}
+
 }  // namespace
 }  // namespace skyup

@@ -320,6 +320,63 @@ TEST(FlatTopKTest, ImprovedProbingBitIdenticalAtEveryThreadCount) {
   }
 }
 
+TEST(FlatIndexTest, BulkLoadSnapshotEmptyDataset) {
+  // The serving rebuild path must survive an empty competitor table — no
+  // node arena, but dims and dataset binding intact.
+  Dataset empty(3);
+  Result<FlatRTree> tree = FlatRTree::BulkLoadSnapshot(empty);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  const double probe[] = {0.5, 0.5, 0.5};
+  std::vector<PointId> sky = DominatingSkyline(*tree, probe, nullptr);
+  EXPECT_TRUE(sky.empty());
+}
+
+TEST(FlatIndexTest, BulkLoadSnapshotNonEmptyMatchesBulkLoad) {
+  const Dataset competitors =
+      MakeData(150, 3, Distribution::kIndependent, 77);
+  Result<FlatRTree> a = FlatRTree::BulkLoadSnapshot(competitors);
+  Result<FlatRTree> b = FlatRTree::BulkLoad(competitors);
+  ASSERT_TRUE(a.ok() && b.ok());
+  const double probe[] = {0.9, 0.9, 0.9};
+  ExpectSameIds(DominatingSkyline(*a, probe, nullptr),
+                DominatingSkyline(*b, probe, nullptr), "snapshot-vs-bulk");
+}
+
+TEST(FlatTopKTest, ProductAppendAfterBulkLoadKeepsQueriesValid) {
+  // Regression: the flat index pins the *competitor* dataset, but T is
+  // free to grow between queries. Appending products — including
+  // self-appends, which used to hit the Dataset::Add aliasing bug — must
+  // leave the index probes and a re-run query fully valid.
+  const Dataset competitors =
+      MakeData(300, 3, Distribution::kAntiCorrelated, 11);
+  Dataset products = MakeData(40, 3, Distribution::kIndependent, 12);
+  const ProductCostFunction cost_fn =
+      ProductCostFunction::ReciprocalSum(3, 1e-3);
+  Result<FlatRTree> flat = FlatRTree::BulkLoad(competitors);
+  ASSERT_TRUE(flat.ok());
+
+  Result<std::vector<UpgradeResult>> before = TopKImprovedProbingParallel(
+      *flat, products, cost_fn, 5, 1e-6, 2, nullptr);
+  ASSERT_TRUE(before.ok());
+
+  // Grow T after the index was built: fresh rows and a self-append that
+  // forces reallocation of the products storage.
+  for (int i = 0; i < 100; ++i) {
+    products.Add(products.data(static_cast<PointId>(i % products.size())));
+  }
+  Result<std::vector<UpgradeResult>> after = TopKImprovedProbingParallel(
+      *flat, products, cost_fn, 5, 1e-6, 2, nullptr);
+  ASSERT_TRUE(after.ok());
+
+  // The appended rows are duplicates of existing products, so the top-5
+  // costs cannot change (ids may differ across tied duplicates only if
+  // ranks tie — costs are the invariant here).
+  ASSERT_EQ(after->size(), before->size());
+  for (size_t i = 0; i < before->size(); ++i) {
+    EXPECT_EQ((*after)[i].cost, (*before)[i].cost) << "rank " << i;
+  }
+}
+
 TEST(FlatTopKTest, PlannerFlatToggleChangesPathNotResults) {
   const Dataset competitors =
       MakeData(400, 3, Distribution::kAntiCorrelated, 3);

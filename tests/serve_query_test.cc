@@ -1,0 +1,217 @@
+// Tests for the serving-layer top-k engine (serve/query.h): exactness of
+// the snapshot+overlay path against a rebuild-from-scratch oracle
+// (including the erase-fallback rescan), empty-table behavior, argument
+// validation, cancellation, and the serve stat counters.
+
+#include "serve/query.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/live_table.h"
+#include "serve/rebuilder.h"
+#include "util/random.h"
+
+namespace skyup {
+namespace {
+
+Result<std::unique_ptr<LiveTable>> MakeTable(size_t dims) {
+  LiveTableOptions options;
+  options.dims = dims;
+  return LiveTable::Create(options);
+}
+
+ProductCostFunction CostFn(size_t dims) {
+  return ProductCostFunction::ReciprocalSum(dims, 1e-3);
+}
+
+// Forces one rebuild so every pending delta lands in the snapshot.
+void RebuildNow(LiveTable* table) {
+  std::optional<LiveTable::RebuildJob> job = table->BeginRebuild();
+  if (!job.has_value()) return;
+  Result<std::shared_ptr<const Snapshot>> merged = MergeSnapshot(
+      *job->base, job->ops, job->next_epoch, table->index_options());
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  table->CompleteRebuild(*merged);
+}
+
+void ExpectExactlyEqual(const std::vector<UpgradeResult>& a,
+                        const std::vector<UpgradeResult>& b,
+                        const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].product_id, b[i].product_id) << label << " rank " << i;
+    EXPECT_EQ(a[i].cost, b[i].cost) << label << " rank " << i;
+    EXPECT_EQ(a[i].upgraded, b[i].upgraded) << label << " rank " << i;
+  }
+}
+
+TEST(TopKOverlayTest, EmptyLiveProductSetYieldsEmptyResult) {
+  Result<std::unique_ptr<LiveTable>> table = MakeTable(2);
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE((*table)->InsertCompetitor({0.1, 0.1}).ok());
+  Result<std::vector<UpgradeResult>> top =
+      TopKOverlay((*table)->AcquireView(), CostFn(2), 3);
+  ASSERT_TRUE(top.ok()) << top.status().ToString();
+  EXPECT_TRUE(top->empty());
+}
+
+TEST(TopKOverlayTest, ValidatesArguments) {
+  Result<std::unique_ptr<LiveTable>> table = MakeTable(2);
+  ASSERT_TRUE(table.ok());
+  ReadView view = (*table)->AcquireView();
+  EXPECT_EQ(TopKOverlay(view, CostFn(2), 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(TopKOverlay(view, CostFn(2), 1, -1.0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(TopKOverlay(view, CostFn(3), 1).status().code(),
+            StatusCode::kInvalidArgument);
+  ReadView null_view;
+  EXPECT_EQ(TopKOverlay(null_view, CostFn(2), 1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TopKOverlayTest, ResultsCarryStableIds) {
+  Result<std::unique_ptr<LiveTable>> table = MakeTable(2);
+  ASSERT_TRUE(table.ok());
+  LiveTable& t = **table;
+  ASSERT_TRUE(t.InsertCompetitor({0.1, 0.1}).ok());
+  Result<uint64_t> p1 = t.InsertProduct({0.9, 0.9});
+  Result<uint64_t> p2 = t.InsertProduct({0.8, 0.8});
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  ASSERT_TRUE(t.EraseProduct(*p1).ok());
+
+  Result<std::vector<UpgradeResult>> top =
+      TopKOverlay(t.AcquireView(), CostFn(2), 5);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top->size(), 1u);  // only p2 is live
+  EXPECT_EQ(static_cast<uint64_t>((*top)[0].product_id), *p2);
+}
+
+// The load-bearing property: for random interleavings of inserts/erases
+// with rebuilds at arbitrary points, the overlay path must return exactly
+// what a freshly rebuilt (no overlay) query returns.
+TEST(TopKOverlayTest, OverlayMatchesRebuildOracleOnRandomWorkloads) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed * 1299709);
+    const size_t dims = 2 + static_cast<size_t>(rng.NextUint64(3));
+    Result<std::unique_ptr<LiveTable>> table = MakeTable(dims);
+    ASSERT_TRUE(table.ok());
+    LiveTable& t = **table;
+    std::vector<uint64_t> live_p, live_t;
+    std::vector<double> coords(dims);
+
+    for (int step = 0; step < 220; ++step) {
+      const uint64_t roll = rng.NextUint64(100);
+      if (roll < 40 || (roll < 70 && live_p.size() < 3)) {
+        for (double& c : coords) c = rng.NextDouble();
+        Result<uint64_t> id = t.InsertCompetitor(coords);
+        ASSERT_TRUE(id.ok());
+        live_p.push_back(*id);
+      } else if (roll < 55) {
+        for (double& c : coords) c = rng.NextDouble();
+        Result<uint64_t> id = t.InsertProduct(coords);
+        ASSERT_TRUE(id.ok());
+        live_t.push_back(*id);
+      } else if (roll < 70 && !live_p.empty()) {
+        const size_t at = static_cast<size_t>(rng.NextUint64(live_p.size()));
+        ASSERT_TRUE(t.EraseCompetitor(live_p[at]).ok());
+        live_p[at] = live_p.back();
+        live_p.pop_back();
+      } else if (roll < 80 && !live_t.empty()) {
+        const size_t at = static_cast<size_t>(rng.NextUint64(live_t.size()));
+        ASSERT_TRUE(t.EraseProduct(live_t[at]).ok());
+        live_t[at] = live_t.back();
+        live_t.pop_back();
+      } else if (roll < 85) {
+        RebuildNow(&t);
+      } else {
+        const size_t k = 1 + static_cast<size_t>(rng.NextUint64(8));
+        ServeStats stats;
+        Result<std::vector<UpgradeResult>> overlay_top = TopKOverlay(
+            t.AcquireView(), CostFn(dims), k, 1e-6, nullptr, &stats);
+        ASSERT_TRUE(overlay_top.ok()) << overlay_top.status().ToString();
+
+        // Oracle: fold everything into a fresh snapshot, query with an
+        // empty overlay.
+        RebuildNow(&t);
+        ReadView clean = t.AcquireView();
+        ASSERT_TRUE(clean.deltas.empty());
+        Result<std::vector<UpgradeResult>> oracle_top =
+            TopKOverlay(clean, CostFn(dims), k);
+        ASSERT_TRUE(oracle_top.ok());
+        ExpectExactlyEqual(*overlay_top, *oracle_top,
+                           "seed=" + std::to_string(seed) +
+                               " step=" + std::to_string(step));
+      }
+    }
+  }
+}
+
+TEST(TopKOverlayTest, EraseFallbackCounterFiresWhenSkylineMemberDies) {
+  Result<std::unique_ptr<LiveTable>> table = MakeTable(2);
+  ASSERT_TRUE(table.ok());
+  LiveTable& t = **table;
+  // One dominating competitor, one dominated one; snapshot them.
+  Result<uint64_t> strong = t.InsertCompetitor({0.1, 0.1});
+  ASSERT_TRUE(strong.ok());
+  ASSERT_TRUE(t.InsertCompetitor({0.4, 0.4}).ok());
+  ASSERT_TRUE(t.InsertProduct({0.9, 0.9}).ok());
+  RebuildNow(&t);
+
+  // Killing the skyline member after the snapshot forces the fallback
+  // rescan (the dead member may have masked the other competitor).
+  ASSERT_TRUE(t.EraseCompetitor(*strong).ok());
+  ServeStats stats;
+  Result<std::vector<UpgradeResult>> top =
+      TopKOverlay(t.AcquireView(), CostFn(2), 1, 1e-6, nullptr, &stats);
+  ASSERT_TRUE(top.ok());
+  EXPECT_GT(stats.erase_fallback_scans, 0u);
+  EXPECT_EQ(stats.candidates_evaluated, 1u);
+
+  // And the surviving competitor now drives the upgrade target.
+  ASSERT_EQ(top->size(), 1u);
+  Result<std::vector<UpgradeResult>> oracle = [&] {
+    RebuildNow(&t);
+    return TopKOverlay(t.AcquireView(), CostFn(2), 1);
+  }();
+  ASSERT_TRUE(oracle.ok());
+  ExpectExactlyEqual(*top, *oracle, "post-erase");
+}
+
+TEST(TopKOverlayTest, CancelledControlUnwinds) {
+  Result<std::unique_ptr<LiveTable>> table = MakeTable(2);
+  ASSERT_TRUE(table.ok());
+  LiveTable& t = **table;
+  ASSERT_TRUE(t.InsertCompetitor({0.1, 0.1}).ok());
+  ASSERT_TRUE(t.InsertProduct({0.9, 0.9}).ok());
+  QueryControl control;
+  control.Cancel();
+  Result<std::vector<UpgradeResult>> top =
+      TopKOverlay(t.AcquireView(), CostFn(2), 1, 1e-6, &control);
+  ASSERT_FALSE(top.ok());
+  EXPECT_EQ(top.status().code(), StatusCode::kCancelled);
+}
+
+TEST(TopKOverlayTest, StatsCountDeltaScans) {
+  Result<std::unique_ptr<LiveTable>> table = MakeTable(2);
+  ASSERT_TRUE(table.ok());
+  LiveTable& t = **table;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(t.InsertCompetitor({0.2 + 0.1 * i, 0.8 - 0.1 * i}).ok());
+  }
+  ASSERT_TRUE(t.InsertProduct({0.9, 0.9}).ok());
+  ServeStats stats;
+  ASSERT_TRUE(
+      TopKOverlay(t.AcquireView(), CostFn(2), 1, 1e-6, nullptr, &stats)
+          .ok());
+  EXPECT_EQ(stats.delta_ops_scanned, 5u);
+  EXPECT_EQ(stats.candidates_evaluated, 1u);
+  EXPECT_EQ(stats.erase_fallback_scans, 0u);
+}
+
+}  // namespace
+}  // namespace skyup

@@ -1,0 +1,163 @@
+// Tests for the serve workload format and replayer (serve/replay.h):
+// parser acceptance/rejection, generator determinism and id-validity, and
+// the core replay property — two runs of the same workload produce
+// byte-identical result logs — plus the CLI `serve` command wiring.
+
+#include "serve/replay.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+#include "serve/server.h"
+
+namespace skyup {
+namespace {
+
+Result<std::unique_ptr<Server>> MakeReplayServer(size_t dims) {
+  ServerOptions options;
+  options.dims = dims;
+  options.background_rebuild = false;
+  options.rebuild_threshold_ops = 16;
+  options.query_threads = 1;
+  return Server::Create(ProductCostFunction::ReciprocalSum(dims, 1e-3),
+                        options);
+}
+
+TEST(WorkloadParseTest, RoundTripsAllOpKinds) {
+  const std::string text =
+      "# skyup serve workload dims=2\n"
+      "\n"
+      "# a comment\n"
+      "ip,0.5,0.25\n"
+      "it,0.9,0.8\n"
+      "ep,1\n"
+      "et,1\n"
+      "q,5\n";
+  Result<ReplayWorkload> workload = ParseWorkload(text);
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+  EXPECT_EQ(workload->dims, 2u);
+  ASSERT_EQ(workload->ops.size(), 5u);
+  EXPECT_EQ(workload->ops[0].kind, ReplayOpKind::kInsertCompetitor);
+  EXPECT_EQ(workload->ops[0].coords, (std::vector<double>{0.5, 0.25}));
+  EXPECT_EQ(workload->ops[1].kind, ReplayOpKind::kInsertProduct);
+  EXPECT_EQ(workload->ops[2].kind, ReplayOpKind::kEraseCompetitor);
+  EXPECT_EQ(workload->ops[2].id, 1u);
+  EXPECT_EQ(workload->ops[3].kind, ReplayOpKind::kEraseProduct);
+  EXPECT_EQ(workload->ops[4].kind, ReplayOpKind::kQuery);
+  EXPECT_EQ(workload->ops[4].k, 5u);
+}
+
+TEST(WorkloadParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseWorkload("").ok());                       // no header
+  EXPECT_FALSE(ParseWorkload("ip,0.5,0.5\n").ok());           // no header
+  EXPECT_FALSE(
+      ParseWorkload("# skyup serve workload dims=2\nip,0.5\n").ok());
+  EXPECT_FALSE(
+      ParseWorkload("# skyup serve workload dims=2\nzz,1\n").ok());
+  EXPECT_FALSE(
+      ParseWorkload("# skyup serve workload dims=2\nq,0\n").ok());
+  EXPECT_FALSE(
+      ParseWorkload("# skyup serve workload dims=2\nep,abc\n").ok());
+}
+
+TEST(WorkloadGenerateTest, DeterministicAndReplayable) {
+  std::ostringstream a, b;
+  ASSERT_TRUE(GenerateWorkload(42, 300, 3, a).ok());
+  ASSERT_TRUE(GenerateWorkload(42, 300, 3, b).ok());
+  EXPECT_EQ(a.str(), b.str());
+
+  std::ostringstream c;
+  ASSERT_TRUE(GenerateWorkload(43, 300, 3, c).ok());
+  EXPECT_NE(a.str(), c.str());
+
+  // Every generated op must be accepted by a real server (erases name
+  // live ids only).
+  Result<ReplayWorkload> workload = ParseWorkload(a.str());
+  ASSERT_TRUE(workload.ok());
+  EXPECT_EQ(workload->ops.size(), 300u);
+  Result<std::unique_ptr<Server>> server = MakeReplayServer(3);
+  ASSERT_TRUE(server.ok());
+  std::ostringstream results;
+  Result<ReplayReport> report = Replay(server->get(), *workload, results);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->inserts_p + report->inserts_t + report->erases_p +
+                report->erases_t + report->queries,
+            300u);
+}
+
+TEST(ReplayTest, TwoRunsAreByteIdentical) {
+  std::ostringstream text;
+  ASSERT_TRUE(GenerateWorkload(7, 400, 2, text).ok());
+  Result<ReplayWorkload> workload = ParseWorkload(text.str());
+  ASSERT_TRUE(workload.ok());
+
+  std::string logs[2];
+  for (std::string& log : logs) {
+    Result<std::unique_ptr<Server>> server = MakeReplayServer(2);
+    ASSERT_TRUE(server.ok());
+    std::ostringstream results;
+    Result<ReplayReport> report = Replay(server->get(), *workload, results);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_GT(report->queries, 0u);
+    log = results.str();
+  }
+  EXPECT_EQ(logs[0], logs[1]);
+  EXPECT_FALSE(logs[0].empty());
+}
+
+TEST(ReplayTest, RequiresDeterministicMode) {
+  ServerOptions options;
+  options.dims = 2;
+  options.background_rebuild = true;
+  Result<std::unique_ptr<Server>> server = Server::Create(
+      ProductCostFunction::ReciprocalSum(2, 1e-3), options);
+  ASSERT_TRUE(server.ok());
+  ReplayWorkload workload;
+  workload.dims = 2;
+  std::ostringstream results;
+  Result<ReplayReport> report = Replay(server->get(), workload, results);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServeCliTest, GenerateThenReplayEndToEnd) {
+  const std::string ops_path =
+      ::testing::TempDir() + "/skyup_serve_ops.csv";
+  const std::string out_a = ::testing::TempDir() + "/skyup_serve_a.txt";
+  const std::string out_b = ::testing::TempDir() + "/skyup_serve_b.txt";
+
+  std::ostringstream out, err;
+  int code = cli::Run({"serve", "--gen-ops=" + ops_path, "--ops=200",
+                       "--dims=2", "--seed=5"},
+                      out, err);
+  ASSERT_EQ(code, 0) << err.str();
+
+  for (const std::string& path : {out_a, out_b}) {
+    std::ostringstream run_out, run_err;
+    code = cli::Run({"serve", "--replay=" + ops_path, "--out=" + path},
+                    run_out, run_err);
+    ASSERT_EQ(code, 0) << run_err.str();
+    EXPECT_NE(run_err.str().find("# replay:"), std::string::npos);
+  }
+  std::ifstream a(out_a), b(out_b);
+  std::stringstream sa, sb;
+  sa << a.rdbuf();
+  sb << b.rdbuf();
+  EXPECT_EQ(sa.str(), sb.str());
+  EXPECT_FALSE(sa.str().empty());
+}
+
+TEST(ServeCliTest, ReplayAndGenAreMutuallyExclusive) {
+  std::ostringstream out, err;
+  EXPECT_EQ(cli::Run({"serve"}, out, err), 2);
+  EXPECT_EQ(cli::Run({"serve", "--replay=a", "--gen-ops=b"}, out, err), 2);
+}
+
+}  // namespace
+}  // namespace skyup

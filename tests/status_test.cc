@@ -35,6 +35,11 @@ TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
       {Status::Internal("e"), StatusCode::kInternal, "Internal"},
       {Status::IOError("f"), StatusCode::kIOError, "IOError"},
       {Status::NotSupported("g"), StatusCode::kNotSupported, "NotSupported"},
+      {Status::Cancelled("h"), StatusCode::kCancelled, "Cancelled"},
+      {Status::DeadlineExceeded("i"), StatusCode::kDeadlineExceeded,
+       "DeadlineExceeded"},
+      {Status::ResourceExhausted("j"), StatusCode::kResourceExhausted,
+       "ResourceExhausted"},
   };
   for (const Case& c : cases) {
     EXPECT_FALSE(c.status.ok());

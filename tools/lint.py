@@ -62,6 +62,7 @@ MERGE_ADD_RE = re.compile(r"^\s*add\(&(\w+),", re.M)
 MERGE_TRIPWIRES = (
     ("execstats", "src/core/upgrade_result.h", "ExecStats", "size_t"),
     ("phasetimings", "src/obs/phase_timings.h", "PhaseTimings", "double"),
+    ("servestats", "src/serve/serve_stats.h", "ServeStats", "uint64_t"),
 )
 
 

@@ -76,8 +76,14 @@ bench["serve"] = {
     "update_throughput_per_s": updates / (wall_us / 1e6) if wall_us else None,
     "queries_executed": counters.get("skyup_serve_queries_executed_total"),
     "rebuilds_published": counters.get("skyup_serve_rebuilds_published_total"),
+    "patches_published": counters.get("skyup_serve_patches_published_total"),
     "erase_fallback_scans": counters.get(
         "skyup_serve_erase_fallback_scans_total"),
+    "candidates_pruned": counters.get("skyup_serve_candidates_pruned_total"),
+    "prune_disabled_queries": counters.get(
+        "skyup_serve_prune_disabled_queries_total"),
+    "cache_hits": counters.get("skyup_serve_cache_hits_total"),
+    "cache_misses": counters.get("skyup_serve_cache_misses_total"),
     "final_epoch": gauges.get("skyup_serve_snapshot_epoch"),
     "final_backlog_ops": gauges.get("skyup_serve_delta_backlog_ops"),
     "query_latency": {

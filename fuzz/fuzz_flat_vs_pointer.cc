@@ -2,10 +2,17 @@
 // the pointer R-tree it was built from. Checks both structures' own
 // validators, then the behavioral contracts that must be *bit-identical*
 // across the two forms: BBS skylines and constrained dominating-skyline
-// probes (same entries, same order, same tie-breaks).
+// probes (same entries, same order, same tie-breaks). A second phase
+// tombstones a random subset in the flat snapshot while physically deleting
+// the same rows from the pointer tree; pointer deletion restructures
+// (condense-tree + reinsert), so post-delete equivalence is checked on
+// coordinate value multisets plus a brute-force skyline oracle over the
+// surviving rows, not on id order.
 
+#include <algorithm>
 #include <vector>
 
+#include "core/dominance.h"
 #include "fuzz_common.h"
 #include "rtree/flat_rtree.h"
 #include "rtree/rtree.h"
@@ -15,6 +22,20 @@
 namespace skyup {
 namespace fuzz {
 namespace {
+
+// Rows as a sorted coordinate multiset (duplicates kept: equal points never
+// dominate each other, so both forms admit all copies).
+std::vector<std::vector<double>> Values(const Dataset& data,
+                                        const std::vector<PointId>& rows) {
+  std::vector<std::vector<double>> out;
+  out.reserve(rows.size());
+  for (PointId id : rows) {
+    const double* p = data.data(id);
+    out.emplace_back(p, p + data.dims());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
 
 void RunOne(uint64_t seed) {
   Rng rng(seed);
@@ -41,7 +62,7 @@ void RunOne(uint64_t seed) {
   }
 
   SKYUP_CHECK_OK(tree->Validate());
-  const FlatRTree flat = FlatRTree::FromTree(*tree);
+  FlatRTree flat = FlatRTree::FromTree(*tree);
   SKYUP_CHECK_OK(flat.Validate());
   SKYUP_CHECK(flat.size() == tree->size())
       << "flat holds " << flat.size() << " of " << tree->size()
@@ -65,6 +86,90 @@ void RunOne(uint64_t seed) {
         << "DominatingSkyline diverged for q=" << PointToString(q)
         << " (ptr " << dom_ptr.size() << " vs flat " << dom_flat.size()
         << "), shape=" << ShapeName(shape) << " seed=" << seed;
+  }
+
+  // ---- Delete phase ----
+  std::vector<uint8_t> alive(data.size(), 1);
+  size_t live = data.size();
+  const size_t attempts = static_cast<size_t>(rng.NextUint64(data.size() + 1));
+  for (size_t e = 0; e < attempts; ++e) {
+    const PointId row = static_cast<PointId>(rng.NextUint64(data.size()));
+    if (!alive[static_cast<size_t>(row)]) {
+      SKYUP_CHECK(!flat.Erase(row))
+          << "double erase accepted for row " << row << ", seed=" << seed;
+      continue;
+    }
+    SKYUP_CHECK(flat.Erase(row)) << "erase rejected for live row " << row
+                                 << ", seed=" << seed;
+    SKYUP_CHECK(tree->Delete(row))
+        << "pointer delete rejected row " << row << ", seed=" << seed;
+    alive[static_cast<size_t>(row)] = 0;
+    --live;
+    SKYUP_CHECK_OK(flat.Validate());
+    SKYUP_CHECK(flat.live_size() == live)
+        << "live tally " << flat.live_size() << " != " << live
+        << ", seed=" << seed;
+  }
+  // Out-of-range erases are rejected without side effects.
+  SKYUP_CHECK(!flat.Erase(static_cast<PointId>(data.size())));
+  SKYUP_CHECK(!flat.Erase(static_cast<PointId>(-1)));
+  SKYUP_CHECK(flat.live_size() == live);
+  SKYUP_CHECK(flat.tombstones() == data.size() - live);
+
+  if (live > 0) {
+    SKYUP_CHECK_OK(tree->Validate());
+    // Full skyline of the survivors: value multisets must coincide.
+    const auto sky_p = Values(data, SkylineBbs(*tree));
+    const auto sky_f = Values(data, SkylineBbs(flat));
+    SKYUP_CHECK(sky_p == sky_f)
+        << "post-delete BBS skyline diverged (ptr " << sky_p.size()
+        << " vs flat " << sky_f.size() << "), shape=" << ShapeName(shape)
+        << " seed=" << seed << " rows: " << RowsToString(data);
+  } else {
+    SKYUP_CHECK(SkylineBbs(flat).empty());
+    SKYUP_CHECK(flat.root_mbr().IsEmpty());
+  }
+
+  // Post-delete probes, with a brute-force oracle: every returned point is
+  // a live strict dominator of q not dominated by another live dominator,
+  // and together they cover every live dominator.
+  const size_t dims = data.dims();
+  for (size_t i = 0; i < probes; ++i) {
+    const std::vector<double> q = GenQueryPoint(&rng, data);
+    const std::vector<PointId> dom_flat = DominatingSkyline(flat, q.data());
+    for (PointId id : dom_flat) {
+      SKYUP_CHECK(alive[static_cast<size_t>(id)] &&
+                  Dominates(data.data(id), q.data(), dims))
+          << "probe returned dead/non-dominating row " << id << " for q="
+          << PointToString(q) << ", seed=" << seed;
+    }
+    for (size_t r = 0; r < data.size(); ++r) {
+      if (!alive[r]) continue;
+      const double* row = data.data(static_cast<PointId>(r));
+      if (!Dominates(row, q.data(), dims)) continue;
+      bool covered = false;
+      for (PointId id : dom_flat) {
+        if (DominatesOrEqual(data.data(id), row, dims)) {
+          covered = true;
+          break;
+        }
+        SKYUP_CHECK(!Dominates(row, data.data(id), dims))
+            << "probe kept row " << id << " dominated by live row " << r
+            << " for q=" << PointToString(q) << ", seed=" << seed;
+      }
+      SKYUP_CHECK(covered) << "live dominator row " << r
+                           << " not covered by probe result for q="
+                           << PointToString(q) << ", seed=" << seed;
+    }
+    if (live > 0) {
+      const auto vals_p = Values(data, DominatingSkyline(*tree, q.data()));
+      const auto vals_f = Values(data, dom_flat);
+      SKYUP_CHECK(vals_p == vals_f)
+          << "post-delete DominatingSkyline diverged for q="
+          << PointToString(q) << " (ptr " << vals_p.size() << " vs flat "
+          << vals_f.size() << "), shape=" << ShapeName(shape)
+          << " seed=" << seed;
+    }
   }
 }
 

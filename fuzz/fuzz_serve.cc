@@ -116,6 +116,21 @@ void RunOne(uint64_t seed) {
 
   RebuildPolicy policy;
   policy.threshold_ops = 1 + static_cast<size_t>(rng.NextUint64(16));
+  // Random patch-vs-major escalation points: low ones force frequent
+  // compactions, high ones let tombstones and tails pile up across many
+  // patched epochs — both sides of ChoosePublish get exercised.
+  policy.compact_tombstone_pct = 5 + static_cast<size_t>(rng.NextUint64(96));
+  policy.compact_tail_pct = 10 + static_cast<size_t>(rng.NextUint64(191));
+
+  // A quarter of the seeds run erase-heavy: patched snapshots accumulate
+  // index tombstones and queries carry pending erases, which is what the
+  // mask-aware probe and the prune face-disable path need to see.
+  const bool erase_heavy = rng.NextUint64(4) == 0;
+  const uint64_t p_ins_below = erase_heavy ? 20 : 30;
+  const uint64_t t_ins_below = p_ins_below + 15;
+  const uint64_t p_del_below = t_ins_below + (erase_heavy ? 25 : 13);
+  const uint64_t t_del_below = p_del_below + 10;
+  const uint64_t capture_below = t_del_below + 4;
 
   OracleTable live_p;
   OracleTable live_t;
@@ -124,7 +139,7 @@ void RunOne(uint64_t seed) {
   const int steps = 30 + static_cast<int>(rng.NextUint64(50));
   for (int step = 0; step < steps; ++step) {
     const uint64_t roll = rng.NextUint64(100);
-    if (roll < 30 || (roll < 60 && live_p.empty())) {
+    if (roll < p_ins_below || (roll < 60 && live_p.empty())) {
       // Insert competitor. Sometimes duplicate an existing row exactly
       // (tie stress for the skyline reduction).
       std::vector<double> coords(dims);
@@ -136,25 +151,25 @@ void RunOne(uint64_t seed) {
       Result<uint64_t> id = t.InsertCompetitor(coords);
       SKYUP_CHECK(id.ok()) << id.status().ToString() << " seed=" << seed;
       live_p.emplace(*id, std::move(coords));
-    } else if (roll < 45) {
+    } else if (roll < t_ins_below) {
       std::vector<double> coords(dims);
       for (double& c : coords) c = rng.NextDouble(0.0, 4.0);
       Result<uint64_t> id = t.InsertProduct(coords);
       SKYUP_CHECK(id.ok()) << id.status().ToString() << " seed=" << seed;
       live_t.emplace(*id, std::move(coords));
-    } else if (roll < 58 && !live_p.empty()) {
+    } else if (roll < p_del_below && !live_p.empty()) {
       auto victim = live_p.begin();
       std::advance(victim,
                    static_cast<long>(rng.NextUint64(live_p.size())));
       SKYUP_CHECK(t.EraseCompetitor(victim->first).ok()) << "seed=" << seed;
       live_p.erase(victim);
-    } else if (roll < 68 && !live_t.empty()) {
+    } else if (roll < t_del_below && !live_t.empty()) {
       auto victim = live_t.begin();
       std::advance(victim,
                    static_cast<long>(rng.NextUint64(live_t.size())));
       SKYUP_CHECK(t.EraseProduct(victim->first).ok()) << "seed=" << seed;
       live_t.erase(victim);
-    } else if (roll < 72) {
+    } else if (roll < capture_below) {
       // Capture a view to re-query later, against today's oracle state.
       stale.push_back(StaleCheck{t.AcquireView(), live_p, live_t, step});
     } else {
@@ -166,8 +181,9 @@ void RunOne(uint64_t seed) {
           OracleTopK(live_p, live_t, cost_fn, dims, k, epsilon), *got,
           "overlay", seed, step);
     }
-    // Inline rebuild exactly like the deterministic serving mode.
-    Result<bool> rebuilt = MaybeRebuildInline(&t, policy);
+    // Inline rebuild exactly like the deterministic serving mode; the
+    // policy decides per cycle whether it patches or compacts.
+    Result<PublishKind> rebuilt = MaybeRebuildInline(&t, policy);
     SKYUP_CHECK(rebuilt.ok()) << rebuilt.status().ToString()
                               << " seed=" << seed;
   }
@@ -201,6 +217,11 @@ void RunOne(uint64_t seed) {
   }
   ReadView clean = t.AcquireView();
   SKYUP_CHECK(clean.deltas.empty()) << "seed=" << seed;
+  // Drop the table's upgrade cache from this view: the clean query then
+  // recomputes every candidate from scratch, so the agreement check below
+  // is also a cache-on vs cache-off differential (the overlay answer was
+  // free to reuse cached results for the same state).
+  clean.cache.reset();
   Result<std::vector<UpgradeResult>> via_snapshot =
       TopKOverlay(clean, cost_fn, k, epsilon);
   SKYUP_CHECK(via_snapshot.ok())

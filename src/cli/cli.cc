@@ -54,12 +54,16 @@ commands:
   serve      replay or generate a live update+query workload
              --replay=OPS.csv [--out=FILE] [--metrics-out=FILE]
              [--epsilon=1e-6] [--fanout=64] [--rebuild-threshold=64]
+             [--min-publish-backlog=1] [--compact-tombstone-pct=50]
+             [--compact-tail-pct=150]
              | --gen-ops=FILE --ops=N --dims=D [--seed=1]
              (replay mode drives the serving layer deterministically:
-              queries run inline and snapshot rebuilds trigger inline on
+              queries run inline and snapshot publishes trigger inline on
               the op-count threshold, so two replays of the same workload
-              produce byte-identical output; --gen-ops writes a seeded
-              random workload of inserts/erases/queries instead)
+              produce byte-identical output; most publishes are cheap
+              tombstone/tail patches — a full STR compaction runs only
+              past the --compact-*-pct densities; --gen-ops writes a
+              seeded random workload of inserts/erases/queries instead)
   help       show this message
 )";
 
@@ -456,10 +460,14 @@ int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
   const auto epsilon = ToDouble(flags.GetOr("epsilon", "1e-6"));
   const auto fanout = ToInt(flags.GetOr("fanout", "64"));
   const auto threshold = ToInt(flags.GetOr("rebuild-threshold", "64"));
+  const auto min_backlog = ToInt(flags.GetOr("min-publish-backlog", "1"));
+  const auto tombstone_pct = ToInt(flags.GetOr("compact-tombstone-pct", "50"));
+  const auto tail_pct = ToInt(flags.GetOr("compact-tail-pct", "150"));
   const auto out_path = flags.Get("out");
   const auto metrics_path = flags.Get("metrics-out");
-  if (!epsilon || !fanout || !threshold || *epsilon <= 0 || *fanout < 2 ||
-      *threshold < 1) {
+  if (!epsilon || !fanout || !threshold || !min_backlog || !tombstone_pct ||
+      !tail_pct || *epsilon <= 0 || *fanout < 2 || *threshold < 1 ||
+      *min_backlog < 1 || *tombstone_pct < 1 || *tail_pct < 1) {
     return Usage(err, "serve: malformed numeric flag");
   }
   if (flags.ReportUnused(err)) return 2;
@@ -472,6 +480,9 @@ int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
   options.default_epsilon = *epsilon;
   options.rtree_fanout = static_cast<size_t>(*fanout);
   options.rebuild_threshold_ops = static_cast<size_t>(*threshold);
+  options.publish_min_backlog = static_cast<size_t>(*min_backlog);
+  options.compact_tombstone_pct = static_cast<size_t>(*tombstone_pct);
+  options.compact_tail_pct = static_cast<size_t>(*tail_pct);
   options.background_rebuild = false;  // replay must be deterministic
   options.query_threads = 1;
   Result<std::unique_ptr<Server>> server = Server::Create(
@@ -496,7 +507,9 @@ int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
       << static_cast<long long>(report->wall_seconds * 1e6) << " us\n"
       << "# replay: final epoch=" << report->final_epoch
       << " backlog=" << report->final_backlog << " rebuilds="
-      << (*server)->stats().rebuilds_published << "\n";
+      << (*server)->stats().rebuilds_published << " patches="
+      << (*server)->stats().patches_published << " fallback_scans="
+      << (*server)->stats().erase_fallback_scans << "\n";
 
   if (metrics_path.has_value()) {
     MetricsRegistry registry;

@@ -94,25 +94,38 @@ class TopKCollector {
   std::priority_queue<Item> heap_;
 };
 
-/// Argument validation shared by all top-k entry points, sequential and
-/// parallel, so both reject bad input with identical diagnostics.
-inline Status ValidateTopKArgs(size_t competitor_dims, const Dataset& products,
-                               const ProductCostFunction& cost_fn, size_t k,
-                               double epsilon) {
+/// Query-shape validation shared by every top-k entry point — batch,
+/// parallel, and the serving overlay (serve/query.cc) — so all of them
+/// reject bad k/epsilon/cost-function input with identical diagnostics.
+/// `dims` is the dimensionality of the data the query runs against.
+inline Status ValidateTopKQueryShape(size_t dims,
+                                     const ProductCostFunction& cost_fn,
+                                     size_t k, double epsilon) {
   if (k == 0) return Status::InvalidArgument("k must be at least 1");
   if (epsilon <= 0.0) {
     return Status::InvalidArgument("epsilon must be positive");
   }
+  if (cost_fn.dims() != dims) {
+    return Status::InvalidArgument(
+        "cost function dimensionality " + std::to_string(cost_fn.dims()) +
+        " does not match data dimensionality " + std::to_string(dims));
+  }
+  return Status::OK();
+}
+
+/// Batch-path validation: the query shape plus the static-input contracts
+/// (matching competitor/product dimensionality, non-empty T). The serving
+/// path checks only the shape — an empty live product set is a legal
+/// serving state that simply yields an empty result.
+inline Status ValidateTopKArgs(size_t competitor_dims, const Dataset& products,
+                               const ProductCostFunction& cost_fn, size_t k,
+                               double epsilon) {
+  SKYUP_RETURN_IF_ERROR(
+      ValidateTopKQueryShape(products.dims(), cost_fn, k, epsilon));
   if (products.dims() != competitor_dims) {
     return Status::InvalidArgument(
         "competitor and product dimensionality differ: " +
         std::to_string(competitor_dims) + " vs " +
-        std::to_string(products.dims()));
-  }
-  if (cost_fn.dims() != products.dims()) {
-    return Status::InvalidArgument(
-        "cost function dimensionality " + std::to_string(cost_fn.dims()) +
-        " does not match data dimensionality " +
         std::to_string(products.dims()));
   }
   if (products.empty()) {

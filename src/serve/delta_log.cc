@@ -91,6 +91,7 @@ DeltaOverlay BuildOverlay(const ReadView& view) {
       if (overlay.competitor_erased[r] == 0) {
         overlay.competitor_erased[r] = 1;
         ++overlay.competitors_erased;
+        overlay.erased_competitor_rows.push_back(row);
       }
     } else {
       if (overlay.product_erased[r] == 0) {

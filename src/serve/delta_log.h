@@ -7,19 +7,23 @@
 // rebuilder folds the whole log into the next snapshot.
 //
 // Overlay soundness (full argument in docs/algorithms.md):
-//   - inserted competitors are scanned linearly through the batched
-//     dominance kernels and merged into each candidate's dominator set —
-//     extra dominators only tighten the ADR, never relax it;
-//   - erased competitors are detected against the probed skyline: the
-//     stale-index probe is exact iff no erased id appears in the returned
-//     skyline (a superset argument); otherwise the overlay falls back to a
-//     linear scan of the live competitor rows;
-//   - because erases can only *lower* upgrade costs, the engine's box
-//     lower-bound prune is unsound under a P-erase, so the overlay engine
-//     (serve/query.h) runs without it.
+//   - erased competitors are composed into the index probe as a per-row
+//     mask (DominatingSkylineInto): a masked point never enters the
+//     traversal's dominance window, so live dominators it would have
+//     shadowed are discovered by the same probe — exactness without any
+//     linear rescan;
+//   - inserted competitors (and the snapshot's unindexed tail) are scanned
+//     through the batched dominance kernels and folded into the probed
+//     skyline one point at a time (skyline/incremental.h), preserving the
+//     value set a from-scratch skyline reduction would produce;
+//   - the box lower-bound prune stays sound because live-node MBRs are
+//     re-tightened on every index tombstone and a query's prune is
+//     disabled when a *pending* overlay erase touches a face of the live
+//     bounding box (serve/query.cc has the face argument).
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <shared_mutex>
 #include <vector>
 
@@ -29,6 +33,8 @@
 #include "util/status.h"
 
 namespace skyup {
+
+class UpgradeCache;
 
 enum class DeltaTarget : uint8_t {
   kCompetitor,  ///< the paper's P
@@ -95,6 +101,12 @@ class DeltaLog {
 struct ReadView {
   std::shared_ptr<const Snapshot> snapshot;
   std::vector<DeltaOp> deltas;  ///< frozen ++ active, in append order
+  /// Count of ops the table had accepted when the view was captured — the
+  /// validity clock for `cache` (serve/upgrade_cache.h). The cache is the
+  /// table's shared upgrade-result cache; null disables caching for
+  /// queries through this view.
+  uint64_t version = 0;
+  std::shared_ptr<UpgradeCache> cache;
 
   uint64_t epoch() const { return snapshot->epoch(); }
 };
@@ -115,6 +127,10 @@ struct DeltaOverlay {
   std::vector<uint8_t> product_erased;
   size_t competitors_erased = 0;
   size_t products_erased = 0;
+  /// The rows flagged in `competitor_erased`, in op order — the query
+  /// engine's prune-soundness face check walks these without scanning the
+  /// whole bitmap.
+  std::vector<PointId> erased_competitor_rows;
 
   /// Rows inserted after the snapshot and still alive at view time,
   /// ascending by stable id (ids only grow, appends happen in id order).
@@ -127,11 +143,13 @@ struct DeltaOverlay {
   SoaBlock competitor_block;
 
   size_t live_competitors(const Snapshot& base) const {
-    return base.competitors().size() - competitors_erased +
+    // Overlay erases always target snapshot-*live* rows (the live table
+    // validates ids), so the subtraction never double-counts a tombstone.
+    return base.live_competitors() - competitors_erased +
            inserted_competitors.size();
   }
   size_t live_products(const Snapshot& base) const {
-    return base.products().size() - products_erased +
+    return base.live_products() - products_erased +
            inserted_products.size();
   }
 };

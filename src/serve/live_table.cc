@@ -3,6 +3,7 @@
 #include <string>
 #include <utility>
 
+#include "serve/upgrade_cache.h"
 #include "util/check.h"
 
 namespace skyup {
@@ -25,6 +26,7 @@ Result<std::unique_ptr<LiveTable>> LiveTable::Create(
       table->index_options_);
   if (!initial.ok()) return initial.status();
   table->snapshot_ = std::move(initial).value();
+  table->cache_ = std::make_shared<UpgradeCache>(options.dims);
   return table;
 }
 
@@ -40,7 +42,9 @@ Result<uint64_t> LiveTable::Insert(DeltaTarget target,
   uint64_t& counter =
       is_competitor ? next_competitor_id_ : next_product_id_;
   const uint64_t id = counter++;
-  active_.Append(DeltaOp{target, DeltaKind::kInsert, id, coords});
+  DeltaOp op{target, DeltaKind::kInsert, id, coords};
+  active_.Append(op);
+  cache_->OnDeltaOp(op);
   (is_competitor ? live_competitors_ : live_products_).insert(id);
   return id;
 }
@@ -55,7 +59,9 @@ Status LiveTable::Erase(DeltaTarget target, uint64_t id) {
         std::string(is_competitor ? "competitor" : "product") + " id " +
         std::to_string(id) + " is not live");
   }
-  active_.Append(DeltaOp{target, DeltaKind::kErase, id, {}});
+  DeltaOp op{target, DeltaKind::kErase, id, {}};
+  active_.Append(op);
+  cache_->OnDeltaOp(op);
   return Status::OK();
 }
 
@@ -85,6 +91,10 @@ ReadView LiveTable::AcquireView() const {
   view.deltas.insert(view.deltas.end(),
                      std::make_move_iterator(active.begin()),
                      std::make_move_iterator(active.end()));
+  // Under the same mutex that serialized every OnDeltaOp, so the version
+  // stamp is exactly the op count this view's deltas reflect.
+  view.version = cache_->version();
+  view.cache = cache_;
   return view;
 }
 

@@ -26,6 +26,8 @@
 
 namespace skyup {
 
+class UpgradeCache;
+
 struct LiveTableOptions {
   size_t dims = 0;  ///< required, >= 1
   /// Fanout of the per-snapshot STR bulk load.
@@ -111,6 +113,9 @@ class LiveTable {
   uint64_t next_product_id_ = 1;
   std::unordered_set<uint64_t> live_competitors_;
   std::unordered_set<uint64_t> live_products_;
+  /// Shared upgrade-result cache, fed every accepted op under `mu_` and
+  /// handed to every view (serve/upgrade_cache.h has the soundness story).
+  std::shared_ptr<UpgradeCache> cache_;
 };
 
 }  // namespace skyup

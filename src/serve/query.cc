@@ -1,14 +1,17 @@
 #include "serve/query.h"
 
-#include <string>
 #include <utility>
+#include <vector>
 
-#include "core/dominance.h"
+#include "core/dominance_batch.h"
+#include "core/lower_bounds.h"
 #include "core/single_upgrade.h"
 #include "core/topk_common.h"
 #include "obs/trace.h"
+#include "rtree/mbr.h"
+#include "serve/upgrade_cache.h"
 #include "skyline/dominating_skyline.h"
-#include "skyline/skyline.h"
+#include "skyline/incremental.h"
 #include "util/check.h"
 
 namespace skyup {
@@ -21,23 +24,63 @@ Result<std::vector<UpgradeResult>> TopKOverlay(
   }
   const Snapshot& base = *view.snapshot;
   const size_t dims = base.dims();
-  if (k == 0) return Status::InvalidArgument("k must be at least 1");
-  if (epsilon <= 0.0) {
-    return Status::InvalidArgument("epsilon must be positive");
-  }
-  if (cost_fn.dims() != dims) {
-    return Status::InvalidArgument(
-        "cost function dimensionality " + std::to_string(cost_fn.dims()) +
-        " does not match table dimensionality " + std::to_string(dims));
-  }
+  SKYUP_RETURN_IF_ERROR(ValidateTopKQueryShape(dims, cost_fn, k, epsilon));
   SKYUP_TRACE_SPAN("serve/topk-overlay");
 
   ServeStats local;
   DeltaOverlay overlay = BuildOverlay(view);
   local.delta_ops_scanned += view.deltas.size();
 
+  const size_t indexed = base.indexed_competitors();
+  const uint8_t* erase_mask = overlay.competitors_erased > 0
+                                  ? overlay.competitor_erased.data()
+                                  : nullptr;
+  const SoaView tail_view = base.tail_view();
   const SoaView inserted_view = overlay.competitor_block.view();
-  const bool have_p_erases = overlay.competitors_erased > 0;
+
+  // Bounding box of the *live* competitor set. The index root MBR is
+  // exact over the snapshot's live indexed rows (tombstone erases condense
+  // it); the unindexed tail and overlay inserts expand it point by point.
+  // Overlay-erased tail rows are skipped here; overlay-erased *indexed*
+  // rows cannot be subtracted from a box, which is what the face check
+  // below is for.
+  Mbr live_box = base.index().root_mbr();
+  if (live_box.IsEmpty()) live_box = Mbr(dims);
+  for (size_t j = 0; j < base.tail_competitors(); ++j) {
+    const size_t row = indexed + j;
+    if (erase_mask != nullptr && erase_mask[row] != 0) continue;
+    live_box.Expand(base.competitors().data(static_cast<PointId>(row)));
+  }
+  for (size_t j = 0; j < overlay.inserted_competitors.size(); ++j) {
+    live_box.Expand(
+        overlay.inserted_competitors.data(static_cast<PointId>(j)));
+  }
+  const bool have_box = !live_box.IsEmpty();
+
+  // Soundness gate for the box lower bound: kSound's per-dimension escape
+  // assumes every *min* face of the box is attained by a live competitor.
+  // Pending overlay erases of indexed rows are still inside the root MBR,
+  // so if such a row touches any face of the final box the attainment
+  // guarantee is gone and the prune sits out this query (conservative:
+  // max faces only need containment, but the check covers both).
+  bool prune_ok = true;
+  if (have_box && erase_mask != nullptr) {
+    for (PointId r : overlay.erased_competitor_rows) {
+      if (static_cast<size_t>(r) >= indexed) continue;
+      const double* q = base.competitors().data(r);
+      for (size_t d = 0; d < dims && prune_ok; ++d) {
+        // lint: float-eq-ok (exact face-touch test: the box faces are
+        // copies of competitor coordinates, so equality is the precise
+        // "this erased row attains a face" predicate)
+        if (q[d] == live_box.min(d) || q[d] == live_box.max(d)) {
+          prune_ok = false;
+        }
+      }
+      if (!prune_ok) break;
+    }
+    if (!prune_ok) ++local.prune_disabled_queries;
+  }
+
   TopKCollector collector(k);
 
   size_t since_poll = 0;
@@ -51,60 +94,87 @@ Result<std::vector<UpgradeResult>> TopKOverlay(
     return true;
   };
 
-  std::vector<uint32_t> inserted_hits;
+  // Scratch reused across candidates — no per-candidate allocations once
+  // the buffers reach steady-state capacity.
+  std::vector<PointId> sky_rows;
+  std::vector<uint32_t> scan_hits;
   std::vector<const double*> dominators;
+  UpgradeCache* const cache = view.cache.get();
+  UpgradeCache::Hit hit;
   auto evaluate = [&](uint64_t stable_id, const double* t) {
-    // Probe the (possibly stale) base index for the base-P dominator
-    // skyline. Sound against the live state once patched below.
-    std::vector<PointId> sky_rows = DominatingSkyline(base.index(), t,
-                                                      nullptr);
+    // Cached result first: a hit is the exact Algorithm-1 outcome for
+    // this product at this view's version (serve/upgrade_cache.h), so the
+    // probe, the overlay folds, and the upgrade itself are all skipped.
+    if (cache != nullptr && cache->Lookup(stable_id, view.version, epsilon,
+                                          collector.KthCost(), &hit)) {
+      ++local.cache_hits;
+      if (collector.Admits(hit.cost)) {
+        collector.Add(UpgradeResult{static_cast<PointId>(stable_id),
+                                    hit.cost, std::move(hit.upgraded),
+                                    hit.already_competitive});
+      }
+      return;
+    }
+    if (cache != nullptr) ++local.cache_misses;
 
-    // Erase-invalidation check: the stale probe is exact iff every
-    // returned skyline member is still live — a dead member may have been
-    // masking live dominators, so only then pay for the full rescan.
-    bool fallback = false;
-    if (have_p_erases) {
-      for (PointId row : sky_rows) {
-        if (overlay.competitor_erased[static_cast<size_t>(row)] != 0) {
-          fallback = true;
-          break;
-        }
+    // Sound box prune: with a full collector, any candidate whose bound
+    // already exceeds the current k-th cost cannot enter the top-k.
+    // KthCost() is +inf until k candidates are held, so nothing is ever
+    // pruned before the collector can reject it honestly.
+    if (prune_ok && have_box) {
+      const double bound =
+          LbcPair(t, live_box.min_data(), live_box.max_data(), dims,
+                  cost_fn, BoundMode::kSound);
+      if (bound > collector.KthCost()) {
+        ++local.candidates_pruned;
+        return;
       }
     }
 
+    // One tombstone- and overlay-mask-aware probe: erased rows never enter
+    // the traversal's dominance window, so the probe returns the exact
+    // live-indexed dominator skyline — no invalidation, no rescan.
+    DominatingSkylineInto(base.index(), t, erase_mask, &sky_rows);
     dominators.clear();
-    if (fallback) {
-      ++local.erase_fallback_scans;
-      const Dataset& p = base.competitors();
-      for (size_t i = 0; i < p.size(); ++i) {
-        if (overlay.competitor_erased[i] != 0) continue;
-        const double* q = p.data(static_cast<PointId>(i));
-        if (Dominates(q, t, dims)) dominators.push_back(q);
-      }
-    } else {
-      for (PointId row : sky_rows) {
-        dominators.push_back(base.competitors().data(row));
-      }
+    for (PointId row : sky_rows) {
+      dominators.push_back(base.competitors().data(row));
     }
 
-    // Inserted competitors: linear scan through the batched kernels.
+    // Fold the snapshot tail, then the overlay inserts, into the skyline
+    // one point at a time. Each patch preserves the value-set semantics of
+    // a from-scratch reduction, so the final dominator set is exactly what
+    // a rebuilt snapshot would have probed.
+    if (!tail_view.empty()) {
+      scan_hits.clear();
+      FilterDominated(tail_view, t, &scan_hits, /*strict=*/true);
+      for (uint32_t j : scan_hits) {
+        const size_t row = indexed + j;
+        if (erase_mask != nullptr && erase_mask[row] != 0) continue;
+        PatchSkylineInsert(&dominators,
+                           base.competitors().data(static_cast<PointId>(row)),
+                           dims);
+      }
+    }
     if (!inserted_view.empty()) {
-      inserted_hits.clear();
-      FilterDominated(inserted_view, t, &inserted_hits, /*strict=*/true);
-      for (uint32_t j : inserted_hits) {
-        dominators.push_back(
-            overlay.inserted_competitors.data(static_cast<PointId>(j)));
+      scan_hits.clear();
+      FilterDominated(inserted_view, t, &scan_hits, /*strict=*/true);
+      for (uint32_t j : scan_hits) {
+        PatchSkylineInsert(
+            &dominators,
+            overlay.inserted_competitors.data(static_cast<PointId>(j)),
+            dims);
       }
     }
-
-    // Re-reduce: overlay inserts may dominate base skyline members (and
-    // vice versa), and UpgradeProduct requires a mutually non-dominating,
-    // distinct set.
-    SkylineOfPointers(&dominators, dims);
 
     ++local.candidates_evaluated;
     UpgradeOutcome outcome =
         UpgradeProduct(dominators, t, dims, cost_fn, epsilon);
+    if (cache != nullptr) {
+      // `dominators` is the exact live dominator skyline the outcome was
+      // derived from; the cache copies both before the result moves on.
+      cache->Store(stable_id, t, view.version, epsilon, outcome,
+                   dominators);
+    }
     if (collector.Admits(outcome.cost)) {
       collector.Add(UpgradeResult{static_cast<PointId>(stable_id),
                                   outcome.cost, std::move(outcome.upgraded),

@@ -4,19 +4,27 @@
 // The serving-layer top-k engine: one query against a captured `ReadView`
 // (immutable snapshot + delta overlay).
 //
-// Per candidate, the engine probes the snapshot's flat index for the base
-// dominator skyline, patches it with the overlay — a linear batched-kernel
-// scan over inserted competitors, and an erase-invalidation check that
-// falls back to a full live-row scan only when an erased competitor shows
-// up in the probed skyline — re-reduces to a skyline, and runs Algorithm 1
-// exactly. Results carry *stable ids* in `UpgradeResult::product_id` and
-// are exactly what a from-scratch rebuild of the live state would return
-// (the differential fuzz harness fuzz/fuzz_serve.cc enforces equality).
+// Per candidate, the engine runs one *mask-aware* probe of the snapshot's
+// flat index — index tombstones and pending overlay erases are composed
+// into a per-row mask, so a dead competitor never enters the traversal's
+// dominance window and can never shadow a live dominator; the probe
+// returns the exact live-indexed dominator skyline with no invalidation
+// rescan. The snapshot's unindexed tail and the overlay's inserts are then
+// folded in one point at a time (skyline/incremental.h), preserving
+// value-set semantics, and Algorithm 1 runs exactly. Results carry
+// *stable ids* in `UpgradeResult::product_id` and are exactly what a
+// from-scratch rebuild of the live state would return (the differential
+// fuzz harness fuzz/fuzz_serve.cc enforces equality).
 //
-// Unlike the batch engines, no box lower-bound prune runs here: a P-erase
-// can only lower upgrade costs, so a bound derived from the (stale) base
-// root MBR is not sound against the live state. docs/algorithms.md,
-// "Serving & online updates", has the full argument.
+// The sound box lower-bound prune of the batch engines runs here too: the
+// live bounding box starts from the index root MBR (kept exact over live
+// rows by tombstone condensation) and expands by live tail rows and
+// overlay inserts. The one hole — a *pending* overlay erase whose row
+// still props up a face of the box, breaking kSound's face-attainment
+// guarantee — is closed per query by disabling the prune when any pending
+// erased indexed row touches a face (`prune_disabled_queries` counts
+// these). docs/algorithms.md, "Serving & online updates", has the full
+// argument.
 
 #include <cstdint>
 #include <vector>
@@ -35,7 +43,9 @@ namespace skyup {
 /// results are stable ids. An empty live product set yields an empty
 /// result (unlike the batch engines, which reject empty T). `control` and
 /// `stats` may be null; the engine bumps `delta_ops_scanned`,
-/// `erase_fallback_scans`, and `candidates_evaluated`.
+/// `candidates_evaluated`, `candidates_pruned`, and
+/// `prune_disabled_queries` (`erase_fallback_scans` stays 0 — the
+/// mask-aware probe removed the fallback path it counted).
 Result<std::vector<UpgradeResult>> TopKOverlay(
     const ReadView& view, const ProductCostFunction& cost_fn, size_t k,
     double epsilon = 1e-6, const QueryControl* control = nullptr,

@@ -20,8 +20,11 @@ Result<std::shared_ptr<const Snapshot>> MergeSnapshot(
   };
   TableMerge competitors;
   TableMerge products;
-  competitors.rows.reserve(base.competitors().size());
+  competitors.rows.reserve(base.live_competitors());
   for (size_t i = 0; i < base.competitors().size(); ++i) {
+    // A patched base keeps tombstoned rows in place for the index's sake;
+    // the compaction drops them here.
+    if (!base.competitor_alive(static_cast<PointId>(i))) continue;
     const double* p = base.competitors().data(static_cast<PointId>(i));
     competitors.rows.emplace(base.competitor_id(static_cast<PointId>(i)),
                              std::vector<double>(p, p + dims));
@@ -80,29 +83,183 @@ Result<std::shared_ptr<const Snapshot>> MergeSnapshot(
                           index_options);
 }
 
+Result<std::shared_ptr<const Snapshot>> PatchSnapshot(
+    const Snapshot& base, const std::vector<DeltaOp>& ops,
+    uint64_t next_epoch) {
+  const size_t dims = base.dims();
+  const size_t indexed = base.indexed_competitors();
+
+  // Resolve the ops against three disjoint universes: pending inserts of
+  // this very batch (insert-then-erase cancels), the base's unindexed
+  // tail (compacted below), and indexed base rows (erases become index
+  // tombstones). Same id-resolution scheme as BuildOverlay.
+  struct Pending {
+    uint64_t id;
+    const double* coords;
+    bool alive;
+  };
+  std::vector<Pending> tail;  // surviving base tail ++ batch inserts
+  std::unordered_map<uint64_t, size_t> tail_index;
+  tail.reserve(base.tail_competitors() + ops.size());
+  for (size_t r = indexed; r < base.competitors().size(); ++r) {
+    tail_index.emplace(base.competitor_id(static_cast<PointId>(r)),
+                       tail.size());
+    tail.push_back(Pending{base.competitor_id(static_cast<PointId>(r)),
+                           base.competitors().data(static_cast<PointId>(r)),
+                           true});
+  }
+  std::vector<Pending> products;
+  std::unordered_map<uint64_t, size_t> product_index;
+  products.reserve(base.products().size() + ops.size());
+  for (size_t r = 0; r < base.products().size(); ++r) {
+    product_index.emplace(base.product_id(static_cast<PointId>(r)),
+                          products.size());
+    products.push_back(Pending{base.product_id(static_cast<PointId>(r)),
+                               base.products().data(static_cast<PointId>(r)),
+                               true});
+  }
+  std::vector<PointId> tombstone_rows;  // indexed base rows to erase
+  for (const DeltaOp& op : ops) {
+    const bool is_competitor = op.target == DeltaTarget::kCompetitor;
+    std::vector<Pending>& pending = is_competitor ? tail : products;
+    std::unordered_map<uint64_t, size_t>& index =
+        is_competitor ? tail_index : product_index;
+    if (op.kind == DeltaKind::kInsert) {
+      if (op.coords.size() != dims) {
+        return Status::InvalidArgument(
+            "delta insert arity mismatch during patch");
+      }
+      index.emplace(op.id, pending.size());
+      pending.push_back(Pending{op.id, op.coords.data(), true});
+      continue;
+    }
+    auto hit = index.find(op.id);
+    if (hit != index.end()) {
+      pending[hit->second].alive = false;
+      continue;
+    }
+    if (is_competitor) {
+      const PointId row = base.CompetitorRow(op.id);
+      SKYUP_DCHECK(row != kInvalidPointId &&
+                   static_cast<size_t>(row) < indexed &&
+                   base.competitor_alive(row))
+          << "erase of unknown competitor id " << op.id
+          << " reached the patcher";
+      if (row != kInvalidPointId) tombstone_rows.push_back(row);
+    } else {
+      SKYUP_DCHECK(false) << "erase of unknown product id " << op.id
+                          << " reached the patcher";
+    }
+  }
+
+  // Assemble the next epoch: the indexed competitor prefix is copied
+  // verbatim (tombstoned rows included — the cloned arena references rows
+  // by number), then the compacted tail; products are fully compacted.
+  // Appends happen in id order, so both id vectors stay strictly
+  // ascending (ids are handed out monotonically).
+  Dataset competitors(dims);
+  std::vector<uint64_t> competitor_ids;
+  competitors.Reserve(indexed + tail.size());
+  competitor_ids.reserve(indexed + tail.size());
+  for (size_t r = 0; r < indexed; ++r) {
+    competitors.Add(base.competitors().data(static_cast<PointId>(r)));
+    competitor_ids.push_back(base.competitor_id(static_cast<PointId>(r)));
+  }
+  for (const Pending& p : tail) {
+    if (!p.alive) continue;
+    competitors.Add(p.coords);
+    competitor_ids.push_back(p.id);
+  }
+  Dataset merged_products(dims);
+  std::vector<uint64_t> product_ids;
+  merged_products.Reserve(products.size());
+  product_ids.reserve(products.size());
+  for (const Pending& p : products) {
+    if (!p.alive) continue;
+    merged_products.Add(p.coords);
+    product_ids.push_back(p.id);
+  }
+
+  auto snapshot = std::shared_ptr<Snapshot>(new Snapshot(
+      next_epoch, std::make_unique<Dataset>(std::move(competitors)),
+      std::move(competitor_ids),
+      std::make_unique<Dataset>(std::move(merged_products)),
+      std::move(product_ids)));
+  snapshot->index_ = base.index().Clone(snapshot->competitors_.get());
+  for (PointId row : tombstone_rows) {
+    const bool erased = snapshot->index_.Erase(row);
+    SKYUP_DCHECK(erased) << "patch tombstone missed indexed row " << row;
+    (void)erased;
+  }
+  for (size_t r = indexed; r < snapshot->competitors_->size(); ++r) {
+    snapshot->tail_block_.Append(
+        snapshot->competitors_->data(static_cast<PointId>(r)));
+  }
+  SKYUP_PARANOID_OK(snapshot->index_.Validate());
+  snapshot->published_at_ = SteadyClock::now();
+  return std::shared_ptr<const Snapshot>(std::move(snapshot));
+}
+
+PublishKind ChoosePublish(const Snapshot& base,
+                          const std::vector<DeltaOp>& ops,
+                          const RebuildPolicy& policy) {
+  const size_t indexed = base.indexed_competitors();
+  if (indexed == 0) return PublishKind::kMajor;
+  // Estimates, not exact accounting: an erase of a not-yet-applied insert
+  // counts as both an insert and an erase here. The thresholds are
+  // heuristics; over-estimating churn merely compacts a little earlier.
+  size_t tombstones = base.index().tombstones();
+  size_t tail = base.tail_competitors();
+  for (const DeltaOp& op : ops) {
+    if (op.target != DeltaTarget::kCompetitor) continue;
+    if (op.kind == DeltaKind::kInsert) {
+      ++tail;
+    } else {
+      const PointId row = base.CompetitorRow(op.id);
+      if (row != kInvalidPointId && static_cast<size_t>(row) < indexed) {
+        ++tombstones;
+      }
+    }
+  }
+  if (tombstones * 100 >= indexed * policy.compact_tombstone_pct) {
+    return PublishKind::kMajor;
+  }
+  if (tail * 100 >= indexed * policy.compact_tail_pct) {
+    return PublishKind::kMajor;
+  }
+  return PublishKind::kPatch;
+}
+
 namespace {
 
-// Runs one freeze -> merge -> publish cycle if `table` has a backlog and
-// no rebuild is in flight. Returns true when a snapshot was published.
-Result<bool> RebuildOnce(LiveTable* table) {
+// Runs one freeze -> patch-or-merge -> publish cycle if `table` has a
+// backlog and no rebuild is in flight. Returns what was published.
+Result<PublishKind> RebuildOnce(LiveTable* table,
+                                const RebuildPolicy& policy) {
   std::optional<LiveTable::RebuildJob> job = table->BeginRebuild();
-  if (!job.has_value()) return false;
-  Result<std::shared_ptr<const Snapshot>> merged = MergeSnapshot(
-      *job->base, job->ops, job->next_epoch, table->index_options());
-  if (!merged.ok()) {
+  if (!job.has_value()) return PublishKind::kNone;
+  const PublishKind kind = ChoosePublish(*job->base, job->ops, policy);
+  Result<std::shared_ptr<const Snapshot>> next =
+      kind == PublishKind::kMajor
+          ? MergeSnapshot(*job->base, job->ops, job->next_epoch,
+                          table->index_options())
+          : PatchSnapshot(*job->base, job->ops, job->next_epoch);
+  if (!next.ok()) {
     table->AbandonRebuild();
-    return merged.status();
+    return next.status();
   }
-  table->CompleteRebuild(std::move(merged).value());
-  return true;
+  table->CompleteRebuild(std::move(next).value());
+  return kind;
 }
 
 }  // namespace
 
-Result<bool> MaybeRebuildInline(LiveTable* table,
-                                const RebuildPolicy& policy) {
-  if (table->delta_backlog() < policy.threshold_ops) return false;
-  return RebuildOnce(table);
+Result<PublishKind> MaybeRebuildInline(LiveTable* table,
+                                       const RebuildPolicy& policy) {
+  if (table->delta_backlog() < policy.threshold_ops) {
+    return PublishKind::kNone;
+  }
+  return RebuildOnce(table, policy);
 }
 
 Rebuilder::Rebuilder(LiveTable* table, RebuildPolicy policy)
@@ -139,6 +296,11 @@ uint64_t Rebuilder::rebuilds_published() const {
   return published_;
 }
 
+uint64_t Rebuilder::patches_published() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return patches_;
+}
+
 Status Rebuilder::last_error() const {
   std::lock_guard<std::mutex> lock(mu_);
   return last_error_;
@@ -147,8 +309,18 @@ Status Rebuilder::last_error() const {
 bool Rebuilder::ShouldRebuild() const {
   const size_t backlog = table_->delta_backlog();
   if (backlog == 0) return false;
+  // Storm hysteresis: publishing too often turns every handful of updates
+  // into a snapshot flip. No trigger fires within the minimum interval of
+  // the previous publish, and the age trigger additionally demands a
+  // minimum backlog worth publishing.
+  if (policy_.min_publish_interval_seconds > 0.0 &&
+      table_->snapshot_age_seconds() <
+          policy_.min_publish_interval_seconds) {
+    return false;
+  }
   if (backlog >= policy_.threshold_ops) return true;
   return policy_.max_age_seconds > 0.0 &&
+         backlog >= policy_.min_publish_backlog &&
          table_->snapshot_age_seconds() >= policy_.max_age_seconds;
 }
 
@@ -163,10 +335,10 @@ void Rebuilder::Loop() {
     // The rebuild runs unlocked: Stop() must stay responsive and Nudge()
     // must never block behind a merge.
     lock.unlock();
-    bool published = false;
+    PublishKind published = PublishKind::kNone;
     Status error;
     if (ShouldRebuild()) {
-      Result<bool> outcome = RebuildOnce(table_);
+      Result<PublishKind> outcome = RebuildOnce(table_, policy_);
       if (outcome.ok()) {
         published = *outcome;
       } else {
@@ -174,7 +346,8 @@ void Rebuilder::Loop() {
       }
     }
     lock.lock();
-    if (published) ++published_;
+    if (published == PublishKind::kMajor) ++published_;
+    if (published == PublishKind::kPatch) ++patches_;
     if (!error.ok()) last_error_ = error;
   }
 }

@@ -1,11 +1,19 @@
 #ifndef SKYUP_SERVE_REBUILDER_H_
 #define SKYUP_SERVE_REBUILDER_H_
 
-// Snapshot regeneration: folding a frozen delta-log prefix into a fresh
-// STR bulk-loaded snapshot, either synchronously (`MaybeRebuildInline`,
-// the deterministic mode replay uses) or on a background thread
-// (`Rebuilder`). Publication is atomic via `LiveTable::CompleteRebuild`;
-// in-flight queries keep their pinned epochs until they drop them.
+// Snapshot publication: folding a frozen delta-log prefix into the next
+// epoch, either synchronously (`MaybeRebuildInline`, the deterministic
+// mode replay uses) or on a background thread (`Rebuilder`). Publication
+// is atomic via `LiveTable::CompleteRebuild`; in-flight queries keep
+// their pinned epochs until they drop them.
+//
+// Two publish flavors share the pipeline:
+//   - *patch* (`PatchSnapshot`): O(rows) clone of the base — erases
+//     become index tombstones with condensed MBRs, competitor inserts
+//     join an unindexed tail, products are compacted. The common case.
+//   - *major* (`MergeSnapshot`): full merge + STR bulk load. Demoted to
+//     occasional compaction, triggered when the patched index would carry
+//     too many tombstones or too large a tail (`RebuildPolicy`).
 
 #include <condition_variable>
 #include <cstdint>
@@ -23,27 +31,63 @@ namespace skyup {
 /// result as epoch `next_epoch`. Rows of the result are ordered ascending
 /// by stable id, so merge output is a deterministic function of
 /// (base, ops) — the replay-determinism and differential-fuzz anchor.
+/// Skips base rows the base snapshot itself already tombstoned.
 Result<std::shared_ptr<const Snapshot>> MergeSnapshot(
     const Snapshot& base, const std::vector<DeltaOp>& ops,
     uint64_t next_epoch, RTreeOptions index_options);
 
-/// When to fold the delta log into a fresh snapshot.
+/// What one publish cycle produced. Queries behave identically either
+/// way; the distinction is purely cost/bookkeeping (ServeStats keeps
+/// separate `patches_published` / `rebuilds_published` counters).
+enum class PublishKind : uint8_t {
+  kNone,   ///< nothing published (empty backlog / thresholds not met)
+  kPatch,  ///< incremental PatchSnapshot publish
+  kMajor,  ///< full MergeSnapshot compaction
+};
+
+/// When to fold the delta log into the next snapshot, and when a publish
+/// must be a major compaction instead of a patch.
 struct RebuildPolicy {
-  /// Rebuild once the backlog holds at least this many ops.
+  /// Publish once the backlog holds at least this many ops.
   size_t threshold_ops = 1024;
-  /// Also rebuild a non-empty backlog once the snapshot is older than
+  /// Also publish a non-empty backlog once the snapshot is older than
   /// this many seconds (<= 0 disables the age trigger — required for
   /// deterministic replay). Only the background rebuilder applies it.
   double max_age_seconds = 0.0;
   /// Background rebuilder poll interval between nudges.
   double poll_interval_seconds = 0.05;
+  /// Storm hysteresis, background rebuilder only: the age trigger never
+  /// fires below this backlog, and no publish (either trigger) happens
+  /// within this many seconds of the previous one. The op-count threshold
+  /// still wins eventually, so a sustained burst is bounded by
+  /// `threshold_ops`, not starved.
+  size_t min_publish_backlog = 1;
+  double min_publish_interval_seconds = 0.0;
+  /// Patch-vs-major decision: publish a major compaction when the patched
+  /// index would be at least this % tombstones, or the unindexed tail
+  /// would reach this % of the indexed slot count. A base with no indexed
+  /// rows always compacts (first publish, or everything previously
+  /// erased). The defaults let the index carry half its slots as
+  /// tombstones and a tail 1.5x its size before paying a full STR
+  /// rebuild — the mask-aware probe and batched tail scan keep queries
+  /// exact and fast well past these points, so compactions stay rare
+  /// (single digits on the 20k-op churn bench).
+  size_t compact_tombstone_pct = 50;
+  size_t compact_tail_pct = 150;
 };
 
-/// One synchronous check-and-rebuild step against the size threshold:
-/// returns true when a snapshot was published. The deterministic serving
-/// mode calls this after every accepted update.
-Result<bool> MaybeRebuildInline(LiveTable* table,
-                                const RebuildPolicy& policy);
+/// Pure decision function for one publish cycle (exposed for tests and
+/// the fuzzer): whether folding `ops` over `base` should patch or
+/// compact, per `policy`. Never returns kNone.
+PublishKind ChoosePublish(const Snapshot& base,
+                          const std::vector<DeltaOp>& ops,
+                          const RebuildPolicy& policy);
+
+/// One synchronous check-and-publish step against the size threshold:
+/// returns what was published (kNone below threshold). The deterministic
+/// serving mode calls this after every accepted update.
+Result<PublishKind> MaybeRebuildInline(LiveTable* table,
+                                       const RebuildPolicy& policy);
 
 /// Background rebuild loop: wakes on `Nudge()` or every poll interval,
 /// rebuilds when the policy triggers, publishes, repeats. Start/Stop are
@@ -62,8 +106,9 @@ class Rebuilder {
   /// Wakes the loop early (an update was applied).
   void Nudge();
 
-  /// Rebuild cycles published so far.
+  /// Major compactions / incremental patches published so far.
   uint64_t rebuilds_published() const;
+  uint64_t patches_published() const;
   /// Last merge failure, OK if none (merge failures leave the frozen ops
   /// pending and the loop retries on the next trigger).
   Status last_error() const;
@@ -80,6 +125,7 @@ class Rebuilder {
   bool running_ = false;
   bool stop_ = false;
   uint64_t published_ = 0;
+  uint64_t patches_ = 0;
   Status last_error_;
   std::thread thread_;
 };

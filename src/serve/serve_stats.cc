@@ -6,10 +6,14 @@ void AddServeStatsMetrics(const ServeStats& stats,
                           MetricsRegistry* registry) {
   // Tripwire (the ExecStats pattern): a new ServeStats counter changes the
   // struct size and breaks this assert until it gets registered below.
-  static_assert(sizeof(ServeStats) == 9 * sizeof(uint64_t),
+  static_assert(sizeof(ServeStats) == 19 * sizeof(uint64_t),
                 "ServeStats gained/lost a counter: register it here");
   auto add = [registry](const char* name, const char* help, uint64_t value) {
     registry->AddCounter(name, help)->Increment(value);
+  };
+  auto echo = [registry](const char* name, const char* help,
+                         uint64_t value) {
+    registry->AddGauge(name, help)->Set(static_cast<double>(value));
   };
   add("skyup_serve_queries_executed_total",
       "serve queries that ran to completion", stats.queries_executed);
@@ -24,7 +28,11 @@ void AddServeStatsMetrics(const ServeStats& stats,
       "invalid updates rejected (unknown id, bad arity)",
       stats.updates_rejected);
   add("skyup_serve_rebuilds_published_total",
-      "snapshots published by the rebuilder", stats.rebuilds_published);
+      "major compactions published by the rebuilder",
+      stats.rebuilds_published);
+  add("skyup_serve_patches_published_total",
+      "incremental snapshot patches published by the rebuilder",
+      stats.patches_published);
   add("skyup_serve_delta_ops_scanned_total",
       "delta ops folded into per-query overlays", stats.delta_ops_scanned);
   add("skyup_serve_erase_fallback_scans_total",
@@ -33,6 +41,33 @@ void AddServeStatsMetrics(const ServeStats& stats,
   add("skyup_serve_candidates_evaluated_total",
       "Algorithm-1 evaluations across serve queries",
       stats.candidates_evaluated);
+  add("skyup_serve_candidates_pruned_total",
+      "candidates skipped by the sound box lower bound",
+      stats.candidates_pruned);
+  add("skyup_serve_prune_disabled_queries_total",
+      "queries whose prune was disabled by a face-touching pending erase",
+      stats.prune_disabled_queries);
+  add("skyup_serve_cache_hits_total",
+      "candidates answered from the upgrade-result cache",
+      stats.cache_hits);
+  add("skyup_serve_cache_misses_total",
+      "candidates recomputed and stored in the upgrade-result cache",
+      stats.cache_misses);
+  echo("skyup_serve_rebuild_threshold_ops",
+       "configured backlog size that forces a publish",
+       stats.rebuild_threshold_ops);
+  echo("skyup_serve_publish_min_backlog",
+       "configured minimum backlog for the age-triggered publish",
+       stats.publish_min_backlog);
+  echo("skyup_serve_publish_min_interval_ms",
+       "configured minimum milliseconds between publishes",
+       stats.publish_min_interval_ms);
+  echo("skyup_serve_compact_tombstone_pct",
+       "configured tombstone %% that escalates a patch to a compaction",
+       stats.compact_tombstone_pct);
+  echo("skyup_serve_compact_tail_pct",
+       "configured unindexed-tail %% that escalates a patch to a compaction",
+       stats.compact_tail_pct);
 }
 
 }  // namespace skyup

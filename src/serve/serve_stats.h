@@ -20,16 +20,31 @@ struct ServeStats {
   uint64_t queries_timed_out = 0;   ///< deadline fired (queued or running)
   uint64_t updates_applied = 0;     ///< inserts/erases accepted into the log
   uint64_t updates_rejected = 0;    ///< invalid updates (bad id, bad arity)
-  uint64_t rebuilds_published = 0;  ///< snapshots published by the rebuilder
+  uint64_t rebuilds_published = 0;  ///< major compactions (full STR rebuild)
+  uint64_t patches_published = 0;   ///< incremental patch publishes
   uint64_t delta_ops_scanned = 0;   ///< delta ops folded into query overlays
   uint64_t erase_fallback_scans = 0;  ///< probes invalidated by a P-erase
   uint64_t candidates_evaluated = 0;  ///< Algorithm-1 calls across queries
+  uint64_t candidates_pruned = 0;     ///< skipped via the sound box bound
+  uint64_t prune_disabled_queries = 0;  ///< pending erase touched a box face
+  uint64_t cache_hits = 0;    ///< candidates served from the upgrade cache
+  uint64_t cache_misses = 0;  ///< candidates recomputed (and re-cached)
+
+  /// Config echoes, not counters: the server stamps its effective policy
+  /// here once at creation so a stats dump documents the knobs it ran
+  /// under. Query-local stats leave them zero, so the MergeFrom sum is a
+  /// no-op for them.
+  uint64_t rebuild_threshold_ops = 0;     ///< publish at this backlog
+  uint64_t publish_min_backlog = 0;       ///< age trigger needs this many ops
+  uint64_t publish_min_interval_ms = 0;   ///< publish rate cap (hysteresis)
+  uint64_t compact_tombstone_pct = 0;     ///< major when tombstones reach %
+  uint64_t compact_tail_pct = 0;          ///< major when tail reaches %
 
   /// Field-wise sum. Same tripwire as ExecStats: adding a counter changes
   /// the struct size, which trips the assert until the new field is summed
   /// below — and tools/lint.py cross-checks all three.
   ServeStats& MergeFrom(const ServeStats& other) {
-    static_assert(sizeof(ServeStats) == 9 * sizeof(uint64_t),
+    static_assert(sizeof(ServeStats) == 19 * sizeof(uint64_t),
                   "ServeStats gained/lost a counter: update MergeFrom");
     auto add = [](uint64_t* into, uint64_t delta) { *into += delta; };
     add(&queries_executed, other.queries_executed);
@@ -38,9 +53,19 @@ struct ServeStats {
     add(&updates_applied, other.updates_applied);
     add(&updates_rejected, other.updates_rejected);
     add(&rebuilds_published, other.rebuilds_published);
+    add(&patches_published, other.patches_published);
     add(&delta_ops_scanned, other.delta_ops_scanned);
     add(&erase_fallback_scans, other.erase_fallback_scans);
     add(&candidates_evaluated, other.candidates_evaluated);
+    add(&candidates_pruned, other.candidates_pruned);
+    add(&prune_disabled_queries, other.prune_disabled_queries);
+    add(&cache_hits, other.cache_hits);
+    add(&cache_misses, other.cache_misses);
+    add(&rebuild_threshold_ops, other.rebuild_threshold_ops);
+    add(&publish_min_backlog, other.publish_min_backlog);
+    add(&publish_min_interval_ms, other.publish_min_interval_ms);
+    add(&compact_tombstone_pct, other.compact_tombstone_pct);
+    add(&compact_tail_pct, other.compact_tail_pct);
     return *this;
   }
 };

@@ -47,7 +47,18 @@ Result<std::unique_ptr<Server>> Server::Create(ProductCostFunction cost_fn,
   RebuildPolicy policy;
   policy.threshold_ops = options.rebuild_threshold_ops;
   policy.max_age_seconds = options.rebuild_max_age_seconds;
+  policy.min_publish_backlog = options.publish_min_backlog;
+  policy.min_publish_interval_seconds = options.publish_min_interval_seconds;
+  policy.compact_tombstone_pct = options.compact_tombstone_pct;
+  policy.compact_tail_pct = options.compact_tail_pct;
   server->inline_policy_ = policy;
+  // Config echoes: a stats dump documents the policy it ran under.
+  server->stats_.rebuild_threshold_ops = options.rebuild_threshold_ops;
+  server->stats_.publish_min_backlog = options.publish_min_backlog;
+  server->stats_.publish_min_interval_ms = static_cast<uint64_t>(
+      options.publish_min_interval_seconds * 1000.0);
+  server->stats_.compact_tombstone_pct = options.compact_tombstone_pct;
+  server->stats_.compact_tail_pct = options.compact_tail_pct;
   if (options.background_rebuild) {
     server->rebuilder_ =
         std::make_unique<Rebuilder>(server->table_.get(), policy);
@@ -99,11 +110,17 @@ void Server::AfterUpdate(const Status& outcome) {
     return;
   }
   // Deterministic mode: apply the size threshold right here, so rebuild
-  // timing is a pure function of the op sequence.
-  Result<bool> rebuilt = MaybeRebuildInline(table_.get(), inline_policy_);
-  if (rebuilt.ok() && *rebuilt) {
+  // timing (and the patch-vs-major choice) is a pure function of the op
+  // sequence.
+  Result<PublishKind> published =
+      MaybeRebuildInline(table_.get(), inline_policy_);
+  if (published.ok() && *published != PublishKind::kNone) {
     std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.rebuilds_published;
+    if (*published == PublishKind::kMajor) {
+      ++stats_.rebuilds_published;
+    } else {
+      ++stats_.patches_published;
+    }
   }
 }
 
@@ -256,6 +273,7 @@ ServeStats Server::stats() const {
   ServeStats copy = stats_;
   if (rebuilder_ != nullptr) {
     copy.rebuilds_published = rebuilder_->rebuilds_published();
+    copy.patches_published = rebuilder_->patches_published();
   }
   return copy;
 }

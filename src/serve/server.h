@@ -40,9 +40,18 @@ struct ServerOptions {
   size_t max_pending = 64;
   double default_epsilon = 1e-6;
   size_t rtree_fanout = 64;
-  /// Rebuild triggers (serve/rebuilder.h).
+  /// Rebuild triggers and publish policy (serve/rebuilder.h).
   size_t rebuild_threshold_ops = 1024;
   double rebuild_max_age_seconds = 0.0;
+  /// Storm hysteresis (background rebuilder): the age trigger needs at
+  /// least this backlog, and publishes are rate-capped to one per
+  /// interval. Echoed into ServeStats.
+  size_t publish_min_backlog = 1;
+  double publish_min_interval_seconds = 0.0;
+  /// Patch-vs-major escalation thresholds (percent of indexed slots);
+  /// rebuilder.h explains the defaults.
+  size_t compact_tombstone_pct = 50;
+  size_t compact_tail_pct = 150;
   /// True: a background rebuilder thread folds the delta log. False: the
   /// size threshold is applied inline after each accepted update —
   /// deterministic, used by `--replay`.

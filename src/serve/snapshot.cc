@@ -36,7 +36,8 @@ Snapshot::Snapshot(uint64_t epoch, std::unique_ptr<Dataset> competitors,
       competitors_(std::move(competitors)),
       products_(std::move(products)),
       competitor_ids_(std::move(competitor_ids)),
-      product_ids_(std::move(product_ids)) {
+      product_ids_(std::move(product_ids)),
+      tail_block_(competitors_->dims()) {
   competitor_rows_.reserve(competitor_ids_.size());
   for (size_t i = 0; i < competitor_ids_.size(); ++i) {
     competitor_rows_.emplace(competitor_ids_[i], static_cast<PointId>(i));

@@ -1,0 +1,124 @@
+#include "serve/upgrade_cache.h"
+
+#include <utility>
+
+#include "core/dominance.h"
+#include "util/check.h"
+
+namespace skyup {
+namespace {
+
+// `skyline` is a flattened row-major value list (size % dims == 0).
+bool AnyMemberDominatesOrEqual(const std::vector<double>& skyline,
+                               const double* q, size_t dims) {
+  for (size_t i = 0; i + dims <= skyline.size(); i += dims) {
+    if (DominatesOrEqual(skyline.data() + i, q, dims)) return true;
+  }
+  return false;
+}
+
+bool AnyMemberStrictlyDominates(const std::vector<double>& skyline,
+                                const double* q, size_t dims) {
+  for (size_t i = 0; i + dims <= skyline.size(); i += dims) {
+    if (Dominates(skyline.data() + i, q, dims)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+UpgradeCache::UpgradeCache(size_t dims) : dims_(dims) {}
+
+void UpgradeCache::OnDeltaOp(const DeltaOp& op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++version_;
+  if (op.target == DeltaTarget::kProduct) {
+    // Product inserts start uncached (the first query computes and
+    // stores); a product erase just drops its entry. Neither can affect
+    // any *other* product's dominator skyline.
+    if (op.kind == DeltaKind::kErase) entries_.erase(op.id);
+    return;
+  }
+  const bool is_insert = op.kind == DeltaKind::kInsert;
+  std::vector<double> erased_coords;
+  const double* q = nullptr;
+  if (is_insert) {
+    q = op.coords.data();
+  } else {
+    auto it = competitor_coords_.find(op.id);
+    SKYUP_CHECK(it != competitor_coords_.end())
+        << "competitor erase " << op.id
+        << " reached the cache before its insert";
+    erased_coords = std::move(it->second);
+    competitor_coords_.erase(it);
+    q = erased_coords.data();
+  }
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const Entry& entry = it->second;
+    bool stale = false;
+    if (Dominates(q, entry.coords.data(), dims_)) {
+      // Invalidation predicates from the header: an op on a dominator of
+      // this product is harmless only while the stored skyline provably
+      // absorbs it — a member covering an inserted q, or a member strictly
+      // below an erased r.
+      stale = is_insert
+                  ? !AnyMemberDominatesOrEqual(entry.skyline, q, dims_)
+                  : !AnyMemberStrictlyDominates(entry.skyline, q, dims_);
+    }
+    it = stale ? entries_.erase(it) : std::next(it);
+  }
+  if (is_insert) competitor_coords_.emplace(op.id, op.coords);
+}
+
+uint64_t UpgradeCache::version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return version_;
+}
+
+bool UpgradeCache::Lookup(uint64_t product_id, uint64_t view_version,
+                          double epsilon, double admit_hint,
+                          Hit* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(product_id);
+  if (it == entries_.end()) return false;
+  const Entry& entry = it->second;
+  // Computed against ops the view has not absorbed: unusable for it.
+  if (entry.version > view_version) return false;
+  // lint: float-eq-ok (epsilon is a query parameter; reuse requires the
+  // exact same value, not a nearby one)
+  if (entry.epsilon != epsilon) return false;
+  out->cost = entry.cost;
+  out->already_competitive = entry.already_competitive;
+  out->payload_copied = entry.cost <= admit_hint;
+  if (out->payload_copied) out->upgraded = entry.upgraded;
+  return true;
+}
+
+void UpgradeCache::Store(uint64_t product_id, const double* coords,
+                         uint64_t view_version, double epsilon,
+                         const UpgradeOutcome& outcome,
+                         const std::vector<const double*>& skyline) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // An op landed while this query was computing: ops after `view_version`
+  // were never checked against this result, so it may already be stale.
+  if (version_ != view_version) return;
+  Entry entry;
+  entry.coords.assign(coords, coords + dims_);
+  entry.skyline.reserve(skyline.size() * dims_);
+  for (const double* member : skyline) {
+    entry.skyline.insert(entry.skyline.end(), member, member + dims_);
+  }
+  entry.upgraded = outcome.upgraded;
+  entry.cost = outcome.cost;
+  entry.epsilon = epsilon;
+  entry.already_competitive = outcome.already_competitive;
+  entry.version = view_version;
+  entries_[product_id] = std::move(entry);
+}
+
+size_t UpgradeCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace skyup

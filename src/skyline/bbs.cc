@@ -92,7 +92,7 @@ std::vector<PointId> SkylineBbs(const RTree& tree) {
 
 std::vector<PointId> SkylineBbs(const FlatRTree& tree) {
   std::vector<PointId> result;
-  if (tree.empty()) return result;
+  if (tree.empty() || tree.live_size() == 0) return result;
   // The traversal trusts the arena's structural invariants (slot ranges,
   // containment, SoA/AoS mirror agreement); re-prove them under paranoid.
   SKYUP_PARANOID_OK(tree.Validate());
@@ -131,6 +131,7 @@ std::vector<PointId> SkylineBbs(const FlatRTree& tree) {
         const uint32_t b = tree.point_begin(entry.node);
         const uint32_t e = tree.point_end(entry.node);
         for (uint32_t slot = b; slot < e; ++slot) {
+          if (!tree.slot_alive(slot)) continue;
           const double* p = tree.slot_coords(slot);
           if (dominated(p)) continue;
           double key = 0.0;
@@ -140,6 +141,7 @@ std::vector<PointId> SkylineBbs(const FlatRTree& tree) {
       } else {
         for (uint32_t child = tree.child_begin(entry.node);
              child < tree.child_end(entry.node); ++child) {
+          if (tree.node_live_count(child) == 0) continue;
           if (dominated(tree.min_corner(child))) continue;
           heap.push({tree.min_corner_sum(child), seq++, child,
                      kInvalidPointId});
@@ -153,7 +155,13 @@ std::vector<PointId> SkylineBbs(const FlatRTree& tree) {
     }
   }
   SKYUP_PARANOID_OK([&]() -> Status {
-    std::vector<PointId> all(tree.point_ids(), tree.point_ids() + tree.size());
+    // Re-proof input: the *live* slots only — tombstoned points are not
+    // part of the set whose skyline this computes.
+    std::vector<PointId> all;
+    all.reserve(tree.live_size());
+    for (uint32_t j = 0; j < tree.size(); ++j) {
+      if (tree.slot_alive(j)) all.push_back(tree.point_ids()[j]);
+    }
     return CheckSkylineInvariants(tree.dataset(), &all, result);
   }());
   return result;

@@ -142,12 +142,25 @@ std::vector<PointId> DominatingSkyline(const RTree& tree, const double* t,
 
 std::vector<PointId> DominatingSkyline(const FlatRTree& tree, const double* t,
                                        ProbeStats* stats) {
-  SKYUP_TRACE_SPAN_VERBOSE("probe/dominating-skyline-flat");
   std::vector<PointId> result;
-  if (tree.empty()) return result;
+  DominatingSkylineInto(tree, t, /*dead_rows=*/nullptr, &result, stats);
+  return result;
+}
+
+void DominatingSkylineInto(const FlatRTree& tree, const double* t,
+                           const uint8_t* dead_rows,
+                           std::vector<PointId>* result, ProbeStats* stats) {
+  SKYUP_TRACE_SPAN_VERBOSE("probe/dominating-skyline-flat");
+  result->clear();
+  if (tree.empty() || tree.live_size() == 0) return;
   const size_t dims = tree.dims();
   ProbeStats local;
   ProbeStats* st = stats != nullptr ? stats : &local;
+  // With no tombstones and no mask every liveness test below passes, so
+  // the traversal — entries, order, tie-breaks, and the stat counters —
+  // is identical to the historical all-live probe (the property the
+  // flat-vs-pointer bit-exactness tests pin down).
+  const bool masked = dead_rows != nullptr || tree.has_tombstones();
 
   // Point entries carry node == kNoNode; the key/seq ordering matches the
   // pointer-tree probe entry for entry, so the two traversals pop — and
@@ -194,6 +207,11 @@ std::vector<PointId> DominatingSkyline(const FlatRTree& tree, const double* t,
         FilterDominated(tree.point_block(b, e), t, &kept, /*strict=*/true);
         for (uint32_t lane : kept) {
           const uint32_t slot = b + lane;
+          if (masked &&
+              (!tree.slot_alive(slot) ||
+               (dead_rows != nullptr && dead_rows[tree.point_ids()[slot]]))) {
+            continue;
+          }
           const double* p = tree.slot_coords(slot);
           if (PrunedBySkyline(window, p, st)) continue;
           double key = 0.0;
@@ -211,6 +229,7 @@ std::vector<PointId> DominatingSkyline(const FlatRTree& tree, const double* t,
                         /*strict=*/false);
         for (uint32_t lane : kept) {
           const uint32_t child = b + lane;
+          if (masked && tree.node_live_count(child) == 0) continue;
           if (PrunedBySkyline(window, tree.min_corner(child), st)) continue;
           heap.push({tree.min_corner_sum(child), seq++, child,
                      kInvalidPointId});
@@ -220,11 +239,10 @@ std::vector<PointId> DominatingSkyline(const FlatRTree& tree, const double* t,
       const double* p = tree.dataset().data(entry.point);
       if (PrunedBySkyline(window, p, st)) continue;
       window.Append(p);
-      result.push_back(entry.point);
+      result->push_back(entry.point);
     }
   }
-  SKYUP_PARANOID_OK(CheckProbeResult(tree.dataset(), t, result));
-  return result;
+  SKYUP_PARANOID_OK(CheckProbeResult(tree.dataset(), t, *result));
 }
 
 std::vector<PointId> DominatingSkylineFrom(

@@ -35,9 +35,22 @@ std::vector<PointId> DominatingSkyline(const RTree& tree, const double* t,
 /// The same probe over the flat arena snapshot: identical results (bit for
 /// bit — same entries, same best-first order, same tie-breaks), but node
 /// expansion culls children with the batched SoA kernels and the dominance
-/// window lives in one SoA block instead of scattered rows.
+/// window lives in one SoA block instead of scattered rows. Tombstoned
+/// slots and fully-dead subtrees are skipped, so the result is the skyline
+/// of the *live* dominators.
 std::vector<PointId> DominatingSkyline(const FlatRTree& tree, const double* t,
                                        ProbeStats* stats = nullptr);
+
+/// Allocation-free, mask-aware form for hot serving loops. Appends nothing;
+/// `result` is cleared and filled in best-first accept order. `dead_rows`,
+/// when non-null, is a per-dataset-row byte mask (1 = treat as erased)
+/// composed on top of the index's own tombstones — masked points never
+/// enter the traversal's dominance window, so live dominators they would
+/// have masked are still found (no caller-side rescan needed).
+void DominatingSkylineInto(const FlatRTree& tree, const double* t,
+                           const uint8_t* dead_rows,
+                           std::vector<PointId>* result,
+                           ProbeStats* stats = nullptr);
 
 /// Multi-source variant used by the join's leaf processing (Alg. 4 line 9):
 /// the skyline of the dominators of `t` among the points below `roots`

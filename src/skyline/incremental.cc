@@ -1,0 +1,27 @@
+#include "skyline/incremental.h"
+
+#include "core/dominance.h"
+
+namespace skyup {
+
+bool PatchSkylineInsert(std::vector<const double*>* skyline, const double* q,
+                        size_t dims) {
+  // Pass 1: q loses to (or duplicates) an existing member — no change.
+  // Members are mutually non-dominating, so losing to one settles it.
+  for (const double* s : *skyline) {
+    if (DominatesOrEqual(s, q, dims)) return false;
+  }
+  // Pass 2: q joins; evict members it dominates. Equality is impossible
+  // here (pass 1 would have caught it), so DominatesOrEqual doubles as a
+  // strict test while keeping the comparison count at one per member.
+  size_t w = 0;
+  for (size_t r = 0; r < skyline->size(); ++r) {
+    if (DominatesOrEqual(q, (*skyline)[r], dims)) continue;
+    (*skyline)[w++] = (*skyline)[r];
+  }
+  skyline->resize(w);
+  skyline->push_back(q);
+  return true;
+}
+
+}  // namespace skyup

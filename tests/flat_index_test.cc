@@ -7,10 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "core/dominance.h"
 #include "core/parallel_probing.h"
 #include "core/planner.h"
 #include "core/probing.h"
@@ -171,6 +173,285 @@ TEST(FlatRTreeTest, ValidateNamesTheViolatedInvariant) {
     FlatRTreeTestPeer::key(&t)[child] -= 1.0;
     ASSERT_EQ(FlatRTreeTestPeer::lo_soa(&t).size(), 3 * n);
     EXPECT_NE(message(t).find("child MBR escapes parent at node"),
+              std::string::npos)
+        << message(t);
+  }
+}
+
+// Rows as a sorted coordinate value set. Erase-path comparisons against the
+// pointer tree must be value-based: RTree::Delete condenses underflowing
+// nodes and reinserts survivors, so tie-broken representatives and traversal
+// stats may legitimately differ even though the answer set cannot.
+std::vector<std::vector<double>> ValueSet(const Dataset& data,
+                                          const std::vector<PointId>& rows) {
+  std::vector<std::vector<double>> out;
+  out.reserve(rows.size());
+  for (PointId id : rows) {
+    const double* p = data.data(id);
+    out.emplace_back(p, p + data.dims());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Brute-force oracle: skyline of the live strict dominators of `q`.
+std::vector<std::vector<double>> BruteDominatorValueSet(
+    const Dataset& data, const std::vector<uint8_t>& alive, const double* q) {
+  std::vector<const double*> doms;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const double* row = data.data(static_cast<PointId>(i));
+    if (alive[i] && Dominates(row, q, data.dims())) {
+      doms.push_back(row);
+    }
+  }
+  SkylineOfPointers(&doms, data.dims());
+  std::vector<std::vector<double>> out;
+  out.reserve(doms.size());
+  for (const double* p : doms) {
+    out.emplace_back(p, p + data.dims());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// The tentpole contract: after any erase sequence, probing the tombstoned
+// flat snapshot answers exactly like a pointer tree that physically deleted
+// the rows, and like brute force over the surviving rows. Validate() and the
+// live/tombstone tallies must hold after every single erase.
+TEST(FlatTombstoneTest, EraseThenQueryMatchesPointerDeleteAndBruteForce) {
+  for (size_t dims : {2u, 3u}) {
+    const size_t n = 220;
+    const Dataset data =
+        MakeData(n, dims, Distribution::kAntiCorrelated, 29 + dims);
+    const Dataset queries =
+        MakeData(24, dims, Distribution::kIndependent, 91 + dims);
+    RTreeOptions options;
+    options.max_entries = 8;
+    Result<RTree> tree = RTree::BulkLoad(data, options);
+    ASSERT_TRUE(tree.ok());
+    FlatRTree flat = FlatRTree::FromTree(tree.value());
+    std::vector<uint8_t> alive(n, 1);
+    size_t live = n;
+    for (size_t r = 0; r < 140; ++r) {
+      const PointId row = static_cast<PointId>((r * 37 + 11) % n);
+      if (!alive[static_cast<size_t>(row)]) {
+        EXPECT_FALSE(flat.Erase(row)) << "double erase must be rejected";
+        continue;
+      }
+      ASSERT_TRUE(flat.Erase(row));
+      ASSERT_TRUE(tree.value().Delete(row));
+      alive[static_cast<size_t>(row)] = 0;
+      --live;
+      const Status st = flat.Validate();
+      ASSERT_TRUE(st.ok()) << "dims=" << dims << " round=" << r << ": "
+                           << st.message();
+      ASSERT_EQ(flat.live_size(), live);
+      ASSERT_EQ(flat.tombstones(), n - live);
+      if (r % 10 != 9) continue;  // probe every tenth erase
+      for (size_t qi = 0; qi < queries.size(); ++qi) {
+        const double* q = queries.data(static_cast<PointId>(qi));
+        const auto flat_set = ValueSet(data, DominatingSkyline(flat, q));
+        const auto tree_set = ValueSet(data, DominatingSkyline(tree.value(), q));
+        const auto brute_set = BruteDominatorValueSet(data, alive, q);
+        ASSERT_EQ(flat_set, brute_set)
+            << "flat vs brute, dims=" << dims << " round=" << r
+            << " query=" << qi;
+        ASSERT_EQ(tree_set, brute_set)
+            << "pointer vs brute, dims=" << dims << " round=" << r
+            << " query=" << qi;
+      }
+    }
+  }
+}
+
+// Killing every slot of one leaf must zero that node's live count and keep
+// queries exact (the dead subtree is skipped, not visited); killing every
+// row must leave an empty-but-valid index with an empty root MBR.
+TEST(FlatTombstoneTest, EraseWholeLeafThenEverything) {
+  const size_t n = 96;
+  const Dataset data = MakeData(n, 3, Distribution::kIndependent, 53);
+  const Dataset queries = MakeData(12, 3, Distribution::kIndependent, 54);
+  RTreeOptions options;
+  options.max_entries = 8;
+  Result<FlatRTree> built = FlatRTree::BulkLoad(data, options);
+  ASSERT_TRUE(built.ok());
+  FlatRTree flat = std::move(built).value();
+  std::vector<uint8_t> alive(n, 1);
+
+  uint32_t leaf = 0;
+  while (!flat.is_leaf(leaf)) ++leaf;
+  for (uint32_t j = flat.point_begin(leaf); j < flat.point_end(leaf); ++j) {
+    const PointId row = flat.point_ids()[j];
+    ASSERT_TRUE(flat.Erase(row));
+    alive[static_cast<size_t>(row)] = 0;
+  }
+  EXPECT_EQ(flat.node_live_count(leaf), 0u);
+  {
+    const Status st = flat.Validate();
+    ASSERT_TRUE(st.ok()) << st.message();
+  }
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const double* q = queries.data(static_cast<PointId>(qi));
+    ASSERT_EQ(ValueSet(data, DominatingSkyline(flat, q)),
+              BruteDominatorValueSet(data, alive, q))
+        << "query " << qi << " after emptying leaf " << leaf;
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    const PointId row = static_cast<PointId>(i);
+    EXPECT_EQ(flat.Erase(row), alive[i] != 0);
+  }
+  EXPECT_EQ(flat.live_size(), 0u);
+  EXPECT_EQ(flat.tombstones(), n);
+  EXPECT_TRUE(flat.root_mbr().IsEmpty());
+  {
+    const Status st = flat.Validate();
+    ASSERT_TRUE(st.ok()) << st.message();
+  }
+  const double q[3] = {0.99, 0.99, 0.99};
+  EXPECT_TRUE(DominatingSkyline(flat, q).empty());
+  EXPECT_TRUE(SkylineBbs(flat).empty());
+}
+
+// Erase() edge cases, the insert-erase-reinsert cycle (reinsertion is a
+// fresh row + re-flatten: tombstones never resurrect in place), and Clone()
+// independence.
+TEST(FlatTombstoneTest, EraseEdgeCasesReinsertAndClone) {
+  Dataset data = MakeData(40, 3, Distribution::kIndependent, 13);
+  data.Reserve(data.size() + 1);  // keep row storage stable across Add below
+  RTreeOptions options;
+  options.max_entries = 8;
+  RTree tree(&data, options);
+  for (size_t i = 0; i < 40; ++i) {
+    tree.Insert(static_cast<PointId>(i));
+  }
+  FlatRTree flat = FlatRTree::FromTree(tree);
+
+  EXPECT_FALSE(flat.Erase(static_cast<PointId>(-1)));
+  EXPECT_FALSE(flat.Erase(static_cast<PointId>(data.size())));
+  EXPECT_TRUE(flat.row_alive(0));
+  EXPECT_TRUE(flat.Erase(0));
+  EXPECT_FALSE(flat.Erase(0));
+  EXPECT_FALSE(flat.row_alive(0));
+  EXPECT_EQ(flat.live_size(), 39u);
+  EXPECT_EQ(flat.tombstones(), 1u);
+  ASSERT_TRUE(tree.Delete(0));
+  {
+    const Status st = flat.Validate();
+    ASSERT_TRUE(st.ok()) << st.message();
+  }
+
+  // Reinsert the erased coordinates as a fresh row: the old snapshot does
+  // not know it, a re-flatten indexes it with a clean slate.
+  const std::vector<double> coords(data.data(0), data.data(0) + 3);
+  const PointId reborn = data.Add(coords.data());
+  EXPECT_FALSE(flat.Erase(reborn)) << "rows appended after the snapshot are "
+                                      "unindexed";
+  EXPECT_FALSE(flat.row_alive(reborn));
+  tree.Insert(reborn);
+  FlatRTree refreshed = FlatRTree::FromTree(tree);
+  EXPECT_EQ(refreshed.live_size(), 40u);
+  EXPECT_EQ(refreshed.tombstones(), 0u);
+  EXPECT_TRUE(refreshed.row_alive(reborn));
+  EXPECT_FALSE(refreshed.row_alive(0));  // deleted from the pointer tree
+  {
+    const Status st = refreshed.Validate();
+    ASSERT_TRUE(st.ok()) << st.message();
+  }
+
+  // Clone() deep-copies the arena: erasing in the clone must not leak into
+  // the source (the serve patch-publish path depends on this).
+  const Dataset copy = data;
+  FlatRTree clone = refreshed.Clone(&copy);
+  EXPECT_TRUE(clone.Erase(5));
+  EXPECT_FALSE(clone.row_alive(5));
+  EXPECT_TRUE(refreshed.row_alive(5));
+  EXPECT_EQ(clone.live_size(), 39u);
+  EXPECT_EQ(refreshed.live_size(), 40u);
+  {
+    const Status st = clone.Validate();
+    ASSERT_TRUE(st.ok()) << st.message();
+    const Status src = refreshed.Validate();
+    ASSERT_TRUE(src.ok()) << src.message();
+  }
+}
+
+// Validate() must name the tombstone-layer invariants too: every arena of
+// the delete machinery gets one precise corruption.
+TEST(FlatRTreeTest, ValidateNamesTombstoneInvariants) {
+  const Dataset data = MakeData(200, 3, Distribution::kIndependent, 7);
+  RTreeOptions options;
+  options.max_entries = 8;
+  const auto build = [&]() {
+    Result<FlatRTree> flat = FlatRTree::BulkLoad(data, options);
+    EXPECT_TRUE(flat.ok());
+    return std::move(flat).value();
+  };
+  const auto message = [](const FlatRTree& t) {
+    const Status st = t.Validate();
+    EXPECT_FALSE(st.ok());
+    return std::string(st.message());
+  };
+
+  {
+    FlatRTree t = build();
+    // A dead slot the tally never heard about.
+    FlatRTreeTestPeer::slot_live(&t)[0] = 0;
+    EXPECT_NE(message(t).find("tombstone tally out of sync"),
+              std::string::npos)
+        << message(t);
+  }
+  {
+    FlatRTree t = build();
+    // Tally patched up too: now the stale per-node live counts are the
+    // first lie left standing.
+    FlatRTreeTestPeer::slot_live(&t)[0] = 0;
+    FlatRTreeTestPeer::tombstones(&t) = 1;
+    EXPECT_NE(message(t).find("leaf live count out of sync at node "),
+              std::string::npos)
+        << message(t);
+  }
+  {
+    FlatRTree t = build();
+    FlatRTreeTestPeer::live_count(&t)[FlatRTree::kRoot] += 1;
+    EXPECT_NE(message(t).find("internal live count out of sync at node 0"),
+              std::string::npos)
+        << message(t);
+  }
+  {
+    FlatRTree t = build();
+    const uint32_t child = t.child_begin(FlatRTree::kRoot);
+    FlatRTreeTestPeer::parent(&t)[child] = child;
+    EXPECT_NE(message(t).find("parent link wrong at node "),
+              std::string::npos)
+        << message(t);
+  }
+  {
+    FlatRTree t = build();
+    // After a real erase, growing the root box (all mirrors, key is a
+    // min-corner sum so the max-side inflation leaves it alone) breaks the
+    // exact-union-over-live-content contract the serve prune leans on.
+    ASSERT_TRUE(t.Erase(t.point_ids()[0]));
+    ASSERT_TRUE(t.Validate().ok());
+    const size_t n = t.node_count();
+    FlatRTreeTestPeer::hi_aos(&t)[0 * 3 + 0] += 0.5;
+    FlatRTreeTestPeer::hi_soa(&t)[0 * n + 0] += 0.5;
+    EXPECT_NE(message(t).find("MBR not tight over live points at node 0"),
+              std::string::npos)
+        << message(t);
+  }
+  {
+    FlatRTree t = build();
+    FlatRTreeTestPeer::leaf_of_slot(&t)[0] = FlatRTree::kRoot;  // not a leaf
+    EXPECT_NE(message(t).find("leaf-of-slot map wrong at slot 0"),
+              std::string::npos)
+        << message(t);
+  }
+  {
+    FlatRTree t = build();
+    const size_t row = static_cast<size_t>(t.point_ids()[0]);
+    FlatRTreeTestPeer::slot_of_row(&t)[row] = FlatRTree::kNoSlot;
+    EXPECT_NE(message(t).find("slot-of-row map wrong at slot 0"),
               std::string::npos)
         << message(t);
   }

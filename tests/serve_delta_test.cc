@@ -212,18 +212,33 @@ TEST(RebuildProtocolTest, MaybeRebuildInlineHonorsThreshold) {
   policy.threshold_ops = 3;
 
   ASSERT_TRUE(t.InsertCompetitor({0.1, 0.1}).ok());
-  Result<bool> below = MaybeRebuildInline(&t, policy);
+  Result<PublishKind> below = MaybeRebuildInline(&t, policy);
   ASSERT_TRUE(below.ok());
-  EXPECT_FALSE(*below);
+  EXPECT_EQ(*below, PublishKind::kNone);
   EXPECT_EQ(t.epoch(), 1u);
 
   ASSERT_TRUE(t.InsertCompetitor({0.2, 0.2}).ok());
   ASSERT_TRUE(t.InsertCompetitor({0.3, 0.3}).ok());
-  Result<bool> at = MaybeRebuildInline(&t, policy);
+  // The base snapshot has no indexed rows yet, so the first publish is
+  // always a major compaction.
+  Result<PublishKind> at = MaybeRebuildInline(&t, policy);
   ASSERT_TRUE(at.ok());
-  EXPECT_TRUE(*at);
+  EXPECT_EQ(*at, PublishKind::kMajor);
   EXPECT_EQ(t.epoch(), 2u);
   EXPECT_EQ(t.delta_backlog(), 0u);
+
+  // A small backlog against an indexed base (1 tail row on 3 indexed is
+  // under the 50% tail threshold) patches instead of rebuilding.
+  ASSERT_TRUE(t.InsertCompetitor({0.4, 0.4}).ok());
+  ASSERT_TRUE(t.InsertProduct({0.6, 0.6}).ok());
+  ASSERT_TRUE(t.InsertProduct({0.7, 0.7}).ok());
+  Result<PublishKind> patched = MaybeRebuildInline(&t, policy);
+  ASSERT_TRUE(patched.ok());
+  EXPECT_EQ(*patched, PublishKind::kPatch);
+  EXPECT_EQ(t.epoch(), 3u);
+  EXPECT_EQ(t.delta_backlog(), 0u);
+  EXPECT_EQ(t.live_competitor_count(), 4u);
+  EXPECT_EQ(t.live_product_count(), 2u);
 }
 
 TEST(LiveTableTest, WriteAheadHookObservesEveryAcceptedUpdate) {

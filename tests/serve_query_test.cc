@@ -1,7 +1,8 @@
 // Tests for the serving-layer top-k engine (serve/query.h): exactness of
 // the snapshot+overlay path against a rebuild-from-scratch oracle
-// (including the erase-fallback rescan), empty-table behavior, argument
-// validation, cancellation, and the serve stat counters.
+// (including pending erases served by the mask-aware probe, with no
+// fallback rescan), empty-table behavior, argument validation,
+// cancellation, the sound-prune face gate, and the serve stat counters.
 
 #include "serve/query.h"
 
@@ -151,7 +152,7 @@ TEST(TopKOverlayTest, OverlayMatchesRebuildOracleOnRandomWorkloads) {
   }
 }
 
-TEST(TopKOverlayTest, EraseFallbackCounterFiresWhenSkylineMemberDies) {
+TEST(TopKOverlayTest, MaskAwareProbeServesSkylineMemberDeathWithoutRescan) {
   Result<std::unique_ptr<LiveTable>> table = MakeTable(2);
   ASSERT_TRUE(table.ok());
   LiveTable& t = **table;
@@ -162,15 +163,19 @@ TEST(TopKOverlayTest, EraseFallbackCounterFiresWhenSkylineMemberDies) {
   ASSERT_TRUE(t.InsertProduct({0.9, 0.9}).ok());
   RebuildNow(&t);
 
-  // Killing the skyline member after the snapshot forces the fallback
-  // rescan (the dead member may have masked the other competitor).
+  // Killing the skyline member after the snapshot used to force a full
+  // linear rescan; the mask-aware probe now surfaces the competitor it
+  // was masking directly from the index, with no fallback.
   ASSERT_TRUE(t.EraseCompetitor(*strong).ok());
   ServeStats stats;
   Result<std::vector<UpgradeResult>> top =
       TopKOverlay(t.AcquireView(), CostFn(2), 1, 1e-6, nullptr, &stats);
   ASSERT_TRUE(top.ok());
-  EXPECT_GT(stats.erase_fallback_scans, 0u);
+  EXPECT_EQ(stats.erase_fallback_scans, 0u);
   EXPECT_EQ(stats.candidates_evaluated, 1u);
+  // The dead row attains the live box's min corner, so this query must
+  // have sat out the prune rather than trusting a stale face.
+  EXPECT_EQ(stats.prune_disabled_queries, 1u);
 
   // And the surviving competitor now drives the upgrade target.
   ASSERT_EQ(top->size(), 1u);
@@ -180,6 +185,63 @@ TEST(TopKOverlayTest, EraseFallbackCounterFiresWhenSkylineMemberDies) {
   }();
   ASSERT_TRUE(oracle.ok());
   ExpectExactlyEqual(*top, *oracle, "post-erase");
+}
+
+TEST(TopKOverlayTest, SoundPrunePreservesExactTopKAcrossPatchedEpochs) {
+  // A workload big enough for the prune to actually fire: many dominated
+  // products, small k, erases and inserts folded through patch publishes.
+  Result<std::unique_ptr<LiveTable>> table = MakeTable(2);
+  ASSERT_TRUE(table.ok());
+  LiveTable& t = **table;
+  Rng rng(20260807);
+  std::vector<uint64_t> competitor_ids;
+  std::vector<double> coords(2);
+  for (int i = 0; i < 64; ++i) {
+    for (double& c : coords) c = rng.NextDouble(0.1, 1.0);
+    Result<uint64_t> id = t.InsertCompetitor(coords);
+    ASSERT_TRUE(id.ok());
+    competitor_ids.push_back(*id);
+  }
+  for (int i = 0; i < 32; ++i) {
+    for (double& c : coords) c = rng.NextDouble(1.0, 2.0);
+    ASSERT_TRUE(t.InsertProduct(coords).ok());
+  }
+  RebuildNow(&t);
+
+  RebuildPolicy policy;
+  policy.threshold_ops = 2;
+  size_t patches = 0;
+  for (int round = 0; round < 12; ++round) {
+    const size_t at =
+        static_cast<size_t>(rng.NextUint64(competitor_ids.size()));
+    ASSERT_TRUE(t.EraseCompetitor(competitor_ids[at]).ok());
+    competitor_ids[at] = competitor_ids.back();
+    competitor_ids.pop_back();
+    for (double& c : coords) c = rng.NextDouble(0.1, 1.0);
+    Result<uint64_t> id = t.InsertCompetitor(coords);
+    ASSERT_TRUE(id.ok());
+    competitor_ids.push_back(*id);
+    Result<PublishKind> published = MaybeRebuildInline(&t, policy);
+    ASSERT_TRUE(published.ok());
+    if (*published == PublishKind::kPatch) ++patches;
+
+    ServeStats stats;
+    Result<std::vector<UpgradeResult>> pruned = TopKOverlay(
+        t.AcquireView(), CostFn(2), 2, 1e-6, nullptr, &stats);
+    ASSERT_TRUE(pruned.ok());
+    RebuildNow(&t);
+    ReadView clean = t.AcquireView();
+    ASSERT_TRUE(clean.deltas.empty());
+    Result<std::vector<UpgradeResult>> oracle =
+        TopKOverlay(clean, CostFn(2), 2);
+    ASSERT_TRUE(oracle.ok());
+    ExpectExactlyEqual(*pruned, *oracle,
+                       "round=" + std::to_string(round));
+    EXPECT_EQ(stats.erase_fallback_scans, 0u);
+  }
+  // Every round's 2-op backlog crossed the threshold against a well-fed
+  // indexed base, so the publishes above really were patches.
+  EXPECT_GT(patches, 0u);
 }
 
 TEST(TopKOverlayTest, CancelledControlUnwinds) {

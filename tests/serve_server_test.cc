@@ -53,30 +53,60 @@ TEST(ServeStatsTest, MergeFromSumsEveryFieldDistinctly) {
   a.updates_applied = 7;
   a.updates_rejected = 11;
   a.rebuilds_published = 13;
-  a.delta_ops_scanned = 17;
-  a.erase_fallback_scans = 19;
-  a.candidates_evaluated = 23;
+  a.patches_published = 17;
+  a.delta_ops_scanned = 19;
+  a.erase_fallback_scans = 23;
+  a.candidates_evaluated = 29;
+  a.candidates_pruned = 31;
+  a.prune_disabled_queries = 37;
+  a.cache_hits = 149;
+  a.cache_misses = 151;
+  a.rebuild_threshold_ops = 41;
+  a.publish_min_backlog = 43;
+  a.publish_min_interval_ms = 47;
+  a.compact_tombstone_pct = 53;
+  a.compact_tail_pct = 59;
   ServeStats b;
-  b.queries_executed = 29;
-  b.queries_rejected = 31;
-  b.queries_timed_out = 37;
-  b.updates_applied = 41;
-  b.updates_rejected = 43;
-  b.rebuilds_published = 47;
-  b.delta_ops_scanned = 53;
-  b.erase_fallback_scans = 59;
-  b.candidates_evaluated = 61;
+  b.queries_executed = 61;
+  b.queries_rejected = 67;
+  b.queries_timed_out = 71;
+  b.updates_applied = 73;
+  b.updates_rejected = 79;
+  b.rebuilds_published = 83;
+  b.patches_published = 89;
+  b.delta_ops_scanned = 97;
+  b.erase_fallback_scans = 101;
+  b.candidates_evaluated = 103;
+  b.candidates_pruned = 107;
+  b.prune_disabled_queries = 109;
+  b.cache_hits = 157;
+  b.cache_misses = 163;
+  b.rebuild_threshold_ops = 113;
+  b.publish_min_backlog = 127;
+  b.publish_min_interval_ms = 131;
+  b.compact_tombstone_pct = 137;
+  b.compact_tail_pct = 139;
 
   a.MergeFrom(b);
-  EXPECT_EQ(a.queries_executed, 31u);
-  EXPECT_EQ(a.queries_rejected, 34u);
-  EXPECT_EQ(a.queries_timed_out, 42u);
-  EXPECT_EQ(a.updates_applied, 48u);
-  EXPECT_EQ(a.updates_rejected, 54u);
-  EXPECT_EQ(a.rebuilds_published, 60u);
-  EXPECT_EQ(a.delta_ops_scanned, 70u);
-  EXPECT_EQ(a.erase_fallback_scans, 78u);
-  EXPECT_EQ(a.candidates_evaluated, 84u);
+  EXPECT_EQ(a.queries_executed, 63u);
+  EXPECT_EQ(a.queries_rejected, 70u);
+  EXPECT_EQ(a.queries_timed_out, 76u);
+  EXPECT_EQ(a.updates_applied, 80u);
+  EXPECT_EQ(a.updates_rejected, 90u);
+  EXPECT_EQ(a.rebuilds_published, 96u);
+  EXPECT_EQ(a.patches_published, 106u);
+  EXPECT_EQ(a.delta_ops_scanned, 116u);
+  EXPECT_EQ(a.erase_fallback_scans, 124u);
+  EXPECT_EQ(a.candidates_evaluated, 132u);
+  EXPECT_EQ(a.candidates_pruned, 138u);
+  EXPECT_EQ(a.prune_disabled_queries, 146u);
+  EXPECT_EQ(a.cache_hits, 306u);
+  EXPECT_EQ(a.cache_misses, 314u);
+  EXPECT_EQ(a.rebuild_threshold_ops, 154u);
+  EXPECT_EQ(a.publish_min_backlog, 170u);
+  EXPECT_EQ(a.publish_min_interval_ms, 178u);
+  EXPECT_EQ(a.compact_tombstone_pct, 190u);
+  EXPECT_EQ(a.compact_tail_pct, 198u);
 }
 
 TEST(ServerTest, CreateValidatesOptions) {
@@ -213,9 +243,38 @@ TEST(ServerTest, InlineRebuildTriggersOnThreshold) {
   ASSERT_TRUE(server.ok());
   Seed(server->get());  // 4 accepted updates: threshold reached
 
+  // The first publish folds an empty-index base: always a major rebuild.
   EXPECT_EQ((*server)->table().epoch(), 2u);
   EXPECT_EQ((*server)->table().delta_backlog(), 0u);
   EXPECT_EQ((*server)->stats().rebuilds_published, 1u);
+  EXPECT_EQ((*server)->stats().patches_published, 0u);
+
+  // A follow-up batch of product inserts leaves the competitor index
+  // untouched — published incrementally as a patch, not a rebuild.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE((*server)->InsertProduct({0.5 + 0.01 * i, 0.5}).ok());
+  }
+  EXPECT_EQ((*server)->table().epoch(), 3u);
+  EXPECT_EQ((*server)->table().delta_backlog(), 0u);
+  EXPECT_EQ((*server)->stats().rebuilds_published, 1u);
+  EXPECT_EQ((*server)->stats().patches_published, 1u);
+}
+
+TEST(ServerTest, StatsEchoThePublishPolicy) {
+  ServerOptions options = SmallOptions();
+  options.rebuild_threshold_ops = 16;
+  options.publish_min_backlog = 3;
+  options.publish_min_interval_seconds = 0.25;
+  options.compact_tombstone_pct = 20;
+  options.compact_tail_pct = 40;
+  Result<std::unique_ptr<Server>> server = MakeServer(options);
+  ASSERT_TRUE(server.ok());
+  ServeStats stats = (*server)->stats();
+  EXPECT_EQ(stats.rebuild_threshold_ops, 16u);
+  EXPECT_EQ(stats.publish_min_backlog, 3u);
+  EXPECT_EQ(stats.publish_min_interval_ms, 250u);
+  EXPECT_EQ(stats.compact_tombstone_pct, 20u);
+  EXPECT_EQ(stats.compact_tail_pct, 40u);
 }
 
 TEST(ServerTest, RejectedUpdatesAreCountedNotApplied) {

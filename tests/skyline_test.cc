@@ -8,6 +8,7 @@
 
 #include "core/dominance.h"
 #include "data/generator.h"
+#include "skyline/incremental.h"
 #include "util/random.h"
 
 namespace skyup {
@@ -226,6 +227,76 @@ TEST(IsDominatedTest, Basics) {
   EXPECT_FALSE(IsDominated(ds, 0));
   EXPECT_TRUE(IsDominated(ds, 1));
   EXPECT_FALSE(IsDominated(ds, 2));  // duplicate of a minimum: not dominated
+}
+
+TEST(PatchSkylineInsertTest, DropsDominatedAndDuplicateInserts) {
+  Dataset ds = MakeDataset({{1, 3}, {3, 1}, {2, 2},    // seed skyline
+                            {2.5, 2.5},                // dominated by (2,2)
+                            {1, 3}});                  // duplicate member
+  std::vector<const double*> sky = {ds.data(0), ds.data(1), ds.data(2)};
+  EXPECT_FALSE(PatchSkylineInsert(&sky, ds.data(3), 2));
+  EXPECT_FALSE(PatchSkylineInsert(&sky, ds.data(4), 2));
+  ASSERT_EQ(sky.size(), 3u);
+  // Rejected inserts leave the skyline untouched, order included.
+  EXPECT_EQ(sky[0], ds.data(0));
+  EXPECT_EQ(sky[1], ds.data(1));
+  EXPECT_EQ(sky[2], ds.data(2));
+}
+
+TEST(PatchSkylineInsertTest, EvictsEveryDominatedMemberStably) {
+  Dataset ds = MakeDataset({{1, 4}, {2, 2}, {4, 1}, {3, 3},   // seed
+                            {1.5, 1.5}});  // evicts (2,2) and (3,3)
+  std::vector<const double*> sky = {ds.data(0), ds.data(1), ds.data(2),
+                                    ds.data(3)};
+  EXPECT_TRUE(PatchSkylineInsert(&sky, ds.data(4), 2));
+  ASSERT_EQ(sky.size(), 3u);
+  // Survivors keep their relative order; the insert lands at the back.
+  EXPECT_EQ(sky[0], ds.data(0));
+  EXPECT_EQ(sky[1], ds.data(2));
+  EXPECT_EQ(sky[2], ds.data(4));
+}
+
+TEST(PatchSkylineInsertTest, EmptySkylineAdmitsAnything) {
+  Dataset ds = MakeDataset({{5, 5}});
+  std::vector<const double*> sky;
+  EXPECT_TRUE(PatchSkylineInsert(&sky, ds.data(0), 2));
+  ASSERT_EQ(sky.size(), 1u);
+  EXPECT_EQ(sky[0], ds.data(0));
+}
+
+// Folding points one at a time must land on the same value set as one-shot
+// SkylineOfPointers over the union — the exactness argument the serving
+// overlay (src/serve/query.cc) rests on.
+TEST(PatchSkylineInsertTest, MatchesOneShotReductionOnRandomStreams) {
+  for (size_t dims = 2; dims <= 4; ++dims) {
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+      Result<Dataset> gen = GenerateCompetitors(
+          60, dims, Distribution::kAntiCorrelated, 1000 * dims + seed);
+      ASSERT_TRUE(gen.ok());
+      const Dataset& ds = gen.value();
+
+      std::vector<const double*> incremental;
+      std::vector<const double*> all;
+      for (size_t i = 0; i < ds.size(); ++i) {
+        const double* p = ds.data(static_cast<PointId>(i));
+        PatchSkylineInsert(&incremental, p, dims);
+        all.push_back(p);
+      }
+      SkylineOfPointers(&all, dims);
+
+      const auto values = [dims](const std::vector<const double*>& ptrs) {
+        std::set<std::vector<double>> out;
+        for (const double* p : ptrs) {
+          out.insert(std::vector<double>(p, p + dims));
+        }
+        return out;
+      };
+      EXPECT_EQ(values(incremental), values(all))
+          << "dims=" << dims << " seed=" << seed;
+      // Value-set semantics: one representative per distinct vector.
+      EXPECT_EQ(incremental.size(), values(incremental).size());
+    }
+  }
 }
 
 }  // namespace

@@ -5,7 +5,7 @@
 # BM_TopKImprovedProbing) and flat/batched (BM_*Flat) — so the speedup of
 # the arena + SIMD path is reproducible from one artifact.
 #
-# Usage: bench/run_bench.sh [--smoke|--serve] [build-dir] [output-file]
+# Usage: bench/run_bench.sh [--smoke|--serve|--load] [build-dir] [output-file]
 # Defaults: build-dir = ./build, output-file = ./BENCH_topk.json.
 # The CMake target `run_bench` invokes this with its own build dir.
 #
@@ -18,15 +18,30 @@
 # workload through `skyup_cli serve --replay` (deterministic mode) and
 # folds update throughput + query-latency percentiles under churn into
 # BENCH_topk.json["serve"], leaving every other section untouched.
+#
+# --load: closed-loop saturation section. Runs `skyup_cli serve
+# --load-gen` twice against the same workload shape — amortization OFF
+# (--batch-max=1 --memo-cache-mb=0) and ON (--batch-max=32
+# --memo-cache-mb=64) — and folds both reports plus the QPS-per-core and
+# p99 improvement factors into BENCH_topk.json["load"].
+#
+# Provenance: every mode that writes BENCH_topk.json refuses to run
+# against a non-Release build directory (numbers from -O0/debug builds
+# have poisoned committed baselines before). --smoke is exempt — it
+# writes nothing.
 set -eu
 
 smoke=0
 serve=0
+load=0
 if [ "${1:-}" = "--smoke" ]; then
   smoke=1
   shift
 elif [ "${1:-}" = "--serve" ]; then
   serve=1
+  shift
+elif [ "${1:-}" = "--load" ]; then
+  load=1
   shift
 fi
 
@@ -34,6 +49,19 @@ repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build"}
 out_file=${2:-"$repo_root/BENCH_topk.json"}
 bench_bin="$build_dir/bench/bench_micro"
+
+if [ "$smoke" != 1 ]; then
+  build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[A-Z]*=//p' \
+    "$build_dir/CMakeCache.txt" 2>/dev/null || true)
+  if [ "$build_type" != "Release" ]; then
+    echo "error: refusing to write benchmark JSON from a non-Release" \
+      "build (CMAKE_BUILD_TYPE='${build_type:-unknown}' in" \
+      "$build_dir/CMakeCache.txt)." >&2
+    echo "Configure with -DCMAKE_BUILD_TYPE=Release, or use --smoke" \
+      "(which writes no JSON)." >&2
+    exit 1
+  fi
+fi
 
 if [ "$serve" = 1 ]; then
   cli_bin="$build_dir/src/skyup_cli"
@@ -84,6 +112,9 @@ bench["serve"] = {
         "skyup_serve_prune_disabled_queries_total"),
     "cache_hits": counters.get("skyup_serve_cache_hits_total"),
     "cache_misses": counters.get("skyup_serve_cache_misses_total"),
+    "memo_hits": counters.get("skyup_serve_memo_hits_total"),
+    "memo_misses": counters.get("skyup_serve_memo_misses_total"),
+    "batches_executed": counters.get("skyup_serve_batches_executed_total"),
     "final_epoch": gauges.get("skyup_serve_snapshot_epoch"),
     "final_backlog_ops": gauges.get("skyup_serve_delta_backlog_ops"),
     "query_latency": {
@@ -94,6 +125,64 @@ with open(out_path, "w") as f:
     json.dump(bench, f, indent=1)
     f.write("\n")
 print("merged serve section into", out_path)
+EOF
+  exit 0
+fi
+
+if [ "$load" = 1 ]; then
+  cli_bin="$build_dir/src/skyup_cli"
+  if [ ! -x "$cli_bin" ]; then
+    echo "error: $cli_bin not found or not executable." >&2
+    echo "Build it first: cmake --build $build_dir --target skyup_cli" >&2
+    exit 1
+  fi
+  workdir=$(mktemp -d)
+  trap 'rm -rf "$workdir"' EXIT
+  # Saturation (unpaced closed loop): more clients than workers so the
+  # queue actually forms — grouped execution only amortizes work the
+  # queue presents to it. Identical shape both runs; only the
+  # amortization knobs differ.
+  common="--dims=3 --duration=10 --clients=16 --threads=2 \
+    --preload-p=30000 --preload-t=1500 --query-fraction=0.9 --k=10 \
+    --rebuild-threshold=1024 --seed=42"
+  echo "load-gen baseline (batch-max=1, memo off) ..."
+  # shellcheck disable=SC2086
+  "$cli_bin" serve --load-gen $common --batch-max=1 --memo-cache-mb=0 \
+    --out="$workdir/base.json"
+  echo "load-gen amortized (batch-max=32, memo 64MB) ..."
+  # shellcheck disable=SC2086
+  "$cli_bin" serve --load-gen $common --batch-max=32 --memo-cache-mb=64 \
+    --out="$workdir/amortized.json"
+  python3 - "$out_file" "$workdir/base.json" "$workdir/amortized.json" <<'EOF'
+import json, sys
+out_path, base_path, amortized_path = sys.argv[1], sys.argv[2], sys.argv[3]
+try:
+    with open(out_path) as f:
+        bench = json.load(f)
+except FileNotFoundError:
+    bench = {}
+with open(base_path) as f:
+    base = json.load(f)
+with open(amortized_path) as f:
+    amortized = json.load(f)
+qps_x = (amortized["achieved_qps_per_core"] / base["achieved_qps_per_core"]
+         if base["achieved_qps_per_core"] else None)
+p99_x = (base["latency_p99_seconds"] / amortized["latency_p99_seconds"]
+         if amortized["latency_p99_seconds"] else None)
+bench["load"] = {
+    "workload": ("closed-loop saturation: 16 clients over 2 workers, "
+                 "P=30000 T=1500 d=3 k=10, 90% queries, 10 s, seed=42"),
+    "baseline": base,
+    "amortized": amortized,
+    "qps_per_core_improvement": qps_x,
+    "p99_improvement": p99_x,
+}
+with open(out_path, "w") as f:
+    json.dump(bench, f, indent=1)
+    f.write("\n")
+print("merged load section into", out_path)
+print("qps/core improvement: %.2fx, p99 improvement: %.2fx"
+      % (qps_x or 0.0, p99_x or 0.0))
 EOF
   exit 0
 fi

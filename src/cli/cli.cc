@@ -15,6 +15,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "data/wine.h"
+#include "serve/load_gen.h"
 #include "serve/replay.h"
 #include "serve/server.h"
 #include "skyline/skyline.h"
@@ -40,7 +41,8 @@ commands:
              --competitors=FILE --products=FILE [--k=1]
              [--algorithm=join|improved|basic|brute] [--lb=nlb|clb|alb]
              [--epsilon=1e-6] [--fanout=64] [--threads=1] [--paper-bounds]
-             [--format=text|csv|json] [--flat-index=on|off] [--stats]
+             [--format=text|csv|json] [--flat-index=on|off] [--probe-tile]
+             [--stats]
              [--profile] [--trace-out=FILE] [--metrics-out=FILE]
              (--threads: 1 = sequential, 0 = all hardware threads;
               --stats: print work counters — heap pops, nodes visited,
@@ -51,19 +53,34 @@ commands:
               chrome://tracing or https://ui.perfetto.dev;
               --metrics-out: counters/gauges/histograms dump — JSON when
               FILE ends in .json, Prometheus text otherwise)
-  serve      replay or generate a live update+query workload
+  serve      replay or generate a live update+query workload, or run a
+             closed-loop load generator against a live server
              --replay=OPS.csv [--out=FILE] [--metrics-out=FILE]
              [--epsilon=1e-6] [--fanout=64] [--rebuild-threshold=64]
              [--min-publish-backlog=1] [--compact-tombstone-pct=50]
-             [--compact-tail-pct=150]
+             [--compact-tail-pct=150] [--batch-max=1]
+             [--batch-wait-us=200] [--memo-cache-mb=16]
              | --gen-ops=FILE --ops=N --dims=D [--seed=1]
+             | --load-gen --dims=D [--duration=5] [--clients=8] [--qps=0]
+             [--query-fraction=0.9] [--k=10] [--timeout=0]
+             [--preload-p=20000] [--preload-t=2000] [--threads=2]
+             [--rebuild-threshold=1024] [--batch-max=16]
+             [--batch-wait-us=200] [--memo-cache-mb=16] [--seed=42]
+             [--out=FILE.json] [--metrics-out=FILE]
              (replay mode drives the serving layer deterministically:
               queries run inline and snapshot publishes trigger inline on
               the op-count threshold, so two replays of the same workload
-              produce byte-identical output; most publishes are cheap
+              produce byte-identical output — including under
+              --batch-max>1, which groups runs of consecutive queries
+              into one shared traversal; most publishes are cheap
               tombstone/tail patches — a full STR compaction runs only
               past the --compact-*-pct densities; --gen-ops writes a
-              seeded random workload of inserts/erases/queries instead)
+              seeded random workload of inserts/erases/queries instead;
+              --load-gen preloads the table, then drives the worker pool
+              from --clients closed-loop threads for --duration seconds
+              (--qps=0 saturates; >0 paces the fleet) and reports
+              offered/achieved QPS and latency percentiles, as JSON when
+              --out is given; --memo-cache-mb=0 disables the epoch memo)
   help       show this message
 )";
 
@@ -317,6 +334,13 @@ int CmdTopK(const Flags& flags, std::ostream& out, std::ostream& err) {
   } else {
     return Usage(err, "topk: --flat-index must be on or off");
   }
+  if (flags.GetOr("probe-tile", "false") == "true") {
+    if (!options.use_flat_index || options.threads != 1) {
+      return Usage(err,
+                   "topk: --probe-tile requires --flat-index=on --threads=1");
+    }
+    options.probe_tile = true;
+  }
   const bool show_stats = flags.GetOr("stats", "false") == "true";
   const bool profile = flags.GetOr("profile", "false") == "true";
   const auto trace_path = flags.Get("trace-out");
@@ -427,12 +451,158 @@ int CmdTopK(const Flags& flags, std::ostream& out, std::ostream& err) {
   return rc;
 }
 
+int CmdServeLoadGen(const Flags& flags, std::ostream& out, std::ostream& err) {
+  const auto dims = ToInt(flags.GetOr("dims", "3"));
+  const auto duration = ToDouble(flags.GetOr("duration", "5"));
+  const auto clients = ToInt(flags.GetOr("clients", "8"));
+  const auto qps = ToDouble(flags.GetOr("qps", "0"));
+  const auto query_fraction = ToDouble(flags.GetOr("query-fraction", "0.9"));
+  const auto k = ToInt(flags.GetOr("k", "10"));
+  const auto timeout = ToDouble(flags.GetOr("timeout", "0"));
+  const auto preload_p = ToInt(flags.GetOr("preload-p", "20000"));
+  const auto preload_t = ToInt(flags.GetOr("preload-t", "2000"));
+  const auto threads = ToInt(flags.GetOr("threads", "2"));
+  const auto threshold = ToInt(flags.GetOr("rebuild-threshold", "1024"));
+  const auto batch_max = ToInt(flags.GetOr("batch-max", "16"));
+  const auto batch_wait = ToInt(flags.GetOr("batch-wait-us", "200"));
+  const auto memo_mb = ToInt(flags.GetOr("memo-cache-mb", "16"));
+  const auto seed = ToInt(flags.GetOr("seed", "42"));
+  const auto out_path = flags.Get("out");
+  const auto metrics_path = flags.Get("metrics-out");
+  if (!dims || !duration || !clients || !qps || !query_fraction || !k ||
+      !timeout || !preload_p || !preload_t || !threads || !threshold ||
+      !batch_max || !batch_wait || !memo_mb || !seed || *dims < 1 ||
+      *duration <= 0 || *clients < 1 || *qps < 0 || *query_fraction < 0 ||
+      *query_fraction > 1 || *k < 1 || *timeout < 0 || *preload_p < 0 ||
+      *preload_t < 0 || *threads < 1 || *threshold < 1 || *batch_max < 1 ||
+      *batch_wait < 0 || *memo_mb < 0 || *seed < 0) {
+    return Usage(err, "serve --load-gen: malformed numeric flag");
+  }
+  if (flags.ReportUnused(err)) return 2;
+
+  ServerOptions options;
+  options.dims = static_cast<size_t>(*dims);
+  options.query_threads = static_cast<size_t>(*threads);
+  options.rebuild_threshold_ops = static_cast<size_t>(*threshold);
+  options.batch_max = static_cast<size_t>(*batch_max);
+  options.batch_wait_us = static_cast<size_t>(*batch_wait);
+  options.memo_cache_mb = static_cast<size_t>(*memo_mb);
+  Result<std::unique_ptr<Server>> server = Server::Create(
+      ProductCostFunction::ReciprocalSum(options.dims, 1e-3), options);
+  if (!server.ok()) return Fail(err, server.status());
+
+  LoadGenOptions load;
+  load.dims = options.dims;
+  load.clients = static_cast<size_t>(*clients);
+  load.duration_seconds = *duration;
+  load.target_qps = *qps;
+  load.query_fraction = *query_fraction;
+  load.k = static_cast<size_t>(*k);
+  load.timeout_seconds = *timeout;
+  load.preload_competitors = static_cast<size_t>(*preload_p);
+  load.preload_products = static_cast<size_t>(*preload_t);
+  load.seed = static_cast<uint64_t>(*seed);
+  Result<LoadGenReport> report = RunLoadGen(server->get(), load);
+  if (!report.ok()) return Fail(err, report.status());
+
+  const ServeStats stats = (*server)->stats();
+  const uint64_t probes = stats.memo_hits + stats.memo_misses;
+  err.precision(4);
+  err << "# load-gen: " << report->queries_ok << " queries ok ("
+      << report->queries_rejected << " rejected, "
+      << report->queries_timed_out << " timed out, "
+      << report->queries_failed << " failed), " << report->updates_applied
+      << " updates in " << report->wall_seconds << " s\n"
+      << "# load-gen: offered=" << report->offered_qps
+      << " qps achieved=" << report->achieved_qps << " qps ("
+      << report->achieved_qps / static_cast<double>(*threads)
+      << " qps/core), p50=" << report->latency_p50_seconds * 1e3
+      << " ms p99=" << report->latency_p99_seconds * 1e3 << " ms\n"
+      << "# load-gen: memo hits=" << stats.memo_hits << "/" << probes
+      << " batches=" << stats.batches_executed
+      << " batched_queries=" << stats.batched_queries << "\n";
+
+  std::ostringstream json;
+  json.precision(12);
+  json << "{\n"
+       << "  \"config\": {\"dims\": " << options.dims
+       << ", \"clients\": " << load.clients
+       << ", \"query_threads\": " << options.query_threads
+       << ", \"duration_seconds\": " << load.duration_seconds
+       << ", \"target_qps\": " << load.target_qps
+       << ", \"query_fraction\": " << load.query_fraction
+       << ", \"k\": " << load.k
+       << ", \"preload_competitors\": " << load.preload_competitors
+       << ", \"preload_products\": " << load.preload_products
+       << ", \"batch_max\": " << options.batch_max
+       << ", \"batch_wait_us\": " << options.batch_wait_us
+       << ", \"memo_cache_mb\": " << options.memo_cache_mb
+       << ", \"seed\": " << load.seed << "},\n"
+       << "  \"wall_seconds\": " << report->wall_seconds << ",\n"
+       << "  \"offered_qps\": " << report->offered_qps << ",\n"
+       << "  \"achieved_qps\": " << report->achieved_qps << ",\n"
+       << "  \"achieved_qps_per_core\": "
+       << report->achieved_qps / static_cast<double>(*threads) << ",\n"
+       << "  \"queries_ok\": " << report->queries_ok << ",\n"
+       << "  \"queries_rejected\": " << report->queries_rejected << ",\n"
+       << "  \"queries_timed_out\": " << report->queries_timed_out << ",\n"
+       << "  \"queries_failed\": " << report->queries_failed << ",\n"
+       << "  \"updates_applied\": " << report->updates_applied << ",\n"
+       << "  \"updates_rejected\": " << report->updates_rejected << ",\n"
+       << "  \"latency_p50_seconds\": " << report->latency_p50_seconds
+       << ",\n"
+       << "  \"latency_p95_seconds\": " << report->latency_p95_seconds
+       << ",\n"
+       << "  \"latency_p99_seconds\": " << report->latency_p99_seconds
+       << ",\n"
+       << "  \"latency_max_seconds\": " << report->latency_max_seconds
+       << ",\n"
+       << "  \"memo_hits\": " << stats.memo_hits << ",\n"
+       << "  \"memo_misses\": " << stats.memo_misses << ",\n"
+       << "  \"batches_executed\": " << stats.batches_executed << ",\n"
+       << "  \"batched_queries\": " << stats.batched_queries << "\n"
+       << "}\n";
+  if (out_path.has_value()) {
+    std::ofstream file(*out_path);
+    if (!file) {
+      return Fail(err, Status::IOError("cannot open '" + *out_path + "'"));
+    }
+    file << json.str();
+  } else {
+    out << json.str();
+  }
+
+  if (metrics_path.has_value()) {
+    MetricsRegistry registry;
+    (*server)->FillMetrics(&registry);
+    std::ofstream metrics_file(*metrics_path);
+    if (!metrics_file) {
+      return Fail(err, Status::IOError("cannot open '" + *metrics_path +
+                                       "' for writing"));
+    }
+    const bool json_metrics =
+        metrics_path->size() >= 5 &&
+        metrics_path->compare(metrics_path->size() - 5, 5, ".json") == 0;
+    if (json_metrics) {
+      registry.WriteJson(metrics_file);
+    } else {
+      registry.WritePrometheus(metrics_file);
+    }
+  }
+  return 0;
+}
+
 int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
   const auto gen_path = flags.Get("gen-ops");
   const auto replay_path = flags.Get("replay");
-  if (gen_path.has_value() == replay_path.has_value()) {
-    return Usage(err, "serve requires exactly one of --replay or --gen-ops");
+  const bool load_gen = flags.Get("load-gen").has_value();
+  const int modes = (gen_path.has_value() ? 1 : 0) +
+                    (replay_path.has_value() ? 1 : 0) + (load_gen ? 1 : 0);
+  if (modes != 1) {
+    return Usage(
+        err, "serve requires exactly one of --replay, --gen-ops, --load-gen");
   }
+  if (load_gen) return CmdServeLoadGen(flags, out, err);
 
   if (gen_path.has_value()) {
     const auto ops = ToInt(flags.GetOr("ops", "1000"));
@@ -463,11 +633,16 @@ int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
   const auto min_backlog = ToInt(flags.GetOr("min-publish-backlog", "1"));
   const auto tombstone_pct = ToInt(flags.GetOr("compact-tombstone-pct", "50"));
   const auto tail_pct = ToInt(flags.GetOr("compact-tail-pct", "150"));
+  const auto batch_max = ToInt(flags.GetOr("batch-max", "1"));
+  const auto batch_wait = ToInt(flags.GetOr("batch-wait-us", "200"));
+  const auto memo_mb = ToInt(flags.GetOr("memo-cache-mb", "16"));
   const auto out_path = flags.Get("out");
   const auto metrics_path = flags.Get("metrics-out");
   if (!epsilon || !fanout || !threshold || !min_backlog || !tombstone_pct ||
-      !tail_pct || *epsilon <= 0 || *fanout < 2 || *threshold < 1 ||
-      *min_backlog < 1 || *tombstone_pct < 1 || *tail_pct < 1) {
+      !tail_pct || !batch_max || !batch_wait || !memo_mb || *epsilon <= 0 ||
+      *fanout < 2 || *threshold < 1 || *min_backlog < 1 ||
+      *tombstone_pct < 1 || *tail_pct < 1 || *batch_max < 1 ||
+      *batch_wait < 0 || *memo_mb < 0) {
     return Usage(err, "serve: malformed numeric flag");
   }
   if (flags.ReportUnused(err)) return 2;
@@ -483,6 +658,9 @@ int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
   options.publish_min_backlog = static_cast<size_t>(*min_backlog);
   options.compact_tombstone_pct = static_cast<size_t>(*tombstone_pct);
   options.compact_tail_pct = static_cast<size_t>(*tail_pct);
+  options.batch_max = static_cast<size_t>(*batch_max);
+  options.batch_wait_us = static_cast<size_t>(*batch_wait);
+  options.memo_cache_mb = static_cast<size_t>(*memo_mb);
   options.background_rebuild = false;  // replay must be deterministic
   options.query_threads = 1;
   Result<std::unique_ptr<Server>> server = Server::Create(
@@ -509,7 +687,11 @@ int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
       << " backlog=" << report->final_backlog << " rebuilds="
       << (*server)->stats().rebuilds_published << " patches="
       << (*server)->stats().patches_published << " fallback_scans="
-      << (*server)->stats().erase_fallback_scans << "\n";
+      << (*server)->stats().erase_fallback_scans << "\n"
+      << "# replay: memo hits=" << (*server)->stats().memo_hits << "/"
+      << ((*server)->stats().memo_hits + (*server)->stats().memo_misses)
+      << " batches=" << (*server)->stats().batches_executed
+      << " batched_queries=" << (*server)->stats().batched_queries << "\n";
 
   if (metrics_path.has_value()) {
     MetricsRegistry registry;

@@ -79,6 +79,26 @@ void ClassifyBlockScalar(const SoaView& block, const double* q,
   }
 }
 
+void TileDominanceMasksScalar(const SoaView& block, const double* const* tile,
+                              size_t tile_count, bool strict,
+                              uint64_t* masks) {
+  for (size_t i = 0; i < block.count; ++i) {
+    uint64_t mask = 0;
+    for (size_t j = 0; j < tile_count; ++j) {
+      const double* q = tile[j];
+      bool le = true;
+      bool lt = false;
+      for (size_t d = 0; d < block.dims && le; ++d) {
+        const double v = block.dim(d)[i];
+        le = v <= q[d];
+        lt = lt || v < q[d];
+      }
+      if (le && (lt || !strict)) mask |= uint64_t{1} << j;
+    }
+    masks[i] = mask;
+  }
+}
+
 #if SKYUP_HAVE_AVX2_PATH
 
 namespace {
@@ -182,6 +202,54 @@ __attribute__((target("avx2"))) void ClassifyBlockAvx2(const SoaView& block,
   }
 }
 
+// Register-blocked multi-query sweep: four block lanes wide (one __m256d),
+// four tile members deep (eight live accumulators + the shared coordinate
+// load fit comfortably in the sixteen ymm registers). Each coordinate
+// vector of the block is loaded once per tile chunk and compared against
+// every member of the chunk, amortizing the memory traffic the per-query
+// kernels pay `tile_count` times.
+__attribute__((target("avx2"))) void TileDominanceMasksAvx2(
+    const SoaView& block, const double* const* tile, size_t tile_count,
+    bool strict, uint64_t* masks) {
+  size_t i = 0;
+  for (; i + 4 <= block.count; i += 4) {
+    uint64_t m[4] = {0, 0, 0, 0};
+    for (size_t jc = 0; jc < tile_count; jc += 4) {
+      const size_t width = tile_count - jc < 4 ? tile_count - jc : 4;
+      __m256d le[4];
+      __m256d lt[4];
+      for (size_t jj = 0; jj < width; ++jj) {
+        le[jj] = AllOnes();
+        lt[jj] = _mm256_setzero_pd();
+      }
+      for (size_t d = 0; d < block.dims; ++d) {
+        const __m256d v = _mm256_loadu_pd(block.dim(d) + i);
+        for (size_t jj = 0; jj < width; ++jj) {
+          const __m256d qd = _mm256_set1_pd(tile[jc + jj][d]);
+          le[jj] = _mm256_and_pd(le[jj], _mm256_cmp_pd(v, qd, _CMP_LE_OQ));
+          lt[jj] = _mm256_or_pd(lt[jj], _mm256_cmp_pd(v, qd, _CMP_LT_OQ));
+        }
+      }
+      for (size_t jj = 0; jj < width; ++jj) {
+        int bits = _mm256_movemask_pd(le[jj]);
+        if (strict) bits &= _mm256_movemask_pd(lt[jj]);
+        while (bits != 0) {
+          const int lane = __builtin_ctz(static_cast<unsigned>(bits));
+          m[lane] |= uint64_t{1} << (jc + jj);
+          bits &= bits - 1;
+        }
+      }
+    }
+    for (size_t lane = 0; lane < 4; ++lane) masks[i + lane] = m[lane];
+  }
+  if (i < block.count) {
+    SoaView tail = block;
+    tail.data += i;
+    tail.count -= i;
+    TileDominanceMasksScalar(tail, tile, tile_count, strict, masks + i);
+  }
+}
+
 }  // namespace
 
 #endif  // SKYUP_HAVE_AVX2_PATH
@@ -222,6 +290,17 @@ void ClassifyBlock(const SoaView& block, const double* q, DomRelation* out) {
   }
 #endif
   ClassifyBlockScalar(block, q, out);
+}
+
+void TileDominanceMasks(const SoaView& block, const double* const* tile,
+                        size_t tile_count, bool strict, uint64_t* masks) {
+#if SKYUP_HAVE_AVX2_PATH
+  if (UseAvx2()) {
+    TileDominanceMasksAvx2(block, tile, tile_count, strict, masks);
+    return;
+  }
+#endif
+  TileDominanceMasksScalar(block, tile, tile_count, strict, masks);
 }
 
 const char* BatchKernelName() { return UseAvx2() ? "avx2" : "scalar"; }

@@ -90,6 +90,23 @@ size_t FilterDominated(const SoaView& block, const double* q,
 /// `Compare(lane, q)` per lane into `out[0..count)`.
 void ClassifyBlock(const SoaView& block, const double* q, DomRelation* out);
 
+/// Maximum tile width the multi-query kernels accept: outcome masks are one
+/// `uint64_t` per block lane, bit `j` = tile member `j`.
+inline constexpr size_t kMaxDominanceTile = 64;
+
+/// Multi-query generalization of `FilterDominated`: tests every lane of
+/// `block` against a *tile* of query points in one sweep. On return,
+/// `masks[i]` has bit `j` set iff lane `i` dominates `tile[j]` — strictly
+/// when `strict` (<= everywhere, < somewhere), dominates-or-equal otherwise
+/// (the ADR-overlap orientation for MBR min corners). `masks` must hold
+/// `block.count` entries; they are overwritten, not accumulated.
+/// `tile_count` must be in [1, kMaxDominanceTile]; every `tile[j]` has
+/// `block.dims` coordinates. Per (lane, tile[j]) pair the comparisons are
+/// the exact IEEE tests `FilterDominated` evaluates, so for any fixed `j`,
+/// `masks[i] >> j & 1` reproduces the single-query filter bit for bit.
+void TileDominanceMasks(const SoaView& block, const double* const* tile,
+                        size_t tile_count, bool strict, uint64_t* masks);
+
 /// Scalar reference implementations — always built, never dispatched away;
 /// the oracle the SIMD paths are tested against.
 bool DominatesAnyScalar(const SoaView& block, const double* q);
@@ -97,6 +114,9 @@ size_t FilterDominatedScalar(const SoaView& block, const double* q,
                              std::vector<uint32_t>* out, bool strict = true);
 void ClassifyBlockScalar(const SoaView& block, const double* q,
                          DomRelation* out);
+void TileDominanceMasksScalar(const SoaView& block, const double* const* tile,
+                              size_t tile_count, bool strict,
+                              uint64_t* masks);
 
 /// Name of the kernel implementation the dispatched entry points resolve to
 /// on this process: "avx2" or "scalar". Observability only.

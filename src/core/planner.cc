@@ -60,6 +60,10 @@ Result<UpgradePlanner> UpgradePlanner::Create(Dataset competitors,
   if (options.rtree_fanout < 2) {
     return Status::InvalidArgument("R-tree fanout must be at least 2");
   }
+  if (options.probe_tile && (!options.use_flat_index || options.threads != 1)) {
+    return Status::InvalidArgument(
+        "probe_tile requires use_flat_index and threads == 1");
+  }
   SKYUP_TRACE_SPAN("planner/create");
 
   if (options.validate_monotonicity) {
@@ -144,6 +148,10 @@ Result<std::vector<UpgradeResult>> UpgradePlanner::TopK(
                                              options_.epsilon,
                                              options_.threads, stats,
                                              telemetry, control);
+        }
+        if (options_.probe_tile) {
+          return TopKImprovedProbingTiled(*fp_, *products_, *cost_fn_, k,
+                                          options_.epsilon, stats, telemetry);
         }
         return TopKImprovedProbing(*fp_, *products_, *cost_fn_, k,
                                    options_.epsilon, stats, telemetry);

@@ -67,6 +67,13 @@ struct PlannerOptions {
   /// off to force the pointer-tree scalar baseline (ablation, or when the
   /// snapshot's extra memory matters).
   bool use_flat_index = true;
+  /// If true, sequential improved probing over the flat snapshot groups
+  /// candidates into tiles of `kMaxDominanceTile` and computes each tile's
+  /// dominator skylines with one shared traversal
+  /// (`TopKImprovedProbingTiled`) — the offline counterpart of the serving
+  /// layer's grouped execution. Same results; requires `use_flat_index`
+  /// and `threads == 1` (the parallel engine shards candidates itself).
+  bool probe_tile = false;
   /// If true, `Create` rejects cost functions that fail a randomized
   /// monotonicity check over the data's bounding box.
   bool validate_monotonicity = false;

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "core/dominance.h"
+#include "core/dominance_batch.h"
 #include "core/single_upgrade.h"
 #include "core/topk_common.h"
 #include "obs/trace.h"
@@ -168,6 +169,69 @@ Result<std::vector<UpgradeResult>> TopKImprovedProbing(
     ExecStats* stats, QueryTelemetry* telemetry) {
   return TopKImprovedProbingImpl(competitors_index, products, cost_fn, k,
                                  epsilon, stats, telemetry);
+}
+
+Result<std::vector<UpgradeResult>> TopKImprovedProbingTiled(
+    const FlatRTree& competitors_index, const Dataset& products,
+    const ProductCostFunction& cost_fn, size_t k, double epsilon,
+    ExecStats* stats, QueryTelemetry* telemetry) {
+  SKYUP_RETURN_IF_ERROR(ValidateTopKArgs(competitors_index.dataset().dims(),
+                                         products, cost_fn, k, epsilon));
+  SKYUP_PARANOID_OK(competitors_index.Validate());
+  SKYUP_PARANOID_OK(SpotCheckCostMonotonicity(cost_fn, products));
+  SKYUP_TRACE_SPAN("topk/improved-probing-tiled");
+  ExecStats local;
+  ExecStats* st = stats != nullptr ? stats : &local;
+  const Dataset& competitors = competitors_index.dataset();
+  const size_t dims = products.dims();
+  std::unique_ptr<ShardTelemetry> shard = MakeShardTelemetry(telemetry);
+
+  TopKCollector collector(k);
+  std::vector<const double*> tile(kMaxDominanceTile);
+  std::vector<std::vector<PointId>> tile_skylines(kMaxDominanceTile);
+  std::vector<const double*> skyline;
+  for (size_t base = 0; base < products.size(); base += kMaxDominanceTile) {
+    const size_t tile_count =
+        std::min(kMaxDominanceTile, products.size() - base);
+    for (size_t j = 0; j < tile_count; ++j) {
+      tile[j] = products.data(static_cast<PointId>(base + j));
+    }
+
+    ProbeStats probe;
+    DominatingSkylineTileInto(competitors_index, tile.data(), tile_count,
+                              /*dead_rows=*/nullptr, tile_skylines.data(),
+                              &probe);
+    st->heap_pops += probe.heap_pops;
+    st->nodes_visited += probe.nodes_visited;
+    st->points_scanned += probe.points_scanned;
+    st->block_kernel_calls += probe.block_kernel_calls;
+    LapProbe(shard.get());
+
+    // Members are offered in candidate order, exactly like the sequential
+    // engine; the probe's value-set contract makes each outcome equal.
+    for (size_t j = 0; j < tile_count; ++j) {
+      const PointId tid = static_cast<PointId>(base + j);
+      ++st->products_processed;
+      st->dominators_fetched += tile_skylines[j].size();
+      st->skyline_points_total += tile_skylines[j].size();
+      skyline.clear();
+      skyline.reserve(tile_skylines[j].size());
+      for (PointId id : tile_skylines[j]) skyline.push_back(competitors.data(id));
+      ++st->upgrade_calls;
+      UpgradeOutcome outcome = UpgradeProduct(skyline, products.data(tid),
+                                              dims, cost_fn, epsilon);
+      LapUpgrade(shard.get());
+      if (!collector.Admits(outcome.cost)) continue;
+      collector.Add(UpgradeResult{tid, outcome.cost,
+                                  std::move(outcome.upgraded),
+                                  outcome.already_competitive});
+    }
+  }
+  LapOther(shard.get());
+  std::vector<UpgradeResult> results = collector.Finish();
+  LapMerge(shard.get());
+  FlushShardTelemetry(shard, telemetry);
+  return results;
 }
 
 Result<std::vector<UpgradeResult>> TopKBruteForce(

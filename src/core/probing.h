@@ -50,6 +50,21 @@ Result<std::vector<UpgradeResult>> TopKImprovedProbing(
     const ProductCostFunction& cost_fn, size_t k, double epsilon = 1e-6,
     ExecStats* stats = nullptr, QueryTelemetry* telemetry = nullptr);
 
+/// Improved probing with *tiled* probes: candidates are grouped into tiles
+/// of up to `kMaxDominanceTile` and each tile's dominator skylines are
+/// computed by ONE shared best-first traversal
+/// (`DominatingSkylineTileInto`) — node fetches are amortized across the
+/// tile and each fetched block is tested against all tile members with one
+/// `TileDominanceMasks` sweep. Results equal the sequential flat overload's
+/// (the per-member probe yields the same dominator *value set*, which
+/// `UpgradeProduct` maps to the same upgrade). Probe counters
+/// (`heap_pops`, `nodes_visited`, ...) count shared traversal work once
+/// per tile, so they are not comparable to the per-candidate engines'.
+Result<std::vector<UpgradeResult>> TopKImprovedProbingTiled(
+    const FlatRTree& competitors_index, const Dataset& products,
+    const ProductCostFunction& cost_fn, size_t k, double epsilon = 1e-6,
+    ExecStats* stats = nullptr, QueryTelemetry* telemetry = nullptr);
+
 /// Index-free oracle: scans `competitors` linearly per candidate. Used as
 /// the ground truth in tests and as the "no substrate" baseline in
 /// ablations; O(|T| * |P| * d).

@@ -46,10 +46,20 @@ UpgradeOutcome UpgradeProduct(std::vector<const double*> skyline,
 
   for (size_t k = 0; k < dims; ++k) {
     // Sort the skyline ascending on dimension k (Algorithm 1 line 3).
+    // Ties on dimension k break lexicographically on the full coordinate
+    // vector, never on pointer identity: the outcome must be a pure
+    // function of the dominator *value set* so that memoized and batched
+    // executions (which materialize the same skyline at different
+    // addresses and in different arrival orders) reproduce it bit for
+    // bit. Points with fully equal coordinates are interchangeable in
+    // both Option 1 and Option 2, so their relative order is irrelevant.
     std::sort(skyline.begin(), skyline.end(),
-              [k](const double* a, const double* b) {
+              [k, dims](const double* a, const double* b) {
                 if (a[k] != b[k]) return a[k] < b[k];
-                return a < b;
+                for (size_t x = 0; x < dims; ++x) {
+                  if (a[x] != b[x]) return a[x] < b[x];
+                }
+                return false;
               });
 
     // Option 1 (lines 4-7): beat every skyline point on dimension k alone.

@@ -35,6 +35,7 @@
 namespace skyup {
 
 class UpgradeCache;
+class SkylineMemo;
 
 enum class DeltaTarget : uint8_t {
   kCompetitor,  ///< the paper's P
@@ -107,6 +108,9 @@ struct ReadView {
   /// queries through this view.
   uint64_t version = 0;
   std::shared_ptr<UpgradeCache> cache;
+  /// The table's shared epoch-scoped skyline memo (serve/skyline_memo.h);
+  /// null disables dominator-skyline memoization for this view.
+  std::shared_ptr<SkylineMemo> memo;
 
   uint64_t epoch() const { return snapshot->epoch(); }
 };

@@ -3,6 +3,7 @@
 #include <string>
 #include <utility>
 
+#include "serve/skyline_memo.h"
 #include "serve/upgrade_cache.h"
 #include "util/check.h"
 
@@ -27,6 +28,10 @@ Result<std::unique_ptr<LiveTable>> LiveTable::Create(
   if (!initial.ok()) return initial.status();
   table->snapshot_ = std::move(initial).value();
   table->cache_ = std::make_shared<UpgradeCache>(options.dims);
+  if (options.memo_cache_bytes > 0) {
+    table->memo_ = std::make_shared<SkylineMemo>(options.dims,
+                                                 options.memo_cache_bytes);
+  }
   return table;
 }
 
@@ -95,6 +100,7 @@ ReadView LiveTable::AcquireView() const {
   // stamp is exactly the op count this view's deltas reflect.
   view.version = cache_->version();
   view.cache = cache_;
+  view.memo = memo_;
   return view;
 }
 
@@ -159,6 +165,10 @@ void LiveTable::CompleteRebuild(std::shared_ptr<const Snapshot> snapshot) {
   snapshot_ = std::move(snapshot);
   frozen_.clear();
   rebuild_in_flight_ = false;
+  // Epoch rollover: old-epoch memo entries can never match new-epoch
+  // lookups (entries self-describe their epoch), so dropping the cache is
+  // purely memory reclamation — the "free invalidation" of epoch scoping.
+  if (memo_ != nullptr) memo_->OnPublish();
 }
 
 void LiveTable::AbandonRebuild() {

@@ -27,11 +27,15 @@
 namespace skyup {
 
 class UpgradeCache;
+class SkylineMemo;
 
 struct LiveTableOptions {
   size_t dims = 0;  ///< required, >= 1
   /// Fanout of the per-snapshot STR bulk load.
   size_t rtree_fanout = 64;
+  /// Byte budget of the epoch-scoped skyline memo cache
+  /// (serve/skyline_memo.h) handed to every view; 0 disables memoization.
+  size_t memo_cache_bytes = 0;
 };
 
 class LiveTable {
@@ -116,6 +120,9 @@ class LiveTable {
   /// Shared upgrade-result cache, fed every accepted op under `mu_` and
   /// handed to every view (serve/upgrade_cache.h has the soundness story).
   std::shared_ptr<UpgradeCache> cache_;
+  /// Shared epoch-scoped skyline memo; dropped wholesale on every publish
+  /// under `mu_`. Null when `memo_cache_bytes == 0`.
+  std::shared_ptr<SkylineMemo> memo_;
 };
 
 }  // namespace skyup

@@ -1,0 +1,213 @@
+#include "serve/load_gen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "util/check.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace skyup {
+namespace {
+
+// Per-client tallies, merged after join. Latencies are recorded only for
+// queries that completed OK — rejected/expired queries would skew the
+// percentiles toward the (cheap) failure path.
+struct ClientTally {
+  std::vector<double> latencies;
+  uint64_t queries_issued = 0;
+  uint64_t queries_ok = 0;
+  uint64_t queries_rejected = 0;
+  uint64_t queries_timed_out = 0;
+  uint64_t queries_failed = 0;
+  uint64_t updates_applied = 0;
+  uint64_t updates_rejected = 0;
+};
+
+std::vector<double> RandomPoint(Rng* rng, size_t dims) {
+  std::vector<double> coords(dims);
+  for (size_t d = 0; d < dims; ++d) coords[d] = rng->NextDouble();
+  return coords;
+}
+
+// One closed-loop client. Erase targets come from the ids this client
+// inserted itself, so no cross-thread id bookkeeping is needed; a client
+// with nothing left to erase inserts instead.
+void ClientLoop(Server* server, const LoadGenOptions& options, size_t client,
+                SteadyClock::time_point start, SteadyClock::time_point deadline,
+                ClientTally* tally) {
+  Rng rng(options.seed + client);
+  std::vector<uint64_t> own_competitors;
+  std::vector<uint64_t> own_products;
+
+  const bool paced = options.target_qps > 0.0;
+  std::chrono::duration<double> interval{0.0};
+  SteadyClock::time_point next_due = start;
+  if (paced) {
+    interval = std::chrono::duration<double>(
+        static_cast<double>(options.clients) / options.target_qps);
+    // Stagger the fleet across one interval so paced clients do not fire
+    // in lockstep.
+    next_due += std::chrono::duration_cast<SteadyClock::duration>(
+        interval * (static_cast<double>(client) /
+                    static_cast<double>(options.clients)));
+  }
+
+  while (SteadyClock::now() < deadline) {
+    if (paced) {
+      if (next_due >= deadline) break;
+      std::this_thread::sleep_until(next_due);
+      next_due += std::chrono::duration_cast<SteadyClock::duration>(interval);
+    }
+
+    if (rng.NextDouble() < options.query_fraction) {
+      QueryRequest request;
+      request.k = options.k;
+      request.timeout_seconds = options.timeout_seconds;
+      ++tally->queries_issued;
+      Timer timer;
+      QueryResponse response = server->Submit(std::move(request)).get();
+      const double seconds = timer.ElapsedSeconds();
+      if (response.status.ok()) {
+        ++tally->queries_ok;
+        tally->latencies.push_back(seconds);
+      } else if (response.status.code() == StatusCode::kResourceExhausted) {
+        ++tally->queries_rejected;
+      } else if (response.status.code() == StatusCode::kDeadlineExceeded) {
+        ++tally->queries_timed_out;
+      } else {
+        ++tally->queries_failed;
+      }
+      continue;
+    }
+
+    // Update: split evenly between competitor and product ops; erase when
+    // this client has an id of the right kind, otherwise insert.
+    const uint64_t kind = rng.NextUint64(4);
+    const bool on_products = kind >= 2;
+    std::vector<uint64_t>* pool = on_products ? &own_products : &own_competitors;
+    const bool erase = (kind % 2 == 1) && !pool->empty();
+    if (erase) {
+      const size_t at = static_cast<size_t>(rng.NextUint64(pool->size()));
+      const uint64_t id = (*pool)[at];
+      (*pool)[at] = pool->back();
+      pool->pop_back();
+      const Status status = on_products ? server->EraseProduct(id)
+                                        : server->EraseCompetitor(id);
+      if (status.ok()) {
+        ++tally->updates_applied;
+      } else {
+        ++tally->updates_rejected;
+      }
+    } else {
+      const std::vector<double> coords = RandomPoint(&rng, options.dims);
+      Result<uint64_t> inserted = on_products
+                                      ? server->InsertProduct(coords)
+                                      : server->InsertCompetitor(coords);
+      if (inserted.ok()) {
+        pool->push_back(inserted.value());
+        ++tally->updates_applied;
+      } else {
+        ++tally->updates_rejected;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<LoadGenReport> RunLoadGen(Server* server,
+                                 const LoadGenOptions& options) {
+  SKYUP_CHECK(server != nullptr);
+  if (options.dims == 0 || options.dims != server->options().dims) {
+    return Status::InvalidArgument("load_gen: dims must match the server's");
+  }
+  if (options.clients == 0) {
+    return Status::InvalidArgument("load_gen: clients must be >= 1");
+  }
+  if (!(options.duration_seconds > 0.0)) {
+    return Status::InvalidArgument("load_gen: duration must be > 0");
+  }
+  if (options.query_fraction < 0.0 || options.query_fraction > 1.0) {
+    return Status::InvalidArgument("load_gen: query_fraction not in [0, 1]");
+  }
+  if (options.target_qps < 0.0) {
+    return Status::InvalidArgument("load_gen: target_qps must be >= 0");
+  }
+
+  // Preload from a stream disjoint from every client stream (clients use
+  // seed + 1 .. seed + clients).
+  Rng preload_rng(options.seed + options.clients + 1);
+  for (size_t i = 0; i < options.preload_competitors; ++i) {
+    Result<uint64_t> inserted =
+        server->InsertCompetitor(RandomPoint(&preload_rng, options.dims));
+    if (!inserted.ok()) return inserted.status();
+  }
+  for (size_t i = 0; i < options.preload_products; ++i) {
+    Result<uint64_t> inserted =
+        server->InsertProduct(RandomPoint(&preload_rng, options.dims));
+    if (!inserted.ok()) return inserted.status();
+  }
+
+  // Let the rebuilder fold the preload into the indexed snapshot before
+  // the clock starts, so the measured window exercises the index rather
+  // than a giant overlay. Bounded wait: background publishes are
+  // rate-capped, and with rebuilds disabled the backlog never drains.
+  const size_t backlog_goal = server->options().rebuild_threshold_ops;
+  Timer drain_timer;
+  while (server->table().delta_backlog() >= backlog_goal &&
+         drain_timer.ElapsedSeconds() < 30.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  const SteadyClock::time_point start = SteadyClock::now();
+  const SteadyClock::time_point stop_at =
+      start + std::chrono::duration_cast<SteadyClock::duration>(
+                  std::chrono::duration<double>(options.duration_seconds));
+
+  std::vector<ClientTally> tallies(options.clients);
+  std::vector<std::thread> clients;
+  clients.reserve(options.clients);
+  for (size_t c = 0; c < options.clients; ++c) {
+    clients.emplace_back(ClientLoop, server, std::cref(options), c + 1, start,
+                         stop_at, &tallies[c]);
+  }
+  for (std::thread& t : clients) t.join();
+  const double wall =
+      std::chrono::duration<double>(SteadyClock::now() - start).count();
+
+  LoadGenReport report;
+  report.wall_seconds = wall;
+  std::vector<double> latencies;
+  uint64_t queries_issued = 0;
+  for (ClientTally& tally : tallies) {
+    queries_issued += tally.queries_issued;
+    report.queries_ok += tally.queries_ok;
+    report.queries_rejected += tally.queries_rejected;
+    report.queries_timed_out += tally.queries_timed_out;
+    report.queries_failed += tally.queries_failed;
+    report.updates_applied += tally.updates_applied;
+    report.updates_rejected += tally.updates_rejected;
+    latencies.insert(latencies.end(), tally.latencies.begin(),
+                     tally.latencies.end());
+  }
+  if (wall > 0.0) {
+    report.offered_qps = options.target_qps > 0.0
+                             ? options.target_qps
+                             : static_cast<double>(queries_issued) / wall;
+    report.achieved_qps = static_cast<double>(report.queries_ok) / wall;
+  }
+  if (!latencies.empty()) {
+    report.latency_p50_seconds = Quantile(latencies, 0.50);
+    report.latency_p95_seconds = Quantile(latencies, 0.95);
+    report.latency_p99_seconds = Quantile(latencies, 0.99);
+    report.latency_max_seconds =
+        *std::max_element(latencies.begin(), latencies.end());
+  }
+  return report;
+}
+
+}  // namespace skyup

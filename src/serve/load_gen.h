@@ -1,0 +1,86 @@
+#ifndef SKYUP_SERVE_LOAD_GEN_H_
+#define SKYUP_SERVE_LOAD_GEN_H_
+
+// Closed-loop load generator for the serving layer.
+//
+// A fixed fleet of client threads drives one `Server` through its public
+// API: queries go through `Submit(...).get()` — the worker-pool path, so
+// queue formation, admission control, and grouped execution
+// (`ServerOptions::batch_max`) behave exactly as they would under real
+// load — and updates apply synchronously from the client thread. Each
+// client is *closed loop*: it issues its next operation only after the
+// previous one completed. With `target_qps == 0` the fleet runs as fast
+// as the server allows (the saturation measurement); with a target, each
+// client paces itself on a fixed per-client interval so the fleet's
+// aggregate offered rate approximates the target.
+//
+// Everything is deterministic given `LoadGenOptions::seed` except timing:
+// client c draws from its own `Rng(seed + c)` stream, so the *sequence*
+// of operations per client is reproducible even though their interleaving
+// across clients is not (this is a throughput harness, not a correctness
+// harness — correctness is fuzz_batch_exec's job).
+
+#include <cstddef>
+#include <cstdint>
+
+#include "serve/server.h"
+#include "util/status.h"
+
+namespace skyup {
+
+struct LoadGenOptions {
+  /// Dimensionality of generated points; must match the server's.
+  size_t dims = 0;
+  /// Client threads, each one closed-loop connection. Must be >= 1.
+  size_t clients = 8;
+  /// Wall-clock run length after preload. Must be > 0.
+  double duration_seconds = 5.0;
+  /// Aggregate offered rate across all clients; 0 = unpaced (saturation).
+  double target_qps = 0.0;
+  /// Fraction of operations that are queries; the rest are updates
+  /// (inserts/erases of competitors and products). Must be in [0, 1].
+  double query_fraction = 0.9;
+  /// Top-k per query.
+  size_t k = 10;
+  /// Per-query deadline forwarded to the server; 0 = none.
+  double timeout_seconds = 0.0;
+  /// Rows inserted before the clock starts (competitors feed the index
+  /// after the forced initial rebuild; products are the candidate set).
+  size_t preload_competitors = 20000;
+  size_t preload_products = 2000;
+  /// Seed for the deterministic per-client operation streams.
+  uint64_t seed = 42;
+};
+
+struct LoadGenReport {
+  /// Measured window (>= duration_seconds; includes clients draining
+  /// their final in-flight operation).
+  double wall_seconds = 0.0;
+  /// Rate the clients attempted: completed queries for the closed loop,
+  /// or the configured target when pacing.
+  double offered_qps = 0.0;
+  /// Queries that returned OK per wall second.
+  double achieved_qps = 0.0;
+  uint64_t queries_ok = 0;
+  uint64_t queries_rejected = 0;  ///< admission control (kResourceExhausted)
+  uint64_t queries_timed_out = 0;
+  uint64_t queries_failed = 0;  ///< any other non-OK status
+  uint64_t updates_applied = 0;
+  uint64_t updates_rejected = 0;
+  /// Query latency from Submit() to future resolution — queue wait
+  /// included, because that is what a client experiences.
+  double latency_p50_seconds = 0.0;
+  double latency_p95_seconds = 0.0;
+  double latency_p99_seconds = 0.0;
+  double latency_max_seconds = 0.0;
+};
+
+/// Preloads the table, runs the client fleet for `duration_seconds`, and
+/// reports throughput and latency. The server keeps all state changes the
+/// run made (callers wanting a pristine table should use a fresh server).
+/// Fails on invalid options or if any preload insert is rejected.
+Result<LoadGenReport> RunLoadGen(Server* server, const LoadGenOptions& options);
+
+}  // namespace skyup
+
+#endif  // SKYUP_SERVE_LOAD_GEN_H_

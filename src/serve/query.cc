@@ -1,5 +1,6 @@
 #include "serve/query.h"
 
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -9,12 +10,30 @@
 #include "core/topk_common.h"
 #include "obs/trace.h"
 #include "rtree/mbr.h"
+#include "serve/skyline_memo.h"
 #include "serve/upgrade_cache.h"
 #include "skyline/dominating_skyline.h"
 #include "skyline/incremental.h"
 #include "util/check.h"
 
 namespace skyup {
+
+namespace {
+
+// The skyline memo's erased-row clock. Within an epoch the delta log is
+// append-only, so the erased *indexed* rows a view observes are a prefix
+// of the epoch's erase sequence — fully described by their count. Erases
+// of tail rows are excluded: the indexed probe never reads them, so views
+// differing only in tail erases share memo entries soundly.
+uint64_t ErasedIndexedCount(const DeltaOverlay& overlay, size_t indexed) {
+  uint64_t n = 0;
+  for (PointId row : overlay.erased_competitor_rows) {
+    if (static_cast<size_t>(row) < indexed) ++n;
+  }
+  return n;
+}
+
+}  // namespace
 
 Result<std::vector<UpgradeResult>> TopKOverlay(
     const ReadView& view, const ProductCostFunction& cost_fn, size_t k,
@@ -101,6 +120,9 @@ Result<std::vector<UpgradeResult>> TopKOverlay(
   std::vector<const double*> dominators;
   UpgradeCache* const cache = view.cache.get();
   UpgradeCache::Hit hit;
+  SkylineMemo* const memo = view.memo.get();
+  const uint64_t epoch = view.epoch();
+  const uint64_t erased_indexed = ErasedIndexedCount(overlay, indexed);
   auto evaluate = [&](uint64_t stable_id, const double* t) {
     // Cached result first: a hit is the exact Algorithm-1 outcome for
     // this product at this view's version (serve/upgrade_cache.h), so the
@@ -133,8 +155,20 @@ Result<std::vector<UpgradeResult>> TopKOverlay(
 
     // One tombstone- and overlay-mask-aware probe: erased rows never enter
     // the traversal's dominance window, so the probe returns the exact
-    // live-indexed dominator skyline — no invalidation, no rescan.
-    DominatingSkylineInto(base.index(), t, erase_mask, &sky_rows);
+    // live-indexed dominator skyline — no invalidation, no rescan. The
+    // epoch-scoped memo short-circuits it when any query of this epoch
+    // (under the same erased-indexed prefix) probed the same point: the
+    // memoized rows are that probe's exact value set
+    // (serve/skyline_memo.h), and the overlay folds below re-apply this
+    // view's own deltas on top either way.
+    if (memo != nullptr &&
+        memo->Lookup(epoch, t, erased_indexed, &sky_rows)) {
+      ++local.memo_hits;
+    } else {
+      if (memo != nullptr) ++local.memo_misses;
+      DominatingSkylineInto(base.index(), t, erase_mask, &sky_rows);
+      if (memo != nullptr) memo->Store(epoch, t, erased_indexed, sky_rows);
+    }
     dominators.clear();
     for (PointId row : sky_rows) {
       dominators.push_back(base.competitors().data(row));
@@ -198,6 +232,338 @@ Result<std::vector<UpgradeResult>> TopKOverlay(
   if (stats != nullptr) stats->MergeFrom(local);
   if (!stop_status.ok()) return stop_status;
   return collector.Finish();
+}
+
+// Grouped execution. Exactness hinges on two properties, both argued in
+// docs/algorithms.md ("Cross-query amortization"):
+//  1. Offer order: a candidate's outcome is offered to every participating
+//     collector in candidate order, even when its resolution (cache hit,
+//     memo hit, tile probe) happened out of order — so each collector sees
+//     exactly the solo sequence of (cost, id) offers.
+//  2. Stale-prune safety: per-candidate skip decisions are made with the
+//     collector state at *buffering* time, whose k-th cost is an upper
+//     bound of the solo value at that candidate (offers only lower it).
+//     The batch therefore prunes a subset of what solo prunes; the extra
+//     evaluated candidates carry cost >= bound > solo k-th cost and are
+//     rejected by Admits at offer time, leaving the collector unchanged.
+void TopKOverlayBatch(const ReadView& view,
+                      const ProductCostFunction& cost_fn,
+                      const std::vector<BatchQuery>& queries,
+                      double epsilon, std::vector<BatchQueryResult>* out,
+                      ServeStats* stats) {
+  SKYUP_CHECK(out != nullptr);
+  SKYUP_CHECK(queries.size() >= 1 && queries.size() <= kMaxServeBatch)
+      << "batch width out of range";
+  const size_t n = queries.size();
+  out->clear();
+  out->resize(n);
+  if (view.snapshot == nullptr) {
+    for (BatchQueryResult& r : *out) {
+      r.status = Status::InvalidArgument("read view has no snapshot");
+    }
+    return;
+  }
+  const Snapshot& base = *view.snapshot;
+  const size_t dims = base.dims();
+  SKYUP_TRACE_SPAN("serve/topk-overlay-batch");
+
+  ServeStats local;
+  DeltaOverlay overlay = BuildOverlay(view);
+  // Shared overlay fold: counted once per group, not once per member.
+  local.delta_ops_scanned += view.deltas.size();
+
+  const size_t indexed = base.indexed_competitors();
+  const uint8_t* erase_mask = overlay.competitors_erased > 0
+                                  ? overlay.competitor_erased.data()
+                                  : nullptr;
+  const SoaView tail_view = base.tail_view();
+  const SoaView inserted_view = overlay.competitor_block.view();
+
+  // Live bounding box + prune soundness gate: identical to the solo
+  // engine's (the box depends only on the view, which the group shares).
+  Mbr live_box = base.index().root_mbr();
+  if (live_box.IsEmpty()) live_box = Mbr(dims);
+  for (size_t j = 0; j < base.tail_competitors(); ++j) {
+    const size_t row = indexed + j;
+    if (erase_mask != nullptr && erase_mask[row] != 0) continue;
+    live_box.Expand(base.competitors().data(static_cast<PointId>(row)));
+  }
+  for (size_t j = 0; j < overlay.inserted_competitors.size(); ++j) {
+    live_box.Expand(
+        overlay.inserted_competitors.data(static_cast<PointId>(j)));
+  }
+  const bool have_box = !live_box.IsEmpty();
+  bool prune_ok = true;
+  if (have_box && erase_mask != nullptr) {
+    for (PointId r : overlay.erased_competitor_rows) {
+      if (static_cast<size_t>(r) >= indexed) continue;
+      const double* q = base.competitors().data(r);
+      for (size_t d = 0; d < dims && prune_ok; ++d) {
+        // lint: float-eq-ok (exact face-touch test, see TopKOverlay)
+        if (q[d] == live_box.min(d) || q[d] == live_box.max(d)) {
+          prune_ok = false;
+        }
+      }
+      if (!prune_ok) break;
+    }
+    if (!prune_ok) ++local.prune_disabled_queries;
+  }
+
+  struct QueryState {
+    explicit QueryState(size_t k) : collector(k) {}
+    TopKCollector collector;
+    const QueryControl* control = nullptr;
+    size_t since_poll = 0;
+    Status stop;
+  };
+  std::vector<QueryState> qs;
+  qs.reserve(n);
+  uint64_t live = 0;  // bit i = queries[i] is valid and still running
+  for (size_t i = 0; i < n; ++i) {
+    Status shape =
+        ValidateTopKQueryShape(dims, cost_fn, queries[i].k, epsilon);
+    if (!shape.ok()) {
+      (*out)[i].status = std::move(shape);
+      qs.emplace_back(1);  // placeholder, never participates
+      continue;
+    }
+    qs.emplace_back(queries[i].k);
+    qs.back().control = queries[i].control;
+    live |= uint64_t{1} << i;
+  }
+  if (live == 0) {
+    if (stats != nullptr) stats->MergeFrom(local);
+    return;
+  }
+
+  UpgradeCache* const cache = view.cache.get();
+  SkylineMemo* const memo = view.memo.get();
+  const uint64_t epoch = view.epoch();
+  const uint64_t erased_indexed = ErasedIndexedCount(overlay, indexed);
+
+  // A buffered candidate: who still wants it and how far resolution got.
+  enum class ItemKind : uint8_t { kCacheHit, kSkylineReady, kNeedsProbe };
+  struct Item {
+    uint64_t stable_id = 0;
+    const double* t = nullptr;  // stable: points into snapshot/overlay data
+    uint64_t offer_mask = 0;
+    ItemKind kind = ItemKind::kNeedsProbe;
+    UpgradeCache::Hit hit;           // kCacheHit
+    std::vector<PointId> sky_rows;   // kSkylineReady
+  };
+  std::vector<Item> pending;
+  size_t pending_head = 0;
+  std::vector<size_t> tile_items;  // pending indices awaiting the probe
+  std::vector<const double*> tile_ptrs;
+  std::vector<std::vector<PointId>> tile_results(kMaxDominanceTile);
+
+  // Scratch reused across candidates.
+  std::vector<PointId> sky_rows;
+  std::vector<uint32_t> scan_hits;
+  std::vector<const double*> dominators;
+  UpgradeCache::Hit hit;
+
+  // Resolved-candidate completion: collectors are up to date here (every
+  // earlier candidate has been offered), so Admits/Add see the exact solo
+  // state.
+  auto complete = [&](Item& item) {
+    if (item.kind == ItemKind::kCacheHit) {
+      for (uint64_t m = item.offer_mask; m != 0; m &= m - 1) {
+        QueryState& q = qs[static_cast<size_t>(__builtin_ctzll(m))];
+        if (q.collector.Admits(item.hit.cost)) {
+          q.collector.Add(UpgradeResult{
+              static_cast<PointId>(item.stable_id), item.hit.cost,
+              item.hit.upgraded, item.hit.already_competitive});
+        }
+      }
+      return;
+    }
+    dominators.clear();
+    for (PointId row : item.sky_rows) {
+      dominators.push_back(base.competitors().data(row));
+    }
+    if (!tail_view.empty()) {
+      scan_hits.clear();
+      FilterDominated(tail_view, item.t, &scan_hits, /*strict=*/true);
+      for (uint32_t j : scan_hits) {
+        const size_t row = indexed + j;
+        if (erase_mask != nullptr && erase_mask[row] != 0) continue;
+        PatchSkylineInsert(&dominators,
+                           base.competitors().data(static_cast<PointId>(row)),
+                           dims);
+      }
+    }
+    if (!inserted_view.empty()) {
+      scan_hits.clear();
+      FilterDominated(inserted_view, item.t, &scan_hits, /*strict=*/true);
+      for (uint32_t j : scan_hits) {
+        PatchSkylineInsert(
+            &dominators,
+            overlay.inserted_competitors.data(static_cast<PointId>(j)),
+            dims);
+      }
+    }
+    ++local.candidates_evaluated;
+    UpgradeOutcome outcome =
+        UpgradeProduct(dominators, item.t, dims, cost_fn, epsilon);
+    if (cache != nullptr) {
+      cache->Store(item.stable_id, item.t, view.version, epsilon, outcome,
+                   dominators);
+    }
+    for (uint64_t m = item.offer_mask; m != 0; m &= m - 1) {
+      QueryState& q = qs[static_cast<size_t>(__builtin_ctzll(m))];
+      if (q.collector.Admits(outcome.cost)) {
+        q.collector.Add(UpgradeResult{static_cast<PointId>(item.stable_id),
+                                      outcome.cost, outcome.upgraded,
+                                      outcome.already_competitive});
+      }
+    }
+  };
+
+  // Probes every tile member with one shared traversal, then drains the
+  // whole pending run in candidate order.
+  auto flush = [&]() {
+    if (!tile_items.empty()) {
+      tile_ptrs.clear();
+      for (size_t idx : tile_items) tile_ptrs.push_back(pending[idx].t);
+      DominatingSkylineTileInto(base.index(), tile_ptrs.data(),
+                                tile_ptrs.size(), erase_mask,
+                                tile_results.data());
+      for (size_t u = 0; u < tile_items.size(); ++u) {
+        Item& item = pending[tile_items[u]];
+        item.sky_rows = std::move(tile_results[u]);
+        item.kind = ItemKind::kSkylineReady;
+        if (memo != nullptr) {
+          memo->Store(epoch, item.t, erased_indexed, item.sky_rows);
+        }
+      }
+      tile_items.clear();
+    }
+    for (; pending_head < pending.size(); ++pending_head) {
+      complete(pending[pending_head]);
+    }
+    pending.clear();
+    pending_head = 0;
+  };
+
+  auto process_candidate = [&](uint64_t stable_id, const double* t) {
+    // Shared upgrade-cache lookup. The admit hint is the max k-th cost over
+    // the group: any member that later admits the hit satisfies
+    // cost <= its-kth <= hint, so the payload was copied (the same
+    // invariant the solo engine's per-query hint provides).
+    if (cache != nullptr) {
+      double hint = -std::numeric_limits<double>::infinity();
+      for (uint64_t m = live; m != 0; m &= m - 1) {
+        const double kth =
+            qs[static_cast<size_t>(__builtin_ctzll(m))].collector.KthCost();
+        if (kth > hint) hint = kth;
+      }
+      if (cache->Lookup(stable_id, view.version, epsilon, hint, &hit)) {
+        ++local.cache_hits;
+        Item item;
+        item.stable_id = stable_id;
+        item.t = t;
+        item.offer_mask = live;
+        item.kind = ItemKind::kCacheHit;
+        item.hit = std::move(hit);
+        if (pending.empty()) {
+          complete(item);
+        } else {
+          pending.push_back(std::move(item));
+        }
+        return;
+      }
+      ++local.cache_misses;
+    }
+
+    uint64_t mask = live;
+    if (prune_ok && have_box) {
+      const double bound = LbcPair(t, live_box.min_data(),
+                                   live_box.max_data(), dims, cost_fn,
+                                   BoundMode::kSound);
+      uint64_t keep = 0;
+      for (uint64_t m = mask; m != 0; m &= m - 1) {
+        const size_t i = static_cast<size_t>(__builtin_ctzll(m));
+        if (!(bound > qs[i].collector.KthCost())) keep |= uint64_t{1} << i;
+      }
+      local.candidates_pruned +=
+          static_cast<uint64_t>(__builtin_popcountll(mask & ~keep));
+      mask = keep;
+    }
+    if (mask == 0) return;
+
+    if (memo != nullptr && memo->Lookup(epoch, t, erased_indexed,
+                                        &sky_rows)) {
+      ++local.memo_hits;
+      Item item;
+      item.stable_id = stable_id;
+      item.t = t;
+      item.offer_mask = mask;
+      item.kind = ItemKind::kSkylineReady;
+      item.sky_rows = std::move(sky_rows);
+      sky_rows = {};
+      if (pending.empty()) {
+        complete(item);
+      } else {
+        pending.push_back(std::move(item));
+      }
+      return;
+    }
+    if (memo != nullptr) ++local.memo_misses;
+
+    Item item;
+    item.stable_id = stable_id;
+    item.t = t;
+    item.offer_mask = mask;
+    item.kind = ItemKind::kNeedsProbe;
+    pending.push_back(std::move(item));
+    tile_items.push_back(pending.size() - 1);
+    if (tile_items.size() == kMaxDominanceTile) flush();
+  };
+
+  // Cooperative cancellation, per member: mirrors the solo loop's
+  // once-per-candidate-row poll stride.
+  auto poll = [&]() {
+    for (uint64_t m = live; m != 0; m &= m - 1) {
+      const size_t i = static_cast<size_t>(__builtin_ctzll(m));
+      QueryState& q = qs[i];
+      if (q.control == nullptr) continue;
+      if (q.since_poll++ % QueryControl::kPollStride != 0) continue;
+      Status st = q.control->Check();
+      if (!st.ok()) {
+        q.stop = std::move(st);
+        live &= ~(uint64_t{1} << i);
+      }
+    }
+  };
+
+  const Dataset& base_products = base.products();
+  for (size_t i = 0; i < base_products.size() && live != 0; ++i) {
+    poll();
+    if (live == 0) break;
+    if (overlay.product_erased[i] != 0) continue;
+    process_candidate(base.product_id(static_cast<PointId>(i)),
+                      base_products.data(static_cast<PointId>(i)));
+  }
+  for (size_t j = 0; j < overlay.inserted_products.size() && live != 0;
+       ++j) {
+    poll();
+    if (live == 0) break;
+    process_candidate(overlay.inserted_product_ids[j],
+                      overlay.inserted_products.data(static_cast<PointId>(j)));
+  }
+  flush();
+
+  for (size_t i = 0; i < n; ++i) {
+    BatchQueryResult& r = (*out)[i];
+    if (!r.status.ok()) continue;  // invalid shape, already recorded
+    if (!qs[i].stop.ok()) {
+      r.status = qs[i].stop;
+      continue;
+    }
+    r.results = qs[i].collector.Finish();
+  }
+  if (stats != nullptr) stats->MergeFrom(local);
 }
 
 }  // namespace skyup

@@ -51,6 +51,44 @@ Result<std::vector<UpgradeResult>> TopKOverlay(
     double epsilon = 1e-6, const QueryControl* control = nullptr,
     ServeStats* stats = nullptr);
 
+/// Maximum number of queries one grouped execution accepts (per-candidate
+/// participation masks are one `uint64_t`).
+inline constexpr size_t kMaxServeBatch = 64;
+
+/// One member of a grouped execution. All members share the view, the cost
+/// function, and epsilon; `k` and the cancel/deadline token are per query.
+struct BatchQuery {
+  size_t k = 1;
+  const QueryControl* control = nullptr;  ///< may be null
+};
+
+/// Outcome slot for one member: exactly what the corresponding solo
+/// `TopKOverlay` call would have returned.
+struct BatchQueryResult {
+  Status status;
+  std::vector<UpgradeResult> results;
+};
+
+/// Grouped execution: runs every query in `queries` against the same view
+/// as ONE candidate sweep. Per candidate, the sound box prune and the
+/// upgrade-cache lookup are shared; candidates that still need an index
+/// probe are buffered into a tile of up to `kMaxDominanceTile` points and
+/// probed with one shared traversal (`DominatingSkylineTileInto`); resolved
+/// candidates are then *offered to every participating collector in
+/// candidate order*, which makes each member's result bit-identical to its
+/// solo execution (docs/algorithms.md, "Cross-query amortization", has the
+/// stale-prune and offer-order arguments). Work counters amortize:
+/// `delta_ops_scanned` and `candidates_evaluated` count shared work once
+/// per group, not once per member.
+///
+/// `out` is resized to `queries.size()`; `out[i]` corresponds to
+/// `queries[i]`. `queries.size()` must be in [1, kMaxServeBatch].
+void TopKOverlayBatch(const ReadView& view,
+                      const ProductCostFunction& cost_fn,
+                      const std::vector<BatchQuery>& queries,
+                      double epsilon, std::vector<BatchQueryResult>* out,
+                      ServeStats* stats = nullptr);
+
 }  // namespace skyup
 
 #endif  // SKYUP_SERVE_QUERY_H_

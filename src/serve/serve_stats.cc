@@ -6,7 +6,7 @@ void AddServeStatsMetrics(const ServeStats& stats,
                           MetricsRegistry* registry) {
   // Tripwire (the ExecStats pattern): a new ServeStats counter changes the
   // struct size and breaks this assert until it gets registered below.
-  static_assert(sizeof(ServeStats) == 19 * sizeof(uint64_t),
+  static_assert(sizeof(ServeStats) == 26 * sizeof(uint64_t),
                 "ServeStats gained/lost a counter: register it here");
   auto add = [registry](const char* name, const char* help, uint64_t value) {
     registry->AddCounter(name, help)->Increment(value);
@@ -53,6 +53,18 @@ void AddServeStatsMetrics(const ServeStats& stats,
   add("skyup_serve_cache_misses_total",
       "candidates recomputed and stored in the upgrade-result cache",
       stats.cache_misses);
+  add("skyup_serve_memo_hits_total",
+      "index probes answered from the epoch-scoped skyline memo",
+      stats.memo_hits);
+  add("skyup_serve_memo_misses_total",
+      "index probes run and stored in the skyline memo",
+      stats.memo_misses);
+  add("skyup_serve_batches_executed_total",
+      "grouped executions drained from the queue (singletons included)",
+      stats.batches_executed);
+  add("skyup_serve_batched_queries_total",
+      "queries executed inside a group of two or more",
+      stats.batched_queries);
   echo("skyup_serve_rebuild_threshold_ops",
        "configured backlog size that forces a publish",
        stats.rebuild_threshold_ops);
@@ -68,6 +80,15 @@ void AddServeStatsMetrics(const ServeStats& stats,
   echo("skyup_serve_compact_tail_pct",
        "configured unindexed-tail %% that escalates a patch to a compaction",
        stats.compact_tail_pct);
+  echo("skyup_serve_batch_max_queries",
+       "configured grouped-execution width cap (1 = per-query execution)",
+       stats.batch_max_queries);
+  echo("skyup_serve_batch_wait_us",
+       "configured max microseconds a worker waits to fill a batch",
+       stats.batch_wait_us);
+  echo("skyup_serve_memo_cache_mb",
+       "configured skyline-memo byte budget in MB (0 = memo disabled)",
+       stats.memo_cache_mb);
 }
 
 }  // namespace skyup

@@ -29,6 +29,10 @@ struct ServeStats {
   uint64_t prune_disabled_queries = 0;  ///< pending erase touched a box face
   uint64_t cache_hits = 0;    ///< candidates served from the upgrade cache
   uint64_t cache_misses = 0;  ///< candidates recomputed (and re-cached)
+  uint64_t memo_hits = 0;     ///< index probes served from the skyline memo
+  uint64_t memo_misses = 0;   ///< index probes run (and memoized)
+  uint64_t batches_executed = 0;  ///< grouped executions (incl. singletons)
+  uint64_t batched_queries = 0;   ///< queries that ran inside a group of >=2
 
   /// Config echoes, not counters: the server stamps its effective policy
   /// here once at creation so a stats dump documents the knobs it ran
@@ -39,12 +43,15 @@ struct ServeStats {
   uint64_t publish_min_interval_ms = 0;   ///< publish rate cap (hysteresis)
   uint64_t compact_tombstone_pct = 0;     ///< major when tombstones reach %
   uint64_t compact_tail_pct = 0;          ///< major when tail reaches %
+  uint64_t batch_max_queries = 0;         ///< grouped-execution width cap
+  uint64_t batch_wait_us = 0;             ///< max batch-fill wait
+  uint64_t memo_cache_mb = 0;             ///< skyline-memo byte budget (MB)
 
   /// Field-wise sum. Same tripwire as ExecStats: adding a counter changes
   /// the struct size, which trips the assert until the new field is summed
   /// below — and tools/lint.py cross-checks all three.
   ServeStats& MergeFrom(const ServeStats& other) {
-    static_assert(sizeof(ServeStats) == 19 * sizeof(uint64_t),
+    static_assert(sizeof(ServeStats) == 26 * sizeof(uint64_t),
                   "ServeStats gained/lost a counter: update MergeFrom");
     auto add = [](uint64_t* into, uint64_t delta) { *into += delta; };
     add(&queries_executed, other.queries_executed);
@@ -61,11 +68,18 @@ struct ServeStats {
     add(&prune_disabled_queries, other.prune_disabled_queries);
     add(&cache_hits, other.cache_hits);
     add(&cache_misses, other.cache_misses);
+    add(&memo_hits, other.memo_hits);
+    add(&memo_misses, other.memo_misses);
+    add(&batches_executed, other.batches_executed);
+    add(&batched_queries, other.batched_queries);
     add(&rebuild_threshold_ops, other.rebuild_threshold_ops);
     add(&publish_min_backlog, other.publish_min_backlog);
     add(&publish_min_interval_ms, other.publish_min_interval_ms);
     add(&compact_tombstone_pct, other.compact_tombstone_pct);
     add(&compact_tail_pct, other.compact_tail_pct);
+    add(&batch_max_queries, other.batch_max_queries);
+    add(&batch_wait_us, other.batch_wait_us);
+    add(&memo_cache_mb, other.memo_cache_mb);
     return *this;
   }
 };

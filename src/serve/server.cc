@@ -1,5 +1,6 @@
 #include "serve/server.h"
 
+#include <chrono>
 #include <utility>
 
 #include "util/check.h"
@@ -35,9 +36,14 @@ Result<std::unique_ptr<Server>> Server::Create(ProductCostFunction cost_fn,
   if (options.rebuild_threshold_ops < 1) {
     return Status::InvalidArgument("rebuild_threshold_ops must be >= 1");
   }
+  if (options.batch_max < 1 || options.batch_max > kMaxServeBatch) {
+    return Status::InvalidArgument(
+        "batch_max must be in [1, " + std::to_string(kMaxServeBatch) + "]");
+  }
   LiveTableOptions table_options;
   table_options.dims = options.dims;
   table_options.rtree_fanout = options.rtree_fanout;
+  table_options.memo_cache_bytes = options.memo_cache_mb * (1u << 20);
   Result<std::unique_ptr<LiveTable>> table =
       LiveTable::Create(table_options);
   if (!table.ok()) return table.status();
@@ -59,6 +65,9 @@ Result<std::unique_ptr<Server>> Server::Create(ProductCostFunction cost_fn,
       options.publish_min_interval_seconds * 1000.0);
   server->stats_.compact_tombstone_pct = options.compact_tombstone_pct;
   server->stats_.compact_tail_pct = options.compact_tail_pct;
+  server->stats_.batch_max_queries = options.batch_max;
+  server->stats_.batch_wait_us = options.batch_wait_us;
+  server->stats_.memo_cache_mb = options.memo_cache_mb;
   if (options.background_rebuild) {
     server->rebuilder_ =
         std::make_unique<Rebuilder>(server->table_.get(), policy);
@@ -172,6 +181,46 @@ QueryResponse Server::Execute(const QueryRequest& request,
   return response;
 }
 
+std::vector<QueryResponse> Server::ExecuteBatch(
+    const std::vector<const QueryRequest*>& requests,
+    const std::vector<const QueryControl*>& controls) {
+  SKYUP_CHECK(requests.size() == controls.size());
+  SKYUP_CHECK(!requests.empty() && requests.size() <= kMaxServeBatch);
+  Timer wall;
+  ReadView view = table_->AcquireView();
+  std::vector<BatchQuery> batch;
+  batch.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    BatchQuery q;
+    q.k = requests[i]->k;
+    q.control = controls[i];
+    batch.push_back(q);
+  }
+  ServeStats batch_stats;
+  batch_stats.batches_executed = 1;
+  if (requests.size() >= 2) batch_stats.batched_queries = requests.size();
+  std::vector<BatchQueryResult> outcomes;
+  TopKOverlayBatch(view, cost_fn_, batch, options_.default_epsilon,
+                   &outcomes, &batch_stats);
+  const double elapsed = wall.ElapsedSeconds();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.MergeFrom(batch_stats);
+    batch_size_.Observe(static_cast<double>(requests.size()));
+  }
+  std::vector<QueryResponse> responses(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    responses[i].epoch = view.epoch();
+    responses[i].wall_seconds = elapsed;
+    if (outcomes[i].status.ok()) {
+      responses[i].results = std::move(outcomes[i].results);
+    } else {
+      responses[i].status = std::move(outcomes[i].status);
+    }
+  }
+  return responses;
+}
+
 void Server::RecordOutcome(const QueryResponse& response) {
   std::lock_guard<std::mutex> lock(stats_mu_);
   switch (response.status.code()) {
@@ -203,6 +252,30 @@ QueryResponse Server::Query(const QueryRequest& request) {
   QueryResponse response = Execute(request, control.get());
   RecordOutcome(response);
   return response;
+}
+
+std::vector<QueryResponse> Server::QueryBatch(
+    const std::vector<QueryRequest>& requests) {
+  if (requests.empty()) return {};
+  // Same control/timeout plumbing as Query(), per member.
+  std::vector<std::shared_ptr<QueryControl>> owned(requests.size());
+  std::vector<const QueryControl*> controls(requests.size(), nullptr);
+  std::vector<const QueryRequest*> request_ptrs(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    std::shared_ptr<QueryControl> control = requests[i].control;
+    if (control == nullptr && requests[i].timeout_seconds > 0.0) {
+      control = std::make_shared<QueryControl>();
+    }
+    if (control != nullptr && requests[i].timeout_seconds > 0.0) {
+      control->SetTimeout(requests[i].timeout_seconds);
+    }
+    owned[i] = control;
+    controls[i] = control.get();
+    request_ptrs[i] = &requests[i];
+  }
+  std::vector<QueryResponse> responses = ExecuteBatch(request_ptrs, controls);
+  for (const QueryResponse& response : responses) RecordOutcome(response);
+  return responses;
 }
 
 std::future<QueryResponse> Server::Submit(QueryRequest request) {
@@ -244,27 +317,65 @@ std::future<QueryResponse> Server::Submit(QueryRequest request) {
 }
 
 void Server::WorkerLoop() {
+  const size_t cap = options_.batch_max;
   for (;;) {
-    PendingQuery pending;
+    std::vector<PendingQuery> group;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
       queue_cv_.wait(lock, [this] {
         return shutdown_ || (!hold_workers_ && !queue_.empty());
       });
       if (shutdown_) return;
-      pending = std::move(queue_.front());
-      queue_.pop_front();
+      if (cap > 1 && options_.batch_wait_us > 0 && queue_.size() < cap) {
+        // Bounded wait to fill the group; on timeout run what arrived.
+        // After a shutdown wakes this wait we still drain and execute what
+        // we take — returning while holding queries would strand promises.
+        queue_cv_.wait_for(
+            lock, std::chrono::microseconds(options_.batch_wait_us),
+            [this, cap] { return shutdown_ || queue_.size() >= cap; });
+      }
+      if (hold_workers_) continue;  // test seam engaged mid-wait
+      while (!queue_.empty() && group.size() < cap) {
+        group.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
     }
-    QueryResponse response;
-    // A query whose deadline lapsed while queued is shed without running.
-    Status admission = pending.control->Check();
-    if (!admission.ok()) {
-      response.status = std::move(admission);
-    } else {
-      response = Execute(pending.request, pending.control.get());
+    if (group.empty()) continue;
+
+    // Members whose deadline lapsed while queued are shed without running.
+    std::vector<size_t> runnable;
+    std::vector<QueryResponse> responses(group.size());
+    for (size_t i = 0; i < group.size(); ++i) {
+      Status admission = group[i].control->Check();
+      if (!admission.ok()) {
+        responses[i].status = std::move(admission);
+      } else {
+        runnable.push_back(i);
+      }
     }
-    RecordOutcome(response);
-    pending.promise.set_value(std::move(response));
+    if (runnable.size() == 1 && cap == 1) {
+      // Batching off: the historical per-query path.
+      PendingQuery& pending = group[runnable.front()];
+      responses[runnable.front()] =
+          Execute(pending.request, pending.control.get());
+    } else if (!runnable.empty()) {
+      std::vector<const QueryRequest*> requests;
+      std::vector<const QueryControl*> controls;
+      requests.reserve(runnable.size());
+      controls.reserve(runnable.size());
+      for (size_t i : runnable) {
+        requests.push_back(&group[i].request);
+        controls.push_back(group[i].control.get());
+      }
+      std::vector<QueryResponse> grouped = ExecuteBatch(requests, controls);
+      for (size_t u = 0; u < runnable.size(); ++u) {
+        responses[runnable[u]] = std::move(grouped[u]);
+      }
+    }
+    for (size_t i = 0; i < group.size(); ++i) {
+      RecordOutcome(responses[i]);
+      group[i].promise.set_value(std::move(responses[i]));
+    }
   }
 }
 
@@ -307,6 +418,11 @@ void Server::FillMetrics(MetricsRegistry* registry) const {
                      "end-to-end serve query latency",
                      query_latency_.bounds())
       ->MergeFrom(query_latency_);
+  registry
+      ->AddHistogram("skyup_serve_batch_size_queries",
+                     "queries per grouped execution",
+                     batch_size_.bounds())
+      ->MergeFrom(batch_size_);
 }
 
 void Server::HoldWorkersForTest() {

@@ -56,6 +56,18 @@ struct ServerOptions {
   /// size threshold is applied inline after each accepted update —
   /// deterministic, used by `--replay`.
   bool background_rebuild = true;
+  /// Grouped execution width: workers drain up to this many queued queries
+  /// and run them as one shared traversal (serve/query.h,
+  /// TopKOverlayBatch). 1 = per-query execution (the batching-off
+  /// baseline); max kMaxServeBatch. Results are bit-identical either way.
+  size_t batch_max = 1;
+  /// With batch_max > 1: a worker that finds fewer than batch_max queued
+  /// queries waits up to this long for more before executing what it has.
+  /// 0 = never wait (drain whatever is queued).
+  size_t batch_wait_us = 200;
+  /// Byte budget (in MB) of the epoch-scoped skyline memo shared by all
+  /// queries (serve/skyline_memo.h); 0 disables memoization.
+  size_t memo_cache_mb = 16;
 };
 
 struct QueryRequest {
@@ -96,6 +108,13 @@ class Server {
   /// request's deadline/control). The deterministic path.
   QueryResponse Query(const QueryRequest& request);
 
+  /// Runs a group of queries inline as ONE shared traversal (the
+  /// deterministic grouped path `--replay` uses when batching is on).
+  /// `responses[i]` corresponds to `requests[i]` and is bit-identical to
+  /// `Query(requests[i])`. Group size must be <= kMaxServeBatch.
+  std::vector<QueryResponse> QueryBatch(
+      const std::vector<QueryRequest>& requests);
+
   /// Enqueues the query for the worker pool. The future always resolves:
   /// with results, with the admission rejection, or with the
   /// deadline/cancel status.
@@ -128,6 +147,9 @@ class Server {
 
   QueryResponse Execute(const QueryRequest& request,
                         const QueryControl* control);
+  std::vector<QueryResponse> ExecuteBatch(
+      const std::vector<const QueryRequest*>& requests,
+      const std::vector<const QueryControl*>& controls);
   void RecordOutcome(const QueryResponse& response);
   void AfterUpdate(const Result<uint64_t>& outcome);
   void AfterUpdate(const Status& outcome);
@@ -142,6 +164,8 @@ class Server {
   mutable std::mutex stats_mu_;
   ServeStats stats_;
   Histogram query_latency_{Histogram::DefaultLatencyBucketsSeconds()};
+  /// Queries per grouped execution (observed per drain when batching on).
+  Histogram batch_size_{{1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0}};
 
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;

@@ -245,6 +245,138 @@ void DominatingSkylineInto(const FlatRTree& tree, const double* t,
   SKYUP_PARANOID_OK(CheckProbeResult(tree.dataset(), t, *result));
 }
 
+void DominatingSkylineTileInto(const FlatRTree& tree,
+                               const double* const* tile, size_t tile_count,
+                               const uint8_t* dead_rows,
+                               std::vector<PointId>* results,
+                               ProbeStats* stats) {
+  SKYUP_TRACE_SPAN_VERBOSE("probe/dominating-skyline-tile");
+  SKYUP_CHECK(tile_count >= 1 && tile_count <= kMaxDominanceTile)
+      << "tile width out of range";
+  for (size_t j = 0; j < tile_count; ++j) results[j].clear();
+  if (tree.empty() || tree.live_size() == 0) return;
+  const size_t dims = tree.dims();
+  ProbeStats local;
+  ProbeStats* st = stats != nullptr ? stats : &local;
+  const bool masked = dead_rows != nullptr || tree.has_tombstones();
+
+  // Same (key, seq) best-first order as the single-query traversal, plus a
+  // bitmask of the tile members the entry is still live for. Bits are
+  // cleared as per-member windows grow; an entry whose mask empties is
+  // dropped without expansion.
+  constexpr uint32_t kNoNode = UINT32_MAX;
+  struct TileEntry {
+    double key;
+    uint64_t seq;
+    uint32_t node;
+    PointId point;
+    uint64_t mask;
+    bool operator>(const TileEntry& other) const {
+      if (key != other.key) return key > other.key;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<TileEntry, std::vector<TileEntry>,
+                      std::greater<TileEntry>>
+      heap;
+  uint64_t seq = 0;
+  {
+    uint64_t mask = 0;
+    for (size_t j = 0; j < tile_count; ++j) {
+      if (OverlapsAdr(tree.min_corner(FlatRTree::kRoot), tile[j], dims)) {
+        mask |= uint64_t{1} << j;
+      }
+    }
+    if (mask != 0) {
+      heap.push({tree.min_corner_sum(FlatRTree::kRoot), seq++,
+                 FlatRTree::kRoot, kInvalidPointId, mask});
+    }
+  }
+
+  std::vector<SoaBlock> windows;
+  windows.reserve(tile_count);
+  for (size_t j = 0; j < tile_count; ++j) windows.emplace_back(dims);
+  std::vector<uint64_t> lane_masks;  // tile-filter scratch, reused
+
+  // Clears from `mask` every member whose window already dominates `p`.
+  auto window_prune = [&](uint64_t mask, const double* p) {
+    uint64_t live = 0;
+    for (uint64_t m = mask; m != 0; m &= m - 1) {
+      const size_t j = static_cast<size_t>(__builtin_ctzll(m));
+      if (!PrunedBySkyline(windows[j], p, st)) live |= uint64_t{1} << j;
+    }
+    return live;
+  };
+
+  while (!heap.empty()) {
+    const TileEntry entry = heap.top();
+    heap.pop();
+    ++st->heap_pops;
+
+    if (entry.node != kNoNode) {
+      ++st->nodes_visited;
+      const uint64_t mask =
+          window_prune(entry.mask, tree.min_corner(entry.node));
+      if (mask == 0) continue;
+      if (tree.is_leaf(entry.node)) {
+        const uint32_t b = tree.point_begin(entry.node);
+        const uint32_t e = tree.point_end(entry.node);
+        st->points_scanned += e - b;
+        lane_masks.resize(e - b);
+        ++st->block_kernel_calls;
+        TileDominanceMasks(tree.point_block(b, e), tile, tile_count,
+                           /*strict=*/true, lane_masks.data());
+        for (uint32_t lane = 0; lane < e - b; ++lane) {
+          uint64_t lm = lane_masks[lane] & mask;
+          if (lm == 0) continue;
+          const uint32_t slot = b + lane;
+          if (masked &&
+              (!tree.slot_alive(slot) ||
+               (dead_rows != nullptr && dead_rows[tree.point_ids()[slot]]))) {
+            continue;
+          }
+          const double* p = tree.slot_coords(slot);
+          lm = window_prune(lm, p);
+          if (lm == 0) continue;
+          double key = 0.0;
+          for (size_t i = 0; i < dims; ++i) key += p[i];
+          heap.push({key, seq++, kNoNode, tree.point_ids()[slot], lm});
+        }
+      } else {
+        const uint32_t b = tree.child_begin(entry.node);
+        const uint32_t e = tree.child_end(entry.node);
+        lane_masks.resize(e - b);
+        ++st->block_kernel_calls;
+        // Non-strict: min corner == t still overlaps the closed ADR.
+        TileDominanceMasks(tree.min_corner_block(b, e), tile, tile_count,
+                           /*strict=*/false, lane_masks.data());
+        for (uint32_t lane = 0; lane < e - b; ++lane) {
+          uint64_t lm = lane_masks[lane] & mask;
+          if (lm == 0) continue;
+          const uint32_t child = b + lane;
+          if (masked && tree.node_live_count(child) == 0) continue;
+          lm = window_prune(lm, tree.min_corner(child));
+          if (lm == 0) continue;
+          heap.push({tree.min_corner_sum(child), seq++, child,
+                     kInvalidPointId, lm});
+        }
+      }
+    } else {
+      const double* p = tree.dataset().data(entry.point);
+      for (uint64_t m = entry.mask; m != 0; m &= m - 1) {
+        const size_t j = static_cast<size_t>(__builtin_ctzll(m));
+        if (PrunedBySkyline(windows[j], p, st)) continue;
+        windows[j].Append(p);
+        results[j].push_back(entry.point);
+      }
+    }
+  }
+  for (size_t j = 0; j < tile_count; ++j) {
+    SKYUP_PARANOID_OK(CheckProbeResult(tree.dataset(), tile[j], results[j]));
+  }
+}
+
 std::vector<PointId> DominatingSkylineFrom(
     const Dataset& data, const std::vector<const RTreeNode*>& roots,
     const std::vector<PointId>& points, const double* t, ProbeStats* stats) {

@@ -52,6 +52,26 @@ void DominatingSkylineInto(const FlatRTree& tree, const double* t,
                            std::vector<PointId>* result,
                            ProbeStats* stats = nullptr);
 
+/// Tile probe: runs up to `kMaxDominanceTile` constrained-skyline probes as
+/// ONE best-first traversal that shares node fetches. Heap entries carry a
+/// bitmask of the tile members they are still relevant for; each fetched MBR
+/// or point block is tested against the whole tile with one
+/// `TileDominanceMasks` sweep, and per-member dominance windows prune the
+/// mask independently. `results[j]` receives what `DominatingSkylineInto`
+/// would produce for `tile[j]` as a *value set*: the same mutually
+/// non-dominating dominator values, with only the accept order of equal-key
+/// members (and the choice of representative among coordinate-duplicate
+/// rows) possibly differing — distinctions every downstream consumer
+/// (`UpgradeProduct` after value-canonical sorting, `PatchSkylineInsert`)
+/// is invariant to. `tile[j]` must have `tree.dims()` coordinates;
+/// `results` must hold `tile_count` vectors (each is cleared). Stats are
+/// whole-traversal counts, not per-member sums.
+void DominatingSkylineTileInto(const FlatRTree& tree,
+                               const double* const* tile, size_t tile_count,
+                               const uint8_t* dead_rows,
+                               std::vector<PointId>* results,
+                               ProbeStats* stats = nullptr);
+
 /// Multi-source variant used by the join's leaf processing (Alg. 4 line 9):
 /// the skyline of the dominators of `t` among the points below `roots`
 /// plus the explicit `points`, all referring to `data`. Same best-first,

@@ -209,5 +209,90 @@ TEST(DominanceBatchTest, StridedViewReadsCorrectLanes) {
   EXPECT_TRUE(DominatesAny(view, q));
 }
 
+// The multi-query tile kernel: dispatched == scalar oracle == per-pair
+// first-principles dominance, in both orientations, over tile widths that
+// exercise the 4-member register-block chunks and their tails.
+TEST(DominanceBatchTest, TileMasksMatchScalarAndFirstPrinciples) {
+  std::mt19937_64 rng(20260807);
+  const size_t lane_counts[] = {0, 1, 3, 4, 5, 8, 17, 64, 67};
+  const size_t tile_counts[] = {1, 2, 3, 4, 5, 8, 9, 16, 63, 64};
+  for (size_t dims = 2; dims <= 5; ++dims) {
+    for (BlockKind kind :
+         {BlockKind::kUniform, BlockKind::kTieHeavy, BlockKind::kDuplicates}) {
+      for (size_t lanes : lane_counts) {
+        for (size_t tiles : tile_counts) {
+          const Case c = MakeCase(dims, lanes, kind, &rng);
+          // Tile points drawn the same way as block lanes, so tie-heavy
+          // cases produce exact lane==tile coordinate matches (the strict
+          // vs non-strict boundary).
+          std::vector<Case> extra;
+          std::vector<const double*> tile(tiles);
+          for (size_t j = 0; j < tiles; ++j) {
+            extra.push_back(MakeCase(dims, 0, kind, &rng));
+            tile[j] = extra.back().query.data();
+          }
+          const SoaView view = c.block.view();
+          for (bool strict : {true, false}) {
+            SCOPED_TRACE(std::string(KindName(kind)) + " dims=" +
+                         std::to_string(dims) + " lanes=" +
+                         std::to_string(lanes) + " tiles=" +
+                         std::to_string(tiles) +
+                         (strict ? " strict" : " non-strict"));
+            std::vector<uint64_t> got(lanes, ~uint64_t{0});
+            std::vector<uint64_t> oracle(lanes, 0);
+            TileDominanceMasks(view, tile.data(), tiles, strict, got.data());
+            TileDominanceMasksScalar(view, tile.data(), tiles, strict,
+                                     oracle.data());
+            std::vector<double> lane(dims);
+            for (size_t i = 0; i < lanes; ++i) {
+              ASSERT_EQ(got[i], oracle[i]) << "lane " << i;
+              for (size_t d = 0; d < dims; ++d) lane[d] = c.block.at(i, d);
+              for (size_t j = 0; j < tiles; ++j) {
+                const bool expect =
+                    strict ? Dominates(lane.data(), tile[j], dims)
+                           : DominatesOrEqual(lane.data(), tile[j], dims);
+                ASSERT_EQ((got[i] >> j) & 1u, expect ? 1u : 0u)
+                    << "lane " << i << " tile " << j;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// For any fixed tile member, the tile kernel's bit column must reproduce
+// the single-query FilterDominated decisions exactly (the contract the
+// tile traversal's per-member pruning relies on).
+TEST(DominanceBatchTest, TileMaskColumnsMatchSingleQueryFilter) {
+  std::mt19937_64 rng(977);
+  for (int rep = 0; rep < 20; ++rep) {
+    const size_t dims = 2 + rep % 4;
+    const Case c = MakeCase(dims, 33, BlockKind::kTieHeavy, &rng);
+    std::vector<Case> extra;
+    std::vector<const double*> tile;
+    for (size_t j = 0; j < 7; ++j) {
+      extra.push_back(MakeCase(dims, 0, BlockKind::kTieHeavy, &rng));
+      tile.push_back(extra.back().query.data());
+    }
+    const SoaView view = c.block.view();
+    std::vector<uint64_t> masks(view.count, 0);
+    TileDominanceMasks(view, tile.data(), tile.size(), /*strict=*/true,
+                       masks.data());
+    for (size_t j = 0; j < tile.size(); ++j) {
+      std::vector<uint32_t> solo;
+      FilterDominated(view, tile[j], &solo, /*strict=*/true);
+      std::vector<uint32_t> from_tile;
+      for (size_t i = 0; i < view.count; ++i) {
+        if ((masks[i] >> j) & 1u) {
+          from_tile.push_back(static_cast<uint32_t>(i));
+        }
+      }
+      EXPECT_EQ(from_tile, solo) << "tile member " << j;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace skyup

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/dominance.h"
+#include "core/dominance_batch.h"
 #include "data/generator.h"
 #include "skyline/skyline.h"
 #include "util/random.h"
@@ -211,6 +212,126 @@ TEST(DominatingSkylineTest, PrunesFarNodes) {
   std::vector<PointId> sky = DominatingSkyline(tree.value(), t.data(), &stats);
   ASSERT_EQ(sky.size(), 1u);
   EXPECT_LT(stats.nodes_visited, tree->Stats().node_count / 4);
+}
+
+// The shared tile traversal vs the per-query probe, compared as *value
+// sets* (the tile contract): the same dominator coordinate multiset per
+// member, independent of accept order and of which row represents a
+// coordinate-duplicate group.
+std::vector<std::vector<double>> ValueSet(const Dataset& ds,
+                                          const std::vector<PointId>& ids) {
+  std::vector<std::vector<double>> values;
+  values.reserve(ids.size());
+  for (PointId id : ids) {
+    const double* p = ds.data(id);
+    values.emplace_back(p, p + ds.dims());
+  }
+  std::sort(values.begin(), values.end());
+  return values;
+}
+
+TEST(DominatingSkylineTileTest, TileMatchesSoloProbesAsValueSets) {
+  Rng rng(20260806);
+  for (int rep = 0; rep < 30; ++rep) {
+    const size_t dims = 2 + static_cast<size_t>(rng.NextUint64(3));
+    const size_t n = 1 + static_cast<size_t>(rng.NextUint64(300));
+    const bool tie_heavy = rep % 3 == 0;
+    Dataset ds(dims);
+    std::vector<double> p(dims);
+    for (size_t i = 0; i < n; ++i) {
+      for (double& c : p) {
+        c = tie_heavy ? 0.25 * static_cast<double>(1 + rng.NextUint64(4))
+                      : rng.NextDouble();
+      }
+      ds.Add(p);
+    }
+    RTree::Options options;
+    options.max_entries = 2 + static_cast<size_t>(rng.NextUint64(7));
+    Result<RTree> tree = RTree::BulkLoad(ds, options);
+    ASSERT_TRUE(tree.ok());
+    FlatRTree flat = FlatRTree::FromTree(tree.value());
+
+    // Tombstone a random subset through the index, and kill a further
+    // subset through the caller-side mask — the tile traversal composes
+    // both, exactly like the solo probe.
+    std::vector<uint8_t> dead(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.NextUint64(8) == 0) {
+        ASSERT_TRUE(flat.Erase(static_cast<PointId>(i)));
+      } else if (rng.NextUint64(8) == 0) {
+        dead[i] = 1;
+      }
+    }
+    const uint8_t* mask = rep % 2 == 0 ? dead.data() : nullptr;
+
+    // Tile widths across the chunk boundaries; members mix fresh random
+    // points with exact copies of dataset rows (equal-coordinate stress).
+    const size_t tile_count =
+        1 + static_cast<size_t>(rng.NextUint64(kMaxDominanceTile));
+    std::vector<std::vector<double>> points(tile_count);
+    std::vector<const double*> tile(tile_count);
+    for (size_t j = 0; j < tile_count; ++j) {
+      if (rng.NextUint64(4) == 0) {
+        const double* row =
+            ds.data(static_cast<PointId>(rng.NextUint64(n)));
+        points[j].assign(row, row + dims);
+      } else {
+        points[j].resize(dims);
+        for (double& c : points[j]) c = rng.NextDouble(0.0, 1.2);
+      }
+      tile[j] = points[j].data();
+    }
+
+    std::vector<std::vector<PointId>> results(tile_count);
+    ProbeStats tile_stats;
+    DominatingSkylineTileInto(flat, tile.data(), tile_count, mask,
+                              results.data(), &tile_stats);
+
+    std::vector<PointId> solo;
+    for (size_t j = 0; j < tile_count; ++j) {
+      DominatingSkylineInto(flat, tile[j], mask, &solo);
+      EXPECT_EQ(ValueSet(ds, results[j]), ValueSet(ds, solo))
+          << "rep " << rep << " member " << j;
+      for (PointId id : results[j]) {
+        EXPECT_EQ(mask != nullptr && dead[static_cast<size_t>(id)], false)
+            << "masked row " << id << " surfaced, rep " << rep;
+      }
+    }
+  }
+}
+
+TEST(DominatingSkylineTileTest, SharedTraversalVisitsFewerNodesThanSolo) {
+  // The point of the tile: one traversal over 64 near-identical probes
+  // must touch far fewer nodes than 64 separate traversals.
+  Dataset ds(2);
+  Rng rng(11);
+  for (int i = 0; i < 4000; ++i) {
+    ds.Add({rng.NextDouble(), rng.NextDouble()});
+  }
+  RTree::Options options;
+  options.max_entries = 8;
+  Result<RTree> tree = RTree::BulkLoad(ds, options);
+  ASSERT_TRUE(tree.ok());
+  FlatRTree flat = FlatRTree::FromTree(tree.value());
+
+  std::vector<std::vector<double>> points(kMaxDominanceTile);
+  std::vector<const double*> tile(kMaxDominanceTile);
+  for (size_t j = 0; j < kMaxDominanceTile; ++j) {
+    points[j] = {0.8 + 0.2 * rng.NextDouble(), 0.8 + 0.2 * rng.NextDouble()};
+    tile[j] = points[j].data();
+  }
+  std::vector<std::vector<PointId>> results(kMaxDominanceTile);
+  ProbeStats shared;
+  DominatingSkylineTileInto(flat, tile.data(), kMaxDominanceTile, nullptr,
+                            results.data(), &shared);
+  ProbeStats solo_total;
+  std::vector<PointId> solo;
+  for (size_t j = 0; j < kMaxDominanceTile; ++j) {
+    ProbeStats one;
+    DominatingSkylineInto(flat, tile[j], nullptr, &solo, &one);
+    solo_total.nodes_visited += one.nodes_visited;
+  }
+  EXPECT_LT(shared.nodes_visited, solo_total.nodes_visited / 4);
 }
 
 }  // namespace

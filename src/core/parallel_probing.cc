@@ -4,7 +4,6 @@
 #include <atomic>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -16,6 +15,7 @@
 #include "rtree/mbr.h"
 #include "skyline/dominating_skyline.h"
 #include "skyline/skyline.h"
+#include "util/mutex.h"
 #include "util/parallel.h"
 
 namespace skyup {
@@ -64,7 +64,9 @@ Result<std::vector<UpgradeResult>> RunShardedTopK(
   // shard sees the relaxed flag at its next candidate and unwinds. The
   // ParallelFor join orders all of this before the status is read below.
   std::atomic<bool> stop{false};
-  std::mutex stop_mu;
+  // lint: guarded-by-ok (function-local: GUARDED_BY only applies to
+  // members/globals; the ParallelFor join orders the final unlocked read)
+  Mutex stop_mu;
   Status stop_status;
 
   ParallelFor(
@@ -87,12 +89,15 @@ Result<std::vector<UpgradeResult>> RunShardedTopK(
           // Poll before the candidate is counted as processed so the
           // accounting identity below holds on early unwind too.
           if (control != nullptr) {
+            // lint: relaxed-ok (the reason travels under stop_mu, not the
+            // flag; a late observation costs at most one extra candidate)
             if (stop.load(std::memory_order_relaxed)) break;
             if ((i - begin) % QueryControl::kPollStride == 0) {
               Status st = control->Check();
               if (!st.ok()) {
-                std::lock_guard<std::mutex> lock(stop_mu);
+                MutexLock lock(stop_mu);
                 if (stop_status.ok()) stop_status = std::move(st);
+                // lint: relaxed-ok (see the load above)
                 stop.store(true, std::memory_order_relaxed);
                 break;
               }

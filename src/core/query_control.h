@@ -30,6 +30,7 @@ class QueryControl {
   QueryControl& operator=(const QueryControl&) = delete;
 
   /// Requests cancellation. Safe to call from any thread, any time.
+  /// lint: relaxed-ok (a lone flag carries no payload; workers poll it)
   void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
 
   /// Sets an absolute deadline. Must be called before the query starts
@@ -48,6 +49,8 @@ class QueryControl {
   }
 
   bool cancelled() const {
+    // lint: relaxed-ok (poll of the lone flag; a late observation only
+    // delays the unwind by at most one poll stride)
     return cancelled_.load(std::memory_order_relaxed);
   }
 

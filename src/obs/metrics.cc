@@ -91,6 +91,7 @@ MetricsRegistry::Entry* MetricsRegistry::Find(const std::string& name) {
 
 Counter* MetricsRegistry::AddCounter(const std::string& name,
                                      const std::string& help) {
+  MutexLock lock(mu_);
   if (Entry* existing = Find(name)) {
     SKYUP_CHECK(existing->kind == Kind::kCounter)
         << "metric '" << name << "' already registered with another kind";
@@ -107,6 +108,7 @@ Counter* MetricsRegistry::AddCounter(const std::string& name,
 
 Gauge* MetricsRegistry::AddGauge(const std::string& name,
                                  const std::string& help) {
+  MutexLock lock(mu_);
   if (Entry* existing = Find(name)) {
     SKYUP_CHECK(existing->kind == Kind::kGauge)
         << "metric '" << name << "' already registered with another kind";
@@ -124,6 +126,7 @@ Gauge* MetricsRegistry::AddGauge(const std::string& name,
 Histogram* MetricsRegistry::AddHistogram(const std::string& name,
                                          const std::string& help,
                                          std::vector<double> bounds) {
+  MutexLock lock(mu_);
   if (Entry* existing = Find(name)) {
     SKYUP_CHECK(existing->kind == Kind::kHistogram)
         << "metric '" << name << "' already registered with another kind";
@@ -139,6 +142,7 @@ Histogram* MetricsRegistry::AddHistogram(const std::string& name,
 }
 
 void MetricsRegistry::WritePrometheus(std::ostream& out) const {
+  MutexLock lock(mu_);
   for (const Entry& entry : entries_) {
     if (!entry.help.empty()) {
       out << "# HELP " << entry.name << " " << entry.help << "\n";
@@ -171,10 +175,14 @@ void MetricsRegistry::WritePrometheus(std::ostream& out) const {
 }
 
 void MetricsRegistry::WriteJson(std::ostream& out) const {
-  auto write_section = [&](Kind kind, const char* label, bool first_section) {
+  // The lambda body is analyzed as its own function, so it takes the
+  // entries by parameter instead of touching the guarded member; the
+  // guarded access happens below, under the lock.
+  auto write_section = [&out](const std::vector<Entry>& entries, Kind kind,
+                              const char* label, bool first_section) {
     out << (first_section ? "" : ",\n") << "  \"" << label << "\": {";
     bool first = true;
-    for (const Entry& entry : entries_) {
+    for (const Entry& entry : entries) {
       if (entry.kind != kind) continue;
       out << (first ? "\n" : ",\n") << "    \"" << entry.name << "\": ";
       first = false;
@@ -206,10 +214,11 @@ void MetricsRegistry::WriteJson(std::ostream& out) const {
     out << (first ? "}" : "\n  }");
   };
 
+  MutexLock lock(mu_);
   out << "{\n";
-  write_section(Kind::kCounter, "counters", true);
-  write_section(Kind::kGauge, "gauges", false);
-  write_section(Kind::kHistogram, "histograms", false);
+  write_section(entries_, Kind::kCounter, "counters", true);
+  write_section(entries_, Kind::kGauge, "gauges", false);
+  write_section(entries_, Kind::kHistogram, "histograms", false);
   out << "\n}\n";
 }
 

@@ -6,8 +6,16 @@
 // Prometheus text exposition or JSON. The registry is an export-time
 // aggregation surface — engines keep accounting into their cheap
 // per-shard structures (`ExecStats`, `QueryTelemetry`) and the registry
-// is populated once per query/export (core/report.h absorbs ExecStats);
-// it is therefore deliberately not thread-safe.
+// is populated once per query/export (core/report.h absorbs ExecStats).
+//
+// Thread safety: registration (Add*) and export (Write*) are serialized
+// by the registry's own mutex, so concurrent layers (e.g. the server's
+// FillMetrics under its stats lock) can share one registry. Mutating a
+// *metric object* (Increment/Set/Observe/MergeFrom through the returned
+// pointer) remains caller-serialized, exactly as before — the hot paths
+// that feed metrics already run under their own locks or on one thread.
+// The registry mutex is a leaf of the global lock order
+// (lock_order::kObsRegistry): nothing may be acquired under it.
 
 #include <cstddef>
 #include <cstdint>
@@ -17,6 +25,9 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/lock_order.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace skyup {
 
@@ -100,7 +111,10 @@ class MetricsRegistry {
       const std::string& name, const std::string& help,
       std::vector<double> bounds = Histogram::DefaultLatencyBucketsSeconds());
 
-  size_t size() const { return entries_.size(); }
+  size_t size() const {
+    MutexLock lock(mu_);
+    return entries_.size();
+  }
 
   /// Prometheus text exposition format, version 0.0.4: HELP/TYPE comments,
   /// cumulative `_bucket{le=...}` series plus `_sum`/`_count` for
@@ -122,9 +136,10 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  Entry* Find(const std::string& name);
+  Entry* Find(const std::string& name) SKYUP_REQUIRES(mu_);
 
-  std::vector<Entry> entries_;
+  mutable Mutex mu_ SKYUP_ACQUIRED_AFTER(lock_order::kObsRegistry);
+  std::vector<Entry> entries_ SKYUP_GUARDED_BY(mu_);
 };
 
 }  // namespace skyup

@@ -4,8 +4,11 @@
 #include <cstdio>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "util/lock_order.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace skyup {
 
@@ -43,12 +46,19 @@ struct ThreadBuffer {
 constexpr size_t kRingCapacity = size_t{1} << 16;
 
 struct TraceRegistry {
-  std::mutex mu;
+  // Leaf of the global lock order: spans can be recorded (and exported)
+  // from any layer, so nothing may be acquired under this.
+  Mutex mu SKYUP_ACQUIRED_AFTER(lock_order::kObsRegistry);
   // Owns every buffer ever handed out. Buffers outlive their threads on
   // purpose: ParallelFor workers terminate before the main thread exports
   // the trace, and their spans must survive them.
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
-  SteadyClock::time_point epoch = SteadyClock::now();
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers SKYUP_GUARDED_BY(mu);
+  // Session epoch as steady-clock ticks since its own epoch. Atomic, not
+  // guarded: RecordSpan reads it on every span without the registry lock
+  // (the previous plain time_point was a data race against
+  // EnableTracing's reset).
+  std::atomic<int64_t> epoch_ticks{
+      SteadyClock::now().time_since_epoch().count()};
 };
 
 TraceRegistry& Registry() {
@@ -61,7 +71,7 @@ thread_local ThreadBuffer* t_buffer = nullptr;
 ThreadBuffer* LocalBuffer() {
   if (t_buffer == nullptr) {
     TraceRegistry& reg = Registry();
-    std::lock_guard<std::mutex> lock(reg.mu);
+    MutexLock lock(reg.mu);
     reg.buffers.push_back(
         std::make_unique<ThreadBuffer>(static_cast<uint32_t>(
             reg.buffers.size() + 1)));
@@ -118,33 +128,41 @@ void AppendMicros(std::string* out, int64_t ns) {
 void EnableTracing() {
   TraceRegistry& reg = Registry();
   {
-    std::lock_guard<std::mutex> lock(reg.mu);
+    MutexLock lock(reg.mu);
     for (auto& buffer : reg.buffers) buffer->recorded = 0;
-    reg.epoch = SteadyClock::now();
+    // Relaxed: a span racing Enable is already only approximately
+    // attributed (the header documents it as "merely recorded or
+    // skipped"); a stale epoch read gives it pre-reset timestamps, the
+    // same outcome the enable flag itself permits.
+    reg.epoch_ticks.store(
+        SteadyClock::now().time_since_epoch().count(),
+        std::memory_order_relaxed);  // lint: relaxed-ok (see above)
   }
-  internal::g_trace_enabled.store(true, std::memory_order_relaxed);
+  internal::g_trace_enabled.store(
+      true, std::memory_order_relaxed);  // lint: relaxed-ok (trace.h:59)
 }
 
 void DisableTracing() {
-  internal::g_trace_enabled.store(false, std::memory_order_relaxed);
+  internal::g_trace_enabled.store(
+      false, std::memory_order_relaxed);  // lint: relaxed-ok (trace.h:59)
 }
 
 void ClearTrace() {
   TraceRegistry& reg = Registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   for (auto& buffer : reg.buffers) buffer->recorded = 0;
 }
 
 void SetTraceThreadName(const std::string& name) {
   ThreadBuffer* buffer = LocalBuffer();
   TraceRegistry& reg = Registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   buffer->name = name;
 }
 
 TraceStats GetTraceStats() {
   TraceRegistry& reg = Registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   TraceStats stats;
   stats.threads = reg.buffers.size();
   for (const auto& buffer : reg.buffers) {
@@ -162,7 +180,11 @@ void RecordSpan(const char* name, SteadyClock::time_point start,
                 SteadyClock::time_point end) {
   ThreadBuffer* buffer = LocalBuffer();
   if (buffer->ring.empty()) buffer->ring.resize(kRingCapacity);
-  const SteadyClock::time_point epoch = Registry().epoch;
+  // Relaxed: see EnableTracing — a racing reset at worst timestamps this
+  // one span against the old epoch, which the enable flag already allows.
+  const SteadyClock::time_point epoch{SteadyClock::duration{
+      Registry().epoch_ticks.load(
+          std::memory_order_relaxed)}};  // lint: relaxed-ok (see above)
   // A span opened before EnableTracing() reset the epoch clamps to 0
   // rather than going negative.
   const int64_t start_ns =
@@ -184,7 +206,7 @@ void RecordSpan(const char* name, SteadyClock::time_point start,
 
 void WriteChromeTrace(std::ostream& out) {
   TraceRegistry& reg = Registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
 
   out << "{\"displayTimeUnit\": \"ms\",\n"
       << "\"otherData\": {\"trace_level\": \"" << TraceLevelName()

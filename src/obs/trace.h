@@ -64,6 +64,7 @@ extern std::atomic<bool> g_trace_enabled;
 
 /// True while span recording is on. One relaxed atomic load.
 inline bool TraceEnabled() {
+  // lint: relaxed-ok (pure on/off gate; rationale on g_trace_enabled)
   return internal::g_trace_enabled.load(std::memory_order_relaxed);
 }
 

@@ -1,43 +1,55 @@
 #include "serve/delta_log.h"
 
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 
 #include "util/check.h"
+#include "util/mutex.h"
 
 namespace skyup {
 
-void DeltaLog::Append(DeltaOp op) {
+void DeltaLog::SetAppendHook(AppendHook hook) {
+  WriterLock lock(mu_);
+  hook_ = std::move(hook);
+}
+
+// The write-ahead contract requires the hook to run *outside* the log's
+// lock (the op must stay invisible to readers while the hook executes,
+// and the hook may read the log). Appends are externally serialized —
+// the live table holds its mutex across Append — so the unlocked hook_
+// read cannot race the SetAppendHook writer in any program that obeys
+// the install-before-live contract.
+// tsa: unlocked hook_ read is externally serialized; rationale above.
+void DeltaLog::Append(DeltaOp op) SKYUP_NO_THREAD_SAFETY_ANALYSIS {
   // Write-ahead visibility point: the hook runs before the lock is even
   // taken, so the op is invisible to every reader while the hook executes
   // and the hook may read the log (e.g. to record its append offset).
   // Appends are externally serialized (the live table holds its mutex
   // across Append), which is what keeps hook order == log order.
   if (hook_) hook_(op);
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   ops_.push_back(std::move(op));
 }
 
 size_t DeltaLog::size() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   return ops_.size();
 }
 
 std::vector<DeltaOp> DeltaLog::CopyPrefix(size_t end) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   if (end > ops_.size()) end = ops_.size();
   return std::vector<DeltaOp>(ops_.begin(),
                               ops_.begin() + static_cast<ptrdiff_t>(end));
 }
 
 std::vector<DeltaOp> DeltaLog::CopyAll() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   return ops_;
 }
 
 void DeltaLog::Clear() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   ops_.clear();
 }
 

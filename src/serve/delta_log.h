@@ -24,13 +24,15 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <shared_mutex>
 #include <vector>
 
 #include "core/dataset.h"
 #include "core/dominance_batch.h"
 #include "serve/snapshot.h"
+#include "util/lock_order.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace skyup {
 
@@ -65,9 +67,11 @@ class DeltaLog {
   DeltaLog(const DeltaLog&) = delete;
   DeltaLog& operator=(const DeltaLog&) = delete;
 
-  /// Installs the write-ahead hook (null to clear). Not synchronized with
-  /// concurrent appends — install before the log goes live.
-  void SetAppendHook(AppendHook hook) { hook_ = std::move(hook); }
+  /// Installs the write-ahead hook (null to clear). Takes the log's write
+  /// lock, but is still not synchronized with the hook *invocation* in
+  /// Append (which deliberately runs unlocked) — install before the log
+  /// goes live.
+  void SetAppendHook(AppendHook hook);
 
   /// Appends one op. The hook observes the op strictly before any reader
   /// can (write-ahead visibility point); it runs outside the log's lock,
@@ -90,9 +94,10 @@ class DeltaLog {
   void Clear();
 
  private:
-  mutable std::shared_mutex mu_;
-  AppendHook hook_;
-  std::vector<DeltaOp> ops_;
+  mutable SharedMutex mu_ SKYUP_ACQUIRED_AFTER(lock_order::kTableSub)
+      SKYUP_ACQUIRED_BEFORE(lock_order::kObsRegistry);
+  AppendHook hook_ SKYUP_GUARDED_BY(mu_);
+  std::vector<DeltaOp> ops_ SKYUP_GUARDED_BY(mu_);
 };
 
 /// What one query runs against: an immutable snapshot plus the delta ops

@@ -26,11 +26,16 @@ Result<std::unique_ptr<LiveTable>> LiveTable::Create(
       /*epoch=*/1, Dataset(options.dims), {}, Dataset(options.dims), {},
       table->index_options_);
   if (!initial.ok()) return initial.status();
-  table->snapshot_ = std::move(initial).value();
-  table->cache_ = std::make_shared<UpgradeCache>(options.dims);
-  if (options.memo_cache_bytes > 0) {
-    table->memo_ = std::make_shared<SkylineMemo>(options.dims,
-                                                 options.memo_cache_bytes);
+  {
+    // The table is not shared yet, so the lock is uncontended — taken only
+    // so the GUARDED_BY invariant on these members holds on every write.
+    MutexLock lock(table->mu_);
+    table->snapshot_ = std::move(initial).value();
+    table->cache_ = std::make_shared<UpgradeCache>(options.dims);
+    if (options.memo_cache_bytes > 0) {
+      table->memo_ = std::make_shared<SkylineMemo>(options.dims,
+                                                   options.memo_cache_bytes);
+    }
   }
   return table;
 }
@@ -42,7 +47,7 @@ Result<uint64_t> LiveTable::Insert(DeltaTarget target,
         "insert has " + std::to_string(coords.size()) + " coords, table is " +
         std::to_string(options_.dims) + "-dimensional");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const bool is_competitor = target == DeltaTarget::kCompetitor;
   uint64_t& counter =
       is_competitor ? next_competitor_id_ : next_product_id_;
@@ -55,7 +60,7 @@ Result<uint64_t> LiveTable::Insert(DeltaTarget target,
 }
 
 Status LiveTable::Erase(DeltaTarget target, uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const bool is_competitor = target == DeltaTarget::kCompetitor;
   std::unordered_set<uint64_t>& live =
       is_competitor ? live_competitors_ : live_products_;
@@ -88,7 +93,7 @@ Status LiveTable::EraseProduct(uint64_t id) {
 }
 
 ReadView LiveTable::AcquireView() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ReadView view;
   view.snapshot = snapshot_;
   view.deltas = frozen_;
@@ -105,39 +110,39 @@ ReadView LiveTable::AcquireView() const {
 }
 
 void LiveTable::SetAppendHook(DeltaLog::AppendHook hook) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   active_.SetAppendHook(std::move(hook));
 }
 
 uint64_t LiveTable::epoch() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return snapshot_->epoch();
 }
 
 size_t LiveTable::delta_backlog() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return frozen_.size() + active_.size();
 }
 
 double LiveTable::snapshot_age_seconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return std::chrono::duration<double>(SteadyClock::now() -
                                        snapshot_->published_at())
       .count();
 }
 
 size_t LiveTable::live_competitor_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return live_competitors_.size();
 }
 
 size_t LiveTable::live_product_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return live_products_.size();
 }
 
 std::optional<LiveTable::RebuildJob> LiveTable::BeginRebuild() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (rebuild_in_flight_) return std::nullopt;
   std::vector<DeltaOp> active = active_.CopyAll();
   if (frozen_.empty() && active.empty()) return std::nullopt;
@@ -156,7 +161,7 @@ std::optional<LiveTable::RebuildJob> LiveTable::BeginRebuild() {
 
 void LiveTable::CompleteRebuild(std::shared_ptr<const Snapshot> snapshot) {
   SKYUP_CHECK(snapshot != nullptr);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   SKYUP_CHECK(rebuild_in_flight_)
       << "CompleteRebuild without a matching BeginRebuild";
   SKYUP_CHECK(snapshot->epoch() == snapshot_->epoch() + 1)
@@ -172,7 +177,7 @@ void LiveTable::CompleteRebuild(std::shared_ptr<const Snapshot> snapshot) {
 }
 
 void LiveTable::AbandonRebuild() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   SKYUP_CHECK(rebuild_in_flight_)
       << "AbandonRebuild without a matching BeginRebuild";
   rebuild_in_flight_ = false;

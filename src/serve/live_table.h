@@ -10,11 +10,13 @@
 // are short critical sections; queries run entirely outside the lock
 // against their captured `ReadView`; the rebuild merge runs outside the
 // lock against frozen data. Old snapshots are reclaimed by shared_ptr when
-// the last in-flight view drops.
+// the last in-flight view drops. The discipline is machine-checked: every
+// guarded member carries SKYUP_GUARDED_BY(mu_) and `mu_` sits in the
+// kTable band of the global lock order (util/lock_order.h), above the
+// substructure locks (delta log, caches, memo shards) it nests.
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_set>
 #include <vector>
@@ -22,7 +24,10 @@
 #include "rtree/rtree.h"
 #include "serve/delta_log.h"
 #include "serve/snapshot.h"
+#include "util/lock_order.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace skyup {
 
@@ -108,21 +113,27 @@ class LiveTable {
   LiveTableOptions options_;
   RTreeOptions index_options_;
 
-  mutable std::mutex mu_;
-  std::shared_ptr<const Snapshot> snapshot_;
-  std::vector<DeltaOp> frozen_;  ///< ops offered to the in-flight rebuild
-  DeltaLog active_;
-  bool rebuild_in_flight_ = false;
-  uint64_t next_competitor_id_ = 1;
-  uint64_t next_product_id_ = 1;
-  std::unordered_set<uint64_t> live_competitors_;
-  std::unordered_set<uint64_t> live_products_;
+  mutable Mutex mu_ SKYUP_ACQUIRED_AFTER(lock_order::kTable)
+      SKYUP_ACQUIRED_BEFORE(lock_order::kTableSub);
+  std::shared_ptr<const Snapshot> snapshot_ SKYUP_GUARDED_BY(mu_);
+  /// Ops offered to the in-flight rebuild.
+  std::vector<DeltaOp> frozen_ SKYUP_GUARDED_BY(mu_);
+  /// The active log has its own internal lock, but every access (append,
+  /// freeze, view copy, hook install) happens under `mu_` — that external
+  /// serialization is what DeltaLog::Append's write-ahead contract relies
+  /// on, so the member is guarded too.
+  DeltaLog active_ SKYUP_GUARDED_BY(mu_);
+  bool rebuild_in_flight_ SKYUP_GUARDED_BY(mu_) = false;
+  uint64_t next_competitor_id_ SKYUP_GUARDED_BY(mu_) = 1;
+  uint64_t next_product_id_ SKYUP_GUARDED_BY(mu_) = 1;
+  std::unordered_set<uint64_t> live_competitors_ SKYUP_GUARDED_BY(mu_);
+  std::unordered_set<uint64_t> live_products_ SKYUP_GUARDED_BY(mu_);
   /// Shared upgrade-result cache, fed every accepted op under `mu_` and
   /// handed to every view (serve/upgrade_cache.h has the soundness story).
-  std::shared_ptr<UpgradeCache> cache_;
+  std::shared_ptr<UpgradeCache> cache_ SKYUP_GUARDED_BY(mu_);
   /// Shared epoch-scoped skyline memo; dropped wholesale on every publish
   /// under `mu_`. Null when `memo_cache_bytes == 0`.
-  std::shared_ptr<SkylineMemo> memo_;
+  std::shared_ptr<SkylineMemo> memo_ SKYUP_GUARDED_BY(mu_);
 };
 
 }  // namespace skyup

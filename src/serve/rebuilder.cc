@@ -270,7 +270,7 @@ Rebuilder::Rebuilder(LiveTable* table, RebuildPolicy policy)
 Rebuilder::~Rebuilder() { Stop(); }
 
 void Rebuilder::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   SKYUP_CHECK(!running_) << "rebuilder already started";
   running_ = true;
   stop_ = false;
@@ -279,30 +279,30 @@ void Rebuilder::Start() {
 
 void Rebuilder::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!running_) return;
     stop_ = true;
   }
   cv_.notify_all();
   thread_.join();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   running_ = false;
 }
 
 void Rebuilder::Nudge() { cv_.notify_all(); }
 
 uint64_t Rebuilder::rebuilds_published() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return published_;
 }
 
 uint64_t Rebuilder::patches_published() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return patches_;
 }
 
 Status Rebuilder::last_error() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return last_error_;
 }
 
@@ -328,13 +328,17 @@ void Rebuilder::Loop() {
   const auto interval = std::chrono::duration_cast<SteadyClock::duration>(
       std::chrono::duration<double>(
           std::max(policy_.poll_interval_seconds, 1e-3)));
-  std::unique_lock<std::mutex> lock(mu_);
-  while (!stop_) {
-    cv_.wait_for(lock, interval);
-    if (stop_) break;
-    // The rebuild runs unlocked: Stop() must stay responsive and Nudge()
-    // must never block behind a merge.
-    lock.unlock();
+  for (;;) {
+    {
+      MutexLock lock(mu_);
+      if (stop_) return;
+      cv_.wait_for(mu_, interval);
+      if (stop_) return;
+    }
+    // The rebuild runs unlocked: Stop() must stay responsive, Nudge()
+    // must never block behind a merge, and RebuildOnce takes the table
+    // mutex — a band *below* `mu_`, so holding `mu_` across it would
+    // invert the declared order.
     PublishKind published = PublishKind::kNone;
     Status error;
     if (ShouldRebuild()) {
@@ -345,7 +349,7 @@ void Rebuilder::Loop() {
         error = outcome.status();
       }
     }
-    lock.lock();
+    MutexLock lock(mu_);
     if (published == PublishKind::kMajor) ++published_;
     if (published == PublishKind::kPatch) ++patches_;
     if (!error.ok()) last_error_ = error;

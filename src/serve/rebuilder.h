@@ -15,15 +15,16 @@
 //     occasional compaction, triggered when the patched index would carry
 //     too many tombstones or too large a tail (`RebuildPolicy`).
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "serve/live_table.h"
 #include "serve/snapshot.h"
+#include "util/lock_order.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace skyup {
 
@@ -120,13 +121,19 @@ class Rebuilder {
   LiveTable* table_;
   RebuildPolicy policy_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  bool running_ = false;
-  bool stop_ = false;
-  uint64_t published_ = 0;
-  uint64_t patches_ = 0;
-  Status last_error_;
+  // kRebuilder band: Server::stats() reads the publish counters while
+  // holding its stats lock, and the loop's rebuild work — which takes
+  // LiveTable::mu_ (kTable) — always runs with `mu_` released.
+  mutable Mutex mu_ SKYUP_ACQUIRED_AFTER(lock_order::kRebuilder)
+      SKYUP_ACQUIRED_BEFORE(lock_order::kTable);
+  CondVar cv_;
+  bool running_ SKYUP_GUARDED_BY(mu_) = false;
+  bool stop_ SKYUP_GUARDED_BY(mu_) = false;
+  uint64_t published_ SKYUP_GUARDED_BY(mu_) = 0;
+  uint64_t patches_ SKYUP_GUARDED_BY(mu_) = 0;
+  Status last_error_ SKYUP_GUARDED_BY(mu_);
+  /// Start/Stop are externally serialized (class contract above), so the
+  /// handle itself needs no guard.
   std::thread thread_;
 };
 

@@ -58,16 +58,21 @@ Result<std::unique_ptr<Server>> Server::Create(ProductCostFunction cost_fn,
   policy.compact_tombstone_pct = options.compact_tombstone_pct;
   policy.compact_tail_pct = options.compact_tail_pct;
   server->inline_policy_ = policy;
-  // Config echoes: a stats dump documents the policy it ran under.
-  server->stats_.rebuild_threshold_ops = options.rebuild_threshold_ops;
-  server->stats_.publish_min_backlog = options.publish_min_backlog;
-  server->stats_.publish_min_interval_ms = static_cast<uint64_t>(
-      options.publish_min_interval_seconds * 1000.0);
-  server->stats_.compact_tombstone_pct = options.compact_tombstone_pct;
-  server->stats_.compact_tail_pct = options.compact_tail_pct;
-  server->stats_.batch_max_queries = options.batch_max;
-  server->stats_.batch_wait_us = options.batch_wait_us;
-  server->stats_.memo_cache_mb = options.memo_cache_mb;
+  {
+    // Config echoes: a stats dump documents the policy it ran under. No
+    // worker exists yet, so the lock is uncontended — taken only to keep
+    // the GUARDED_BY invariant on stats_ unconditional.
+    MutexLock lock(server->stats_mu_);
+    server->stats_.rebuild_threshold_ops = options.rebuild_threshold_ops;
+    server->stats_.publish_min_backlog = options.publish_min_backlog;
+    server->stats_.publish_min_interval_ms = static_cast<uint64_t>(
+        options.publish_min_interval_seconds * 1000.0);
+    server->stats_.compact_tombstone_pct = options.compact_tombstone_pct;
+    server->stats_.compact_tail_pct = options.compact_tail_pct;
+    server->stats_.batch_max_queries = options.batch_max;
+    server->stats_.batch_wait_us = options.batch_wait_us;
+    server->stats_.memo_cache_mb = options.memo_cache_mb;
+  }
   if (options.background_rebuild) {
     server->rebuilder_ =
         std::make_unique<Rebuilder>(server->table_.get(), policy);
@@ -84,18 +89,23 @@ Result<std::unique_ptr<Server>> Server::Create(ProductCostFunction cost_fn,
 
 Server::~Server() {
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     shutdown_ = true;
     hold_workers_ = false;
   }
   queue_cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
-  // Drain: resolve every query the workers never picked up.
-  for (PendingQuery& pending : queue_) {
-    QueryResponse response;
-    response.status = Status::Cancelled("server shutting down");
-    RecordOutcome(response);
-    pending.promise.set_value(std::move(response));
+  // Drain: resolve every query the workers never picked up. The workers
+  // are joined, so the lock is uncontended; RecordOutcome under it is the
+  // same queue -> stats nesting Submit establishes.
+  {
+    MutexLock lock(queue_mu_);
+    for (PendingQuery& pending : queue_) {
+      QueryResponse response;
+      response.status = Status::Cancelled("server shutting down");
+      RecordOutcome(response);
+      pending.promise.set_value(std::move(response));
+    }
   }
   if (rebuilder_ != nullptr) rebuilder_->Stop();
 }
@@ -106,7 +116,7 @@ void Server::AfterUpdate(const Result<uint64_t>& outcome) {
 
 void Server::AfterUpdate(const Status& outcome) {
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     if (outcome.ok()) {
       ++stats_.updates_applied;
     } else {
@@ -124,7 +134,7 @@ void Server::AfterUpdate(const Status& outcome) {
   Result<PublishKind> published =
       MaybeRebuildInline(table_.get(), inline_policy_);
   if (published.ok() && *published != PublishKind::kNone) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     if (*published == PublishKind::kMajor) {
       ++stats_.rebuilds_published;
     } else {
@@ -169,7 +179,7 @@ QueryResponse Server::Execute(const QueryRequest& request,
       TopKOverlay(view, cost_fn_, request.k, options_.default_epsilon,
                   control, &query_stats);
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     stats_.MergeFrom(query_stats);
   }
   if (results.ok()) {
@@ -204,7 +214,7 @@ std::vector<QueryResponse> Server::ExecuteBatch(
                    &outcomes, &batch_stats);
   const double elapsed = wall.ElapsedSeconds();
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     stats_.MergeFrom(batch_stats);
     batch_size_.Observe(static_cast<double>(requests.size()));
   }
@@ -222,7 +232,7 @@ std::vector<QueryResponse> Server::ExecuteBatch(
 }
 
 void Server::RecordOutcome(const QueryResponse& response) {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   switch (response.status.code()) {
     case StatusCode::kOk:
       ++stats_.queries_executed;
@@ -293,7 +303,7 @@ std::future<QueryResponse> Server::Submit(QueryRequest request) {
   pending.request = std::move(request);
   std::future<QueryResponse> future = pending.promise.get_future();
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     if (shutdown_) {
       QueryResponse response;
       response.status = Status::Cancelled("server shutting down");
@@ -321,18 +331,26 @@ void Server::WorkerLoop() {
   for (;;) {
     std::vector<PendingQuery> group;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] {
-        return shutdown_ || (!hold_workers_ && !queue_.empty());
-      });
+      // Explicit wait loops (not predicate lambdas): the analysis checks
+      // each guarded read against the lock actually held here.
+      MutexLock lock(queue_mu_);
+      while (!(shutdown_ || (!hold_workers_ && !queue_.empty()))) {
+        queue_cv_.wait(queue_mu_);
+      }
       if (shutdown_) return;
       if (cap > 1 && options_.batch_wait_us > 0 && queue_.size() < cap) {
         // Bounded wait to fill the group; on timeout run what arrived.
         // After a shutdown wakes this wait we still drain and execute what
         // we take — returning while holding queries would strand promises.
-        queue_cv_.wait_for(
-            lock, std::chrono::microseconds(options_.batch_wait_us),
-            [this, cap] { return shutdown_ || queue_.size() >= cap; });
+        const auto deadline =
+            SteadyClock::now() +
+            std::chrono::microseconds(options_.batch_wait_us);
+        while (!(shutdown_ || queue_.size() >= cap)) {
+          if (queue_cv_.wait_until(queue_mu_, deadline) ==
+              std::cv_status::timeout) {
+            break;
+          }
+        }
       }
       if (hold_workers_) continue;  // test seam engaged mid-wait
       while (!queue_.empty() && group.size() < cap) {
@@ -380,7 +398,7 @@ void Server::WorkerLoop() {
 }
 
 ServeStats Server::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   ServeStats copy = stats_;
   if (rebuilder_ != nullptr) {
     copy.rebuilds_published = rebuilder_->rebuilds_published();
@@ -412,7 +430,7 @@ void Server::FillMetrics(MetricsRegistry* registry) const {
       ->AddGauge("skyup_serve_live_products",
                  "live product rows (snapshot + overlay)")
       ->Set(static_cast<double>(table_->live_product_count()));
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   registry
       ->AddHistogram("skyup_serve_query_latency_seconds",
                      "end-to-end serve query latency",
@@ -426,13 +444,13 @@ void Server::FillMetrics(MetricsRegistry* registry) const {
 }
 
 void Server::HoldWorkersForTest() {
-  std::lock_guard<std::mutex> lock(queue_mu_);
+  MutexLock lock(queue_mu_);
   hold_workers_ = true;
 }
 
 void Server::ReleaseWorkersForTest() {
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     hold_workers_ = false;
   }
   queue_cv_.notify_all();

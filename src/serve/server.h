@@ -11,12 +11,10 @@
 // `Rebuilder`, or inline after each update when
 // `ServerOptions::background_rebuild` is false (replay mode).
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -27,7 +25,10 @@
 #include "serve/query.h"
 #include "serve/rebuilder.h"
 #include "serve/serve_stats.h"
+#include "util/lock_order.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace skyup {
 
@@ -150,10 +151,15 @@ class Server {
   std::vector<QueryResponse> ExecuteBatch(
       const std::vector<const QueryRequest*>& requests,
       const std::vector<const QueryControl*>& controls);
-  void RecordOutcome(const QueryResponse& response);
-  void AfterUpdate(const Result<uint64_t>& outcome);
-  void AfterUpdate(const Status& outcome);
-  void WorkerLoop();
+  /// Callable while holding `queue_mu_` (Submit records rejections inside
+  /// its admission critical section — the queue -> stats edge of the
+  /// declared lock order), but never while holding `stats_mu_` itself.
+  void RecordOutcome(const QueryResponse& response)
+      SKYUP_EXCLUDES(stats_mu_);
+  void AfterUpdate(const Result<uint64_t>& outcome)
+      SKYUP_EXCLUDES(stats_mu_);
+  void AfterUpdate(const Status& outcome) SKYUP_EXCLUDES(stats_mu_);
+  void WorkerLoop() SKYUP_EXCLUDES(queue_mu_, stats_mu_);
 
   ProductCostFunction cost_fn_;
   ServerOptions options_;
@@ -161,17 +167,27 @@ class Server {
   std::unique_ptr<Rebuilder> rebuilder_;
   RebuildPolicy inline_policy_;
 
-  mutable std::mutex stats_mu_;
-  ServeStats stats_;
-  Histogram query_latency_{Histogram::DefaultLatencyBucketsSeconds()};
+  // kServerStats band: acquired under `queue_mu_` (Submit's rejection
+  // accounting) and above the rebuilder lock (stats() reads the publish
+  // counters) and the metrics registry (FillMetrics exports under it).
+  mutable Mutex stats_mu_ SKYUP_ACQUIRED_AFTER(lock_order::kServerStats)
+      SKYUP_ACQUIRED_BEFORE(lock_order::kRebuilder);
+  ServeStats stats_ SKYUP_GUARDED_BY(stats_mu_);
+  Histogram query_latency_ SKYUP_GUARDED_BY(stats_mu_){
+      Histogram::DefaultLatencyBucketsSeconds()};
   /// Queries per grouped execution (observed per drain when batching on).
-  Histogram batch_size_{{1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0}};
+  Histogram batch_size_ SKYUP_GUARDED_BY(stats_mu_){
+      {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0}};
 
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<PendingQuery> queue_;
-  bool shutdown_ = false;
-  bool hold_workers_ = false;
+  // kServerQueue band: the outermost lock in the process — nothing is
+  // ever acquired before it.
+  Mutex queue_mu_ SKYUP_ACQUIRED_AFTER(lock_order::kServerQueue)
+      SKYUP_ACQUIRED_BEFORE(lock_order::kServerStats);
+  CondVar queue_cv_;
+  std::deque<PendingQuery> queue_ SKYUP_GUARDED_BY(queue_mu_);
+  bool shutdown_ SKYUP_GUARDED_BY(queue_mu_) = false;
+  bool hold_workers_ SKYUP_GUARDED_BY(queue_mu_) = false;
+  /// Written once at construction, joined once at destruction; no guard.
   std::vector<std::thread> workers_;
 };
 

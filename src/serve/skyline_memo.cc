@@ -58,7 +58,7 @@ bool SkylineMemo::Lookup(uint64_t epoch, const double* t,
                          uint64_t erased_indexed, std::vector<PointId>* rows) {
   const uint64_t key = KeyOf(t);
   Shard& shard = shards_[key % kShards];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.buckets.find(key);
   if (it == shard.buckets.end()) return false;
   for (const Entry& e : it->second.entries) {
@@ -86,7 +86,7 @@ void SkylineMemo::Store(uint64_t epoch, const double* t,
   entry.rows = rows;
   const size_t entry_bytes = EntryBytes(entry);
 
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto [it, created] = shard.buckets.try_emplace(key);
   if (created) shard.fifo.push_back(key);
   Bucket& bucket = it->second;
@@ -121,7 +121,7 @@ void SkylineMemo::EvictLocked(Shard* shard) {
 
 void SkylineMemo::OnPublish() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.buckets.clear();
     shard.fifo.clear();
     shard.fifo_head = 0;
@@ -132,7 +132,7 @@ void SkylineMemo::OnPublish() {
 size_t SkylineMemo::entry_count() const {
   size_t n = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (const auto& [key, bucket] : shard.buckets) {
       n += bucket.entries.size();
     }
@@ -143,7 +143,7 @@ size_t SkylineMemo::entry_count() const {
 size_t SkylineMemo::bytes_used() const {
   size_t n = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     n += shard.bytes;
   }
   return n;
@@ -152,7 +152,7 @@ size_t SkylineMemo::bytes_used() const {
 uint64_t SkylineMemo::evictions() const {
   uint64_t n = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     n += shard.evictions;
   }
   return n;

@@ -38,11 +38,13 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "core/point.h"
+#include "util/lock_order.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace skyup {
 
@@ -91,20 +93,25 @@ class SkylineMemo {
   struct Bucket {
     std::vector<Entry> entries;
   };
+  // Shard locks sit in the table-substructure band: Store/OnPublish run
+  // while LiveTable::mu_ is held, and shards are only ever locked one at
+  // a time (the diagnostics aggregate sequentially).
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<uint64_t, Bucket> buckets;
-    std::vector<uint64_t> fifo;  // bucket keys in creation order
-    size_t fifo_head = 0;        // evicted prefix of `fifo`
-    size_t bytes = 0;
-    uint64_t evictions = 0;
+    mutable Mutex mu SKYUP_ACQUIRED_AFTER(lock_order::kTableSub)
+        SKYUP_ACQUIRED_BEFORE(lock_order::kObsRegistry);
+    std::unordered_map<uint64_t, Bucket> buckets SKYUP_GUARDED_BY(mu);
+    std::vector<uint64_t> fifo
+        SKYUP_GUARDED_BY(mu);        // bucket keys in creation order
+    size_t fifo_head SKYUP_GUARDED_BY(mu) = 0;  // evicted prefix of `fifo`
+    size_t bytes SKYUP_GUARDED_BY(mu) = 0;
+    uint64_t evictions SKYUP_GUARDED_BY(mu) = 0;
   };
 
   static constexpr size_t kShards = 16;
 
   uint64_t KeyOf(const double* t) const;
   static size_t EntryBytes(const Entry& e);
-  void EvictLocked(Shard* shard);
+  void EvictLocked(Shard* shard) SKYUP_REQUIRES(shard->mu);
 
   const size_t dims_;
   const size_t max_bytes_;

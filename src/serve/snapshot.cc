@@ -79,7 +79,7 @@ Result<std::shared_ptr<const Snapshot>> Snapshot::Create(
 
 void SnapshotStore::Publish(std::shared_ptr<const Snapshot> snapshot) {
   SKYUP_CHECK(snapshot != nullptr) << "cannot publish a null snapshot";
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   SKYUP_CHECK(current_ == nullptr || snapshot->epoch() > current_->epoch())
       << "snapshot epochs must strictly increase: " << snapshot->epoch()
       << " after " << current_->epoch();
@@ -87,12 +87,12 @@ void SnapshotStore::Publish(std::shared_ptr<const Snapshot> snapshot) {
 }
 
 std::shared_ptr<const Snapshot> SnapshotStore::Acquire() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return current_;
 }
 
 uint64_t SnapshotStore::epoch() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return current_ == nullptr ? 0 : current_->epoch();
 }
 

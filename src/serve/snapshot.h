@@ -27,7 +27,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -35,7 +34,10 @@
 #include "core/dominance_batch.h"
 #include "core/point.h"
 #include "rtree/flat_rtree.h"
+#include "util/lock_order.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace skyup {
@@ -168,8 +170,9 @@ class SnapshotStore {
   uint64_t epoch() const;
 
  private:
-  mutable std::mutex mu_;
-  std::shared_ptr<const Snapshot> current_;
+  mutable Mutex mu_ SKYUP_ACQUIRED_AFTER(lock_order::kTableSub)
+      SKYUP_ACQUIRED_BEFORE(lock_order::kObsRegistry);
+  std::shared_ptr<const Snapshot> current_ SKYUP_GUARDED_BY(mu_);
 };
 
 }  // namespace skyup

@@ -30,7 +30,7 @@ bool AnyMemberStrictlyDominates(const std::vector<double>& skyline,
 UpgradeCache::UpgradeCache(size_t dims) : dims_(dims) {}
 
 void UpgradeCache::OnDeltaOp(const DeltaOp& op) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++version_;
   if (op.target == DeltaTarget::kProduct) {
     // Product inserts start uncached (the first query computes and
@@ -71,14 +71,14 @@ void UpgradeCache::OnDeltaOp(const DeltaOp& op) {
 }
 
 uint64_t UpgradeCache::version() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return version_;
 }
 
 bool UpgradeCache::Lookup(uint64_t product_id, uint64_t view_version,
                           double epsilon, double admit_hint,
                           Hit* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(product_id);
   if (it == entries_.end()) return false;
   const Entry& entry = it->second;
@@ -98,7 +98,7 @@ void UpgradeCache::Store(uint64_t product_id, const double* coords,
                          uint64_t view_version, double epsilon,
                          const UpgradeOutcome& outcome,
                          const std::vector<const double*>& skyline) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // An op landed while this query was computing: ops after `view_version`
   // were never checked against this result, so it may already be stale.
   if (version_ != view_version) return;
@@ -117,7 +117,7 @@ void UpgradeCache::Store(uint64_t product_id, const double* coords,
 }
 
 size_t UpgradeCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 

@@ -31,12 +31,14 @@
 // entry.
 
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "core/single_upgrade.h"
 #include "serve/delta_log.h"
+#include "util/lock_order.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace skyup {
 
@@ -96,10 +98,12 @@ class UpgradeCache {
   };
 
   const size_t dims_;
-  mutable std::mutex mu_;
-  uint64_t version_ = 0;
-  std::unordered_map<uint64_t, Entry> entries_;
-  std::unordered_map<uint64_t, std::vector<double>> competitor_coords_;
+  mutable Mutex mu_ SKYUP_ACQUIRED_AFTER(lock_order::kTableSub)
+      SKYUP_ACQUIRED_BEFORE(lock_order::kObsRegistry);
+  uint64_t version_ SKYUP_GUARDED_BY(mu_) = 0;
+  std::unordered_map<uint64_t, Entry> entries_ SKYUP_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, std::vector<double>> competitor_coords_
+      SKYUP_GUARDED_BY(mu_);
 };
 
 }  // namespace skyup

@@ -1,0 +1,59 @@
+#ifndef SKYUP_UTIL_LOCK_ORDER_H_
+#define SKYUP_UTIL_LOCK_ORDER_H_
+
+// Global lock-acquisition order, encoded as capability "rank" tokens so
+// Clang Thread Safety Analysis (-Wthread-safety-beta) turns potential
+// deadlocks into compile errors.
+//
+// A Rank is a capability that is never acquired at runtime; it exists
+// only to anchor SKYUP_ACQUIRED_BEFORE/AFTER edges. Each real mutex is
+// sandwiched between two adjacent ranks, which places every mutex class
+// in one total order without pairwise edges between unrelated mutexes.
+// The analysis computes the transitive closure, so acquiring a
+// lower-band mutex while holding a higher-band one is rejected at
+// compile time.
+//
+// Declared order, outermost (acquired first) to innermost:
+//
+//   kServerQueue   Server::queue_mu_   (admission queue + worker wakeup)
+//        |
+//   kServerStats   Server::stats_mu_   (ServeStats + latency histograms;
+//        |                             Submit records rejects while
+//        |                             holding the queue lock)
+//   kRebuilder     Rebuilder::mu_      (Server::stats() reads publish
+//        |                             counters under stats_mu_)
+//   kTable         LiveTable::mu_      (delta apply / view acquisition)
+//        |
+//   kTableSub      DeltaLog, UpgradeCache, SkylineMemo shards,
+//        |         SnapshotStore — table substructures locked while
+//        |         LiveTable::mu_ is held; mutually non-nesting
+//   kObsRegistry   trace registry, MetricsRegistry — leaf locks; any
+//                  layer may export metrics/spans, nothing is acquired
+//                  under them
+//
+// See docs/algorithms.md ("Static concurrency analysis") for the full
+// capability map and the rationale for each edge.
+
+#include "util/thread_annotations.h"
+
+namespace skyup {
+namespace lock_order {
+
+class SKYUP_CAPABILITY("lock_rank") Rank {
+ public:
+  Rank() = default;
+  Rank(const Rank&) = delete;
+  Rank& operator=(const Rank&) = delete;
+};
+
+inline Rank kServerQueue;
+inline Rank kServerStats SKYUP_ACQUIRED_AFTER(kServerQueue);
+inline Rank kRebuilder SKYUP_ACQUIRED_AFTER(kServerStats);
+inline Rank kTable SKYUP_ACQUIRED_AFTER(kRebuilder);
+inline Rank kTableSub SKYUP_ACQUIRED_AFTER(kTable);
+inline Rank kObsRegistry SKYUP_ACQUIRED_AFTER(kTableSub);
+
+}  // namespace lock_order
+}  // namespace skyup
+
+#endif  // SKYUP_UTIL_LOCK_ORDER_H_

@@ -1,0 +1,159 @@
+#ifndef SKYUP_UTIL_MUTEX_H_
+#define SKYUP_UTIL_MUTEX_H_
+
+// Capability-annotated synchronization wrappers. Every mutex, condition
+// variable, and lock holder in src/ goes through these types (lint rule
+// "raw-mutex", tools/lint.py) so Clang Thread Safety Analysis can see
+// the whole concurrent surface:
+//
+//   Mutex / MutexLock         annotated std::mutex + RAII scoped lock
+//   SharedMutex               annotated std::shared_mutex
+//   ReaderLock / WriterLock   RAII shared / exclusive lock holders
+//   CondVar                   condition variable waiting on a Mutex
+//
+// Under non-Clang compilers the wrappers collapse to literal aliases of
+// the standard types (zero cost, identical call-site syntax). Under
+// Clang they are thin inline shims whose lock/unlock methods carry
+// acquire/release attributes — same codegen, plus static checking.
+//
+// Call-site contract shared by both sides:
+//   - `MutexLock lock(mu_);` acquires for the enclosing scope.
+//   - `cv_.wait(mu_);` / `cv_.wait_for(mu_, d);` /
+//     `cv_.wait_until(mu_, tp);` wait with the Mutex itself (CondVar is
+//     std::condition_variable_any underneath, so no std::unique_lock —
+//     which the analysis cannot see through — ever appears at call
+//     sites). Predicates are written as explicit `while (!P) wait;`
+//     loops so the analysis checks the guarded reads in P.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.h"
+
+namespace skyup {
+
+#if defined(__clang__)
+
+class SKYUP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SKYUP_ACQUIRE() { mu_.lock(); }
+  void unlock() SKYUP_RELEASE() { mu_.unlock(); }
+  bool try_lock() SKYUP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+class SKYUP_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() SKYUP_ACQUIRE() { mu_.lock(); }
+  void unlock() SKYUP_RELEASE() { mu_.unlock(); }
+  bool try_lock() SKYUP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock_shared() SKYUP_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() SKYUP_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+// Canonical scoped holder from the Clang TSA documentation: the ctor
+// acquires (and announces it), the dtor releases.
+class SKYUP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SKYUP_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() SKYUP_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+class SKYUP_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) SKYUP_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~ReaderLock() SKYUP_RELEASE() { mu_.unlock_shared(); }
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+class SKYUP_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) SKYUP_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~WriterLock() SKYUP_RELEASE() { mu_.unlock(); }
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+// Waits directly on a Mutex (condition_variable_any underneath), so the
+// held capability stays visible to the analysis across the wait. Every
+// wait method REQUIRES the mutex; the wait itself unlocks/relocks inside
+// the standard library, which is invisible to (and ignored by) TSA —
+// exactly the std::condition_variable contract.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(Mutex& mu) SKYUP_REQUIRES(mu) { cv_.wait(mu); }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(Mutex& mu,
+                          const std::chrono::duration<Rep, Period>& timeout)
+      SKYUP_REQUIRES(mu) {
+    return cv_.wait_for(mu, timeout);
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      SKYUP_REQUIRES(mu) {
+    return cv_.wait_until(mu, deadline);
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+#else  // !defined(__clang__)
+
+// Literal aliases: the annotated call-site syntax above is exactly the
+// standard-library syntax, so non-Clang builds use the real types with
+// no wrapper in the way.
+using Mutex = std::mutex;
+using SharedMutex = std::shared_mutex;
+using MutexLock = std::scoped_lock<std::mutex>;
+using ReaderLock = std::shared_lock<std::shared_mutex>;
+using WriterLock = std::scoped_lock<std::shared_mutex>;
+using CondVar = std::condition_variable_any;
+
+#endif  // defined(__clang__)
+
+}  // namespace skyup
+
+#endif  // SKYUP_UTIL_MUTEX_H_

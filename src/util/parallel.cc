@@ -44,6 +44,7 @@ AtomicCostThreshold::AtomicCostThreshold()
     : threshold_(std::numeric_limits<double>::infinity()) {}
 
 double AtomicCostThreshold::Get() const {
+  // lint: relaxed-ok (stale larger bound only weakens pruning, header doc)
   return threshold_.load(std::memory_order_relaxed);
 }
 
@@ -51,8 +52,10 @@ bool AtomicCostThreshold::RelaxTo(double value) {
   // A NaN bound would silently disable pruning forever (every comparison
   // below is false); surface it instead of converging to garbage.
   SKYUP_DCHECK(!std::isnan(value)) << "RelaxTo(NaN)";
+  // lint: relaxed-ok (monotone CAS-min; no payload rides on the value)
   double current = threshold_.load(std::memory_order_relaxed);
   while (value < current) {
+    // lint: relaxed-ok (same rationale as the load above)
     if (threshold_.compare_exchange_weak(current, value,
                                          std::memory_order_relaxed)) {
       return true;

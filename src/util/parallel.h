@@ -4,6 +4,14 @@
 // Minimal sharded-parallelism primitives shared by the query engine and
 // the benches: a contiguous-range ParallelFor over std::thread workers and
 // a lock-free, monotonically non-increasing cost threshold (CAS-min).
+//
+// Static concurrency analysis note: ParallelFor is the one place work
+// crosses threads without a capability changing hands — Clang Thread
+// Safety Analysis cannot follow the spawn/join handoff, so a `body` that
+// touches guarded state must acquire the guarding lock *inside* the
+// lambda (as core/parallel_probing.cc does for its stop status). The
+// join in ParallelFor is still the happens-before edge that lets callers
+// read the workers' results unlocked afterwards.
 
 #include <atomic>
 #include <cstddef>

@@ -1,0 +1,80 @@
+#ifndef SKYUP_UTIL_THREAD_ANNOTATIONS_H_
+#define SKYUP_UTIL_THREAD_ANNOTATIONS_H_
+
+// Clang Thread Safety Analysis attribute macros (abseil-style, SKYUP_
+// prefixed). Under Clang these expand to the capability attributes the
+// analysis consumes; every other compiler sees empty macros, so the
+// annotated tree costs nothing and parses identically everywhere.
+//
+// The analysis itself is opt-in: configure with -DSKYUP_THREAD_SAFETY=ON
+// under a Clang toolchain and -Wthread-safety/-Wthread-safety-beta run as
+// errors over every translation unit. tests/tsa_fail/ holds compile-fail
+// seeds proving the annotations bite (ctest label "static").
+//
+// Vocabulary (see docs/algorithms.md, "Static concurrency analysis"):
+//   SKYUP_CAPABILITY("mutex")    a type whose instances are lockable
+//   SKYUP_SCOPED_CAPABILITY      RAII type that acquires in its ctor
+//   SKYUP_GUARDED_BY(mu)         data member readable/writable only
+//                                while mu is held
+//   SKYUP_PT_GUARDED_BY(mu)      as above, for the pointee of a pointer
+//   SKYUP_REQUIRES(mu)           function precondition: caller holds mu
+//   SKYUP_ACQUIRE / SKYUP_RELEASE  function acquires/releases mu itself
+//   SKYUP_EXCLUDES(mu)           caller must NOT hold mu (anti-reentrancy)
+//   SKYUP_ACQUIRED_BEFORE/AFTER  declared lock order; inversions are
+//                                compile errors under -Wthread-safety-beta
+//   SKYUP_NO_THREAD_SAFETY_ANALYSIS  per-function escape hatch; every use
+//                                must carry a "// tsa: <why>" comment
+//                                (lint-enforced, tools/lint.py)
+
+#if defined(__clang__)
+#define SKYUP_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define SKYUP_THREAD_ANNOTATION__(x)
+#endif
+
+#define SKYUP_CAPABILITY(x) SKYUP_THREAD_ANNOTATION__(capability(x))
+
+#define SKYUP_SCOPED_CAPABILITY SKYUP_THREAD_ANNOTATION__(scoped_lockable)
+
+#define SKYUP_GUARDED_BY(x) SKYUP_THREAD_ANNOTATION__(guarded_by(x))
+
+#define SKYUP_PT_GUARDED_BY(x) SKYUP_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+#define SKYUP_ACQUIRED_BEFORE(...) \
+  SKYUP_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+
+#define SKYUP_ACQUIRED_AFTER(...) \
+  SKYUP_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+#define SKYUP_REQUIRES(...) \
+  SKYUP_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+#define SKYUP_REQUIRES_SHARED(...) \
+  SKYUP_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+#define SKYUP_ACQUIRE(...) \
+  SKYUP_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+#define SKYUP_ACQUIRE_SHARED(...) \
+  SKYUP_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+#define SKYUP_RELEASE(...) \
+  SKYUP_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+#define SKYUP_RELEASE_SHARED(...) \
+  SKYUP_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+#define SKYUP_TRY_ACQUIRE(...) \
+  SKYUP_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+#define SKYUP_EXCLUDES(...) SKYUP_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+#define SKYUP_ASSERT_CAPABILITY(x) \
+  SKYUP_THREAD_ANNOTATION__(assert_capability(x))
+
+#define SKYUP_RETURN_CAPABILITY(x) SKYUP_THREAD_ANNOTATION__(lock_returned(x))
+
+#define SKYUP_NO_THREAD_SAFETY_ANALYSIS \
+  SKYUP_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // SKYUP_UTIL_THREAD_ANNOTATIONS_H_

@@ -103,6 +103,47 @@ TEST(LiveTableTest, ViewIsConsistentAtCaptureTime) {
   EXPECT_EQ(t.AcquireView().deltas.size(), 2u);
 }
 
+// Regression for the trickiest annotated invariant (live_table.cc,
+// AcquireView): the version stamp and the delta vector are captured
+// under the same table mutex that serialized every accepted op, so
+// `version` always equals the op count the view's deltas reflect —
+// including across a rebuild, which empties the deltas but must not
+// rewind the stamp (it is the upgrade cache's monotone validity clock).
+TEST(LiveTableTest, ViewVersionStampMatchesCapturedDeltas) {
+  Result<std::unique_ptr<LiveTable>> table = MakeTable(2);
+  ASSERT_TRUE(table.ok());
+  LiveTable& t = **table;
+
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(t.InsertCompetitor({0.1 * (i + 1), 0.9 - 0.1 * i}).ok());
+  }
+  ReadView before = t.AcquireView();
+  EXPECT_EQ(before.version, 3u);
+  EXPECT_EQ(before.deltas.size(), 3u);
+
+  // Publish a snapshot: the deltas are absorbed, the stamp stays put.
+  std::optional<LiveTable::RebuildJob> job = t.BeginRebuild();
+  ASSERT_TRUE(job.has_value());
+  Result<std::shared_ptr<const Snapshot>> merged = MergeSnapshot(
+      *job->base, job->ops, job->next_epoch, t.index_options());
+  ASSERT_TRUE(merged.ok());
+  t.CompleteRebuild(*merged);
+
+  ReadView after = t.AcquireView();
+  EXPECT_EQ(after.version, 3u);
+  EXPECT_TRUE(after.deltas.empty());
+
+  // The next accepted op (erases count too) moves the stamp and the
+  // captured deltas together.
+  ASSERT_TRUE(t.EraseCompetitor(1).ok());
+  ReadView next = t.AcquireView();
+  EXPECT_EQ(next.version, 4u);
+  EXPECT_EQ(next.deltas.size(), 1u);
+  // Earlier views are unaffected (capture-time consistency).
+  EXPECT_EQ(before.version, 3u);
+  EXPECT_EQ(before.deltas.size(), 3u);
+}
+
 TEST(BuildOverlayTest, InsertThenEraseCancels) {
   Result<std::unique_ptr<LiveTable>> table = MakeTable(2);
   ASSERT_TRUE(table.ok());

@@ -1,0 +1,35 @@
+// Compile-fail seed (EXPECT=fail, tsa_compile_check.cmake): calling a
+// SKYUP_EXCLUDES(mu) function while holding mu must be rejected
+// ("cannot call function ... while mutex ... is held"). This is the
+// anti-reentrancy contract Server::RecordOutcome and the AfterUpdate
+// hooks rely on — violating it self-deadlocks on a non-recursive mutex.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Stats {
+ public:
+  void Record() SKYUP_EXCLUDES(mu_) {
+    skyup::MutexLock lock(mu_);
+    ++count_;
+  }
+
+  void RecordTwice() {
+    skyup::MutexLock lock(mu_);
+    Record();  // BUG: re-enters while mu_ is held — self-deadlock.
+  }
+
+ private:
+  skyup::Mutex mu_;
+  int count_ SKYUP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Stats s;
+  s.RecordTwice();
+  return 0;
+}

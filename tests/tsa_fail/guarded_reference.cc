@@ -1,0 +1,35 @@
+// Compile-fail seed (EXPECT=fail, tsa_compile_check.cmake): returning
+// a mutable reference to a SKYUP_GUARDED_BY member must be rejected
+// (-Wthread-safety-reference, "returning variable ... by reference
+// requires holding mutex") — the reference lets every caller mutate the
+// member with no lock in sight.
+
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Registry {
+ public:
+  void Add(int v) {
+    skyup::MutexLock lock(mu_);
+    entries_.push_back(v);
+  }
+
+  // BUG: leaks an unlocked mutable reference to the guarded vector.
+  std::vector<int>& entries() { return entries_; }
+
+ private:
+  skyup::Mutex mu_;
+  std::vector<int> entries_ SKYUP_GUARDED_BY(mu_);
+};
+
+}  // namespace
+
+int main() {
+  Registry r;
+  r.Add(1);
+  return static_cast<int>(r.entries().size());
+}

@@ -1,0 +1,24 @@
+// Compile-fail seed (EXPECT=fail, tsa_compile_check.cmake): an early
+// return while the mutex is still held must be rejected ("mutex ... is
+// still held at the end of function"). Manual lock()/unlock() is legal
+// on the wrapper — the analysis is what keeps every path balanced.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+skyup::Mutex g_mu;
+int g_value SKYUP_GUARDED_BY(g_mu) = 0;
+
+int TakeAndMaybeLeak(bool early) {
+  g_mu.lock();
+  if (early) return -1;  // BUG: returns without unlocking g_mu.
+  const int v = g_value;
+  g_mu.unlock();
+  return v;
+}
+
+}  // namespace
+
+int main() { return TakeAndMaybeLeak(false); }

@@ -1,0 +1,59 @@
+# Drives one tests/tsa_fail/ seed through `clang -fsyntax-only` with the
+# same thread-safety flag set the SKYUP_THREAD_SAFETY build uses, and
+# checks the outcome against the seed's expectation:
+#
+#   EXPECT=fail  the seed must be REJECTED, and the rejection must come
+#                from the thread-safety analysis (stderr mentions
+#                "thread-safety"), not from an unrelated compile error —
+#                a broken include path would otherwise count as a pass.
+#   EXPECT=pass  the seed must compile clean; this is the automated
+#                check that the wrapper types themselves are TSA-sound.
+#
+# Invoked by the `tsa_fail_*` / `tsa_pass_*` ctest entries (label
+# "static", tests/CMakeLists.txt):
+#   cmake -DCXX=<clang++> -DINCLUDE_DIR=<repo>/src -DSEED_FILE=<seed.cc>
+#         -DEXPECT=fail -P tsa_compile_check.cmake
+
+foreach(var CXX INCLUDE_DIR SEED_FILE EXPECT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "tsa_compile_check: -D${var}=... is required")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CXX} -std=c++20 -fsyntax-only -I${INCLUDE_DIR}
+          -Wthread-safety
+          -Wthread-safety-beta
+          -Werror=thread-safety-analysis
+          -Werror=thread-safety-attributes
+          -Werror=thread-safety-precise
+          -Werror=thread-safety-reference
+          -Werror=thread-safety-beta
+          ${SEED_FILE}
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE compile_stdout
+  ERROR_VARIABLE compile_stderr)
+
+if(EXPECT STREQUAL "fail")
+  if(exit_code EQUAL 0)
+    message(FATAL_ERROR
+            "${SEED_FILE}: expected the thread-safety analysis to reject "
+            "this seed, but it compiled clean — the annotations no longer "
+            "bite")
+  endif()
+  if(NOT compile_stderr MATCHES "thread-safety")
+    message(FATAL_ERROR
+            "${SEED_FILE}: rejected, but not by the thread-safety "
+            "analysis — fix the seed so the intended diagnostic fires:\n"
+            "${compile_stderr}")
+  endif()
+elseif(EXPECT STREQUAL "pass")
+  if(NOT exit_code EQUAL 0)
+    message(FATAL_ERROR
+            "${SEED_FILE}: expected to compile clean under the full "
+            "thread-safety flag set, but failed:\n${compile_stderr}")
+  endif()
+else()
+  message(FATAL_ERROR "tsa_compile_check: EXPECT must be pass or fail "
+                      "(got '${EXPECT}')")
+endif()

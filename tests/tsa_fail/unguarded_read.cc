@@ -1,0 +1,32 @@
+// Compile-fail seed (EXPECT=fail, tsa_compile_check.cmake): reading a
+// SKYUP_GUARDED_BY member without holding its mutex must be rejected
+// ("reading variable ... requires holding mutex"). This is the bread-
+// and-butter diagnostic every annotated member in src/serve relies on.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() {
+    skyup::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  // BUG: reads the guarded member with no lock held.
+  int Read() const { return value_; }
+
+ private:
+  mutable skyup::Mutex mu_;
+  int value_ SKYUP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  return c.Read();
+}

@@ -29,6 +29,35 @@ gymnastics on purpose) and fails with file:line diagnostics on:
                  double fields vs MergeFrom add() lines vs the
                  `N * sizeof(double)` static_assert multiplier.
 
+  raw-mutex      std::mutex / lock_guard / unique_lock / shared_mutex /
+                 condition_variable outside src/util/mutex.h. All
+                 synchronization goes through the capability-annotated
+                 wrappers (Mutex, MutexLock, ReaderLock, WriterLock,
+                 CondVar) so Clang Thread Safety Analysis sees the whole
+                 concurrent surface; a raw primitive is a hole in the
+                 analysis. Annotate `// lint: raw-mutex-ok (<why>)` for
+                 the (so far hypothetical) site that cannot use them.
+
+  guarded-by     A wrapper Mutex/SharedMutex member declared in a file
+                 where no SKYUP_GUARDED_BY(...) names it: a mutex that
+                 guards nothing the analysis can check is usually a
+                 mutex whose data lost its annotations. Function-local
+                 mutexes (GUARDED_BY only applies to members/globals)
+                 annotate `// lint: guarded-by-ok (<why>)`.
+
+  relaxed        std::memory_order_relaxed without an adjacent
+                 `// lint: relaxed-ok (<why>)`. Relaxed atomics are the
+                 one concurrency idiom neither the wrappers nor TSA can
+                 vouch for, so every site carries its own proof sketch
+                 (see docs/algorithms.md, "Static concurrency
+                 analysis", for the current allowlist).
+
+  tsa-escape     SKYUP_NO_THREAD_SAFETY_ANALYSIS without an adjacent
+                 `// tsa: <why>` comment. The escape hatch silences the
+                 analysis for a whole function; the comment is the
+                 reviewable justification (currently one site:
+                 DeltaLog::Append's write-ahead hook contract).
+
 Run: python3 tools/lint.py [--root <repo>]
 Exit status 0 = clean, 1 = findings (one per line on stdout).
 """
@@ -53,6 +82,32 @@ UNORDERED_DECL_RE = re.compile(
     r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;]*>\s+(\w+)"
 )
 UNORDERED_ITER_OK = "lint: unordered-iter-ok"
+
+RAW_MUTEX_RE = re.compile(
+    r"std::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex"
+    r"|shared_mutex|shared_timed_mutex|condition_variable(?:_any)?"
+    r"|lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+)
+RAW_MUTEX_OK = "lint: raw-mutex-ok"
+# The wrapper header is the one place the raw primitives belong.
+SYNC_WRAPPER_FILE = "src/util/mutex.h"
+
+# A capability-annotated mutex member/global: optionally `mutable`, the
+# wrapper type, a name, then either `;` or an SKYUP_ attribute
+# (ACQUIRED_BEFORE/AFTER sandwiches). References (`Mutex&`) and the
+# non-Clang `using Mutex = ...` aliases do not match.
+GUARDED_BY_DECL_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:skyup::)?(?:Shared)?Mutex\s+(\w+)\s*(?=;|SKYUP_)"
+)
+GUARDED_BY_OK = "lint: guarded-by-ok"
+
+RELAXED_RE = re.compile(r"std::memory_order_relaxed\b")
+RELAXED_OK = "lint: relaxed-ok"
+
+TSA_ESCAPE_RE = re.compile(r"SKYUP_NO_THREAD_SAFETY_ANALYSIS\b")
+TSA_ESCAPE_OK = "// tsa:"
+# The macro's own definition (and doc) lives here.
+TSA_MACRO_FILE = "src/util/thread_annotations.h"
 
 MERGE_ADD_RE = re.compile(r"^\s*add\(&(\w+),", re.M)
 
@@ -96,8 +151,12 @@ def strip_comments_and_strings(line: str) -> str:
 
 
 def lint_file(path: pathlib.Path, rel: str, findings: list[str]) -> None:
-    lines = path.read_text().splitlines()
+    text = path.read_text()
+    lines = text.splitlines()
     unordered_vars: set[str] = set()
+    # (lineno, name) of wrapper mutex declarations, checked for
+    # SKYUP_GUARDED_BY coverage after the whole file has been read.
+    mutex_decls: list[tuple[int, str]] = []
 
     def annotated(lineno: int, marker: str) -> bool:
         # The annotation may sit on the flagged line itself or in a comment
@@ -134,6 +193,54 @@ def lint_file(path: pathlib.Path, rel: str, findings: list[str]) -> None:
                     " output — annotate"
                     f" `// {UNORDERED_ITER_OK} (<why>)` if it cannot"
                 )
+
+        if (
+            RAW_MUTEX_RE.search(code)
+            and rel != SYNC_WRAPPER_FILE
+            and not annotated(lineno, RAW_MUTEX_OK)
+        ):
+            findings.append(
+                f"{rel}:{lineno}: [raw-mutex] raw standard-library"
+                " synchronization; use the annotated wrappers in"
+                " util/mutex.h (Mutex, MutexLock, ReaderLock, WriterLock,"
+                f" CondVar) or annotate `// {RAW_MUTEX_OK} (<why>)`"
+            )
+
+        decl = GUARDED_BY_DECL_RE.search(code)
+        if decl and rel != SYNC_WRAPPER_FILE:
+            mutex_decls.append((lineno, decl.group(1)))
+
+        if RELAXED_RE.search(code) and not annotated(lineno, RELAXED_OK):
+            findings.append(
+                f"{rel}:{lineno}: [relaxed] memory_order_relaxed without"
+                " its proof sketch; annotate"
+                f" `// {RELAXED_OK} (<why>)` on or above the line"
+            )
+
+        if (
+            TSA_ESCAPE_RE.search(code)
+            and rel != TSA_MACRO_FILE
+            and not annotated(lineno, TSA_ESCAPE_OK)
+        ):
+            findings.append(
+                f"{rel}:{lineno}: [tsa-escape]"
+                " SKYUP_NO_THREAD_SAFETY_ANALYSIS without a"
+                f" `{TSA_ESCAPE_OK} <why>` justification on or above the"
+                " line"
+            )
+
+    for lineno, name in mutex_decls:
+        if annotated(lineno, GUARDED_BY_OK):
+            continue
+        covered = re.search(
+            rf"SKYUP_(?:PT_)?GUARDED_BY\([^)]*\b{re.escape(name)}\b", text
+        )
+        if not covered:
+            findings.append(
+                f"{rel}:{lineno}: [guarded-by] mutex `{name}` guards no"
+                " SKYUP_GUARDED_BY member in this file; annotate the data"
+                f" it protects or mark `// {GUARDED_BY_OK} (<why>)`"
+            )
 
 
 def lint_merge_tripwire(

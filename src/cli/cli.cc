@@ -1,6 +1,8 @@
 #include "cli/cli.h"
 
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <map>
 #include <optional>
 #include <set>
@@ -12,6 +14,7 @@
 #include "core/planner.h"
 #include "core/report.h"
 #include "data/generator.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "data/wine.h"
@@ -67,6 +70,9 @@ commands:
              [--rebuild-threshold=1024] [--batch-max=16]
              [--batch-wait-us=200] [--memo-cache-mb=16] [--seed=42]
              [--out=FILE.json] [--metrics-out=FILE]
+             both modes also take the flight-recorder flags:
+             [--flight-recorder=on|off] [--flight-out=FILE]
+             [--slow-log=FILE] [--slow-query-us=N] [--stats-interval-ms=N]
              (replay mode drives the serving layer deterministically:
               queries run inline and snapshot publishes trigger inline on
               the op-count threshold, so two replays of the same workload
@@ -80,7 +86,13 @@ commands:
               from --clients closed-loop threads for --duration seconds
               (--qps=0 saturates; >0 paces the fleet) and reports
               offered/achieved QPS and latency percentiles, as JSON when
-              --out is given; --memo-cache-mb=0 disables the epoch memo)
+              --out is given; --memo-cache-mb=0 disables the epoch memo;
+              --flight-out dumps the flight recorder as JSONL at the end
+              of the run — and whenever the process receives SIGUSR1,
+              without pausing admission; --slow-log appends structured
+              JSONL log records (slow queries past --slow-query-us,
+              publishes, heartbeats every --stats-interval-ms);
+              --flight-recorder=off disables the recorder rings)
   help       show this message
 )";
 
@@ -184,6 +196,98 @@ int Usage(std::ostream& err, const std::string& message) {
   err << message << "\n" << kUsage;
   return 2;
 }
+
+// ---- Flight recorder / structured log plumbing (serve modes) ----------
+
+// The server a SIGUSR1 should dump. Plain (seq_cst) atomic: installs are
+// rare, and the handler body below is the async-signal-safe part.
+std::atomic<Server*> g_dump_server{nullptr};
+
+extern "C" void HandleDumpSignal(int) {
+  // Async-signal-safe: a lock-free atomic load plus RequestDump's
+  // lock-free atomic store. No locks, no allocation, no IO.
+  Server* server = g_dump_server.load();
+  if (server != nullptr) server->RequestDump();
+}
+
+// Routes SIGUSR1 to `server->RequestDump()` for this scope.
+class SignalDumpScope {
+ public:
+  explicit SignalDumpScope(Server* server) {
+    g_dump_server.store(server);
+#ifdef SIGUSR1
+    std::signal(SIGUSR1, HandleDumpSignal);
+#endif
+  }
+  ~SignalDumpScope() {
+#ifdef SIGUSR1
+    std::signal(SIGUSR1, SIG_DFL);
+#endif
+    g_dump_server.store(nullptr);
+  }
+  SignalDumpScope(const SignalDumpScope&) = delete;
+  SignalDumpScope& operator=(const SignalDumpScope&) = delete;
+};
+
+// Parses the observability flags shared by the serve modes
+// (--flight-recorder, --flight-out, --slow-log, --slow-query-us,
+// --stats-interval-ms) into `options`, installing the structured-log
+// file sink when --slow-log is given. Returns an exit code on a bad
+// flag, nullopt to proceed.
+std::optional<int> ApplyServeObsFlags(const Flags& flags,
+                                      ServerOptions* options,
+                                      std::ostream& err) {
+  const std::string recorder = flags.GetOr("flight-recorder", "on");
+  if (recorder == "on") {
+    options->flight_recorder = true;
+  } else if (recorder == "off") {
+    options->flight_recorder = false;
+  } else {
+    return Usage(err, "serve: --flight-recorder must be on or off");
+  }
+  const auto slow_us = ToInt(flags.GetOr("slow-query-us", "0"));
+  const auto interval = ToInt(flags.GetOr("stats-interval-ms", "0"));
+  if (!slow_us || !interval || *slow_us < 0 || *interval < 0) {
+    return Usage(err, "serve: malformed observability flag");
+  }
+  options->slow_query_us = static_cast<uint64_t>(*slow_us);
+  options->stats_interval_ms = static_cast<size_t>(*interval);
+  const auto flight_out = flags.Get("flight-out");
+  if (flight_out.has_value()) options->flight_dump_path = *flight_out;
+  const auto slow_log = flags.Get("slow-log");
+  if (slow_log.has_value()) {
+    Status installed = SetLogFile(*slow_log, LogLevel::kInfo);
+    if (!installed.ok()) return Fail(err, installed);
+  }
+  return std::nullopt;
+}
+
+// End-of-run dump: writes the final flight-recorder state to
+// --flight-out (overwriting any earlier SIGUSR1 dump with the strictly
+// more complete final one) and closes the structured-log sink so a
+// --slow-log file is flushed to disk.
+int FinishServeObs(Server* server, const ServerOptions& options,
+                   std::ostream& err) {
+  int rc = 0;
+  if (!options.flight_dump_path.empty()) {
+    std::ofstream file(options.flight_dump_path,
+                       std::ios::out | std::ios::trunc);
+    if (!file) {
+      err << "error: cannot open '" << options.flight_dump_path
+          << "' for writing\n";
+      rc = 1;
+    } else {
+      server->DumpDiagnostics(file);
+    }
+  }
+  return rc;
+}
+
+// Uninstalls the structured-log sink at scope exit (flushing/closing a
+// --slow-log file), including on error returns.
+struct LogSinkCloser {
+  ~LogSinkCloser() { CloseLogSink(); }
+};
 
 int CmdGenerate(const Flags& flags, std::ostream& out, std::ostream& err) {
   const auto path = flags.Get("out");
@@ -478,7 +582,6 @@ int CmdServeLoadGen(const Flags& flags, std::ostream& out, std::ostream& err) {
       *batch_wait < 0 || *memo_mb < 0 || *seed < 0) {
     return Usage(err, "serve --load-gen: malformed numeric flag");
   }
-  if (flags.ReportUnused(err)) return 2;
 
   ServerOptions options;
   options.dims = static_cast<size_t>(*dims);
@@ -487,9 +590,15 @@ int CmdServeLoadGen(const Flags& flags, std::ostream& out, std::ostream& err) {
   options.batch_max = static_cast<size_t>(*batch_max);
   options.batch_wait_us = static_cast<size_t>(*batch_wait);
   options.memo_cache_mb = static_cast<size_t>(*memo_mb);
+  if (auto rc = ApplyServeObsFlags(flags, &options, err)) return *rc;
+  LogSinkCloser log_closer;
+  if (flags.ReportUnused(err)) return 2;
   Result<std::unique_ptr<Server>> server = Server::Create(
       ProductCostFunction::ReciprocalSum(options.dims, 1e-3), options);
   if (!server.ok()) return Fail(err, server.status());
+  // SIGUSR1 during the run dumps the flight recorder to --flight-out
+  // without pausing admission — the CI live-dump demo drives this.
+  SignalDumpScope dump_scope(server->get());
 
   LoadGenOptions load;
   load.dims = options.dims;
@@ -589,7 +698,7 @@ int CmdServeLoadGen(const Flags& flags, std::ostream& out, std::ostream& err) {
       registry.WritePrometheus(metrics_file);
     }
   }
-  return 0;
+  return FinishServeObs(server->get(), options, err);
 }
 
 int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
@@ -645,7 +754,6 @@ int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
       *batch_wait < 0 || *memo_mb < 0) {
     return Usage(err, "serve: malformed numeric flag");
   }
-  if (flags.ReportUnused(err)) return 2;
 
   Result<ReplayWorkload> workload = ReadWorkloadFile(*replay_path);
   if (!workload.ok()) return Fail(err, workload.status());
@@ -663,9 +771,13 @@ int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
   options.memo_cache_mb = static_cast<size_t>(*memo_mb);
   options.background_rebuild = false;  // replay must be deterministic
   options.query_threads = 1;
+  if (auto rc = ApplyServeObsFlags(flags, &options, err)) return *rc;
+  LogSinkCloser log_closer;
+  if (flags.ReportUnused(err)) return 2;
   Result<std::unique_ptr<Server>> server = Server::Create(
       ProductCostFunction::ReciprocalSum(workload->dims, 1e-3), options);
   if (!server.ok()) return Fail(err, server.status());
+  SignalDumpScope dump_scope(server->get());
 
   std::ofstream result_file;
   if (out_path.has_value()) {
@@ -710,7 +822,7 @@ int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
       registry.WritePrometheus(metrics_file);
     }
   }
-  return 0;
+  return FinishServeObs(server->get(), options, err);
 }
 
 }  // namespace

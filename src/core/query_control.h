@@ -48,6 +48,13 @@ class QueryControl {
                     std::chrono::duration<double>(seconds)));
   }
 
+  /// Stamps the admission-assigned query id. Like the deadline, this is
+  /// set before the query is handed to a worker (the queue mutex
+  /// publishes it), so workers read it without further synchronization.
+  /// 0 means "never admitted" (e.g. engine-level tests).
+  void set_query_id(uint64_t id) { query_id_ = id; }
+  uint64_t query_id() const { return query_id_; }
+
   bool cancelled() const {
     // lint: relaxed-ok (poll of the lone flag; a late observation only
     // delays the unwind by at most one poll stride)
@@ -71,6 +78,7 @@ class QueryControl {
   std::atomic<bool> cancelled_{false};
   std::atomic<bool> has_deadline_{false};
   SteadyClock::time_point deadline_{};
+  uint64_t query_id_ = 0;
 };
 
 }  // namespace skyup

@@ -1,0 +1,222 @@
+#include "obs/log.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+
+#include "util/lock_order.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace skyup {
+
+namespace internal {
+// Sentinel kError+1 = "no sink": nothing is admitted.
+std::atomic<int> g_log_gate{static_cast<int>(LogLevel::kError) + 1};
+}  // namespace internal
+
+namespace {
+
+struct LogSink {
+  // Innermost leaf of the global lock order: records are emitted from
+  // any layer, potentially while holding any other lock, so nothing is
+  // ever acquired under this mutex (the write itself is a stream op).
+  Mutex mu SKYUP_ACQUIRED_AFTER(lock_order::kObsLog);
+  std::ostream* out SKYUP_GUARDED_BY(mu) = nullptr;
+  std::unique_ptr<std::ofstream> file SKYUP_GUARDED_BY(mu);
+  uint64_t emitted SKYUP_GUARDED_BY(mu) = 0;
+  uint64_t filtered SKYUP_GUARDED_BY(mu) = 0;
+};
+
+LogSink& Sink() {
+  static LogSink* sink = new LogSink();  // leaked: outlives exiting threads
+  return *sink;
+}
+
+void InstallLocked(LogSink& sink, std::ostream* out,
+                   std::unique_ptr<std::ofstream> file, LogLevel min_level)
+    SKYUP_REQUIRES(sink.mu) {
+  sink.file = std::move(file);
+  sink.out = out;
+  const int gate = out == nullptr ? static_cast<int>(LogLevel::kError) + 1
+                                  : static_cast<int>(min_level);
+  // lint: relaxed-ok (gate handoff; a racing emitter sees the old gate
+  // for at most one record, and emission re-checks the sink under mu)
+  internal::g_log_gate.store(gate, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+void SetLogStream(std::ostream* out, LogLevel min_level) {
+  LogSink& sink = Sink();
+  MutexLock lock(sink.mu);
+  InstallLocked(sink, out, nullptr, min_level);
+}
+
+Status SetLogFile(const std::string& path, LogLevel min_level) {
+  auto file = std::make_unique<std::ofstream>(path, std::ios::app);
+  if (!file->good()) {
+    return Status::IOError("cannot open log file '" + path + "'");
+  }
+  LogSink& sink = Sink();
+  MutexLock lock(sink.mu);
+  std::ostream* out = file.get();
+  InstallLocked(sink, out, std::move(file), min_level);
+  return Status::OK();
+}
+
+void CloseLogSink() {
+  LogSink& sink = Sink();
+  MutexLock lock(sink.mu);
+  InstallLocked(sink, nullptr, nullptr, LogLevel::kError);
+}
+
+void FlushLogSink() {
+  LogSink& sink = Sink();
+  MutexLock lock(sink.mu);
+  if (sink.out != nullptr) sink.out->flush();
+}
+
+LogStats GetLogStats() {
+  LogSink& sink = Sink();
+  MutexLock lock(sink.mu);
+  LogStats stats;
+  stats.emitted = sink.emitted;
+  stats.filtered = sink.filtered;
+  return stats;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendJsonEscaped(std::string* out, const char* s) {
+  *out += JsonEscape(std::string(s));
+}
+
+LogRecord::LogRecord(LogLevel level, const char* event) {
+  if (!LogEnabled(level)) return;
+  const int64_t ts_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  line_.reserve(160);
+  line_ += "{\"ts_us\":";
+  line_ += std::to_string(ts_us);
+  line_ += ",\"level\":\"";
+  line_ += LogLevelName(level);
+  line_ += "\",\"event\":\"";
+  AppendJsonEscaped(&line_, event);
+  line_ += '"';
+}
+
+LogRecord::~LogRecord() {
+  if (line_.empty()) return;
+  line_ += "}\n";
+  LogSink& sink = Sink();
+  MutexLock lock(sink.mu);
+  if (sink.out == nullptr) {
+    // The gate raced a sink teardown; account and drop.
+    ++sink.filtered;
+    return;
+  }
+  *sink.out << line_;
+  ++sink.emitted;
+}
+
+LogRecord& LogRecord::U64(const char* key, uint64_t value) {
+  if (line_.empty()) return *this;
+  line_ += ",\"";
+  line_ += key;
+  line_ += "\":";
+  line_ += std::to_string(value);
+  return *this;
+}
+
+LogRecord& LogRecord::I64(const char* key, int64_t value) {
+  if (line_.empty()) return *this;
+  line_ += ",\"";
+  line_ += key;
+  line_ += "\":";
+  line_ += std::to_string(value);
+  return *this;
+}
+
+LogRecord& LogRecord::F64(const char* key, double value) {
+  if (line_.empty()) return *this;
+  line_ += ",\"";
+  line_ += key;
+  line_ += "\":";
+  if (std::isfinite(value)) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    line_ += buf;
+  } else {
+    line_ += "null";  // JSON has no inf/nan
+  }
+  return *this;
+}
+
+LogRecord& LogRecord::Bool(const char* key, bool value) {
+  if (line_.empty()) return *this;
+  line_ += ",\"";
+  line_ += key;
+  line_ += "\":";
+  line_ += value ? "true" : "false";
+  return *this;
+}
+
+LogRecord& LogRecord::Str(const char* key, const std::string& value) {
+  if (line_.empty()) return *this;
+  line_ += ",\"";
+  line_ += key;
+  line_ += "\":\"";
+  line_ += JsonEscape(value);
+  line_ += '"';
+  return *this;
+}
+
+}  // namespace skyup

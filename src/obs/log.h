@@ -1,0 +1,113 @@
+#ifndef SKYUP_OBS_LOG_H_
+#define SKYUP_OBS_LOG_H_
+
+// Structured, leveled JSONL logging for the serve tier.
+//
+// Every record is one JSON object per line: a timestamp, a level, an
+// event name, and typed key/value fields (query ids, epochs, counters).
+// Records are built lock-free on the emitting thread's stack and handed
+// to a process-global sink whose mutex is the innermost leaf of the
+// global lock order (`lock_order::kObsLog`), so any layer may log while
+// holding any other lock — including the metrics/trace registries and
+// the flight recorder.
+//
+// Cost discipline matches obs/trace.h: with no sink installed (the
+// default) or the level filtered out, `LogRecord`'s constructor reads
+// one relaxed atomic and every field call is a no-op — no clock reads,
+// no string building. The CLI installs a file sink via `--slow-log` /
+// structured-log flags; tests install an `std::ostringstream`.
+//
+// Usage:
+//   LogRecord(LogLevel::kInfo, "publish")
+//       .U64("epoch", epoch).F64("age_s", age).Str("kind", "major");
+//   // emits on destruction (end of the full expression)
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "util/status.h"
+
+namespace skyup {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+/// Lower-case level name ("debug", "info", "warn", "error").
+const char* LogLevelName(LogLevel level);
+
+namespace internal {
+// Combined gate: the minimum level admitted by the sink, or a sentinel
+// (> kError) when no sink is installed. One relaxed load decides whether
+// a record gets built at all; the value only changes on sink
+// (re)configuration, which is rare and racing emitters merely see the
+// old gate one record longer.
+extern std::atomic<int> g_log_gate;
+}  // namespace internal
+
+/// True when a record at `level` would reach the sink. One relaxed load.
+inline bool LogEnabled(LogLevel level) {
+  // lint: relaxed-ok (pure gate; rationale on g_log_gate)
+  return static_cast<int>(level) >=
+         internal::g_log_gate.load(std::memory_order_relaxed);
+}
+
+/// Installs `out` as the process-global log sink (nullptr uninstalls).
+/// The stream must outlive the sink installation; writes to it are
+/// serialized by the sink mutex. Replaces any file sink.
+void SetLogStream(std::ostream* out, LogLevel min_level = LogLevel::kInfo);
+
+/// Opens `path` for appending and installs it as the sink. Replaces any
+/// previous sink (closing a previously opened file).
+Status SetLogFile(const std::string& path,
+                  LogLevel min_level = LogLevel::kInfo);
+
+/// Removes the sink (closing a file sink if one is open). Logging
+/// reverts to the free no-sink fast path.
+void CloseLogSink();
+
+/// Flushes the underlying stream, if any.
+void FlushLogSink();
+
+/// Counters for tests and capacity checks.
+struct LogStats {
+  uint64_t emitted = 0;   ///< records written to a sink
+  uint64_t filtered = 0;  ///< records built but dropped by a gate race
+};
+LogStats GetLogStats();
+
+/// JSON string escaping shared by the obs/ exporters (log records,
+/// flight-recorder dumps, trace thread names).
+std::string JsonEscape(const std::string& s);
+void AppendJsonEscaped(std::string* out, const char* s);
+
+/// One structured record, built on the stack and emitted on destruction.
+/// If the gate rejects the level at construction, every method is a
+/// no-op and nothing is emitted. Field keys must be JSON-safe literals
+/// (they are written unescaped); values are escaped/formatted per type.
+class LogRecord {
+ public:
+  LogRecord(LogLevel level, const char* event);
+  ~LogRecord();
+
+  LogRecord(const LogRecord&) = delete;
+  LogRecord& operator=(const LogRecord&) = delete;
+
+  LogRecord& U64(const char* key, uint64_t value);
+  LogRecord& I64(const char* key, int64_t value);
+  LogRecord& F64(const char* key, double value);
+  LogRecord& Bool(const char* key, bool value);
+  LogRecord& Str(const char* key, const std::string& value);
+
+ private:
+  std::string line_;  // empty ⇔ gated off
+};
+
+}  // namespace skyup
+
+#endif  // SKYUP_OBS_LOG_H_

@@ -59,9 +59,12 @@ Histogram& Histogram::MergeFrom(const Histogram& other) {
 double Histogram::Quantile(double q) const {
   SKYUP_CHECK(q >= 0.0 && q <= 1.0) << "quantile " << q << " out of [0, 1]";
   if (count_ == 0) return 0.0;
-  // Rank of the target observation (1-based, clamped into the data).
-  const double rank =
-      std::max(1.0, std::ceil(q * static_cast<double>(count_)));
+  // Fractional rank of the target observation (Prometheus
+  // histogram_quantile convention). Deliberately NOT ceiled to an integer
+  // rank: with all N observations in one bucket, ceil(0.99 * N) == N for
+  // any N <= 100, which collapses p99 (and every high quantile) to the
+  // bucket's upper edge instead of interpolating 99% of the way in.
+  const double rank = q * static_cast<double>(count_);
   uint64_t cumulative = 0;
   for (size_t i = 0; i < counts_.size(); ++i) {
     if (counts_[i] == 0) continue;

@@ -18,12 +18,13 @@ std::atomic<bool> g_trace_enabled{false};
 
 namespace {
 
-// One recorded span. 24 bytes; the name pointer references a string
+// One recorded span. 32 bytes; the name pointer references a string
 // literal at the call site (see the header contract).
 struct TraceEvent {
   const char* name;
   int64_t start_ns;  // relative to the session epoch
   int64_t dur_ns;
+  uint64_t qid;  // 0 = span carried no query id
 };
 
 // Per-thread ring buffer. The recording thread is the only writer and
@@ -40,7 +41,7 @@ struct ThreadBuffer {
 };
 
 // Sized so a phase-level trace never wraps and a verbose trace of ~60k
-// candidates per thread survives intact: 64k events * 24 B = 1.5 MiB per
+// candidates per thread survives intact: 64k events * 32 B = 2 MiB per
 // recording thread, allocated only once that thread records its first
 // span while tracing is enabled.
 constexpr size_t kRingCapacity = size_t{1} << 16;
@@ -177,7 +178,7 @@ TraceStats GetTraceStats() {
 namespace internal {
 
 void RecordSpan(const char* name, SteadyClock::time_point start,
-                SteadyClock::time_point end) {
+                SteadyClock::time_point end, uint64_t qid) {
   ThreadBuffer* buffer = LocalBuffer();
   if (buffer->ring.empty()) buffer->ring.resize(kRingCapacity);
   // Relaxed: see EnableTracing — a racing reset at worst timestamps this
@@ -199,10 +200,27 @@ void RecordSpan(const char* name, SteadyClock::time_point start,
   slot.name = name;
   slot.start_ns = start_ns;
   slot.dur_ns = dur_ns;
+  slot.qid = qid;
   ++buffer->recorded;
 }
 
 }  // namespace internal
+
+size_t CollectRecentSpans(size_t max_spans, RecentSpan* out) {
+  // Only the calling thread's own buffer: it is the sole writer, so no
+  // lock is needed and a worker mid-query can snapshot its own tail.
+  const ThreadBuffer* buffer = t_buffer;
+  if (buffer == nullptr || buffer->ring.empty() || max_spans == 0) return 0;
+  const uint64_t held = std::min<uint64_t>(buffer->recorded, kRingCapacity);
+  const uint64_t take = std::min<uint64_t>(held, max_spans);
+  size_t count = 0;
+  for (uint64_t i = buffer->recorded - take; i < buffer->recorded; ++i) {
+    const TraceEvent& event = buffer->ring[i % kRingCapacity];
+    out[count++] = RecentSpan{event.name, event.start_ns, event.dur_ns,
+                              event.qid};
+  }
+  return count;
+}
 
 void WriteChromeTrace(std::ostream& out) {
   TraceRegistry& reg = Registry();
@@ -241,6 +259,11 @@ void WriteChromeTrace(std::ostream& out) {
       AppendMicros(&line, event.start_ns);
       line += ", \"dur\": ";
       AppendMicros(&line, event.dur_ns);
+      if (event.qid != 0) {
+        line += ", \"args\": {\"qid\": ";
+        line += std::to_string(event.qid);
+        line += "}";
+      }
       line += "}";
       out << line;
     }

@@ -25,7 +25,12 @@
 // span is one relaxed atomic load, no clock reads, no buffer writes.
 //
 // Span names must be string literals (or otherwise outlive the trace
-// session) — the ring buffer stores the pointer, not a copy.
+// session) — the ring buffer stores the pointer, not a copy. The lint
+// rule "trace-span-literal" (tools/lint.py) enforces this at call sites.
+//
+// Spans can carry a query id (`SKYUP_TRACE_SPAN_Q`), exported as
+// `args: {"qid": N}` so one query is correlatable across its trace
+// spans, log records, and flight-recorder entry.
 
 #include <atomic>
 #include <cstddef>
@@ -103,11 +108,28 @@ void WriteChromeTrace(std::ostream& out);
 /// `WriteChromeTrace` into a file; fails with IOError if it cannot write.
 Status WriteChromeTraceFile(const std::string& path);
 
+/// One span read back from the calling thread's buffer (newest-last).
+/// `name` is the call site's string literal.
+struct RecentSpan {
+  const char* name;
+  int64_t start_ns;  ///< relative to the session epoch
+  int64_t dur_ns;
+  uint64_t qid;  ///< 0 when the span carried no query id
+};
+
+/// Copies up to `max_spans` of the calling thread's most recent spans
+/// into `out` (oldest of the selection first) and returns the count.
+/// Only reads the caller's own thread-local buffer, so it is safe on a
+/// worker that is still recording — the slow-query promotion path uses
+/// it to attach the spans a query retained.
+size_t CollectRecentSpans(size_t max_spans, RecentSpan* out);
+
 namespace internal {
 
 /// Appends one completed span to the calling thread's ring buffer.
+/// `qid` 0 means "no query id".
 void RecordSpan(const char* name, SteadyClock::time_point start,
-                SteadyClock::time_point end);
+                SteadyClock::time_point end, uint64_t qid);
 
 /// The RAII body behind the span macros. Reads the clock only while
 /// tracing is enabled; `name` must outlive the trace session.
@@ -119,8 +141,17 @@ class ScopedSpan {
       start_ = SteadyClock::now();
     }
   }
+  ScopedSpan(const char* name, uint64_t qid) {
+    if (TraceEnabled()) {
+      name_ = name;
+      qid_ = qid;
+      start_ = SteadyClock::now();
+    }
+  }
   ~ScopedSpan() {
-    if (name_ != nullptr) RecordSpan(name_, start_, SteadyClock::now());
+    if (name_ != nullptr) {
+      RecordSpan(name_, start_, SteadyClock::now(), qid_);
+    }
   }
 
   ScopedSpan(const ScopedSpan&) = delete;
@@ -128,6 +159,7 @@ class ScopedSpan {
 
  private:
   const char* name_ = nullptr;
+  uint64_t qid_ = 0;
   SteadyClock::time_point start_;
 };
 
@@ -145,12 +177,20 @@ class ScopedSpan {
   ::skyup::internal::ScopedSpan SKYUP_INTERNAL_SPAN_CAT(skyup_trace_span_, \
                                                         __LINE__)(name)
 
+#define SKYUP_INTERNAL_ACTIVE_SPAN_Q(name, qid)                             \
+  ::skyup::internal::ScopedSpan SKYUP_INTERNAL_SPAN_CAT(skyup_trace_span_, \
+                                                        __LINE__)(name, qid)
+
 /// Phase-granular span covering the enclosing scope. Active at trace
 /// level phase and above.
 #if SKYUP_TRACE_LEVEL >= 1
 #define SKYUP_TRACE_SPAN(name) SKYUP_INTERNAL_ACTIVE_SPAN(name)
+/// Like SKYUP_TRACE_SPAN, tagged with a query id exported in the span's
+/// Chrome-trace args. `qid` is evaluated once, before the scope body.
+#define SKYUP_TRACE_SPAN_Q(name, qid) SKYUP_INTERNAL_ACTIVE_SPAN_Q(name, qid)
 #else
 #define SKYUP_TRACE_SPAN(name) SKYUP_INTERNAL_ELIDED_SPAN(name)
+#define SKYUP_TRACE_SPAN_Q(name, qid) static_cast<void>(sizeof(qid))
 #endif
 
 /// Per-candidate span, active only at trace level verbose — these fire

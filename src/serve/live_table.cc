@@ -141,6 +141,29 @@ size_t LiveTable::live_product_count() const {
   return live_products_.size();
 }
 
+LiveTable::Diagnostics LiveTable::SampleDiagnostics() const {
+  MutexLock lock(mu_);
+  Diagnostics d;
+  d.epoch = snapshot_->epoch();
+  d.snapshot_age_seconds =
+      std::chrono::duration<double>(SteadyClock::now() -
+                                    snapshot_->published_at())
+          .count();
+  d.delta_backlog = frozen_.size() + active_.size();
+  const FlatRTree& index = snapshot_->index();
+  if (index.size() > 0) {
+    d.tombstone_pct = 100.0 * static_cast<double>(index.tombstones()) /
+                      static_cast<double>(index.size());
+  }
+  // bytes_used() takes the memo's internal shard locks — kTableSub band,
+  // nested under mu_ exactly like every other memo call under the table
+  // lock.
+  if (memo_ != nullptr) d.memo_bytes = memo_->bytes_used();
+  d.live_competitors = live_competitors_.size();
+  d.live_products = live_products_.size();
+  return d;
+}
+
 std::optional<LiveTable::RebuildJob> LiveTable::BeginRebuild() {
   MutexLock lock(mu_);
   if (rebuild_in_flight_) return std::nullopt;

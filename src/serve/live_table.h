@@ -79,6 +79,22 @@ class LiveTable {
   size_t live_product_count() const;
   size_t dims() const { return options_.dims; }
 
+  /// One consistent health snapshot for the flight recorder's periodic
+  /// system samples — everything the individual accessors above report,
+  /// plus the snapshot index's tombstone fraction and the skyline memo's
+  /// footprint, all read under ONE lock acquisition so the fields
+  /// describe the same instant.
+  struct Diagnostics {
+    uint64_t epoch = 0;
+    double snapshot_age_seconds = 0;
+    uint64_t delta_backlog = 0;
+    double tombstone_pct = 0;  ///< dead fraction of indexed slots, in %
+    uint64_t memo_bytes = 0;   ///< 0 when memoization is disabled
+    uint64_t live_competitors = 0;
+    uint64_t live_products = 0;
+  };
+  Diagnostics SampleDiagnostics() const;
+
   /// One rebuild cycle's input, captured by `BeginRebuild`.
   struct RebuildJob {
     std::shared_ptr<const Snapshot> base;

@@ -1,6 +1,7 @@
 #include "serve/query.h"
 
 #include <limits>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -37,14 +38,25 @@ uint64_t ErasedIndexedCount(const DeltaOverlay& overlay, size_t indexed) {
 
 Result<std::vector<UpgradeResult>> TopKOverlay(
     const ReadView& view, const ProductCostFunction& cost_fn, size_t k,
-    double epsilon, const QueryControl* control, ServeStats* stats) {
+    double epsilon, const QueryControl* control, ServeStats* stats,
+    QueryTelemetry* telemetry) {
   if (view.snapshot == nullptr) {
     return Status::InvalidArgument("read view has no snapshot");
   }
   const Snapshot& base = *view.snapshot;
   const size_t dims = base.dims();
   SKYUP_RETURN_IF_ERROR(ValidateTopKQueryShape(dims, cost_fn, k, epsilon));
-  SKYUP_TRACE_SPAN("serve/topk-overlay");
+  SKYUP_TRACE_SPAN_Q("serve/topk-overlay",
+                     control != nullptr ? control->query_id() : 0);
+
+  // Phase attribution is opt-in per query: a null telemetry sink compiles
+  // every lap below down to a pointer test (obs/phase_timings.h), so only
+  // queries the flight recorder asked to attribute pay the clock reads.
+  std::unique_ptr<ShardTelemetry> shard_telemetry;
+  if (telemetry != nullptr) {
+    shard_telemetry = std::make_unique<ShardTelemetry>();
+  }
+  ShardTelemetry* const tel = shard_telemetry.get();
 
   ServeStats local;
   DeltaOverlay overlay = BuildOverlay(view);
@@ -135,6 +147,7 @@ Result<std::vector<UpgradeResult>> TopKOverlay(
                                     hit.cost, std::move(hit.upgraded),
                                     hit.already_competitive});
       }
+      LapOther(tel);  // cache-served: no probe/upgrade phase to charge
       return;
     }
     if (cache != nullptr) ++local.cache_misses;
@@ -147,6 +160,7 @@ Result<std::vector<UpgradeResult>> TopKOverlay(
       const double bound =
           LbcPair(t, live_box.min_data(), live_box.max_data(), dims,
                   cost_fn, BoundMode::kSound);
+      LapPrune(tel);
       if (bound > collector.KthCost()) {
         ++local.candidates_pruned;
         return;
@@ -173,6 +187,7 @@ Result<std::vector<UpgradeResult>> TopKOverlay(
     for (PointId row : sky_rows) {
       dominators.push_back(base.competitors().data(row));
     }
+    LapProbe(tel);
 
     // Fold the snapshot tail, then the overlay inserts, into the skyline
     // one point at a time. Each patch preserves the value-set semantics of
@@ -199,6 +214,7 @@ Result<std::vector<UpgradeResult>> TopKOverlay(
             dims);
       }
     }
+    LapSkyline(tel);
 
     ++local.candidates_evaluated;
     UpgradeOutcome outcome =
@@ -214,6 +230,7 @@ Result<std::vector<UpgradeResult>> TopKOverlay(
                                   outcome.cost, std::move(outcome.upgraded),
                                   outcome.already_competitive});
     }
+    LapUpgrade(tel);
   };
 
   const Dataset& base_products = base.products();
@@ -228,6 +245,13 @@ Result<std::vector<UpgradeResult>> TopKOverlay(
        ++j) {
     evaluate(overlay.inserted_product_ids[j],
              overlay.inserted_products.data(static_cast<PointId>(j)));
+  }
+  if (tel != nullptr) {
+    // Residual loop/collector time since the last lap, then flush — this
+    // runs on BOTH exits, so a deadline-killed query still reports the
+    // phases it paid before unwinding.
+    tel->LapMerge();
+    tel->FlushInto(telemetry);
   }
   if (stats != nullptr) stats->MergeFrom(local);
   if (!stop_status.ok()) return stop_status;

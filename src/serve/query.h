@@ -32,6 +32,7 @@
 #include "core/cost_function.h"
 #include "core/query_control.h"
 #include "core/upgrade_result.h"
+#include "obs/phase_timings.h"
 #include "serve/delta_log.h"
 #include "serve/serve_stats.h"
 #include "util/status.h"
@@ -45,11 +46,14 @@ namespace skyup {
 /// `stats` may be null; the engine bumps `delta_ops_scanned`,
 /// `candidates_evaluated`, `candidates_pruned`, and
 /// `prune_disabled_queries` (`erase_fallback_scans` stays 0 — the
-/// mask-aware probe removed the fallback path it counted).
+/// mask-aware probe removed the fallback path it counted). `telemetry`
+/// (may be null) collects the per-phase wall breakdown via per-candidate
+/// clock laps — the flight recorder requests it for controlled queries;
+/// null keeps the hot path free of clock reads.
 Result<std::vector<UpgradeResult>> TopKOverlay(
     const ReadView& view, const ProductCostFunction& cost_fn, size_t k,
     double epsilon = 1e-6, const QueryControl* control = nullptr,
-    ServeStats* stats = nullptr);
+    ServeStats* stats = nullptr, QueryTelemetry* telemetry = nullptr);
 
 /// Maximum number of queries one grouped execution accepts (per-candidate
 /// participation masks are one `uint64_t`).

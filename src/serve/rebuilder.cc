@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/log.h"
 #include "util/check.h"
 
 namespace skyup {
@@ -249,6 +250,12 @@ Result<PublishKind> RebuildOnce(LiveTable* table,
     return next.status();
   }
   table->CompleteRebuild(std::move(next).value());
+  if (LogEnabled(LogLevel::kInfo)) {
+    LogRecord(LogLevel::kInfo, "publish")
+        .U64("epoch", job->next_epoch)
+        .Str("kind", kind == PublishKind::kMajor ? "major" : "patch")
+        .U64("ops", job->ops.size());
+  }
   return kind;
 }
 

@@ -1,18 +1,38 @@
 #include "serve/server.h"
 
+#include <algorithm>
 #include <chrono>
+#include <fstream>
+#include <optional>
 #include <utility>
 
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/timer.h"
 
 namespace skyup {
 
+namespace {
+
+uint64_t NowUnixMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
 Server::Server(ProductCostFunction cost_fn, ServerOptions options,
                std::unique_ptr<LiveTable> table)
     : cost_fn_(std::move(cost_fn)),
       options_(options),
-      table_(std::move(table)) {}
+      table_(std::move(table)),
+      recorder_(FlightRecorderOptions{options.flight_query_ring,
+                                      options.flight_sample_ring}) {
+  recorder_.set_enabled(options_.flight_recorder);
+}
 
 Result<std::unique_ptr<Server>> Server::Create(ProductCostFunction cost_fn,
                                                ServerOptions options) {
@@ -84,10 +104,23 @@ Result<std::unique_ptr<Server>> Server::Create(ProductCostFunction cost_fn,
       raw->WorkerLoop();
     });
   }
+  // The diagnostics thread exists only when it has work: periodic
+  // samples, or a dump path that RequestDump() targets.
+  if (options.stats_interval_ms > 0 || !options.flight_dump_path.empty()) {
+    server->diag_thread_ = std::thread([raw = server.get()] {
+      raw->DiagnosticsLoop();
+    });
+  }
   return server;
 }
 
 Server::~Server() {
+  {
+    MutexLock lock(diag_mu_);
+    diag_shutdown_ = true;
+  }
+  diag_cv_.notify_all();
+  if (diag_thread_.joinable()) diag_thread_.join();
   {
     MutexLock lock(queue_mu_);
     shutdown_ = true;
@@ -169,15 +202,22 @@ Status Server::EraseProduct(uint64_t id) {
 }
 
 QueryResponse Server::Execute(const QueryRequest& request,
-                              const QueryControl* control) {
+                              const QueryControl* control,
+                              QueryFlightRecord* record) {
   QueryResponse response;
   Timer wall;
   ReadView view = table_->AcquireView();
   response.epoch = view.epoch();
   ServeStats query_stats;
-  Result<std::vector<UpgradeResult>> results =
-      TopKOverlay(view, cost_fn_, request.k, options_.default_epsilon,
-                  control, &query_stats);
+  // Phase attribution costs per-candidate clock laps, so it is collected
+  // only for queries that both want a record and carry a control (every
+  // Submit allocates one; the deterministic control-free inline path —
+  // what --replay and the benches drive — stays lap-free).
+  std::optional<QueryTelemetry> telemetry;
+  if (record != nullptr && control != nullptr) telemetry.emplace();
+  Result<std::vector<UpgradeResult>> results = TopKOverlay(
+      view, cost_fn_, request.k, options_.default_epsilon, control,
+      &query_stats, telemetry.has_value() ? &*telemetry : nullptr);
   {
     MutexLock lock(stats_mu_);
     stats_.MergeFrom(query_stats);
@@ -188,12 +228,25 @@ QueryResponse Server::Execute(const QueryRequest& request,
     response.status = results.status();
   }
   response.wall_seconds = wall.ElapsedSeconds();
+  if (record != nullptr) {
+    record->epoch = view.epoch();
+    record->k = static_cast<uint32_t>(request.k);
+    if (telemetry.has_value()) record->phases = telemetry->phases.total;
+    record->candidates_evaluated = query_stats.candidates_evaluated;
+    record->candidates_pruned = query_stats.candidates_pruned;
+    record->delta_ops_scanned = query_stats.delta_ops_scanned;
+    record->cache_hits = query_stats.cache_hits;
+    record->cache_misses = query_stats.cache_misses;
+    record->memo_hits = query_stats.memo_hits;
+    record->memo_misses = query_stats.memo_misses;
+  }
   return response;
 }
 
 std::vector<QueryResponse> Server::ExecuteBatch(
     const std::vector<const QueryRequest*>& requests,
-    const std::vector<const QueryControl*>& controls) {
+    const std::vector<const QueryControl*>& controls,
+    std::vector<QueryFlightRecord>* records) {
   SKYUP_CHECK(requests.size() == controls.size());
   SKYUP_CHECK(!requests.empty() && requests.size() <= kMaxServeBatch);
   Timer wall;
@@ -228,6 +281,23 @@ std::vector<QueryResponse> Server::ExecuteBatch(
       responses[i].status = std::move(outcomes[i].status);
     }
   }
+  if (records != nullptr) {
+    // Batch members share one traversal, so per-member work counters and
+    // phase laps are not attributable — records carry the shared batch id
+    // (0 for a group of one) plus the member's own epoch/k/outcome, and
+    // leave the counters zero.
+    records->assign(requests.size(), QueryFlightRecord{});
+    const uint64_t batch_id =
+        requests.size() >= 2
+            // lint: relaxed-ok (pure id allocation; only uniqueness matters)
+            ? next_batch_id_.fetch_add(1, std::memory_order_relaxed) + 1
+            : 0;
+    for (size_t i = 0; i < requests.size(); ++i) {
+      (*records)[i].batch_id = batch_id;
+      (*records)[i].epoch = view.epoch();
+      (*records)[i].k = static_cast<uint32_t>(requests[i]->k);
+    }
+  }
   return responses;
 }
 
@@ -259,8 +329,16 @@ QueryResponse Server::Query(const QueryRequest& request) {
   if (control != nullptr && request.timeout_seconds > 0.0) {
     control->SetTimeout(request.timeout_seconds);
   }
-  QueryResponse response = Execute(request, control.get());
+  const uint64_t query_id = NextQueryId();
+  if (control != nullptr) control->set_query_id(query_id);
+  const bool record_flight = recorder_.enabled();
+  QueryFlightRecord record;
+  QueryResponse response =
+      Execute(request, control.get(), record_flight ? &record : nullptr);
   RecordOutcome(response);
+  if (record_flight) {
+    FinishFlight(&record, response, query_id, /*queue_seconds=*/0.0);
+  }
   return response;
 }
 
@@ -271,6 +349,7 @@ std::vector<QueryResponse> Server::QueryBatch(
   std::vector<std::shared_ptr<QueryControl>> owned(requests.size());
   std::vector<const QueryControl*> controls(requests.size(), nullptr);
   std::vector<const QueryRequest*> request_ptrs(requests.size());
+  std::vector<uint64_t> query_ids(requests.size());
   for (size_t i = 0; i < requests.size(); ++i) {
     std::shared_ptr<QueryControl> control = requests[i].control;
     if (control == nullptr && requests[i].timeout_seconds > 0.0) {
@@ -279,12 +358,23 @@ std::vector<QueryResponse> Server::QueryBatch(
     if (control != nullptr && requests[i].timeout_seconds > 0.0) {
       control->SetTimeout(requests[i].timeout_seconds);
     }
+    query_ids[i] = NextQueryId();
+    if (control != nullptr) control->set_query_id(query_ids[i]);
     owned[i] = control;
     controls[i] = control.get();
     request_ptrs[i] = &requests[i];
   }
-  std::vector<QueryResponse> responses = ExecuteBatch(request_ptrs, controls);
-  for (const QueryResponse& response : responses) RecordOutcome(response);
+  const bool record_flight = recorder_.enabled();
+  std::vector<QueryFlightRecord> records;
+  std::vector<QueryResponse> responses = ExecuteBatch(
+      request_ptrs, controls, record_flight ? &records : nullptr);
+  for (size_t i = 0; i < responses.size(); ++i) {
+    RecordOutcome(responses[i]);
+    if (record_flight) {
+      FinishFlight(&records[i], responses[i], query_ids[i],
+                   /*queue_seconds=*/0.0);
+    }
+  }
   return responses;
 }
 
@@ -300,6 +390,12 @@ std::future<QueryResponse> Server::Submit(QueryRequest request) {
     // answers nobody is waiting for anymore.
     pending.control->SetTimeout(request.timeout_seconds);
   }
+  // The id is assigned at admission (before the accept/reject decision),
+  // so even rejected queries are attributable in the flight ring. The
+  // queue mutex publishes it to the worker along with the rest of the
+  // pending entry.
+  pending.control->set_query_id(NextQueryId());
+  pending.admitted = SteadyClock::now();
   pending.request = std::move(request);
   std::future<QueryResponse> future = pending.promise.get_future();
   {
@@ -308,6 +404,7 @@ std::future<QueryResponse> Server::Submit(QueryRequest request) {
       QueryResponse response;
       response.status = Status::Cancelled("server shutting down");
       RecordOutcome(response);
+      RecordRejection(*pending.control, response);
       pending.promise.set_value(std::move(response));
       return future;
     }
@@ -317,6 +414,7 @@ std::future<QueryResponse> Server::Submit(QueryRequest request) {
           "query queue full (" + std::to_string(options_.max_pending) +
           " pending)");
       RecordOutcome(response);
+      RecordRejection(*pending.control, response);
       pending.promise.set_value(std::move(response));
       return future;
     }
@@ -360,6 +458,12 @@ void Server::WorkerLoop() {
     }
     if (group.empty()) continue;
 
+    const bool record_flight = recorder_.enabled();
+    // Queue wait is measured to one instant for the whole group — members
+    // executed together waited together.
+    const SteadyClock::time_point exec_start = SteadyClock::now();
+    std::vector<QueryFlightRecord> records(record_flight ? group.size() : 0);
+
     // Members whose deadline lapsed while queued are shed without running.
     std::vector<size_t> runnable;
     std::vector<QueryResponse> responses(group.size());
@@ -367,6 +471,9 @@ void Server::WorkerLoop() {
       Status admission = group[i].control->Check();
       if (!admission.ok()) {
         responses[i].status = std::move(admission);
+        if (record_flight) {
+          records[i].k = static_cast<uint32_t>(group[i].request.k);
+        }
       } else {
         runnable.push_back(i);
       }
@@ -375,7 +482,8 @@ void Server::WorkerLoop() {
       // Batching off: the historical per-query path.
       PendingQuery& pending = group[runnable.front()];
       responses[runnable.front()] =
-          Execute(pending.request, pending.control.get());
+          Execute(pending.request, pending.control.get(),
+                  record_flight ? &records[runnable.front()] : nullptr);
     } else if (!runnable.empty()) {
       std::vector<const QueryRequest*> requests;
       std::vector<const QueryControl*> controls;
@@ -385,15 +493,176 @@ void Server::WorkerLoop() {
         requests.push_back(&group[i].request);
         controls.push_back(group[i].control.get());
       }
-      std::vector<QueryResponse> grouped = ExecuteBatch(requests, controls);
+      std::vector<QueryFlightRecord> grouped_records;
+      std::vector<QueryResponse> grouped =
+          ExecuteBatch(requests, controls,
+                       record_flight ? &grouped_records : nullptr);
       for (size_t u = 0; u < runnable.size(); ++u) {
         responses[runnable[u]] = std::move(grouped[u]);
+        if (record_flight) records[runnable[u]] = grouped_records[u];
       }
     }
     for (size_t i = 0; i < group.size(); ++i) {
       RecordOutcome(responses[i]);
+      if (record_flight) {
+        const double queue_seconds =
+            std::chrono::duration<double>(exec_start - group[i].admitted)
+                .count();
+        FinishFlight(&records[i], responses[i],
+                     group[i].control->query_id(), queue_seconds);
+      }
       group[i].promise.set_value(std::move(responses[i]));
     }
+  }
+}
+
+void Server::FinishFlight(QueryFlightRecord* record,
+                          const QueryResponse& response, uint64_t query_id,
+                          double queue_seconds) {
+  record->query_id = query_id;
+  record->status = response.status.code();
+  record->results = static_cast<uint32_t>(response.results.size());
+  record->queue_seconds = queue_seconds;
+  record->wall_seconds = queue_seconds + response.wall_seconds;
+  record->end_ts_us = NowUnixMicros();
+  if (options_.slow_query_us > 0 &&
+      record->wall_seconds * 1e6 >=
+          static_cast<double>(options_.slow_query_us)) {
+    record->slow = true;
+    if (LogEnabled(LogLevel::kWarn)) {
+      // The tail of this thread's trace ring is the query's own span
+      // history — the thread that finishes a query is the thread that
+      // executed it. Spans tagged with a different query id (a previous
+      // query on this worker) are filtered out.
+      std::string spans;
+      RecentSpan recent[16];
+      const size_t count = CollectRecentSpans(16, recent);
+      for (size_t i = 0; i < count; ++i) {
+        if (recent[i].qid != 0 && recent[i].qid != query_id) continue;
+        if (!spans.empty()) spans += ';';
+        spans += recent[i].name;
+        spans += ':';
+        spans += std::to_string(recent[i].dur_ns / 1000);
+        spans += "us";
+      }
+      LogRecord log(LogLevel::kWarn, "slow_query");
+      log.U64("query_id", record->query_id)
+          .U64("batch_id", record->batch_id)
+          .U64("epoch", record->epoch)
+          .Str("status", std::string(StatusCodeName(record->status)))
+          .U64("k", record->k)
+          .U64("results", record->results)
+          .F64("queue_s", record->queue_seconds)
+          .F64("wall_s", record->wall_seconds)
+          .F64("probe_s", record->phases.probe_seconds)
+          .F64("skyline_s", record->phases.skyline_seconds)
+          .F64("upgrade_s", record->phases.upgrade_seconds)
+          .F64("prune_s", record->phases.prune_seconds)
+          .F64("merge_s", record->phases.merge_seconds)
+          .F64("other_s", record->phases.other_seconds)
+          .U64("candidates_evaluated", record->candidates_evaluated)
+          .U64("candidates_pruned", record->candidates_pruned)
+          .U64("cache_hits", record->cache_hits)
+          .U64("memo_hits", record->memo_hits);
+      if (!spans.empty()) log.Str("spans", spans);
+    }
+  }
+  recorder_.RecordQuery(*record);
+}
+
+void Server::RecordRejection(const QueryControl& control,
+                             const QueryResponse& response) {
+  if (!recorder_.enabled()) return;
+  QueryFlightRecord record;
+  FinishFlight(&record, response, control.query_id(), /*queue_seconds=*/0.0);
+}
+
+void Server::TakeSystemSample(bool heartbeat) {
+  SystemSample sample;
+  sample.ts_us = NowUnixMicros();
+  const LiveTable::Diagnostics diag = table_->SampleDiagnostics();
+  sample.epoch = diag.epoch;
+  sample.snapshot_age_seconds = diag.snapshot_age_seconds;
+  sample.delta_backlog = diag.delta_backlog;
+  sample.tombstone_pct = diag.tombstone_pct;
+  sample.memo_bytes = diag.memo_bytes;
+  sample.live_competitors = diag.live_competitors;
+  sample.live_products = diag.live_products;
+  {
+    MutexLock lock(queue_mu_);
+    sample.queue_depth = queue_.size();
+  }
+  const ServeStats current = stats();
+  sample.rebuilds_published = current.rebuilds_published;
+  sample.patches_published = current.patches_published;
+  recorder_.RecordSample(sample);
+  if (heartbeat && LogEnabled(LogLevel::kInfo)) {
+    LogRecord(LogLevel::kInfo, "heartbeat")
+        .U64("epoch", sample.epoch)
+        .F64("snapshot_age_s", sample.snapshot_age_seconds)
+        .U64("queue_depth", sample.queue_depth)
+        .U64("delta_backlog", sample.delta_backlog)
+        .F64("tombstone_pct", sample.tombstone_pct)
+        .U64("memo_bytes", sample.memo_bytes)
+        .U64("rebuilds", sample.rebuilds_published)
+        .U64("patches", sample.patches_published)
+        .U64("live_competitors", sample.live_competitors)
+        .U64("live_products", sample.live_products);
+  }
+}
+
+void Server::DumpDiagnostics(std::ostream& out) {
+  TakeSystemSample(/*heartbeat=*/false);
+  recorder_.WriteJsonl(out);
+}
+
+void Server::WriteRequestedDump() {
+  if (options_.flight_dump_path.empty()) return;
+  std::ofstream out(options_.flight_dump_path,
+                    std::ios::out | std::ios::trunc);
+  if (!out.good()) {
+    LogRecord(LogLevel::kError, "flight_dump_failed")
+        .Str("path", options_.flight_dump_path);
+    return;
+  }
+  DumpDiagnostics(out);
+  out.flush();
+  LogRecord(LogLevel::kInfo, "flight_dump")
+      .Str("path", options_.flight_dump_path)
+      .U64("queries", recorder_.stats().queries_recorded)
+      .U64("samples", recorder_.stats().samples_recorded);
+  FlushLogSink();
+}
+
+void Server::DiagnosticsLoop() {
+  // Poll fast enough that a SIGUSR1-requested dump lands promptly while
+  // still honoring the sample period; shutdown cuts through via the
+  // condvar, so the poll interval never delays destruction.
+  const bool sampling = options_.stats_interval_ms > 0;
+  const auto poll = std::chrono::milliseconds(
+      sampling ? std::min<size_t>(options_.stats_interval_ms, 50) : 50);
+  auto next_sample = SteadyClock::now() +
+                     std::chrono::milliseconds(options_.stats_interval_ms);
+  for (;;) {
+    {
+      MutexLock lock(diag_mu_);
+      if (!diag_shutdown_) diag_cv_.wait_for(diag_mu_, poll);
+      if (diag_shutdown_) break;
+    }
+    // lint: relaxed-ok (lone request flag; rationale on RequestDump())
+    if (dump_requested_.exchange(false, std::memory_order_relaxed)) {
+      WriteRequestedDump();
+    }
+    if (sampling && SteadyClock::now() >= next_sample) {
+      TakeSystemSample(/*heartbeat=*/true);
+      next_sample = SteadyClock::now() +
+                    std::chrono::milliseconds(options_.stats_interval_ms);
+    }
+  }
+  // Shutdown drain: a dump requested moments before exit still lands.
+  // lint: relaxed-ok (lone request flag; rationale on RequestDump())
+  if (dump_requested_.exchange(false, std::memory_order_relaxed)) {
+    WriteRequestedDump();
   }
 }
 

@@ -11,15 +11,19 @@
 // `Rebuilder`, or inline after each update when
 // `ServerOptions::background_rebuild` is false (replay mode).
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
+#include <ostream>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/cost_function.h"
 #include "core/query_control.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "serve/live_table.h"
 #include "serve/query.h"
@@ -69,6 +73,26 @@ struct ServerOptions {
   /// Byte budget (in MB) of the epoch-scoped skyline memo shared by all
   /// queries (serve/skyline_memo.h); 0 disables memoization.
   size_t memo_cache_mb = 16;
+  /// Flight recorder (obs/flight_recorder.h): always-on bounded-memory
+  /// rings of completed-query records and periodic system samples, kept
+  /// for post-hoc dumps. Observe-only — turning it off changes nothing
+  /// but the per-query record cost (one relaxed load when off).
+  bool flight_recorder = true;
+  size_t flight_query_ring = 1024;  ///< completed-query records retained
+  size_t flight_sample_ring = 256;  ///< system samples retained
+  /// Queries whose end-to-end latency reaches this many microseconds are
+  /// promoted: marked slow in their flight record and emitted as a
+  /// structured-log record carrying their retained trace spans.
+  /// 0 disables promotion.
+  uint64_t slow_query_us = 0;
+  /// Period of background system samples; each lands in the sample ring
+  /// and is emitted as a structured-log heartbeat. 0 = no sampler (a
+  /// fresh sample is still taken at every dump).
+  size_t stats_interval_ms = 0;
+  /// Where `RequestDump()` (e.g. a SIGUSR1 handler) writes the JSONL
+  /// diagnostics dump. Empty = dump requests are ignored. The
+  /// diagnostics thread runs when this is set or the sampler is on.
+  std::string flight_dump_path;
 };
 
 struct QueryRequest {
@@ -124,6 +148,25 @@ class Server {
   /// Aggregate counters since construction (one consistent copy).
   ServeStats stats() const;
 
+  /// Dumps the flight recorder as JSONL (`flight_meta`, `query`, and
+  /// `sample` lines). Takes one fresh system sample first, so the dump
+  /// always ends with the state of "now". Observe-only and safe on a
+  /// live server — admission and workers are never paused.
+  void DumpDiagnostics(std::ostream& out);
+
+  /// Requests an asynchronous diagnostics dump to
+  /// `options().flight_dump_path`, drained by the diagnostics thread.
+  /// Async-signal-safe: one lock-free atomic store, nothing else — this
+  /// is exactly what a SIGUSR1 handler may call.
+  void RequestDump() {
+    // lint: relaxed-ok (lone request flag; the diagnostics thread polls
+    // it and a late observation only delays the dump by one poll)
+    dump_requested_.store(true, std::memory_order_relaxed);
+  }
+
+  /// The recorder itself, for tests and external dump plumbing.
+  FlightRecorder& flight_recorder() { return recorder_; }
+
   /// Registers the serve counters, liveness gauges (epoch, snapshot age,
   /// delta backlog, live row counts), and the query latency histogram.
   void FillMetrics(MetricsRegistry* registry) const;
@@ -144,13 +187,18 @@ class Server {
     QueryRequest request;
     std::promise<QueryResponse> promise;
     std::shared_ptr<QueryControl> control;
+    SteadyClock::time_point admitted{};  ///< for queue-wait attribution
   };
 
+  /// `record` may be null (recorder off); when set, Execute fills the
+  /// execution-side fields (epoch, k, results, counters, phases).
   QueryResponse Execute(const QueryRequest& request,
-                        const QueryControl* control);
+                        const QueryControl* control,
+                        QueryFlightRecord* record);
   std::vector<QueryResponse> ExecuteBatch(
       const std::vector<const QueryRequest*>& requests,
-      const std::vector<const QueryControl*>& controls);
+      const std::vector<const QueryControl*>& controls,
+      std::vector<QueryFlightRecord>* records);
   /// Callable while holding `queue_mu_` (Submit records rejections inside
   /// its admission critical section — the queue -> stats edge of the
   /// declared lock order), but never while holding `stats_mu_` itself.
@@ -160,6 +208,27 @@ class Server {
       SKYUP_EXCLUDES(stats_mu_);
   void AfterUpdate(const Status& outcome) SKYUP_EXCLUDES(stats_mu_);
   void WorkerLoop() SKYUP_EXCLUDES(queue_mu_, stats_mu_);
+
+  /// Admission-order query id; 0 is reserved for "never admitted".
+  uint64_t NextQueryId() {
+    // lint: relaxed-ok (pure id allocation; only uniqueness matters)
+    return next_query_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  /// Stamps outcome fields (id, status, timing, slow promotion) and
+  /// appends the record to the flight ring. `record` null = recorder off.
+  void FinishFlight(QueryFlightRecord* record, const QueryResponse& response,
+                    uint64_t query_id, double queue_seconds);
+  /// Flight record for an admission rejection (shutdown / queue full).
+  /// Called under `queue_mu_`; the recorder lock is a kObsFlight leaf, so
+  /// the nesting is within the declared order.
+  void RecordRejection(const QueryControl& control,
+                       const QueryResponse& response);
+  /// One consistent system sample into the sample ring; heartbeat=true
+  /// also emits it as a structured-log record.
+  void TakeSystemSample(bool heartbeat)
+      SKYUP_EXCLUDES(queue_mu_, stats_mu_);
+  void DiagnosticsLoop() SKYUP_EXCLUDES(diag_mu_);
+  void WriteRequestedDump();
 
   ProductCostFunction cost_fn_;
   ServerOptions options_;
@@ -189,6 +258,20 @@ class Server {
   bool hold_workers_ SKYUP_GUARDED_BY(queue_mu_) = false;
   /// Written once at construction, joined once at destruction; no guard.
   std::vector<std::thread> workers_;
+
+  // Flight recorder + diagnostics thread. The recorder has its own leaf
+  // lock (kObsFlight); `diag_mu_` only covers the sampler's shutdown
+  // handshake and is never held while sampling, so it sits beside
+  // `queue_mu_` in the order without nesting anything.
+  FlightRecorder recorder_;
+  std::atomic<uint64_t> next_query_id_{0};
+  std::atomic<uint64_t> next_batch_id_{0};
+  std::atomic<bool> dump_requested_{false};
+  Mutex diag_mu_ SKYUP_ACQUIRED_AFTER(lock_order::kServerQueue)
+      SKYUP_ACQUIRED_BEFORE(lock_order::kServerStats);
+  CondVar diag_cv_;
+  bool diag_shutdown_ SKYUP_GUARDED_BY(diag_mu_) = false;
+  std::thread diag_thread_;  ///< joined at destruction; no guard
 };
 
 }  // namespace skyup

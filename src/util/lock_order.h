@@ -27,9 +27,15 @@
 //   kTableSub      DeltaLog, UpgradeCache, SkylineMemo shards,
 //        |         SnapshotStore — table substructures locked while
 //        |         LiveTable::mu_ is held; mutually non-nesting
-//   kObsRegistry   trace registry, MetricsRegistry — leaf locks; any
-//                  layer may export metrics/spans, nothing is acquired
-//                  under them
+//   kObsRegistry   trace registry, MetricsRegistry — any layer may
+//        |         export metrics/spans while holding serving locks
+//   kObsFlight     FlightRecorder::mu_ — query records are appended
+//        |         from outcome paths that may hold stats_mu_, and
+//        |         system samples are taken while reading table stats
+//   kObsLog        LogSink::mu_ — the true leaf: every layer (including
+//                  the flight recorder and the registries above) must
+//                  be able to emit a structured log line from anywhere,
+//                  so nothing is ever acquired under the log sink.
 //
 // See docs/algorithms.md ("Static concurrency analysis") for the full
 // capability map and the rationale for each edge.
@@ -52,6 +58,8 @@ inline Rank kRebuilder SKYUP_ACQUIRED_AFTER(kServerStats);
 inline Rank kTable SKYUP_ACQUIRED_AFTER(kRebuilder);
 inline Rank kTableSub SKYUP_ACQUIRED_AFTER(kTable);
 inline Rank kObsRegistry SKYUP_ACQUIRED_AFTER(kTableSub);
+inline Rank kObsFlight SKYUP_ACQUIRED_AFTER(kObsRegistry);
+inline Rank kObsLog SKYUP_ACQUIRED_AFTER(kObsFlight);
 
 }  // namespace lock_order
 }  // namespace skyup

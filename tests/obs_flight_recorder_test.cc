@@ -1,0 +1,163 @@
+// Tests for the flight recorder (obs/flight_recorder.h): ring overwrite
+// semantics with drop accounting, oldest-first readback, the enabled
+// gate, JSONL dump shape, and concurrent recording — the last is why
+// this suite carries the "parallel" label and runs under TSan.
+
+#include "obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace skyup {
+namespace {
+
+QueryFlightRecord MakeRecord(uint64_t id) {
+  QueryFlightRecord record;
+  record.query_id = id;
+  record.epoch = 3;
+  record.k = 5;
+  record.results = 5;
+  record.wall_seconds = 0.001 * static_cast<double>(id);
+  record.phases.probe_seconds = 0.0001;
+  return record;
+}
+
+TEST(FlightRecorderTest, HoldsEverythingUnderCapacity) {
+  FlightRecorder recorder(FlightRecorderOptions{4, 4});
+  for (uint64_t i = 1; i <= 3; ++i) recorder.RecordQuery(MakeRecord(i));
+  const std::vector<QueryFlightRecord> records = recorder.QueryRecords();
+  ASSERT_EQ(records.size(), 3u);
+  for (uint64_t i = 0; i < 3; ++i) EXPECT_EQ(records[i].query_id, i + 1);
+  const FlightRecorderStats stats = recorder.stats();
+  EXPECT_EQ(stats.queries_recorded, 3u);
+  EXPECT_EQ(stats.queries_dropped, 0u);
+}
+
+TEST(FlightRecorderTest, RingOverwritesOldestFirstAndCountsDrops) {
+  FlightRecorder recorder(FlightRecorderOptions{4, 2});
+  for (uint64_t i = 1; i <= 10; ++i) recorder.RecordQuery(MakeRecord(i));
+  const std::vector<QueryFlightRecord> records = recorder.QueryRecords();
+  ASSERT_EQ(records.size(), 4u);
+  // The four newest survive, oldest-first.
+  for (uint64_t i = 0; i < 4; ++i) EXPECT_EQ(records[i].query_id, 7 + i);
+  const FlightRecorderStats stats = recorder.stats();
+  EXPECT_EQ(stats.queries_recorded, 10u);
+  EXPECT_EQ(stats.queries_dropped, 6u);
+}
+
+TEST(FlightRecorderTest, SampleRingIsIndependent) {
+  FlightRecorder recorder(FlightRecorderOptions{2, 3});
+  for (uint64_t i = 1; i <= 5; ++i) {
+    SystemSample sample;
+    sample.epoch = i;
+    recorder.RecordSample(sample);
+  }
+  const std::vector<SystemSample> samples = recorder.Samples();
+  ASSERT_EQ(samples.size(), 3u);
+  for (uint64_t i = 0; i < 3; ++i) EXPECT_EQ(samples[i].epoch, 3 + i);
+  EXPECT_EQ(recorder.stats().samples_dropped, 2u);
+  EXPECT_EQ(recorder.stats().queries_recorded, 0u);
+}
+
+TEST(FlightRecorderTest, ZeroRingSizesClampToOne) {
+  FlightRecorder recorder(FlightRecorderOptions{0, 0});
+  recorder.RecordQuery(MakeRecord(1));
+  recorder.RecordQuery(MakeRecord(2));
+  const std::vector<QueryFlightRecord> records = recorder.QueryRecords();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].query_id, 2u);
+}
+
+TEST(FlightRecorderTest, EnabledGateToggles) {
+  FlightRecorder recorder;
+  EXPECT_TRUE(recorder.enabled());  // always-on by default
+  recorder.set_enabled(false);
+  EXPECT_FALSE(recorder.enabled());
+  recorder.set_enabled(true);
+  EXPECT_TRUE(recorder.enabled());
+}
+
+TEST(FlightRecorderTest, ClearResetsRingsAndCounters) {
+  FlightRecorder recorder(FlightRecorderOptions{2, 2});
+  for (uint64_t i = 1; i <= 5; ++i) recorder.RecordQuery(MakeRecord(i));
+  recorder.Clear();
+  EXPECT_TRUE(recorder.QueryRecords().empty());
+  EXPECT_EQ(recorder.stats().queries_recorded, 0u);
+  recorder.RecordQuery(MakeRecord(9));
+  ASSERT_EQ(recorder.QueryRecords().size(), 1u);
+  EXPECT_EQ(recorder.QueryRecords()[0].query_id, 9u);
+}
+
+TEST(FlightRecorderTest, JsonlDumpHasMetaThenQueriesThenSamples) {
+  FlightRecorder recorder(FlightRecorderOptions{8, 8});
+  QueryFlightRecord record = MakeRecord(11);
+  record.status = StatusCode::kDeadlineExceeded;
+  record.slow = true;
+  recorder.RecordQuery(record);
+  SystemSample sample;
+  sample.epoch = 4;
+  sample.tombstone_pct = 12.5;
+  recorder.RecordSample(sample);
+
+  std::ostringstream out;
+  recorder.WriteJsonl(out);
+  std::vector<std::string> lines;
+  std::istringstream in(out.str());
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("\"type\":\"flight_meta\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"queries_recorded\":1"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"type\":\"query\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"query_id\":11"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"status\":\"DeadlineExceeded\""),
+            std::string::npos);
+  EXPECT_NE(lines[1].find("\"slow\":true"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"phases\":{"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"type\":\"sample\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"tombstone_pct\":12.5"), std::string::npos);
+  // Every line is one self-contained JSON object (CI re-validates each
+  // with a real JSON parser).
+  for (const std::string& l : lines) {
+    EXPECT_EQ(l.front(), '{');
+    EXPECT_EQ(l.back(), '}');
+  }
+}
+
+TEST(FlightRecorderTest, NonFiniteTimingsDumpAsNull) {
+  QueryFlightRecord record = MakeRecord(1);
+  record.wall_seconds = std::numeric_limits<double>::quiet_NaN();
+  const std::string json = QueryRecordJson(record);
+  EXPECT_NE(json.find("\"wall_s\":null"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, ConcurrentRecordersLoseNothingButTheOverwritten) {
+  constexpr size_t kRing = 64;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  FlightRecorder recorder(FlightRecorderOptions{kRing, 8});
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        recorder.RecordQuery(
+            MakeRecord(static_cast<uint64_t>(t) * kPerThread + i + 1));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const FlightRecorderStats stats = recorder.stats();
+  EXPECT_EQ(stats.queries_recorded,
+            static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(stats.queries_dropped,
+            static_cast<uint64_t>(kThreads * kPerThread - kRing));
+  EXPECT_EQ(recorder.QueryRecords().size(), kRing);
+}
+
+}  // namespace
+}  // namespace skyup

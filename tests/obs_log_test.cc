@@ -1,0 +1,144 @@
+// Tests for the structured JSONL logger (obs/log.h): gating with no
+// sink, level filtering, field formatting and escaping, stats counters,
+// and concurrent emission (whole lines, never interleaved) — the last is
+// why this suite carries the "parallel" label and runs under TSan.
+
+#include "obs/log.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace skyup {
+namespace {
+
+// Every test installs and removes its own sink; the gate is global, so
+// leaving one installed would leak records into the next test.
+class LogTest : public ::testing::Test {
+ protected:
+  void TearDown() override { CloseLogSink(); }
+};
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST_F(LogTest, NoSinkMeansDisabledAndFree) {
+  CloseLogSink();
+  EXPECT_FALSE(LogEnabled(LogLevel::kError));
+  // Emitting with no sink must be safe (and build nothing).
+  LogRecord(LogLevel::kInfo, "dropped").U64("n", 1);
+}
+
+TEST_F(LogTest, EmitsOneJsonObjectPerLine) {
+  std::ostringstream out;
+  SetLogStream(&out, LogLevel::kInfo);
+  EXPECT_TRUE(LogEnabled(LogLevel::kInfo));
+  LogRecord(LogLevel::kInfo, "publish").U64("epoch", 7).Str("kind", "major");
+  LogRecord(LogLevel::kWarn, "slow_query")
+      .U64("query_id", 42)
+      .F64("wall_s", 0.5);
+  const std::vector<std::string> lines = Lines(out.str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"level\":\"info\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"event\":\"publish\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"epoch\":7"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"kind\":\"major\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"query_id\":42"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"wall_s\":0.5"), std::string::npos);
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"ts_us\":"), std::string::npos);
+  }
+}
+
+TEST_F(LogTest, MinLevelFilters) {
+  std::ostringstream out;
+  SetLogStream(&out, LogLevel::kWarn);
+  EXPECT_FALSE(LogEnabled(LogLevel::kInfo));
+  EXPECT_TRUE(LogEnabled(LogLevel::kWarn));
+  LogRecord(LogLevel::kInfo, "ignored");
+  LogRecord(LogLevel::kError, "kept");
+  const std::vector<std::string> lines = Lines(out.str());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"kept\""), std::string::npos);
+}
+
+TEST_F(LogTest, EscapesStringsAndHandlesNonFinite) {
+  std::ostringstream out;
+  SetLogStream(&out, LogLevel::kDebug);
+  LogRecord(LogLevel::kDebug, "esc")
+      .Str("msg", "a \"quoted\"\nline\\path")
+      .F64("bad", std::numeric_limits<double>::infinity())
+      .Bool("flag", true);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("a \\\"quoted\\\"\\nline\\\\path"), std::string::npos);
+  EXPECT_NE(text.find("\"bad\":null"), std::string::npos);
+  EXPECT_NE(text.find("\"flag\":true"), std::string::npos);
+}
+
+TEST_F(LogTest, StatsCountEmitted) {
+  std::ostringstream out;
+  SetLogStream(&out, LogLevel::kInfo);
+  const LogStats before = GetLogStats();
+  LogRecord(LogLevel::kInfo, "one");
+  LogRecord(LogLevel::kInfo, "two");
+  const LogStats after = GetLogStats();
+  EXPECT_EQ(after.emitted - before.emitted, 2u);
+}
+
+TEST_F(LogTest, FileSinkAppends) {
+  const std::string path =
+      ::testing::TempDir() + "/skyup_log_test.jsonl";
+  std::remove(path.c_str());
+  ASSERT_TRUE(SetLogFile(path, LogLevel::kInfo).ok());
+  LogRecord(LogLevel::kInfo, "to_file").U64("n", 1);
+  CloseLogSink();  // flushes and closes
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"event\":\"to_file\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(LogTest, ConcurrentEmittersNeverInterleaveLines) {
+  std::ostringstream out;
+  SetLogStream(&out, LogLevel::kInfo);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        LogRecord(LogLevel::kInfo, "burst")
+            .U64("thread", static_cast<uint64_t>(t))
+            .U64("i", static_cast<uint64_t>(i))
+            .Str("pad", "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  CloseLogSink();
+  const std::vector<std::string> lines = Lines(out.str());
+  ASSERT_EQ(lines.size(), static_cast<size_t>(kThreads * kPerThread));
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"event\":\"burst\""), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace skyup

@@ -1,5 +1,7 @@
 #include "obs/metrics.h"
 
+#include <cctype>
+#include <cstring>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -115,6 +117,22 @@ TEST(HistogramTest, MergeMatchesObservingEverythingDirectly) {
   EXPECT_DOUBLE_EQ(direct.sum(), part1.sum());
 }
 
+TEST(HistogramTest, SingleBucketHighQuantilesInterpolateNotClamp) {
+  // Regression: the quantile rank used to be ceil(q * count), an integer.
+  // With all N observations in one bucket and N <= 100, ceil(0.99 * N)
+  // == N, so p99 (and p95, and p90...) collapsed to the bucket's upper
+  // edge — indistinguishable from p100 and a lie about the tail. The
+  // fractional (Prometheus-style) rank interpolates instead.
+  Histogram h({1.0, 2.0, 4.0});
+  for (int i = 0; i < 100; ++i) h.Observe(1.5);  // all in (1, 2]
+  const double p50 = h.Quantile(0.50);
+  const double p99 = h.Quantile(0.99);
+  EXPECT_DOUBLE_EQ(p50, 1.5);   // halfway into the bucket
+  EXPECT_DOUBLE_EQ(p99, 1.99);  // 99% of the way in — NOT the edge
+  EXPECT_LT(p99, 2.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 2.0);  // only p100 reaches the edge
+}
+
 TEST(HistogramTest, QuantileOrderIsMonotone) {
   Histogram h(Histogram::DefaultLatencyBucketsSeconds());
   for (int i = 1; i <= 1000; ++i) h.Observe(i * 1e-5);
@@ -201,6 +219,154 @@ TEST(MetricsRegistryTest, EmptyRegistryStillWritesValidShells) {
   registry.WriteJson(json);
   EXPECT_TRUE(prom.str().empty());
   EXPECT_NE(json.str().find("\"counters\": {}"), std::string::npos);
+}
+
+// ---- Minimal JSON parser (tests only) --------------------------------
+//
+// Just enough of RFC 8259 to round-trip WriteJson's output: objects,
+// arrays, strings with escapes, numbers, true/false/null. Parse failures
+// surface as a null position, so EXPECT below pinpoints the offset.
+
+struct JsonParser {
+  const std::string& text;
+  size_t pos = 0;
+  bool failed = false;
+
+  explicit JsonParser(const std::string& t) : text(t) {}
+
+  void Fail() { failed = true; }
+  void SkipWs() {
+    while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\n' ||
+                                 text[pos] == '\t' || text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+  bool Consume(char c) {
+    SkipWs();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  void Expect(char c) {
+    if (!Consume(c)) Fail();
+  }
+  void ParseString() {
+    Expect('"');
+    while (!failed && pos < text.size() && text[pos] != '"') {
+      if (text[pos] == '\\') {
+        ++pos;
+        if (pos >= text.size()) return Fail();
+        const char e = text[pos];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos;
+            if (pos >= text.size() || !isxdigit(text[pos])) return Fail();
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return Fail();
+        }
+      }
+      ++pos;
+    }
+    Expect('"');
+  }
+  void ParseNumber() {
+    SkipWs();
+    const size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    while (pos < text.size() &&
+           (isdigit(text[pos]) || text[pos] == '.' || text[pos] == 'e' ||
+            text[pos] == 'E' || text[pos] == '+' || text[pos] == '-')) {
+      ++pos;
+    }
+    if (pos == start) Fail();
+  }
+  bool ConsumeWord(const char* w) {
+    SkipWs();
+    const size_t len = strlen(w);
+    if (text.compare(pos, len, w) == 0) {
+      pos += len;
+      return true;
+    }
+    return false;
+  }
+  void ParseValue() {
+    if (failed) return;
+    SkipWs();
+    if (pos >= text.size()) return Fail();
+    const char c = text[pos];
+    if (c == '{') {
+      ParseObject();
+    } else if (c == '[') {
+      ParseArray();
+    } else if (c == '"') {
+      ParseString();
+    } else if (ConsumeWord("true") || ConsumeWord("false") ||
+               ConsumeWord("null")) {
+      // literal consumed
+    } else {
+      ParseNumber();
+    }
+  }
+  void ParseObject() {
+    Expect('{');
+    if (Consume('}')) return;
+    do {
+      ParseString();
+      Expect(':');
+      ParseValue();
+    } while (!failed && Consume(','));
+    Expect('}');
+  }
+  void ParseArray() {
+    Expect('[');
+    if (Consume(']')) return;
+    do {
+      ParseValue();
+    } while (!failed && Consume(','));
+    Expect(']');
+  }
+
+  /// True iff the whole text is exactly one valid JSON value.
+  bool ParseAll() {
+    ParseValue();
+    SkipWs();
+    return !failed && pos == text.size();
+  }
+};
+
+TEST(MetricsRegistryTest, JsonExportRoundTripsThroughAParser) {
+  MetricsRegistry registry;
+  registry.AddCounter("skyup_ops_total", "operations")->Increment(7);
+  registry.AddGauge("skyup_temp", "temperature")->Set(-0.5);
+  Histogram* h = registry.AddHistogram(
+      "skyup_lat_seconds", "latency", std::vector<double>{0.1, 1.0});
+  h->Observe(0.2);
+  h->Observe(5.0);  // +Inf bucket
+
+  std::ostringstream out;
+  registry.WriteJson(out);
+  const std::string text = out.str();
+  JsonParser parser(text);
+  EXPECT_TRUE(parser.ParseAll())
+      << "WriteJson output is not valid JSON at offset " << parser.pos
+      << ":\n"
+      << text;
+  // Spot-check that the values actually made the trip.
+  EXPECT_NE(text.find("\"skyup_ops_total\": 7"), std::string::npos);
+  EXPECT_NE(text.find("\"count\": 2"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, EmptyJsonExportRoundTrips) {
+  MetricsRegistry registry;
+  std::ostringstream out;
+  registry.WriteJson(out);
+  const std::string text = out.str();
+  JsonParser parser(text);
+  EXPECT_TRUE(parser.ParseAll()) << text;
 }
 
 TEST(DefaultLatencyBucketsTest, StrictlyAscendingAndSpanMicrosToSeconds) {

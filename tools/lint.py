@@ -58,6 +58,18 @@ gymnastics on purpose) and fails with file:line diagnostics on:
                  reviewable justification (currently one site:
                  DeltaLog::Append's write-ahead hook contract).
 
+  trace-span     SKYUP_TRACE_SPAN / _SPAN_Q / _SPAN_VERBOSE whose name
+                 argument is not a string literal on the same line. The
+                 trace ring stores the name as a borrowed `const char*`
+                 without copying, so only a literal (static storage
+                 duration) is safe — a stack buffer or std::string
+                 .c_str() dangles by the time the Chrome-trace exporter
+                 reads it. Span names are also a stable grep/tooling
+                 surface (the flight recorder's slow-query log keys on
+                 them), so they must be constants anyway. Annotate
+                 `// lint: trace-span-literal-ok (<why>)` for a site
+                 that can prove static storage another way.
+
 Run: python3 tools/lint.py [--root <repo>]
 Exit status 0 = clean, 1 = findings (one per line on stdout).
 """
@@ -108,6 +120,16 @@ TSA_ESCAPE_RE = re.compile(r"SKYUP_NO_THREAD_SAFETY_ANALYSIS\b")
 TSA_ESCAPE_OK = "// tsa:"
 # The macro's own definition (and doc) lives here.
 TSA_MACRO_FILE = "src/util/thread_annotations.h"
+
+# A span macro invocation whose first argument does not start with a
+# string literal. Matched on comment/string-stripped code, where a
+# literal survives as its opening quote.
+TRACE_SPAN_RE = re.compile(
+    r"SKYUP_TRACE_SPAN(?:_Q|_VERBOSE)?\s*\((?!\s*\")"
+)
+TRACE_SPAN_OK = "lint: trace-span-literal-ok"
+# The macros' own definitions forward a `name` parameter.
+TRACE_MACRO_FILE = "src/obs/trace.h"
 
 MERGE_ADD_RE = re.compile(r"^\s*add\(&(\w+),", re.M)
 
@@ -227,6 +249,18 @@ def lint_file(path: pathlib.Path, rel: str, findings: list[str]) -> None:
                 " SKYUP_NO_THREAD_SAFETY_ANALYSIS without a"
                 f" `{TSA_ESCAPE_OK} <why>` justification on or above the"
                 " line"
+            )
+
+        if (
+            TRACE_SPAN_RE.search(code)
+            and rel != TRACE_MACRO_FILE
+            and not annotated(lineno, TRACE_SPAN_OK)
+        ):
+            findings.append(
+                f"{rel}:{lineno}: [trace-span] span name is not a string"
+                " literal; the trace ring borrows the pointer, so a"
+                " non-literal dangles — use a literal or annotate"
+                f" `// {TRACE_SPAN_OK} (<why>)`"
             )
 
     for lineno, name in mutex_decls:

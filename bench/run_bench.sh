@@ -5,7 +5,8 @@
 # BM_TopKImprovedProbing) and flat/batched (BM_*Flat) — so the speedup of
 # the arena + SIMD path is reproducible from one artifact.
 #
-# Usage: bench/run_bench.sh [--smoke|--serve|--load] [build-dir] [output-file]
+# Usage: bench/run_bench.sh [--smoke|--serve|--load|--shard] [build-dir]
+#        [output-file]
 # Defaults: build-dir = ./build, output-file = ./BENCH_topk.json.
 # The CMake target `run_bench` invokes this with its own build dir.
 #
@@ -25,6 +26,12 @@
 # --memo-cache-mb=64) — and folds both reports plus the QPS-per-core and
 # p99 improvement factors into BENCH_topk.json["load"].
 #
+# --shard: shard-per-core saturation A/B. Runs the same closed-loop
+# workload against the single-table server and against --shards=<cores>
+# (scatter-gather workers = cores), and folds both reports plus the
+# sharded/unsharded QPS and p99 factors — with the shard count and
+# partitioner kind recorded — into BENCH_topk.json["shard"].
+#
 # Provenance: every mode that writes BENCH_topk.json refuses to run
 # against a non-Release build directory (numbers from -O0/debug builds
 # have poisoned committed baselines before). --smoke is exempt — it
@@ -34,6 +41,7 @@ set -eu
 smoke=0
 serve=0
 load=0
+shard=0
 if [ "${1:-}" = "--smoke" ]; then
   smoke=1
   shift
@@ -42,6 +50,9 @@ elif [ "${1:-}" = "--serve" ]; then
   shift
 elif [ "${1:-}" = "--load" ]; then
   load=1
+  shift
+elif [ "${1:-}" = "--shard" ]; then
+  shard=1
   shift
 fi
 
@@ -236,6 +247,82 @@ with open(out_path, "w") as f:
 print("merged load section into", out_path)
 print("qps/core improvement: %.2fx, p99 improvement: %.2fx"
       % (qps_x or 0.0, p99_x or 0.0))
+EOF
+  exit 0
+fi
+
+if [ "$shard" = 1 ]; then
+  cli_bin="$build_dir/src/skyup_cli"
+  if [ ! -x "$cli_bin" ]; then
+    echo "error: $cli_bin not found or not executable." >&2
+    echo "Build it first: cmake --build $build_dir --target skyup_cli" >&2
+    exit 1
+  fi
+  workdir=$(mktemp -d)
+  trap 'rm -rf "$workdir"' EXIT
+  cores=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+  shards=$cores
+  # Floor of 4: on tiny containers a 1-shard "sharded" run would A/B
+  # nothing; 4 shards still exercises routing + scatter-gather (the
+  # partition is correct on any core count, only the speedup needs
+  # cores).
+  [ "$shards" -lt 4 ] && shards=4
+  # Saturation shape tuned for raw QPS (small k, memo+batching on, big
+  # client fleet): the A/B isolates sharding — identical knobs except
+  # --shards. The unsharded run gives the single-table worker pool the
+  # same core budget the sharded run spends on shard workers, so the
+  # comparison is cores-for-cores.
+  common="--dims=3 --duration=10 --clients=32 --query-fraction=0.95 \
+    --k=5 --preload-p=30000 --preload-t=1500 --rebuild-threshold=2048 \
+    --batch-max=32 --memo-cache-mb=64 --seed=42"
+  echo "shard A/B baseline (single table, threads=$cores) ..."
+  # shellcheck disable=SC2086
+  "$cli_bin" serve --load-gen $common --threads="$cores" --shards=0 \
+    --out="$workdir/single.json"
+  echo "shard A/B sharded (shards=$shards, $cores shard workers) ..."
+  # Shard workers = cores (the shard-per-core deployment shape): with
+  # fewer cores than shards, spawning one worker per shard would only
+  # oversubscribe; ParallelFor folds multiple shards into each worker.
+  # shellcheck disable=SC2086
+  "$cli_bin" serve --load-gen $common --threads="$cores" \
+    --shards="$shards" --shard-threads="$cores" \
+    --out="$workdir/sharded.json"
+  python3 - "$out_file" "$workdir/single.json" "$workdir/sharded.json" \
+    "$shards" <<'EOF'
+import json, sys
+out_path, single_path, sharded_path = sys.argv[1], sys.argv[2], sys.argv[3]
+shards = int(sys.argv[4])
+try:
+    with open(out_path) as f:
+        bench = json.load(f)
+except FileNotFoundError:
+    bench = {}
+with open(single_path) as f:
+    single = json.load(f)
+with open(sharded_path) as f:
+    sharded = json.load(f)
+qps_x = (sharded["achieved_qps"] / single["achieved_qps"]
+         if single["achieved_qps"] else None)
+p99_x = (single["latency_p99_seconds"] / sharded["latency_p99_seconds"]
+         if sharded["latency_p99_seconds"] else None)
+bench["shard"] = {
+    "workload": ("closed-loop saturation: 32 clients, P=30000 T=1500 d=3 "
+                 "k=5, 95% queries, 10 s, seed=42; same core budget both "
+                 "runs"),
+    "shards": shards,
+    "partitioner": "str-tiles",
+    "single_table": single,
+    "sharded": sharded,
+    "qps_improvement": qps_x,
+    "p99_improvement": p99_x,
+}
+with open(out_path, "w") as f:
+    json.dump(bench, f, indent=1)
+    f.write("\n")
+print("merged shard section into", out_path)
+print("sharded %.0f qps vs single-table %.0f qps (%.2fx), p99 %.2fx"
+      % (sharded["achieved_qps"], single["achieved_qps"],
+         qps_x or 0.0, p99_x or 0.0))
 EOF
   exit 0
 fi

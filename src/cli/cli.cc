@@ -21,6 +21,8 @@
 #include "serve/load_gen.h"
 #include "serve/replay.h"
 #include "serve/server.h"
+#include "serve/shard/front_door.h"
+#include "serve/shard/wire.h"
 #include "skyline/skyline.h"
 #include "util/csv.h"
 #include "util/timer.h"
@@ -56,10 +58,12 @@ commands:
               chrome://tracing or https://ui.perfetto.dev;
               --metrics-out: counters/gauges/histograms dump — JSON when
               FILE ends in .json, Prometheus text otherwise)
-  serve      replay or generate a live update+query workload, or run a
-             closed-loop load generator against a live server
+  serve      replay or generate a live update+query workload, run a
+             closed-loop load generator (in-process or over TCP), or
+             listen as a multi-tenant network front door
              --replay=OPS.csv [--out=FILE] [--metrics-out=FILE]
-             [--epsilon=1e-6] [--fanout=64] [--rebuild-threshold=64]
+             [--shards=0] [--epsilon=1e-6] [--fanout=64]
+             [--rebuild-threshold=64]
              [--min-publish-backlog=1] [--compact-tombstone-pct=50]
              [--compact-tail-pct=150] [--batch-max=1]
              [--batch-wait-us=200] [--memo-cache-mb=16]
@@ -67,10 +71,24 @@ commands:
              | --load-gen --dims=D [--duration=5] [--clients=8] [--qps=0]
              [--query-fraction=0.9] [--k=10] [--timeout=0]
              [--preload-p=20000] [--preload-t=2000] [--threads=2]
+             [--shards=0] [--shard-threads=0]
              [--rebuild-threshold=1024] [--batch-max=16]
              [--batch-wait-us=200] [--memo-cache-mb=16] [--seed=42]
+             [--connect=HOST:PORT] [--tenant=bench]
              [--out=FILE.json] [--metrics-out=FILE]
-             both modes also take the flight-recorder flags:
+             | --listen=PORT [--threads=2] [--quota=64]
+             [--rebuild-threshold=1024] [--batch-max=16]
+             [--batch-wait-us=200] [--memo-cache-mb=16]
+             (--shards=N partitions P/T into N spatial shards behind one
+              cross-shard epoch; results are byte-identical to --shards=0
+              — CI replays both and compares. --listen serves the
+              length-prefixed text wire protocol on 127.0.0.1:PORT
+              (PORT=0 picks an ephemeral port, printed on stdout);
+              tenants are created over the wire with their own dims,
+              shard count, and admission quota. --load-gen --connect
+              drives a remote front door instead of an in-process
+              server, creating --tenant first if needed.)
+             replay and load-gen also take the flight-recorder flags:
              [--flight-recorder=on|off] [--flight-out=FILE]
              [--slow-log=FILE] [--slow-query-us=N] [--stats-interval-ms=N]
              (replay mode drives the serving layer deterministically:
@@ -566,42 +584,30 @@ int CmdServeLoadGen(const Flags& flags, std::ostream& out, std::ostream& err) {
   const auto preload_p = ToInt(flags.GetOr("preload-p", "20000"));
   const auto preload_t = ToInt(flags.GetOr("preload-t", "2000"));
   const auto threads = ToInt(flags.GetOr("threads", "2"));
+  const auto shards = ToInt(flags.GetOr("shards", "0"));
+  const auto shard_threads = ToInt(flags.GetOr("shard-threads", "0"));
   const auto threshold = ToInt(flags.GetOr("rebuild-threshold", "1024"));
   const auto batch_max = ToInt(flags.GetOr("batch-max", "16"));
   const auto batch_wait = ToInt(flags.GetOr("batch-wait-us", "200"));
   const auto memo_mb = ToInt(flags.GetOr("memo-cache-mb", "16"));
   const auto seed = ToInt(flags.GetOr("seed", "42"));
+  const auto connect = flags.Get("connect");
+  const std::string tenant = flags.GetOr("tenant", "bench");
   const auto out_path = flags.Get("out");
   const auto metrics_path = flags.Get("metrics-out");
   if (!dims || !duration || !clients || !qps || !query_fraction || !k ||
-      !timeout || !preload_p || !preload_t || !threads || !threshold ||
-      !batch_max || !batch_wait || !memo_mb || !seed || *dims < 1 ||
-      *duration <= 0 || *clients < 1 || *qps < 0 || *query_fraction < 0 ||
-      *query_fraction > 1 || *k < 1 || *timeout < 0 || *preload_p < 0 ||
-      *preload_t < 0 || *threads < 1 || *threshold < 1 || *batch_max < 1 ||
+      !timeout || !preload_p || !preload_t || !threads || !shards ||
+      !shard_threads || !threshold || !batch_max || !batch_wait || !memo_mb ||
+      !seed || *dims < 1 || *duration <= 0 || *clients < 1 || *qps < 0 ||
+      *query_fraction < 0 || *query_fraction > 1 || *k < 1 || *timeout < 0 ||
+      *preload_p < 0 || *preload_t < 0 || *threads < 1 || *shards < 0 ||
+      *shard_threads < 0 || *threshold < 1 || *batch_max < 1 ||
       *batch_wait < 0 || *memo_mb < 0 || *seed < 0) {
     return Usage(err, "serve --load-gen: malformed numeric flag");
   }
 
-  ServerOptions options;
-  options.dims = static_cast<size_t>(*dims);
-  options.query_threads = static_cast<size_t>(*threads);
-  options.rebuild_threshold_ops = static_cast<size_t>(*threshold);
-  options.batch_max = static_cast<size_t>(*batch_max);
-  options.batch_wait_us = static_cast<size_t>(*batch_wait);
-  options.memo_cache_mb = static_cast<size_t>(*memo_mb);
-  if (auto rc = ApplyServeObsFlags(flags, &options, err)) return *rc;
-  LogSinkCloser log_closer;
-  if (flags.ReportUnused(err)) return 2;
-  Result<std::unique_ptr<Server>> server = Server::Create(
-      ProductCostFunction::ReciprocalSum(options.dims, 1e-3), options);
-  if (!server.ok()) return Fail(err, server.status());
-  // SIGUSR1 during the run dumps the flight recorder to --flight-out
-  // without pausing admission — the CI live-dump demo drives this.
-  SignalDumpScope dump_scope(server->get());
-
   LoadGenOptions load;
-  load.dims = options.dims;
+  load.dims = static_cast<size_t>(*dims);
   load.clients = static_cast<size_t>(*clients);
   load.duration_seconds = *duration;
   load.target_qps = *qps;
@@ -611,11 +617,91 @@ int CmdServeLoadGen(const Flags& flags, std::ostream& out, std::ostream& err) {
   load.preload_competitors = static_cast<size_t>(*preload_p);
   load.preload_products = static_cast<size_t>(*preload_t);
   load.seed = static_cast<uint64_t>(*seed);
-  Result<LoadGenReport> report = RunLoadGen(server->get(), load);
-  if (!report.ok()) return Fail(err, report.status());
 
-  const ServeStats stats = (*server)->stats();
-  const uint64_t probes = stats.memo_hits + stats.memo_misses;
+  // Counters for the report footer/JSON; filled from the in-process
+  // server's stats, or from the remote tenant's `stats` over the wire.
+  uint64_t memo_hits = 0;
+  uint64_t memo_misses = 0;
+  uint64_t batches_executed = 0;
+  uint64_t batched_queries = 0;
+  Result<LoadGenReport> report = Status::Internal("load-gen never ran");
+
+  ServerOptions options;
+  options.dims = load.dims;
+  options.shards = static_cast<size_t>(*shards);
+  options.shard_query_threads = static_cast<size_t>(*shard_threads);
+  options.query_threads = static_cast<size_t>(*threads);
+  options.rebuild_threshold_ops = static_cast<size_t>(*threshold);
+  options.batch_max = static_cast<size_t>(*batch_max);
+  options.batch_wait_us = static_cast<size_t>(*batch_wait);
+  options.memo_cache_mb = static_cast<size_t>(*memo_mb);
+
+  std::unique_ptr<Server> server;  // in-process mode only
+  if (connect.has_value()) {
+    // Remote mode: drive a `serve --listen` front door over the wire
+    // protocol. Server-side knobs come from the listener, not here.
+    if (metrics_path.has_value()) {
+      return Usage(err, "serve --load-gen: --metrics-out needs an "
+                        "in-process server (drop --connect)");
+    }
+    const size_t colon = connect->rfind(':');
+    std::optional<long long> port;
+    if (colon != std::string::npos) port = ToInt(connect->substr(colon + 1));
+    if (!port || *port < 1 || *port > 65535) {
+      return Usage(err, "serve --load-gen: --connect must be HOST:PORT");
+    }
+    const std::string host = connect->substr(0, colon);
+    if (flags.ReportUnused(err)) return 2;
+    Result<WireClient> admin =
+        WireClient::Dial(host, static_cast<uint16_t>(*port));
+    if (!admin.ok()) return Fail(err, admin.status());
+    Result<uint64_t> tenant_id = admin->CreateTenant(
+        tenant, load.dims, static_cast<size_t>(*shards), /*quota=*/0,
+        /*attach_existing=*/true);
+    if (!tenant_id.ok()) return Fail(err, tenant_id.status());
+    err << "# load-gen: tenant '" << tenant << "' (id " << *tenant_id
+        << ") on " << host << ":" << *port << "\n";
+    Result<std::unique_ptr<WireLoadTarget>> target =
+        WireLoadTarget::Create(host, static_cast<uint16_t>(*port), tenant);
+    if (!target.ok()) return Fail(err, target.status());
+    report = RunLoadGenOn(target->get(), load);
+    if (!report.ok()) return Fail(err, report.status());
+    Result<std::vector<std::pair<std::string, std::string>>> remote =
+        admin->Stats(tenant);
+    if (remote.ok()) {
+      for (const auto& [key, value] : *remote) {
+        const auto parsed = ToInt(value);
+        if (!parsed) continue;
+        const uint64_t v = static_cast<uint64_t>(*parsed);
+        if (key == "memo_hits") memo_hits = v;
+        if (key == "memo_misses") memo_misses = v;
+        if (key == "batches_executed") batches_executed = v;
+        if (key == "batched_queries") batched_queries = v;
+      }
+    }
+  } else {
+    if (auto rc = ApplyServeObsFlags(flags, &options, err)) return *rc;
+    if (flags.ReportUnused(err)) return 2;
+    Result<std::unique_ptr<Server>> created = Server::Create(
+        ProductCostFunction::ReciprocalSum(options.dims, 1e-3), options);
+    if (!created.ok()) return Fail(err, created.status());
+    server = std::move(created).value();
+  }
+  LogSinkCloser log_closer;
+  if (server != nullptr) {
+    // SIGUSR1 during the run dumps the flight recorder to --flight-out
+    // without pausing admission — the CI live-dump demo drives this.
+    SignalDumpScope dump_scope(server.get());
+    report = RunLoadGen(server.get(), load);
+    if (!report.ok()) return Fail(err, report.status());
+    const ServeStats stats = server->stats();
+    memo_hits = stats.memo_hits;
+    memo_misses = stats.memo_misses;
+    batches_executed = stats.batches_executed;
+    batched_queries = stats.batched_queries;
+  }
+
+  const uint64_t probes = memo_hits + memo_misses;
   err.precision(4);
   err << "# load-gen: " << report->queries_ok << " queries ok ("
       << report->queries_rejected << " rejected, "
@@ -627,9 +713,9 @@ int CmdServeLoadGen(const Flags& flags, std::ostream& out, std::ostream& err) {
       << report->achieved_qps / static_cast<double>(*threads)
       << " qps/core), p50=" << report->latency_p50_seconds * 1e3
       << " ms p99=" << report->latency_p99_seconds * 1e3 << " ms\n"
-      << "# load-gen: memo hits=" << stats.memo_hits << "/" << probes
-      << " batches=" << stats.batches_executed
-      << " batched_queries=" << stats.batched_queries << "\n";
+      << "# load-gen: memo hits=" << memo_hits << "/" << probes
+      << " batches=" << batches_executed
+      << " batched_queries=" << batched_queries << "\n";
 
   std::ostringstream json;
   json.precision(12);
@@ -637,6 +723,8 @@ int CmdServeLoadGen(const Flags& flags, std::ostream& out, std::ostream& err) {
        << "  \"config\": {\"dims\": " << options.dims
        << ", \"clients\": " << load.clients
        << ", \"query_threads\": " << options.query_threads
+       << ", \"shards\": " << options.shards
+       << ", \"shard_query_threads\": " << options.shard_query_threads
        << ", \"duration_seconds\": " << load.duration_seconds
        << ", \"target_qps\": " << load.target_qps
        << ", \"query_fraction\": " << load.query_fraction
@@ -646,6 +734,7 @@ int CmdServeLoadGen(const Flags& flags, std::ostream& out, std::ostream& err) {
        << ", \"batch_max\": " << options.batch_max
        << ", \"batch_wait_us\": " << options.batch_wait_us
        << ", \"memo_cache_mb\": " << options.memo_cache_mb
+       << ", \"connect\": " << (connect.has_value() ? "true" : "false")
        << ", \"seed\": " << load.seed << "},\n"
        << "  \"wall_seconds\": " << report->wall_seconds << ",\n"
        << "  \"offered_qps\": " << report->offered_qps << ",\n"
@@ -666,10 +755,10 @@ int CmdServeLoadGen(const Flags& flags, std::ostream& out, std::ostream& err) {
        << ",\n"
        << "  \"latency_max_seconds\": " << report->latency_max_seconds
        << ",\n"
-       << "  \"memo_hits\": " << stats.memo_hits << ",\n"
-       << "  \"memo_misses\": " << stats.memo_misses << ",\n"
-       << "  \"batches_executed\": " << stats.batches_executed << ",\n"
-       << "  \"batched_queries\": " << stats.batched_queries << "\n"
+       << "  \"memo_hits\": " << memo_hits << ",\n"
+       << "  \"memo_misses\": " << memo_misses << ",\n"
+       << "  \"batches_executed\": " << batches_executed << ",\n"
+       << "  \"batched_queries\": " << batched_queries << "\n"
        << "}\n";
   if (out_path.has_value()) {
     std::ofstream file(*out_path);
@@ -681,9 +770,9 @@ int CmdServeLoadGen(const Flags& flags, std::ostream& out, std::ostream& err) {
     out << json.str();
   }
 
-  if (metrics_path.has_value()) {
+  if (metrics_path.has_value() && server != nullptr) {
     MetricsRegistry registry;
-    (*server)->FillMetrics(&registry);
+    server->FillMetrics(&registry);
     std::ofstream metrics_file(*metrics_path);
     if (!metrics_file) {
       return Fail(err, Status::IOError("cannot open '" + *metrics_path +
@@ -698,20 +787,72 @@ int CmdServeLoadGen(const Flags& flags, std::ostream& out, std::ostream& err) {
       registry.WritePrometheus(metrics_file);
     }
   }
-  return FinishServeObs(server->get(), options, err);
+  if (server != nullptr) return FinishServeObs(server.get(), options, err);
+  return 0;
+}
+
+// serve --listen=PORT: the multi-tenant network front door. Blocks until
+// a `shutdown` command arrives over the wire.
+int CmdServeListen(const Flags& flags, std::ostream& out, std::ostream& err) {
+  const auto listen = ToInt(flags.GetOr("listen", "0"));
+  const auto threads = ToInt(flags.GetOr("threads", "2"));
+  const auto quota = ToInt(flags.GetOr("quota", "64"));
+  const auto threshold = ToInt(flags.GetOr("rebuild-threshold", "1024"));
+  const auto batch_max = ToInt(flags.GetOr("batch-max", "16"));
+  const auto batch_wait = ToInt(flags.GetOr("batch-wait-us", "200"));
+  const auto memo_mb = ToInt(flags.GetOr("memo-cache-mb", "16"));
+  if (!listen || !threads || !quota || !threshold || !batch_max ||
+      !batch_wait || !memo_mb || *listen < 0 || *listen > 65535 ||
+      *threads < 1 || *quota < 1 || *threshold < 1 || *batch_max < 1 ||
+      *batch_wait < 0 || *memo_mb < 0) {
+    return Usage(err, "serve --listen: malformed numeric flag");
+  }
+
+  FrontDoorOptions options;
+  options.port = static_cast<uint16_t>(*listen);
+  options.tenant_base.dims = 1;  // per-tenant `create` overrides
+  options.tenant_base.query_threads = static_cast<size_t>(*threads);
+  options.tenant_base.max_pending = static_cast<size_t>(*quota);
+  options.tenant_base.rebuild_threshold_ops = static_cast<size_t>(*threshold);
+  options.tenant_base.batch_max = static_cast<size_t>(*batch_max);
+  options.tenant_base.batch_wait_us = static_cast<size_t>(*batch_wait);
+  options.tenant_base.memo_cache_mb = static_cast<size_t>(*memo_mb);
+  if (auto rc = ApplyServeObsFlags(flags, &options.tenant_base, err)) {
+    return *rc;
+  }
+  LogSinkCloser log_closer;
+  if (flags.ReportUnused(err)) return 2;
+
+  Result<std::unique_ptr<FrontDoor>> door = FrontDoor::Start(options);
+  if (!door.ok()) return Fail(err, door.status());
+  // The port line is the startup handshake: harnesses parse it to learn
+  // an ephemeral port, so it must flush before the blocking wait.
+  out << "# serve: listening on 127.0.0.1:" << (*door)->port() << std::endl;
+  (*door)->WaitForShutdown();
+  const std::vector<std::string> tenants = (*door)->registry().Names();
+  (*door)->Stop();
+  err << "# serve: shutdown after serving " << tenants.size()
+      << " tenant(s)";
+  for (const std::string& name : tenants) err << " " << name;
+  err << "\n";
+  return 0;
 }
 
 int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
   const auto gen_path = flags.Get("gen-ops");
   const auto replay_path = flags.Get("replay");
   const bool load_gen = flags.Get("load-gen").has_value();
+  const bool listen = flags.Get("listen").has_value();
   const int modes = (gen_path.has_value() ? 1 : 0) +
-                    (replay_path.has_value() ? 1 : 0) + (load_gen ? 1 : 0);
+                    (replay_path.has_value() ? 1 : 0) + (load_gen ? 1 : 0) +
+                    (listen ? 1 : 0);
   if (modes != 1) {
-    return Usage(
-        err, "serve requires exactly one of --replay, --gen-ops, --load-gen");
+    return Usage(err,
+                 "serve requires exactly one of --replay, --gen-ops, "
+                 "--load-gen, --listen");
   }
   if (load_gen) return CmdServeLoadGen(flags, out, err);
+  if (listen) return CmdServeListen(flags, out, err);
 
   if (gen_path.has_value()) {
     const auto ops = ToInt(flags.GetOr("ops", "1000"));
@@ -738,6 +879,7 @@ int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
 
   const auto epsilon = ToDouble(flags.GetOr("epsilon", "1e-6"));
   const auto fanout = ToInt(flags.GetOr("fanout", "64"));
+  const auto shards = ToInt(flags.GetOr("shards", "0"));
   const auto threshold = ToInt(flags.GetOr("rebuild-threshold", "64"));
   const auto min_backlog = ToInt(flags.GetOr("min-publish-backlog", "1"));
   const auto tombstone_pct = ToInt(flags.GetOr("compact-tombstone-pct", "50"));
@@ -747,11 +889,11 @@ int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
   const auto memo_mb = ToInt(flags.GetOr("memo-cache-mb", "16"));
   const auto out_path = flags.Get("out");
   const auto metrics_path = flags.Get("metrics-out");
-  if (!epsilon || !fanout || !threshold || !min_backlog || !tombstone_pct ||
-      !tail_pct || !batch_max || !batch_wait || !memo_mb || *epsilon <= 0 ||
-      *fanout < 2 || *threshold < 1 || *min_backlog < 1 ||
-      *tombstone_pct < 1 || *tail_pct < 1 || *batch_max < 1 ||
-      *batch_wait < 0 || *memo_mb < 0) {
+  if (!epsilon || !fanout || !shards || !threshold || !min_backlog ||
+      !tombstone_pct || !tail_pct || !batch_max || !batch_wait || !memo_mb ||
+      *epsilon <= 0 || *fanout < 2 || *shards < 0 || *threshold < 1 ||
+      *min_backlog < 1 || *tombstone_pct < 1 || *tail_pct < 1 ||
+      *batch_max < 1 || *batch_wait < 0 || *memo_mb < 0) {
     return Usage(err, "serve: malformed numeric flag");
   }
 
@@ -760,6 +902,7 @@ int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
 
   ServerOptions options;
   options.dims = workload->dims;
+  options.shards = static_cast<size_t>(*shards);
   options.default_epsilon = *epsilon;
   options.rtree_fanout = static_cast<size_t>(*fanout);
   options.rebuild_threshold_ops = static_cast<size_t>(*threshold);

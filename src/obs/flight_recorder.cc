@@ -106,6 +106,7 @@ std::string QueryRecordJson(const QueryFlightRecord& record) {
   std::string line = "{\"type\":\"query\"";
   AppendField(&line, "query_id", record.query_id);
   AppendField(&line, "batch_id", record.batch_id);
+  AppendField(&line, "tenant_id", record.tenant_id);
   AppendField(&line, "epoch", record.epoch);
   AppendField(&line, "end_ts_us", record.end_ts_us);
   line += ",\"status\":\"";
@@ -135,6 +136,10 @@ std::string QueryRecordJson(const QueryFlightRecord& record) {
   AppendField(&line, "cache_misses", record.cache_misses);
   AppendField(&line, "memo_hits", record.memo_hits);
   AppendField(&line, "memo_misses", record.memo_misses);
+  AppendField(&line, "shard_count", static_cast<uint64_t>(record.shard_count));
+  AppendField(&line, "slowest_shard",
+              static_cast<uint64_t>(record.slowest_shard));
+  AppendField(&line, "slowest_shard_s", record.slowest_shard_seconds);
   line += ",\"slow\":";
   line += record.slow ? "true" : "false";
   line += '}';

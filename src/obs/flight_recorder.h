@@ -40,9 +40,10 @@ namespace skyup {
 
 /// One completed query, as remembered by the ring.
 struct QueryFlightRecord {
-  uint64_t query_id = 0;  ///< admission-assigned id (0 = unattributed)
-  uint64_t batch_id = 0;  ///< grouped-execution id (0 = ran solo)
-  uint64_t epoch = 0;     ///< snapshot epoch the query was served at
+  uint64_t query_id = 0;   ///< admission-assigned id (0 = unattributed)
+  uint64_t batch_id = 0;   ///< grouped-execution id (0 = ran solo)
+  uint64_t tenant_id = 0;  ///< front-door tenant (0 = single-tenant serve)
+  uint64_t epoch = 0;      ///< snapshot epoch the query was served at
   uint64_t end_ts_us = 0;  ///< wall-clock completion time (unix µs)
   StatusCode status = StatusCode::kOk;
   uint32_t k = 0;        ///< requested result count
@@ -57,6 +58,11 @@ struct QueryFlightRecord {
   uint64_t cache_misses = 0;
   uint64_t memo_hits = 0;
   uint64_t memo_misses = 0;
+  /// Sharded scatter-gather attribution (all zero for unsharded serves):
+  /// which shard's worker dominated this query's wall time.
+  uint32_t shard_count = 0;
+  uint32_t slowest_shard = 0;
+  double slowest_shard_seconds = 0;
   bool slow = false;  ///< promoted by the --slow-query-us threshold
 };
 

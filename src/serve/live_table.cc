@@ -31,7 +31,9 @@ Result<std::unique_ptr<LiveTable>> LiveTable::Create(
     // so the GUARDED_BY invariant on these members holds on every write.
     MutexLock lock(table->mu_);
     table->snapshot_ = std::move(initial).value();
-    table->cache_ = std::make_shared<UpgradeCache>(options.dims);
+    if (options.upgrade_cache) {
+      table->cache_ = std::make_shared<UpgradeCache>(options.dims);
+    }
     if (options.memo_cache_bytes > 0) {
       table->memo_ = std::make_shared<SkylineMemo>(options.dims,
                                                    options.memo_cache_bytes);
@@ -41,7 +43,8 @@ Result<std::unique_ptr<LiveTable>> LiveTable::Create(
 }
 
 Result<uint64_t> LiveTable::Insert(DeltaTarget target,
-                                   const std::vector<double>& coords) {
+                                   const std::vector<double>& coords,
+                                   uint64_t forced_id) {
   if (coords.size() != options_.dims) {
     return Status::InvalidArgument(
         "insert has " + std::to_string(coords.size()) + " coords, table is " +
@@ -51,10 +54,11 @@ Result<uint64_t> LiveTable::Insert(DeltaTarget target,
   const bool is_competitor = target == DeltaTarget::kCompetitor;
   uint64_t& counter =
       is_competitor ? next_competitor_id_ : next_product_id_;
-  const uint64_t id = counter++;
+  const uint64_t id = forced_id != 0 ? forced_id : counter++;
+  if (forced_id != 0 && counter <= forced_id) counter = forced_id + 1;
   DeltaOp op{target, DeltaKind::kInsert, id, coords};
   active_.Append(op);
-  cache_->OnDeltaOp(op);
+  if (cache_ != nullptr) cache_->OnDeltaOp(op);
   (is_competitor ? live_competitors_ : live_products_).insert(id);
   return id;
 }
@@ -71,17 +75,29 @@ Status LiveTable::Erase(DeltaTarget target, uint64_t id) {
   }
   DeltaOp op{target, DeltaKind::kErase, id, {}};
   active_.Append(op);
-  cache_->OnDeltaOp(op);
+  if (cache_ != nullptr) cache_->OnDeltaOp(op);
   return Status::OK();
 }
 
 Result<uint64_t> LiveTable::InsertCompetitor(
     const std::vector<double>& coords) {
-  return Insert(DeltaTarget::kCompetitor, coords);
+  return Insert(DeltaTarget::kCompetitor, coords, /*forced_id=*/0);
 }
 
 Result<uint64_t> LiveTable::InsertProduct(const std::vector<double>& coords) {
-  return Insert(DeltaTarget::kProduct, coords);
+  return Insert(DeltaTarget::kProduct, coords, /*forced_id=*/0);
+}
+
+Result<uint64_t> LiveTable::InsertCompetitorWithId(
+    uint64_t id, const std::vector<double>& coords) {
+  if (id == 0) return Status::InvalidArgument("stable id 0 is reserved");
+  return Insert(DeltaTarget::kCompetitor, coords, id);
+}
+
+Result<uint64_t> LiveTable::InsertProductWithId(
+    uint64_t id, const std::vector<double>& coords) {
+  if (id == 0) return Status::InvalidArgument("stable id 0 is reserved");
+  return Insert(DeltaTarget::kProduct, coords, id);
 }
 
 Status LiveTable::EraseCompetitor(uint64_t id) {
@@ -103,7 +119,7 @@ ReadView LiveTable::AcquireView() const {
                      std::make_move_iterator(active.end()));
   // Under the same mutex that serialized every OnDeltaOp, so the version
   // stamp is exactly the op count this view's deltas reflect.
-  view.version = cache_->version();
+  view.version = cache_ != nullptr ? cache_->version() : 0;
   view.cache = cache_;
   view.memo = memo_;
   return view;
@@ -164,11 +180,12 @@ LiveTable::Diagnostics LiveTable::SampleDiagnostics() const {
   return d;
 }
 
-std::optional<LiveTable::RebuildJob> LiveTable::BeginRebuild() {
+std::optional<LiveTable::RebuildJob> LiveTable::BeginRebuild(
+    bool allow_empty) {
   MutexLock lock(mu_);
   if (rebuild_in_flight_) return std::nullopt;
   std::vector<DeltaOp> active = active_.CopyAll();
-  if (frozen_.empty() && active.empty()) return std::nullopt;
+  if (!allow_empty && frozen_.empty() && active.empty()) return std::nullopt;
   // Freeze: the active ops move behind the frozen fence; the active log
   // restarts empty so updates racing with the merge land after the fence.
   frozen_.insert(frozen_.end(), std::make_move_iterator(active.begin()),

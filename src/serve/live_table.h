@@ -41,6 +41,12 @@ struct LiveTableOptions {
   /// Byte budget of the epoch-scoped skyline memo cache
   /// (serve/skyline_memo.h) handed to every view; 0 disables memoization.
   size_t memo_cache_bytes = 0;
+  /// When false the table keeps no upgrade-result cache and views carry a
+  /// null `cache` handle. ShardedTable turns this off for its shards: a
+  /// shard-local cache would hold shard-local dominator sets (unsound to
+  /// serve as global results), so the sharded tier feeds one global cache
+  /// from the routed op stream instead (serve/shard/sharded_table.h).
+  bool upgrade_cache = true;
 };
 
 class LiveTable {
@@ -60,6 +66,17 @@ class LiveTable {
   Result<uint64_t> InsertProduct(const std::vector<double>& coords);
   Status EraseCompetitor(uint64_t id);
   Status EraseProduct(uint64_t id);
+
+  /// Insert with a caller-chosen stable id — the sharded table allocates
+  /// ids globally (in op order, across shards) and routes each row to one
+  /// shard, so per-shard counters cannot be the id authority. The id must
+  /// be unique within this table (the caller's routing map guarantees it);
+  /// the local counter advances past it so the auto-allocating inserts
+  /// above stay collision-free if mixed.
+  Result<uint64_t> InsertCompetitorWithId(uint64_t id,
+                                          const std::vector<double>& coords);
+  Result<uint64_t> InsertProductWithId(uint64_t id,
+                                       const std::vector<double>& coords);
 
   /// Captures a consistent point-in-time view: the current snapshot plus
   /// every delta accepted so far. The view (and the epoch it pins) stays
@@ -106,8 +123,10 @@ class LiveTable {
   /// job, or nullopt when a rebuild is already in flight or there is
   /// nothing to absorb. While the job is outstanding, new updates keep
   /// accumulating in the (reset) active log and remain query-visible via
-  /// `AcquireView`.
-  std::optional<RebuildJob> BeginRebuild();
+  /// `AcquireView`. `allow_empty` offers a job even with no pending ops —
+  /// the sharded table bumps every shard's epoch in lock-step, including
+  /// shards that saw no traffic this cycle.
+  std::optional<RebuildJob> BeginRebuild(bool allow_empty = false);
 
   /// Publishes the merged snapshot and drops the frozen ops it absorbed.
   /// `snapshot` must be the merge of the outstanding job.
@@ -122,8 +141,10 @@ class LiveTable {
  private:
   explicit LiveTable(LiveTableOptions options);
 
+  /// `forced_id` 0 = allocate from the local counter.
   Result<uint64_t> Insert(DeltaTarget target,
-                          const std::vector<double>& coords);
+                          const std::vector<double>& coords,
+                          uint64_t forced_id);
   Status Erase(DeltaTarget target, uint64_t id);
 
   LiveTableOptions options_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "util/check.h"
@@ -33,12 +34,62 @@ std::vector<double> RandomPoint(Rng* rng, size_t dims) {
   return coords;
 }
 
+// The in-process connection: a thin shim over Server. Queries go through
+// Submit().get() so they take the worker-pool path (queue formation,
+// admission control, grouped execution).
+class ServerConnection : public LoadConnection {
+ public:
+  explicit ServerConnection(Server* server) : server_(server) {}
+
+  Result<uint64_t> InsertCompetitor(
+      const std::vector<double>& coords) override {
+    return server_->InsertCompetitor(coords);
+  }
+  Result<uint64_t> InsertProduct(const std::vector<double>& coords) override {
+    return server_->InsertProduct(coords);
+  }
+  Status EraseCompetitor(uint64_t id) override {
+    return server_->EraseCompetitor(id);
+  }
+  Status EraseProduct(uint64_t id) override {
+    return server_->EraseProduct(id);
+  }
+  Status Query(size_t k, double timeout_seconds) override {
+    QueryRequest request;
+    request.k = k;
+    request.timeout_seconds = timeout_seconds;
+    return server_->Submit(std::move(request)).get().status;
+  }
+
+ private:
+  Server* server_;
+};
+
+class ServerTarget : public LoadTarget {
+ public:
+  explicit ServerTarget(Server* server) : server_(server) {}
+
+  Result<std::unique_ptr<LoadConnection>> Connect(size_t) override {
+    return std::unique_ptr<LoadConnection>(
+        std::make_unique<ServerConnection>(server_));
+  }
+  Result<uint64_t> DeltaBacklog() override {
+    return static_cast<uint64_t>(server_->DeltaBacklog());
+  }
+  Result<uint64_t> RebuildThresholdOps() override {
+    return static_cast<uint64_t>(server_->options().rebuild_threshold_ops);
+  }
+
+ private:
+  Server* server_;
+};
+
 // One closed-loop client. Erase targets come from the ids this client
 // inserted itself, so no cross-thread id bookkeeping is needed; a client
 // with nothing left to erase inserts instead.
-void ClientLoop(Server* server, const LoadGenOptions& options, size_t client,
-                SteadyClock::time_point start, SteadyClock::time_point deadline,
-                ClientTally* tally) {
+void ClientLoop(LoadConnection* conn, const LoadGenOptions& options,
+                size_t client, SteadyClock::time_point start,
+                SteadyClock::time_point deadline, ClientTally* tally) {
   Rng rng(options.seed + client);
   std::vector<uint64_t> own_competitors;
   std::vector<uint64_t> own_products;
@@ -64,19 +115,16 @@ void ClientLoop(Server* server, const LoadGenOptions& options, size_t client,
     }
 
     if (rng.NextDouble() < options.query_fraction) {
-      QueryRequest request;
-      request.k = options.k;
-      request.timeout_seconds = options.timeout_seconds;
       ++tally->queries_issued;
       Timer timer;
-      QueryResponse response = server->Submit(std::move(request)).get();
+      const Status status = conn->Query(options.k, options.timeout_seconds);
       const double seconds = timer.ElapsedSeconds();
-      if (response.status.ok()) {
+      if (status.ok()) {
         ++tally->queries_ok;
         tally->latencies.push_back(seconds);
-      } else if (response.status.code() == StatusCode::kResourceExhausted) {
+      } else if (status.code() == StatusCode::kResourceExhausted) {
         ++tally->queries_rejected;
-      } else if (response.status.code() == StatusCode::kDeadlineExceeded) {
+      } else if (status.code() == StatusCode::kDeadlineExceeded) {
         ++tally->queries_timed_out;
       } else {
         ++tally->queries_failed;
@@ -95,8 +143,8 @@ void ClientLoop(Server* server, const LoadGenOptions& options, size_t client,
       const uint64_t id = (*pool)[at];
       (*pool)[at] = pool->back();
       pool->pop_back();
-      const Status status = on_products ? server->EraseProduct(id)
-                                        : server->EraseCompetitor(id);
+      const Status status = on_products ? conn->EraseProduct(id)
+                                        : conn->EraseCompetitor(id);
       if (status.ok()) {
         ++tally->updates_applied;
       } else {
@@ -105,8 +153,8 @@ void ClientLoop(Server* server, const LoadGenOptions& options, size_t client,
     } else {
       const std::vector<double> coords = RandomPoint(&rng, options.dims);
       Result<uint64_t> inserted = on_products
-                                      ? server->InsertProduct(coords)
-                                      : server->InsertCompetitor(coords);
+                                      ? conn->InsertProduct(coords)
+                                      : conn->InsertCompetitor(coords);
       if (inserted.ok()) {
         pool->push_back(inserted.value());
         ++tally->updates_applied;
@@ -119,11 +167,11 @@ void ClientLoop(Server* server, const LoadGenOptions& options, size_t client,
 
 }  // namespace
 
-Result<LoadGenReport> RunLoadGen(Server* server,
-                                 const LoadGenOptions& options) {
-  SKYUP_CHECK(server != nullptr);
-  if (options.dims == 0 || options.dims != server->options().dims) {
-    return Status::InvalidArgument("load_gen: dims must match the server's");
+Result<LoadGenReport> RunLoadGenOn(LoadTarget* target,
+                                   const LoadGenOptions& options) {
+  SKYUP_CHECK(target != nullptr);
+  if (options.dims == 0) {
+    return Status::InvalidArgument("load_gen: dims must be >= 1");
   }
   if (options.clients == 0) {
     return Status::InvalidArgument("load_gen: clients must be >= 1");
@@ -140,15 +188,19 @@ Result<LoadGenReport> RunLoadGen(Server* server,
 
   // Preload from a stream disjoint from every client stream (clients use
   // seed + 1 .. seed + clients).
+  Result<std::unique_ptr<LoadConnection>> preload_conn = target->Connect(0);
+  if (!preload_conn.ok()) return preload_conn.status();
   Rng preload_rng(options.seed + options.clients + 1);
   for (size_t i = 0; i < options.preload_competitors; ++i) {
-    Result<uint64_t> inserted =
-        server->InsertCompetitor(RandomPoint(&preload_rng, options.dims));
+    Result<uint64_t> inserted = (*preload_conn)
+                                    ->InsertCompetitor(
+                                        RandomPoint(&preload_rng, options.dims));
     if (!inserted.ok()) return inserted.status();
   }
   for (size_t i = 0; i < options.preload_products; ++i) {
     Result<uint64_t> inserted =
-        server->InsertProduct(RandomPoint(&preload_rng, options.dims));
+        (*preload_conn)
+            ->InsertProduct(RandomPoint(&preload_rng, options.dims));
     if (!inserted.ok()) return inserted.status();
   }
 
@@ -156,11 +208,24 @@ Result<LoadGenReport> RunLoadGen(Server* server,
   // the clock starts, so the measured window exercises the index rather
   // than a giant overlay. Bounded wait: background publishes are
   // rate-capped, and with rebuilds disabled the backlog never drains.
-  const size_t backlog_goal = server->options().rebuild_threshold_ops;
+  Result<uint64_t> backlog_goal = target->RebuildThresholdOps();
+  if (!backlog_goal.ok()) return backlog_goal.status();
   Timer drain_timer;
-  while (server->table().delta_backlog() >= backlog_goal &&
-         drain_timer.ElapsedSeconds() < 30.0) {
+  for (;;) {
+    Result<uint64_t> backlog = target->DeltaBacklog();
+    if (!backlog.ok()) return backlog.status();
+    if (*backlog < *backlog_goal || drain_timer.ElapsedSeconds() >= 30.0) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // Dial every client before the clock starts: connection setup (a TCP
+  // handshake on the wire target) must not eat into the measured window.
+  std::vector<std::unique_ptr<LoadConnection>> conns;
+  conns.reserve(options.clients);
+  for (size_t c = 0; c < options.clients; ++c) {
+    Result<std::unique_ptr<LoadConnection>> conn = target->Connect(c + 1);
+    if (!conn.ok()) return conn.status();
+    conns.push_back(std::move(conn).value());
   }
 
   const SteadyClock::time_point start = SteadyClock::now();
@@ -172,8 +237,8 @@ Result<LoadGenReport> RunLoadGen(Server* server,
   std::vector<std::thread> clients;
   clients.reserve(options.clients);
   for (size_t c = 0; c < options.clients; ++c) {
-    clients.emplace_back(ClientLoop, server, std::cref(options), c + 1, start,
-                         stop_at, &tallies[c]);
+    clients.emplace_back(ClientLoop, conns[c].get(), std::cref(options), c + 1,
+                         start, stop_at, &tallies[c]);
   }
   for (std::thread& t : clients) t.join();
   const double wall =
@@ -208,6 +273,16 @@ Result<LoadGenReport> RunLoadGen(Server* server,
         *std::max_element(latencies.begin(), latencies.end());
   }
   return report;
+}
+
+Result<LoadGenReport> RunLoadGen(Server* server,
+                                 const LoadGenOptions& options) {
+  SKYUP_CHECK(server != nullptr);
+  if (options.dims != server->options().dims) {
+    return Status::InvalidArgument("load_gen: dims must match the server's");
+  }
+  ServerTarget target(server);
+  return RunLoadGenOn(&target, options);
 }
 
 }  // namespace skyup

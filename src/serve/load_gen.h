@@ -3,16 +3,20 @@
 
 // Closed-loop load generator for the serving layer.
 //
-// A fixed fleet of client threads drives one `Server` through its public
-// API: queries go through `Submit(...).get()` — the worker-pool path, so
-// queue formation, admission control, and grouped execution
+// A fixed fleet of client threads drives a serving target through a
+// narrow connection interface: queries on the in-process target go
+// through `Submit(...).get()` — the worker-pool path, so queue
+// formation, admission control, and grouped execution
 // (`ServerOptions::batch_max`) behave exactly as they would under real
-// load — and updates apply synchronously from the client thread. Each
-// client is *closed loop*: it issues its next operation only after the
-// previous one completed. With `target_qps == 0` the fleet runs as fast
-// as the server allows (the saturation measurement); with a target, each
-// client paces itself on a fixed per-client interval so the fleet's
-// aggregate offered rate approximates the target.
+// load — and updates apply synchronously from the client thread. The
+// same fleet can instead dial a remote front door over the wire
+// protocol (`serve --listen`): see `WireLoadTarget` in
+// serve/shard/wire.h, which plugs in below without touching the loop.
+// Each client is *closed loop*: it issues its next operation only after
+// the previous one completed. With `target_qps == 0` the fleet runs as
+// fast as the server allows (the saturation measurement); with a
+// target, each client paces itself on a fixed per-client interval so
+// the fleet's aggregate offered rate approximates the target.
 //
 // Everything is deterministic given `LoadGenOptions::seed` except timing:
 // client c draws from its own `Rng(seed + c)` stream, so the *sequence*
@@ -22,6 +26,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "serve/server.h"
 #include "util/status.h"
@@ -67,18 +73,56 @@ struct LoadGenReport {
   uint64_t queries_failed = 0;  ///< any other non-OK status
   uint64_t updates_applied = 0;
   uint64_t updates_rejected = 0;
-  /// Query latency from Submit() to future resolution — queue wait
-  /// included, because that is what a client experiences.
+  /// Query latency from issue to completion — queue wait (and, on the
+  /// wire target, network round trip) included, because that is what a
+  /// client experiences.
   double latency_p50_seconds = 0.0;
   double latency_p95_seconds = 0.0;
   double latency_p99_seconds = 0.0;
   double latency_max_seconds = 0.0;
 };
 
-/// Preloads the table, runs the client fleet for `duration_seconds`, and
-/// reports throughput and latency. The server keeps all state changes the
-/// run made (callers wanting a pristine table should use a fresh server).
+/// One client's handle on the serving target. Implementations need not
+/// be thread-safe: the fleet gives each client thread its own
+/// connection, and the preload runs on the main thread before any
+/// client starts.
+class LoadConnection {
+ public:
+  virtual ~LoadConnection() = default;
+  virtual Result<uint64_t> InsertCompetitor(
+      const std::vector<double>& coords) = 0;
+  virtual Result<uint64_t> InsertProduct(const std::vector<double>& coords) = 0;
+  virtual Status EraseCompetitor(uint64_t id) = 0;
+  virtual Status EraseProduct(uint64_t id) = 0;
+  /// Issues a top-k query and waits for the outcome. Results themselves
+  /// are discarded — the load generator measures status and latency.
+  virtual Status Query(size_t k, double timeout_seconds) = 0;
+};
+
+/// The serving target as the fleet sees it: a connection factory plus
+/// the backlog probe the preload drain polls.
+class LoadTarget {
+ public:
+  virtual ~LoadTarget() = default;
+  /// Makes the connection for client `client` (1-based; 0 = preload).
+  virtual Result<std::unique_ptr<LoadConnection>> Connect(size_t client) = 0;
+  /// Unpublished delta ops on the target, so the preload can wait for
+  /// the initial rebuild before the measured window starts.
+  virtual Result<uint64_t> DeltaBacklog() = 0;
+  /// The publish trigger: the drain loop waits for the backlog to fall
+  /// below this.
+  virtual Result<uint64_t> RebuildThresholdOps() = 0;
+};
+
+/// Preloads the target, runs the client fleet for `duration_seconds`, and
+/// reports throughput and latency. The target keeps all state changes the
+/// run made (callers wanting a pristine table should use a fresh one).
 /// Fails on invalid options or if any preload insert is rejected.
+Result<LoadGenReport> RunLoadGenOn(LoadTarget* target,
+                                   const LoadGenOptions& options);
+
+/// The in-process target: drives `server` directly (queries through the
+/// worker pool). Dims are validated against the server's options.
 Result<LoadGenReport> RunLoadGen(Server* server, const LoadGenOptions& options);
 
 }  // namespace skyup

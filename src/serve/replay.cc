@@ -327,8 +327,13 @@ Result<ReplayReport> Replay(Server* server, const ReplayWorkload& workload,
       }
     }
   }
-  report.final_epoch = server->table().epoch();
-  report.final_backlog = server->table().delta_backlog();
+  // Mode-independent accessors: in sharded mode the epoch is the common
+  // cross-shard epoch and the backlog is the total across shards — both
+  // match the single-table values for the same op stream (synchronized
+  // publish cycles fire on the total backlog), so the `# replay:` summary
+  // agrees across `--shards` values too.
+  report.final_epoch = server->CurrentEpoch();
+  report.final_backlog = server->DeltaBacklog();
   report.wall_seconds = wall.ElapsedSeconds();
   if (!out) return Status::IOError("result write failed");
   return report;

@@ -6,7 +6,7 @@ void AddServeStatsMetrics(const ServeStats& stats,
                           MetricsRegistry* registry) {
   // Tripwire (the ExecStats pattern): a new ServeStats counter changes the
   // struct size and breaks this assert until it gets registered below.
-  static_assert(sizeof(ServeStats) == 26 * sizeof(uint64_t),
+  static_assert(sizeof(ServeStats) == 29 * sizeof(uint64_t),
                 "ServeStats gained/lost a counter: register it here");
   auto add = [registry](const char* name, const char* help, uint64_t value) {
     registry->AddCounter(name, help)->Increment(value);
@@ -65,6 +65,12 @@ void AddServeStatsMetrics(const ServeStats& stats,
   add("skyup_serve_batched_queries_total",
       "queries executed inside a group of two or more",
       stats.batched_queries);
+  add("skyup_serve_shard_queries_total",
+      "queries served by the sharded scatter-gather engine",
+      stats.shard_queries);
+  add("skyup_serve_shard_fanout_total",
+      "per-shard probes issued by sharded queries (fanout x shard_queries)",
+      stats.shard_fanout);
   echo("skyup_serve_rebuild_threshold_ops",
        "configured backlog size that forces a publish",
        stats.rebuild_threshold_ops);
@@ -89,6 +95,8 @@ void AddServeStatsMetrics(const ServeStats& stats,
   echo("skyup_serve_memo_cache_mb",
        "configured skyline-memo byte budget in MB (0 = memo disabled)",
        stats.memo_cache_mb);
+  echo("skyup_serve_shards",
+       "configured shard count (0 = single-table serving)", stats.shards);
 }
 
 }  // namespace skyup

@@ -33,6 +33,8 @@ struct ServeStats {
   uint64_t memo_misses = 0;   ///< index probes run (and memoized)
   uint64_t batches_executed = 0;  ///< grouped executions (incl. singletons)
   uint64_t batched_queries = 0;   ///< queries that ran inside a group of >=2
+  uint64_t shard_queries = 0;     ///< queries served by scatter-gather
+  uint64_t shard_fanout = 0;      ///< shard probes issued by sharded queries
 
   /// Config echoes, not counters: the server stamps its effective policy
   /// here once at creation so a stats dump documents the knobs it ran
@@ -46,12 +48,13 @@ struct ServeStats {
   uint64_t batch_max_queries = 0;         ///< grouped-execution width cap
   uint64_t batch_wait_us = 0;             ///< max batch-fill wait
   uint64_t memo_cache_mb = 0;             ///< skyline-memo byte budget (MB)
+  uint64_t shards = 0;                    ///< shard count (0 = unsharded)
 
   /// Field-wise sum. Same tripwire as ExecStats: adding a counter changes
   /// the struct size, which trips the assert until the new field is summed
   /// below — and tools/lint.py cross-checks all three.
   ServeStats& MergeFrom(const ServeStats& other) {
-    static_assert(sizeof(ServeStats) == 26 * sizeof(uint64_t),
+    static_assert(sizeof(ServeStats) == 29 * sizeof(uint64_t),
                   "ServeStats gained/lost a counter: update MergeFrom");
     auto add = [](uint64_t* into, uint64_t delta) { *into += delta; };
     add(&queries_executed, other.queries_executed);
@@ -72,6 +75,8 @@ struct ServeStats {
     add(&memo_misses, other.memo_misses);
     add(&batches_executed, other.batches_executed);
     add(&batched_queries, other.batched_queries);
+    add(&shard_queries, other.shard_queries);
+    add(&shard_fanout, other.shard_fanout);
     add(&rebuild_threshold_ops, other.rebuild_threshold_ops);
     add(&publish_min_backlog, other.publish_min_backlog);
     add(&publish_min_interval_ms, other.publish_min_interval_ms);
@@ -80,6 +85,7 @@ struct ServeStats {
     add(&batch_max_queries, other.batch_max_queries);
     add(&batch_wait_us, other.batch_wait_us);
     add(&memo_cache_mb, other.memo_cache_mb);
+    add(&shards, other.shards);
     return *this;
   }
 };

@@ -25,10 +25,12 @@ uint64_t NowUnixMicros() {
 }  // namespace
 
 Server::Server(ProductCostFunction cost_fn, ServerOptions options,
-               std::unique_ptr<LiveTable> table)
+               std::unique_ptr<LiveTable> table,
+               std::unique_ptr<ShardedTable> sharded)
     : cost_fn_(std::move(cost_fn)),
       options_(options),
       table_(std::move(table)),
+      sharded_(std::move(sharded)),
       recorder_(FlightRecorderOptions{options.flight_query_ring,
                                       options.flight_sample_ring}) {
   recorder_.set_enabled(options_.flight_recorder);
@@ -60,16 +62,32 @@ Result<std::unique_ptr<Server>> Server::Create(ProductCostFunction cost_fn,
     return Status::InvalidArgument(
         "batch_max must be in [1, " + std::to_string(kMaxServeBatch) + "]");
   }
-  LiveTableOptions table_options;
-  table_options.dims = options.dims;
-  table_options.rtree_fanout = options.rtree_fanout;
-  table_options.memo_cache_bytes = options.memo_cache_mb * (1u << 20);
-  Result<std::unique_ptr<LiveTable>> table =
-      LiveTable::Create(table_options);
-  if (!table.ok()) return table.status();
+  std::unique_ptr<LiveTable> live_table;
+  std::unique_ptr<ShardedTable> sharded_table;
+  if (options.shards == 0) {
+    LiveTableOptions table_options;
+    table_options.dims = options.dims;
+    table_options.rtree_fanout = options.rtree_fanout;
+    table_options.memo_cache_bytes = options.memo_cache_mb * (1u << 20);
+    Result<std::unique_ptr<LiveTable>> table =
+        LiveTable::Create(table_options);
+    if (!table.ok()) return table.status();
+    live_table = std::move(table).value();
+  } else {
+    ShardedTableOptions shard_options;
+    shard_options.dims = options.dims;
+    shard_options.shards = options.shards;
+    shard_options.rtree_fanout = options.rtree_fanout;
+    shard_options.memo_cache_bytes = options.memo_cache_mb * (1u << 20);
+    Result<std::unique_ptr<ShardedTable>> sharded =
+        ShardedTable::Create(shard_options);
+    if (!sharded.ok()) return sharded.status();
+    sharded_table = std::move(sharded).value();
+  }
 
-  std::unique_ptr<Server> server(new Server(
-      std::move(cost_fn), options, std::move(table).value()));
+  std::unique_ptr<Server> server(new Server(std::move(cost_fn), options,
+                                            std::move(live_table),
+                                            std::move(sharded_table)));
   RebuildPolicy policy;
   policy.threshold_ops = options.rebuild_threshold_ops;
   policy.max_age_seconds = options.rebuild_max_age_seconds;
@@ -92,11 +110,16 @@ Result<std::unique_ptr<Server>> Server::Create(ProductCostFunction cost_fn,
     server->stats_.batch_max_queries = options.batch_max;
     server->stats_.batch_wait_us = options.batch_wait_us;
     server->stats_.memo_cache_mb = options.memo_cache_mb;
+    server->stats_.shards = options.shards;
   }
   if (options.background_rebuild) {
-    server->rebuilder_ =
-        std::make_unique<Rebuilder>(server->table_.get(), policy);
-    server->rebuilder_->Start();
+    if (server->sharded_ != nullptr) {
+      server->sharded_->Start(policy);
+    } else {
+      server->rebuilder_ =
+          std::make_unique<Rebuilder>(server->table_.get(), policy);
+      server->rebuilder_->Start();
+    }
   }
   server->workers_.reserve(options.query_threads);
   for (size_t i = 0; i < options.query_threads; ++i) {
@@ -141,6 +164,7 @@ Server::~Server() {
     }
   }
   if (rebuilder_ != nullptr) rebuilder_->Stop();
+  if (sharded_ != nullptr) sharded_->Stop();
 }
 
 void Server::AfterUpdate(const Result<uint64_t>& outcome) {
@@ -157,13 +181,27 @@ void Server::AfterUpdate(const Status& outcome) {
     }
   }
   if (!outcome.ok()) return;
-  if (rebuilder_ != nullptr) {
-    rebuilder_->Nudge();
+  if (options_.background_rebuild) {
+    if (sharded_ != nullptr) {
+      sharded_->Nudge();
+    } else {
+      rebuilder_->Nudge();
+    }
     return;
   }
   // Deterministic mode: apply the size threshold right here, so rebuild
   // timing (and the patch-vs-major choice) is a pure function of the op
-  // sequence.
+  // sequence. In sharded mode the trigger fires on the TOTAL backlog —
+  // the op count a single table would have accumulated — so publish-cycle
+  // boundaries are identical for every shard count (the `--shards` replay
+  // guard depends on this). Cycle counters live in the sharded table;
+  // stats() overlays them.
+  if (sharded_ != nullptr) {
+    // A failed cycle is remembered by the sharded table (last_error());
+    // frozen ops stay pending and the next cycle re-offers them.
+    (void)sharded_->MaybePublishInline(inline_policy_);
+    return;
+  }
   Result<PublishKind> published =
       MaybeRebuildInline(table_.get(), inline_policy_);
   if (published.ok() && *published != PublishKind::kNone) {
@@ -178,25 +216,31 @@ void Server::AfterUpdate(const Status& outcome) {
 
 Result<uint64_t> Server::InsertCompetitor(
     const std::vector<double>& coords) {
-  Result<uint64_t> outcome = table_->InsertCompetitor(coords);
+  Result<uint64_t> outcome = sharded_ != nullptr
+                                 ? sharded_->InsertCompetitor(coords)
+                                 : table_->InsertCompetitor(coords);
   AfterUpdate(outcome);
   return outcome;
 }
 
 Result<uint64_t> Server::InsertProduct(const std::vector<double>& coords) {
-  Result<uint64_t> outcome = table_->InsertProduct(coords);
+  Result<uint64_t> outcome = sharded_ != nullptr
+                                 ? sharded_->InsertProduct(coords)
+                                 : table_->InsertProduct(coords);
   AfterUpdate(outcome);
   return outcome;
 }
 
 Status Server::EraseCompetitor(uint64_t id) {
-  Status outcome = table_->EraseCompetitor(id);
+  Status outcome = sharded_ != nullptr ? sharded_->EraseCompetitor(id)
+                                       : table_->EraseCompetitor(id);
   AfterUpdate(outcome);
   return outcome;
 }
 
 Status Server::EraseProduct(uint64_t id) {
-  Status outcome = table_->EraseProduct(id);
+  Status outcome = sharded_ != nullptr ? sharded_->EraseProduct(id)
+                                       : table_->EraseProduct(id);
   AfterUpdate(outcome);
   return outcome;
 }
@@ -206,8 +250,6 @@ QueryResponse Server::Execute(const QueryRequest& request,
                               QueryFlightRecord* record) {
   QueryResponse response;
   Timer wall;
-  ReadView view = table_->AcquireView();
-  response.epoch = view.epoch();
   ServeStats query_stats;
   // Phase attribution costs per-candidate clock laps, so it is collected
   // only for queries that both want a record and carry a control (every
@@ -215,9 +257,24 @@ QueryResponse Server::Execute(const QueryRequest& request,
   // what --replay and the benches drive — stays lap-free).
   std::optional<QueryTelemetry> telemetry;
   if (record != nullptr && control != nullptr) telemetry.emplace();
-  Result<std::vector<UpgradeResult>> results = TopKOverlay(
-      view, cost_fn_, request.k, options_.default_epsilon, control,
-      &query_stats, telemetry.has_value() ? &*telemetry : nullptr);
+  ShardQueryInfo shard_info;
+  Result<std::vector<UpgradeResult>> results =
+      [&]() -> Result<std::vector<UpgradeResult>> {
+    if (sharded_ != nullptr) {
+      ShardedView views = sharded_->AcquireViews();
+      response.epoch = views.epoch;
+      return TopKSharded(views, cost_fn_, request.k,
+                         options_.default_epsilon,
+                         options_.shard_query_threads, control, &query_stats,
+                         telemetry.has_value() ? &*telemetry : nullptr,
+                         &shard_info);
+    }
+    ReadView view = table_->AcquireView();
+    response.epoch = view.epoch();
+    return TopKOverlay(view, cost_fn_, request.k, options_.default_epsilon,
+                       control, &query_stats,
+                       telemetry.has_value() ? &*telemetry : nullptr);
+  }();
   {
     MutexLock lock(stats_mu_);
     stats_.MergeFrom(query_stats);
@@ -229,7 +286,7 @@ QueryResponse Server::Execute(const QueryRequest& request,
   }
   response.wall_seconds = wall.ElapsedSeconds();
   if (record != nullptr) {
-    record->epoch = view.epoch();
+    record->epoch = response.epoch;
     record->k = static_cast<uint32_t>(request.k);
     if (telemetry.has_value()) record->phases = telemetry->phases.total;
     record->candidates_evaluated = query_stats.candidates_evaluated;
@@ -239,6 +296,9 @@ QueryResponse Server::Execute(const QueryRequest& request,
     record->cache_misses = query_stats.cache_misses;
     record->memo_hits = query_stats.memo_hits;
     record->memo_misses = query_stats.memo_misses;
+    record->shard_count = shard_info.shard_count;
+    record->slowest_shard = shard_info.slowest_shard;
+    record->slowest_shard_seconds = shard_info.slowest_shard_seconds;
   }
   return response;
 }
@@ -250,7 +310,11 @@ std::vector<QueryResponse> Server::ExecuteBatch(
   SKYUP_CHECK(requests.size() == controls.size());
   SKYUP_CHECK(!requests.empty() && requests.size() <= kMaxServeBatch);
   Timer wall;
-  ReadView view = table_->AcquireView();
+  ServeStats batch_stats;
+  batch_stats.batches_executed = 1;
+  if (requests.size() >= 2) batch_stats.batched_queries = requests.size();
+  std::vector<BatchQueryResult> outcomes;
+  uint64_t group_epoch = 0;
   std::vector<BatchQuery> batch;
   batch.reserve(requests.size());
   for (size_t i = 0; i < requests.size(); ++i) {
@@ -259,12 +323,20 @@ std::vector<QueryResponse> Server::ExecuteBatch(
     q.control = controls[i];
     batch.push_back(q);
   }
-  ServeStats batch_stats;
-  batch_stats.batches_executed = 1;
-  if (requests.size() >= 2) batch_stats.batched_queries = requests.size();
-  std::vector<BatchQueryResult> outcomes;
-  TopKOverlayBatch(view, cost_fn_, batch, options_.default_epsilon,
-                   &outcomes, &batch_stats);
+  if (sharded_ != nullptr) {
+    // Sharded grouped execution: one consistent view set AND one candidate
+    // sweep for the whole group (serve/shard/shard_query.h) — each
+    // member's result is bit-identical to its solo execution.
+    ShardedView views = sharded_->AcquireViews();
+    group_epoch = views.epoch;
+    TopKShardedBatch(views, cost_fn_, batch, options_.default_epsilon,
+                     options_.shard_query_threads, &outcomes, &batch_stats);
+  } else {
+    ReadView view = table_->AcquireView();
+    group_epoch = view.epoch();
+    TopKOverlayBatch(view, cost_fn_, batch, options_.default_epsilon,
+                     &outcomes, &batch_stats);
+  }
   const double elapsed = wall.ElapsedSeconds();
   {
     MutexLock lock(stats_mu_);
@@ -273,7 +345,7 @@ std::vector<QueryResponse> Server::ExecuteBatch(
   }
   std::vector<QueryResponse> responses(requests.size());
   for (size_t i = 0; i < requests.size(); ++i) {
-    responses[i].epoch = view.epoch();
+    responses[i].epoch = group_epoch;
     responses[i].wall_seconds = elapsed;
     if (outcomes[i].status.ok()) {
       responses[i].results = std::move(outcomes[i].results);
@@ -294,7 +366,7 @@ std::vector<QueryResponse> Server::ExecuteBatch(
             : 0;
     for (size_t i = 0; i < requests.size(); ++i) {
       (*records)[i].batch_id = batch_id;
-      (*records)[i].epoch = view.epoch();
+      (*records)[i].epoch = group_epoch;
       (*records)[i].k = static_cast<uint32_t>(requests[i]->k);
     }
   }
@@ -520,6 +592,7 @@ void Server::FinishFlight(QueryFlightRecord* record,
                           const QueryResponse& response, uint64_t query_id,
                           double queue_seconds) {
   record->query_id = query_id;
+  record->tenant_id = options_.tenant_id;
   record->status = response.status.code();
   record->results = static_cast<uint32_t>(response.results.size());
   record->queue_seconds = queue_seconds;
@@ -548,6 +621,7 @@ void Server::FinishFlight(QueryFlightRecord* record,
       LogRecord log(LogLevel::kWarn, "slow_query");
       log.U64("query_id", record->query_id)
           .U64("batch_id", record->batch_id)
+          .U64("tenant_id", record->tenant_id)
           .U64("epoch", record->epoch)
           .Str("status", std::string(StatusCodeName(record->status)))
           .U64("k", record->k)
@@ -564,6 +638,12 @@ void Server::FinishFlight(QueryFlightRecord* record,
           .U64("candidates_pruned", record->candidates_pruned)
           .U64("cache_hits", record->cache_hits)
           .U64("memo_hits", record->memo_hits);
+      if (record->shard_count > 0) {
+        // Sharded serve: name the shard that dominated the wall time.
+        log.U64("shard_count", record->shard_count)
+            .U64("slowest_shard", record->slowest_shard)
+            .F64("slowest_shard_s", record->slowest_shard_seconds);
+      }
       if (!spans.empty()) log.Str("spans", spans);
     }
   }
@@ -580,7 +660,9 @@ void Server::RecordRejection(const QueryControl& control,
 void Server::TakeSystemSample(bool heartbeat) {
   SystemSample sample;
   sample.ts_us = NowUnixMicros();
-  const LiveTable::Diagnostics diag = table_->SampleDiagnostics();
+  const LiveTable::Diagnostics diag = sharded_ != nullptr
+                                          ? sharded_->SampleDiagnostics()
+                                          : table_->SampleDiagnostics();
   sample.epoch = diag.epoch;
   sample.snapshot_age_seconds = diag.snapshot_age_seconds;
   sample.delta_backlog = diag.delta_backlog;
@@ -669,36 +751,55 @@ void Server::DiagnosticsLoop() {
 ServeStats Server::stats() const {
   MutexLock lock(stats_mu_);
   ServeStats copy = stats_;
-  if (rebuilder_ != nullptr) {
+  if (sharded_ != nullptr) {
+    // The sharded table owns the publish counters in both inline and
+    // background mode (one cycle publishes every shard).
+    copy.rebuilds_published = sharded_->rebuilds_published();
+    copy.patches_published = sharded_->patches_published();
+  } else if (rebuilder_ != nullptr) {
     copy.rebuilds_published = rebuilder_->rebuilds_published();
     copy.patches_published = rebuilder_->patches_published();
   }
   return copy;
 }
 
+uint64_t Server::CurrentEpoch() const {
+  return sharded_ != nullptr ? sharded_->epoch() : table_->epoch();
+}
+
+size_t Server::DeltaBacklog() const {
+  return sharded_ != nullptr ? sharded_->delta_backlog()
+                             : table_->delta_backlog();
+}
+
 void Server::FillMetrics(MetricsRegistry* registry) const {
   SKYUP_CHECK(registry != nullptr);
   AddServeStatsMetrics(stats(), registry);
+  // One consistent health sample serves both modes (the sharded sample
+  // aggregates across shards exactly like the heartbeat's).
+  const LiveTable::Diagnostics diag = sharded_ != nullptr
+                                          ? sharded_->SampleDiagnostics()
+                                          : table_->SampleDiagnostics();
   registry
       ->AddGauge("skyup_serve_snapshot_epoch",
                  "epoch of the currently published snapshot")
-      ->Set(static_cast<double>(table_->epoch()));
+      ->Set(static_cast<double>(diag.epoch));
   registry
       ->AddGauge("skyup_serve_snapshot_age_seconds",
                  "seconds since the current snapshot was built")
-      ->Set(table_->snapshot_age_seconds());
+      ->Set(diag.snapshot_age_seconds);
   registry
       ->AddGauge("skyup_serve_delta_backlog_ops",
                  "delta ops not yet absorbed by a snapshot")
-      ->Set(static_cast<double>(table_->delta_backlog()));
+      ->Set(static_cast<double>(diag.delta_backlog));
   registry
       ->AddGauge("skyup_serve_live_competitors",
                  "live competitor rows (snapshot + overlay)")
-      ->Set(static_cast<double>(table_->live_competitor_count()));
+      ->Set(static_cast<double>(diag.live_competitors));
   registry
       ->AddGauge("skyup_serve_live_products",
                  "live product rows (snapshot + overlay)")
-      ->Set(static_cast<double>(table_->live_product_count()));
+      ->Set(static_cast<double>(diag.live_products));
   MutexLock lock(stats_mu_);
   registry
       ->AddHistogram("skyup_serve_query_latency_seconds",

@@ -29,6 +29,7 @@
 #include "serve/query.h"
 #include "serve/rebuilder.h"
 #include "serve/serve_stats.h"
+#include "serve/shard/shard_query.h"
 #include "util/lock_order.h"
 #include "util/mutex.h"
 #include "util/status.h"
@@ -38,6 +39,21 @@ namespace skyup {
 
 struct ServerOptions {
   size_t dims = 0;  ///< required, >= 1
+  /// Shard-per-core serving: 0 keeps the single-`LiveTable` path
+  /// byte-for-byte (the historical server); N >= 1 partitions P (and
+  /// co-partitions T) into N spatial shards behind one id space and one
+  /// cross-shard epoch (serve/shard/sharded_table.h), and queries run the
+  /// scatter-gather engine (serve/shard/shard_query.h). Results are
+  /// byte-identical for any value — fuzz/fuzz_shard.cc and the `--shards`
+  /// replay CI guard enforce it.
+  size_t shards = 0;
+  /// Scatter-gather workers per sharded query; 0 = one per shard. Serial
+  /// scatter (1) trades per-query latency for cross-query throughput when
+  /// the worker pool already saturates the cores. Results are identical
+  /// either way (offer-order independence).
+  size_t shard_query_threads = 0;
+  /// Front-door tenant id stamped into flight records (0 = single-tenant).
+  uint64_t tenant_id = 0;
   /// Worker threads draining the `Submit` queue.
   size_t query_threads = 2;
   /// Admission control: queued-but-not-started queries beyond this are
@@ -171,7 +187,16 @@ class Server {
   /// delta backlog, live row counts), and the query latency histogram.
   void FillMetrics(MetricsRegistry* registry) const;
 
+  /// Mode-independent liveness accessors (replay and the load generator
+  /// use these; `table()` only exists on the unsharded path).
+  uint64_t CurrentEpoch() const;
+  size_t DeltaBacklog() const;
+
+  bool sharded() const { return sharded_ != nullptr; }
+  /// Unsharded mode only (shards == 0); the historical accessor.
   LiveTable& table() { return *table_; }
+  /// Sharded mode only (shards >= 1).
+  ShardedTable& sharded_table() { return *sharded_; }
   const ServerOptions& options() const { return options_; }
 
   /// Test seam: while held, workers do not dequeue — admission and
@@ -180,8 +205,10 @@ class Server {
   void ReleaseWorkersForTest();
 
  private:
+  /// Exactly one of `table` / `sharded` is set, per `options.shards`.
   Server(ProductCostFunction cost_fn, ServerOptions options,
-         std::unique_ptr<LiveTable> table);
+         std::unique_ptr<LiveTable> table,
+         std::unique_ptr<ShardedTable> sharded);
 
   struct PendingQuery {
     QueryRequest request;
@@ -232,7 +259,8 @@ class Server {
 
   ProductCostFunction cost_fn_;
   ServerOptions options_;
-  std::unique_ptr<LiveTable> table_;
+  std::unique_ptr<LiveTable> table_;      ///< shards == 0
+  std::unique_ptr<ShardedTable> sharded_;  ///< shards >= 1
   std::unique_ptr<Rebuilder> rebuilder_;
   RebuildPolicy inline_policy_;
 

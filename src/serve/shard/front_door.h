@@ -1,0 +1,103 @@
+#ifndef SKYUP_SERVE_SHARD_FRONT_DOOR_H_
+#define SKYUP_SERVE_SHARD_FRONT_DOOR_H_
+
+// The multi-tenant network front door: a TCP listener speaking the
+// length-prefixed text protocol of serve/shard/wire.h, dispatching each
+// request through a command table onto the tenant registry.
+//
+// Connection model: one accept thread plus one thread per connection.
+// The protocol is strict request/response per connection, so a
+// connection thread is a plain loop — read frame, handle, write frame —
+// with no cross-connection state beyond the registry. A `shutdown`
+// command (or `Stop()`) closes the listener and every live connection,
+// then joins all threads; `WaitForShutdown()` lets `serve --listen`
+// block until either arrives.
+//
+// Command table (see wire.h for exact request/response grammar):
+//
+//   ping       liveness probe
+//   create     register a tenant (dims, shard count, admission quota)
+//   load       bulk rows into a tenant ("p,..."/"t,..." lines)
+//   add        one competitor/product row -> stable id
+//   erase      erase by stable id
+//   topk       top-k upgrade query through the tenant's worker pool
+//   stats      tenant counters as key=value lines
+//   shutdown   stop the front door
+//
+// Every data command names its tenant, so one connection may interleave
+// tenants and an idle tenant costs nothing.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/shard/registry.h"
+#include "util/lock_order.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace skyup {
+
+struct FrontDoorOptions {
+  /// TCP port to listen on (loopback only); 0 = ephemeral, read the
+  /// chosen port back via `port()`.
+  uint16_t port = 0;
+  /// Options template every tenant inherits (rebuild policy, batching,
+  /// memo budget, observability); `create` overrides dims/shards/quota.
+  ServerOptions tenant_base;
+};
+
+class FrontDoor {
+ public:
+  /// Binds, listens, and starts the accept thread.
+  static Result<std::unique_ptr<FrontDoor>> Start(FrontDoorOptions options);
+  ~FrontDoor();
+
+  FrontDoor(const FrontDoor&) = delete;
+  FrontDoor& operator=(const FrontDoor&) = delete;
+
+  /// The bound port (the ephemeral choice when options.port was 0).
+  uint16_t port() const { return port_; }
+
+  TenantRegistry& registry() { return registry_; }
+
+  /// Blocks until a `shutdown` command arrives or `Stop()` is called.
+  void WaitForShutdown();
+
+  /// Closes the listener and all live connections, joins every thread.
+  /// Idempotent; the destructor calls it.
+  void Stop();
+
+ private:
+  explicit FrontDoor(FrontDoorOptions options)
+      : options_(options), registry_(options.tenant_base) {}
+
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  /// Executes one request payload; returns the response payload and sets
+  /// `*shutdown` when the command was `shutdown`.
+  std::string HandleRequest(const std::string& request, bool* shutdown);
+
+  const FrontDoorOptions options_;
+  TenantRegistry registry_;
+  int listen_fd_ = -1;   ///< written once in Start, closed in Stop
+  uint16_t port_ = 0;    ///< written once in Start
+  std::thread accept_thread_;
+
+  Mutex mu_ SKYUP_ACQUIRED_AFTER(lock_order::kFrontDoor)
+      SKYUP_ACQUIRED_BEFORE(lock_order::kServerQueue);
+  CondVar cv_;
+  bool stopping_ SKYUP_GUARDED_BY(mu_) = false;
+  bool shutdown_requested_ SKYUP_GUARDED_BY(mu_) = false;
+  /// Live connection sockets, so Stop can unblock their reads.
+  std::vector<int> live_fds_ SKYUP_GUARDED_BY(mu_);
+  /// Connection threads; finished threads stay joinable here until Stop.
+  std::vector<std::thread> conn_threads_ SKYUP_GUARDED_BY(mu_);
+};
+
+}  // namespace skyup
+
+#endif  // SKYUP_SERVE_SHARD_FRONT_DOOR_H_

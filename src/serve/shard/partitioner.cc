@@ -1,0 +1,107 @@
+#include "serve/shard/partitioner.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace skyup {
+
+ShardPartitioner::ShardPartitioner(ShardPartitionerOptions options)
+    : options_(options) {
+  SKYUP_CHECK(options_.dims >= 1) << "partitioner dims must be >= 1";
+  SKYUP_CHECK(options_.shards >= 1) << "partitioner shards must be >= 1";
+  if (options_.shards == 1) {
+    // Trivial partition: a single leaf so Walk() has a tree to walk.
+    fitted_ = true;
+    nodes_.emplace_back();
+  }
+  if (options_.fit_after < 1) options_.fit_after = 1;
+}
+
+uint32_t ShardPartitioner::RouteCompetitor(const std::vector<double>& coords) {
+  if (fitted_) return Walk(coords.data());
+  buffer_.insert(buffer_.end(), coords.begin(), coords.end());
+  if (++seen_competitors_ >= options_.fit_after) Fit();
+  return 0;
+}
+
+uint32_t ShardPartitioner::RouteProduct(
+    const std::vector<double>& coords) const {
+  if (!fitted_) return 0;
+  return Walk(coords.data());
+}
+
+uint32_t ShardPartitioner::Walk(const double* coords) const {
+  uint32_t node = 0;
+  while (nodes_[node].dim >= 0) {
+    const Node& n = nodes_[node];
+    node = coords[n.dim] < n.cut ? n.left : n.right;
+  }
+  return nodes_[node].shard;
+}
+
+void ShardPartitioner::Fit() {
+  std::vector<uint32_t> points(seen_competitors_);
+  for (uint32_t i = 0; i < points.size(); ++i) points[i] = i;
+  nodes_.clear();
+  Build(points, 0, static_cast<uint32_t>(options_.shards), /*depth=*/0);
+  fitted_ = true;
+  buffer_.clear();
+  buffer_.shrink_to_fit();
+}
+
+// One STR level: sort the slab's points on the cycled dimension (ties
+// broken by arrival index, so the cut is a pure function of the op
+// stream), split the shard budget in half, and cut at the matching
+// quantile. Recursion bottoms out in one leaf per shard.
+uint32_t ShardPartitioner::Build(std::vector<uint32_t>& points,
+                                 uint32_t first_shard, uint32_t num_shards,
+                                 size_t depth) {
+  const uint32_t index = static_cast<uint32_t>(nodes_.size());
+  nodes_.emplace_back();
+  if (num_shards == 1) {
+    nodes_[index].shard = first_shard;
+    return index;
+  }
+  const size_t dim = depth % options_.dims;
+  const double* coords = buffer_.data();
+  const size_t dims = options_.dims;
+  std::sort(points.begin(), points.end(),
+            [coords, dims, dim](uint32_t a, uint32_t b) {
+              const double ca = coords[a * dims + dim];
+              const double cb = coords[b * dims + dim];
+              // lint: float-eq-ok (exact tie-break comparison; equal
+              // keys fall through to the arrival index, total order)
+              if (ca != cb) return ca < cb;
+              return a < b;
+            });
+  const uint32_t left_shards = num_shards / 2;
+  const size_t cut_pos =
+      points.empty()
+          ? 0
+          : points.size() * left_shards / num_shards;
+  // `< cut` routes left; with an empty or degenerate slab the cut falls
+  // on the slab minimum and everything routes right — pure imbalance,
+  // never incorrectness.
+  const double cut = points.empty()
+                         ? 0.0
+                         : coords[points[std::min(cut_pos, points.size() - 1)] *
+                                      dims +
+                                  dim];
+  std::vector<uint32_t> left_points(points.begin(),
+                                    points.begin() + cut_pos);
+  std::vector<uint32_t> right_points(points.begin() + cut_pos, points.end());
+  points.clear();
+  points.shrink_to_fit();
+  const uint32_t left =
+      Build(left_points, first_shard, left_shards, depth + 1);
+  const uint32_t right = Build(right_points, first_shard + left_shards,
+                               num_shards - left_shards, depth + 1);
+  nodes_[index].dim = static_cast<int32_t>(dim);
+  nodes_[index].cut = cut;
+  nodes_[index].left = left;
+  nodes_[index].right = right;
+  return index;
+}
+
+}  // namespace skyup

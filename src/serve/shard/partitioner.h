@@ -1,0 +1,81 @@
+#ifndef SKYUP_SERVE_SHARD_PARTITIONER_H_
+#define SKYUP_SERVE_SHARD_PARTITIONER_H_
+
+// Spatial shard assignment for the shard-per-core serving tier: STR tiles
+// over the competitor space, grown online.
+//
+// The partitioner starts in a *bootstrap* phase — the first `fit_after`
+// competitor inserts all land on shard 0 while their coordinates are
+// buffered. At the fit point it builds a tile tree by recursive
+// Sort-Tile-Recursive slab splits (quantile cuts on cycled dimensions,
+// shard counts halved per level, so any shard count works, not just
+// perfect powers); every later insert — competitor or product, products
+// co-partition with the competitors they compete against — routes by
+// walking the cuts. Placement is pure load balancing: queries probe every
+// shard, so a point on the "wrong" shard costs locality, never
+// correctness. What matters is that routing is a deterministic function
+// of the op stream, which keeps `--shards N` replays reproducible: the
+// fit set is the op stream's own prefix in arrival order, and ties on a
+// cut value always route right.
+//
+// Not internally synchronized — the sharded table calls it under its
+// routing lock (kShardTable band).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace skyup {
+
+struct ShardPartitionerOptions {
+  size_t dims = 0;    ///< required, >= 1
+  size_t shards = 1;  ///< required, >= 1
+  /// Competitor inserts buffered before the tile tree is fitted. With one
+  /// shard no fit ever happens (everything is shard 0 by definition).
+  size_t fit_after = 256;
+};
+
+class ShardPartitioner {
+ public:
+  explicit ShardPartitioner(ShardPartitionerOptions options);
+
+  ShardPartitioner(const ShardPartitioner&) = delete;
+  ShardPartitioner& operator=(const ShardPartitioner&) = delete;
+
+  /// Routes a competitor insert. Bootstrap phase: buffers the coords,
+  /// returns 0, and fits the tiles once `fit_after` competitors were seen.
+  uint32_t RouteCompetitor(const std::vector<double>& coords);
+
+  /// Routes a product insert (never feeds the fit buffer: tiles describe
+  /// the competitor distribution, products just follow it).
+  uint32_t RouteProduct(const std::vector<double>& coords) const;
+
+  bool fitted() const { return fitted_; }
+  size_t shards() const { return options_.shards; }
+  /// Partitioner identity recorded in bench JSON for reproducibility.
+  static const char* kind() { return "str-tiles"; }
+
+ private:
+  struct Node {
+    int32_t dim = -1;   ///< -1 = leaf
+    double cut = 0.0;   ///< route left iff coord[dim] < cut
+    uint32_t left = 0;  ///< node indices (internal nodes only)
+    uint32_t right = 0;
+    uint32_t shard = 0;  ///< leaves only
+  };
+
+  void Fit();
+  uint32_t Build(std::vector<uint32_t>& points, uint32_t first_shard,
+                 uint32_t num_shards, size_t depth);
+  uint32_t Walk(const double* coords) const;
+
+  ShardPartitionerOptions options_;
+  bool fitted_ = false;
+  size_t seen_competitors_ = 0;
+  std::vector<double> buffer_;  ///< bootstrap coords, dims-strided
+  std::vector<Node> nodes_;     ///< nodes_[0] is the root once fitted
+};
+
+}  // namespace skyup
+
+#endif  // SKYUP_SERVE_SHARD_PARTITIONER_H_

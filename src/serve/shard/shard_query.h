@@ -1,0 +1,83 @@
+#ifndef SKYUP_SERVE_SHARD_SHARD_QUERY_H_
+#define SKYUP_SERVE_SHARD_SHARD_QUERY_H_
+
+// Scatter-gather top-k over a consistent set of shard views.
+//
+// Each shard worker sweeps the products *owned by its shard*; for every
+// candidate it gathers the global dominator skyline by probing every
+// shard's index (mask-aware, memoized per shard) and folding the
+// per-shard skylines member by member (skyline/incremental.h) — skyline
+// of a union equals the skyline of the per-part skylines, and Algorithm 1
+// is a pure function of the dominator *value set*, so each candidate's
+// outcome is bit-identical to the single-table engine's. Workers share
+// the PR-1 lock-free CAS-min cost threshold: a cheap upgrade found on one
+// shard immediately tightens the sound box prune on all others. Results
+// merge under the cost-then-id total order, which is offer-order
+// independent — so the final top-k is byte-identical to `TopKOverlay`
+// over the same live state regardless of shard count or interleaving
+// (fuzz/fuzz_shard.cc enforces this, and the `--shards N` replay guard
+// rides on it).
+//
+// Caching: a *shard-local* upgrade cache would memoize outcomes against
+// shard-local dominators — not the global answer — so the shards keep
+// none (LiveTableOptions::upgrade_cache is off). Instead each candidate
+// consults the table's single GLOBAL cache (`ShardedView::cache`), fed
+// with the cross-shard op stream by ShardedTable, whose hits are the
+// exact Algorithm-1 outcome against the full competitor set and skip the
+// whole per-shard gather. The per-shard skyline memos ARE sound and
+// accelerate the cache-miss path — they memoize exact per-shard
+// index-probe value sets keyed by epoch and erased-prefix length, the
+// same contract the single-table engine relies on (docs/algorithms.md,
+// "Sharded serving & wire protocol").
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cost_function.h"
+#include "core/query_control.h"
+#include "core/upgrade_result.h"
+#include "obs/phase_timings.h"
+#include "serve/query.h"
+#include "serve/serve_stats.h"
+#include "serve/shard/sharded_table.h"
+#include "util/status.h"
+
+namespace skyup {
+
+/// Wall-time attribution across shard workers, for the flight recorder's
+/// "which shard dominated this query" story. Always cheap to fill (two
+/// clock reads per worker).
+struct ShardQueryInfo {
+  uint32_t shard_count = 0;
+  uint32_t slowest_shard = 0;  ///< arg-max of per-worker wall time
+  double slowest_shard_seconds = 0.0;
+};
+
+/// Top-k upgrades over the sharded live state. `threads` workers sweep
+/// the shards (0 = one per shard, capped by the shard count); `control`,
+/// `stats`, `telemetry`, and `info` may be null. Counter semantics match
+/// `TopKOverlay`, plus `shard_queries`/`shard_fanout`; cache counters
+/// track the global cache (see the header comment).
+Result<std::vector<UpgradeResult>> TopKSharded(
+    const ShardedView& sharded, const ProductCostFunction& cost_fn, size_t k,
+    double epsilon, size_t threads = 0,
+    const QueryControl* control = nullptr, ServeStats* stats = nullptr,
+    QueryTelemetry* telemetry = nullptr, ShardQueryInfo* info = nullptr);
+
+/// Grouped execution over one captured view set, the sharded analogue of
+/// `TopKOverlayBatch`: every member shares the per-shard contexts, the
+/// global live box, and — per candidate — the global-cache lookup, the
+/// dominator gather, and the upgrade, so a group of B queries costs one
+/// candidate sweep instead of B. `(*out)[i]` is exactly what the
+/// corresponding solo `TopKSharded` call would have returned (same
+/// offer-order and stale-prune-safety arguments as the single-table batch
+/// engine). `queries.size()` must be in [1, kMaxServeBatch].
+void TopKShardedBatch(const ShardedView& sharded,
+                      const ProductCostFunction& cost_fn,
+                      const std::vector<BatchQuery>& queries, double epsilon,
+                      size_t threads, std::vector<BatchQueryResult>* out,
+                      ServeStats* stats = nullptr);
+
+}  // namespace skyup
+
+#endif  // SKYUP_SERVE_SHARD_SHARD_QUERY_H_

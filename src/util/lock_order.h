@@ -15,6 +15,9 @@
 //
 // Declared order, outermost (acquired first) to innermost:
 //
+//   kFrontDoor     TenantRegistry::mu_ (tenant lookup/create may admit a
+//        |                             query — the whole serving stack
+//        |                             nests under the registry)
 //   kServerQueue   Server::queue_mu_   (admission queue + worker wakeup)
 //        |
 //   kServerStats   Server::stats_mu_   (ServeStats + latency histograms;
@@ -22,6 +25,10 @@
 //        |                             holding the queue lock)
 //   kRebuilder     Rebuilder::mu_      (Server::stats() reads publish
 //        |                             counters under stats_mu_)
+//   kShardTable    ShardedTable::epoch_mu_ / route_mu_ — cross-shard
+//        |         epoch fence and id routing; both sit above every
+//        |         per-shard LiveTable lock they coordinate, and are
+//        |         mutually non-nesting
 //   kTable         LiveTable::mu_      (delta apply / view acquisition)
 //        |
 //   kTableSub      DeltaLog, UpgradeCache, SkylineMemo shards,
@@ -52,10 +59,12 @@ class SKYUP_CAPABILITY("lock_rank") Rank {
   Rank& operator=(const Rank&) = delete;
 };
 
-inline Rank kServerQueue;
+inline Rank kFrontDoor;
+inline Rank kServerQueue SKYUP_ACQUIRED_AFTER(kFrontDoor);
 inline Rank kServerStats SKYUP_ACQUIRED_AFTER(kServerQueue);
 inline Rank kRebuilder SKYUP_ACQUIRED_AFTER(kServerStats);
-inline Rank kTable SKYUP_ACQUIRED_AFTER(kRebuilder);
+inline Rank kShardTable SKYUP_ACQUIRED_AFTER(kRebuilder);
+inline Rank kTable SKYUP_ACQUIRED_AFTER(kShardTable);
 inline Rank kTableSub SKYUP_ACQUIRED_AFTER(kTable);
 inline Rank kObsRegistry SKYUP_ACQUIRED_AFTER(kTableSub);
 inline Rank kObsFlight SKYUP_ACQUIRED_AFTER(kObsRegistry);

@@ -111,6 +111,50 @@ TEST(ReplayTest, TwoRunsAreByteIdentical) {
   EXPECT_FALSE(logs[0].empty());
 }
 
+TEST(ReplayTest, ShardCountNeverChangesTheResultLog) {
+  // The core sharding determinism property: replaying one workload
+  // against `--shards N` servers produces a result log byte-identical to
+  // the single-table server's, for shard counts including 1 and counts
+  // larger than most of the run's competitor set. CI guards the same
+  // property end to end through the CLI (.github/workflows/ci.yml).
+  std::ostringstream text;
+  ASSERT_TRUE(GenerateWorkload(11, 500, 3, text).ok());
+  Result<ReplayWorkload> workload = ParseWorkload(text.str());
+  ASSERT_TRUE(workload.ok());
+
+  std::string baseline;
+  uint64_t baseline_epoch = 0;
+  size_t baseline_backlog = 0;
+  for (const size_t shards : {0u, 1u, 2u, 4u, 7u}) {
+    ServerOptions options;
+    options.dims = 3;
+    options.background_rebuild = false;
+    options.rebuild_threshold_ops = 16;
+    options.query_threads = 1;
+    options.shards = shards;
+    Result<std::unique_ptr<Server>> server = Server::Create(
+        ProductCostFunction::ReciprocalSum(3, 1e-3), options);
+    ASSERT_TRUE(server.ok()) << "shards=" << shards;
+    std::ostringstream results;
+    Result<ReplayReport> report = Replay(server->get(), *workload, results);
+    ASSERT_TRUE(report.ok())
+        << "shards=" << shards << ": " << report.status().ToString();
+    if (shards == 0) {
+      baseline = results.str();
+      baseline_epoch = report->final_epoch;
+      baseline_backlog = report->final_backlog;
+      EXPECT_FALSE(baseline.empty());
+    } else {
+      EXPECT_EQ(results.str(), baseline) << "shards=" << shards;
+      // Inline publish cycles fire on the same total-backlog instants.
+      EXPECT_EQ(report->final_epoch, baseline_epoch)
+          << "shards=" << shards;
+      EXPECT_EQ(report->final_backlog, baseline_backlog)
+          << "shards=" << shards;
+    }
+  }
+}
+
 TEST(ReplayTest, RequiresDeterministicMode) {
   ServerOptions options;
   options.dims = 2;
@@ -151,6 +195,36 @@ TEST(ServeCliTest, GenerateThenReplayEndToEnd) {
   sb << b.rdbuf();
   EXPECT_EQ(sa.str(), sb.str());
   EXPECT_FALSE(sa.str().empty());
+}
+
+TEST(ServeCliTest, ReplayShardsFlagKeepsOutputByteIdentical) {
+  const std::string ops_path =
+      ::testing::TempDir() + "/skyup_serve_shard_ops.csv";
+  std::ostringstream out, err;
+  int code = cli::Run({"serve", "--gen-ops=" + ops_path, "--ops=300",
+                       "--dims=2", "--seed=9"},
+                      out, err);
+  ASSERT_EQ(code, 0) << err.str();
+
+  std::string baseline;
+  for (const std::string shards : {"0", "3"}) {
+    const std::string out_path = ::testing::TempDir() +
+                                 "/skyup_serve_shard_" + shards + ".txt";
+    std::ostringstream run_out, run_err;
+    code = cli::Run({"serve", "--replay=" + ops_path,
+                     "--shards=" + shards, "--out=" + out_path},
+                    run_out, run_err);
+    ASSERT_EQ(code, 0) << run_err.str();
+    std::ifstream f(out_path);
+    std::stringstream s;
+    s << f.rdbuf();
+    if (shards == "0") {
+      baseline = s.str();
+      ASSERT_FALSE(baseline.empty());
+    } else {
+      EXPECT_EQ(s.str(), baseline);
+    }
+  }
 }
 
 TEST(ServeCliTest, ReplayAndGenAreMutuallyExclusive) {

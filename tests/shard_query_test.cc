@@ -1,0 +1,250 @@
+// Tests for scatter-gather top-k (serve/shard/shard_query.h): results
+// must be byte-identical to the single-table engine (`TopKOverlay`) over
+// the same live state, for any shard count, any worker count, and
+// regardless of publish state — the query is a pure function of the
+// live value set, and sharding only partitions the work. Also pins the
+// sharded counter semantics (shard_queries/shard_fanout bump, cache
+// counters track the GLOBAL upgrade cache — per-shard caches do not
+// exist) and the flight-recorder attribution struct.
+
+#include "serve/shard/shard_query.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/cost_function.h"
+#include "serve/live_table.h"
+#include "serve/query.h"
+#include "util/random.h"
+
+namespace skyup {
+namespace {
+
+constexpr double kEps = 1e-6;
+
+struct TwinState {
+  std::unique_ptr<ShardedTable> sharded;
+  std::unique_ptr<LiveTable> single;
+};
+
+// Drives the same op stream into an N-shard table and a single table.
+TwinState BuildTwins(size_t shards, uint64_t seed, int steps,
+                     size_t dims = 2) {
+  ShardedTableOptions so;
+  so.dims = dims;
+  so.shards = shards;
+  so.partition_fit_after = 16;
+  auto sharded = ShardedTable::Create(so);
+  EXPECT_TRUE(sharded.ok());
+  LiveTableOptions lo;
+  lo.dims = dims;
+  auto single = LiveTable::Create(lo);
+  EXPECT_TRUE(single.ok());
+
+  Rng rng(seed);
+  std::vector<uint64_t> live_p;
+  std::vector<uint64_t> live_t;
+  for (int i = 0; i < steps; ++i) {
+    const uint64_t roll = rng.NextUint64(10);
+    std::vector<double> coords(dims);
+    for (double& c : coords) c = rng.NextDouble(0, 2);
+    if (roll < 4 || live_p.size() < 2) {
+      auto a = (*sharded)->InsertCompetitor(coords);
+      auto b = (*single)->InsertCompetitor(coords);
+      EXPECT_TRUE(a.ok() && b.ok());
+      EXPECT_EQ(*a, *b);
+      live_p.push_back(*a);
+    } else if (roll < 7) {
+      auto a = (*sharded)->InsertProduct(coords);
+      auto b = (*single)->InsertProduct(coords);
+      EXPECT_TRUE(a.ok() && b.ok());
+      EXPECT_EQ(*a, *b);
+      live_t.push_back(*a);
+    } else if (roll < 9 && !live_p.empty()) {
+      const size_t at = static_cast<size_t>(rng.NextUint64(live_p.size()));
+      EXPECT_TRUE((*sharded)->EraseCompetitor(live_p[at]).ok());
+      EXPECT_TRUE((*single)->EraseCompetitor(live_p[at]).ok());
+      live_p[at] = live_p.back();
+      live_p.pop_back();
+    } else if (!live_t.empty()) {
+      const size_t at = static_cast<size_t>(rng.NextUint64(live_t.size()));
+      EXPECT_TRUE((*sharded)->EraseProduct(live_t[at]).ok());
+      EXPECT_TRUE((*single)->EraseProduct(live_t[at]).ok());
+      live_t[at] = live_t.back();
+      live_t.pop_back();
+    }
+  }
+  return {std::move(*sharded), std::move(*single)};
+}
+
+void ExpectSameResults(const std::vector<UpgradeResult>& want,
+                       const std::vector<UpgradeResult>& got) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].product_id, want[i].product_id) << "rank " << i;
+    // lint: float-eq-ok (differential: scatter-gather must match the
+    // single-table engine bit-for-bit)
+    EXPECT_EQ(got[i].cost, want[i].cost) << "rank " << i;
+    EXPECT_EQ(got[i].upgraded, want[i].upgraded) << "rank " << i;
+    EXPECT_EQ(got[i].already_competitive, want[i].already_competitive)
+        << "rank " << i;
+  }
+}
+
+TEST(ShardQueryTest, MatchesSingleTableAcrossShardCounts) {
+  const ProductCostFunction cost_fn =
+      ProductCostFunction::ReciprocalSum(2, 1e-3);
+  for (const size_t shards : {1u, 2u, 3u, 5u, 9u}) {
+    TwinState twins = BuildTwins(shards, /*seed=*/shards, /*steps=*/120);
+    const ReadView single_view = twins.single->AcquireView();
+    const ShardedView sharded_view = twins.sharded->AcquireViews();
+    for (const size_t k : {1u, 3u, 8u, 100u}) {
+      auto want = TopKOverlay(single_view, cost_fn, k, kEps);
+      ASSERT_TRUE(want.ok());
+      auto got = TopKSharded(sharded_view, cost_fn, k, kEps);
+      ASSERT_TRUE(got.ok()) << "shards=" << shards;
+      ExpectSameResults(*want, *got);
+    }
+  }
+}
+
+TEST(ShardQueryTest, PublishStateDoesNotChangeResults) {
+  // Publishing moves rows from overlay to snapshot; the live value set —
+  // and therefore the query answer — is unchanged. Publish only the
+  // sharded side and compare against the never-published single table.
+  const ProductCostFunction cost_fn =
+      ProductCostFunction::ReciprocalSum(3, 1e-3);
+  TwinState twins = BuildTwins(/*shards=*/4, /*seed=*/77, /*steps=*/150,
+                               /*dims=*/3);
+  RebuildPolicy policy;
+  policy.threshold_ops = 1;
+  auto published = twins.sharded->MaybePublishInline(policy);
+  ASSERT_TRUE(published.ok());
+  EXPECT_EQ(*published, 4u);
+  auto want = TopKOverlay(twins.single->AcquireView(), cost_fn, 10, kEps);
+  ASSERT_TRUE(want.ok());
+  auto got = TopKSharded(twins.sharded->AcquireViews(), cost_fn, 10, kEps);
+  ASSERT_TRUE(got.ok());
+  ExpectSameResults(*want, *got);
+}
+
+TEST(ShardQueryTest, WorkerCountDoesNotChangeResults) {
+  const ProductCostFunction cost_fn =
+      ProductCostFunction::ReciprocalSum(2, 1e-3);
+  TwinState twins = BuildTwins(/*shards=*/5, /*seed=*/13, /*steps=*/140);
+  const ShardedView view = twins.sharded->AcquireViews();
+  auto serial = TopKSharded(view, cost_fn, 6, kEps, /*threads=*/1);
+  ASSERT_TRUE(serial.ok());
+  for (const size_t threads : {0u, 2u, 3u, 16u}) {
+    auto got = TopKSharded(view, cost_fn, 6, kEps, threads);
+    ASSERT_TRUE(got.ok()) << "threads=" << threads;
+    ExpectSameResults(*serial, *got);
+  }
+}
+
+TEST(ShardQueryTest, EmptyProductSetYieldsEmptyResult) {
+  ShardedTableOptions so;
+  so.dims = 2;
+  so.shards = 3;
+  auto sharded = ShardedTable::Create(so);
+  ASSERT_TRUE(sharded.ok());
+  ASSERT_TRUE((*sharded)->InsertCompetitor({0.5, 0.5}).ok());
+  auto got = TopKSharded((*sharded)->AcquireViews(),
+                         ProductCostFunction::ReciprocalSum(2, 1e-3), 5,
+                         kEps);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->empty());
+}
+
+TEST(ShardQueryTest, BatchMembersMatchTheirSoloRuns) {
+  const ProductCostFunction cost_fn =
+      ProductCostFunction::ReciprocalSum(2, 1e-3);
+  TwinState twins = BuildTwins(/*shards=*/3, /*seed=*/33, /*steps=*/140);
+  const ShardedView view = twins.sharded->AcquireViews();
+  // Mixed ks (duplicates included) plus one malformed member: the group
+  // must resolve each member to exactly its solo outcome, and a bad
+  // member fails alone without poisoning the group.
+  std::vector<BatchQuery> batch;
+  for (const size_t k : {1u, 4u, 4u, 9u, 100u}) {
+    BatchQuery q;
+    q.k = k;
+    batch.push_back(q);
+  }
+  batch.push_back(BatchQuery{/*k=*/0, /*control=*/nullptr});
+  for (const size_t threads : {0u, 1u, 2u, 8u}) {
+    std::vector<BatchQueryResult> out;
+    ServeStats stats;
+    TopKShardedBatch(view, cost_fn, batch, kEps, threads, &out, &stats);
+    ASSERT_EQ(out.size(), batch.size());
+    for (size_t i = 0; i + 1 < out.size(); ++i) {
+      ASSERT_TRUE(out[i].status.ok()) << "member " << i;
+      auto solo = TopKSharded(view, cost_fn, batch[i].k, kEps, 1);
+      ASSERT_TRUE(solo.ok());
+      ExpectSameResults(*solo, out[i].results);
+    }
+    EXPECT_EQ(out.back().status.code(), StatusCode::kInvalidArgument);
+    EXPECT_TRUE(out.back().results.empty());
+    EXPECT_EQ(stats.shard_queries, 5u) << "threads=" << threads;
+    EXPECT_EQ(stats.shard_fanout, 15u) << "threads=" << threads;
+  }
+}
+
+TEST(ShardQueryTest, CountersBumpAndGlobalCacheServesRepeats) {
+  const ProductCostFunction cost_fn =
+      ProductCostFunction::ReciprocalSum(2, 1e-3);
+  TwinState twins = BuildTwins(/*shards=*/3, /*seed=*/21, /*steps=*/100);
+  const ShardedView view = twins.sharded->AcquireViews();
+  // Per-shard caches do not exist (they would memoize shard-local
+  // dominators); the global cache on the sharded view replaces them.
+  for (const ReadView& v : view.views) {
+    EXPECT_EQ(v.cache, nullptr);
+  }
+  ASSERT_NE(view.cache, nullptr);
+  ServeStats stats;
+  ShardQueryInfo info;
+  auto got = TopKSharded(view, cost_fn, 4, kEps, /*threads=*/0,
+                         /*control=*/nullptr, &stats, /*telemetry=*/nullptr,
+                         &info);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(stats.shard_queries, 1u);
+  EXPECT_EQ(stats.shard_fanout, 3u);
+  EXPECT_GT(stats.candidates_evaluated, 0u);
+  // A cold cache: every live product misses, every outcome is stored.
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_misses, stats.candidates_evaluated);
+  EXPECT_EQ(info.shard_count, 3u);
+  EXPECT_LT(info.slowest_shard, 3u);
+  EXPECT_GE(info.slowest_shard_seconds, 0.0);
+
+  // A repeat of the same query is served wholly from the cache — zero
+  // candidate evaluations — and stays byte-identical.
+  ServeStats repeat_stats;
+  auto repeat = TopKSharded(twins.sharded->AcquireViews(), cost_fn, 4, kEps,
+                            /*threads=*/0, /*control=*/nullptr,
+                            &repeat_stats);
+  ASSERT_TRUE(repeat.ok());
+  ExpectSameResults(*got, *repeat);
+  EXPECT_EQ(repeat_stats.cache_hits, stats.cache_misses);
+  EXPECT_EQ(repeat_stats.cache_misses, 0u);
+  EXPECT_EQ(repeat_stats.candidates_evaluated, 0u);
+
+  // An update that can change dominator skylines invalidates through the
+  // routed op stream: the next query recomputes (some misses) yet still
+  // matches the single-table engine over the updated twin state.
+  ASSERT_TRUE(twins.sharded->InsertCompetitor({0.01, 0.01}).ok());
+  ASSERT_TRUE(twins.single->InsertCompetitor({0.01, 0.01}).ok());
+  ServeStats warm_stats;
+  auto warm = TopKSharded(twins.sharded->AcquireViews(), cost_fn, 4, kEps,
+                          /*threads=*/0, /*control=*/nullptr, &warm_stats);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_GT(warm_stats.cache_misses, 0u);
+  auto expect = TopKOverlay(twins.single->AcquireView(), cost_fn, 4, kEps);
+  ASSERT_TRUE(expect.ok());
+  ExpectSameResults(*expect, *warm);
+}
+
+}  // namespace
+}  // namespace skyup
